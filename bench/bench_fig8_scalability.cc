@@ -1,0 +1,79 @@
+// Reproduces Figure 8: scalability of CrossEM (w/ f_pro^s) vs CrossEM+
+// across growing FB15K-237-IMG subsets (FB2K / FB6K / FB10K-like): MRR
+// (a), per-epoch training time (b), and peak memory (c).
+//
+// Expected shape (paper Sec. V-B, Exp-3): both grow with data size, but
+// CrossEM+ grows more slowly in time and memory while keeping comparable
+// accuracy — the mini-batch generation turns the quadratic candidate
+// sweep into localized partitions.
+#include <cstdio>
+
+#include "bench/harness.h"
+#include "util/table_printer.h"
+
+namespace crossem {
+namespace bench {
+namespace {
+
+struct SeriesPoint {
+  std::string dataset;
+  int64_t candidate_pairs;
+  MethodResult crossem;
+  MethodResult plus;
+};
+
+SeriesPoint RunScale(const data::DatasetConfig& dataset_config) {
+  HarnessConfig cfg;
+  cfg.dataset = dataset_config;
+  cfg.pretrain_epochs = 40;  // shared backbone; scalability targets tuning
+  Experiment exp(cfg);
+  SeriesPoint point;
+  point.dataset = exp.dataset().name;
+  point.candidate_pairs = static_cast<int64_t>(exp.vertices().size()) *
+                          exp.images().size(0);
+  point.crossem = exp.RunCrossEm("CrossEM", SoftPromptOptions2(/*epochs=*/3));
+  point.plus = exp.RunCrossEm("CrossEM+", PlusOptions(/*epochs=*/3));
+  return point;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace crossem
+
+int main() {
+  using namespace crossem;
+  using crossem::bench::SeriesPoint;
+  std::vector<SeriesPoint> series;
+  series.push_back(bench::RunScale(data::Fb2kLikeConfig(0.45)));
+  series.push_back(bench::RunScale(data::Fb6kLikeConfig(0.45)));
+  series.push_back(bench::RunScale(data::Fb10kLikeConfig(0.45)));
+
+  std::printf("== Figure 8 — scalability over FB15K-237-IMG subsets\n");
+  TablePrinter table({"Dataset", "Pairs", "MRR CrossEM", "MRR CrossEM+",
+                      "T/ep CrossEM", "T/ep CrossEM+", "Mem CrossEM",
+                      "Mem CrossEM+"});
+  for (const SeriesPoint& p : series) {
+    table.AddRow({p.dataset, std::to_string(p.candidate_pairs),
+                  TablePrinter::Fmt(p.crossem.metrics.mrr, 3),
+                  TablePrinter::Fmt(p.plus.metrics.mrr, 3),
+                  TablePrinter::Fmt(p.crossem.seconds_per_epoch, 3),
+                  TablePrinter::Fmt(p.plus.seconds_per_epoch, 3),
+                  TablePrinter::Fmt(p.crossem.peak_mb, 2),
+                  TablePrinter::Fmt(p.plus.peak_mb, 2)});
+  }
+  table.Print();
+
+  // Growth factors (the figure's visual takeaway).
+  const auto& first = series.front();
+  const auto& last = series.back();
+  std::printf(
+      "\nGrowth FB2K->FB10K: time x%.1f (CrossEM) vs x%.1f (CrossEM+), "
+      "mem x%.1f vs x%.1f\n",
+      last.crossem.seconds_per_epoch /
+          std::max(first.crossem.seconds_per_epoch, 1e-9),
+      last.plus.seconds_per_epoch /
+          std::max(first.plus.seconds_per_epoch, 1e-9),
+      last.crossem.peak_mb / std::max(first.crossem.peak_mb, 1e-9),
+      last.plus.peak_mb / std::max(first.plus.peak_mb, 1e-9));
+  return 0;
+}

@@ -1,0 +1,116 @@
+// Microbenchmarks of the CrossEM+ optimization machinery
+// (google-benchmark): d-hop subgraph extraction, PCP proximity, phase-3
+// partitioning, negative sampling, and k-means — the components whose
+// cost Table III/IV attribute to MBG/NS.
+#include "benchmark/benchmark.h"
+#include "core/kmeans.h"
+#include "core/negative_sampling.h"
+#include "core/pcp.h"
+#include "data/dataset.h"
+
+namespace crossem {
+namespace {
+
+struct PcpBenchContext {
+  data::CrossModalDataset dataset;
+  std::unique_ptr<clip::ClipModel> model;
+  std::unique_ptr<text::Tokenizer> tokenizer;
+  std::vector<graph::VertexId> vertices;
+  Tensor images;
+  Tensor proximity;
+
+  PcpBenchContext() : dataset(data::BuildDataset(data::CubLikeConfig(0.6))) {
+    clip::ClipConfig cc;
+    cc.vocab_size = dataset.vocab.size();
+    cc.text_context = 32;
+    cc.model_dim = 16;
+    cc.text_layers = 1;
+    cc.text_heads = 2;
+    cc.image_layers = 1;
+    cc.image_heads = 2;
+    cc.patch_dim = dataset.world->config().patch_dim;
+    cc.max_patches = 16;
+    cc.embed_dim = 12;
+    Rng rng(3);
+    model = std::make_unique<clip::ClipModel>(cc, &rng);
+    tokenizer = std::make_unique<text::Tokenizer>(&dataset.vocab, 32);
+    for (int64_t c : dataset.test_classes) {
+      vertices.push_back(dataset.entities[static_cast<size_t>(c)]);
+    }
+    images = dataset.StackImages(dataset.TestImageIndices());
+    core::MiniBatchGenerator gen(model.get(), &dataset.graph, tokenizer.get(),
+                                 core::PcpOptions{});
+    proximity = gen.ComputeProximity(vertices, images);
+  }
+};
+
+PcpBenchContext& Context() {
+  static PcpBenchContext* ctx = new PcpBenchContext();
+  return *ctx;
+}
+
+void BM_DHopSubgraph(benchmark::State& state) {
+  auto& ctx = Context();
+  const int64_t hops = state.range(0);
+  for (auto _ : state) {
+    for (graph::VertexId v : ctx.vertices) {
+      auto sub = ctx.dataset.graph.DHopSubgraph(v, hops);
+      benchmark::DoNotOptimize(sub.vertices.data());
+    }
+  }
+}
+BENCHMARK(BM_DHopSubgraph)->Arg(1)->Arg(2);
+
+void BM_PcpProximity(benchmark::State& state) {
+  auto& ctx = Context();
+  core::MiniBatchGenerator gen(ctx.model.get(), &ctx.dataset.graph,
+                               ctx.tokenizer.get(), core::PcpOptions{});
+  for (auto _ : state) {
+    Tensor prox = gen.ComputeProximity(ctx.vertices, ctx.images);
+    benchmark::DoNotOptimize(prox.data());
+  }
+}
+BENCHMARK(BM_PcpProximity);
+
+void BM_PcpPartition(benchmark::State& state) {
+  auto& ctx = Context();
+  core::MiniBatchGenerator gen(ctx.model.get(), &ctx.dataset.graph,
+                               ctx.tokenizer.get(), core::PcpOptions{});
+  Rng rng(7);
+  for (auto _ : state) {
+    auto parts = gen.PartitionFromProximity(ctx.vertices, ctx.proximity, &rng);
+    benchmark::DoNotOptimize(parts.value().size());
+  }
+}
+BENCHMARK(BM_PcpPartition);
+
+void BM_NegativeSampling(benchmark::State& state) {
+  auto& ctx = Context();
+  core::MiniBatchGenerator gen(ctx.model.get(), &ctx.dataset.graph,
+                               ctx.tokenizer.get(), core::PcpOptions{});
+  Rng rng(8);
+  auto parts = gen.PartitionFromProximity(ctx.vertices, ctx.proximity, &rng);
+  core::NegativeSampler sampler(core::NegativeSamplingOptions{});
+  for (auto _ : state) {
+    auto padded = sampler.Apply(parts.value(), ctx.proximity, ctx.vertices,
+                                &rng);
+    benchmark::DoNotOptimize(padded.size());
+  }
+}
+BENCHMARK(BM_NegativeSampling);
+
+void BM_KMeans(benchmark::State& state) {
+  Rng data_rng(9);
+  Tensor points = Tensor::Randn({state.range(0), 8}, &data_rng);
+  Rng rng(10);
+  for (auto _ : state) {
+    auto result = core::KMeans(points, 4, &rng);
+    benchmark::DoNotOptimize(result.assignments.data());
+  }
+}
+BENCHMARK(BM_KMeans)->Arg(64)->Arg(256);
+
+}  // namespace
+}  // namespace crossem
+
+BENCHMARK_MAIN();

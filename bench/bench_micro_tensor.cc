@@ -1,0 +1,91 @@
+// Microbenchmarks of the tensor/NN substrate (google-benchmark): matmul,
+// softmax forward/backward, attention forward/backward. These quantify
+// the engine the CrossEM results run on.
+#include "benchmark/benchmark.h"
+#include "nn/attention.h"
+#include "tensor/ops.h"
+#include "tensor/tensor.h"
+
+namespace crossem {
+namespace {
+
+void BM_MatMul(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  Rng rng(1);
+  Tensor a = Tensor::Randn({n, n}, &rng);
+  Tensor b = Tensor::Randn({n, n}, &rng);
+  for (auto _ : state) {
+    NoGradGuard guard;
+    Tensor c = ops::MatMul(a, b);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n * n * n);
+}
+BENCHMARK(BM_MatMul)->Arg(32)->Arg(64)->Arg(128);
+
+void BM_SoftmaxForward(benchmark::State& state) {
+  const int64_t rows = state.range(0);
+  Rng rng(2);
+  Tensor x = Tensor::Randn({rows, 64}, &rng);
+  for (auto _ : state) {
+    NoGradGuard guard;
+    Tensor y = ops::Softmax(x);
+    benchmark::DoNotOptimize(y.data());
+  }
+}
+BENCHMARK(BM_SoftmaxForward)->Arg(64)->Arg(512);
+
+void BM_SoftmaxBackward(benchmark::State& state) {
+  const int64_t rows = state.range(0);
+  Rng rng(3);
+  for (auto _ : state) {
+    Tensor x = Tensor::Randn({rows, 64}, &rng);
+    x.set_requires_grad(true);
+    ops::Sum(ops::Softmax(x)).Backward();
+    benchmark::DoNotOptimize(x.grad().data());
+  }
+}
+BENCHMARK(BM_SoftmaxBackward)->Arg(64)->Arg(256);
+
+void BM_AttentionForward(benchmark::State& state) {
+  const int64_t seq = state.range(0);
+  Rng rng(4);
+  nn::MultiHeadAttention mha(32, 4, &rng);
+  Tensor x = Tensor::Randn({4, seq, 32}, &rng);
+  for (auto _ : state) {
+    NoGradGuard guard;
+    Tensor y = mha.ForwardSelf(x);
+    benchmark::DoNotOptimize(y.data());
+  }
+}
+BENCHMARK(BM_AttentionForward)->Arg(16)->Arg(48);
+
+void BM_AttentionBackward(benchmark::State& state) {
+  const int64_t seq = state.range(0);
+  Rng rng(5);
+  nn::MultiHeadAttention mha(32, 4, &rng);
+  for (auto _ : state) {
+    Tensor x = Tensor::Randn({4, seq, 32}, &rng);
+    x.set_requires_grad(true);
+    ops::Sum(mha.ForwardSelf(x)).Backward();
+    benchmark::DoNotOptimize(x.grad().data());
+  }
+}
+BENCHMARK(BM_AttentionBackward)->Arg(16)->Arg(48);
+
+void BM_LayerNormForward(benchmark::State& state) {
+  Rng rng(6);
+  nn::LayerNorm ln(64);
+  Tensor x = Tensor::Randn({state.range(0), 64}, &rng);
+  for (auto _ : state) {
+    NoGradGuard guard;
+    Tensor y = ln.Forward(x);
+    benchmark::DoNotOptimize(y.data());
+  }
+}
+BENCHMARK(BM_LayerNormForward)->Arg(64)->Arg(512);
+
+}  // namespace
+}  // namespace crossem
+
+BENCHMARK_MAIN();

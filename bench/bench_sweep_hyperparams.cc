@@ -1,0 +1,80 @@
+// Hyper-parameter sensitivity sweep (the paper tunes alpha — the soft
+// prompt aggregation weight of Eq. 6 — and beta — the loss mix of
+// Eq. 10 — "by doing a grid search... continuously selected from [0, 1]
+// with a step size of 0.1"; Sec. V-A). This bench regenerates that
+// selection surface at a coarser grid, plus the d-hop radius sensitivity
+// of the hard prompt.
+#include <cstdio>
+
+#include "bench/harness.h"
+#include "util/table_printer.h"
+
+namespace crossem {
+namespace bench {
+namespace {
+
+void SweepAlpha(Experiment* exp) {
+  std::printf("-- alpha sweep (Eq. 6 aggregation weight, soft prompt)\n");
+  TablePrinter table({"alpha", "H@1", "H@5", "MRR"});
+  for (float alpha : {0.0f, 0.25f, 0.5f, 0.75f, 1.0f}) {
+    core::CrossEmOptions opt = SoftPromptOptions2(/*epochs=*/4);
+    opt.soft.alpha = alpha;
+    MethodResult r = exp->RunCrossEm("alpha", opt);
+    table.AddRow({TablePrinter::Fmt(alpha, 2),
+                  TablePrinter::Fmt(r.metrics.hits_at_1),
+                  TablePrinter::Fmt(r.metrics.hits_at_5),
+                  TablePrinter::Fmt(r.metrics.mrr, 3)});
+  }
+  table.Print();
+}
+
+void SweepBeta(Experiment* exp) {
+  std::printf("-- beta sweep (Eq. 10 loss mix, CrossEM+)\n");
+  TablePrinter table({"beta", "H@1", "H@5", "MRR"});
+  for (float beta : {0.25f, 0.5f, 0.75f, 0.9f, 1.0f}) {
+    core::CrossEmOptions opt = PlusOptions(/*epochs=*/4);
+    opt.beta = beta;
+    MethodResult r = exp->RunCrossEm("beta", opt);
+    table.AddRow({TablePrinter::Fmt(beta, 2),
+                  TablePrinter::Fmt(r.metrics.hits_at_1),
+                  TablePrinter::Fmt(r.metrics.hits_at_5),
+                  TablePrinter::Fmt(r.metrics.mrr, 3)});
+  }
+  table.Print();
+}
+
+void SweepHops(Experiment* exp) {
+  std::printf("-- d-hop radius sweep (hard prompt subgraph size)\n");
+  TablePrinter table({"hops", "H@1", "H@5", "MRR"});
+  for (int64_t hops : {0, 1, 2}) {
+    core::CrossEmOptions opt = HardPromptOptions2();
+    opt.hard.hops = hops;
+    MethodResult r = exp->RunCrossEm("hops", opt);
+    table.AddRow({std::to_string(hops),
+                  TablePrinter::Fmt(r.metrics.hits_at_1),
+                  TablePrinter::Fmt(r.metrics.hits_at_5),
+                  TablePrinter::Fmt(r.metrics.mrr, 3)});
+  }
+  table.Print();
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace crossem
+
+int main() {
+  using namespace crossem;
+  bench::HarnessConfig cfg;
+  cfg.dataset = data::CubLikeConfig(0.8);
+  cfg.name_mention_prob = 0.35f;
+  cfg.pretrain_epochs = 40;
+  bench::Experiment exp(cfg);
+  std::printf("== Hyper-parameter sensitivity on %s\n\n",
+              exp.dataset().name.c_str());
+  bench::SweepAlpha(&exp);
+  std::printf("\n");
+  bench::SweepBeta(&exp);
+  std::printf("\n");
+  bench::SweepHops(&exp);
+  return 0;
+}

@@ -1,0 +1,64 @@
+// Reproduces Table III: training efficiency — average per-epoch time (T,
+// seconds) and peak tensor memory (Mem, MB standing in for GPU memory) of
+// every trainable method on the three datasets.
+//
+// Expected shape (paper Sec. V-B, Exp-2): CrossEM+ takes the least
+// training time and memory of the trainable methods; CrossEM w/ f_pro^h
+// does not train at all (reported as "-", as in the paper).
+#include <cstdio>
+
+#include "baselines/dual_encoder.h"
+#include "baselines/fusion.h"
+#include "baselines/gppt.h"
+#include "baselines/imram.h"
+#include "baselines/transae.h"
+#include "bench/harness.h"
+#include "util/table_printer.h"
+
+namespace crossem {
+namespace bench {
+namespace {
+
+void AddRow(TablePrinter* table, const MethodResult& r) {
+  table->AddRow({r.method,
+                 r.trained ? TablePrinter::Fmt(r.seconds_per_epoch, 3) : "-",
+                 r.trained ? TablePrinter::Fmt(r.peak_mb, 2) : "-"});
+}
+
+void RunDataset(const data::DatasetConfig& dataset_config) {
+  HarnessConfig cfg;
+  cfg.dataset = dataset_config;
+  Experiment exp(cfg);
+  std::printf("== Table III — %s\n", exp.dataset().name.c_str());
+  TablePrinter table({"Method", "T (s/epoch)", "Mem (MB)"});
+
+  baselines::AlignBaseline align;
+  AddRow(&table, exp.RunBaseline(&align, 24));
+  baselines::VisualBertBaseline visual_bert;
+  AddRow(&table, exp.RunBaseline(&visual_bert, 8));
+  baselines::VilBertBaseline vilbert;
+  AddRow(&table, exp.RunBaseline(&vilbert, 8));
+  baselines::TransAeBaseline transae;
+  AddRow(&table, exp.RunBaseline(&transae, 10));
+  baselines::ImramBaseline imram;
+  AddRow(&table, exp.RunBaseline(&imram, 8));
+  baselines::GpptBaseline gppt;
+  AddRow(&table, exp.RunBaseline(&gppt, 10));
+  AddRow(&table, exp.RunCrossEm("CrossEM w/ hard", HardPromptOptions2()));
+  AddRow(&table, exp.RunCrossEm("CrossEM w/ soft", SoftPromptOptions2()));
+  AddRow(&table, exp.RunCrossEm("CrossEM+", PlusOptions()));
+  table.Print();
+  std::printf("\n");
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace crossem
+
+int main() {
+  using namespace crossem;
+  bench::RunDataset(data::CubLikeConfig(0.8));
+  bench::RunDataset(data::SunLikeConfig(0.7));
+  bench::RunDataset(data::Fb2kLikeConfig(0.4));
+  return 0;
+}

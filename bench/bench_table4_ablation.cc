@@ -1,0 +1,75 @@
+// Reproduces Table IV: ablation of CrossEM / CrossEM+ components on the
+// three datasets — the two prompt mechanisms, and CrossEM+ without
+// mini-batch generation (MBG), without property-based negative sampling
+// (NS), and without the orthogonal prompt constraint (OPC).
+//
+// Expected shape (paper Sec. V-C): the two prompts are close
+// alternatives; removing MBG costs time and memory; removing NS or OPC
+// mildly costs accuracy/time; the full CrossEM+ is the best balance.
+#include <cstdio>
+
+#include "bench/harness.h"
+#include "util/table_printer.h"
+
+namespace crossem {
+namespace bench {
+namespace {
+
+void AddRow(TablePrinter* table, const MethodResult& r) {
+  table->AddRow({r.method, TablePrinter::Fmt(r.metrics.hits_at_1),
+                 TablePrinter::Fmt(r.metrics.hits_at_5),
+                 TablePrinter::Fmt(r.metrics.mrr, 3),
+                 r.trained ? TablePrinter::Fmt(r.seconds_per_epoch, 3) : "-",
+                 r.trained ? TablePrinter::Fmt(r.peak_mb, 2) : "-"});
+}
+
+void RunDataset(const data::DatasetConfig& dataset_config,
+                float name_mention_prob) {
+  HarnessConfig cfg;
+  cfg.dataset = dataset_config;
+  cfg.name_mention_prob = name_mention_prob;
+  Experiment exp(cfg);
+  std::printf("== Table IV — %s\n", exp.dataset().name.c_str());
+  TablePrinter table({"Variant", "H@1", "H@5", "MRR", "T (s/ep)", "Mem (MB)"});
+
+  AddRow(&table, exp.RunCrossEm("CrossEM w/ hard", HardPromptOptions2()));
+  AddRow(&table, exp.RunCrossEm("CrossEM w/ soft", SoftPromptOptions2()));
+  {
+    core::CrossEmOptions o = PlusOptions();
+    o.use_mini_batch_generation = false;
+    AddRow(&table, exp.RunCrossEm("CrossEM+ w/o MBG", o));
+  }
+  {
+    core::CrossEmOptions o = PlusOptions();
+    o.use_negative_sampling = false;
+    AddRow(&table, exp.RunCrossEm("CrossEM+ w/o NS", o));
+  }
+  {
+    core::CrossEmOptions o = PlusOptions();
+    o.use_orthogonal_constraint = false;
+    AddRow(&table, exp.RunCrossEm("CrossEM+ w/o OPC", o));
+  }
+  AddRow(&table, exp.RunCrossEm("CrossEM+ (full)", PlusOptions()));
+  table.Print();
+  std::printf("\n");
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace crossem
+
+int main(int argc, char** argv) {
+  using namespace crossem;
+  // Optional argument restricts to one dataset: cub | sun | fb2k.
+  const std::string only = argc > 1 ? argv[1] : "";
+  if (only.empty() || only == "cub") {
+    bench::RunDataset(data::CubLikeConfig(1.0), 0.35f);
+  }
+  if (only.empty() || only == "sun") {
+    bench::RunDataset(data::SunLikeConfig(0.8), 0.45f);
+  }
+  if (only.empty() || only == "fb2k") {
+    bench::RunDataset(data::Fb2kLikeConfig(0.5), 0.45f);
+  }
+  return 0;
+}

@@ -1,0 +1,94 @@
+// Reproduces Table V (case study): multi-modal knowledge graph
+// integration on the FB15K-237-IMG-like dataset — predicting which images
+// attach to which (test) entities, given the graph plus the train-class
+// image links. Averaged over 3 seeds.
+//
+// Expected shape (paper Sec. V-D): the CrossEM variants outperform the
+// link-prediction-style baselines (ViLBERT, TransAE, DistMult, RotatE,
+// RSME, MKGformer) by a wide margin, demonstrating cross-modal EM as a
+// better integration mechanism.
+#include <cstdio>
+
+#include "baselines/fusion.h"
+#include "baselines/kge.h"
+#include "baselines/mkgformer.h"
+#include "baselines/transae.h"
+#include "bench/harness.h"
+#include "util/table_printer.h"
+
+namespace crossem {
+namespace bench {
+namespace {
+
+constexpr uint64_t kSeeds[] = {17, 23};
+
+struct Accumulated {
+  std::string method;
+  eval::RankingMetrics sum;
+  int64_t runs = 0;
+
+  void Add(const MethodResult& r) {
+    method = r.method;
+    sum.hits_at_1 += r.metrics.hits_at_1;
+    sum.hits_at_3 += r.metrics.hits_at_3;
+    sum.hits_at_5 += r.metrics.hits_at_5;
+    sum.mrr += r.metrics.mrr;
+    ++runs;
+  }
+};
+
+}  // namespace
+}  // namespace bench
+}  // namespace crossem
+
+int main() {
+  using namespace crossem;
+  using namespace crossem::bench;
+  std::vector<Accumulated> rows(9);
+  std::string dataset_name;
+  for (uint64_t seed : kSeeds) {
+    HarnessConfig cfg;
+    cfg.dataset = data::Fb2kLikeConfig(0.5);
+    cfg.seed = seed;
+    Experiment exp(cfg);
+    dataset_name = exp.dataset().name;
+    size_t r = 0;
+    {
+      baselines::VilBertBaseline vilbert;
+      rows[r++].Add(exp.RunBaseline(&vilbert, 8));
+    }
+    {
+      baselines::TransAeBaseline transae;
+      rows[r++].Add(exp.RunBaseline(&transae, 10));
+    }
+    for (baselines::KgeScoreFn fn :
+         {baselines::KgeScoreFn::kDistMult, baselines::KgeScoreFn::kRotatE,
+          baselines::KgeScoreFn::kRsme}) {
+      baselines::KgeConfig kc;
+      kc.score_fn = fn;
+      baselines::KgeBaseline kge(kc);
+      rows[r++].Add(
+          exp.RunBaseline(&kge, kc.epochs, /*use_all_images=*/true));
+    }
+    {
+      baselines::MkgFormerBaseline mkg;
+      rows[r++].Add(exp.RunBaseline(&mkg, 8));
+    }
+    rows[r++].Add(exp.RunCrossEm("CrossEM w/ hard", HardPromptOptions2()));
+    rows[r++].Add(exp.RunCrossEm("CrossEM w/ soft", SoftPromptOptions2()));
+    rows[r++].Add(exp.RunCrossEm("CrossEM+", PlusOptions()));
+  }
+
+  std::printf("== Table V — multi-modal KG integration on %s (%zu seeds)\n",
+              dataset_name.c_str(), sizeof(kSeeds) / sizeof(kSeeds[0]));
+  TablePrinter table({"Method", "H@1", "H@3", "H@5", "MRR"});
+  for (const Accumulated& a : rows) {
+    const double n = static_cast<double>(a.runs);
+    table.AddRow({a.method, TablePrinter::Fmt(a.sum.hits_at_1 / n),
+                  TablePrinter::Fmt(a.sum.hits_at_3 / n),
+                  TablePrinter::Fmt(a.sum.hits_at_5 / n),
+                  TablePrinter::Fmt(a.sum.mrr / n, 3)});
+  }
+  table.Print();
+  return 0;
+}

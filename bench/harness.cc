@@ -1,0 +1,157 @@
+#include "bench/harness.h"
+
+#include "tensor/ops.h"
+#include "util/logging.h"
+#include "util/memory_tracker.h"
+#include "util/timer.h"
+
+namespace crossem {
+namespace bench {
+
+Experiment::Experiment(HarnessConfig config)
+    : config_(config), dataset_(data::BuildDataset(config.dataset)) {
+  tokenizer_ = std::make_unique<text::Tokenizer>(&dataset_.vocab,
+                                                 config.text_context);
+  clip::ClipConfig cc;
+  cc.vocab_size = dataset_.vocab.size();
+  cc.text_context = config.text_context;
+  cc.model_dim = config.model_dim;
+  cc.text_layers = 2;
+  cc.text_heads = 4;
+  cc.image_layers = 2;
+  cc.image_heads = 4;
+  cc.patch_dim = dataset_.world->config().patch_dim;
+  cc.max_patches = 16;
+  cc.embed_dim = config.embed_dim;
+  Rng rng(config.seed);
+  model_ = std::make_unique<clip::ClipModel>(cc, &rng);
+
+  clip::PretrainConfig pc;
+  pc.epochs = config.pretrain_epochs;
+  pc.batches_per_epoch = config.pretrain_batches;
+  pc.batch_size = 12;
+  pc.name_mention_prob = config.name_mention_prob;
+  pc.seed = config.seed + 1;
+  std::vector<int64_t> all(static_cast<size_t>(dataset_.world->num_classes()));
+  for (size_t i = 0; i < all.size(); ++i) all[i] = static_cast<int64_t>(i);
+  auto stats =
+      clip::PretrainClip(model_.get(), *dataset_.world, all, *tokenizer_, pc);
+  CROSSEM_CHECK(stats.ok()) << stats.status().ToString();
+  snapshot_ = model_->SnapshotParameters();
+
+  for (int64_t c : dataset_.test_classes) {
+    vertices_.push_back(dataset_.entities[static_cast<size_t>(c)]);
+    vertex_classes_.push_back(c);
+  }
+  auto test_idx = dataset_.TestImageIndices();
+  images_ = dataset_.StackImages(test_idx);
+  for (int64_t i : test_idx) {
+    image_classes_.push_back(dataset_.images[static_cast<size_t>(i)].true_class);
+  }
+  std::vector<int64_t> all_idx(dataset_.images.size());
+  for (size_t i = 0; i < all_idx.size(); ++i) {
+    all_idx[i] = static_cast<int64_t>(i);
+    all_image_classes_.push_back(dataset_.images[i].true_class);
+  }
+  all_images_ = dataset_.StackImages(all_idx);
+}
+
+void Experiment::RestoreModel() { model_->RestoreParameters(snapshot_); }
+
+MethodResult Experiment::RunCrossEm(const std::string& name,
+                                    core::CrossEmOptions options) {
+  RestoreModel();
+  options.seed = config_.seed + 5;
+  core::CrossEm matcher(model_.get(), &dataset_.graph, tokenizer_.get(),
+                        options);
+  MethodResult result;
+  result.method = name;
+  auto stats = matcher.Fit(vertices_, images_);
+  CROSSEM_CHECK(stats.ok()) << stats.status().ToString();
+  if (!stats.value().epochs.empty()) {
+    result.trained = true;
+    result.seconds_per_epoch = stats.value().AvgEpochSeconds();
+    result.peak_mb =
+        static_cast<double>(stats.value().peak_bytes) / (1024.0 * 1024.0);
+  }
+  Tensor scores = matcher.ScoreMatrix(vertices_, images_);
+  result.metrics = eval::ComputeRankingMetricsByClass(scores, vertex_classes_,
+                                                      image_classes_);
+  return result;
+}
+
+baselines::BaselineContext Experiment::MakeContext(bool use_all_images) const {
+  baselines::BaselineContext ctx;
+  ctx.dataset = &dataset_;
+  ctx.tokenizer = tokenizer_.get();
+  ctx.vertices = vertices_;
+  ctx.images = use_all_images ? all_images_ : images_;
+  ctx.image_classes = use_all_images ? all_image_classes_ : image_classes_;
+  ctx.seed = config_.seed + 9;
+  return ctx;
+}
+
+MethodResult Experiment::RunBaseline(baselines::CrossModalBaseline* baseline,
+                                     int64_t epochs, bool use_all_images) {
+  baselines::BaselineContext ctx = MakeContext(use_all_images);
+  MethodResult result;
+  result.method = baseline->name();
+
+  MemoryTracker::Instance().ResetPeak();
+  PeakMemoryScope mem_scope;
+  Timer timer;
+  Status fit = baseline->Fit(ctx);
+  CROSSEM_CHECK(fit.ok()) << baseline->name() << ": " << fit.ToString();
+  const double fit_seconds = timer.ElapsedSeconds();
+  if (epochs > 0 && fit_seconds > 1e-6) {
+    result.trained = true;
+    result.seconds_per_epoch = fit_seconds / static_cast<double>(epochs);
+    result.peak_mb =
+        static_cast<double>(mem_scope.PeakBytes()) / (1024.0 * 1024.0);
+  }
+
+  auto scores = baseline->Score(ctx);
+  CROSSEM_CHECK(scores.ok()) << baseline->name() << ": "
+                             << scores.status().ToString();
+  // Metrics over whichever candidate pool was scored.
+  const auto& img_classes =
+      use_all_images ? all_image_classes_ : image_classes_;
+  result.metrics = eval::ComputeRankingMetricsByClass(
+      scores.value(), vertex_classes_, img_classes);
+  return result;
+}
+
+core::CrossEmOptions BaselinePromptOptions() {
+  core::CrossEmOptions opt;
+  opt.prompt_mode = core::PromptMode::kBaseline;
+  opt.epochs = 0;
+  return opt;
+}
+
+core::CrossEmOptions HardPromptOptions2() {
+  core::CrossEmOptions opt;
+  opt.prompt_mode = core::PromptMode::kHard;
+  opt.epochs = 0;
+  return opt;
+}
+
+core::CrossEmOptions SoftPromptOptions2(int64_t epochs) {
+  core::CrossEmOptions opt;
+  opt.prompt_mode = core::PromptMode::kSoft;
+  opt.epochs = epochs;
+  // Conservative tuning: the unsupervised contrastive objective treats
+  // same-entity images as in-batch negatives, so aggressive tuning
+  // erodes the strong structure-aware starting point.
+  opt.learning_rate = 1e-3f;
+  return opt;
+}
+
+core::CrossEmOptions PlusOptions(int64_t epochs) {
+  core::CrossEmOptions opt = core::CrossEmPlusOptions();
+  opt.epochs = epochs;
+  opt.learning_rate = 1e-3f;
+  return opt;
+}
+
+}  // namespace bench
+}  // namespace crossem

@@ -1,0 +1,110 @@
+// Shared experiment harness for the table/figure benchmarks: builds a
+// dataset, pre-trains the shared mini-CLIP once, and runs methods with
+// uniform accuracy/efficiency instrumentation.
+#ifndef CROSSEM_BENCH_HARNESS_H_
+#define CROSSEM_BENCH_HARNESS_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baselines/common.h"
+#include "clip/clip.h"
+#include "clip/pretrain.h"
+#include "core/crossem.h"
+#include "data/dataset.h"
+#include "eval/metrics.h"
+#include "text/tokenizer.h"
+
+namespace crossem {
+namespace bench {
+
+struct HarnessConfig {
+  data::DatasetConfig dataset;
+  int64_t pretrain_epochs = 60;
+  int64_t pretrain_batches = 20;
+  /// Fraction of pre-training captions that name their entity (how well
+  /// the simulated web corpus covers this domain's entity names).
+  float name_mention_prob = 0.45f;
+  int64_t text_context = 48;
+  int64_t model_dim = 32;
+  int64_t embed_dim = 24;
+  uint64_t seed = 17;
+};
+
+/// Accuracy + efficiency readings for one method on one dataset.
+struct MethodResult {
+  std::string method;
+  eval::RankingMetrics metrics;
+  /// Per-epoch training time in seconds (0 for untrained methods).
+  double seconds_per_epoch = 0.0;
+  /// Peak tensor bytes during training, in MB (0 for untrained methods).
+  double peak_mb = 0.0;
+  bool trained = false;
+};
+
+/// One dataset + one pre-trained CLIP, reusable across method arms.
+class Experiment {
+ public:
+  explicit Experiment(HarnessConfig config);
+
+  const data::CrossModalDataset& dataset() const { return dataset_; }
+  clip::ClipModel* model() { return model_.get(); }
+  const text::Tokenizer& tokenizer() const { return *tokenizer_; }
+
+  /// Matching task: test-class entity vertices and their images.
+  const std::vector<graph::VertexId>& vertices() const { return vertices_; }
+  const std::vector<int64_t>& vertex_classes() const {
+    return vertex_classes_;
+  }
+  const Tensor& images() const { return images_; }
+  const std::vector<int64_t>& image_classes() const { return image_classes_; }
+
+  /// Full image repository (train + test classes) for the KG-integration
+  /// case study, where train-class links supervise the baselines.
+  const Tensor& all_images() const { return all_images_; }
+  const std::vector<int64_t>& all_image_classes() const {
+    return all_image_classes_;
+  }
+
+  /// Restores the pre-trained CLIP weights (call between method arms).
+  void RestoreModel();
+
+  /// Runs a CrossEM configuration: restore, fit, score, measure.
+  MethodResult RunCrossEm(const std::string& name,
+                          core::CrossEmOptions options);
+
+  /// Runs a competitor: fit (timed as `epochs` epochs), score, measure.
+  /// With `use_all_images`, scoring ranks the full repository.
+  MethodResult RunBaseline(baselines::CrossModalBaseline* baseline,
+                           int64_t epochs, bool use_all_images = false);
+
+ private:
+  baselines::BaselineContext MakeContext(bool use_all_images) const;
+
+  HarnessConfig config_;
+  data::CrossModalDataset dataset_;
+  std::unique_ptr<text::Tokenizer> tokenizer_;
+  std::unique_ptr<clip::ClipModel> model_;
+  std::vector<Tensor> snapshot_;
+  std::vector<graph::VertexId> vertices_;
+  std::vector<int64_t> vertex_classes_;
+  Tensor images_;
+  std::vector<int64_t> image_classes_;
+  Tensor all_images_;
+  std::vector<int64_t> all_image_classes_;
+};
+
+/// Ready-made CrossEM option presets used across benches.
+core::CrossEmOptions BaselinePromptOptions();
+core::CrossEmOptions HardPromptOptions2();
+/// Soft tuning default is conservative (2 epochs): without the CrossEM+
+/// optimizations, longer unsupervised tuning drifts (same-entity images
+/// act as in-batch negatives); CrossEM+ tolerates 4 epochs and gains.
+core::CrossEmOptions SoftPromptOptions2(int64_t epochs = 2);
+core::CrossEmOptions PlusOptions(int64_t epochs = 4);
+
+}  // namespace bench
+}  // namespace crossem
+
+#endif  // CROSSEM_BENCH_HARNESS_H_

@@ -1,0 +1,175 @@
+// Data-lake integration: map a relational CSV table and a JSON document
+// into the unified graph (paper Sec. II-A), resolve entities across the
+// two sources, and match the mapped entities against a synthetic image
+// repository with CrossEM.
+//
+//   $ ./build/examples/data_lake_integration
+#include <cstdio>
+#include <map>
+
+#include "clip/pretrain.h"
+#include "core/crossem.h"
+#include "graph/data_mapping.h"
+#include "nn/optimizer.h"
+#include "tensor/ops.h"
+#include "text/tokenizer.h"
+
+namespace {
+
+using namespace crossem;
+
+// Patch features for "images" of the mapped entities: each attribute
+// value gets a visual code; an image of an entity shows noisy codes of
+// its attribute values (exactly the world model of src/data/world.h,
+// rebuilt here for user-supplied data).
+Tensor MakeImage(const graph::Graph& g, graph::VertexId entity,
+                 std::map<std::string, std::vector<float>>* codebook,
+                 int64_t patch_dim, Rng* rng) {
+  std::vector<std::vector<float>> patches;
+  for (graph::EdgeId e : g.OutEdges(entity)) {
+    const std::string& value = g.VertexLabel(g.GetEdge(e).dst);
+    auto it = codebook->find(value);
+    if (it == codebook->end()) {
+      std::vector<float> code(static_cast<size_t>(patch_dim));
+      for (auto& x : code) x = static_cast<float>(rng->Normal());
+      it = codebook->emplace(value, std::move(code)).first;
+    }
+    std::vector<float> patch = it->second;
+    for (auto& x : patch) x += static_cast<float>(rng->Normal(0.0, 0.2));
+    patches.push_back(std::move(patch));
+  }
+  while (patches.size() < 4) {  // background noise patches
+    std::vector<float> noise(static_cast<size_t>(patch_dim));
+    for (auto& x : noise) x = static_cast<float>(rng->Normal(0.0, 0.2));
+    patches.push_back(std::move(noise));
+  }
+  Tensor t = Tensor::Zeros({static_cast<int64_t>(patches.size()), patch_dim});
+  for (size_t p = 0; p < patches.size(); ++p) {
+    std::copy(patches[p].begin(), patches[p].end(),
+              t.data() + static_cast<int64_t>(p) * patch_dim);
+  }
+  return t;
+}
+
+}  // namespace
+
+int main() {
+  using namespace crossem;
+
+  // 1. Two heterogeneous sources describing the same animals.
+  const char* kCsv =
+      "name,crown,wings,tail\n"
+      "laysan albatross,white crown,long wings,black tail\n"
+      "downy woodpecker,red crown,short wings,spotted tail\n"
+      "snow goose,white crown,broad wings,grey tail\n";
+  auto table = graph::ParseCsv("birds", kCsv);
+  if (!table.ok()) {
+    std::printf("CSV error: %s\n", table.status().ToString().c_str());
+    return 1;
+  }
+  auto json = graph::ParseJson(R"([
+    {"name": "laysan albatross", "habitat": {"name": "pacific", "climate": "mild"}},
+    {"name": "downy woodpecker", "habitat": {"name": "forest", "climate": "temperate"}}
+  ])");
+  if (!json.ok()) {
+    std::printf("JSON error: %s\n", json.status().ToString().c_str());
+    return 1;
+  }
+
+  // 2. Data mapping into one unified graph.
+  graph::GraphBuilder builder;
+  if (auto st = builder.AddTable(table.value()); !st.ok()) {
+    std::printf("table mapping failed: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  if (auto st = builder.AddJson(json.value()); !st.ok()) {
+    std::printf("json mapping failed: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  const graph::Graph& g = builder.graph();
+  std::printf("unified graph: %lld vertices, %lld edges, %zu entities\n",
+              static_cast<long long>(g.NumVertices()),
+              static_cast<long long>(g.NumEdges()),
+              builder.entity_vertices().size());
+
+  // Cross-source resolution: the albatross row and the albatross JSON
+  // object share one vertex, so its prompt sees BOTH sources.
+  core::HardPromptOptions hp;
+  hp.hops = 2;
+  core::HardPromptGenerator prompts(&g, hp);
+  graph::VertexId albatross = g.FindVertex("laysan albatross");
+  std::printf("\nstructure-aware prompt for '%s':\n  %s\n",
+              g.VertexLabel(albatross).c_str(),
+              prompts.Generate(albatross).c_str());
+
+  // 3. Images for the three bird entities (attribute-driven patches).
+  const int64_t patch_dim = 12;
+  Rng rng(11);
+  std::map<std::string, std::vector<float>> codebook;
+  std::vector<graph::VertexId> birds;
+  for (const char* name :
+       {"laysan albatross", "downy woodpecker", "snow goose"}) {
+    birds.push_back(g.FindVertex(name));
+  }
+  std::vector<Tensor> image_list;
+  std::vector<int64_t> image_entity;  // ground truth for the printout
+  for (size_t b = 0; b < birds.size(); ++b) {
+    for (int i = 0; i < 4; ++i) {
+      image_list.push_back(MakeImage(g, birds[b], &codebook, patch_dim, &rng));
+      image_entity.push_back(static_cast<int64_t>(b));
+    }
+  }
+  Tensor images = ops::Stack(image_list);
+
+  // 4. A small CLIP trained on captions derived from the mapped graph
+  //    (stand-in for a pre-trained checkpoint covering this domain).
+  text::Vocabulary vocab;
+  for (const std::string& w : g.UniqueWords()) vocab.AddWord(w);
+  for (const char* w : {"a", "photo", "of", "with", "and"}) vocab.AddWord(w);
+  clip::ClipConfig cc;
+  cc.vocab_size = vocab.size();
+  cc.text_context = 48;
+  cc.patch_dim = patch_dim;
+  clip::ClipModel model(cc, &rng);
+  text::Tokenizer tokenizer(&vocab, cc.text_context);
+  {
+    nn::AdamW opt(model.Parameters(), 3e-3f);
+    for (int step = 0; step < 240; ++step) {
+      std::vector<std::string> captions;
+      std::vector<Tensor> patch_rows;
+      for (size_t b = 0; b < birds.size(); ++b) {
+        captions.push_back(prompts.Generate(birds[b]));
+        patch_rows.push_back(
+            MakeImage(g, birds[b], &codebook, patch_dim, &rng));
+      }
+      Tensor text_emb = model.text().Forward(tokenizer.EncodeBatch(captions));
+      Tensor image_emb = model.image().Forward(ops::Stack(patch_rows));
+      Tensor loss = model.ContrastiveLoss(text_emb, image_emb);
+      opt.ZeroGrad();
+      loss.Backward();
+      opt.Step();
+    }
+  }
+
+  // 5. Match with CrossEM (hard prompts; the model is now domain-tuned).
+  core::CrossEmOptions options;
+  options.prompt_mode = core::PromptMode::kHard;
+  options.hard = hp;
+  core::CrossEm matcher(&model, &g, &tokenizer, options);
+  auto pairs = matcher.FindMatches(birds, images);
+  std::printf("\nmatching set S:\n");
+  int correct = 0;
+  for (size_t i = 0; i < pairs.size(); ++i) {
+    const bool ok =
+        image_entity[static_cast<size_t>(pairs[i].image)] ==
+        static_cast<int64_t>(i);
+    correct += ok;
+    std::printf("  %-20s -> image #%lld  p=%.3f %s\n",
+                g.VertexLabel(pairs[i].vertex).c_str(),
+                static_cast<long long>(pairs[i].image), pairs[i].score,
+                ok ? "[correct]" : "[wrong]");
+  }
+  std::printf("%d / %zu entities matched to one of their own images\n",
+              correct, pairs.size());
+  return 0;
+}

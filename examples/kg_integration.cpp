@@ -1,0 +1,96 @@
+// Multi-modal knowledge graph integration (the paper's case study,
+// Sec. V-D) on a small FB15K-237-IMG-like dataset: attach images to
+// knowledge-graph entities, comparing a classical KG-embedding approach
+// (DistMult) against cross-modal entity matching (CrossEM+).
+//
+//   $ ./build/examples/kg_integration
+#include <cstdio>
+
+#include "baselines/kge.h"
+#include "clip/pretrain.h"
+#include "core/crossem.h"
+#include "data/dataset.h"
+#include "eval/metrics.h"
+
+int main() {
+  using namespace crossem;
+
+  data::CrossModalDataset dataset =
+      data::BuildDataset(data::Fb2kLikeConfig(0.4));
+  std::printf("%s: %lld vertices, %lld edges (relation-heavy KG style)\n",
+              dataset.name.c_str(),
+              static_cast<long long>(dataset.graph.NumVertices()),
+              static_cast<long long>(dataset.graph.NumEdges()));
+
+  // Shared pre-trained CLIP for CrossEM.
+  clip::ClipConfig cc;
+  cc.vocab_size = dataset.vocab.size();
+  cc.text_context = 48;
+  cc.patch_dim = dataset.world->config().patch_dim;
+  Rng rng(23);
+  clip::ClipModel model(cc, &rng);
+  text::Tokenizer tokenizer(&dataset.vocab, cc.text_context);
+  clip::PretrainConfig pc;
+  pc.epochs = 40;
+  std::vector<int64_t> all_classes;
+  for (int64_t c = 0; c < dataset.world->num_classes(); ++c) {
+    all_classes.push_back(c);
+  }
+  auto pretrained =
+      clip::PretrainClip(&model, *dataset.world, all_classes, tokenizer, pc);
+  if (!pretrained.ok()) {
+    std::printf("pre-training failed\n");
+    return 1;
+  }
+
+  // Integration task: test entities vs the full image repository; the
+  // KGE baseline additionally sees the train-class has_image links.
+  baselines::BaselineContext ctx;
+  ctx.dataset = &dataset;
+  ctx.tokenizer = &tokenizer;
+  std::vector<int64_t> vertex_classes;
+  for (int64_t c : dataset.test_classes) {
+    ctx.vertices.push_back(dataset.entities[static_cast<size_t>(c)]);
+    vertex_classes.push_back(c);
+  }
+  std::vector<int64_t> all_idx(dataset.images.size());
+  for (size_t i = 0; i < all_idx.size(); ++i) {
+    all_idx[i] = static_cast<int64_t>(i);
+    ctx.image_classes.push_back(dataset.images[i].true_class);
+  }
+  ctx.images = dataset.StackImages(all_idx);
+  ctx.seed = 5;
+
+  // DistMult link prediction.
+  baselines::KgeBaseline distmult;
+  if (auto st = distmult.Fit(ctx); !st.ok()) {
+    std::printf("DistMult fit failed: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  auto kge_scores = distmult.Score(ctx);
+  auto kge_metrics = eval::ComputeRankingMetricsByClass(
+      kge_scores.value(), vertex_classes, ctx.image_classes);
+
+  // CrossEM+ matching (unsupervised, same candidate pool).
+  core::CrossEmOptions options = core::CrossEmPlusOptions();
+  options.epochs = 4;
+  options.learning_rate = 1e-3f;
+  core::CrossEm matcher(&model, &dataset.graph, &tokenizer, options);
+  if (auto fit = matcher.Fit(ctx.vertices, ctx.images); !fit.ok()) {
+    std::printf("CrossEM+ fit failed: %s\n", fit.status().ToString().c_str());
+    return 1;
+  }
+  Tensor em_scores = matcher.ScoreMatrix(ctx.vertices, ctx.images);
+  auto em_metrics = eval::ComputeRankingMetricsByClass(
+      em_scores, vertex_classes, ctx.image_classes);
+
+  std::printf("\nintegration accuracy (ranking all %lld images per entity):\n",
+              static_cast<long long>(ctx.images.size(0)));
+  std::printf("  DistMult  H@1 %5.1f  H@5 %5.1f  MRR %.3f\n",
+              kge_metrics.hits_at_1, kge_metrics.hits_at_5, kge_metrics.mrr);
+  std::printf("  CrossEM+  H@1 %5.1f  H@5 %5.1f  MRR %.3f\n",
+              em_metrics.hits_at_1, em_metrics.hits_at_5, em_metrics.mrr);
+  std::printf("\ncross-modal EM %s the link-prediction baseline.\n",
+              em_metrics.mrr > kge_metrics.mrr ? "outperforms" : "trails");
+  return 0;
+}

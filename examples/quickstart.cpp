@@ -1,0 +1,121 @@
+// Quickstart: build a tiny data lake, pre-train the mini-CLIP, and match
+// graph entities against images with CrossEM+ — the whole public API in
+// one file.
+//
+//   $ ./build/examples/quickstart
+#include <cstdio>
+
+#include "clip/pretrain.h"
+#include "core/crossem.h"
+#include "data/dataset.h"
+#include "eval/metrics.h"
+#include "eval/per_class.h"
+
+int main() {
+  using namespace crossem;
+
+  // 1. A synthetic cross-modal dataset: a heterogeneous graph of bird
+  //    entities with attribute vertices, plus an image repository drawn
+  //    from the same generative world (see src/data/world.h).
+  data::CrossModalDataset dataset = data::BuildDataset(data::CubLikeConfig(0.8));
+  std::printf("dataset %s: %lld vertices, %lld edges, %zu images\n",
+              dataset.name.c_str(),
+              static_cast<long long>(dataset.graph.NumVertices()),
+              static_cast<long long>(dataset.graph.NumEdges()),
+              dataset.images.size());
+
+  // 2. Pre-train the multi-modal model (the stand-in for downloading a
+  //    CLIP checkpoint).
+  clip::ClipConfig clip_config;
+  clip_config.vocab_size = dataset.vocab.size();
+  clip_config.text_context = 48;
+  clip_config.patch_dim = dataset.world->config().patch_dim;
+  Rng rng(7);
+  clip::ClipModel model(clip_config, &rng);
+  text::Tokenizer tokenizer(&dataset.vocab, clip_config.text_context);
+
+  clip::PretrainConfig pretrain;
+  pretrain.epochs = 40;
+  std::vector<int64_t> all_classes;
+  for (int64_t c = 0; c < dataset.world->num_classes(); ++c) {
+    all_classes.push_back(c);
+  }
+  auto pretrain_stats =
+      clip::PretrainClip(&model, *dataset.world, all_classes, tokenizer,
+                         pretrain);
+  if (!pretrain_stats.ok()) {
+    std::printf("pre-training failed: %s\n",
+                pretrain_stats.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("pre-trained CLIP: contrastive loss %.3f -> %.3f\n",
+              pretrain_stats.value().epoch_loss.front(),
+              pretrain_stats.value().final_loss);
+
+  // 3. The matching task: test-class entities vs their images.
+  std::vector<graph::VertexId> vertices;
+  std::vector<int64_t> vertex_classes;
+  for (int64_t c : dataset.test_classes) {
+    vertices.push_back(dataset.entities[static_cast<size_t>(c)]);
+    vertex_classes.push_back(c);
+  }
+  auto image_indices = dataset.TestImageIndices();
+  Tensor images = dataset.StackImages(image_indices);
+  std::vector<int64_t> image_classes;
+  for (int64_t i : image_indices) {
+    image_classes.push_back(dataset.images[static_cast<size_t>(i)].true_class);
+  }
+
+  // 4. CrossEM+: unsupervised prompt tuning, then matching.
+  core::CrossEmOptions options = core::CrossEmPlusOptions();
+  options.epochs = 4;
+  options.learning_rate = 1e-3f;
+  core::CrossEm matcher(&model, &dataset.graph, &tokenizer, options);
+  auto fit = matcher.Fit(vertices, images);
+  if (!fit.ok()) {
+    std::printf("tuning failed: %s\n", fit.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("tuned %zu epochs, %.2fs/epoch, peak %.1f MB\n",
+              fit.value().epochs.size(), fit.value().AvgEpochSeconds(),
+              fit.value().peak_bytes / (1024.0 * 1024.0));
+
+  // 5. Inspect the matching set S and the accuracy.
+  auto pairs = matcher.FindMatches(vertices, images, /*min_probability=*/0.0f);
+  std::printf("\nmatching pairs (vertex -> image, probability):\n");
+  for (size_t i = 0; i < pairs.size() && i < 5; ++i) {
+    const auto& p = pairs[i];
+    const int64_t img_cls =
+        image_classes[static_cast<size_t>(p.image)];
+    std::printf("  %-28s -> image #%lld (class %s)  p=%.3f %s\n",
+                dataset.graph.VertexLabel(p.vertex).c_str(),
+                static_cast<long long>(p.image),
+                dataset.world->ClassName(img_cls).c_str(), p.score,
+                dataset.world->ClassName(vertex_classes[i]) ==
+                        dataset.world->ClassName(img_cls)
+                    ? "[correct]"
+                    : "[wrong]");
+  }
+
+  Tensor scores = matcher.ScoreMatrix(vertices, images);
+  auto metrics = eval::ComputeRankingMetricsByClass(scores, vertex_classes,
+                                                    image_classes);
+  std::printf("\nCrossEM+ accuracy: H@1 %.1f  H@3 %.1f  H@5 %.1f  MRR %.3f\n",
+              metrics.hits_at_1, metrics.hits_at_3, metrics.hits_at_5,
+              metrics.mrr);
+
+  // 6. Error analysis: which entities get confused with which.
+  auto confusions = eval::TopConfusions(
+      eval::ComputeQueryDiagnostics(scores, vertex_classes, image_classes),
+      /*max_pairs=*/3);
+  if (!confusions.empty()) {
+    std::printf("\ntop confusions:\n");
+    for (const auto& c : confusions) {
+      std::printf("  %s mistaken for %s (%lld queries)\n",
+                  dataset.world->ClassName(c.true_class).c_str(),
+                  dataset.world->ClassName(c.predicted_class).c_str(),
+                  static_cast<long long>(c.count));
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,23 @@
+#include "baselines/common.h"
+
+#include "core/hard_prompt.h"
+#include "tensor/ops.h"
+#include "util/logging.h"
+
+namespace crossem {
+namespace baselines {
+
+std::string SerializeVertex(const graph::Graph& graph, graph::VertexId v) {
+  core::HardPromptOptions opt;
+  opt.hops = 1;
+  core::HardPromptGenerator gen(&graph, opt);
+  return gen.Generate(v);
+}
+
+Tensor MeanPatches(const Tensor& images) {
+  CROSSEM_CHECK_EQ(images.dim(), 3);
+  return ops::Mean(images, 1, /*keepdim=*/false);
+}
+
+}  // namespace baselines
+}  // namespace crossem

@@ -1,0 +1,69 @@
+// Shared interface for the paper's competitor methods (Sec. V-A):
+// dual-encoder (CLIP, ALIGN), fusion-encoder (VisualBERT, ViLBERT, IMRAM,
+// TransAE) and prompt-tuning (GPPT) families. Each is a miniature but
+// mechanism-faithful reimplementation on this repository's substrate
+// (see DESIGN.md).
+//
+// Heterogeneous vertices are serialized into texts "as presented in our
+// hard prompt" (paper Sec. V-A: "We modify these models by serializing
+// the graph into texts").
+#ifndef CROSSEM_BASELINES_COMMON_H_
+#define CROSSEM_BASELINES_COMMON_H_
+
+#include <string>
+#include <vector>
+
+#include "data/dataset.h"
+#include "graph/graph.h"
+#include "tensor/tensor.h"
+#include "text/tokenizer.h"
+#include "util/random.h"
+#include "util/status.h"
+
+namespace crossem {
+namespace baselines {
+
+/// Everything a baseline needs to train and score.
+struct BaselineContext {
+  /// The dataset (world generates pre-training corpora; graph and images
+  /// define the matching task).
+  const data::CrossModalDataset* dataset = nullptr;
+  const text::Tokenizer* tokenizer = nullptr;
+  /// Matching-task queries: entity vertices of the test classes.
+  std::vector<graph::VertexId> vertices;
+  /// Matching-task candidates: stacked patch tensor [N, P, patch_dim].
+  Tensor images;
+  /// Class id of each image row (used only by supervised baselines,
+  /// which may train on TRAIN-class labels — never on test classes).
+  std::vector<int64_t> image_classes;
+  uint64_t seed = 7;
+};
+
+/// A cross-modal matching method under evaluation.
+class CrossModalBaseline {
+ public:
+  virtual ~CrossModalBaseline() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Pre-trains / fits the method. Implementations must not read
+  /// test-class supervision.
+  virtual Status Fit(const BaselineContext& ctx) = 0;
+
+  /// Score matrix [ctx.vertices.size(), ctx.images.size(0)]; higher is a
+  /// better match.
+  virtual Result<Tensor> Score(const BaselineContext& ctx) = 0;
+};
+
+/// Serializes a vertex and its 1-hop neighborhood into text (the hard
+/// caption serialization shared by all text-consuming baselines).
+std::string SerializeVertex(const graph::Graph& graph, graph::VertexId v);
+
+/// Mean patch vector per image: [N, patch_dim] from [N, P, patch_dim]
+/// (the cheap visual summary several baselines build on).
+Tensor MeanPatches(const Tensor& images);
+
+}  // namespace baselines
+}  // namespace crossem
+
+#endif  // CROSSEM_BASELINES_COMMON_H_

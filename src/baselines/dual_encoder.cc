@@ -1,0 +1,92 @@
+#include "baselines/dual_encoder.h"
+
+#include "tensor/ops.h"
+#include "util/logging.h"
+
+namespace crossem {
+namespace baselines {
+
+namespace {
+
+/// Encodes images in chunks through a frozen tower.
+Tensor EncodeImagesChunked(const clip::ClipModel& model, const Tensor& images) {
+  NoGradGuard guard;
+  const int64_t n = images.size(0);
+  std::vector<Tensor> chunks;
+  for (int64_t start = 0; start < n; start += 64) {
+    const int64_t end = std::min<int64_t>(start + 64, n);
+    chunks.push_back(model.image().Forward(ops::Slice(images, 0, start, end)));
+  }
+  return ops::Concat(chunks, 0);
+}
+
+Tensor ScoreWithModel(const clip::ClipModel& model,
+                      const BaselineContext& ctx) {
+  NoGradGuard guard;
+  std::vector<std::string> prompts;
+  for (graph::VertexId v : ctx.vertices) {
+    prompts.push_back("a photo of " + ctx.dataset->graph.VertexLabel(v));
+  }
+  Tensor text_emb =
+      model.text().Forward(ctx.tokenizer->EncodeBatch(prompts));
+  Tensor image_emb = EncodeImagesChunked(model, ctx.images);
+  return clip::ClipModel::SimilarityMatrix(text_emb, image_emb);
+}
+
+}  // namespace
+
+ClipZeroShot::ClipZeroShot(const clip::ClipModel* model) : model_(model) {
+  CROSSEM_CHECK(model != nullptr);
+}
+
+Status ClipZeroShot::Fit(const BaselineContext&) {
+  return Status::OK();  // pre-trained; applied zero-shot
+}
+
+Result<Tensor> ClipZeroShot::Score(const BaselineContext& ctx) {
+  if (ctx.dataset == nullptr || ctx.tokenizer == nullptr) {
+    return Status::InvalidArgument("baseline context incomplete");
+  }
+  return ScoreWithModel(*model_, ctx);
+}
+
+Status AlignBaseline::Fit(const BaselineContext& ctx) {
+  if (ctx.dataset == nullptr || ctx.tokenizer == nullptr) {
+    return Status::InvalidArgument("baseline context incomplete");
+  }
+  const data::World& world = *ctx.dataset->world;
+  clip::ClipConfig cc;
+  cc.vocab_size = ctx.tokenizer->vocab().size();
+  cc.text_context = ctx.tokenizer->max_len();
+  cc.model_dim = 32;
+  cc.text_layers = 2;
+  cc.text_heads = 4;
+  cc.image_layers = 2;
+  cc.image_heads = 4;
+  cc.patch_dim = world.config().patch_dim;
+  cc.max_patches = 32;
+  cc.embed_dim = 24;
+  Rng rng(ctx.seed + 101);
+  model_ = std::make_unique<clip::ClipModel>(cc, &rng);
+
+  clip::PretrainConfig pc;
+  pc.epochs = 24;            // shorter than the shared CLIP
+  pc.batches_per_epoch = 20;
+  pc.batch_size = 12;
+  pc.caption_noise = 0.35f;  // ALIGN's defining trait: noisy supervision
+  pc.name_mention_prob = 0.45f;
+  pc.seed = ctx.seed + 102;
+  std::vector<int64_t> all(static_cast<size_t>(world.num_classes()));
+  for (size_t i = 0; i < all.size(); ++i) all[i] = static_cast<int64_t>(i);
+  auto stats =
+      clip::PretrainClip(model_.get(), world, all, *ctx.tokenizer, pc);
+  return stats.ok() ? Status::OK() : stats.status();
+}
+
+Result<Tensor> AlignBaseline::Score(const BaselineContext& ctx) {
+  if (!model_) return Status::Internal("AlignBaseline::Fit not called");
+  return ScoreWithModel(*model_, ctx);
+}
+
+}  // namespace baselines
+}  // namespace crossem

@@ -1,0 +1,50 @@
+// Dual-encoder competitors (paper Sec. V-A, "Dual encoder approaches"):
+//   - CLIP [17]: the shared pre-trained mini-CLIP queried zero-shot with
+//     the naive "a photo of <label>" prompt (the paper's baseline of
+//     Sec. II-B).
+//   - ALIGN [18]: an independently pre-trained dual encoder trained on a
+//     noisier caption corpus ("large amounts of noisy text data"),
+//     reproduced by raising caption noise and shortening training.
+#ifndef CROSSEM_BASELINES_DUAL_ENCODER_H_
+#define CROSSEM_BASELINES_DUAL_ENCODER_H_
+
+#include <memory>
+
+#include "baselines/common.h"
+#include "clip/clip.h"
+#include "clip/pretrain.h"
+
+namespace crossem {
+namespace baselines {
+
+/// Zero-shot CLIP with the naive label prompt.
+class ClipZeroShot : public CrossModalBaseline {
+ public:
+  /// `model` is the shared pre-trained CLIP; not owned, not modified.
+  explicit ClipZeroShot(const clip::ClipModel* model);
+
+  std::string name() const override { return "CLIP"; }
+  Status Fit(const BaselineContext& ctx) override;
+  Result<Tensor> Score(const BaselineContext& ctx) override;
+
+ private:
+  const clip::ClipModel* model_;
+};
+
+/// ALIGN-style noisy dual encoder (owns its model).
+class AlignBaseline : public CrossModalBaseline {
+ public:
+  AlignBaseline() = default;
+
+  std::string name() const override { return "ALIGN"; }
+  Status Fit(const BaselineContext& ctx) override;
+  Result<Tensor> Score(const BaselineContext& ctx) override;
+
+ private:
+  std::unique_ptr<clip::ClipModel> model_;
+};
+
+}  // namespace baselines
+}  // namespace crossem
+
+#endif  // CROSSEM_BASELINES_DUAL_ENCODER_H_

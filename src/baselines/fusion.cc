@@ -1,0 +1,301 @@
+#include "baselines/fusion.h"
+
+#include <cmath>
+
+#include "nn/optimizer.h"
+#include "tensor/ops.h"
+#include "util/logging.h"
+
+namespace crossem {
+namespace baselines {
+
+namespace {
+
+/// Binary cross-entropy from logits against float labels.
+Tensor BceWithLogits(const Tensor& logits, const std::vector<float>& labels) {
+  CROSSEM_CHECK_EQ(logits.numel(), static_cast<int64_t>(labels.size()));
+  Tensor y = Tensor::FromVector(logits.shape(), labels);
+  // loss = softplus(x) - y * x (numerically fine at our logit scales).
+  Tensor softplus = ops::Log(ops::AddScalar(ops::Exp(logits), 1.0f));
+  return ops::Mean(ops::Sub(softplus, ops::Mul(y, logits)));
+}
+
+/// Draws a balanced matched/mismatched caption-image batch from the world.
+struct PairBatch {
+  std::vector<std::string> captions;
+  std::vector<Tensor> patch_list;
+  std::vector<float> labels;
+};
+
+PairBatch SamplePairBatch(const data::World& world, int64_t batch_size,
+                          int64_t caption_attrs, Rng* rng) {
+  PairBatch batch;
+  const int64_t n_cls = world.num_classes();
+  for (int64_t i = 0; i < batch_size; ++i) {
+    const int64_t cls = rng->UniformInt(0, n_cls - 1);
+    const bool positive = (i % 2 == 0);
+    int64_t caption_cls = cls;
+    if (!positive) {
+      do {
+        caption_cls = rng->UniformInt(0, n_cls - 1);
+      } while (caption_cls == cls && n_cls > 1);
+    }
+    batch.captions.push_back(
+        world.SampleCaption(caption_cls, caption_attrs, rng));
+    batch.patch_list.push_back(world.SampleImage(cls, 8, 4, rng).patches);
+    batch.labels.push_back(positive ? 1.0f : 0.0f);
+  }
+  return batch;
+}
+
+}  // namespace
+
+// -- VisualBERT ---------------------------------------------------------------
+
+class VisualBertBaseline::Model : public nn::Module {
+ public:
+  Model(const FusionTrainConfig& cfg, int64_t vocab_size, int64_t patch_dim,
+        Rng* rng)
+      : dim_(cfg.model_dim),
+        tokens_(vocab_size, cfg.model_dim, rng),
+        patch_proj_(patch_dim, cfg.model_dim, rng),
+        encoder_(/*num_layers=*/2, cfg.model_dim, cfg.heads,
+                 4 * cfg.model_dim, rng),
+        head_(cfg.model_dim, 1, rng) {
+    positional_ = RegisterParameter(
+        "positional", Tensor::Randn({64, cfg.model_dim}, rng, 0.02f));
+    RegisterModule("tokens", &tokens_);
+    RegisterModule("patch_proj", &patch_proj_);
+    RegisterModule("encoder", &encoder_);
+    RegisterModule("head", &head_);
+  }
+
+  /// Joint forward: logits [B] for (token rows, patches [B, P, pd]).
+  Tensor Forward(const std::vector<std::vector<int64_t>>& token_batch,
+                 const Tensor& patches) const {
+    const int64_t b = static_cast<int64_t>(token_batch.size());
+    const int64_t t = static_cast<int64_t>(token_batch[0].size());
+    const int64_t p = patches.size(1);
+    std::vector<int64_t> flat;
+    for (const auto& row : token_batch) {
+      flat.insert(flat.end(), row.begin(), row.end());
+    }
+    Tensor text = ops::Reshape(tokens_.Forward(flat), {b, t, dim_});
+    Tensor vis = patch_proj_.Forward(patches);  // [B, P, D]
+    Tensor seq = ops::Concat({text, vis}, 1);   // single stream
+    seq = ops::Add(seq, ops::Slice(positional_, 0, 0, t + p));
+    // Mask: text pads masked out; patches always visible.
+    Tensor mask = Tensor::Ones({b, t + p});
+    float* m = mask.data();
+    for (int64_t i = 0; i < b; ++i) {
+      for (int64_t j = 0; j < t; ++j) {
+        if (token_batch[static_cast<size_t>(i)][static_cast<size_t>(j)] ==
+            text::Vocabulary::kPad) {
+          m[i * (t + p) + j] = 0.0f;
+        }
+      }
+    }
+    Tensor h = encoder_.Forward(seq, mask);
+    Tensor cls = ops::Reshape(ops::Slice(h, 1, 0, 1), {b, dim_});
+    return ops::Reshape(head_.Forward(cls), {b});
+  }
+
+ private:
+  int64_t dim_;
+  nn::Embedding tokens_;
+  nn::Linear patch_proj_;
+  Tensor positional_;
+  nn::TransformerEncoder encoder_;
+  nn::Linear head_;
+};
+
+VisualBertBaseline::VisualBertBaseline(FusionTrainConfig config)
+    : config_(config) {}
+VisualBertBaseline::~VisualBertBaseline() = default;
+
+Status VisualBertBaseline::Fit(const BaselineContext& ctx) {
+  if (ctx.dataset == nullptr || ctx.tokenizer == nullptr) {
+    return Status::InvalidArgument("baseline context incomplete");
+  }
+  Rng rng(ctx.seed + 201);
+  model_ = std::make_unique<Model>(config_, ctx.tokenizer->vocab().size(),
+                                   ctx.dataset->world->config().patch_dim,
+                                   &rng);
+  nn::AdamW opt(model_->Parameters(), config_.learning_rate);
+  for (int64_t epoch = 0; epoch < config_.epochs; ++epoch) {
+    for (int64_t step = 0; step < config_.batches_per_epoch; ++step) {
+      PairBatch batch = SamplePairBatch(*ctx.dataset->world,
+                                        config_.batch_size,
+                                        config_.caption_attrs, &rng);
+      Tensor logits = model_->Forward(
+          ctx.tokenizer->EncodeBatch(batch.captions),
+          ops::Stack(batch.patch_list));
+      Tensor loss = BceWithLogits(logits, batch.labels);
+      opt.ZeroGrad();
+      loss.Backward();
+      nn::ClipGradNorm(model_->Parameters(), 5.0f);
+      opt.Step();
+    }
+  }
+  return Status::OK();
+}
+
+Result<Tensor> VisualBertBaseline::Score(const BaselineContext& ctx) {
+  if (!model_) return Status::Internal("Fit not called");
+  NoGradGuard guard;
+  const int64_t nv = static_cast<int64_t>(ctx.vertices.size());
+  const int64_t ni = ctx.images.size(0);
+  Tensor scores = Tensor::Zeros({nv, ni});
+  std::vector<std::string> prompts;
+  for (graph::VertexId v : ctx.vertices) {
+    prompts.push_back(SerializeVertex(ctx.dataset->graph, v));
+  }
+  auto token_rows = ctx.tokenizer->EncodeBatch(prompts);
+  // Score one vertex against all images per pass (batched over images).
+  for (int64_t vi = 0; vi < nv; ++vi) {
+    for (int64_t start = 0; start < ni; start += 32) {
+      const int64_t end = std::min<int64_t>(start + 32, ni);
+      std::vector<std::vector<int64_t>> rep(
+          static_cast<size_t>(end - start), token_rows[static_cast<size_t>(vi)]);
+      Tensor logits =
+          model_->Forward(rep, ops::Slice(ctx.images, 0, start, end));
+      for (int64_t j = 0; j < end - start; ++j) {
+        scores.data()[vi * ni + start + j] = logits.at(j);
+      }
+    }
+  }
+  return scores;
+}
+
+// -- ViLBERT --------------------------------------------------------------------
+
+class VilBertBaseline::Model : public nn::Module {
+ public:
+  Model(const FusionTrainConfig& cfg, int64_t vocab_size, int64_t patch_dim,
+        Rng* rng)
+      : dim_(cfg.model_dim),
+        tokens_(vocab_size, cfg.model_dim, rng),
+        patch_proj_(patch_dim, cfg.model_dim, rng),
+        text_stream_(/*num_layers=*/1, cfg.model_dim, cfg.heads,
+                     4 * cfg.model_dim, rng),
+        image_stream_(/*num_layers=*/1, cfg.model_dim, cfg.heads,
+                      4 * cfg.model_dim, rng),
+        co_text_(cfg.model_dim, cfg.heads, rng),
+        co_image_(cfg.model_dim, cfg.heads, rng),
+        head_(2 * cfg.model_dim, 1, rng) {
+    positional_ = RegisterParameter(
+        "positional", Tensor::Randn({64, cfg.model_dim}, rng, 0.02f));
+    RegisterModule("tokens", &tokens_);
+    RegisterModule("patch_proj", &patch_proj_);
+    RegisterModule("text_stream", &text_stream_);
+    RegisterModule("image_stream", &image_stream_);
+    RegisterModule("co_text", &co_text_);
+    RegisterModule("co_image", &co_image_);
+    RegisterModule("head", &head_);
+  }
+
+  Tensor Forward(const std::vector<std::vector<int64_t>>& token_batch,
+                 const Tensor& patches) const {
+    const int64_t b = static_cast<int64_t>(token_batch.size());
+    const int64_t t = static_cast<int64_t>(token_batch[0].size());
+    std::vector<int64_t> flat;
+    for (const auto& row : token_batch) {
+      flat.insert(flat.end(), row.begin(), row.end());
+    }
+    Tensor text = ops::Reshape(tokens_.Forward(flat), {b, t, dim_});
+    text = ops::Add(text, ops::Slice(positional_, 0, 0, t));
+    Tensor mask = Tensor::Ones({b, t});
+    float* m = mask.data();
+    for (int64_t i = 0; i < b; ++i) {
+      for (int64_t j = 0; j < t; ++j) {
+        if (token_batch[static_cast<size_t>(i)][static_cast<size_t>(j)] ==
+            text::Vocabulary::kPad) {
+          m[i * t + j] = 0.0f;
+        }
+      }
+    }
+    Tensor vis = patch_proj_.Forward(patches);
+
+    // Independent streams, then co-attention interaction.
+    Tensor ht = text_stream_.Forward(text, mask);
+    Tensor hv = image_stream_.Forward(vis);
+    Tensor ct = ops::Add(ht, co_text_.Forward(ht, hv));    // text <- image
+    Tensor cv = ops::Add(hv, co_image_.Forward(hv, ht, mask));  // image <- text
+
+    Tensor pooled_t = ops::Reshape(ops::Slice(ct, 1, 0, 1), {b, dim_});
+    Tensor pooled_v = ops::Mean(cv, 1, /*keepdim=*/false);
+    Tensor joint = ops::Concat({pooled_t, pooled_v}, 1);
+    return ops::Reshape(head_.Forward(joint), {b});
+  }
+
+ private:
+  int64_t dim_;
+  nn::Embedding tokens_;
+  nn::Linear patch_proj_;
+  Tensor positional_;
+  nn::TransformerEncoder text_stream_;
+  nn::TransformerEncoder image_stream_;
+  nn::MultiHeadAttention co_text_;
+  nn::MultiHeadAttention co_image_;
+  nn::Linear head_;
+};
+
+VilBertBaseline::VilBertBaseline(FusionTrainConfig config)
+    : config_(config) {}
+VilBertBaseline::~VilBertBaseline() = default;
+
+Status VilBertBaseline::Fit(const BaselineContext& ctx) {
+  if (ctx.dataset == nullptr || ctx.tokenizer == nullptr) {
+    return Status::InvalidArgument("baseline context incomplete");
+  }
+  Rng rng(ctx.seed + 301);
+  model_ = std::make_unique<Model>(config_, ctx.tokenizer->vocab().size(),
+                                   ctx.dataset->world->config().patch_dim,
+                                   &rng);
+  nn::AdamW opt(model_->Parameters(), config_.learning_rate);
+  for (int64_t epoch = 0; epoch < config_.epochs; ++epoch) {
+    for (int64_t step = 0; step < config_.batches_per_epoch; ++step) {
+      PairBatch batch = SamplePairBatch(*ctx.dataset->world,
+                                        config_.batch_size,
+                                        config_.caption_attrs, &rng);
+      Tensor logits = model_->Forward(
+          ctx.tokenizer->EncodeBatch(batch.captions),
+          ops::Stack(batch.patch_list));
+      Tensor loss = BceWithLogits(logits, batch.labels);
+      opt.ZeroGrad();
+      loss.Backward();
+      nn::ClipGradNorm(model_->Parameters(), 5.0f);
+      opt.Step();
+    }
+  }
+  return Status::OK();
+}
+
+Result<Tensor> VilBertBaseline::Score(const BaselineContext& ctx) {
+  if (!model_) return Status::Internal("Fit not called");
+  NoGradGuard guard;
+  const int64_t nv = static_cast<int64_t>(ctx.vertices.size());
+  const int64_t ni = ctx.images.size(0);
+  Tensor scores = Tensor::Zeros({nv, ni});
+  std::vector<std::string> prompts;
+  for (graph::VertexId v : ctx.vertices) {
+    prompts.push_back(SerializeVertex(ctx.dataset->graph, v));
+  }
+  auto token_rows = ctx.tokenizer->EncodeBatch(prompts);
+  for (int64_t vi = 0; vi < nv; ++vi) {
+    for (int64_t start = 0; start < ni; start += 32) {
+      const int64_t end = std::min<int64_t>(start + 32, ni);
+      std::vector<std::vector<int64_t>> rep(
+          static_cast<size_t>(end - start), token_rows[static_cast<size_t>(vi)]);
+      Tensor logits =
+          model_->Forward(rep, ops::Slice(ctx.images, 0, start, end));
+      for (int64_t j = 0; j < end - start; ++j) {
+        scores.data()[vi * ni + start + j] = logits.at(j);
+      }
+    }
+  }
+  return scores;
+}
+
+}  // namespace baselines
+}  // namespace crossem

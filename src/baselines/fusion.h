@@ -1,0 +1,76 @@
+// Fusion-encoder competitors (paper Sec. V-A, "Fusion encoder
+// approaches"): map the two modalities into a common space with
+// attention and score pairs with a trained matching head.
+//
+//   - VisualBERT [26]: a SINGLE-stream Transformer over the concatenated
+//     sequence [text tokens ; projected patches], matching score from the
+//     [CLS] position ("implicitly align elements of an input text and
+//     regions in an associated input image with self-attention").
+//   - ViLBERT [27]: TWO separate streams that interact through
+//     co-attention layers ("processes both visual and textual inputs in
+//     separate streams, and interacts through co-attention transformer
+//     layers").
+//
+// Both are pre-trained on the world's caption-image corpus with a binary
+// matched/mismatched objective and then applied to the task (the paper
+// uses the published pre-trained checkpoints the same way).
+#ifndef CROSSEM_BASELINES_FUSION_H_
+#define CROSSEM_BASELINES_FUSION_H_
+
+#include <memory>
+
+#include "baselines/common.h"
+#include "nn/attention.h"
+#include "nn/layers.h"
+#include "nn/module.h"
+
+namespace crossem {
+namespace baselines {
+
+/// Training knobs shared by both fusion baselines.
+struct FusionTrainConfig {
+  int64_t epochs = 8;
+  int64_t batches_per_epoch = 16;
+  int64_t batch_size = 16;  // half positives, half mismatched
+  float learning_rate = 2e-3f;
+  int64_t model_dim = 32;
+  int64_t heads = 4;
+  int64_t caption_attrs = 3;
+};
+
+/// Single-stream fusion (VisualBERT-style).
+class VisualBertBaseline : public CrossModalBaseline {
+ public:
+  explicit VisualBertBaseline(FusionTrainConfig config = {});
+  ~VisualBertBaseline() override;
+
+  std::string name() const override { return "VisualBERT"; }
+  Status Fit(const BaselineContext& ctx) override;
+  Result<Tensor> Score(const BaselineContext& ctx) override;
+
+ private:
+  class Model;
+  FusionTrainConfig config_;
+  std::unique_ptr<Model> model_;
+};
+
+/// Two-stream co-attention fusion (ViLBERT-style).
+class VilBertBaseline : public CrossModalBaseline {
+ public:
+  explicit VilBertBaseline(FusionTrainConfig config = {});
+  ~VilBertBaseline() override;
+
+  std::string name() const override { return "ViLBERT"; }
+  Status Fit(const BaselineContext& ctx) override;
+  Result<Tensor> Score(const BaselineContext& ctx) override;
+
+ private:
+  class Model;
+  FusionTrainConfig config_;
+  std::unique_ptr<Model> model_;
+};
+
+}  // namespace baselines
+}  // namespace crossem
+
+#endif  // CROSSEM_BASELINES_FUSION_H_

@@ -1,0 +1,154 @@
+#include "baselines/gppt.h"
+
+#include "nn/graph_agg.h"
+#include "nn/layers.h"
+#include "nn/module.h"
+#include "nn/optimizer.h"
+#include "tensor/ops.h"
+#include "text/tokenizer.h"
+#include "util/logging.h"
+
+namespace crossem {
+namespace baselines {
+
+class GpptBaseline::Model : public nn::Module {
+ public:
+  Model(const GpptConfig& cfg, const graph::Graph& graph,
+        const text::Vocabulary& vocab, int64_t patch_dim, Rng* rng)
+      : cfg_(cfg),
+        word_emb_(vocab.size(), cfg.model_dim, rng),
+        sage_(cfg.model_dim, cfg.model_dim, rng),
+        image_proj_(patch_dim, cfg.model_dim, rng),
+        classifier_in_(4 * cfg.model_dim, cfg.model_dim, rng),
+        classifier_out_(cfg.model_dim, 1, rng) {
+    RegisterModule("word_emb", &word_emb_);
+    RegisterModule("sage", &sage_);
+    RegisterModule("image_proj", &image_proj_);
+    RegisterModule("classifier_in", &classifier_in_);
+    RegisterModule("classifier_out", &classifier_out_);
+
+    // Label bag-of-words ids for every vertex + the neighbor operator.
+    const int64_t n = graph.NumVertices();
+    vertex_word_ids_.resize(static_cast<size_t>(n));
+    for (graph::VertexId v = 0; v < n; ++v) {
+      for (const std::string& w : text::SplitWords(graph.VertexLabel(v))) {
+        vertex_word_ids_[static_cast<size_t>(v)].push_back(vocab.Id(w));
+      }
+      if (vertex_word_ids_[static_cast<size_t>(v)].empty()) {
+        vertex_word_ids_[static_cast<size_t>(v)].push_back(
+            text::Vocabulary::kUnk);
+      }
+    }
+    nn::AdjacencyList adj(static_cast<size_t>(n));
+    for (graph::VertexId v = 0; v < n; ++v) adj[v] = graph.Neighbors(v);
+    neighbor_mean_ = nn::NeighborMeanMatrix(adj);
+  }
+
+  /// GraphSAGE vertex representations for all graph vertices [N, D].
+  Tensor VertexRepresentations() const {
+    std::vector<Tensor> rows;
+    for (const auto& ids : vertex_word_ids_) {
+      rows.push_back(ops::Mean(word_emb_.Forward(ids), 0, false));
+    }
+    Tensor feats = ops::Stack(rows);
+    return sage_.Forward(feats, neighbor_mean_);
+  }
+
+  Tensor ImageRepresentations(const Tensor& images) const {
+    return image_proj_.Forward(MeanPatches(images));
+  }
+
+  /// Match logits for aligned rows of vertex/image representations.
+  Tensor PairLogits(const Tensor& v, const Tensor& i) const {
+    Tensor joint = ops::Concat(
+        {v, i, ops::Abs(ops::Sub(v, i)), ops::Mul(v, i)}, 1);
+    Tensor h = ops::Relu(classifier_in_.Forward(joint));
+    return ops::Reshape(classifier_out_.Forward(h), {v.size(0)});
+  }
+
+ private:
+  GpptConfig cfg_;
+  nn::Embedding word_emb_;
+  nn::GraphSageLayer sage_;
+  nn::Linear image_proj_;
+  nn::Linear classifier_in_;
+  nn::Linear classifier_out_;
+  std::vector<std::vector<int64_t>> vertex_word_ids_;
+  Tensor neighbor_mean_;
+};
+
+GpptBaseline::GpptBaseline(GpptConfig config) : config_(config) {}
+GpptBaseline::~GpptBaseline() = default;
+
+Status GpptBaseline::Fit(const BaselineContext& ctx) {
+  if (ctx.dataset == nullptr || ctx.tokenizer == nullptr) {
+    return Status::InvalidArgument("baseline context incomplete");
+  }
+  if (ctx.dataset->train_classes.empty()) {
+    return Status::InvalidArgument("GPPT is supervised and needs train classes");
+  }
+  Rng rng(ctx.seed + 601);
+  const data::CrossModalDataset& ds = *ctx.dataset;
+  model_ = std::make_unique<Model>(config_, ds.graph, ds.vocab,
+                                   ds.world->config().patch_dim, &rng);
+  nn::AdamW opt(model_->Parameters(), config_.learning_rate);
+
+  const auto& train = ds.train_classes;
+  for (int64_t epoch = 0; epoch < config_.epochs; ++epoch) {
+    for (int64_t step = 0; step < config_.batches_per_epoch; ++step) {
+      Tensor all_vertices = model_->VertexRepresentations();
+      std::vector<int64_t> vertex_rows;
+      std::vector<Tensor> patch_list;
+      std::vector<float> labels;
+      for (int64_t i = 0; i < config_.batch_size; ++i) {
+        const int64_t cls = train[static_cast<size_t>(
+            rng.UniformInt(0, static_cast<int64_t>(train.size()) - 1))];
+        const bool positive = (i % 2 == 0);
+        int64_t img_cls = cls;
+        if (!positive) {
+          do {
+            img_cls = train[static_cast<size_t>(rng.UniformInt(
+                0, static_cast<int64_t>(train.size()) - 1))];
+          } while (img_cls == cls && train.size() > 1);
+        }
+        vertex_rows.push_back(ds.entities[static_cast<size_t>(cls)]);
+        patch_list.push_back(ds.world->SampleImage(img_cls, 8, 4, &rng).patches);
+        labels.push_back(positive ? 1.0f : 0.0f);
+      }
+      Tensor v = ops::IndexSelect(all_vertices, vertex_rows);
+      Tensor im = model_->ImageRepresentations(ops::Stack(patch_list));
+      Tensor logits = model_->PairLogits(v, im);
+      Tensor y = Tensor::FromVector(logits.shape(), labels);
+      Tensor softplus = ops::Log(ops::AddScalar(ops::Exp(logits), 1.0f));
+      Tensor loss = ops::Mean(ops::Sub(softplus, ops::Mul(y, logits)));
+      opt.ZeroGrad();
+      loss.Backward();
+      nn::ClipGradNorm(model_->Parameters(), 5.0f);
+      opt.Step();
+    }
+  }
+  return Status::OK();
+}
+
+Result<Tensor> GpptBaseline::Score(const BaselineContext& ctx) {
+  if (!model_) return Status::Internal("Fit not called");
+  NoGradGuard guard;
+  Tensor all_vertices = model_->VertexRepresentations();
+  Tensor v = ops::IndexSelect(all_vertices, ctx.vertices);
+  Tensor im = model_->ImageRepresentations(ctx.images);
+  const int64_t nv = v.size(0);
+  const int64_t ni = im.size(0);
+  Tensor scores = Tensor::Zeros({nv, ni});
+  for (int64_t i = 0; i < ni; ++i) {
+    Tensor irow = ops::Slice(im, 0, i, i + 1);
+    std::vector<Tensor> rep(static_cast<size_t>(nv), irow);
+    Tensor logits = model_->PairLogits(v, ops::Concat(rep, 0));
+    for (int64_t r = 0; r < nv; ++r) {
+      scores.data()[r * ni + i] = logits.at(r);
+    }
+  }
+  return scores;
+}
+
+}  // namespace baselines
+}  // namespace crossem

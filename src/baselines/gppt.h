@@ -1,0 +1,47 @@
+// GPPT [31]: "a supervised graph prompt model that generalizes graph
+// representation model to downstream graph tasks. We modify its task
+// objective to binary classification objective like previous EM works
+// and provide feedback in a supervised manner" (paper Sec. V-A).
+//
+// Reproduced mechanism: a GraphSAGE representation of vertices plus a
+// projected image summary feed a binary match classifier, trained with
+// labeled pairs of the TRAIN classes only. Like the paper's GPPT row in
+// Table II, the supervised classifier transfers poorly to unseen test
+// classes.
+#ifndef CROSSEM_BASELINES_GPPT_H_
+#define CROSSEM_BASELINES_GPPT_H_
+
+#include <memory>
+
+#include "baselines/common.h"
+
+namespace crossem {
+namespace baselines {
+
+struct GpptConfig {
+  int64_t model_dim = 24;
+  int64_t epochs = 10;
+  int64_t batches_per_epoch = 12;
+  int64_t batch_size = 16;
+  float learning_rate = 2e-3f;
+};
+
+class GpptBaseline : public CrossModalBaseline {
+ public:
+  explicit GpptBaseline(GpptConfig config = {});
+  ~GpptBaseline() override;
+
+  std::string name() const override { return "GPPT"; }
+  Status Fit(const BaselineContext& ctx) override;
+  Result<Tensor> Score(const BaselineContext& ctx) override;
+
+ private:
+  class Model;
+  GpptConfig config_;
+  std::unique_ptr<Model> model_;
+};
+
+}  // namespace baselines
+}  // namespace crossem
+
+#endif  // CROSSEM_BASELINES_GPPT_H_

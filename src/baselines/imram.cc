@@ -1,0 +1,146 @@
+#include "baselines/imram.h"
+
+#include "nn/layers.h"
+#include "nn/module.h"
+#include "nn/optimizer.h"
+#include "tensor/ops.h"
+#include "util/logging.h"
+
+namespace crossem {
+namespace baselines {
+
+class ImramBaseline::Model : public nn::Module {
+ public:
+  Model(const ImramConfig& cfg, int64_t vocab_size, int64_t patch_dim,
+        Rng* rng)
+      : cfg_(cfg),
+        tokens_(vocab_size, cfg.model_dim, rng),
+        patch_proj_(patch_dim, cfg.model_dim, rng),
+        memory_update_(cfg.model_dim, cfg.model_dim, rng),
+        gate_(2 * cfg.model_dim, cfg.model_dim, rng) {
+    RegisterModule("tokens", &tokens_);
+    RegisterModule("patch_proj", &patch_proj_);
+    RegisterModule("memory_update", &memory_update_);
+    RegisterModule("gate", &gate_);
+  }
+
+  /// Text embeddings [B, D]: mean of token embeddings (pad-excluded
+  /// weighting kept simple: pads embed near zero after training).
+  Tensor EmbedText(const std::vector<std::vector<int64_t>>& token_batch) const {
+    const int64_t b = static_cast<int64_t>(token_batch.size());
+    const int64_t t = static_cast<int64_t>(token_batch[0].size());
+    std::vector<int64_t> flat;
+    for (const auto& row : token_batch) {
+      flat.insert(flat.end(), row.begin(), row.end());
+    }
+    Tensor emb = ops::Reshape(tokens_.Forward(flat), {b, t, cfg_.model_dim});
+    return ops::Mean(emb, 1, /*keepdim=*/false);
+  }
+
+  /// Iterative attention-memory refinement (the defining IMRAM step):
+  /// r_{k} = r_{k-1} + g * W(attend(r_{k-1}, patches)).
+  Tensor Refine(const Tensor& text_summary, const Tensor& patches) const {
+    Tensor p = patch_proj_.Forward(patches);  // [B, P, D]
+    Tensor r = text_summary;                  // [B, D]
+    const int64_t b = p.size(0);
+    for (int64_t k = 0; k < cfg_.iterations; ++k) {
+      // Attention of r over patches: scores [B, P].
+      Tensor q = ops::Reshape(r, {b, 1, cfg_.model_dim});
+      Tensor scores = ops::Softmax(
+          ops::Reshape(ops::MatMul(q, ops::Transpose(p, -1, -2)),
+                       {b, p.size(1)}));
+      Tensor attended = ops::Reshape(
+          ops::MatMul(ops::Reshape(scores, {b, 1, p.size(1)}), p),
+          {b, cfg_.model_dim});
+      // Gated memory update.
+      Tensor g = ops::Sigmoid(gate_.Forward(ops::Concat({r, attended}, 1)));
+      Tensor update = ops::Tanh(memory_update_.Forward(attended));
+      r = ops::Add(r, ops::Mul(g, update));
+    }
+    return ops::L2Normalize(r);
+  }
+
+  /// Scores every (text row, image row) pair: [B_t, B_i].
+  Tensor ScoreAll(const std::vector<std::vector<int64_t>>& token_batch,
+                  const Tensor& patches) const {
+    Tensor text = EmbedText(token_batch);           // [Bt, D]
+    const int64_t bt = text.size(0);
+    const int64_t bi = patches.size(0);
+    // Each text must be refined against each image: replicate.
+    std::vector<Tensor> rows;
+    for (int64_t v = 0; v < bt; ++v) {
+      Tensor tv = ops::Slice(text, 0, v, v + 1);    // [1, D]
+      std::vector<Tensor> rep(static_cast<size_t>(bi), tv);
+      Tensor tv_rep = ops::Concat(rep, 0);          // [Bi, D]
+      Tensor refined = Refine(tv_rep, patches);     // [Bi, D]
+      Tensor img_summary = ops::L2Normalize(
+          ops::Mean(patch_proj_.Forward(patches), 1, false));  // [Bi, D]
+      Tensor cos = ops::Sum(ops::Mul(refined, img_summary), 1, false);
+      rows.push_back(ops::Reshape(cos, {1, bi}));
+    }
+    return ops::Concat(rows, 0);
+  }
+
+ private:
+  ImramConfig cfg_;
+  nn::Embedding tokens_;
+  nn::Linear patch_proj_;
+  nn::Linear memory_update_;
+  nn::Linear gate_;
+};
+
+ImramBaseline::ImramBaseline(ImramConfig config) : config_(config) {}
+ImramBaseline::~ImramBaseline() = default;
+
+Status ImramBaseline::Fit(const BaselineContext& ctx) {
+  if (ctx.dataset == nullptr || ctx.tokenizer == nullptr) {
+    return Status::InvalidArgument("baseline context incomplete");
+  }
+  Rng rng(ctx.seed + 401);
+  model_ = std::make_unique<Model>(config_, ctx.tokenizer->vocab().size(),
+                                   ctx.dataset->world->config().patch_dim,
+                                   &rng);
+  nn::AdamW opt(model_->Parameters(), config_.learning_rate);
+  const data::World& world = *ctx.dataset->world;
+  for (int64_t epoch = 0; epoch < config_.epochs; ++epoch) {
+    for (int64_t step = 0; step < config_.batches_per_epoch; ++step) {
+      auto classes = rng.SampleWithoutReplacement(
+          world.num_classes(),
+          std::min<int64_t>(config_.batch_size, world.num_classes()));
+      std::vector<std::string> captions;
+      std::vector<Tensor> patch_list;
+      for (int64_t cls : classes) {
+        captions.push_back(
+            world.SampleCaption(cls, config_.caption_attrs, &rng));
+        patch_list.push_back(world.SampleImage(cls, 8, 4, &rng).patches);
+      }
+      Tensor scores = model_->ScoreAll(ctx.tokenizer->EncodeBatch(captions),
+                                       ops::Stack(patch_list));
+      // InfoNCE over the diagonal.
+      std::vector<int64_t> diag(classes.size());
+      for (size_t i = 0; i < diag.size(); ++i) {
+        diag[i] = static_cast<int64_t>(i);
+      }
+      Tensor loss = ops::NllLoss(
+          ops::LogSoftmax(ops::MulScalar(scores, 10.0f)), diag);
+      opt.ZeroGrad();
+      loss.Backward();
+      nn::ClipGradNorm(model_->Parameters(), 5.0f);
+      opt.Step();
+    }
+  }
+  return Status::OK();
+}
+
+Result<Tensor> ImramBaseline::Score(const BaselineContext& ctx) {
+  if (!model_) return Status::Internal("Fit not called");
+  NoGradGuard guard;
+  std::vector<std::string> prompts;
+  for (graph::VertexId v : ctx.vertices) {
+    prompts.push_back(SerializeVertex(ctx.dataset->graph, v));
+  }
+  return model_->ScoreAll(ctx.tokenizer->EncodeBatch(prompts), ctx.images);
+}
+
+}  // namespace baselines
+}  // namespace crossem

@@ -1,0 +1,44 @@
+// IMRAM [19]: "iterative matching with recurrent attention memory" for
+// cross-modal retrieval. Reproduced mechanism: a text summary vector is
+// iteratively refined by attending over image patch features through a
+// gated memory update; the final refinement is scored against the image
+// summary. Trained contrastively on the world's caption-image corpus.
+#ifndef CROSSEM_BASELINES_IMRAM_H_
+#define CROSSEM_BASELINES_IMRAM_H_
+
+#include <memory>
+
+#include "baselines/common.h"
+
+namespace crossem {
+namespace baselines {
+
+struct ImramConfig {
+  int64_t iterations = 3;  // K attention-memory refinement rounds
+  int64_t model_dim = 32;
+  int64_t epochs = 8;
+  int64_t batches_per_epoch = 16;
+  int64_t batch_size = 12;
+  float learning_rate = 2e-3f;
+  int64_t caption_attrs = 3;
+};
+
+class ImramBaseline : public CrossModalBaseline {
+ public:
+  explicit ImramBaseline(ImramConfig config = {});
+  ~ImramBaseline() override;
+
+  std::string name() const override { return "IMRAM"; }
+  Status Fit(const BaselineContext& ctx) override;
+  Result<Tensor> Score(const BaselineContext& ctx) override;
+
+ private:
+  class Model;
+  ImramConfig config_;
+  std::unique_ptr<Model> model_;
+};
+
+}  // namespace baselines
+}  // namespace crossem
+
+#endif  // CROSSEM_BASELINES_IMRAM_H_

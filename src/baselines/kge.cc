@@ -1,0 +1,258 @@
+#include "baselines/kge.h"
+
+#include <map>
+
+#include "nn/layers.h"
+#include "nn/module.h"
+#include "nn/optimizer.h"
+#include "tensor/ops.h"
+#include "util/logging.h"
+
+namespace crossem {
+namespace baselines {
+
+const char* KgeScoreFnName(KgeScoreFn fn) {
+  switch (fn) {
+    case KgeScoreFn::kTransE:
+      return "TransE";
+    case KgeScoreFn::kDistMult:
+      return "DistMult";
+    case KgeScoreFn::kRotatE:
+      return "RotatE";
+    case KgeScoreFn::kRsme:
+      return "RSME";
+  }
+  return "?";
+}
+
+class KgeBaseline::Model : public nn::Module {
+ public:
+  Model(const KgeConfig& cfg, int64_t num_graph_vertices, int64_t num_images,
+        int64_t num_relations, int64_t patch_dim, Rng* rng)
+      : cfg_(cfg),
+        num_graph_vertices_(num_graph_vertices),
+        entities_(num_graph_vertices + num_images, cfg.dim, rng,
+                  /*init_stddev=*/0.1f),
+        relations_(num_relations, cfg.dim, rng, /*init_stddev=*/0.1f),
+        visual_proj_(patch_dim, cfg.dim, rng) {
+    RegisterModule("entities", &entities_);
+    RegisterModule("relations", &relations_);
+    RegisterModule("visual_proj", &visual_proj_);
+    if (cfg.score_fn == KgeScoreFn::kRsme) {
+      visual_gate_ = RegisterParameter("visual_gate",
+                                       Tensor::Zeros({cfg.dim}));
+    }
+  }
+
+  int64_t ImageNode(int64_t image_index) const {
+    return num_graph_vertices_ + image_index;
+  }
+
+  /// Entity embeddings for a list of node ids; image nodes of RSME blend
+  /// in their projected visual summary through the learned gate.
+  Tensor Embed(const std::vector<int64_t>& nodes,
+               const Tensor& image_summaries) const {
+    Tensor base = entities_.Forward(nodes);
+    if (cfg_.score_fn != KgeScoreFn::kRsme) return base;
+    // Visual rows: zero for graph vertices, projected summary for images.
+    const int64_t b = static_cast<int64_t>(nodes.size());
+    Tensor visual = Tensor::Zeros({b, cfg_.dim});
+    std::vector<int64_t> image_rows;
+    std::vector<int64_t> batch_rows;
+    for (size_t i = 0; i < nodes.size(); ++i) {
+      if (nodes[i] >= num_graph_vertices_) {
+        image_rows.push_back(nodes[i] - num_graph_vertices_);
+        batch_rows.push_back(static_cast<int64_t>(i));
+      }
+    }
+    if (image_rows.empty()) return base;
+    Tensor projected = visual_proj_.Forward(
+        ops::IndexSelect(image_summaries, image_rows));
+    // Scatter the projected rows into the right batch positions by
+    // building the dense visual tensor (no-grad copy of values is not
+    // allowed: keep it differentiable via Concat of selected rows).
+    // Simpler differentiable route: gate applies only to image rows.
+    Tensor gate = ops::Sigmoid(visual_gate_);
+    Tensor blended_rows = ops::Add(
+        ops::Mul(ops::IndexSelect(base, batch_rows),
+                 ops::AddScalar(ops::Neg(gate), 1.0f)),
+        ops::Mul(projected, gate));
+    // Reassemble: rows not in batch_rows keep base.
+    std::vector<Tensor> out_rows;
+    size_t next_image = 0;
+    for (int64_t i = 0; i < b; ++i) {
+      if (next_image < batch_rows.size() && batch_rows[next_image] == i) {
+        out_rows.push_back(ops::Slice(blended_rows, 0,
+                                      static_cast<int64_t>(next_image),
+                                      static_cast<int64_t>(next_image) + 1));
+        ++next_image;
+      } else {
+        out_rows.push_back(ops::Slice(base, 0, i, i + 1));
+      }
+    }
+    return ops::Concat(out_rows, 0);
+  }
+
+  /// Triple scores for aligned (h, r, t) rows: [B].
+  Tensor ScoreTriples(const Tensor& h, const std::vector<int64_t>& rels,
+                      const Tensor& t) const {
+    Tensor r = relations_.Forward(rels);
+    switch (cfg_.score_fn) {
+      case KgeScoreFn::kTransE: {
+        Tensor d = ops::Sub(ops::Add(h, r), t);
+        return ops::Neg(ops::Sqrt(ops::AddScalar(
+            ops::Sum(ops::Mul(d, d), 1, false), 1e-8f)));
+      }
+      case KgeScoreFn::kDistMult:
+      case KgeScoreFn::kRsme:
+        return ops::Sum(ops::Mul(ops::Mul(h, r), t), 1, false);
+      case KgeScoreFn::kRotatE: {
+        const int64_t half = cfg_.dim / 2;
+        Tensor hre = ops::Slice(h, 1, 0, half);
+        Tensor him = ops::Slice(h, 1, half, cfg_.dim);
+        Tensor theta = ops::Slice(r, 1, 0, half);
+        Tensor tre = ops::Slice(t, 1, 0, half);
+        Tensor tim = ops::Slice(t, 1, half, cfg_.dim);
+        Tensor c = ops::Cos(theta);
+        Tensor s = ops::Sin(theta);
+        Tensor rot_re = ops::Sub(ops::Mul(hre, c), ops::Mul(him, s));
+        Tensor rot_im = ops::Add(ops::Mul(hre, s), ops::Mul(him, c));
+        Tensor dre = ops::Sub(rot_re, tre);
+        Tensor dim = ops::Sub(rot_im, tim);
+        Tensor dist2 = ops::Add(ops::Sum(ops::Mul(dre, dre), 1, false),
+                                ops::Sum(ops::Mul(dim, dim), 1, false));
+        return ops::Neg(ops::Sqrt(ops::AddScalar(dist2, 1e-8f)));
+      }
+    }
+    return Tensor();
+  }
+
+  bool uses_margin_loss() const {
+    return cfg_.score_fn == KgeScoreFn::kTransE ||
+           cfg_.score_fn == KgeScoreFn::kRotatE;
+  }
+
+ private:
+  KgeConfig cfg_;
+  int64_t num_graph_vertices_;
+  nn::Embedding entities_;
+  nn::Embedding relations_;
+  nn::Linear visual_proj_;
+  Tensor visual_gate_;
+};
+
+KgeBaseline::KgeBaseline(KgeConfig config) : config_(config) {
+  CROSSEM_CHECK_EQ(config.dim % 2, 0);
+}
+KgeBaseline::~KgeBaseline() = default;
+
+Status KgeBaseline::Fit(const BaselineContext& ctx) {
+  if (ctx.dataset == nullptr) {
+    return Status::InvalidArgument("baseline context incomplete");
+  }
+  if (ctx.image_classes.size() !=
+      static_cast<size_t>(ctx.images.size(0))) {
+    return Status::InvalidArgument("image_classes must align with images");
+  }
+  const data::CrossModalDataset& ds = *ctx.dataset;
+  const graph::Graph& graph = ds.graph;
+  Rng rng(ctx.seed + 701);
+
+  // Relation vocabulary: edge labels + has_image.
+  std::map<std::string, int64_t> relation_ids;
+  for (graph::EdgeId e = 0; e < graph.NumEdges(); ++e) {
+    relation_ids.emplace(graph.GetEdge(e).label,
+                         static_cast<int64_t>(relation_ids.size()));
+  }
+  const int64_t has_image_rel =
+      relation_ids.emplace("has_image", static_cast<int64_t>(relation_ids.size()))
+          .first->second;
+  has_image_rel_ = has_image_rel;
+
+  model_ = std::make_unique<Model>(
+      config_, graph.NumVertices(), ctx.images.size(0),
+      static_cast<int64_t>(relation_ids.size()),
+      ds.world->config().patch_dim, &rng);
+  image_summaries_ = MeanPatches(ctx.images).Detach();
+
+  // Training triples: the graph plus TRAIN-class image links.
+  struct Triple {
+    int64_t h, r, t;
+  };
+  std::vector<Triple> triples;
+  for (graph::EdgeId e = 0; e < graph.NumEdges(); ++e) {
+    const auto& edge = graph.GetEdge(e);
+    triples.push_back({edge.src, relation_ids.at(edge.label), edge.dst});
+  }
+  std::vector<bool> is_train(ds.entities.size(), false);
+  for (int64_t c : ds.train_classes) is_train[static_cast<size_t>(c)] = true;
+  for (int64_t img = 0; img < ctx.images.size(0); ++img) {
+    const int64_t cls = ctx.image_classes[static_cast<size_t>(img)];
+    if (cls >= 0 && cls < static_cast<int64_t>(is_train.size()) &&
+        is_train[static_cast<size_t>(cls)]) {
+      triples.push_back({ds.entities[static_cast<size_t>(cls)], has_image_rel,
+                         model_->ImageNode(img)});
+    }
+  }
+  if (triples.empty()) return Status::InvalidArgument("no training triples");
+
+  const int64_t total_nodes = graph.NumVertices() + ctx.images.size(0);
+  nn::AdamW opt(model_->Parameters(), config_.learning_rate);
+  for (int64_t epoch = 0; epoch < config_.epochs; ++epoch) {
+    for (int64_t step = 0; step < config_.batches_per_epoch; ++step) {
+      std::vector<int64_t> heads, rels, tails, corrupt;
+      for (int64_t i = 0; i < config_.batch_size; ++i) {
+        const Triple& tr = triples[static_cast<size_t>(rng.UniformInt(
+            0, static_cast<int64_t>(triples.size()) - 1))];
+        heads.push_back(tr.h);
+        rels.push_back(tr.r);
+        tails.push_back(tr.t);
+        corrupt.push_back(rng.UniformInt(0, total_nodes - 1));
+      }
+      Tensor h = model_->Embed(heads, image_summaries_);
+      Tensor t = model_->Embed(tails, image_summaries_);
+      Tensor t_neg = model_->Embed(corrupt, image_summaries_);
+      Tensor pos = model_->ScoreTriples(h, rels, t);
+      Tensor neg = model_->ScoreTriples(h, rels, t_neg);
+      Tensor loss;
+      if (model_->uses_margin_loss()) {
+        loss = ops::Mean(ops::Relu(
+            ops::AddScalar(ops::Sub(neg, pos), config_.margin)));
+      } else {
+        // Logistic: softplus(-pos) + softplus(neg).
+        Tensor lp = ops::Log(ops::AddScalar(ops::Exp(ops::Neg(pos)), 1.0f));
+        Tensor ln = ops::Log(ops::AddScalar(ops::Exp(neg), 1.0f));
+        loss = ops::Add(ops::Mean(lp), ops::Mean(ln));
+      }
+      opt.ZeroGrad();
+      loss.Backward();
+      nn::ClipGradNorm(model_->Parameters(), 5.0f);
+      opt.Step();
+    }
+  }
+  return Status::OK();
+}
+
+Result<Tensor> KgeBaseline::Score(const BaselineContext& ctx) {
+  if (!model_) return Status::Internal("Fit not called");
+  NoGradGuard guard;
+  const int64_t nv = static_cast<int64_t>(ctx.vertices.size());
+  const int64_t ni = ctx.images.size(0);
+  std::vector<int64_t> image_nodes;
+  for (int64_t img = 0; img < ni; ++img) {
+    image_nodes.push_back(model_->ImageNode(img));
+  }
+  Tensor tails = model_->Embed(image_nodes, image_summaries_);
+  Tensor scores = Tensor::Zeros({nv, ni});
+  for (int64_t v = 0; v < nv; ++v) {
+    std::vector<int64_t> head_rep(static_cast<size_t>(ni), ctx.vertices[v]);
+    std::vector<int64_t> rel_rep(static_cast<size_t>(ni), has_image_rel_);
+    Tensor h = model_->Embed(head_rep, image_summaries_);
+    Tensor s = model_->ScoreTriples(h, rel_rep, tails);
+    for (int64_t i = 0; i < ni; ++i) scores.data()[v * ni + i] = s.at(i);
+  }
+  return scores;
+}
+
+}  // namespace baselines
+}  // namespace crossem

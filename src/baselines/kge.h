@@ -1,0 +1,64 @@
+// Knowledge-graph-embedding baselines for the multi-modal KG integration
+// case study (paper Table V): DistMult [44], RotatE [45], RSME [46], and
+// TransE [41] as the classical reference.
+//
+// Framing: integrating an image into a multi-modal KG is predicting the
+// link (entity, has_image, image). The KG holds the dataset's graph
+// edges plus the has_image links of the TRAIN classes; models rank
+// images for TEST entities. Entities and images are embedding rows;
+// RSME additionally gates a projected visual feature into the image
+// embedding ("is visual context really helpful" — its defining
+// mechanism).
+#ifndef CROSSEM_BASELINES_KGE_H_
+#define CROSSEM_BASELINES_KGE_H_
+
+#include <memory>
+#include <string>
+
+#include "baselines/common.h"
+
+namespace crossem {
+namespace baselines {
+
+/// Score function families.
+enum class KgeScoreFn {
+  kTransE,    // -||h + r - t||
+  kDistMult,  // <h, r, t>
+  kRotatE,    // -||h o r - t|| with r a per-dimension rotation
+  kRsme,      // DistMult with a visual gate on image-tail embeddings
+};
+
+const char* KgeScoreFnName(KgeScoreFn fn);
+
+struct KgeConfig {
+  KgeScoreFn score_fn = KgeScoreFn::kDistMult;
+  int64_t dim = 24;  // even (RotatE uses complex pairs)
+  int64_t epochs = 16;
+  int64_t batches_per_epoch = 16;
+  int64_t batch_size = 32;
+  float learning_rate = 5e-3f;
+  float margin = 2.0f;
+};
+
+/// One KGE model under the shared CrossModalBaseline interface.
+class KgeBaseline : public CrossModalBaseline {
+ public:
+  explicit KgeBaseline(KgeConfig config = {});
+  ~KgeBaseline() override;
+
+  std::string name() const override { return KgeScoreFnName(config_.score_fn); }
+  Status Fit(const BaselineContext& ctx) override;
+  Result<Tensor> Score(const BaselineContext& ctx) override;
+
+ private:
+  class Model;
+  KgeConfig config_;
+  std::unique_ptr<Model> model_;
+  Tensor image_summaries_;    // [N, patch_dim] mean patches, fixed
+  int64_t has_image_rel_ = 0;
+};
+
+}  // namespace baselines
+}  // namespace crossem
+
+#endif  // CROSSEM_BASELINES_KGE_H_

@@ -1,0 +1,155 @@
+#include "baselines/mkgformer.h"
+
+#include "nn/attention.h"
+#include "nn/layers.h"
+#include "nn/module.h"
+#include "nn/optimizer.h"
+#include "tensor/ops.h"
+#include "util/logging.h"
+
+namespace crossem {
+namespace baselines {
+
+class MkgFormerBaseline::Model : public nn::Module {
+ public:
+  Model(const MkgFormerConfig& cfg, int64_t vocab_size, int64_t patch_dim,
+        Rng* rng)
+      : cfg_(cfg),
+        tokens_(vocab_size, cfg.model_dim, rng),
+        patch_proj_(patch_dim, cfg.model_dim, rng),
+        prefix_proj_(cfg.model_dim, cfg.model_dim, rng),
+        text_encoder_(/*num_layers=*/1, cfg.model_dim, cfg.heads,
+                      4 * cfg.model_dim, rng),
+        fine_fusion_(cfg.model_dim, cfg.heads, rng),
+        text_out_(cfg.model_dim, cfg.model_dim, rng),
+        image_out_(cfg.model_dim, cfg.model_dim, rng) {
+    positional_ = RegisterParameter(
+        "positional", Tensor::Randn({64, cfg.model_dim}, rng, 0.02f));
+    RegisterModule("tokens", &tokens_);
+    RegisterModule("patch_proj", &patch_proj_);
+    RegisterModule("prefix_proj", &prefix_proj_);
+    RegisterModule("text_encoder", &text_encoder_);
+    RegisterModule("fine_fusion", &fine_fusion_);
+    RegisterModule("text_out", &text_out_);
+    RegisterModule("image_out", &image_out_);
+  }
+
+  /// Entity representations fused with an image batch:
+  /// returns (text reps [Bt, D], image reps [Bi, D]) pooled after the
+  /// prefix-guided + fine-grained fusion stages; both L2-normalized.
+  std::pair<Tensor, Tensor> Encode(
+      const std::vector<std::vector<int64_t>>& token_batch,
+      const Tensor& patches) const {
+    const int64_t bt = static_cast<int64_t>(token_batch.size());
+    const int64_t t = static_cast<int64_t>(token_batch[0].size());
+    std::vector<int64_t> flat;
+    for (const auto& row : token_batch) {
+      flat.insert(flat.end(), row.begin(), row.end());
+    }
+    Tensor text = ops::Reshape(tokens_.Forward(flat), {bt, t, cfg_.model_dim});
+    text = ops::Add(text, ops::Slice(positional_, 0, 0, t));
+    Tensor mask = Tensor::Ones({bt, t});
+    float* m = mask.data();
+    for (int64_t i = 0; i < bt; ++i) {
+      for (int64_t j = 0; j < t; ++j) {
+        if (token_batch[static_cast<size_t>(i)][static_cast<size_t>(j)] ==
+            text::Vocabulary::kPad) {
+          m[i * t + j] = 0.0f;
+        }
+      }
+    }
+    Tensor vis = patch_proj_.Forward(patches);  // [Bi, P, D]
+
+    // Coarse prefix: the pooled visual summary guides every text row
+    // (batch-level guidance; pooled over the whole image batch).
+    Tensor prefix = prefix_proj_.Forward(
+        ops::Mean(ops::Mean(vis, 1, false), 0, true));  // [1, D]
+    Tensor ht = text_encoder_.Forward(
+        ops::Add(text, ops::Reshape(prefix, {1, 1, cfg_.model_dim})), mask);
+    Tensor pooled_text = ops::Reshape(ops::Slice(ht, 1, 0, 1),
+                                      {bt, cfg_.model_dim});
+
+    // Fine-grained: patches attend within the image to correlate parts.
+    Tensor hv = ops::Add(vis, fine_fusion_.ForwardSelf(vis));
+    Tensor pooled_image = ops::Mean(hv, 1, false);
+
+    Tensor te = ops::L2Normalize(text_out_.Forward(pooled_text));
+    Tensor ie = ops::L2Normalize(image_out_.Forward(pooled_image));
+    return {te, ie};
+  }
+
+ private:
+  MkgFormerConfig cfg_;
+  nn::Embedding tokens_;
+  nn::Linear patch_proj_;
+  nn::Linear prefix_proj_;
+  Tensor positional_;
+  nn::TransformerEncoder text_encoder_;
+  nn::MultiHeadAttention fine_fusion_;
+  nn::Linear text_out_;
+  nn::Linear image_out_;
+};
+
+MkgFormerBaseline::MkgFormerBaseline(MkgFormerConfig config)
+    : config_(config) {}
+MkgFormerBaseline::~MkgFormerBaseline() = default;
+
+Status MkgFormerBaseline::Fit(const BaselineContext& ctx) {
+  if (ctx.dataset == nullptr || ctx.tokenizer == nullptr) {
+    return Status::InvalidArgument("baseline context incomplete");
+  }
+  if (ctx.dataset->train_classes.empty()) {
+    return Status::InvalidArgument("MKGformer trains on train-class links");
+  }
+  Rng rng(ctx.seed + 801);
+  const data::CrossModalDataset& ds = *ctx.dataset;
+  model_ = std::make_unique<Model>(config_, ctx.tokenizer->vocab().size(),
+                                   ds.world->config().patch_dim, &rng);
+  nn::AdamW opt(model_->Parameters(), config_.learning_rate);
+  const auto& train = ds.train_classes;
+  for (int64_t epoch = 0; epoch < config_.epochs; ++epoch) {
+    for (int64_t step = 0; step < config_.batches_per_epoch; ++step) {
+      auto pick = rng.SampleWithoutReplacement(
+          static_cast<int64_t>(train.size()),
+          std::min<int64_t>(config_.batch_size,
+                            static_cast<int64_t>(train.size())));
+      std::vector<std::string> texts;
+      std::vector<Tensor> patch_list;
+      for (int64_t k : pick) {
+        const int64_t cls = train[static_cast<size_t>(k)];
+        texts.push_back(SerializeVertex(
+            ds.graph, ds.entities[static_cast<size_t>(cls)]));
+        patch_list.push_back(ds.world->SampleImage(cls, 8, 4, &rng).patches);
+      }
+      auto [te, ie] = model_->Encode(ctx.tokenizer->EncodeBatch(texts),
+                                     ops::Stack(patch_list));
+      Tensor logits = ops::MulScalar(
+          ops::MatMul(te, ops::Transpose(ie, 0, 1)), 10.0f);
+      std::vector<int64_t> diag(pick.size());
+      for (size_t i = 0; i < diag.size(); ++i) {
+        diag[i] = static_cast<int64_t>(i);
+      }
+      Tensor loss = ops::NllLoss(ops::LogSoftmax(logits), diag);
+      opt.ZeroGrad();
+      loss.Backward();
+      nn::ClipGradNorm(model_->Parameters(), 5.0f);
+      opt.Step();
+    }
+  }
+  return Status::OK();
+}
+
+Result<Tensor> MkgFormerBaseline::Score(const BaselineContext& ctx) {
+  if (!model_) return Status::Internal("Fit not called");
+  NoGradGuard guard;
+  std::vector<std::string> texts;
+  for (graph::VertexId v : ctx.vertices) {
+    texts.push_back(SerializeVertex(ctx.dataset->graph, v));
+  }
+  auto [te, ie] = model_->Encode(ctx.tokenizer->EncodeBatch(texts),
+                                 ctx.images);
+  return ops::MatMul(te, ops::Transpose(ie, 0, 1));
+}
+
+}  // namespace baselines
+}  // namespace crossem

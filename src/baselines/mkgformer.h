@@ -1,0 +1,47 @@
+// MKGformer-like baseline [47]: "integrates visions and texts via
+// coarse-grained prefix-guided interaction and fine-grained
+// correlation-aware fusion modules for knowledge graph completion".
+//
+// Reproduced mechanism: a hybrid transformer where (a) a pooled image
+// prefix guides the text stream (coarse-grained prefix interaction) and
+// (b) token-patch cross attention fuses fine-grained correlations; the
+// fused representation scores (entity, has_image, image) links. Trained
+// on TRAIN-class links with a contrastive objective.
+#ifndef CROSSEM_BASELINES_MKGFORMER_H_
+#define CROSSEM_BASELINES_MKGFORMER_H_
+
+#include <memory>
+
+#include "baselines/common.h"
+
+namespace crossem {
+namespace baselines {
+
+struct MkgFormerConfig {
+  int64_t model_dim = 32;
+  int64_t heads = 4;
+  int64_t epochs = 8;
+  int64_t batches_per_epoch = 16;
+  int64_t batch_size = 12;
+  float learning_rate = 2e-3f;
+};
+
+class MkgFormerBaseline : public CrossModalBaseline {
+ public:
+  explicit MkgFormerBaseline(MkgFormerConfig config = {});
+  ~MkgFormerBaseline() override;
+
+  std::string name() const override { return "MKGformer"; }
+  Status Fit(const BaselineContext& ctx) override;
+  Result<Tensor> Score(const BaselineContext& ctx) override;
+
+ private:
+  class Model;
+  MkgFormerConfig config_;
+  std::unique_ptr<Model> model_;
+};
+
+}  // namespace baselines
+}  // namespace crossem
+
+#endif  // CROSSEM_BASELINES_MKGFORMER_H_

@@ -1,0 +1,184 @@
+#include "baselines/transae.h"
+
+#include <map>
+
+#include "nn/layers.h"
+#include "nn/module.h"
+#include "nn/optimizer.h"
+#include "tensor/ops.h"
+#include "util/logging.h"
+
+namespace crossem {
+namespace baselines {
+
+class TransAeBaseline::Model : public nn::Module {
+ public:
+  Model(const TransAeConfig& cfg, int64_t vocab_size, int64_t patch_dim,
+        int64_t num_relations, Rng* rng)
+      : cfg_(cfg),
+        tokens_(vocab_size, cfg.model_dim, rng),
+        visual_proj_(patch_dim, cfg.model_dim, rng),
+        enc_(2 * cfg.model_dim, cfg.hidden_dim, rng),
+        dec_(cfg.hidden_dim, 2 * cfg.model_dim, rng),
+        relations_(num_relations, cfg.hidden_dim, rng) {
+    RegisterModule("tokens", &tokens_);
+    RegisterModule("visual_proj", &visual_proj_);
+    RegisterModule("enc", &enc_);
+    RegisterModule("dec", &dec_);
+    RegisterModule("relations", &relations_);
+  }
+
+  Tensor EmbedText(const std::vector<std::vector<int64_t>>& token_batch) const {
+    const int64_t b = static_cast<int64_t>(token_batch.size());
+    const int64_t t = static_cast<int64_t>(token_batch[0].size());
+    std::vector<int64_t> flat;
+    for (const auto& row : token_batch) {
+      flat.insert(flat.end(), row.begin(), row.end());
+    }
+    Tensor emb = ops::Reshape(tokens_.Forward(flat), {b, t, cfg_.model_dim});
+    return ops::Mean(emb, 1, /*keepdim=*/false);
+  }
+
+  Tensor EmbedVisual(const Tensor& images) const {
+    return visual_proj_.Forward(MeanPatches(images));
+  }
+
+  /// Unified hidden from the multi-modal input [text ; visual].
+  Tensor Hidden(const Tensor& text, const Tensor& visual) const {
+    return ops::Tanh(enc_.Forward(ops::Concat({text, visual}, 1)));
+  }
+
+  /// Text-only / image-only hidden projections (the other half zeroed),
+  /// used to place single-modality entities in the unified space.
+  Tensor TextHidden(const Tensor& text) const {
+    Tensor zeros = Tensor::Zeros({text.size(0), cfg_.model_dim});
+    return Hidden(text, zeros);
+  }
+  Tensor ImageHidden(const Tensor& visual) const {
+    Tensor zeros = Tensor::Zeros({visual.size(0), cfg_.model_dim});
+    return ops::Tanh(enc_.Forward(ops::Concat({zeros, visual}, 1)));
+  }
+
+  Tensor Reconstruct(const Tensor& hidden) const {
+    return dec_.Forward(hidden);
+  }
+
+  Tensor RelationEmbedding(const std::vector<int64_t>& rel_ids) const {
+    return relations_.Forward(rel_ids);
+  }
+
+  const TransAeConfig& config() const { return cfg_; }
+
+ private:
+  TransAeConfig cfg_;
+  nn::Embedding tokens_;
+  nn::Linear visual_proj_;
+  nn::Linear enc_;
+  nn::Linear dec_;
+  nn::Embedding relations_;
+};
+
+TransAeBaseline::TransAeBaseline(TransAeConfig config) : config_(config) {}
+TransAeBaseline::~TransAeBaseline() = default;
+
+Status TransAeBaseline::Fit(const BaselineContext& ctx) {
+  if (ctx.dataset == nullptr || ctx.tokenizer == nullptr) {
+    return Status::InvalidArgument("baseline context incomplete");
+  }
+  Rng rng(ctx.seed + 501);
+  const data::World& world = *ctx.dataset->world;
+  const graph::Graph& graph = ctx.dataset->graph;
+
+  // Relation vocabulary from edge labels.
+  std::map<std::string, int64_t> relation_ids;
+  for (graph::EdgeId e = 0; e < graph.NumEdges(); ++e) {
+    relation_ids.emplace(graph.GetEdge(e).label,
+                         static_cast<int64_t>(relation_ids.size()));
+  }
+  model_ = std::make_unique<Model>(
+      config_, ctx.tokenizer->vocab().size(), world.config().patch_dim,
+      std::max<int64_t>(1, static_cast<int64_t>(relation_ids.size())), &rng);
+  nn::AdamW opt(model_->Parameters(), config_.learning_rate);
+
+  for (int64_t epoch = 0; epoch < config_.epochs; ++epoch) {
+    for (int64_t step = 0; step < config_.batches_per_epoch; ++step) {
+      // -- Reconstruction over caption-image pairs --------------------------
+      auto classes = rng.SampleWithoutReplacement(
+          world.num_classes(),
+          std::min<int64_t>(config_.batch_size, world.num_classes()));
+      std::vector<std::string> captions;
+      std::vector<Tensor> patch_list;
+      for (int64_t cls : classes) {
+        captions.push_back(world.SampleCaption(cls, 3, &rng));
+        patch_list.push_back(world.SampleImage(cls, 8, 4, &rng).patches);
+      }
+      Tensor text = model_->EmbedText(ctx.tokenizer->EncodeBatch(captions));
+      Tensor visual = model_->EmbedVisual(ops::Stack(patch_list));
+      Tensor input = ops::Concat({text, visual}, 1);
+      Tensor hidden = model_->Hidden(text, visual);
+      Tensor diff = ops::Sub(model_->Reconstruct(hidden), input.Detach());
+      Tensor recon_loss = ops::Mean(ops::Mul(diff, diff));
+
+      // -- TransE loss over sampled graph edges -------------------------------
+      Tensor structure_loss = Tensor::Scalar(0.0f);
+      if (graph.NumEdges() > 0) {
+        const int64_t n_edges =
+            std::min<int64_t>(config_.batch_size, graph.NumEdges());
+        std::vector<std::string> head_texts, tail_texts, corrupt_texts;
+        std::vector<int64_t> rels;
+        for (int64_t i = 0; i < n_edges; ++i) {
+          const auto& edge = graph.GetEdge(
+              rng.UniformInt(0, graph.NumEdges() - 1));
+          head_texts.push_back(graph.VertexLabel(edge.src));
+          tail_texts.push_back(graph.VertexLabel(edge.dst));
+          corrupt_texts.push_back(graph.VertexLabel(
+              rng.UniformInt(0, graph.NumVertices() - 1)));
+          rels.push_back(relation_ids.at(edge.label));
+        }
+        Tensor h = model_->TextHidden(
+            model_->EmbedText(ctx.tokenizer->EncodeBatch(head_texts)));
+        Tensor t = model_->TextHidden(
+            model_->EmbedText(ctx.tokenizer->EncodeBatch(tail_texts)));
+        Tensor t_neg = model_->TextHidden(
+            model_->EmbedText(ctx.tokenizer->EncodeBatch(corrupt_texts)));
+        Tensor r = model_->RelationEmbedding(rels);
+        // margin + ||h+r-t|| - ||h+r-t'||, hinged at zero.
+        auto translate_dist = [&](const Tensor& tail) {
+          Tensor d = ops::Sub(ops::Add(h, r), tail);
+          return ops::Sqrt(ops::AddScalar(
+              ops::Sum(ops::Mul(d, d), 1, false), 1e-8f));
+        };
+        Tensor pos = translate_dist(t);
+        Tensor neg = translate_dist(t_neg);
+        structure_loss = ops::Mean(ops::Relu(
+            ops::AddScalar(ops::Sub(pos, neg), config_.margin)));
+      }
+
+      Tensor loss = ops::Add(
+          recon_loss,
+          ops::MulScalar(structure_loss, config_.structure_weight));
+      opt.ZeroGrad();
+      loss.Backward();
+      nn::ClipGradNorm(model_->Parameters(), 5.0f);
+      opt.Step();
+    }
+  }
+  return Status::OK();
+}
+
+Result<Tensor> TransAeBaseline::Score(const BaselineContext& ctx) {
+  if (!model_) return Status::Internal("Fit not called");
+  NoGradGuard guard;
+  std::vector<std::string> prompts;
+  for (graph::VertexId v : ctx.vertices) {
+    prompts.push_back(SerializeVertex(ctx.dataset->graph, v));
+  }
+  Tensor vh = ops::L2Normalize(model_->TextHidden(
+      model_->EmbedText(ctx.tokenizer->EncodeBatch(prompts))));
+  Tensor ih = ops::L2Normalize(
+      model_->ImageHidden(model_->EmbedVisual(ctx.images)));
+  return ops::MatMul(vh, ops::Transpose(ih, 0, 1));
+}
+
+}  // namespace baselines
+}  // namespace crossem

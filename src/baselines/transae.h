@@ -1,0 +1,51 @@
+// TransAE [43]: "combines multi-modal auto-encoder with TransE to encode
+// the visual and textual knowledge into the unified representation,
+// where the hidden layer of the auto-encoder is used to be entity
+// representations in the TransE model."
+//
+// Reproduced mechanism: an autoencoder over concatenated (text summary,
+// visual summary) features learns a unified hidden space; the hidden
+// vectors double as entity embeddings in a TransE loss over the graph's
+// edges. Matching scores are cosine similarities between text-side and
+// image-side hidden projections.
+#ifndef CROSSEM_BASELINES_TRANSAE_H_
+#define CROSSEM_BASELINES_TRANSAE_H_
+
+#include <memory>
+
+#include "baselines/common.h"
+
+namespace crossem {
+namespace baselines {
+
+struct TransAeConfig {
+  int64_t hidden_dim = 24;
+  int64_t model_dim = 32;
+  int64_t epochs = 10;
+  int64_t batches_per_epoch = 16;
+  int64_t batch_size = 16;
+  float learning_rate = 2e-3f;
+  /// Weight of the TransE structural loss against reconstruction.
+  float structure_weight = 0.3f;
+  float margin = 1.0f;
+};
+
+class TransAeBaseline : public CrossModalBaseline {
+ public:
+  explicit TransAeBaseline(TransAeConfig config = {});
+  ~TransAeBaseline() override;
+
+  std::string name() const override { return "TransAE"; }
+  Status Fit(const BaselineContext& ctx) override;
+  Result<Tensor> Score(const BaselineContext& ctx) override;
+
+ private:
+  class Model;
+  TransAeConfig config_;
+  std::unique_ptr<Model> model_;
+};
+
+}  // namespace baselines
+}  // namespace crossem
+
+#endif  // CROSSEM_BASELINES_TRANSAE_H_

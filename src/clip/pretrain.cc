@@ -1,0 +1,76 @@
+#include "clip/pretrain.h"
+
+#include <algorithm>
+
+#include "nn/optimizer.h"
+#include "tensor/ops.h"
+#include "util/logging.h"
+
+namespace crossem {
+namespace clip {
+
+Result<PretrainStats> PretrainClip(ClipModel* model, const data::World& world,
+                                   const std::vector<int64_t>& classes,
+                                   const text::Tokenizer& tokenizer,
+                                   const PretrainConfig& config) {
+  if (model == nullptr) return Status::InvalidArgument("model is null");
+  if (classes.empty()) {
+    return Status::InvalidArgument("no pre-training classes given");
+  }
+  for (int64_t c : classes) {
+    if (c < 0 || c >= world.num_classes()) {
+      return Status::OutOfRange("pre-training class id out of range");
+    }
+  }
+
+  Rng rng(config.seed);
+  model->SetTraining(true);
+  nn::AdamW optimizer(model->Parameters(), config.learning_rate);
+
+  PretrainStats stats;
+  const int64_t batch =
+      std::min<int64_t>(config.batch_size,
+                        static_cast<int64_t>(classes.size()));
+  for (int64_t epoch = 0; epoch < config.epochs; ++epoch) {
+    double epoch_loss = 0.0;
+    for (int64_t step = 0; step < config.batches_per_epoch; ++step) {
+      // Distinct classes per batch so InfoNCE negatives are true negatives.
+      auto pick = rng.SampleWithoutReplacement(
+          static_cast<int64_t>(classes.size()), batch);
+      std::vector<std::string> captions;
+      std::vector<Tensor> patch_list;
+      for (int64_t k : pick) {
+        const int64_t cls = classes[static_cast<size_t>(k)];
+        int64_t caption_cls = cls;
+        if (rng.Bernoulli(config.caption_noise)) {
+          caption_cls = classes[static_cast<size_t>(rng.UniformInt(
+              0, static_cast<int64_t>(classes.size()) - 1))];
+        }
+        captions.push_back(world.SampleCaption(
+            caption_cls, config.caption_attrs, &rng,
+            /*include_name=*/rng.Bernoulli(config.name_mention_prob)));
+        patch_list.push_back(
+            world
+                .SampleImage(cls, config.patches_per_image,
+                             config.attrs_shown_per_image, &rng)
+                .patches);
+      }
+      Tensor text_emb = model->text().Forward(tokenizer.EncodeBatch(captions));
+      Tensor image_emb = model->image().Forward(ops::Stack(patch_list));
+      Tensor loss = model->ContrastiveLoss(text_emb, image_emb);
+      optimizer.ZeroGrad();
+      loss.Backward();
+      nn::ClipGradNorm(model->Parameters(), config.grad_clip);
+      optimizer.Step();
+      epoch_loss += loss.item();
+    }
+    stats.epoch_loss.push_back(
+        static_cast<float>(epoch_loss / config.batches_per_epoch));
+  }
+  stats.final_loss = stats.epoch_loss.empty() ? 0.0f : stats.epoch_loss.back();
+  model->SetTraining(false);
+  return stats;
+}
+
+}  // namespace clip
+}  // namespace crossem

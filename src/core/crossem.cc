@@ -1,0 +1,362 @@
+#include "core/crossem.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "core/losses.h"
+#include "nn/optimizer.h"
+#include "tensor/ops.h"
+#include "util/logging.h"
+#include "util/memory_tracker.h"
+#include "util/timer.h"
+
+namespace crossem {
+namespace core {
+
+CrossEmOptions CrossEmPlusOptions() {
+  CrossEmOptions opt;
+  opt.prompt_mode = PromptMode::kSoft;
+  opt.use_mini_batch_generation = true;
+  opt.use_negative_sampling = true;
+  opt.use_orthogonal_constraint = true;
+  return opt;
+}
+
+double FitStats::AvgEpochSeconds() const {
+  if (epochs.empty()) return 0.0;
+  double total = 0.0;
+  for (const auto& e : epochs) total += e.seconds;
+  return total / static_cast<double>(epochs.size());
+}
+
+float FitStats::FinalLoss() const {
+  return epochs.empty() ? 0.0f : epochs.back().loss;
+}
+
+CrossEm::CrossEm(clip::ClipModel* model, const graph::Graph* graph,
+                 const text::Tokenizer* tokenizer, CrossEmOptions options)
+    : model_(model),
+      graph_(graph),
+      tokenizer_(tokenizer),
+      options_(options),
+      rng_(options.seed),
+      hard_gen_(graph, options.hard) {
+  CROSSEM_CHECK(model != nullptr);
+  CROSSEM_CHECK(graph != nullptr);
+  CROSSEM_CHECK(tokenizer != nullptr);
+  if (options_.prompt_mode == PromptMode::kSoft) {
+    soft_gen_ = std::make_unique<SoftPromptGenerator>(
+        graph, &model->text(), tokenizer, options_.soft, &rng_);
+  }
+}
+
+Tensor CrossEm::EncodeVerticesForTraining(
+    const std::vector<graph::VertexId>& vertices) const {
+  CROSSEM_CHECK(!vertices.empty());
+  if (options_.prompt_mode == PromptMode::kSoft) {
+    SoftPromptGenerator::PromptBatch batch = soft_gen_->Generate(vertices);
+    return model_->text().ForwardFromEmbeddings(batch.embeddings, batch.mask);
+  }
+  std::vector<std::string> prompts;
+  prompts.reserve(vertices.size());
+  for (graph::VertexId v : vertices) {
+    prompts.push_back(options_.prompt_mode == PromptMode::kHard
+                          ? hard_gen_.Generate(v)
+                          : hard_gen_.BaselinePrompt(v));
+  }
+  return model_->text().Forward(tokenizer_->EncodeBatch(prompts));
+}
+
+Tensor CrossEm::EncodeVertices(
+    const std::vector<graph::VertexId>& vertices) const {
+  NoGradGuard guard;
+  return EncodeVerticesForTraining(vertices);
+}
+
+Tensor CrossEm::EncodeImages(const Tensor& images) const {
+  NoGradGuard guard;
+  CROSSEM_CHECK_EQ(images.dim(), 3);
+  const int64_t n = images.size(0);
+  std::vector<Tensor> chunks;
+  const int64_t chunk = 64;
+  for (int64_t start = 0; start < n; start += chunk) {
+    const int64_t end = std::min(start + chunk, n);
+    chunks.push_back(model_->image().Forward(ops::Slice(images, 0, start, end)));
+  }
+  return ops::Concat(chunks, 0);
+}
+
+Tensor CrossEm::ScoreMatrix(const std::vector<graph::VertexId>& vertices,
+                            const Tensor& images) const {
+  NoGradGuard guard;
+  Tensor v = EncodeVertices(vertices);
+  Tensor i = EncodeImages(images);
+  return clip::ClipModel::SimilarityMatrix(v, i);
+}
+
+std::vector<MatchingPair> CrossEm::FindMatches(
+    const std::vector<graph::VertexId>& vertices, const Tensor& images,
+    float min_probability) const {
+  NoGradGuard guard;
+  Tensor v = EncodeVertices(vertices);
+  Tensor i = EncodeImages(images);
+  Tensor prob = model_->MatchingProbability(v, i);  // [Nv, Ni], Eq. 4
+  const int64_t ni = prob.size(1);
+  std::vector<MatchingPair> out;
+  const float* p = prob.data();
+  for (size_t row = 0; row < vertices.size(); ++row) {
+    int64_t best = 0;
+    for (int64_t c = 1; c < ni; ++c) {
+      if (p[static_cast<int64_t>(row) * ni + c] >
+          p[static_cast<int64_t>(row) * ni + best]) {
+        best = c;
+      }
+    }
+    const float score = p[static_cast<int64_t>(row) * ni + best];
+    if (score >= min_probability) {
+      out.push_back(MatchingPair{vertices[row], best, score});
+    }
+  }
+  return out;
+}
+
+std::vector<MatchingPair> CrossEm::FindMutualMatches(
+    const std::vector<graph::VertexId>& vertices,
+    const Tensor& images) const {
+  NoGradGuard guard;
+  Tensor v = EncodeVertices(vertices);
+  Tensor i = EncodeImages(images);
+  Tensor prob = model_->MatchingProbability(v, i);
+  Tensor sim = clip::ClipModel::SimilarityMatrix(v, i);
+  std::vector<int64_t> v2i = ops::ArgMax(sim, -1);
+  std::vector<int64_t> i2v = ops::ArgMax(ops::Transpose(sim, 0, 1), -1);
+  std::vector<MatchingPair> out;
+  const int64_t ni = prob.size(1);
+  for (size_t row = 0; row < vertices.size(); ++row) {
+    const int64_t img = v2i[row];
+    if (i2v[static_cast<size_t>(img)] == static_cast<int64_t>(row)) {
+      out.push_back(MatchingPair{
+          vertices[row], img,
+          prob.at(static_cast<int64_t>(row) * ni + img)});
+    }
+  }
+  return out;
+}
+
+std::vector<Tensor> CrossEm::TrainableParameters() const {
+  std::vector<Tensor> params;
+  if (options_.tune_text_encoder) {
+    for (Tensor p : model_->text().Parameters()) params.push_back(p);
+  }
+  if (soft_gen_) {
+    for (Tensor p : soft_gen_->Parameters()) params.push_back(p);
+  }
+  if (!options_.freeze_image_encoder) {
+    for (Tensor p : model_->image().Parameters()) params.push_back(p);
+  }
+  return params;
+}
+
+Result<FitStats> CrossEm::Fit(const std::vector<graph::VertexId>& vertices,
+                              const Tensor& images) {
+  if (vertices.empty()) return Status::InvalidArgument("no vertices to fit");
+  if (!images.defined() || images.dim() != 3 || images.size(0) == 0) {
+    return Status::InvalidArgument("images must be a [N, P, patch_dim] tensor");
+  }
+  for (graph::VertexId v : vertices) {
+    if (v < 0 || v >= graph_->NumVertices()) {
+      return Status::OutOfRange("vertex id out of range");
+    }
+  }
+
+  // Discrete prompt modes have no trainable prompt parameters: matching
+  // runs zero-shot on the frozen pre-trained model.
+  std::vector<Tensor> params = TrainableParameters();
+  if (params.empty()) {
+    if (options_.prompt_mode == PromptMode::kSoft) {
+      return Status::Internal("soft prompt generator exposed no parameters");
+    }
+    return FitStats{};
+  }
+
+  // Freeze per paper Sec. II-C: image tower and the contrastive head
+  // (temperature) stay fixed; prompt-side parameters train.
+  model_->SetTraining(true);
+  if (options_.freeze_image_encoder) {
+    model_->image().SetRequiresGrad(false);
+  }
+  if (!options_.tune_text_encoder) {
+    model_->text().SetRequiresGrad(false);
+  }
+  nn::AdamW optimizer(params, options_.learning_rate);
+
+  const int64_t num_images = images.size(0);
+  FitStats stats;
+  MemoryTracker::Instance().ResetPeak();
+  Timer total_timer;
+
+  // PCP phases 1-2 are data preprocessing (paper Fig. 5): the property
+  // closeness and proximity matrices are computed once, under the frozen
+  // pre-trained encoders, and reused across epochs.
+  MiniBatchGenerator generator(model_, graph_, tokenizer_, options_.pcp);
+  Tensor proximity;
+  if (options_.use_mini_batch_generation) {
+    proximity = generator.ComputeProximity(vertices, images);
+  }
+
+  for (int64_t epoch = 0; epoch < options_.epochs; ++epoch) {
+    Timer epoch_timer;
+    PeakMemoryScope mem_scope;
+
+    // ---- Mini-batch construction (Alg. 1 line 3 / Alg. 2 + Alg. 3) ----
+    std::vector<MiniBatch> batches;
+    if (options_.use_mini_batch_generation) {
+      auto generated =
+          generator.PartitionFromProximity(vertices, proximity, &rng_);
+      if (!generated.ok()) return generated.status();
+      batches = generated.MoveValue();
+      if (options_.use_negative_sampling) {
+        NegativeSampler sampler(options_.negative_sampling);
+        batches =
+            sampler.Apply(std::move(batches), proximity, vertices, &rng_);
+      }
+      // Cap contrastive batch sizes: split oversize partitions.
+      std::vector<MiniBatch> sized;
+      for (MiniBatch& mb : batches) {
+        for (size_t vs = 0; vs < mb.vertices.size();
+             vs += static_cast<size_t>(options_.batch_vertices)) {
+          for (size_t is = 0; is < mb.image_indices.size();
+               is += static_cast<size_t>(options_.batch_images)) {
+            MiniBatch piece;
+            piece.vertices.assign(
+                mb.vertices.begin() + static_cast<int64_t>(vs),
+                mb.vertices.begin() +
+                    std::min(vs + static_cast<size_t>(options_.batch_vertices),
+                             mb.vertices.size()));
+            piece.image_indices.assign(
+                mb.image_indices.begin() + static_cast<int64_t>(is),
+                mb.image_indices.begin() +
+                    std::min(is + static_cast<size_t>(options_.batch_images),
+                             mb.image_indices.size()));
+            sized.push_back(std::move(piece));
+          }
+        }
+      }
+      batches = std::move(sized);
+    } else {
+      // Random split of the full candidate-pair set V x I: every vertex
+      // chunk is paired with every image chunk (the quadratic training
+      // cost CrossEM+ avoids, Sec. III-C discussion).
+      std::vector<graph::VertexId> vs = vertices;
+      rng_.Shuffle(&vs);
+      std::vector<int64_t> is(static_cast<size_t>(num_images));
+      std::iota(is.begin(), is.end(), 0);
+      rng_.Shuffle(&is);
+      for (size_t v0 = 0; v0 < vs.size();
+           v0 += static_cast<size_t>(options_.batch_vertices)) {
+        for (size_t i0 = 0; i0 < is.size();
+             i0 += static_cast<size_t>(options_.batch_images)) {
+          MiniBatch mb;
+          mb.vertices.assign(
+              vs.begin() + static_cast<int64_t>(v0),
+              vs.begin() + std::min(v0 + static_cast<size_t>(
+                                             options_.batch_vertices),
+                                    vs.size()));
+          mb.image_indices.assign(
+              is.begin() + static_cast<int64_t>(i0),
+              is.begin() +
+                  std::min(i0 + static_cast<size_t>(options_.batch_images),
+                           is.size()));
+          batches.push_back(std::move(mb));
+        }
+      }
+    }
+
+    // ---- Tuning steps (Alg. 1 lines 4-10) ----
+    double epoch_loss = 0.0;
+    int64_t steps = 0;
+    int64_t pairs = 0;
+    for (const MiniBatch& mb : batches) {
+      if (mb.vertices.empty() || mb.image_indices.empty()) continue;
+      pairs += static_cast<int64_t>(mb.vertices.size()) *
+               static_cast<int64_t>(mb.image_indices.size());
+      // Image side: frozen tower, no tape (saves the activation memory
+      // the paper's frozen-encoder design saves on GPU).
+      Tensor image_emb;
+      {
+        NoGradGuard guard;
+        std::vector<Tensor> rows;
+        rows.reserve(mb.image_indices.size());
+        for (int64_t idx : mb.image_indices) {
+          CROSSEM_CHECK_GE(idx, 0);
+          CROSSEM_CHECK_LT(idx, num_images);
+          rows.push_back(ops::Reshape(ops::Slice(images, 0, idx, idx + 1),
+                                      {images.size(1), images.size(2)}));
+        }
+        image_emb = model_->image().Forward(ops::Stack(rows));
+      }
+      Tensor text_emb = EncodeVerticesForTraining(mb.vertices);
+
+      // Pseudo-positives X_p: the top-similarity pairs of the batch
+      // (paper Sec. II-B: "X_p is collected from the pairs with top
+      // similarity"; the rest forms X_n). We take mutual nearest
+      // neighbors — (v, I) where I is v's best image AND v is I's best
+      // vertex — which keeps only confident pairs and avoids the drift
+      // of forcing a positive for every vertex.
+      std::vector<int64_t> confident_rows;
+      std::vector<int64_t> confident_targets;
+      {
+        NoGradGuard guard;
+        Tensor sim = clip::ClipModel::SimilarityMatrix(text_emb.Detach(),
+                                                       image_emb);
+        std::vector<int64_t> t2i = ops::ArgMax(sim, -1);
+        std::vector<int64_t> i2t = ops::ArgMax(ops::Transpose(sim, 0, 1), -1);
+        for (size_t r = 0; r < t2i.size(); ++r) {
+          const int64_t img = t2i[r];
+          if (i2t[static_cast<size_t>(img)] == static_cast<int64_t>(r)) {
+            confident_rows.push_back(static_cast<int64_t>(r));
+            confident_targets.push_back(img);
+          }
+        }
+      }
+      if (confident_rows.empty()) continue;  // no trustworthy pair
+
+      Tensor selected_text = ops::IndexSelect(text_emb, confident_rows);
+      Tensor loss =
+          model_->ContrastiveLoss(selected_text, image_emb, confident_targets);
+      if (options_.use_orthogonal_constraint && soft_gen_) {
+        Tensor lo = OrthogonalPromptLoss(
+            soft_gen_->PromptFeatures(mb.vertices));
+        loss = CombinedLoss(loss, lo, options_.beta);
+      }
+      optimizer.ZeroGrad();
+      loss.Backward();
+      nn::ClipGradNorm(params, options_.grad_clip);
+      optimizer.Step();
+      epoch_loss += loss.item();
+      ++steps;
+    }
+
+    EpochStats es;
+    es.loss = steps > 0 ? static_cast<float>(epoch_loss / steps) : 0.0f;
+    es.seconds = epoch_timer.ElapsedSeconds();
+    es.peak_bytes = mem_scope.PeakBytes();
+    es.num_batches = steps;
+    es.num_pairs = pairs;
+    stats.peak_bytes = std::max(stats.peak_bytes, es.peak_bytes);
+    stats.epochs.push_back(es);
+  }
+  stats.total_seconds = total_timer.ElapsedSeconds();
+  model_->SetTraining(false);
+  // Restore requires_grad for other users of the shared model.
+  if (options_.freeze_image_encoder) {
+    model_->image().SetRequiresGrad(true);
+  }
+  if (!options_.tune_text_encoder) {
+    model_->text().SetRequiresGrad(true);
+  }
+  return stats;
+}
+
+}  // namespace core
+}  // namespace crossem

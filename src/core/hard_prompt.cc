@@ -1,0 +1,125 @@
+#include "core/hard_prompt.h"
+
+#include <algorithm>
+#include <deque>
+#include <unordered_set>
+
+#include "util/logging.h"
+
+namespace crossem {
+namespace core {
+
+HardPromptGenerator::HardPromptGenerator(const graph::Graph* graph,
+                                         HardPromptOptions options)
+    : graph_(graph), options_(options) {
+  CROSSEM_CHECK(graph != nullptr);
+  CROSSEM_CHECK_GE(options.hops, 0);
+}
+
+std::string HardPromptGenerator::BaselinePrompt(graph::VertexId v) const {
+  return "a photo of " + graph_->VertexLabel(v);
+}
+
+std::string HardPromptGenerator::Generate(graph::VertexId v) const {
+  // BFS over the d-hop neighborhood recording tree edges (the blue
+  // induction directions of paper Fig. 3).
+  struct TreeEdge {
+    graph::VertexId parent;
+    graph::VertexId child;
+    std::string label;
+  };
+  std::vector<TreeEdge> tree;
+  std::unordered_set<graph::VertexId> visited = {v};
+  std::deque<std::pair<graph::VertexId, int64_t>> frontier = {{v, 0}};
+
+  auto edge_label_between = [&](graph::VertexId a,
+                                graph::VertexId b) -> std::string {
+    for (graph::EdgeId e : graph_->OutEdges(a)) {
+      if (graph_->GetEdge(e).dst == b) return graph_->GetEdge(e).label;
+    }
+    for (graph::EdgeId e : graph_->InEdges(a)) {
+      if (graph_->GetEdge(e).src == b) return graph_->GetEdge(e).label;
+    }
+    return "related to";
+  };
+
+  while (!frontier.empty()) {
+    auto [u, depth] = frontier.front();
+    frontier.pop_front();
+    if (depth == options_.hops) continue;
+    for (graph::VertexId w : graph_->Neighbors(u)) {
+      if (!visited.insert(w).second) continue;
+      tree.push_back(TreeEdge{u, w, edge_label_between(u, w)});
+      frontier.emplace_back(w, depth + 1);
+    }
+  }
+
+  // Template design (the paper stresses the template must be tailored to
+  // the graph structure): attribute edges ("has ...") describe visual
+  // properties and come first; entity-entity relation edges ("rel ...",
+  // "ref ...") are appended last and truncated first, since neighbor
+  // entity names describe OTHER entities' appearance.
+  auto is_attr = [](const TreeEdge& e) {
+    return e.label.rfind("has ", 0) == 0;
+  };
+  std::stable_sort(tree.begin(), tree.end(),
+                   [&](const TreeEdge& a, const TreeEdge& b) {
+                     return is_attr(a) && !is_attr(b);
+                   });
+  // Cap the relation-neighbor tail.
+  int64_t keep = 0;
+  int64_t relations = 0;
+  for (const TreeEdge& te : tree) {
+    if (!is_attr(te)) {
+      if (relations >= options_.max_relation_sub_prompts) break;
+      ++relations;
+    }
+    ++keep;
+  }
+  tree.resize(static_cast<size_t>(keep));
+
+  // Concatenate sub-prompts (Eq. 5): Concat(S, T).
+  const int64_t limit =
+      std::min<int64_t>(options_.max_sub_prompts,
+                        static_cast<int64_t>(tree.size()));
+
+  if (options_.style == HardPromptStyle::kCaption) {
+    // Caption template: center label followed by neighbor labels; deeper
+    // neighbors are prefixed by their parent.
+    std::string prompt = "a photo of " + graph_->VertexLabel(v);
+    for (int64_t i = 0; i < limit; ++i) {
+      const TreeEdge& te = tree[static_cast<size_t>(i)];
+      if (i == 0) {
+        prompt += " with ";
+      } else if (i + 1 == limit) {
+        prompt += " and ";
+      } else {
+        prompt += ", ";
+      }
+      if (te.parent != v) prompt += graph_->VertexLabel(te.parent) + " ";
+      prompt += graph_->VertexLabel(te.child);
+    }
+    return prompt;
+  }
+
+  std::string prompt = graph_->VertexLabel(v);
+  for (int64_t i = 0; i < limit; ++i) {
+    const TreeEdge& te = tree[static_cast<size_t>(i)];
+    std::string sub;
+    if (te.parent != v) {
+      sub = graph_->VertexLabel(te.parent) + " ";
+    }
+    sub += te.label + " in " + graph_->VertexLabel(te.child);
+    if (i == 0) {
+      prompt += " " + sub;
+    } else if (i + 1 == limit) {
+      prompt += ", and " + sub;
+    } else {
+      prompt += ", " + sub;
+    }
+  }
+  return prompt;
+}
+
+}  // namespace core
+}  // namespace crossem

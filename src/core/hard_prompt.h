@@ -1,0 +1,73 @@
+// Hard-encoding prompt f_pro^h (paper Sec. III-B, Eq. 5).
+//
+// Serializes a vertex's d-hop subgraph into a textual template by
+// concatenating neighboring sub-prompts along BFS induction directions,
+// e.g. (paper Example 2):
+//
+//   "laysan albatross has crown color in white, has under tail color in
+//    black, has wing shape in long-wings, and long-wings has wing color
+//    in grey"
+//
+// Sub-prompts from the center omit the center's label; deeper sub-prompts
+// name their source vertex. The pre-defined token set T is {", ", "and",
+// "in"}.
+#ifndef CROSSEM_CORE_HARD_PROMPT_H_
+#define CROSSEM_CORE_HARD_PROMPT_H_
+
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace crossem {
+namespace core {
+
+/// Textual template for serializing the subgraph. The paper stresses that
+/// "the hard-encoding prompt template needs to be carefully designed for
+/// different graph structures" (Sec. III-B, drawback 1) — both templates
+/// carry the same structural knowledge but differ in surface form.
+enum class HardPromptStyle {
+  /// Caption-style, matched to the pre-training caption distribution:
+  /// "a photo of <label> with <n1>, <n2>, and <nk>".
+  kCaption,
+  /// The paper's Example 2 serialization:
+  /// "<label> has crown color in white, ..., and long-wings has wing
+  /// color in grey".
+  kSerialized,
+};
+
+/// Options for hard prompt construction.
+struct HardPromptOptions {
+  /// Subgraph radius d (paper uses small d; 1-2 hop neighborhoods).
+  int64_t hops = 1;
+  /// Maximum sub-prompts concatenated (guards the encoder context).
+  int64_t max_sub_prompts = 16;
+  /// Of those, at most this many entity-entity relation neighbors
+  /// ("rel ..."/"ref ..." edges) — neighbor entity names describe other
+  /// entities' appearance and dilute the visual prompt.
+  int64_t max_relation_sub_prompts = 2;
+  HardPromptStyle style = HardPromptStyle::kCaption;
+};
+
+/// Generates discrete textual prompts from graph structure.
+class HardPromptGenerator {
+ public:
+  /// `graph` must outlive the generator.
+  HardPromptGenerator(const graph::Graph* graph, HardPromptOptions options);
+
+  /// The structure-aware prompt for vertex v.
+  std::string Generate(graph::VertexId v) const;
+
+  /// The naive baseline prompt used by zero-shot CLIP (paper Sec. II-B):
+  /// "a photo of <label>".
+  std::string BaselinePrompt(graph::VertexId v) const;
+
+ private:
+  const graph::Graph* graph_;
+  HardPromptOptions options_;
+};
+
+}  // namespace core
+}  // namespace crossem
+
+#endif  // CROSSEM_CORE_HARD_PROMPT_H_

@@ -1,0 +1,108 @@
+#include "core/kmeans.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/logging.h"
+
+namespace crossem {
+namespace core {
+
+namespace {
+double SquaredDistance(const float* a, const float* b, int64_t dim) {
+  double acc = 0.0;
+  for (int64_t d = 0; d < dim; ++d) {
+    const double diff = static_cast<double>(a[d]) - b[d];
+    acc += diff * diff;
+  }
+  return acc;
+}
+}  // namespace
+
+KMeansResult KMeans(const Tensor& points, int64_t k, Rng* rng,
+                    int64_t max_iters) {
+  CROSSEM_CHECK_EQ(points.dim(), 2);
+  CROSSEM_CHECK_GT(k, 0);
+  CROSSEM_CHECK(rng != nullptr);
+  const int64_t n = points.size(0);
+  const int64_t dim = points.size(1);
+  k = std::min(k, n);
+
+  const float* p = points.data();
+  KMeansResult result;
+  result.centroids = Tensor::Zeros({k, dim});
+  float* c = result.centroids.data();
+
+  // k-means++ seeding: first centroid uniform, then proportional to
+  // squared distance from the nearest chosen centroid.
+  std::vector<int64_t> seeds;
+  seeds.push_back(rng->UniformInt(0, n - 1));
+  std::vector<double> dist2(static_cast<size_t>(n),
+                            std::numeric_limits<double>::max());
+  while (static_cast<int64_t>(seeds.size()) < k) {
+    const float* last = p + seeds.back() * dim;
+    for (int64_t i = 0; i < n; ++i) {
+      dist2[static_cast<size_t>(i)] =
+          std::min(dist2[static_cast<size_t>(i)],
+                   SquaredDistance(p + i * dim, last, dim));
+    }
+    double total = 0.0;
+    for (double d : dist2) total += d;
+    if (total <= 0.0) {
+      // All remaining points coincide with a centroid; pick uniformly.
+      seeds.push_back(rng->UniformInt(0, n - 1));
+      continue;
+    }
+    std::vector<double> weights(dist2.begin(), dist2.end());
+    seeds.push_back(rng->Categorical(weights));
+  }
+  for (int64_t j = 0; j < k; ++j) {
+    std::copy_n(p + seeds[static_cast<size_t>(j)] * dim, dim, c + j * dim);
+  }
+
+  result.assignments.assign(static_cast<size_t>(n), 0);
+  for (int64_t iter = 0; iter < max_iters; ++iter) {
+    result.iterations = iter + 1;
+    // Assignment step.
+    bool changed = false;
+    for (int64_t i = 0; i < n; ++i) {
+      int64_t best = 0;
+      double best_d = std::numeric_limits<double>::max();
+      for (int64_t j = 0; j < k; ++j) {
+        const double d = SquaredDistance(p + i * dim, c + j * dim, dim);
+        if (d < best_d) {
+          best_d = d;
+          best = j;
+        }
+      }
+      if (result.assignments[static_cast<size_t>(i)] != best) {
+        result.assignments[static_cast<size_t>(i)] = best;
+        changed = true;
+      }
+    }
+    if (!changed && iter > 0) break;
+    // Update step.
+    std::vector<int64_t> counts(static_cast<size_t>(k), 0);
+    std::fill_n(c, k * dim, 0.0f);
+    for (int64_t i = 0; i < n; ++i) {
+      const int64_t j = result.assignments[static_cast<size_t>(i)];
+      ++counts[static_cast<size_t>(j)];
+      for (int64_t d = 0; d < dim; ++d) c[j * dim + d] += p[i * dim + d];
+    }
+    for (int64_t j = 0; j < k; ++j) {
+      if (counts[static_cast<size_t>(j)] == 0) {
+        // Re-seed an empty cluster at a random point.
+        const int64_t pick = rng->UniformInt(0, n - 1);
+        std::copy_n(p + pick * dim, dim, c + j * dim);
+        continue;
+      }
+      const float inv = 1.0f / static_cast<float>(counts[static_cast<size_t>(j)]);
+      for (int64_t d = 0; d < dim; ++d) c[j * dim + d] *= inv;
+    }
+  }
+  return result;
+}
+
+}  // namespace core
+}  // namespace crossem

@@ -1,0 +1,33 @@
+// Lloyd's k-means over dense row vectors (used by PCP phase 3 to cluster
+// images by their proximity distributions, paper Alg. 2 line 16).
+#ifndef CROSSEM_CORE_KMEANS_H_
+#define CROSSEM_CORE_KMEANS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.h"
+#include "util/random.h"
+
+namespace crossem {
+namespace core {
+
+struct KMeansResult {
+  /// assignments[i] in [0, k) for each input row.
+  std::vector<int64_t> assignments;
+  /// Cluster centroids [k, dim].
+  Tensor centroids;
+  int64_t iterations = 0;
+};
+
+/// Clusters the rows of `points` ([n, dim]) into at most `k` clusters
+/// (k is clamped to n). Deterministic given `rng`'s state: k-means++
+/// style seeding followed by Lloyd iterations until convergence or
+/// `max_iters`.
+KMeansResult KMeans(const Tensor& points, int64_t k, Rng* rng,
+                    int64_t max_iters = 50);
+
+}  // namespace core
+}  // namespace crossem
+
+#endif  // CROSSEM_CORE_KMEANS_H_

@@ -1,0 +1,28 @@
+#include "core/losses.h"
+
+#include "tensor/ops.h"
+#include "util/logging.h"
+
+namespace crossem {
+namespace core {
+
+Tensor OrthogonalPromptLoss(const Tensor& prompt_matrix) {
+  CROSSEM_CHECK_EQ(prompt_matrix.dim(), 2);
+  const int64_t b = prompt_matrix.size(0);
+  Tensor f = ops::L2Normalize(prompt_matrix);
+  Tensor gram = ops::MatMul(f, ops::Transpose(f, 0, 1));  // [B, B]
+  Tensor deviation = ops::Abs(ops::Sub(gram, ops::Eye(b)));
+  // Mean over entries keeps the magnitude comparable across batch sizes.
+  return ops::Mean(deviation);
+}
+
+Tensor CombinedLoss(const Tensor& contrastive, const Tensor& orthogonal,
+                    float beta) {
+  CROSSEM_CHECK_GE(beta, 0.0f);
+  CROSSEM_CHECK_LE(beta, 1.0f);
+  return ops::Add(ops::MulScalar(contrastive, beta),
+                  ops::MulScalar(orthogonal, 1.0f - beta));
+}
+
+}  // namespace core
+}  // namespace crossem

@@ -1,0 +1,24 @@
+// CrossEM+ loss components: the orthogonal prompt constraint (paper
+// Sec. IV-C, Eq. 9) and the combined objective (Eq. 10).
+#ifndef CROSSEM_CORE_LOSSES_H_
+#define CROSSEM_CORE_LOSSES_H_
+
+#include "tensor/tensor.h"
+
+namespace crossem {
+namespace core {
+
+/// L_o = || f f^T - I ||_F1 over a mini-batch prompt matrix f ([B, D],
+/// rows are the soft prompts of the batch's vertices). Element-level
+/// absolute-value norm per the paper. Rows are L2-normalized first so
+/// the diagonal target of 1 is attainable regardless of prompt scale.
+Tensor OrthogonalPromptLoss(const Tensor& prompt_matrix);
+
+/// L = beta * contrastive + (1 - beta) * orthogonal  (Eq. 10).
+Tensor CombinedLoss(const Tensor& contrastive, const Tensor& orthogonal,
+                    float beta);
+
+}  // namespace core
+}  // namespace crossem
+
+#endif  // CROSSEM_CORE_LOSSES_H_

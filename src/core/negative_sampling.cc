@@ -1,0 +1,69 @@
+#include "core/negative_sampling.h"
+
+#include <algorithm>
+#include <map>
+#include <numeric>
+#include <set>
+
+#include "util/logging.h"
+
+namespace crossem {
+namespace core {
+
+NegativeSampler::NegativeSampler(NegativeSamplingOptions options)
+    : options_(options) {
+  CROSSEM_CHECK_GT(options.batch_size, 0);
+  CROSSEM_CHECK_GT(options.max_top_k, 0);
+}
+
+std::vector<MiniBatch> NegativeSampler::Apply(
+    std::vector<MiniBatch> partitions, const Tensor& proximity,
+    const std::vector<graph::VertexId>& vertex_order, Rng* rng) const {
+  CROSSEM_CHECK_EQ(proximity.dim(), 2);
+  const int64_t ni = proximity.size(1);
+  std::map<graph::VertexId, int64_t> vertex_row;
+  for (size_t i = 0; i < vertex_order.size(); ++i) {
+    vertex_row.emplace(vertex_order[i], static_cast<int64_t>(i));
+  }
+  const float* s = proximity.data();
+
+  for (MiniBatch& part : partitions) {
+    rng->Shuffle(&part.image_indices);  // Alg. 3 line 3
+    const int64_t n = options_.batch_size;
+    const int64_t size = static_cast<int64_t>(part.image_indices.size());
+    int64_t count = ((size + n - 1) / n) * n - size;  // Alg. 3 line 5
+    if (count == 0) continue;
+
+    std::set<int64_t> present(part.image_indices.begin(),
+                              part.image_indices.end());
+    for (graph::VertexId v : part.vertices) {
+      if (count <= 0) break;
+      auto it = vertex_row.find(v);
+      if (it == vertex_row.end()) continue;
+      const float* row = s + it->second * ni;
+      // Random top-k window (Alg. 3 line 9).
+      const int64_t k = rng->UniformInt(
+          1, std::min<int64_t>(options_.max_top_k, ni));
+      // Partial top-k by proximity over all images.
+      std::vector<int64_t> idx(static_cast<size_t>(ni));
+      std::iota(idx.begin(), idx.end(), 0);
+      std::partial_sort(idx.begin(), idx.begin() + k, idx.end(),
+                        [row](int64_t a, int64_t b) {
+                          return row[a] > row[b];
+                        });
+      for (int64_t j = 0; j < k && count > 0; ++j) {
+        const int64_t img = idx[static_cast<size_t>(j)];
+        if (present.insert(img).second) {
+          part.image_indices.push_back(img);  // hard negative merged
+          --count;
+        }
+      }
+    }
+    rng->Shuffle(&part.image_indices);  // Alg. 3 line 16
+  }
+  rng->Shuffle(&partitions);  // Alg. 3 line 17
+  return partitions;
+}
+
+}  // namespace core
+}  // namespace crossem

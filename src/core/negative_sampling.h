@@ -1,0 +1,49 @@
+// Property-based negative sampling (paper Sec. IV-B, Alg. 3).
+//
+// For each data partition D_i = (V_i, I_i), samples images that have
+// HIGH proximity to V_i's vertices but are not in I_i — hard negatives
+// that share properties without matching — and merges them into the
+// partition until the candidate-pair count reaches the nearest multiple
+// of the batch size. Batches and partitions are shuffled to reduce the
+// model's dependence on data order.
+#ifndef CROSSEM_CORE_NEGATIVE_SAMPLING_H_
+#define CROSSEM_CORE_NEGATIVE_SAMPLING_H_
+
+#include <vector>
+
+#include "core/pcp.h"
+#include "graph/graph.h"
+#include "tensor/tensor.h"
+#include "util/random.h"
+
+namespace crossem {
+namespace core {
+
+struct NegativeSamplingOptions {
+  /// Target batch size N of Alg. 3: image counts are padded to a multiple.
+  int64_t batch_size = 8;
+  /// Upper bound of the random top-k window (Alg. 3 line 9).
+  int64_t max_top_k = 8;
+};
+
+/// Augments PCP partitions with hard negatives.
+class NegativeSampler {
+ public:
+  explicit NegativeSampler(NegativeSamplingOptions options);
+
+  /// `proximity` is S(V, I) with rows aligned to `vertex_order` (the
+  /// vertex list PCP ran on) and columns indexing the image list.
+  /// Returns the augmented, shuffled partitions.
+  std::vector<MiniBatch> Apply(std::vector<MiniBatch> partitions,
+                               const Tensor& proximity,
+                               const std::vector<graph::VertexId>& vertex_order,
+                               Rng* rng) const;
+
+ private:
+  NegativeSamplingOptions options_;
+};
+
+}  // namespace core
+}  // namespace crossem
+
+#endif  // CROSSEM_CORE_NEGATIVE_SAMPLING_H_

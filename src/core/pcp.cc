@@ -1,0 +1,218 @@
+#include "core/pcp.h"
+
+#include <algorithm>
+#include <map>
+#include <numeric>
+#include <set>
+
+#include "core/kmeans.h"
+#include "tensor/ops.h"
+#include "util/logging.h"
+
+namespace crossem {
+namespace core {
+
+MiniBatchGenerator::MiniBatchGenerator(const clip::ClipModel* model,
+                                       const graph::Graph* graph,
+                                       const text::Tokenizer* tokenizer,
+                                       PcpOptions options)
+    : model_(model),
+      graph_(graph),
+      tokenizer_(tokenizer),
+      options_(options) {
+  CROSSEM_CHECK(model != nullptr);
+  CROSSEM_CHECK(graph != nullptr);
+  CROSSEM_CHECK(tokenizer != nullptr);
+  CROSSEM_CHECK_GT(options.num_vertex_subsets, 0);
+  CROSSEM_CHECK_GT(options.num_image_clusters, 0);
+}
+
+Tensor MiniBatchGenerator::ComputeProximity(
+    const std::vector<graph::VertexId>& vertices, const Tensor& images) const {
+  NoGradGuard guard;
+  CROSSEM_CHECK_EQ(images.dim(), 3);
+  const int64_t num_images = images.size(0);
+  const int64_t patches = images.size(1);
+  const int64_t patch_dim = images.size(2);
+
+  // Property sets N(v) = {v} + d-hop neighbors; collect distinct property
+  // vertices so each label is embedded once (phase 1).
+  std::vector<std::vector<graph::VertexId>> property_sets;
+  std::map<graph::VertexId, int64_t> property_row;
+  std::vector<graph::VertexId> property_order;
+  for (graph::VertexId v : vertices) {
+    graph::Subgraph sub = graph_->DHopSubgraph(v, options_.hops);
+    property_sets.push_back(sub.vertices);  // includes v itself
+    for (graph::VertexId u : sub.vertices) {
+      if (property_row.emplace(u, static_cast<int64_t>(property_order.size()))
+              .second) {
+        property_order.push_back(u);
+      }
+    }
+  }
+
+  // Embed property labels via the frozen text tower (stand-in for the
+  // paper's BERT property features).
+  std::vector<std::string> property_labels;
+  for (graph::VertexId u : property_order) {
+    property_labels.push_back(graph_->VertexLabel(u));
+  }
+  Tensor property_emb =
+      model_->text().Forward(tokenizer_->EncodeBatch(property_labels));
+
+  // Embed every patch as a one-patch image through the frozen image tower
+  // (stand-in for ResNet patch features), in chunks.
+  Tensor patch_rows = ops::Reshape(images, {num_images * patches, 1,
+                                            patch_dim});
+  std::vector<Tensor> chunks;
+  const int64_t chunk = 256;
+  for (int64_t start = 0; start < num_images * patches; start += chunk) {
+    const int64_t end = std::min(start + chunk, num_images * patches);
+    chunks.push_back(model_->image().Forward(
+        ops::Slice(patch_rows, 0, start, end)));
+  }
+  Tensor patch_emb = ops::Concat(chunks, 0);  // [N*P, E]
+
+  // Phase 1 closeness: S_c = A x C^T.
+  Tensor closeness =
+      ops::MatMul(property_emb, ops::Transpose(patch_emb, 0, 1));
+
+  // Phase 2 proximity (Eq. 8).
+  const int64_t nv = static_cast<int64_t>(vertices.size());
+  Tensor proximity = Tensor::Zeros({nv, num_images});
+  float* s = proximity.data();
+  const float* sc = closeness.data();
+  const int64_t sc_cols = num_images * patches;
+  for (int64_t vi = 0; vi < nv; ++vi) {
+    for (graph::VertexId u : property_sets[static_cast<size_t>(vi)]) {
+      const int64_t row = property_row.at(u);
+      const float* sc_row = sc + row * sc_cols;
+      for (int64_t img = 0; img < num_images; ++img) {
+        float best = sc_row[img * patches];
+        for (int64_t k = 1; k < patches; ++k) {
+          best = std::max(best, sc_row[img * patches + k]);
+        }
+        s[vi * num_images + img] += best;
+      }
+    }
+  }
+  return proximity;
+}
+
+Result<MiniBatchGenerator::Output> MiniBatchGenerator::Generate(
+    const std::vector<graph::VertexId>& vertices, const Tensor& images,
+    Rng* rng) const {
+  if (vertices.empty()) return Status::InvalidArgument("no vertices");
+  if (!images.defined() || images.size(0) == 0) {
+    return Status::InvalidArgument("no images");
+  }
+  Output out;
+  out.proximity = ComputeProximity(vertices, images);
+  auto partitions = PartitionFromProximity(vertices, out.proximity, rng);
+  if (!partitions.ok()) return partitions.status();
+  out.partitions = partitions.MoveValue();
+  return out;
+}
+
+Result<std::vector<MiniBatch>> MiniBatchGenerator::PartitionFromProximity(
+    const std::vector<graph::VertexId>& vertices, const Tensor& proximity,
+    Rng* rng) const {
+  if (vertices.empty()) return Status::InvalidArgument("no vertices");
+  if (!proximity.defined() || proximity.dim() != 2 ||
+      proximity.size(0) != static_cast<int64_t>(vertices.size())) {
+    return Status::InvalidArgument("proximity rows must match vertices");
+  }
+  std::vector<MiniBatch> partitions;
+  const int64_t nv = static_cast<int64_t>(vertices.size());
+  const int64_t ni = proximity.size(1);
+  const float* s = proximity.data();
+
+  // Phase 3, step 1: random vertex subsets.
+  std::vector<int64_t> order(static_cast<size_t>(nv));
+  std::iota(order.begin(), order.end(), 0);
+  rng->Shuffle(&order);
+  const int64_t k1 =
+      std::min<int64_t>(options_.num_vertex_subsets, nv);
+  std::vector<std::vector<int64_t>> vertex_subsets(static_cast<size_t>(k1));
+  for (int64_t i = 0; i < nv; ++i) {
+    vertex_subsets[static_cast<size_t>(i % k1)].push_back(
+        order[static_cast<size_t>(i)]);
+  }
+
+  for (const auto& subset : vertex_subsets) {
+    if (subset.empty()) continue;
+    // Subset-level proximity of each image (Alg. 2 line 14).
+    std::vector<float> subset_prox(static_cast<size_t>(ni), 0.0f);
+    for (int64_t row : subset) {
+      for (int64_t img = 0; img < ni; ++img) {
+        subset_prox[static_cast<size_t>(img)] += s[row * ni + img];
+      }
+    }
+    // Prune images below the quantile threshold theta.
+    std::vector<float> sorted = subset_prox;
+    std::sort(sorted.begin(), sorted.end());
+    const size_t theta_idx = static_cast<size_t>(
+        options_.prune_quantile * static_cast<float>(ni));
+    const float theta =
+        sorted[std::min(theta_idx, sorted.size() - 1)];
+    std::vector<int64_t> survivors;
+    for (int64_t img = 0; img < ni; ++img) {
+      if (subset_prox[static_cast<size_t>(img)] > theta) {
+        survivors.push_back(img);
+      }
+    }
+    if (survivors.empty()) {
+      // Degenerate pruning (uniform proximities): keep everything.
+      survivors.resize(static_cast<size_t>(ni));
+      std::iota(survivors.begin(), survivors.end(), 0);
+    }
+
+    // Proximity distribution P_i(I) over the subset's vertices for each
+    // surviving image, then k-means into k2 clusters.
+    const int64_t sv = static_cast<int64_t>(survivors.size());
+    const int64_t sd = static_cast<int64_t>(subset.size());
+    Tensor dist = Tensor::Zeros({sv, sd});
+    float* dp = dist.data();
+    for (int64_t r = 0; r < sv; ++r) {
+      const int64_t img = survivors[static_cast<size_t>(r)];
+      float total = 0.0f;
+      for (int64_t c = 0; c < sd; ++c) {
+        const float val = s[subset[static_cast<size_t>(c)] * ni + img];
+        dp[r * sd + c] = val;
+        total += std::max(val, 0.0f);
+      }
+      if (total > 0.0f) {
+        for (int64_t c = 0; c < sd; ++c) {
+          dp[r * sd + c] = std::max(dp[r * sd + c], 0.0f) / total;
+        }
+      }
+    }
+    KMeansResult clusters =
+        KMeans(dist, options_.num_image_clusters, rng);
+
+    // Emit one partition per non-empty cluster; shuffle cluster order.
+    std::vector<std::vector<int64_t>> cluster_images(
+        static_cast<size_t>(options_.num_image_clusters));
+    for (int64_t r = 0; r < sv; ++r) {
+      cluster_images[static_cast<size_t>(clusters.assignments[
+          static_cast<size_t>(r)])]
+          .push_back(survivors[static_cast<size_t>(r)]);
+    }
+    rng->Shuffle(&cluster_images);
+    for (auto& imgs : cluster_images) {
+      if (imgs.empty()) continue;
+      MiniBatch mb;
+      for (int64_t row : subset) {
+        mb.vertices.push_back(vertices[static_cast<size_t>(row)]);
+      }
+      rng->Shuffle(&imgs);
+      mb.image_indices = std::move(imgs);
+      partitions.push_back(std::move(mb));
+    }
+  }
+  rng->Shuffle(&partitions);
+  return partitions;
+}
+
+}  // namespace core
+}  // namespace crossem

@@ -1,0 +1,89 @@
+// PCP — property-based closeness partition (paper Sec. IV-A, Alg. 2):
+// the mini-batch generation optimization of CrossEM+.
+//
+// Three phases:
+//  1. Property closeness: embed vertex properties (d-hop neighbor labels,
+//     via the pre-trained text encoder) and image properties (patches,
+//     via the pre-trained image encoder) into the joint space, and form
+//     the closeness matrix S_c = A x C.
+//  2. Pairwise proximity (Eq. 8): S(v, I) = sum over neighbors of the max
+//     patch closeness.
+//  3. Cluster-based partition: split V randomly into k1 subsets, prune
+//     low-proximity images per subset, k-means the surviving images by
+//     their proximity distributions into k2 clusters, emit shuffled
+//     (V_i, I_j) partitions.
+#ifndef CROSSEM_CORE_PCP_H_
+#define CROSSEM_CORE_PCP_H_
+
+#include <vector>
+
+#include "clip/clip.h"
+#include "graph/graph.h"
+#include "tensor/tensor.h"
+#include "text/tokenizer.h"
+#include "util/random.h"
+#include "util/status.h"
+
+namespace crossem {
+namespace core {
+
+struct PcpOptions {
+  /// Neighborhood radius d for property sets.
+  int64_t hops = 1;
+  /// k1: random vertex subsets.
+  int64_t num_vertex_subsets = 2;
+  /// k2: image clusters per vertex subset.
+  int64_t num_image_clusters = 3;
+  /// Images whose subset-level proximity falls below this quantile of the
+  /// subset's proximity values are pruned (theta in Alg. 2 line 14).
+  float prune_quantile = 0.25f;
+};
+
+/// One mini-batch partition D_i = (V_i, I_j).
+struct MiniBatch {
+  std::vector<graph::VertexId> vertices;
+  std::vector<int64_t> image_indices;  // into the caller's image list
+};
+
+/// Mini-batch generator over a (graph, image set) pair.
+class MiniBatchGenerator {
+ public:
+  /// `model`, `graph`, `tokenizer` must outlive the generator. The model
+  /// is used frozen (no gradients) to extract property features.
+  MiniBatchGenerator(const clip::ClipModel* model, const graph::Graph* graph,
+                     const text::Tokenizer* tokenizer, PcpOptions options);
+
+  /// Runs phases 1-2: the pairwise proximity matrix S(V, I)
+  /// [num_vertices, num_images]. `images` is the stacked patch tensor
+  /// [N, P, patch_dim] aligned with image indices 0..N-1.
+  Tensor ComputeProximity(const std::vector<graph::VertexId>& vertices,
+                          const Tensor& images) const;
+
+  /// Full Alg. 2: partitions of the candidate pairs. The same proximity
+  /// matrix is reused by negative sampling, so it is returned too.
+  struct Output {
+    std::vector<MiniBatch> partitions;
+    Tensor proximity;  // S(V, I), rows aligned with `vertices`
+  };
+  Result<Output> Generate(const std::vector<graph::VertexId>& vertices,
+                          const Tensor& images, Rng* rng) const;
+
+  /// Phase 3 only, reusing a proximity matrix from a prior
+  /// ComputeProximity call (PCP phases 1-2 are data preprocessing and
+  /// run once; the cluster-based partition is re-run per epoch for fresh
+  /// shuffles).
+  Result<std::vector<MiniBatch>> PartitionFromProximity(
+      const std::vector<graph::VertexId>& vertices, const Tensor& proximity,
+      Rng* rng) const;
+
+ private:
+  const clip::ClipModel* model_;
+  const graph::Graph* graph_;
+  const text::Tokenizer* tokenizer_;
+  PcpOptions options_;
+};
+
+}  // namespace core
+}  // namespace crossem
+
+#endif  // CROSSEM_CORE_PCP_H_

@@ -1,0 +1,209 @@
+#include "data/dataset.h"
+
+#include <algorithm>
+#include <map>
+#include <numeric>
+
+#include "tensor/ops.h"
+#include "util/logging.h"
+
+namespace crossem {
+namespace data {
+
+std::vector<int64_t> CrossModalDataset::TestImageIndices() const {
+  std::vector<bool> is_test(entities.size(), false);
+  for (int64_t c : test_classes) is_test[static_cast<size_t>(c)] = true;
+  std::vector<int64_t> out;
+  for (size_t i = 0; i < images.size(); ++i) {
+    if (is_test[static_cast<size_t>(images[i].true_class)]) {
+      out.push_back(static_cast<int64_t>(i));
+    }
+  }
+  return out;
+}
+
+Tensor CrossModalDataset::StackImages(
+    const std::vector<int64_t>& image_indices) const {
+  CROSSEM_CHECK(!image_indices.empty());
+  std::vector<Tensor> patch_tensors;
+  patch_tensors.reserve(image_indices.size());
+  for (int64_t idx : image_indices) {
+    CROSSEM_CHECK_GE(idx, 0);
+    CROSSEM_CHECK_LT(idx, static_cast<int64_t>(images.size()));
+    patch_tensors.push_back(images[static_cast<size_t>(idx)].patches);
+  }
+  return ops::Stack(patch_tensors);
+}
+
+CrossModalDataset BuildDataset(const DatasetConfig& config) {
+  CrossModalDataset ds;
+  ds.name = config.name;
+  WorldConfig wc = config.world;
+  wc.seed = config.seed;
+  ds.world = std::make_shared<World>(wc);
+  Rng rng(config.seed + 1);
+
+  const World& world = *ds.world;
+  const int64_t num_classes = world.num_classes();
+
+  // -- Graph side -------------------------------------------------------------
+  // One entity vertex per class; attribute-value vertices interned so that
+  // classes sharing an attribute share the vertex (as in Figure 1(b)).
+  std::map<int64_t, graph::VertexId> attr_vertex;
+  for (int64_t c = 0; c < num_classes; ++c) {
+    ds.entities.push_back(ds.graph.AddVertex(world.ClassName(c)));
+  }
+  auto intern_attr = [&](int64_t attr) {
+    auto it = attr_vertex.find(attr);
+    if (it != attr_vertex.end()) return it->second;
+    graph::VertexId v = ds.graph.AddVertex(world.AttributeName(attr));
+    attr_vertex.emplace(attr, v);
+    return v;
+  };
+
+  for (int64_t c = 0; c < num_classes; ++c) {
+    const auto& attrs = world.ClassAttributes(c);
+    int64_t keep = static_cast<int64_t>(attrs.size());
+    if (config.style == GraphStyle::kRelational) {
+      keep = std::min<int64_t>(keep, config.attribute_edges_per_entity);
+    }
+    for (int64_t k = 0; k < keep; ++k) {
+      const int64_t attr = attrs[static_cast<size_t>(k)];
+      graph::VertexId av = intern_attr(attr);
+      CROSSEM_CHECK(ds.graph
+                        .AddEdge(ds.entities[static_cast<size_t>(c)], av,
+                                 "has " + world.AttributeKind(attr))
+                        .ok());
+    }
+  }
+
+  if (config.style == GraphStyle::kRelational) {
+    // Random entity-entity relations, biased toward attribute overlap so
+    // that graph neighborhoods carry signal (as Freebase neighborhoods do).
+    for (int64_t e = 0; e < config.extra_relation_edges; ++e) {
+      int64_t a = rng.UniformInt(0, num_classes - 1);
+      int64_t b = rng.UniformInt(0, num_classes - 1);
+      if (a == b) continue;
+      const int64_t rel = rng.UniformInt(0, config.num_relation_types - 1);
+      CROSSEM_CHECK(ds.graph
+                        .AddEdge(ds.entities[static_cast<size_t>(a)],
+                                 ds.entities[static_cast<size_t>(b)],
+                                 "rel " + std::to_string(rel))
+                        .ok());
+    }
+  }
+
+  // -- Image side -------------------------------------------------------------
+  for (int64_t c = 0; c < num_classes; ++c) {
+    for (int64_t i = 0; i < config.images_per_class; ++i) {
+      SyntheticImage img = world.SampleImage(
+          c, config.patches_per_image, config.attrs_shown_per_image, &rng);
+      img.id = static_cast<int64_t>(ds.images.size());
+      ds.images.push_back(std::move(img));
+    }
+  }
+
+  // -- Vocabulary --------------------------------------------------------------
+  for (const std::string& w : world.VocabularyWords()) ds.vocab.AddWord(w);
+  for (const std::string& w : ds.graph.UniqueWords()) ds.vocab.AddWord(w);
+
+  // -- Zero-shot class split ([42]) ---------------------------------------------
+  std::vector<int64_t> order(static_cast<size_t>(num_classes));
+  std::iota(order.begin(), order.end(), 0);
+  rng.Shuffle(&order);
+  const int64_t num_test = std::max<int64_t>(
+      1, static_cast<int64_t>(static_cast<float>(num_classes) *
+                              config.test_fraction));
+  for (int64_t i = 0; i < num_classes; ++i) {
+    if (i < num_test) {
+      ds.test_classes.push_back(order[static_cast<size_t>(i)]);
+    } else {
+      ds.train_classes.push_back(order[static_cast<size_t>(i)]);
+    }
+  }
+  std::sort(ds.test_classes.begin(), ds.test_classes.end());
+  std::sort(ds.train_classes.begin(), ds.train_classes.end());
+  return ds;
+}
+
+namespace {
+int64_t Scaled(double scale, int64_t base, int64_t minimum) {
+  return std::max<int64_t>(minimum,
+                           static_cast<int64_t>(scale * static_cast<double>(base)));
+}
+}  // namespace
+
+DatasetConfig CubLikeConfig(double scale) {
+  // CUB: 200 bird classes, 312 attributes, 11,788 images, dense
+  // attribute graph (Table I: 512 vertices, 3,245 edges).
+  DatasetConfig c;
+  c.name = "CUB-like";
+  c.style = GraphStyle::kAttribute;
+  c.world.num_classes = Scaled(scale, 24, 6);
+  c.world.num_attributes = Scaled(scale, 40, 10);
+  c.world.attrs_per_class = 6;
+  c.world.patch_dim = 16;
+  c.world.patch_noise = 0.30f;
+  c.images_per_class = Scaled(scale, 12, 4);
+  c.patches_per_image = 8;
+  c.attrs_shown_per_image = 4;
+  c.seed = 1001;
+  return c;
+}
+
+DatasetConfig SunLikeConfig(double scale) {
+  // SUN: 717 scene classes but only 102 attributes and a sparser graph
+  // (Table I: 819 vertices, 2,130 edges) -> more classes, fewer attrs
+  // per class, noisier images. The hardest of the three (paper Table II).
+  DatasetConfig c;
+  c.name = "SUN-like";
+  c.style = GraphStyle::kAttribute;
+  c.world.num_classes = Scaled(scale, 36, 8);
+  c.world.num_attributes = Scaled(scale, 26, 8);
+  c.world.attrs_per_class = 3;
+  c.world.patch_dim = 16;
+  c.world.patch_noise = 0.45f;
+  c.images_per_class = Scaled(scale, 10, 4);
+  c.patches_per_image = 8;
+  c.attrs_shown_per_image = 2;
+  c.seed = 2002;
+  return c;
+}
+
+namespace {
+DatasetConfig FbLikeConfig(const std::string& name, double scale,
+                           int64_t classes, int64_t rel_edges,
+                           uint64_t seed) {
+  // FB15K-237-IMG subsets: relation-heavy graphs, ~10 images per entity.
+  DatasetConfig c;
+  c.name = name;
+  c.style = GraphStyle::kRelational;
+  c.world.num_classes = Scaled(scale, classes, 10);
+  c.world.num_attributes = Scaled(scale, 48, 12);
+  c.world.attrs_per_class = 5;
+  c.world.patch_dim = 16;
+  c.world.patch_noise = 0.40f;
+  c.images_per_class = Scaled(scale, 8, 3);
+  c.patches_per_image = 8;
+  c.attrs_shown_per_image = 3;
+  c.attribute_edges_per_entity = 2;
+  c.extra_relation_edges = Scaled(scale, rel_edges, 20);
+  c.seed = seed;
+  return c;
+}
+}  // namespace
+
+DatasetConfig Fb2kLikeConfig(double scale) {
+  return FbLikeConfig("FB2K-IMG-like", scale, 40, 120, 3003);
+}
+
+DatasetConfig Fb6kLikeConfig(double scale) {
+  return FbLikeConfig("FB6K-IMG-like", scale, 80, 480, 3004);
+}
+
+DatasetConfig Fb10kLikeConfig(double scale) {
+  return FbLikeConfig("FB10K-IMG-like", scale, 136, 1180, 3005);
+}
+
+}  // namespace data
+}  // namespace crossem

@@ -1,0 +1,83 @@
+// Synthetic cross-modal EM datasets mirroring the paper's Table I corpora.
+//
+// Each dataset couples a heterogeneous graph (vertices = entity classes
+// plus attribute-value vertices, or relation-heavy FB-style graphs) with
+// an image repository sampled from the same World, plus a vocabulary and
+// the zero-shot train/test class split of [42] (train classes pre-train
+// the CLIP; test classes form the unsupervised matching task).
+#ifndef CROSSEM_DATA_DATASET_H_
+#define CROSSEM_DATA_DATASET_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "data/world.h"
+#include "graph/graph.h"
+#include "text/tokenizer.h"
+
+namespace crossem {
+namespace data {
+
+/// How the graph side of a dataset is shaped.
+enum class GraphStyle {
+  /// Attribute-equipped graphs (CUB/SUN): entity vertices link to shared
+  /// attribute-value vertices via "has <kind>" edges.
+  kAttribute,
+  /// Knowledge-graph style (FB15K-237-IMG): sparser attribute edges plus
+  /// many entity-entity relation edges.
+  kRelational,
+};
+
+/// Generation parameters for one dataset.
+struct DatasetConfig {
+  std::string name = "dataset";
+  WorldConfig world;
+  GraphStyle style = GraphStyle::kAttribute;
+  int64_t images_per_class = 10;
+  int64_t patches_per_image = 8;
+  int64_t attrs_shown_per_image = 4;
+  /// kRelational only: attribute edges kept per entity (rest dropped).
+  int64_t attribute_edges_per_entity = 2;
+  /// kRelational only: random entity-entity edges added.
+  int64_t extra_relation_edges = 0;
+  int64_t num_relation_types = 12;
+  /// Fraction of classes held out as the (unsupervised) matching task.
+  float test_fraction = 0.5f;
+  uint64_t seed = 7;
+};
+
+/// A fully materialized dataset.
+struct CrossModalDataset {
+  std::string name;
+  std::shared_ptr<World> world;
+  graph::Graph graph;
+  /// Entity vertex of each class: entities[c] is the vertex for class c.
+  std::vector<graph::VertexId> entities;
+  /// All images; img.true_class indexes `entities`.
+  std::vector<SyntheticImage> images;
+  text::Vocabulary vocab;
+  std::vector<int64_t> train_classes;
+  std::vector<int64_t> test_classes;
+
+  /// Indices into `images` whose class is a test class.
+  std::vector<int64_t> TestImageIndices() const;
+  /// Stacked patch tensor [N, P, patch_dim] for the given image indices.
+  Tensor StackImages(const std::vector<int64_t>& image_indices) const;
+};
+
+/// Builds a dataset from its config (deterministic given config.seed).
+CrossModalDataset BuildDataset(const DatasetConfig& config);
+
+/// Presets reproducing the relative statistics of the paper's Table I at
+/// CPU scale. `scale` multiplies class/image counts (1.0 = defaults).
+DatasetConfig CubLikeConfig(double scale = 1.0);
+DatasetConfig SunLikeConfig(double scale = 1.0);
+DatasetConfig Fb2kLikeConfig(double scale = 1.0);
+DatasetConfig Fb6kLikeConfig(double scale = 1.0);
+DatasetConfig Fb10kLikeConfig(double scale = 1.0);
+
+}  // namespace data
+}  // namespace crossem
+
+#endif  // CROSSEM_DATA_DATASET_H_

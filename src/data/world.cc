@@ -1,0 +1,189 @@
+#include "data/world.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace crossem {
+namespace data {
+
+namespace {
+
+// Word pools for attribute and class names. Attributes are formed as
+// "<adjective> <part>"; the part also names the relation kind
+// ("crown color" etc. is derived as "<part> trait").
+const char* kAdjectives[] = {
+    "white", "black",  "grey",   "brown", "red",    "yellow", "blue",
+    "green", "spotted", "striped", "long",  "short",  "curved", "pointed",
+    "broad", "narrow", "bright", "dark",  "pale",   "glossy"};
+const char* kParts[] = {"crown", "wing",  "tail",  "beak", "belly", "breast",
+                        "throat", "back",  "leg",   "eye",  "nape",  "cheek"};
+const char* kClassFirst[] = {"laysan", "sooty",   "crested", "northern",
+                             "rusty",  "pied",    "great",   "lesser",
+                             "common", "eastern", "western", "arctic"};
+const char* kClassSecond[] = {"albatross", "kestrel",  "warbler", "sparrow",
+                              "woodpecker", "cormorant", "finch",  "heron",
+                              "plover",    "swallow",  "tanager", "wren"};
+
+constexpr int64_t kNumAdjectives =
+    static_cast<int64_t>(sizeof(kAdjectives) / sizeof(kAdjectives[0]));
+constexpr int64_t kNumParts =
+    static_cast<int64_t>(sizeof(kParts) / sizeof(kParts[0]));
+constexpr int64_t kNumClassFirst =
+    static_cast<int64_t>(sizeof(kClassFirst) / sizeof(kClassFirst[0]));
+constexpr int64_t kNumClassSecond =
+    static_cast<int64_t>(sizeof(kClassSecond) / sizeof(kClassSecond[0]));
+
+std::vector<float> RandomUnitVector(int64_t dim, Rng* rng) {
+  std::vector<float> v(static_cast<size_t>(dim));
+  double norm2 = 0.0;
+  for (auto& x : v) {
+    x = static_cast<float>(rng->Normal());
+    norm2 += static_cast<double>(x) * x;
+  }
+  const float inv = 1.0f / static_cast<float>(std::sqrt(norm2) + 1e-12);
+  for (auto& x : v) x *= inv;
+  return v;
+}
+
+}  // namespace
+
+World::World(const WorldConfig& config) : config_(config) {
+  CROSSEM_CHECK_GT(config.num_attributes, 0);
+  CROSSEM_CHECK_GT(config.num_classes, 0);
+  CROSSEM_CHECK_GE(config.num_attributes, config.attrs_per_class);
+  Rng rng(config.seed);
+
+  // Attributes: distinct (adjective, part) pairs.
+  attribute_names_.reserve(static_cast<size_t>(config.num_attributes));
+  for (int64_t i = 0; i < config.num_attributes; ++i) {
+    const int64_t part = i % kNumParts;
+    const int64_t adj = (i / kNumParts + i) % kNumAdjectives;
+    std::string name = std::string(kAdjectives[adj]) + " " + kParts[part];
+    if (i >= kNumParts * kNumAdjectives) {
+      name += " " + std::to_string(i);  // guarantee uniqueness at any size
+    }
+    attribute_names_.push_back(std::move(name));
+    attribute_kinds_.push_back(std::string(kParts[part]) + " trait");
+    visual_codebook_.push_back(RandomUnitVector(config.patch_dim, &rng));
+  }
+
+  // Classes: unique names and random attribute subsets.
+  class_names_.reserve(static_cast<size_t>(config.num_classes));
+  for (int64_t c = 0; c < config.num_classes; ++c) {
+    std::string name = std::string(kClassFirst[c % kNumClassFirst]) + " " +
+                       kClassSecond[(c / kNumClassFirst) % kNumClassSecond];
+    name += " " + std::to_string(c);
+    class_names_.push_back(std::move(name));
+    class_attributes_.push_back(rng.SampleWithoutReplacement(
+        config.num_attributes, config.attrs_per_class));
+  }
+}
+
+const std::string& World::AttributeName(int64_t attr) const {
+  CROSSEM_CHECK_GE(attr, 0);
+  CROSSEM_CHECK_LT(attr, num_attributes());
+  return attribute_names_[static_cast<size_t>(attr)];
+}
+
+const std::string& World::AttributeKind(int64_t attr) const {
+  CROSSEM_CHECK_GE(attr, 0);
+  CROSSEM_CHECK_LT(attr, num_attributes());
+  return attribute_kinds_[static_cast<size_t>(attr)];
+}
+
+const std::string& World::ClassName(int64_t cls) const {
+  CROSSEM_CHECK_GE(cls, 0);
+  CROSSEM_CHECK_LT(cls, num_classes());
+  return class_names_[static_cast<size_t>(cls)];
+}
+
+const std::vector<int64_t>& World::ClassAttributes(int64_t cls) const {
+  CROSSEM_CHECK_GE(cls, 0);
+  CROSSEM_CHECK_LT(cls, num_classes());
+  return class_attributes_[static_cast<size_t>(cls)];
+}
+
+const std::vector<float>& World::AttributeVisual(int64_t attr) const {
+  CROSSEM_CHECK_GE(attr, 0);
+  CROSSEM_CHECK_LT(attr, num_attributes());
+  return visual_codebook_[static_cast<size_t>(attr)];
+}
+
+SyntheticImage World::SampleImage(int64_t cls, int64_t num_patches,
+                                  int64_t attrs_shown, Rng* rng) const {
+  CROSSEM_CHECK_GT(num_patches, 0);
+  const auto& attrs = ClassAttributes(cls);
+  attrs_shown = std::min<int64_t>(attrs_shown,
+                                  static_cast<int64_t>(attrs.size()));
+  attrs_shown = std::min(attrs_shown, num_patches);
+
+  SyntheticImage img;
+  img.true_class = cls;
+  img.patches = Tensor::Zeros({num_patches, config_.patch_dim});
+  float* p = img.patches.data();
+
+  // Attribute-bearing patches: sampled attributes of the class, noised.
+  auto which = rng->SampleWithoutReplacement(
+      static_cast<int64_t>(attrs.size()), attrs_shown);
+  int64_t row = 0;
+  for (int64_t k : which) {
+    const auto& code = AttributeVisual(attrs[static_cast<size_t>(k)]);
+    for (int64_t d = 0; d < config_.patch_dim; ++d) {
+      p[row * config_.patch_dim + d] =
+          code[static_cast<size_t>(d)] +
+          static_cast<float>(rng->Normal(0.0, config_.patch_noise));
+    }
+    ++row;
+  }
+  // Background patches: pure noise at the same scale.
+  for (; row < num_patches; ++row) {
+    for (int64_t d = 0; d < config_.patch_dim; ++d) {
+      p[row * config_.patch_dim + d] =
+          static_cast<float>(rng->Normal(0.0, config_.patch_noise));
+    }
+  }
+  return img;
+}
+
+std::string World::SampleCaption(int64_t cls, int64_t attrs_mentioned,
+                                 Rng* rng, bool include_name) const {
+  const auto& attrs = ClassAttributes(cls);
+  attrs_mentioned = std::min<int64_t>(attrs_mentioned,
+                                      static_cast<int64_t>(attrs.size()));
+  std::string caption =
+      include_name ? "a photo of " + ClassName(cls) : "a photo of an entity";
+  auto which = rng->SampleWithoutReplacement(
+      static_cast<int64_t>(attrs.size()), attrs_mentioned);
+  bool first = true;
+  for (int64_t k : which) {
+    caption += first ? " with " : " and ";
+    first = false;
+    caption += AttributeName(attrs[static_cast<size_t>(k)]);
+  }
+  return caption;
+}
+
+std::vector<std::string> World::VocabularyWords() const {
+  std::vector<std::string> words = {"a",  "photo", "of",  "with", "an",
+                                    "and", "in",   "has", "ref",  "trait",
+                                    "entity"};
+  for (int64_t i = 0; i < kNumAdjectives; ++i) words.push_back(kAdjectives[i]);
+  for (int64_t i = 0; i < kNumParts; ++i) words.push_back(kParts[i]);
+  for (int64_t i = 0; i < kNumClassFirst; ++i) {
+    words.push_back(kClassFirst[i]);
+  }
+  for (int64_t i = 0; i < kNumClassSecond; ++i) {
+    words.push_back(kClassSecond[i]);
+  }
+  // Numeric suffixes used in class and attribute names.
+  const int64_t max_suffix =
+      std::max(config_.num_classes, config_.num_attributes);
+  for (int64_t i = 0; i < max_suffix; ++i) {
+    words.push_back(std::to_string(i));
+  }
+  return words;
+}
+
+}  // namespace data
+}  // namespace crossem

@@ -1,0 +1,103 @@
+// The generative world behind every synthetic dataset.
+//
+// The paper's datasets pair *attribute-equipped entities* (bird species
+// with "white crown", scene classes with "open area", Freebase entities)
+// with *images of those entities*. We reproduce that structure directly:
+//
+//   - an attribute universe: each attribute has a two-word textual name
+//     ("white crown") and a unit visual code vector (its appearance);
+//   - entity classes: each class has a name and a ground-truth attribute
+//     subset;
+//   - images: bags of patch features — each sampled attribute of the class
+//     emits its visual code plus Gaussian noise, and a fraction of
+//     background-noise patches is mixed in.
+//
+// The same attribute vocabulary drives captions for CLIP pre-training, so
+// a pre-trained mini-CLIP acquires transferable text<->vision alignment
+// exactly the way the real CLIP does (substitution table in DESIGN.md).
+#ifndef CROSSEM_DATA_WORLD_H_
+#define CROSSEM_DATA_WORLD_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.h"
+#include "util/random.h"
+
+namespace crossem {
+namespace data {
+
+/// World generation parameters.
+struct WorldConfig {
+  int64_t num_attributes = 48;   // attribute universe size
+  int64_t num_classes = 32;      // entity classes
+  int64_t attrs_per_class = 5;   // ground-truth attributes per class
+  int64_t patch_dim = 16;        // visual patch feature dimension
+  float patch_noise = 0.3f;      // stddev of per-patch Gaussian noise
+  uint64_t seed = 42;
+};
+
+/// One synthetic image: a bag of patch features with ground truth.
+struct SyntheticImage {
+  int64_t id = -1;
+  int64_t true_class = -1;       // evaluation ground truth
+  Tensor patches;                // [num_patches, patch_dim]
+};
+
+/// The sampled world: attributes, classes and a visual codebook.
+class World {
+ public:
+  explicit World(const WorldConfig& config);
+
+  const WorldConfig& config() const { return config_; }
+
+  int64_t num_attributes() const { return config_.num_attributes; }
+  int64_t num_classes() const { return config_.num_classes; }
+
+  /// Two-word attribute name, e.g. "white crown".
+  const std::string& AttributeName(int64_t attr) const;
+
+  /// Relation kind of an attribute ("crown color", "wing shape", ...),
+  /// used as the edge label in graphs ("has crown color").
+  const std::string& AttributeKind(int64_t attr) const;
+
+  /// Unique class name, e.g. "laysan kestrel 7".
+  const std::string& ClassName(int64_t cls) const;
+
+  /// Ground-truth attribute ids of a class.
+  const std::vector<int64_t>& ClassAttributes(int64_t cls) const;
+
+  /// Unit visual code vector of an attribute (length patch_dim).
+  const std::vector<float>& AttributeVisual(int64_t attr) const;
+
+  /// Samples an image of `cls`: one noisy patch per sampled attribute
+  /// (attrs_shown of them) plus background patches up to `num_patches`.
+  SyntheticImage SampleImage(int64_t cls, int64_t num_patches,
+                             int64_t attrs_shown, Rng* rng) const;
+
+  /// A natural-language-ish caption for a class: optionally its name,
+  /// plus a random subset of its attribute names ("a photo of laysan
+  /// kestrel 7 with white crown and long wings"). Used for CLIP
+  /// pre-training; `include_name=false` yields the attribute-only
+  /// captions that dominate web corpora ("a photo of an entity with
+  /// white crown...").
+  std::string SampleCaption(int64_t cls, int64_t attrs_mentioned, Rng* rng,
+                            bool include_name = true) const;
+
+  /// Every word that can appear in labels/captions of this world.
+  std::vector<std::string> VocabularyWords() const;
+
+ private:
+  WorldConfig config_;
+  std::vector<std::string> attribute_names_;
+  std::vector<std::string> attribute_kinds_;
+  std::vector<std::vector<float>> visual_codebook_;
+  std::vector<std::string> class_names_;
+  std::vector<std::vector<int64_t>> class_attributes_;
+};
+
+}  // namespace data
+}  // namespace crossem
+
+#endif  // CROSSEM_DATA_WORLD_H_

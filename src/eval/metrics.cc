@@ -1,0 +1,74 @@
+#include "eval/metrics.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/logging.h"
+
+namespace crossem {
+namespace eval {
+
+RankingMetrics ComputeRankingMetrics(
+    const Tensor& scores, const std::vector<std::vector<bool>>& relevance) {
+  CROSSEM_CHECK_EQ(scores.dim(), 2);
+  const int64_t nq = scores.size(0);
+  const int64_t nc = scores.size(1);
+  CROSSEM_CHECK_EQ(static_cast<int64_t>(relevance.size()), nq);
+
+  RankingMetrics m;
+  int64_t counted = 0;
+  const float* s = scores.data();
+  for (int64_t q = 0; q < nq; ++q) {
+    const auto& rel = relevance[static_cast<size_t>(q)];
+    CROSSEM_CHECK_EQ(static_cast<int64_t>(rel.size()), nc);
+    if (std::none_of(rel.begin(), rel.end(), [](bool b) { return b; })) {
+      continue;  // no relevant candidate: query undefined, skip
+    }
+    ++counted;
+    // Rank of the first relevant candidate = 1 + number of candidates
+    // with strictly higher score than the best-scoring relevant one.
+    // (Stable treatment of ties: ties do not push the relevant item down.)
+    float best_rel = -1e30f;
+    for (int64_t c = 0; c < nc; ++c) {
+      if (rel[static_cast<size_t>(c)]) {
+        best_rel = std::max(best_rel, s[q * nc + c]);
+      }
+    }
+    int64_t rank = 1;
+    for (int64_t c = 0; c < nc; ++c) {
+      if (s[q * nc + c] > best_rel) ++rank;
+    }
+    if (rank <= 1) m.hits_at_1 += 1.0;
+    if (rank <= 3) m.hits_at_3 += 1.0;
+    if (rank <= 5) m.hits_at_5 += 1.0;
+    m.mrr += 1.0 / static_cast<double>(rank);
+  }
+  if (counted > 0) {
+    const double n = static_cast<double>(counted);
+    m.hits_at_1 *= 100.0 / n;
+    m.hits_at_3 *= 100.0 / n;
+    m.hits_at_5 *= 100.0 / n;
+    m.mrr /= n;
+  }
+  return m;
+}
+
+RankingMetrics ComputeRankingMetricsByClass(
+    const Tensor& scores, const std::vector<int64_t>& query_class,
+    const std::vector<int64_t>& candidate_class) {
+  CROSSEM_CHECK_EQ(scores.size(0),
+                   static_cast<int64_t>(query_class.size()));
+  CROSSEM_CHECK_EQ(scores.size(1),
+                   static_cast<int64_t>(candidate_class.size()));
+  std::vector<std::vector<bool>> relevance(query_class.size());
+  for (size_t q = 0; q < query_class.size(); ++q) {
+    relevance[q].resize(candidate_class.size());
+    for (size_t c = 0; c < candidate_class.size(); ++c) {
+      relevance[q][c] = (candidate_class[c] == query_class[q]);
+    }
+  }
+  return ComputeRankingMetrics(scores, relevance);
+}
+
+}  // namespace eval
+}  // namespace crossem

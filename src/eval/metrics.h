@@ -1,0 +1,44 @@
+// Ranking metrics for the matching task: Hits@k and Mean Reciprocal Rank
+// (paper Sec. V-A, "Datasets and Evaluation Metrics").
+//
+// For each query (a test vertex), candidates (images) are ranked by
+// score; a candidate is relevant when it depicts the query's entity.
+// Hits@k is the fraction of queries with a relevant candidate in the top
+// k; MRR averages 1/rank of the first relevant candidate.
+#ifndef CROSSEM_EVAL_METRICS_H_
+#define CROSSEM_EVAL_METRICS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace crossem {
+namespace eval {
+
+/// Accuracy numbers for one method/dataset pair.
+struct RankingMetrics {
+  double hits_at_1 = 0.0;  // percentages in [0, 100]
+  double hits_at_3 = 0.0;
+  double hits_at_5 = 0.0;
+  double mrr = 0.0;        // in [0, 1]
+};
+
+/// Computes ranking metrics from a dense score matrix.
+///
+/// scores: [num_queries, num_candidates]; relevance[q][c] is true when
+/// candidate c is a correct match for query q. Queries with no relevant
+/// candidate are skipped.
+RankingMetrics ComputeRankingMetrics(
+    const Tensor& scores, const std::vector<std::vector<bool>>& relevance);
+
+/// Convenience: relevance from class labels — query q (class
+/// query_class[q]) matches candidate c iff candidate_class[c] equals it.
+RankingMetrics ComputeRankingMetricsByClass(
+    const Tensor& scores, const std::vector<int64_t>& query_class,
+    const std::vector<int64_t>& candidate_class);
+
+}  // namespace eval
+}  // namespace crossem
+
+#endif  // CROSSEM_EVAL_METRICS_H_

@@ -1,0 +1,73 @@
+#include "eval/per_class.h"
+
+#include <algorithm>
+#include <map>
+
+#include "util/logging.h"
+
+namespace crossem {
+namespace eval {
+
+std::vector<QueryDiagnostic> ComputeQueryDiagnostics(
+    const Tensor& scores, const std::vector<int64_t>& query_class,
+    const std::vector<int64_t>& candidate_class) {
+  CROSSEM_CHECK_EQ(scores.dim(), 2);
+  const int64_t nq = scores.size(0);
+  const int64_t nc = scores.size(1);
+  CROSSEM_CHECK_EQ(static_cast<int64_t>(query_class.size()), nq);
+  CROSSEM_CHECK_EQ(static_cast<int64_t>(candidate_class.size()), nc);
+
+  std::vector<QueryDiagnostic> out;
+  const float* s = scores.data();
+  for (int64_t q = 0; q < nq; ++q) {
+    bool has_relevant = false;
+    float best_rel = -1e30f;
+    int64_t top = 0;
+    for (int64_t c = 0; c < nc; ++c) {
+      if (candidate_class[static_cast<size_t>(c)] ==
+          query_class[static_cast<size_t>(q)]) {
+        has_relevant = true;
+        best_rel = std::max(best_rel, s[q * nc + c]);
+      }
+      if (s[q * nc + c] > s[q * nc + top]) top = c;
+    }
+    if (!has_relevant) continue;
+    int64_t rank = 1;
+    for (int64_t c = 0; c < nc; ++c) {
+      if (s[q * nc + c] > best_rel) ++rank;
+    }
+    QueryDiagnostic d;
+    d.query_index = q;
+    d.query_class = query_class[static_cast<size_t>(q)];
+    d.rank = rank;
+    d.top_candidate_class = candidate_class[static_cast<size_t>(top)];
+    d.correct_at_1 = (rank == 1);
+    out.push_back(d);
+  }
+  return out;
+}
+
+std::vector<ConfusionPair> TopConfusions(
+    const std::vector<QueryDiagnostic>& diagnostics, int64_t max_pairs) {
+  std::map<std::pair<int64_t, int64_t>, int64_t> counts;
+  for (const QueryDiagnostic& d : diagnostics) {
+    if (!d.correct_at_1) {
+      ++counts[{d.query_class, d.top_candidate_class}];
+    }
+  }
+  std::vector<ConfusionPair> out;
+  for (const auto& [key, count] : counts) {
+    out.push_back(ConfusionPair{key.first, key.second, count});
+  }
+  std::sort(out.begin(), out.end(),
+            [](const ConfusionPair& a, const ConfusionPair& b) {
+              return a.count > b.count;
+            });
+  if (static_cast<int64_t>(out.size()) > max_pairs) {
+    out.resize(static_cast<size_t>(max_pairs));
+  }
+  return out;
+}
+
+}  // namespace eval
+}  // namespace crossem

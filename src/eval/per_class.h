@@ -1,0 +1,47 @@
+// Per-query diagnostic breakdown of a matching run: which entities were
+// matched correctly, and which candidate class each failure confused
+// them with. Used by examples and error analysis.
+#ifndef CROSSEM_EVAL_PER_CLASS_H_
+#define CROSSEM_EVAL_PER_CLASS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace crossem {
+namespace eval {
+
+/// One query's diagnostic row.
+struct QueryDiagnostic {
+  int64_t query_index = 0;
+  int64_t query_class = 0;
+  /// Rank of the first relevant candidate (1 = hit at top).
+  int64_t rank = 0;
+  /// Class of the top-ranked candidate (the confusion when rank > 1).
+  int64_t top_candidate_class = 0;
+  bool correct_at_1 = false;
+};
+
+/// Computes per-query diagnostics from a dense score matrix (same
+/// conventions as ComputeRankingMetricsByClass; queries with no relevant
+/// candidate are skipped).
+std::vector<QueryDiagnostic> ComputeQueryDiagnostics(
+    const Tensor& scores, const std::vector<int64_t>& query_class,
+    const std::vector<int64_t>& candidate_class);
+
+/// The most frequent confusion pairs (true class -> predicted class)
+/// among rank-1 failures, most frequent first.
+struct ConfusionPair {
+  int64_t true_class;
+  int64_t predicted_class;
+  int64_t count;
+};
+std::vector<ConfusionPair> TopConfusions(
+    const std::vector<QueryDiagnostic>& diagnostics, int64_t max_pairs = 10);
+
+}  // namespace eval
+}  // namespace crossem
+
+#endif  // CROSSEM_EVAL_PER_CLASS_H_

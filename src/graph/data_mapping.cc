@@ -1,0 +1,223 @@
+#include "graph/data_mapping.h"
+
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+namespace crossem {
+namespace graph {
+
+namespace {
+/// Renders a scalar JSON value as a label string.
+std::string ScalarToLabel(const JsonValue& v) {
+  switch (v.type()) {
+    case JsonValue::Type::kString:
+      return v.string_value();
+    case JsonValue::Type::kNumber: {
+      double d = v.number_value();
+      if (d == std::floor(d) && std::fabs(d) < 1e15) {
+        return std::to_string(static_cast<long long>(d));
+      }
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%g", d);
+      return buf;
+    }
+    case JsonValue::Type::kBool:
+      return v.bool_value() ? "true" : "false";
+    case JsonValue::Type::kNull:
+      return "null";
+    default:
+      return v.Dump();
+  }
+}
+}  // namespace
+
+Result<RelationalTable> ParseCsv(const std::string& name,
+                                 const std::string& text) {
+  RelationalTable table;
+  table.name = name;
+  std::istringstream in(text);
+  std::string line;
+  bool header = true;
+  while (std::getline(in, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty()) continue;
+    std::vector<std::string> cells;
+    std::istringstream ls(line);
+    std::string cell;
+    while (std::getline(ls, cell, ',')) cells.push_back(cell);
+    if (line.back() == ',') cells.emplace_back();
+    if (header) {
+      table.columns = std::move(cells);
+      if (table.columns.empty()) {
+        return Status::ParseError("CSV header row is empty");
+      }
+      header = false;
+    } else {
+      if (cells.size() != table.columns.size()) {
+        return Status::ParseError("CSV row width mismatch: expected " +
+                                  std::to_string(table.columns.size()) +
+                                  ", got " + std::to_string(cells.size()));
+      }
+      table.rows.push_back(std::move(cells));
+    }
+  }
+  if (header) return Status::ParseError("CSV input has no header row");
+  return table;
+}
+
+VertexId GraphBuilder::InternEntity(const std::string& label) {
+  auto it = entity_index_.find(label);
+  if (it != entity_index_.end()) return it->second;
+  VertexId v = graph_.AddVertex(label);
+  entity_index_.emplace(label, v);
+  entities_.push_back(v);
+  return v;
+}
+
+VertexId GraphBuilder::InternValue(const std::string& label) {
+  auto it = value_index_.find(label);
+  if (it != value_index_.end()) return it->second;
+  VertexId v = graph_.AddVertex(label);
+  value_index_.emplace(label, v);
+  return v;
+}
+
+VertexId GraphBuilder::AddEntity(const std::string& label) {
+  return InternEntity(label);
+}
+
+Status GraphBuilder::AddRelationship(const std::string& src_label,
+                                     const std::string& edge_label,
+                                     const std::string& dst_label) {
+  VertexId src = graph_.FindVertex(src_label);
+  if (src < 0) return Status::NotFound("no vertex labeled '" + src_label + "'");
+  VertexId dst = graph_.FindVertex(dst_label);
+  if (dst < 0) return Status::NotFound("no vertex labeled '" + dst_label + "'");
+  return graph_.AddEdge(src, dst, edge_label);
+}
+
+Status GraphBuilder::AddTable(const RelationalTable& table) {
+  if (table.columns.empty()) {
+    return Status::InvalidArgument("table '" + table.name + "' has no columns");
+  }
+  if (table.key_column < 0 ||
+      table.key_column >= static_cast<int64_t>(table.columns.size())) {
+    return Status::InvalidArgument("key column out of range");
+  }
+  for (const auto& [col, ref_table] : table.foreign_keys) {
+    if (col < 0 || col >= static_cast<int64_t>(table.columns.size())) {
+      return Status::InvalidArgument("foreign key column out of range");
+    }
+  }
+  for (const auto& row : table.rows) {
+    if (row.size() != table.columns.size()) {
+      return Status::InvalidArgument("row width mismatch in table '" +
+                                     table.name + "'");
+    }
+    VertexId entity = InternEntity(row[static_cast<size_t>(table.key_column)]);
+    for (size_t c = 0; c < row.size(); ++c) {
+      if (static_cast<int64_t>(c) == table.key_column) continue;
+      if (row[c].empty()) continue;
+      const bool is_fk =
+          table.foreign_keys.count(static_cast<int64_t>(c)) > 0;
+      if (is_fk) {
+        // Foreign key: link entity-to-entity (interned so order of table
+        // ingestion does not matter).
+        VertexId ref = InternEntity(row[c]);
+        CROSSEM_RETURN_NOT_OK(
+            graph_.AddEdge(entity, ref, "ref " + table.columns[c]));
+      } else {
+        VertexId value = InternValue(row[c]);
+        CROSSEM_RETURN_NOT_OK(
+            graph_.AddEdge(entity, value, "has " + table.columns[c]));
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Status GraphBuilder::AddJsonObject(const JsonValue& obj, VertexId vertex) {
+  for (const auto& [key, value] : obj.object_members()) {
+    if (key == "name" || key == "id") continue;  // identity, already used
+    switch (value.type()) {
+      case JsonValue::Type::kString:
+        if (key == "$ref") {
+          VertexId ref = InternEntity(value.string_value());
+          CROSSEM_RETURN_NOT_OK(graph_.AddEdge(vertex, ref, "ref"));
+        } else {
+          VertexId v = InternValue(value.string_value());
+          CROSSEM_RETURN_NOT_OK(graph_.AddEdge(vertex, v, key));
+        }
+        break;
+      case JsonValue::Type::kNumber:
+      case JsonValue::Type::kBool: {
+        VertexId v = InternValue(ScalarToLabel(value));
+        CROSSEM_RETURN_NOT_OK(graph_.AddEdge(vertex, v, key));
+        break;
+      }
+      case JsonValue::Type::kNull:
+        break;  // absent attribute
+      case JsonValue::Type::kArray:
+        for (const auto& item : value.array_items()) {
+          if (item.is_object()) {
+            const JsonValue* name = item.Find("name");
+            if (name == nullptr) name = item.Find("id");
+            if (name == nullptr || !name->is_string()) {
+              return Status::InvalidArgument(
+                  "nested object in array lacks a string name/id");
+            }
+            VertexId child = InternEntity(name->string_value());
+            CROSSEM_RETURN_NOT_OK(graph_.AddEdge(vertex, child, key));
+            CROSSEM_RETURN_NOT_OK(AddJsonObject(item, child));
+          } else {
+            VertexId v = InternValue(ScalarToLabel(item));
+            CROSSEM_RETURN_NOT_OK(graph_.AddEdge(vertex, v, key));
+          }
+        }
+        break;
+      case JsonValue::Type::kObject: {
+        const JsonValue* name = value.Find("name");
+        if (name == nullptr) name = value.Find("id");
+        if (name == nullptr || !name->is_string()) {
+          return Status::InvalidArgument("nested object lacks a string name/id");
+        }
+        VertexId child = InternEntity(name->string_value());
+        CROSSEM_RETURN_NOT_OK(graph_.AddEdge(vertex, child, key));
+        CROSSEM_RETURN_NOT_OK(AddJsonObject(value, child));
+        break;
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Status GraphBuilder::AddJson(const JsonValue& doc) {
+  // Accept a single object or an array of objects.
+  std::vector<const JsonValue*> objects;
+  if (doc.is_object()) {
+    objects.push_back(&doc);
+  } else if (doc.is_array()) {
+    for (const auto& item : doc.array_items()) {
+      if (!item.is_object()) {
+        return Status::InvalidArgument("top-level array must contain objects");
+      }
+      objects.push_back(&item);
+    }
+  } else {
+    return Status::InvalidArgument("JSON document must be object or array");
+  }
+  for (const JsonValue* obj : objects) {
+    const JsonValue* name = obj->Find("name");
+    if (name == nullptr) name = obj->Find("id");
+    if (name == nullptr || !name->is_string()) {
+      return Status::InvalidArgument("top-level object lacks a string name/id");
+    }
+    VertexId vertex = InternEntity(name->string_value());
+    CROSSEM_RETURN_NOT_OK(AddJsonObject(*obj, vertex));
+  }
+  return Status::OK();
+}
+
+}  // namespace graph
+}  // namespace crossem

@@ -1,0 +1,89 @@
+// Data mapping: encoding data-lake sources into the unified graph
+// (paper Sec. II-A). Tuples of relational tables and keys of JSON objects
+// become entity vertices; attribute values become value vertices attached
+// via labeled edges; foreign keys / references become entity-entity edges.
+#ifndef CROSSEM_GRAPH_DATA_MAPPING_H_
+#define CROSSEM_GRAPH_DATA_MAPPING_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/json.h"
+#include "util/status.h"
+
+namespace crossem {
+namespace graph {
+
+/// A relational table: named columns, string cells, one key column, and
+/// optional foreign keys mapping a column to another table's key.
+struct RelationalTable {
+  std::string name;
+  std::vector<std::string> columns;
+  int64_t key_column = 0;
+  std::vector<std::vector<std::string>> rows;
+  /// column index -> referenced table name (the referenced cell value must
+  /// equal a key value in that table).
+  std::map<int64_t, std::string> foreign_keys;
+};
+
+/// Parses simple CSV text (no quoting) into a table with the first row as
+/// the header. The first column is taken as the key.
+Result<RelationalTable> ParseCsv(const std::string& name,
+                                 const std::string& text);
+
+/// Incrementally maps heterogeneous sources into one unified graph.
+///
+/// Entity vertices are deduplicated across sources by their label, so a
+/// tuple "laysan albatross" and a JSON object named "laysan albatross"
+/// land on the same vertex — this is what lets one graph represent a
+/// whole data lake.
+class GraphBuilder {
+ public:
+  GraphBuilder() = default;
+
+  /// Maps each row to an entity vertex labeled by the key cell; each
+  /// non-key attribute cell becomes a value vertex linked by an edge
+  /// labeled "has <column>"; foreign-key cells become edges labeled
+  /// "ref <column>" to the referenced entity.
+  Status AddTable(const RelationalTable& table);
+
+  /// Maps a JSON document. Each object with a "name" (or "id") member
+  /// becomes an entity vertex; scalar members become value vertices via
+  /// edges labeled by the member key; nested objects and arrays recurse;
+  /// string members named "$ref" become entity-entity reference edges.
+  Status AddJson(const JsonValue& doc);
+
+  /// Adds a plain entity vertex (native graph data).
+  VertexId AddEntity(const std::string& label);
+
+  /// Adds a labeled relationship between two existing entities by label.
+  Status AddRelationship(const std::string& src_label,
+                         const std::string& edge_label,
+                         const std::string& dst_label);
+
+  const Graph& graph() const { return graph_; }
+  Graph& mutable_graph() { return graph_; }
+
+  /// Entity vertices created so far (excludes attribute-value vertices).
+  const std::vector<VertexId>& entity_vertices() const { return entities_; }
+
+ private:
+  /// Returns the entity vertex for `label`, creating it on first use.
+  VertexId InternEntity(const std::string& label);
+  /// Returns the value vertex for `label`, creating it on first use.
+  VertexId InternValue(const std::string& label);
+
+  Status AddJsonObject(const JsonValue& obj, VertexId vertex);
+
+  Graph graph_;
+  std::vector<VertexId> entities_;
+  std::map<std::string, VertexId> entity_index_;
+  std::map<std::string, VertexId> value_index_;
+};
+
+}  // namespace graph
+}  // namespace crossem
+
+#endif  // CROSSEM_GRAPH_DATA_MAPPING_H_

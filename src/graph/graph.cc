@@ -1,0 +1,124 @@
+#include "graph/graph.h"
+
+#include <deque>
+#include <sstream>
+#include <unordered_set>
+
+#include "util/logging.h"
+
+namespace crossem {
+namespace graph {
+
+VertexId Graph::AddVertex(std::string label) {
+  labels_.push_back(std::move(label));
+  out_edges_.emplace_back();
+  in_edges_.emplace_back();
+  return static_cast<VertexId>(labels_.size()) - 1;
+}
+
+Status Graph::AddEdge(VertexId src, VertexId dst, std::string label) {
+  if (src < 0 || src >= NumVertices()) {
+    return Status::OutOfRange("edge source vertex does not exist");
+  }
+  if (dst < 0 || dst >= NumVertices()) {
+    return Status::OutOfRange("edge destination vertex does not exist");
+  }
+  const EdgeId id = static_cast<EdgeId>(edges_.size());
+  edges_.push_back(Edge{src, dst, std::move(label)});
+  out_edges_[static_cast<size_t>(src)].push_back(id);
+  in_edges_[static_cast<size_t>(dst)].push_back(id);
+  return Status::OK();
+}
+
+void Graph::CheckVertex(VertexId v) const {
+  CROSSEM_CHECK_GE(v, 0);
+  CROSSEM_CHECK_LT(v, NumVertices());
+}
+
+const std::string& Graph::VertexLabel(VertexId v) const {
+  CheckVertex(v);
+  return labels_[static_cast<size_t>(v)];
+}
+
+const Edge& Graph::GetEdge(EdgeId e) const {
+  CROSSEM_CHECK_GE(e, 0);
+  CROSSEM_CHECK_LT(e, NumEdges());
+  return edges_[static_cast<size_t>(e)];
+}
+
+const std::vector<EdgeId>& Graph::OutEdges(VertexId v) const {
+  CheckVertex(v);
+  return out_edges_[static_cast<size_t>(v)];
+}
+
+const std::vector<EdgeId>& Graph::InEdges(VertexId v) const {
+  CheckVertex(v);
+  return in_edges_[static_cast<size_t>(v)];
+}
+
+std::vector<VertexId> Graph::Neighbors(VertexId v) const {
+  CheckVertex(v);
+  std::vector<VertexId> result;
+  std::unordered_set<VertexId> seen;
+  for (EdgeId e : out_edges_[static_cast<size_t>(v)]) {
+    VertexId u = edges_[static_cast<size_t>(e)].dst;
+    if (seen.insert(u).second) result.push_back(u);
+  }
+  for (EdgeId e : in_edges_[static_cast<size_t>(v)]) {
+    VertexId u = edges_[static_cast<size_t>(e)].src;
+    if (seen.insert(u).second) result.push_back(u);
+  }
+  return result;
+}
+
+Subgraph Graph::DHopSubgraph(VertexId center, int64_t hops) const {
+  CheckVertex(center);
+  CROSSEM_CHECK_GE(hops, 0);
+  Subgraph sub;
+  sub.center = center;
+
+  std::unordered_set<VertexId> in_sub;
+  std::deque<std::pair<VertexId, int64_t>> frontier;  // (vertex, depth)
+  frontier.emplace_back(center, 0);
+  in_sub.insert(center);
+  while (!frontier.empty()) {
+    auto [v, depth] = frontier.front();
+    frontier.pop_front();
+    sub.vertices.push_back(v);
+    if (depth == hops) continue;
+    for (VertexId u : Neighbors(v)) {
+      if (in_sub.insert(u).second) frontier.emplace_back(u, depth + 1);
+    }
+  }
+
+  // Induced edges: both endpoints inside the vertex set.
+  for (EdgeId e = 0; e < NumEdges(); ++e) {
+    const Edge& edge = edges_[static_cast<size_t>(e)];
+    if (in_sub.count(edge.src) && in_sub.count(edge.dst)) {
+      sub.edges.push_back(e);
+    }
+  }
+  return sub;
+}
+
+std::set<std::string> Graph::UniqueWords() const {
+  std::set<std::string> words;
+  auto add_words = [&words](const std::string& label) {
+    std::istringstream in(label);
+    std::string w;
+    while (in >> w) words.insert(w);
+  };
+  for (const std::string& label : labels_) add_words(label);
+  for (const Edge& e : edges_) add_words(e.label);
+  return words;
+}
+
+VertexId Graph::FindVertex(const std::string& label) const {
+  for (VertexId v = 0; v < NumVertices(); ++v) {
+    if (labels_[static_cast<size_t>(v)] == label) return v;
+  }
+  return -1;
+}
+
+}  // namespace graph
+}  // namespace crossem

@@ -1,0 +1,89 @@
+// Directed labeled graph G = (V, E, L) — Definition in paper Sec. II-A.
+//
+// This is the unified representation of structured and semi-structured
+// data-lake sources: relational tables and JSON documents are mapped into
+// it by data_mapping.h, and CrossEM matches its vertices against images.
+#ifndef CROSSEM_GRAPH_GRAPH_H_
+#define CROSSEM_GRAPH_GRAPH_H_
+
+#include <cstdint>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace crossem {
+namespace graph {
+
+using VertexId = int64_t;
+using EdgeId = int64_t;
+
+/// A directed labeled edge.
+struct Edge {
+  VertexId src;
+  VertexId dst;
+  std::string label;
+};
+
+/// The d-hop neighborhood subgraph of a vertex (paper Sec. III-A):
+/// vertices within d hops (undirected reachability) plus all edges whose
+/// endpoints both lie in that vertex set.
+struct Subgraph {
+  VertexId center;
+  std::vector<VertexId> vertices;  // includes the center; BFS order
+  std::vector<EdgeId> edges;
+};
+
+/// Directed graph with string labels on vertices and edges.
+///
+/// Vertices are dense ids assigned by AddVertex. The structure is
+/// append-only, which keeps ids stable across the matching pipeline.
+class Graph {
+ public:
+  Graph() = default;
+
+  /// Adds a vertex and returns its id.
+  VertexId AddVertex(std::string label);
+
+  /// Adds a directed edge; endpoints must exist.
+  Status AddEdge(VertexId src, VertexId dst, std::string label);
+
+  int64_t NumVertices() const { return static_cast<int64_t>(labels_.size()); }
+  int64_t NumEdges() const { return static_cast<int64_t>(edges_.size()); }
+
+  const std::string& VertexLabel(VertexId v) const;
+  const Edge& GetEdge(EdgeId e) const;
+
+  /// Outgoing edge ids of v.
+  const std::vector<EdgeId>& OutEdges(VertexId v) const;
+  /// Incoming edge ids of v.
+  const std::vector<EdgeId>& InEdges(VertexId v) const;
+
+  /// Distinct neighbor vertices of v in either direction (excludes v
+  /// itself unless there is a self loop on v).
+  std::vector<VertexId> Neighbors(VertexId v) const;
+
+  /// BFS over undirected adjacency up to `hops` hops from `center`.
+  Subgraph DHopSubgraph(VertexId center, int64_t hops) const;
+
+  /// The label word set L: every unique whitespace-separated word in
+  /// vertex and edge labels.
+  std::set<std::string> UniqueWords() const;
+
+  /// Finds the first vertex with the given label, or -1.
+  VertexId FindVertex(const std::string& label) const;
+
+ private:
+  void CheckVertex(VertexId v) const;
+
+  std::vector<std::string> labels_;
+  std::vector<Edge> edges_;
+  std::vector<std::vector<EdgeId>> out_edges_;
+  std::vector<std::vector<EdgeId>> in_edges_;
+};
+
+}  // namespace graph
+}  // namespace crossem
+
+#endif  // CROSSEM_GRAPH_GRAPH_H_

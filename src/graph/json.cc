@@ -1,0 +1,396 @@
+#include "graph/json.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+#include "util/logging.h"
+
+namespace crossem {
+namespace graph {
+
+JsonValue JsonValue::Bool(bool b) {
+  JsonValue v;
+  v.type_ = Type::kBool;
+  v.bool_ = b;
+  return v;
+}
+
+JsonValue JsonValue::Number(double d) {
+  JsonValue v;
+  v.type_ = Type::kNumber;
+  v.number_ = d;
+  return v;
+}
+
+JsonValue JsonValue::String(std::string s) {
+  JsonValue v;
+  v.type_ = Type::kString;
+  v.string_ = std::move(s);
+  return v;
+}
+
+JsonValue JsonValue::Array(std::vector<JsonValue> items) {
+  JsonValue v;
+  v.type_ = Type::kArray;
+  v.array_ = std::move(items);
+  return v;
+}
+
+JsonValue JsonValue::Object(std::map<std::string, JsonValue> members) {
+  JsonValue v;
+  v.type_ = Type::kObject;
+  v.object_ = std::move(members);
+  return v;
+}
+
+bool JsonValue::bool_value() const {
+  CROSSEM_CHECK(is_bool());
+  return bool_;
+}
+
+double JsonValue::number_value() const {
+  CROSSEM_CHECK(is_number());
+  return number_;
+}
+
+const std::string& JsonValue::string_value() const {
+  CROSSEM_CHECK(is_string());
+  return string_;
+}
+
+const std::vector<JsonValue>& JsonValue::array_items() const {
+  CROSSEM_CHECK(is_array());
+  return array_;
+}
+
+const std::map<std::string, JsonValue>& JsonValue::object_members() const {
+  CROSSEM_CHECK(is_object());
+  return object_;
+}
+
+const JsonValue* JsonValue::Find(const std::string& key) const {
+  if (!is_object()) return nullptr;
+  auto it = object_.find(key);
+  return it == object_.end() ? nullptr : &it->second;
+}
+
+namespace {
+
+void DumpString(const std::string& s, std::ostringstream& out) {
+  out << '"';
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out << "\\\"";
+        break;
+      case '\\':
+        out << "\\\\";
+        break;
+      case '\n':
+        out << "\\n";
+        break;
+      case '\t':
+        out << "\\t";
+        break;
+      case '\r':
+        out << "\\r";
+        break;
+      default:
+        out << c;
+    }
+  }
+  out << '"';
+}
+
+void DumpValue(const JsonValue& v, std::ostringstream& out) {
+  switch (v.type()) {
+    case JsonValue::Type::kNull:
+      out << "null";
+      break;
+    case JsonValue::Type::kBool:
+      out << (v.bool_value() ? "true" : "false");
+      break;
+    case JsonValue::Type::kNumber: {
+      double d = v.number_value();
+      if (d == std::floor(d) && std::fabs(d) < 1e15) {
+        out << static_cast<long long>(d);
+      } else {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%g", d);
+        out << buf;
+      }
+      break;
+    }
+    case JsonValue::Type::kString:
+      DumpString(v.string_value(), out);
+      break;
+    case JsonValue::Type::kArray: {
+      out << '[';
+      bool first = true;
+      for (const auto& item : v.array_items()) {
+        if (!first) out << ',';
+        first = false;
+        DumpValue(item, out);
+      }
+      out << ']';
+      break;
+    }
+    case JsonValue::Type::kObject: {
+      out << '{';
+      bool first = true;
+      for (const auto& [k, val] : v.object_members()) {
+        if (!first) out << ',';
+        first = false;
+        DumpString(k, out);
+        out << ':';
+        DumpValue(val, out);
+      }
+      out << '}';
+      break;
+    }
+  }
+}
+
+/// Recursive-descent parser over the input text.
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  Result<JsonValue> Parse() {
+    JsonValue v;
+    Status st = ParseValue(&v);
+    if (!st.ok()) return st;
+    SkipWhitespace();
+    if (pos_ != text_.size()) {
+      return Error("trailing characters after JSON value");
+    }
+    return v;
+  }
+
+ private:
+  Status Error(const std::string& msg) const {
+    return Status::ParseError(msg + " at offset " + std::to_string(pos_));
+  }
+
+  void SkipWhitespace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Status ParseValue(JsonValue* out) {
+    SkipWhitespace();
+    if (pos_ >= text_.size()) return Error("unexpected end of input");
+    const char c = text_[pos_];
+    if (c == '{') return ParseObject(out);
+    if (c == '[') return ParseArray(out);
+    if (c == '"') return ParseString(out);
+    if (c == 't' || c == 'f') return ParseBool(out);
+    if (c == 'n') return ParseNull(out);
+    if (c == '-' || std::isdigit(static_cast<unsigned char>(c))) {
+      return ParseNumber(out);
+    }
+    return Error(std::string("unexpected character '") + c + "'");
+  }
+
+  Status ParseObject(JsonValue* out) {
+    CROSSEM_CHECK(Consume('{'));
+    std::map<std::string, JsonValue> members;
+    SkipWhitespace();
+    if (Consume('}')) {
+      *out = JsonValue::Object(std::move(members));
+      return Status::OK();
+    }
+    while (true) {
+      SkipWhitespace();
+      JsonValue key;
+      if (pos_ >= text_.size() || text_[pos_] != '"') {
+        return Error("expected string key");
+      }
+      CROSSEM_RETURN_NOT_OK(ParseString(&key));
+      SkipWhitespace();
+      if (!Consume(':')) return Error("expected ':'");
+      JsonValue value;
+      CROSSEM_RETURN_NOT_OK(ParseValue(&value));
+      members.emplace(key.string_value(), std::move(value));
+      SkipWhitespace();
+      if (Consume(',')) continue;
+      if (Consume('}')) break;
+      return Error("expected ',' or '}'");
+    }
+    *out = JsonValue::Object(std::move(members));
+    return Status::OK();
+  }
+
+  Status ParseArray(JsonValue* out) {
+    CROSSEM_CHECK(Consume('['));
+    std::vector<JsonValue> items;
+    SkipWhitespace();
+    if (Consume(']')) {
+      *out = JsonValue::Array(std::move(items));
+      return Status::OK();
+    }
+    while (true) {
+      JsonValue value;
+      CROSSEM_RETURN_NOT_OK(ParseValue(&value));
+      items.push_back(std::move(value));
+      SkipWhitespace();
+      if (Consume(',')) continue;
+      if (Consume(']')) break;
+      return Error("expected ',' or ']'");
+    }
+    *out = JsonValue::Array(std::move(items));
+    return Status::OK();
+  }
+
+  Status ParseString(JsonValue* out) {
+    CROSSEM_CHECK(Consume('"'));
+    std::string s;
+    while (pos_ < text_.size()) {
+      char c = text_[pos_++];
+      if (c == '"') {
+        *out = JsonValue::String(std::move(s));
+        return Status::OK();
+      }
+      if (c == '\\') {
+        if (pos_ >= text_.size()) return Error("unterminated escape");
+        char esc = text_[pos_++];
+        switch (esc) {
+          case '"':
+            s += '"';
+            break;
+          case '\\':
+            s += '\\';
+            break;
+          case '/':
+            s += '/';
+            break;
+          case 'n':
+            s += '\n';
+            break;
+          case 't':
+            s += '\t';
+            break;
+          case 'r':
+            s += '\r';
+            break;
+          case 'b':
+            s += '\b';
+            break;
+          case 'f':
+            s += '\f';
+            break;
+          case 'u': {
+            if (pos_ + 4 > text_.size()) return Error("bad \\u escape");
+            int code = 0;
+            for (int i = 0; i < 4; ++i) {
+              char h = text_[pos_++];
+              code <<= 4;
+              if (h >= '0' && h <= '9') {
+                code += h - '0';
+              } else if (h >= 'a' && h <= 'f') {
+                code += h - 'a' + 10;
+              } else if (h >= 'A' && h <= 'F') {
+                code += h - 'A' + 10;
+              } else {
+                return Error("bad hex digit in \\u escape");
+              }
+            }
+            // Encode the code point as UTF-8 (BMP only; surrogate pairs
+            // are passed through as separate units).
+            if (code < 0x80) {
+              s += static_cast<char>(code);
+            } else if (code < 0x800) {
+              s += static_cast<char>(0xC0 | (code >> 6));
+              s += static_cast<char>(0x80 | (code & 0x3F));
+            } else {
+              s += static_cast<char>(0xE0 | (code >> 12));
+              s += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+              s += static_cast<char>(0x80 | (code & 0x3F));
+            }
+            break;
+          }
+          default:
+            return Error("unknown escape character");
+        }
+      } else {
+        s += c;
+      }
+    }
+    return Error("unterminated string");
+  }
+
+  Status ParseBool(JsonValue* out) {
+    if (text_.compare(pos_, 4, "true") == 0) {
+      pos_ += 4;
+      *out = JsonValue::Bool(true);
+      return Status::OK();
+    }
+    if (text_.compare(pos_, 5, "false") == 0) {
+      pos_ += 5;
+      *out = JsonValue::Bool(false);
+      return Status::OK();
+    }
+    return Error("invalid literal");
+  }
+
+  Status ParseNull(JsonValue* out) {
+    if (text_.compare(pos_, 4, "null") == 0) {
+      pos_ += 4;
+      *out = JsonValue::Null();
+      return Status::OK();
+    }
+    return Error("invalid literal");
+  }
+
+  Status ParseNumber(JsonValue* out) {
+    const size_t start = pos_;
+    if (Consume('-')) {
+    }
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    const std::string token = text_.substr(start, pos_ - start);
+    try {
+      size_t used = 0;
+      double d = std::stod(token, &used);
+      if (used != token.size()) return Error("invalid number");
+      *out = JsonValue::Number(d);
+      return Status::OK();
+    } catch (...) {
+      return Error("invalid number");
+    }
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::string JsonValue::Dump() const {
+  std::ostringstream out;
+  DumpValue(*this, out);
+  return out.str();
+}
+
+Result<JsonValue> ParseJson(const std::string& text) {
+  return Parser(text).Parse();
+}
+
+}  // namespace graph
+}  // namespace crossem

@@ -1,0 +1,67 @@
+// Minimal JSON document model and recursive-descent parser.
+//
+// Supports the full JSON grammar (objects, arrays, strings with escapes,
+// numbers, booleans, null). Used by the data-mapping step that encodes
+// semi-structured data-lake sources into the unified graph.
+#ifndef CROSSEM_GRAPH_JSON_H_
+#define CROSSEM_GRAPH_JSON_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace crossem {
+namespace graph {
+
+/// A parsed JSON value (tree-owning).
+class JsonValue {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  JsonValue() : type_(Type::kNull) {}
+  static JsonValue Null() { return JsonValue(); }
+  static JsonValue Bool(bool b);
+  static JsonValue Number(double d);
+  static JsonValue String(std::string s);
+  static JsonValue Array(std::vector<JsonValue> items);
+  static JsonValue Object(std::map<std::string, JsonValue> members);
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_bool() const { return type_ == Type::kBool; }
+  bool is_number() const { return type_ == Type::kNumber; }
+  bool is_string() const { return type_ == Type::kString; }
+  bool is_array() const { return type_ == Type::kArray; }
+  bool is_object() const { return type_ == Type::kObject; }
+
+  bool bool_value() const;
+  double number_value() const;
+  const std::string& string_value() const;
+  const std::vector<JsonValue>& array_items() const;
+  const std::map<std::string, JsonValue>& object_members() const;
+
+  /// Member lookup; returns nullptr when absent or not an object.
+  const JsonValue* Find(const std::string& key) const;
+
+  /// Serializes back to compact JSON text.
+  std::string Dump() const;
+
+ private:
+  Type type_;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<JsonValue> array_;
+  std::map<std::string, JsonValue> object_;
+};
+
+/// Parses a complete JSON document; trailing non-whitespace is an error.
+Result<JsonValue> ParseJson(const std::string& text);
+
+}  // namespace graph
+}  // namespace crossem
+
+#endif  // CROSSEM_GRAPH_JSON_H_

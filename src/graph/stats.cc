@@ -1,0 +1,72 @@
+#include "graph/stats.h"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+#include <vector>
+
+namespace crossem {
+namespace graph {
+
+GraphStats ComputeGraphStats(const Graph& g) {
+  GraphStats stats;
+  stats.num_vertices = g.NumVertices();
+  stats.num_edges = g.NumEdges();
+  if (g.NumVertices() == 0) return stats;
+
+  for (VertexId v = 0; v < g.NumVertices(); ++v) {
+    const int64_t out = static_cast<int64_t>(g.OutEdges(v).size());
+    const int64_t in = static_cast<int64_t>(g.InEdges(v).size());
+    stats.max_out_degree = std::max(stats.max_out_degree, out);
+    stats.max_in_degree = std::max(stats.max_in_degree, in);
+    if (out + in == 0) ++stats.num_isolated_vertices;
+  }
+  stats.avg_degree = 2.0 * static_cast<double>(g.NumEdges()) /
+                     static_cast<double>(g.NumVertices());
+
+  // Undirected connected components via iterative DFS.
+  std::vector<bool> visited(static_cast<size_t>(g.NumVertices()), false);
+  for (VertexId start = 0; start < g.NumVertices(); ++start) {
+    if (visited[static_cast<size_t>(start)]) continue;
+    ++stats.num_connected_components;
+    int64_t size = 0;
+    std::vector<VertexId> stack = {start};
+    visited[static_cast<size_t>(start)] = true;
+    while (!stack.empty()) {
+      VertexId v = stack.back();
+      stack.pop_back();
+      ++size;
+      for (VertexId u : g.Neighbors(v)) {
+        if (!visited[static_cast<size_t>(u)]) {
+          visited[static_cast<size_t>(u)] = true;
+          stack.push_back(u);
+        }
+      }
+    }
+    stats.largest_component_size =
+        std::max(stats.largest_component_size, size);
+  }
+
+  stats.num_unique_words = static_cast<int64_t>(g.UniqueWords().size());
+  std::set<std::string> edge_labels;
+  for (EdgeId e = 0; e < g.NumEdges(); ++e) {
+    edge_labels.insert(g.GetEdge(e).label);
+  }
+  stats.num_unique_edge_labels = static_cast<int64_t>(edge_labels.size());
+  return stats;
+}
+
+std::string GraphStats::ToString() const {
+  std::ostringstream out;
+  out << num_vertices << " vertices, " << num_edges << " edges ("
+      << num_unique_edge_labels << " edge labels, " << num_unique_words
+      << " label words); avg degree " << avg_degree << ", max out/in "
+      << max_out_degree << "/" << max_in_degree << "; "
+      << num_connected_components << " components (largest "
+      << largest_component_size << "), " << num_isolated_vertices
+      << " isolated";
+  return out.str();
+}
+
+}  // namespace graph
+}  // namespace crossem

@@ -1,0 +1,37 @@
+// Graph profiling: summary statistics of a mapped data-lake graph
+// (degree distribution, connectivity, label vocabulary), used by the CLI
+// and by dataset sanity checks.
+#ifndef CROSSEM_GRAPH_STATS_H_
+#define CROSSEM_GRAPH_STATS_H_
+
+#include <cstdint>
+#include <string>
+
+#include "graph/graph.h"
+
+namespace crossem {
+namespace graph {
+
+struct GraphStats {
+  int64_t num_vertices = 0;
+  int64_t num_edges = 0;
+  int64_t num_isolated_vertices = 0;
+  int64_t max_out_degree = 0;
+  int64_t max_in_degree = 0;
+  double avg_degree = 0.0;  // undirected: 2|E| / |V|
+  int64_t num_connected_components = 0;  // undirected
+  int64_t largest_component_size = 0;
+  int64_t num_unique_words = 0;
+  int64_t num_unique_edge_labels = 0;
+
+  /// Human-readable one-paragraph summary.
+  std::string ToString() const;
+};
+
+/// Profiles `g` in O(|V| + |E|).
+GraphStats ComputeGraphStats(const Graph& g);
+
+}  // namespace graph
+}  // namespace crossem
+
+#endif  // CROSSEM_GRAPH_STATS_H_

@@ -1,0 +1,119 @@
+#include "nn/attention.h"
+
+#include <cmath>
+
+#include "tensor/ops.h"
+#include "util/logging.h"
+
+namespace crossem {
+namespace nn {
+
+MultiHeadAttention::MultiHeadAttention(int64_t model_dim, int64_t num_heads,
+                                       Rng* rng)
+    : model_dim_(model_dim),
+      num_heads_(num_heads),
+      head_dim_(model_dim / num_heads),
+      wq_(model_dim, model_dim, rng),
+      wk_(model_dim, model_dim, rng),
+      wv_(model_dim, model_dim, rng),
+      wo_(model_dim, model_dim, rng) {
+  CROSSEM_CHECK_EQ(head_dim_ * num_heads_, model_dim_)
+      << "model_dim must be divisible by num_heads";
+  RegisterModule("wq", &wq_);
+  RegisterModule("wk", &wk_);
+  RegisterModule("wv", &wv_);
+  RegisterModule("wo", &wo_);
+}
+
+Tensor MultiHeadAttention::Forward(const Tensor& query, const Tensor& context,
+                                   const Tensor& key_padding_mask) const {
+  CROSSEM_CHECK_EQ(query.dim(), 3);
+  CROSSEM_CHECK_EQ(context.dim(), 3);
+  const int64_t b = query.size(0);
+  const int64_t tq = query.size(1);
+  const int64_t tk = context.size(1);
+  CROSSEM_CHECK_EQ(context.size(0), b);
+
+  // Project and split heads: [B, T, D] -> [B, H, T, Dh].
+  auto split_heads = [&](const Tensor& x, int64_t t) {
+    Tensor r = ops::Reshape(x, {b, t, num_heads_, head_dim_});
+    return ops::Transpose(r, 1, 2);
+  };
+  Tensor q = split_heads(wq_.Forward(query), tq);
+  Tensor k = split_heads(wk_.Forward(context), tk);
+  Tensor v = split_heads(wv_.Forward(context), tk);
+
+  // Attention scores: [B, H, Tq, Tk].
+  Tensor scores = ops::MatMul(q, ops::Transpose(k, -1, -2));
+  scores = ops::MulScalar(scores,
+                          1.0f / std::sqrt(static_cast<float>(head_dim_)));
+
+  if (key_padding_mask.defined()) {
+    CROSSEM_CHECK_EQ(key_padding_mask.dim(), 2);
+    CROSSEM_CHECK_EQ(key_padding_mask.size(0), b);
+    CROSSEM_CHECK_EQ(key_padding_mask.size(1), tk);
+    // (mask - 1) * 1e9 gives 0 for valid keys, -1e9 for padded ones;
+    // broadcast [B, 1, 1, Tk] over heads and query positions.
+    Tensor bias = ops::MulScalar(
+        ops::AddScalar(key_padding_mask.Detach(), -1.0f), 1e9f);
+    bias = ops::Reshape(bias, {b, 1, 1, tk});
+    scores = ops::Add(scores, bias);
+  }
+
+  Tensor attn = ops::Softmax(scores);
+  Tensor ctx = ops::MatMul(attn, v);  // [B, H, Tq, Dh]
+  ctx = ops::Transpose(ctx, 1, 2);    // [B, Tq, H, Dh]
+  ctx = ops::Reshape(ctx, {b, tq, model_dim_});
+  return wo_.Forward(ctx);
+}
+
+TransformerBlock::TransformerBlock(int64_t model_dim, int64_t num_heads,
+                                   int64_t mlp_dim, Rng* rng, float dropout)
+    : attn_(model_dim, num_heads, rng),
+      ln1_(model_dim),
+      ln2_(model_dim),
+      fc1_(model_dim, mlp_dim, rng),
+      fc2_(mlp_dim, model_dim, rng),
+      dropout_(dropout) {
+  RegisterModule("attn", &attn_);
+  RegisterModule("ln1", &ln1_);
+  RegisterModule("ln2", &ln2_);
+  RegisterModule("fc1", &fc1_);
+  RegisterModule("fc2", &fc2_);
+}
+
+Tensor TransformerBlock::Forward(const Tensor& x,
+                                 const Tensor& key_padding_mask,
+                                 Rng* rng) const {
+  Tensor n1 = ln1_.Forward(x);
+  Tensor h = ops::Add(x, attn_.Forward(n1, n1, key_padding_mask));
+  Tensor mlp = fc2_.Forward(ops::Gelu(fc1_.Forward(ln2_.Forward(h))));
+  mlp = ops::Dropout(mlp, dropout_, training() && rng != nullptr, rng);
+  return ops::Add(h, mlp);
+}
+
+TransformerEncoder::TransformerEncoder(int64_t num_layers, int64_t model_dim,
+                                       int64_t num_heads, int64_t mlp_dim,
+                                       Rng* rng, float dropout)
+    : final_ln_(model_dim) {
+  CROSSEM_CHECK_GT(num_layers, 0);
+  for (int64_t i = 0; i < num_layers; ++i) {
+    blocks_.push_back(std::make_unique<TransformerBlock>(
+        model_dim, num_heads, mlp_dim, rng, dropout));
+    RegisterModule("layer" + std::to_string(i), blocks_.back().get());
+  }
+  RegisterModule("final_ln", &final_ln_);
+}
+
+Tensor TransformerEncoder::Forward(const Tensor& x,
+                                   const Tensor& key_padding_mask,
+                                   Rng* rng) const {
+  Tensor h = x;
+  for (const auto& block : blocks_) {
+    h = block->Forward(h, key_padding_mask, rng);
+  }
+  return final_ln_.Forward(h);
+}
+
+}  // namespace nn
+}  // namespace crossem

@@ -1,0 +1,83 @@
+// Multi-head self/cross attention and the Transformer encoder block.
+#ifndef CROSSEM_NN_ATTENTION_H_
+#define CROSSEM_NN_ATTENTION_H_
+
+#include <memory>
+#include <vector>
+
+#include "nn/layers.h"
+#include "nn/module.h"
+#include "tensor/tensor.h"
+#include "util/random.h"
+
+namespace crossem {
+namespace nn {
+
+/// Scaled dot-product multi-head attention.
+///
+/// Supports self-attention (query == context) and cross-attention
+/// (the co-attention streams of ViLBERT-style baselines).
+class MultiHeadAttention : public Module {
+ public:
+  MultiHeadAttention(int64_t model_dim, int64_t num_heads, Rng* rng);
+
+  /// query: [B, Tq, D], context: [B, Tk, D].
+  /// key_padding_mask (optional): [B, Tk] with 1 = valid, 0 = padded.
+  Tensor Forward(const Tensor& query, const Tensor& context,
+                 const Tensor& key_padding_mask = Tensor()) const;
+
+  /// Self-attention convenience (query and context are the same sequence).
+  Tensor ForwardSelf(const Tensor& x,
+                     const Tensor& key_padding_mask = Tensor()) const {
+    return Forward(x, x, key_padding_mask);
+  }
+
+ private:
+  int64_t model_dim_;
+  int64_t num_heads_;
+  int64_t head_dim_;
+  Linear wq_;
+  Linear wk_;
+  Linear wv_;
+  Linear wo_;
+};
+
+/// Pre-LayerNorm Transformer encoder block:
+///   x = x + MHA(LN(x));  x = x + MLP(LN(x)).
+class TransformerBlock : public Module {
+ public:
+  TransformerBlock(int64_t model_dim, int64_t num_heads, int64_t mlp_dim,
+                   Rng* rng, float dropout = 0.0f);
+
+  Tensor Forward(const Tensor& x, const Tensor& key_padding_mask = Tensor(),
+                 Rng* rng = nullptr) const;
+
+ private:
+  MultiHeadAttention attn_;
+  LayerNorm ln1_;
+  LayerNorm ln2_;
+  Linear fc1_;
+  Linear fc2_;
+  float dropout_;
+};
+
+/// A stack of TransformerBlocks with a final LayerNorm.
+class TransformerEncoder : public Module {
+ public:
+  TransformerEncoder(int64_t num_layers, int64_t model_dim, int64_t num_heads,
+                     int64_t mlp_dim, Rng* rng, float dropout = 0.0f);
+
+  Tensor Forward(const Tensor& x, const Tensor& key_padding_mask = Tensor(),
+                 Rng* rng = nullptr) const;
+
+  int64_t num_layers() const { return static_cast<int64_t>(blocks_.size()); }
+
+ private:
+  std::vector<std::unique_ptr<TransformerBlock>> blocks_;
+  LayerNorm final_ln_;
+};
+
+}  // namespace nn
+}  // namespace crossem
+
+#endif  // CROSSEM_NN_ATTENTION_H_

@@ -1,0 +1,52 @@
+#include "nn/graph_agg.h"
+
+#include "tensor/ops.h"
+#include "util/logging.h"
+
+namespace crossem {
+namespace nn {
+
+Tensor NeighborMeanMatrix(const AdjacencyList& neighbors) {
+  const int64_t n = static_cast<int64_t>(neighbors.size());
+  CROSSEM_CHECK_GT(n, 0);
+  Tensor a = Tensor::Zeros({n, n});
+  float* p = a.data();
+  for (int64_t i = 0; i < n; ++i) {
+    const auto& nbrs = neighbors[static_cast<size_t>(i)];
+    if (nbrs.empty()) {
+      p[i * n + i] = 1.0f;  // isolated vertex: average over itself
+      continue;
+    }
+    const float w = 1.0f / static_cast<float>(nbrs.size());
+    for (int64_t j : nbrs) {
+      CROSSEM_CHECK_GE(j, 0);
+      CROSSEM_CHECK_LT(j, n);
+      p[i * n + j] += w;
+    }
+  }
+  return a;
+}
+
+Tensor MeanAggregate(const Tensor& features, const Tensor& neighbor_mean,
+                     float alpha) {
+  CROSSEM_CHECK_GE(alpha, 0.0f);
+  CROSSEM_CHECK_LE(alpha, 1.0f);
+  Tensor agg = ops::MatMul(neighbor_mean, features);
+  return ops::Add(ops::MulScalar(features, alpha),
+                  ops::MulScalar(agg, 1.0f - alpha));
+}
+
+GraphSageLayer::GraphSageLayer(int64_t in_dim, int64_t out_dim, Rng* rng)
+    : proj_(2 * in_dim, out_dim, rng) {
+  RegisterModule("proj", &proj_);
+}
+
+Tensor GraphSageLayer::Forward(const Tensor& features,
+                               const Tensor& neighbor_mean) const {
+  Tensor agg = ops::MatMul(neighbor_mean, features);
+  Tensor cat = ops::Concat({features, agg}, /*dim=*/1);
+  return ops::Relu(proj_.Forward(cat));
+}
+
+}  // namespace nn
+}  // namespace crossem

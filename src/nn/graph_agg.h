@@ -1,0 +1,48 @@
+// Graph feature aggregation used by the soft-prompt generator (Eq. 6) and
+// the GPPT baseline: mean-neighbor aggregation ("GNN" in the paper) and a
+// GraphSAGE-style learned aggregation layer.
+#ifndef CROSSEM_NN_GRAPH_AGG_H_
+#define CROSSEM_NN_GRAPH_AGG_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "nn/layers.h"
+#include "nn/module.h"
+#include "tensor/tensor.h"
+#include "util/random.h"
+
+namespace crossem {
+namespace nn {
+
+/// Adjacency lists: neighbors[i] holds the neighbor ids of vertex i.
+using AdjacencyList = std::vector<std::vector<int64_t>>;
+
+/// Dense row-normalized neighbor-average operator A (N x N), so that
+/// MatMul(A, H) yields per-vertex neighbor means. Vertices with no
+/// neighbors average over themselves. Not differentiable w.r.t. structure
+/// (A is a constant), fully differentiable w.r.t. features.
+Tensor NeighborMeanMatrix(const AdjacencyList& neighbors);
+
+/// Simple GNN aggregation (the paper's Eq. 6 backbone for CUB/SUN):
+///   out = alpha * H + (1 - alpha) * A H.
+Tensor MeanAggregate(const Tensor& features, const Tensor& neighbor_mean,
+                     float alpha);
+
+/// One GraphSAGE layer (the paper's backbone for FB15K):
+///   out = ReLU(W [h_v ; mean_{u in N(v)} h_u]).
+class GraphSageLayer : public Module {
+ public:
+  GraphSageLayer(int64_t in_dim, int64_t out_dim, Rng* rng);
+
+  /// features: [N, in], neighbor_mean: precomputed NeighborMeanMatrix.
+  Tensor Forward(const Tensor& features, const Tensor& neighbor_mean) const;
+
+ private:
+  Linear proj_;
+};
+
+}  // namespace nn
+}  // namespace crossem
+
+#endif  // CROSSEM_NN_GRAPH_AGG_H_

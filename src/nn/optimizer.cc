@@ -1,0 +1,126 @@
+#include "nn/optimizer.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace crossem {
+namespace nn {
+
+namespace {
+/// A parameter participates in the update if it is trainable and has
+/// received a gradient this step.
+bool Updatable(const Tensor& p) {
+  return p.requires_grad() && p.grad().defined();
+}
+}  // namespace
+
+Optimizer::Optimizer(std::vector<Tensor> params) : params_(std::move(params)) {}
+
+void Optimizer::ZeroGrad() {
+  for (Tensor& p : params_) p.ZeroGrad();
+}
+
+Sgd::Sgd(std::vector<Tensor> params, float lr, float momentum)
+    : Optimizer(std::move(params)), lr_(lr), momentum_(momentum) {
+  velocity_.resize(params_.size());
+}
+
+void Sgd::Step() {
+  for (size_t i = 0; i < params_.size(); ++i) {
+    Tensor& p = params_[i];
+    if (!Updatable(p)) continue;
+    const float* g = p.grad().data();
+    float* w = p.data();
+    const int64_t n = p.numel();
+    if (momentum_ > 0.0f) {
+      auto& vel = velocity_[i];
+      if (vel.empty()) vel.assign(static_cast<size_t>(n), 0.0f);
+      for (int64_t j = 0; j < n; ++j) {
+        vel[static_cast<size_t>(j)] =
+            momentum_ * vel[static_cast<size_t>(j)] + g[j];
+        w[j] -= lr_ * vel[static_cast<size_t>(j)];
+      }
+    } else {
+      for (int64_t j = 0; j < n; ++j) w[j] -= lr_ * g[j];
+    }
+  }
+}
+
+Adam::Adam(std::vector<Tensor> params, float lr, float beta1, float beta2,
+           float eps, float weight_decay)
+    : Optimizer(std::move(params)),
+      lr_(lr),
+      beta1_(beta1),
+      beta2_(beta2),
+      eps_(eps),
+      weight_decay_(weight_decay) {
+  m_.resize(params_.size());
+  v_.resize(params_.size());
+}
+
+void Adam::Step() {
+  ++t_;
+  const float bc1 = 1.0f - std::pow(beta1_, static_cast<float>(t_));
+  const float bc2 = 1.0f - std::pow(beta2_, static_cast<float>(t_));
+  for (size_t i = 0; i < params_.size(); ++i) {
+    Tensor& p = params_[i];
+    if (!Updatable(p)) continue;
+    const float* g = p.grad().data();
+    float* w = p.data();
+    const int64_t n = p.numel();
+    auto& m = m_[i];
+    auto& v = v_[i];
+    if (m.empty()) {
+      m.assign(static_cast<size_t>(n), 0.0f);
+      v.assign(static_cast<size_t>(n), 0.0f);
+    }
+    for (int64_t j = 0; j < n; ++j) {
+      float grad = g[j];
+      if (!decoupled_decay_ && weight_decay_ > 0.0f) {
+        grad += weight_decay_ * w[j];
+      }
+      const size_t js = static_cast<size_t>(j);
+      m[js] = beta1_ * m[js] + (1.0f - beta1_) * grad;
+      v[js] = beta2_ * v[js] + (1.0f - beta2_) * grad * grad;
+      const float mhat = m[js] / bc1;
+      const float vhat = v[js] / bc2;
+      float update = lr_ * mhat / (std::sqrt(vhat) + eps_);
+      if (decoupled_decay_ && weight_decay_ > 0.0f) {
+        update += lr_ * weight_decay_ * w[j];
+      }
+      w[j] -= update;
+    }
+  }
+}
+
+AdamW::AdamW(std::vector<Tensor> params, float lr, float beta1, float beta2,
+             float eps, float weight_decay)
+    : Adam(std::move(params), lr, beta1, beta2, eps, weight_decay) {
+  decoupled_decay_ = true;
+}
+
+float ClipGradNorm(const std::vector<Tensor>& params, float max_norm) {
+  CROSSEM_CHECK_GT(max_norm, 0.0f);
+  double total = 0.0;
+  for (const Tensor& p : params) {
+    if (!Updatable(p)) continue;
+    const float* g = p.grad().data();
+    for (int64_t j = 0; j < p.numel(); ++j) {
+      total += static_cast<double>(g[j]) * g[j];
+    }
+  }
+  const float norm = static_cast<float>(std::sqrt(total));
+  if (norm > max_norm) {
+    const float scale = max_norm / (norm + 1e-12f);
+    for (const Tensor& p : params) {
+      if (!Updatable(p)) continue;
+      float* g = p.grad().data();
+      for (int64_t j = 0; j < p.numel(); ++j) g[j] *= scale;
+    }
+  }
+  return norm;
+}
+
+}  // namespace nn
+}  // namespace crossem

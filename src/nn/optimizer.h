@@ -1,0 +1,83 @@
+// First-order optimizers: SGD (with momentum), Adam, and AdamW.
+//
+// The paper trains with AdamW; SGD and Adam are provided for the baselines
+// and ablations. Parameters whose requires_grad flag is off (frozen
+// modules) are skipped, which is how prompt tuning updates only the
+// prompt-side parameters.
+#ifndef CROSSEM_NN_OPTIMIZER_H_
+#define CROSSEM_NN_OPTIMIZER_H_
+
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace crossem {
+namespace nn {
+
+/// Base optimizer: owns the parameter list and grad clearing.
+class Optimizer {
+ public:
+  explicit Optimizer(std::vector<Tensor> params);
+  virtual ~Optimizer() = default;
+
+  Optimizer(const Optimizer&) = delete;
+  Optimizer& operator=(const Optimizer&) = delete;
+
+  /// Applies one update using the gradients accumulated on the parameters.
+  virtual void Step() = 0;
+
+  /// Zero-fills all parameter gradients.
+  void ZeroGrad();
+
+ protected:
+  std::vector<Tensor> params_;
+};
+
+/// Stochastic gradient descent with optional classical momentum.
+class Sgd : public Optimizer {
+ public:
+  Sgd(std::vector<Tensor> params, float lr, float momentum = 0.0f);
+
+  void Step() override;
+
+ private:
+  float lr_;
+  float momentum_;
+  std::vector<std::vector<float>> velocity_;
+};
+
+/// Adam (Kingma & Ba). `weight_decay` is classic L2 (added to the gradient).
+class Adam : public Optimizer {
+ public:
+  Adam(std::vector<Tensor> params, float lr, float beta1 = 0.9f,
+       float beta2 = 0.999f, float eps = 1e-8f, float weight_decay = 0.0f);
+
+  void Step() override;
+
+ protected:
+  float lr_;
+  float beta1_;
+  float beta2_;
+  float eps_;
+  float weight_decay_;
+  bool decoupled_decay_ = false;  // AdamW when true
+  int64_t t_ = 0;
+  std::vector<std::vector<float>> m_;
+  std::vector<std::vector<float>> v_;
+};
+
+/// AdamW: Adam with decoupled weight decay (the paper's optimizer).
+class AdamW : public Adam {
+ public:
+  AdamW(std::vector<Tensor> params, float lr, float beta1 = 0.9f,
+        float beta2 = 0.999f, float eps = 1e-8f, float weight_decay = 0.01f);
+};
+
+/// Rescales gradients so their global L2 norm is at most `max_norm`.
+/// Returns the pre-clipping norm.
+float ClipGradNorm(const std::vector<Tensor>& params, float max_norm);
+
+}  // namespace nn
+}  // namespace crossem
+
+#endif  // CROSSEM_NN_OPTIMIZER_H_

@@ -1,0 +1,136 @@
+#include "nn/serialize.h"
+
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace crossem {
+namespace nn {
+
+namespace {
+
+constexpr char kMagic[8] = {'C', 'E', 'M', 'C', 'K', 'P', 'T', '1'};
+
+/// RAII FILE handle.
+struct FileCloser {
+  void operator()(std::FILE* f) const {
+    if (f != nullptr) std::fclose(f);
+  }
+};
+using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+
+bool WriteI64(std::FILE* f, int64_t v) {
+  return std::fwrite(&v, sizeof(v), 1, f) == 1;
+}
+
+bool ReadI64(std::FILE* f, int64_t* v) {
+  return std::fread(v, sizeof(*v), 1, f) == 1;
+}
+
+}  // namespace
+
+Status SaveCheckpoint(const Module& module, const std::string& path) {
+  FilePtr f(std::fopen(path.c_str(), "wb"));
+  if (!f) return Status::IOError("cannot open '" + path + "' for writing");
+  auto params = module.NamedParameters();
+  if (std::fwrite(kMagic, sizeof(kMagic), 1, f.get()) != 1 ||
+      !WriteI64(f.get(), static_cast<int64_t>(params.size()))) {
+    return Status::IOError("write failed: " + path);
+  }
+  for (const auto& [name, tensor] : params) {
+    if (!WriteI64(f.get(), static_cast<int64_t>(name.size())) ||
+        std::fwrite(name.data(), 1, name.size(), f.get()) != name.size() ||
+        !WriteI64(f.get(), tensor.dim())) {
+      return Status::IOError("write failed: " + path);
+    }
+    for (int64_t d = 0; d < tensor.dim(); ++d) {
+      if (!WriteI64(f.get(), tensor.size(d))) {
+        return Status::IOError("write failed: " + path);
+      }
+    }
+    const size_t n = static_cast<size_t>(tensor.numel());
+    if (std::fwrite(tensor.data(), sizeof(float), n, f.get()) != n) {
+      return Status::IOError("write failed: " + path);
+    }
+  }
+  return Status::OK();
+}
+
+Status LoadCheckpoint(Module* module, const std::string& path) {
+  if (module == nullptr) return Status::InvalidArgument("module is null");
+  FilePtr f(std::fopen(path.c_str(), "rb"));
+  if (!f) return Status::IOError("cannot open '" + path + "' for reading");
+
+  char magic[8];
+  if (std::fread(magic, sizeof(magic), 1, f.get()) != 1 ||
+      std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    return Status::ParseError("'" + path + "' is not a CrossEM checkpoint");
+  }
+  int64_t count = 0;
+  if (!ReadI64(f.get(), &count) || count < 0) {
+    return Status::ParseError("corrupt checkpoint header");
+  }
+
+  // Read everything first so the module is never partially mutated.
+  std::map<std::string, std::pair<Shape, std::vector<float>>> loaded;
+  for (int64_t i = 0; i < count; ++i) {
+    int64_t name_len = 0;
+    if (!ReadI64(f.get(), &name_len) || name_len < 0 || name_len > 4096) {
+      return Status::ParseError("corrupt parameter name");
+    }
+    std::string name(static_cast<size_t>(name_len), '\0');
+    if (name_len > 0 &&
+        std::fread(name.data(), 1, name.size(), f.get()) != name.size()) {
+      return Status::ParseError("truncated checkpoint");
+    }
+    int64_t rank = 0;
+    if (!ReadI64(f.get(), &rank) || rank < 0 || rank > 16) {
+      return Status::ParseError("corrupt parameter rank");
+    }
+    Shape shape(static_cast<size_t>(rank));
+    for (auto& d : shape) {
+      if (!ReadI64(f.get(), &d) || d < 0) {
+        return Status::ParseError("corrupt parameter shape");
+      }
+    }
+    std::vector<float> data(static_cast<size_t>(ShapeNumel(shape)));
+    if (!data.empty() &&
+        std::fread(data.data(), sizeof(float), data.size(), f.get()) !=
+            data.size()) {
+      return Status::ParseError("truncated checkpoint");
+    }
+    loaded.emplace(std::move(name), std::make_pair(std::move(shape),
+                                                   std::move(data)));
+  }
+
+  auto params = module->NamedParameters();
+  if (params.size() != loaded.size()) {
+    return Status::InvalidArgument(
+        "checkpoint holds " + std::to_string(loaded.size()) +
+        " parameters, module expects " + std::to_string(params.size()));
+  }
+  for (auto& [name, tensor] : params) {
+    auto it = loaded.find(name);
+    if (it == loaded.end()) {
+      return Status::NotFound("checkpoint missing parameter '" + name + "'");
+    }
+    if (it->second.first != tensor.shape()) {
+      return Status::InvalidArgument(
+          "shape mismatch for '" + name + "': checkpoint " +
+          ShapeToString(it->second.first) + " vs module " +
+          ShapeToString(tensor.shape()));
+    }
+  }
+  for (auto& [name, tensor] : params) {
+    const auto& data = loaded.at(name).second;
+    std::copy(data.begin(), data.end(), tensor.data());
+  }
+  return Status::OK();
+}
+
+}  // namespace nn
+}  // namespace crossem

@@ -1,0 +1,31 @@
+// Checkpoint I/O: save/load a module's named parameters to a binary file.
+//
+// Format (little-endian):
+//   magic "CEMCKPT1" | int64 count |
+//   per parameter: int64 name_len | name bytes | int64 rank |
+//                  int64 dims[rank] | float data[numel]
+//
+// Loading matches parameters by name and shape; any mismatch fails the
+// whole load without partially mutating the module.
+#ifndef CROSSEM_NN_SERIALIZE_H_
+#define CROSSEM_NN_SERIALIZE_H_
+
+#include <string>
+
+#include "nn/module.h"
+#include "util/status.h"
+
+namespace crossem {
+namespace nn {
+
+/// Writes all named parameters of `module` to `path`.
+Status SaveCheckpoint(const Module& module, const std::string& path);
+
+/// Loads a checkpoint written by SaveCheckpoint into `module`. The
+/// module's architecture (names and shapes) must match exactly.
+Status LoadCheckpoint(Module* module, const std::string& path);
+
+}  // namespace nn
+}  // namespace crossem
+
+#endif  // CROSSEM_NN_SERIALIZE_H_

@@ -1,0 +1,937 @@
+#include "tensor/ops.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <functional>
+#include <memory>
+#include <utility>
+
+#include "util/logging.h"
+
+namespace crossem {
+namespace ops {
+
+namespace {
+
+using internal::AutogradNode;
+using internal::Storage;
+using internal::TensorImpl;
+
+bool NeedsGrad(const std::shared_ptr<TensorImpl>& impl) {
+  return impl->requires_grad || impl->grad_fn != nullptr;
+}
+
+/// Creates the output tensor for an op and records the autograd node when
+/// tracing is active. `backward` may be empty for non-differentiable ops.
+Tensor MakeResult(Shape shape, std::vector<Tensor> inputs, const char* name,
+                  std::function<void(const TensorImpl&)> backward) {
+  auto out = std::make_shared<TensorImpl>();
+  out->shape = std::move(shape);
+  out->storage = std::make_shared<Storage>(out->numel());
+  bool any_grad = false;
+  for (const Tensor& t : inputs) {
+    if (NeedsGrad(t.impl())) any_grad = true;
+  }
+  if (any_grad && GradModeEnabled() && backward) {
+    out->requires_grad = true;
+    auto node = std::make_shared<AutogradNode>();
+    node->op_name = name;
+    for (const Tensor& t : inputs) node->inputs.push_back(t.impl());
+    node->backward = std::move(backward);
+    out->grad_fn = std::move(node);
+  }
+  return Tensor::FromImpl(std::move(out));
+}
+
+/// Row-major strides (in elements) for a shape.
+std::vector<int64_t> ComputeStrides(const Shape& shape) {
+  std::vector<int64_t> strides(shape.size());
+  int64_t acc = 1;
+  for (size_t i = shape.size(); i-- > 0;) {
+    strides[i] = acc;
+    acc *= shape[i];
+  }
+  return strides;
+}
+
+/// Strides for reading `in_shape` as if broadcast to `out_shape`
+/// (right-aligned; broadcast dims get stride 0).
+std::vector<int64_t> BroadcastStrides(const Shape& in_shape,
+                                      const Shape& out_shape) {
+  std::vector<int64_t> in_strides = ComputeStrides(in_shape);
+  std::vector<int64_t> strides(out_shape.size(), 0);
+  size_t offset = out_shape.size() - in_shape.size();
+  for (size_t i = 0; i < in_shape.size(); ++i) {
+    if (in_shape[i] == out_shape[offset + i]) {
+      strides[offset + i] = in_strides[i];
+    } else {
+      CROSSEM_CHECK_EQ(in_shape[i], 1)
+          << "broadcast mismatch: " << ShapeToString(in_shape) << " vs "
+          << ShapeToString(out_shape);
+      strides[offset + i] = 0;
+    }
+  }
+  return strides;
+}
+
+/// Maps a flat output index to an element offset of a broadcast input.
+int64_t BroadcastOffset(int64_t flat, const std::vector<int64_t>& out_strides,
+                        const std::vector<int64_t>& in_strides) {
+  int64_t off = 0;
+  for (size_t d = 0; d < out_strides.size(); ++d) {
+    int64_t coord = flat / out_strides[d];
+    flat -= coord * out_strides[d];
+    off += coord * in_strides[d];
+  }
+  return off;
+}
+
+/// Shared implementation for broadcasting elementwise binary ops.
+///
+/// `fwd(av, bv)` computes the output element; `bwd(g, av, bv, &ga, &gb)`
+/// adds the per-element gradient contributions (ga/gb may be ignored when
+/// the corresponding input does not require gradients).
+template <typename FwdFn, typename BwdFn>
+Tensor BroadcastBinaryOp(const Tensor& a, const Tensor& b, const char* name,
+                         FwdFn fwd, BwdFn bwd) {
+  Shape out_shape = BroadcastShapes(a.shape(), b.shape());
+  std::vector<int64_t> out_strides = ComputeStrides(out_shape);
+  std::vector<int64_t> a_strides = BroadcastStrides(a.shape(), out_shape);
+  std::vector<int64_t> b_strides = BroadcastStrides(b.shape(), out_shape);
+  const bool a_contig = (a.shape() == out_shape);
+  const bool b_contig = (b.shape() == out_shape);
+
+  auto a_impl = a.impl();
+  auto b_impl = b.impl();
+
+  auto backward = [a_impl, b_impl, out_strides, a_strides, b_strides, a_contig,
+                   b_contig, bwd](const TensorImpl& out) {
+    const float* g = out.grad->data();
+    const float* av = a_impl->storage->data();
+    const float* bv = b_impl->storage->data();
+    float* ga = NeedsGrad(a_impl) ? a_impl->MutableGrad().data() : nullptr;
+    float* gb = NeedsGrad(b_impl) ? b_impl->MutableGrad().data() : nullptr;
+    const int64_t n = out.numel();
+    if (a_contig && b_contig) {
+      for (int64_t i = 0; i < n; ++i) {
+        float da = 0.0f, db = 0.0f;
+        bwd(g[i], av[i], bv[i], &da, &db);
+        if (ga) ga[i] += da;
+        if (gb) gb[i] += db;
+      }
+    } else {
+      for (int64_t i = 0; i < n; ++i) {
+        int64_t ai = a_contig ? i : BroadcastOffset(i, out_strides, a_strides);
+        int64_t bi = b_contig ? i : BroadcastOffset(i, out_strides, b_strides);
+        float da = 0.0f, db = 0.0f;
+        bwd(g[i], av[ai], bv[bi], &da, &db);
+        if (ga) ga[ai] += da;
+        if (gb) gb[bi] += db;
+      }
+    }
+  };
+
+  Tensor out = MakeResult(out_shape, {a, b}, name, backward);
+  const float* av = a.data();
+  const float* bv = b.data();
+  float* ov = out.data();
+  const int64_t n = out.numel();
+  if (a_contig && b_contig) {
+    for (int64_t i = 0; i < n; ++i) ov[i] = fwd(av[i], bv[i]);
+  } else {
+    for (int64_t i = 0; i < n; ++i) {
+      int64_t ai = a_contig ? i : BroadcastOffset(i, out_strides, a_strides);
+      int64_t bi = b_contig ? i : BroadcastOffset(i, out_strides, b_strides);
+      ov[i] = fwd(av[ai], bv[bi]);
+    }
+  }
+  return out;
+}
+
+/// Shared implementation for elementwise unary ops.
+/// `dydx(x, y)` returns the local derivative given input and output values.
+template <typename FwdFn, typename DyDxFn>
+Tensor UnaryOp(const Tensor& a, const char* name, FwdFn fwd, DyDxFn dydx) {
+  auto a_impl = a.impl();
+  // Keep a copy of outputs for derivative formulas expressed in terms of y.
+  auto backward = [a_impl, dydx](const TensorImpl& out) {
+    if (!NeedsGrad(a_impl)) return;
+    const float* g = out.grad->data();
+    const float* x = a_impl->storage->data();
+    const float* y = out.storage->data();
+    float* ga = a_impl->MutableGrad().data();
+    const int64_t n = out.numel();
+    for (int64_t i = 0; i < n; ++i) ga[i] += g[i] * dydx(x[i], y[i]);
+  };
+  Tensor out = MakeResult(a.shape(), {a}, name, backward);
+  const float* x = a.data();
+  float* y = out.data();
+  for (int64_t i = 0; i < a.numel(); ++i) y[i] = fwd(x[i]);
+  return out;
+}
+
+/// C (m x n) = or += A (m x k) * B (k x n), with optional transposes
+/// interpreting A as (k x m) / B as (n x k) physical layouts.
+void Gemm(const float* a, const float* b, float* c, int64_t m, int64_t k,
+          int64_t n, bool trans_a, bool trans_b, bool accumulate) {
+  if (!accumulate) std::fill_n(c, m * n, 0.0f);
+  for (int64_t i = 0; i < m; ++i) {
+    for (int64_t p = 0; p < k; ++p) {
+      const float av = trans_a ? a[p * m + i] : a[i * k + p];
+      if (av == 0.0f) continue;
+      const float* brow = trans_b ? nullptr : &b[p * n];
+      float* crow = &c[i * n];
+      if (trans_b) {
+        for (int64_t j = 0; j < n; ++j) crow[j] += av * b[j * k + p];
+      } else {
+        for (int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+      }
+    }
+  }
+}
+
+}  // namespace
+
+Shape BroadcastShapes(const Shape& a, const Shape& b) {
+  const size_t rank = std::max(a.size(), b.size());
+  Shape out(rank);
+  for (size_t i = 0; i < rank; ++i) {
+    int64_t da = i < rank - a.size() ? 1 : a[i - (rank - a.size())];
+    int64_t db = i < rank - b.size() ? 1 : b[i - (rank - b.size())];
+    if (da == db) {
+      out[i] = da;
+    } else if (da == 1) {
+      out[i] = db;
+    } else if (db == 1) {
+      out[i] = da;
+    } else {
+      CROSSEM_CHECK(false) << "cannot broadcast " << ShapeToString(a) << " and "
+                           << ShapeToString(b);
+    }
+  }
+  return out;
+}
+
+Tensor Eye(int64_t n) {
+  Tensor t = Tensor::Zeros({n, n});
+  float* p = t.data();
+  for (int64_t i = 0; i < n; ++i) p[i * n + i] = 1.0f;
+  return t;
+}
+
+// -- Elementwise binary -----------------------------------------------------------
+
+Tensor Add(const Tensor& a, const Tensor& b) {
+  return BroadcastBinaryOp(
+      a, b, "add", [](float x, float y) { return x + y; },
+      [](float g, float, float, float* ga, float* gb) {
+        *ga = g;
+        *gb = g;
+      });
+}
+
+Tensor Sub(const Tensor& a, const Tensor& b) {
+  return BroadcastBinaryOp(
+      a, b, "sub", [](float x, float y) { return x - y; },
+      [](float g, float, float, float* ga, float* gb) {
+        *ga = g;
+        *gb = -g;
+      });
+}
+
+Tensor Mul(const Tensor& a, const Tensor& b) {
+  return BroadcastBinaryOp(
+      a, b, "mul", [](float x, float y) { return x * y; },
+      [](float g, float x, float y, float* ga, float* gb) {
+        *ga = g * y;
+        *gb = g * x;
+      });
+}
+
+Tensor Div(const Tensor& a, const Tensor& b) {
+  return BroadcastBinaryOp(
+      a, b, "div", [](float x, float y) { return x / y; },
+      [](float g, float x, float y, float* ga, float* gb) {
+        *ga = g / y;
+        *gb = -g * x / (y * y);
+      });
+}
+
+Tensor AddScalar(const Tensor& a, float s) {
+  return UnaryOp(
+      a, "add_scalar", [s](float x) { return x + s; },
+      [](float, float) { return 1.0f; });
+}
+
+Tensor MulScalar(const Tensor& a, float s) {
+  return UnaryOp(
+      a, "mul_scalar", [s](float x) { return x * s; },
+      [s](float, float) { return s; });
+}
+
+// -- Elementwise unary -------------------------------------------------------------
+
+Tensor Neg(const Tensor& a) {
+  return UnaryOp(
+      a, "neg", [](float x) { return -x; }, [](float, float) { return -1.0f; });
+}
+
+Tensor Exp(const Tensor& a) {
+  return UnaryOp(
+      a, "exp", [](float x) { return std::exp(x); },
+      [](float, float y) { return y; });
+}
+
+Tensor Log(const Tensor& a) {
+  return UnaryOp(
+      a, "log", [](float x) { return std::log(x); },
+      [](float x, float) { return 1.0f / x; });
+}
+
+Tensor Sqrt(const Tensor& a) {
+  return UnaryOp(
+      a, "sqrt", [](float x) { return std::sqrt(x); },
+      [](float, float y) { return y > 0.0f ? 0.5f / y : 0.0f; });
+}
+
+Tensor Abs(const Tensor& a) {
+  return UnaryOp(
+      a, "abs", [](float x) { return std::fabs(x); },
+      [](float x, float) { return x >= 0.0f ? 1.0f : -1.0f; });
+}
+
+Tensor Sin(const Tensor& a) {
+  return UnaryOp(
+      a, "sin", [](float x) { return std::sin(x); },
+      [](float x, float) { return std::cos(x); });
+}
+
+Tensor Cos(const Tensor& a) {
+  return UnaryOp(
+      a, "cos", [](float x) { return std::cos(x); },
+      [](float x, float) { return -std::sin(x); });
+}
+
+Tensor Relu(const Tensor& a) {
+  return UnaryOp(
+      a, "relu", [](float x) { return x > 0.0f ? x : 0.0f; },
+      [](float x, float) { return x > 0.0f ? 1.0f : 0.0f; });
+}
+
+Tensor Gelu(const Tensor& a) {
+  // tanh approximation: 0.5x(1 + tanh(sqrt(2/pi)(x + 0.044715 x^3))).
+  constexpr float kC = 0.7978845608f;  // sqrt(2/pi)
+  constexpr float kA = 0.044715f;
+  return UnaryOp(
+      a, "gelu",
+      [](float x) {
+        float inner = kC * (x + kA * x * x * x);
+        return 0.5f * x * (1.0f + std::tanh(inner));
+      },
+      [](float x, float) {
+        float x3 = x * x * x;
+        float inner = kC * (x + kA * x3);
+        float t = std::tanh(inner);
+        float sech2 = 1.0f - t * t;
+        return 0.5f * (1.0f + t) + 0.5f * x * sech2 * kC * (1.0f + 3.0f * kA * x * x);
+      });
+}
+
+Tensor Tanh(const Tensor& a) {
+  return UnaryOp(
+      a, "tanh", [](float x) { return std::tanh(x); },
+      [](float, float y) { return 1.0f - y * y; });
+}
+
+Tensor Sigmoid(const Tensor& a) {
+  return UnaryOp(
+      a, "sigmoid", [](float x) { return 1.0f / (1.0f + std::exp(-x)); },
+      [](float, float y) { return y * (1.0f - y); });
+}
+
+Tensor Pow(const Tensor& a, float p) {
+  return UnaryOp(
+      a, "pow", [p](float x) { return std::pow(x, p); },
+      [p](float x, float) { return p * std::pow(x, p - 1.0f); });
+}
+
+// -- Matrix multiply ------------------------------------------------------------------
+
+Tensor MatMul(const Tensor& a, const Tensor& b) {
+  CROSSEM_CHECK_GE(a.dim(), 2);
+  CROSSEM_CHECK_GE(b.dim(), 2);
+  const int64_t m = a.size(-2);
+  const int64_t k = a.size(-1);
+  const int64_t k2 = b.size(-2);
+  const int64_t n = b.size(-1);
+  CROSSEM_CHECK_EQ(k, k2) << "matmul inner dims: " << ShapeToString(a.shape())
+                          << " x " << ShapeToString(b.shape());
+
+  // Batch layout: leading dims of `a` define the batch; `b` either matches
+  // exactly or is a shared 2D matrix.
+  Shape lead(a.shape().begin(), a.shape().end() - 2);
+  int64_t batch = 1;
+  for (int64_t d : lead) batch *= d;
+  const bool b_shared = (b.dim() == 2);
+  if (!b_shared) {
+    CROSSEM_CHECK(Shape(b.shape().begin(), b.shape().end() - 2) == lead)
+        << "matmul batch dims must match: " << ShapeToString(a.shape())
+        << " x " << ShapeToString(b.shape());
+  }
+
+  Shape out_shape = lead;
+  out_shape.push_back(m);
+  out_shape.push_back(n);
+
+  auto a_impl = a.impl();
+  auto b_impl = b.impl();
+  auto backward = [a_impl, b_impl, m, k, n, batch,
+                   b_shared](const TensorImpl& out) {
+    const float* g = out.grad->data();
+    const float* av = a_impl->storage->data();
+    const float* bv = b_impl->storage->data();
+    float* ga = NeedsGrad(a_impl) ? a_impl->MutableGrad().data() : nullptr;
+    float* gb = NeedsGrad(b_impl) ? b_impl->MutableGrad().data() : nullptr;
+    for (int64_t s = 0; s < batch; ++s) {
+      const float* gs = g + s * m * n;
+      const float* as = av + s * m * k;
+      const float* bs = b_shared ? bv : bv + s * k * n;
+      if (ga) {
+        // dA = dC * B^T   (m x n)(n x k)
+        Gemm(gs, bs, ga + s * m * k, m, n, k, false, true, true);
+      }
+      if (gb) {
+        // dB = A^T * dC   (k x m)(m x n)
+        float* gbs = b_shared ? gb : gb + s * k * n;
+        Gemm(as, gs, gbs, k, m, n, true, false, true);
+      }
+    }
+  };
+
+  Tensor out = MakeResult(out_shape, {a, b}, "matmul", backward);
+  const float* av = a.data();
+  const float* bv = b.data();
+  float* ov = out.data();
+  for (int64_t s = 0; s < batch; ++s) {
+    Gemm(av + s * m * k, b_shared ? bv : bv + s * k * n, ov + s * m * n, m, k,
+         n, false, false, false);
+  }
+  return out;
+}
+
+Tensor Transpose(const Tensor& a, int64_t d0, int64_t d1) {
+  const int64_t rank = a.dim();
+  if (d0 < 0) d0 += rank;
+  if (d1 < 0) d1 += rank;
+  CROSSEM_CHECK_GE(d0, 0);
+  CROSSEM_CHECK_LT(d0, rank);
+  CROSSEM_CHECK_GE(d1, 0);
+  CROSSEM_CHECK_LT(d1, rank);
+
+  Shape out_shape = a.shape();
+  std::swap(out_shape[static_cast<size_t>(d0)],
+            out_shape[static_cast<size_t>(d1)]);
+
+  std::vector<int64_t> in_strides = ComputeStrides(a.shape());
+  std::vector<int64_t> out_strides = ComputeStrides(out_shape);
+  // Strides for reading the input in output order.
+  std::vector<int64_t> read_strides = in_strides;
+  std::swap(read_strides[static_cast<size_t>(d0)],
+            read_strides[static_cast<size_t>(d1)]);
+
+  auto a_impl = a.impl();
+  auto backward = [a_impl, out_strides, read_strides](const TensorImpl& out) {
+    if (!NeedsGrad(a_impl)) return;
+    const float* g = out.grad->data();
+    float* ga = a_impl->MutableGrad().data();
+    const int64_t numel = out.numel();
+    for (int64_t i = 0; i < numel; ++i) {
+      ga[BroadcastOffset(i, out_strides, read_strides)] += g[i];
+    }
+  };
+
+  Tensor out = MakeResult(out_shape, {a}, "transpose", backward);
+  const float* src = a.data();
+  float* dst = out.data();
+  const int64_t numel = a.numel();
+  for (int64_t i = 0; i < numel; ++i) {
+    dst[i] = src[BroadcastOffset(i, out_strides, read_strides)];
+  }
+  return out;
+}
+
+Tensor Reshape(const Tensor& a, Shape shape) {
+  // Resolve a single -1 dimension.
+  int64_t known = 1;
+  int64_t infer = -1;
+  for (size_t i = 0; i < shape.size(); ++i) {
+    if (shape[i] == -1) {
+      CROSSEM_CHECK_EQ(infer, -1) << "at most one -1 dim in reshape";
+      infer = static_cast<int64_t>(i);
+    } else {
+      known *= shape[i];
+    }
+  }
+  if (infer >= 0) {
+    CROSSEM_CHECK_GT(known, 0);
+    CROSSEM_CHECK_EQ(a.numel() % known, 0);
+    shape[static_cast<size_t>(infer)] = a.numel() / known;
+  }
+  CROSSEM_CHECK_EQ(ShapeNumel(shape), a.numel())
+      << "reshape " << ShapeToString(a.shape()) << " -> "
+      << ShapeToString(shape);
+
+  auto a_impl = a.impl();
+  auto backward = [a_impl](const TensorImpl& out) {
+    if (!NeedsGrad(a_impl)) return;
+    const float* g = out.grad->data();
+    float* ga = a_impl->MutableGrad().data();
+    for (int64_t i = 0; i < out.numel(); ++i) ga[i] += g[i];
+  };
+  Tensor out = MakeResult(std::move(shape), {a}, "reshape", backward);
+  std::copy_n(a.data(), a.numel(), out.data());
+  return out;
+}
+
+// -- Reductions ---------------------------------------------------------------------
+
+Tensor Sum(const Tensor& a) {
+  auto a_impl = a.impl();
+  auto backward = [a_impl](const TensorImpl& out) {
+    if (!NeedsGrad(a_impl)) return;
+    const float g = out.grad->data()[0];
+    float* ga = a_impl->MutableGrad().data();
+    for (int64_t i = 0; i < a_impl->numel(); ++i) ga[i] += g;
+  };
+  Tensor out = MakeResult({}, {a}, "sum", backward);
+  double acc = 0.0;
+  const float* p = a.data();
+  for (int64_t i = 0; i < a.numel(); ++i) acc += p[i];
+  out.data()[0] = static_cast<float>(acc);
+  return out;
+}
+
+namespace {
+/// Decomposes a shape around `dim` into (outer, reduce, inner) extents.
+void SplitAroundDim(const Shape& shape, int64_t dim, int64_t* outer,
+                    int64_t* reduce, int64_t* inner) {
+  *outer = 1;
+  *inner = 1;
+  for (int64_t i = 0; i < dim; ++i) *outer *= shape[static_cast<size_t>(i)];
+  *reduce = shape[static_cast<size_t>(dim)];
+  for (size_t i = static_cast<size_t>(dim) + 1; i < shape.size(); ++i) {
+    *inner *= shape[i];
+  }
+}
+}  // namespace
+
+Tensor Sum(const Tensor& a, int64_t dim, bool keepdim) {
+  const int64_t rank = a.dim();
+  if (dim < 0) dim += rank;
+  CROSSEM_CHECK_GE(dim, 0);
+  CROSSEM_CHECK_LT(dim, rank);
+  int64_t outer, reduce, inner;
+  SplitAroundDim(a.shape(), dim, &outer, &reduce, &inner);
+
+  Shape out_shape = a.shape();
+  if (keepdim) {
+    out_shape[static_cast<size_t>(dim)] = 1;
+  } else {
+    out_shape.erase(out_shape.begin() + dim);
+  }
+
+  auto a_impl = a.impl();
+  auto backward = [a_impl, outer, reduce, inner](const TensorImpl& out) {
+    if (!NeedsGrad(a_impl)) return;
+    const float* g = out.grad->data();
+    float* ga = a_impl->MutableGrad().data();
+    for (int64_t o = 0; o < outer; ++o) {
+      for (int64_t r = 0; r < reduce; ++r) {
+        for (int64_t i = 0; i < inner; ++i) {
+          ga[(o * reduce + r) * inner + i] += g[o * inner + i];
+        }
+      }
+    }
+  };
+  Tensor out = MakeResult(std::move(out_shape), {a}, "sum_dim", backward);
+  const float* p = a.data();
+  float* q = out.data();
+  std::fill_n(q, out.numel(), 0.0f);
+  for (int64_t o = 0; o < outer; ++o) {
+    for (int64_t r = 0; r < reduce; ++r) {
+      for (int64_t i = 0; i < inner; ++i) {
+        q[o * inner + i] += p[(o * reduce + r) * inner + i];
+      }
+    }
+  }
+  return out;
+}
+
+Tensor Mean(const Tensor& a) {
+  CROSSEM_CHECK_GT(a.numel(), 0);
+  return MulScalar(Sum(a), 1.0f / static_cast<float>(a.numel()));
+}
+
+Tensor Mean(const Tensor& a, int64_t dim, bool keepdim) {
+  int64_t d = dim < 0 ? dim + a.dim() : dim;
+  const float scale = 1.0f / static_cast<float>(a.size(d));
+  return MulScalar(Sum(a, dim, keepdim), scale);
+}
+
+std::vector<int64_t> ArgMax(const Tensor& a, int64_t dim) {
+  const int64_t rank = a.dim();
+  if (dim < 0) dim += rank;
+  int64_t outer, reduce, inner;
+  SplitAroundDim(a.shape(), dim, &outer, &reduce, &inner);
+  std::vector<int64_t> result(static_cast<size_t>(outer * inner));
+  const float* p = a.data();
+  for (int64_t o = 0; o < outer; ++o) {
+    for (int64_t i = 0; i < inner; ++i) {
+      int64_t best = 0;
+      float best_v = p[o * reduce * inner + i];
+      for (int64_t r = 1; r < reduce; ++r) {
+        float v = p[(o * reduce + r) * inner + i];
+        if (v > best_v) {
+          best_v = v;
+          best = r;
+        }
+      }
+      result[static_cast<size_t>(o * inner + i)] = best;
+    }
+  }
+  return result;
+}
+
+// -- Softmax family ----------------------------------------------------------------
+
+Tensor Softmax(const Tensor& a) {
+  CROSSEM_CHECK_GE(a.dim(), 1);
+  const int64_t cols = a.size(-1);
+  const int64_t rows = a.numel() / cols;
+
+  auto a_impl = a.impl();
+  auto backward = [a_impl, rows, cols](const TensorImpl& out) {
+    if (!NeedsGrad(a_impl)) return;
+    const float* g = out.grad->data();
+    const float* y = out.storage->data();
+    float* ga = a_impl->MutableGrad().data();
+    for (int64_t r = 0; r < rows; ++r) {
+      const float* gr = g + r * cols;
+      const float* yr = y + r * cols;
+      float dot = 0.0f;
+      for (int64_t c = 0; c < cols; ++c) dot += gr[c] * yr[c];
+      float* gar = ga + r * cols;
+      for (int64_t c = 0; c < cols; ++c) gar[c] += yr[c] * (gr[c] - dot);
+    }
+  };
+  Tensor out = MakeResult(a.shape(), {a}, "softmax", backward);
+  const float* x = a.data();
+  float* y = out.data();
+  for (int64_t r = 0; r < rows; ++r) {
+    const float* xr = x + r * cols;
+    float* yr = y + r * cols;
+    float mx = xr[0];
+    for (int64_t c = 1; c < cols; ++c) mx = std::max(mx, xr[c]);
+    float denom = 0.0f;
+    for (int64_t c = 0; c < cols; ++c) {
+      yr[c] = std::exp(xr[c] - mx);
+      denom += yr[c];
+    }
+    const float inv = 1.0f / denom;
+    for (int64_t c = 0; c < cols; ++c) yr[c] *= inv;
+  }
+  return out;
+}
+
+Tensor LogSoftmax(const Tensor& a) {
+  CROSSEM_CHECK_GE(a.dim(), 1);
+  const int64_t cols = a.size(-1);
+  const int64_t rows = a.numel() / cols;
+
+  auto a_impl = a.impl();
+  auto backward = [a_impl, rows, cols](const TensorImpl& out) {
+    if (!NeedsGrad(a_impl)) return;
+    const float* g = out.grad->data();
+    const float* y = out.storage->data();  // log-probabilities
+    float* ga = a_impl->MutableGrad().data();
+    for (int64_t r = 0; r < rows; ++r) {
+      const float* gr = g + r * cols;
+      const float* yr = y + r * cols;
+      float gsum = 0.0f;
+      for (int64_t c = 0; c < cols; ++c) gsum += gr[c];
+      float* gar = ga + r * cols;
+      for (int64_t c = 0; c < cols; ++c) {
+        gar[c] += gr[c] - std::exp(yr[c]) * gsum;
+      }
+    }
+  };
+  Tensor out = MakeResult(a.shape(), {a}, "log_softmax", backward);
+  const float* x = a.data();
+  float* y = out.data();
+  for (int64_t r = 0; r < rows; ++r) {
+    const float* xr = x + r * cols;
+    float* yr = y + r * cols;
+    float mx = xr[0];
+    for (int64_t c = 1; c < cols; ++c) mx = std::max(mx, xr[c]);
+    float denom = 0.0f;
+    for (int64_t c = 0; c < cols; ++c) denom += std::exp(xr[c] - mx);
+    const float log_denom = std::log(denom) + mx;
+    for (int64_t c = 0; c < cols; ++c) yr[c] = xr[c] - log_denom;
+  }
+  return out;
+}
+
+Tensor L2Normalize(const Tensor& a, float eps) {
+  CROSSEM_CHECK_GE(a.dim(), 1);
+  const int64_t cols = a.size(-1);
+  const int64_t rows = a.numel() / cols;
+
+  auto a_impl = a.impl();
+  auto backward = [a_impl, rows, cols, eps](const TensorImpl& out) {
+    if (!NeedsGrad(a_impl)) return;
+    const float* g = out.grad->data();
+    const float* x = a_impl->storage->data();
+    const float* y = out.storage->data();
+    float* ga = a_impl->MutableGrad().data();
+    for (int64_t r = 0; r < rows; ++r) {
+      const float* xr = x + r * cols;
+      const float* yr = y + r * cols;
+      const float* gr = g + r * cols;
+      float norm2 = 0.0f;
+      for (int64_t c = 0; c < cols; ++c) norm2 += xr[c] * xr[c];
+      float norm = std::max(std::sqrt(norm2), eps);
+      float dot = 0.0f;
+      for (int64_t c = 0; c < cols; ++c) dot += gr[c] * yr[c];
+      float* gar = ga + r * cols;
+      const float inv = 1.0f / norm;
+      for (int64_t c = 0; c < cols; ++c) {
+        gar[c] += (gr[c] - yr[c] * dot) * inv;
+      }
+    }
+  };
+  Tensor out = MakeResult(a.shape(), {a}, "l2_normalize", backward);
+  const float* x = a.data();
+  float* y = out.data();
+  for (int64_t r = 0; r < rows; ++r) {
+    const float* xr = x + r * cols;
+    float* yr = y + r * cols;
+    float norm2 = 0.0f;
+    for (int64_t c = 0; c < cols; ++c) norm2 += xr[c] * xr[c];
+    const float inv = 1.0f / std::max(std::sqrt(norm2), eps);
+    for (int64_t c = 0; c < cols; ++c) yr[c] = xr[c] * inv;
+  }
+  return out;
+}
+
+// -- Structural ---------------------------------------------------------------------
+
+Tensor Concat(const std::vector<Tensor>& tensors, int64_t dim) {
+  CROSSEM_CHECK(!tensors.empty());
+  const int64_t rank = tensors[0].dim();
+  if (dim < 0) dim += rank;
+  CROSSEM_CHECK_GE(dim, 0);
+  CROSSEM_CHECK_LT(dim, rank);
+
+  Shape out_shape = tensors[0].shape();
+  int64_t cat_extent = 0;
+  for (const Tensor& t : tensors) {
+    CROSSEM_CHECK_EQ(t.dim(), rank);
+    for (int64_t d = 0; d < rank; ++d) {
+      if (d != dim) {
+        CROSSEM_CHECK_EQ(t.size(d), tensors[0].size(d));
+      }
+    }
+    cat_extent += t.size(dim);
+  }
+  out_shape[static_cast<size_t>(dim)] = cat_extent;
+
+  int64_t outer = 1, inner = 1;
+  for (int64_t d = 0; d < dim; ++d) outer *= out_shape[static_cast<size_t>(d)];
+  for (int64_t d = dim + 1; d < rank; ++d) {
+    inner *= out_shape[static_cast<size_t>(d)];
+  }
+
+  std::vector<std::shared_ptr<TensorImpl>> impls;
+  std::vector<int64_t> extents;
+  for (const Tensor& t : tensors) {
+    impls.push_back(t.impl());
+    extents.push_back(t.size(dim));
+  }
+
+  auto backward = [impls, extents, outer, inner,
+                   cat_extent](const TensorImpl& out) {
+    const float* g = out.grad->data();
+    int64_t col_offset = 0;
+    for (size_t t = 0; t < impls.size(); ++t) {
+      const int64_t ext = extents[t];
+      if (NeedsGrad(impls[t])) {
+        float* ga = impls[t]->MutableGrad().data();
+        for (int64_t o = 0; o < outer; ++o) {
+          const float* src = g + (o * cat_extent + col_offset) * inner;
+          float* dst = ga + o * ext * inner;
+          for (int64_t i = 0; i < ext * inner; ++i) dst[i] += src[i];
+        }
+      }
+      col_offset += ext;
+    }
+  };
+
+  Tensor out = MakeResult(out_shape, tensors, "concat", backward);
+  float* q = out.data();
+  int64_t col_offset = 0;
+  for (size_t t = 0; t < tensors.size(); ++t) {
+    const int64_t ext = extents[t];
+    const float* src = tensors[t].data();
+    for (int64_t o = 0; o < outer; ++o) {
+      std::copy_n(src + o * ext * inner, ext * inner,
+                  q + (o * cat_extent + col_offset) * inner);
+    }
+    col_offset += ext;
+  }
+  return out;
+}
+
+Tensor Stack(const std::vector<Tensor>& tensors) {
+  CROSSEM_CHECK(!tensors.empty());
+  std::vector<Tensor> reshaped;
+  reshaped.reserve(tensors.size());
+  for (const Tensor& t : tensors) {
+    Shape s = t.shape();
+    s.insert(s.begin(), 1);
+    reshaped.push_back(Reshape(t, s));
+  }
+  return Concat(reshaped, 0);
+}
+
+Tensor Slice(const Tensor& a, int64_t dim, int64_t start, int64_t end) {
+  const int64_t rank = a.dim();
+  if (dim < 0) dim += rank;
+  CROSSEM_CHECK_GE(dim, 0);
+  CROSSEM_CHECK_LT(dim, rank);
+  const int64_t extent = a.size(dim);
+  CROSSEM_CHECK_GE(start, 0);
+  CROSSEM_CHECK_LE(end, extent);
+  CROSSEM_CHECK_LE(start, end);
+
+  Shape out_shape = a.shape();
+  out_shape[static_cast<size_t>(dim)] = end - start;
+
+  int64_t outer = 1, inner = 1;
+  for (int64_t d = 0; d < dim; ++d) outer *= a.size(d);
+  for (int64_t d = dim + 1; d < rank; ++d) inner *= a.size(d);
+  const int64_t width = end - start;
+
+  auto a_impl = a.impl();
+  auto backward = [a_impl, outer, inner, extent, start,
+                   width](const TensorImpl& out) {
+    if (!NeedsGrad(a_impl)) return;
+    const float* g = out.grad->data();
+    float* ga = a_impl->MutableGrad().data();
+    for (int64_t o = 0; o < outer; ++o) {
+      const float* src = g + o * width * inner;
+      float* dst = ga + (o * extent + start) * inner;
+      for (int64_t i = 0; i < width * inner; ++i) dst[i] += src[i];
+    }
+  };
+  Tensor out = MakeResult(std::move(out_shape), {a}, "slice", backward);
+  const float* p = a.data();
+  float* q = out.data();
+  for (int64_t o = 0; o < outer; ++o) {
+    std::copy_n(p + (o * extent + start) * inner, width * inner,
+                q + o * width * inner);
+  }
+  return out;
+}
+
+Tensor IndexSelect(const Tensor& a, const std::vector<int64_t>& indices) {
+  CROSSEM_CHECK_GE(a.dim(), 1);
+  const int64_t rows = a.size(0);
+  const int64_t row_width = a.numel() / std::max<int64_t>(rows, 1);
+  for (int64_t idx : indices) {
+    CROSSEM_CHECK_GE(idx, 0);
+    CROSSEM_CHECK_LT(idx, rows);
+  }
+  Shape out_shape = a.shape();
+  out_shape[0] = static_cast<int64_t>(indices.size());
+
+  auto a_impl = a.impl();
+  auto backward = [a_impl, indices, row_width](const TensorImpl& out) {
+    if (!NeedsGrad(a_impl)) return;
+    const float* g = out.grad->data();
+    float* ga = a_impl->MutableGrad().data();
+    for (size_t i = 0; i < indices.size(); ++i) {
+      const float* src = g + static_cast<int64_t>(i) * row_width;
+      float* dst = ga + indices[i] * row_width;
+      for (int64_t c = 0; c < row_width; ++c) dst[c] += src[c];
+    }
+  };
+  Tensor out = MakeResult(std::move(out_shape), {a}, "index_select", backward);
+  const float* p = a.data();
+  float* q = out.data();
+  for (size_t i = 0; i < indices.size(); ++i) {
+    std::copy_n(p + indices[i] * row_width, row_width,
+                q + static_cast<int64_t>(i) * row_width);
+  }
+  return out;
+}
+
+// -- Losses --------------------------------------------------------------------------
+
+Tensor NllLoss(const Tensor& log_probs, const std::vector<int64_t>& targets) {
+  CROSSEM_CHECK_EQ(log_probs.dim(), 2);
+  const int64_t n = log_probs.size(0);
+  const int64_t c = log_probs.size(1);
+  CROSSEM_CHECK_EQ(n, static_cast<int64_t>(targets.size()));
+  for (int64_t t : targets) {
+    CROSSEM_CHECK_GE(t, 0);
+    CROSSEM_CHECK_LT(t, c);
+  }
+
+  auto lp_impl = log_probs.impl();
+  auto backward = [lp_impl, targets, n, c](const TensorImpl& out) {
+    if (!NeedsGrad(lp_impl)) return;
+    const float g = out.grad->data()[0];
+    float* ga = lp_impl->MutableGrad().data();
+    const float scale = g / static_cast<float>(n);
+    for (int64_t i = 0; i < n; ++i) {
+      ga[i * c + targets[static_cast<size_t>(i)]] -= scale;
+    }
+  };
+  Tensor out = MakeResult({}, {log_probs}, "nll_loss", backward);
+  const float* p = log_probs.data();
+  double acc = 0.0;
+  for (int64_t i = 0; i < n; ++i) {
+    acc -= p[i * c + targets[static_cast<size_t>(i)]];
+  }
+  out.data()[0] = static_cast<float>(acc / static_cast<double>(n));
+  return out;
+}
+
+Tensor Dropout(const Tensor& a, float p, bool training, Rng* rng) {
+  if (!training || p <= 0.0f) return a;
+  CROSSEM_CHECK(rng != nullptr);
+  CROSSEM_CHECK_LT(p, 1.0f);
+  const float keep = 1.0f - p;
+  auto mask = std::make_shared<std::vector<float>>(
+      static_cast<size_t>(a.numel()));
+  for (auto& m : *mask) {
+    m = rng->Bernoulli(keep) ? 1.0f / keep : 0.0f;
+  }
+
+  auto a_impl = a.impl();
+  auto backward = [a_impl, mask](const TensorImpl& out) {
+    if (!NeedsGrad(a_impl)) return;
+    const float* g = out.grad->data();
+    float* ga = a_impl->MutableGrad().data();
+    for (int64_t i = 0; i < out.numel(); ++i) ga[i] += g[i] * (*mask)[i];
+  };
+  Tensor out = MakeResult(a.shape(), {a}, "dropout", backward);
+  const float* x = a.data();
+  float* y = out.data();
+  for (int64_t i = 0; i < a.numel(); ++i) y[i] = x[i] * (*mask)[i];
+  return out;
+}
+
+}  // namespace ops
+}  // namespace crossem

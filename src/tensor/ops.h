@@ -1,0 +1,112 @@
+// Differentiable tensor operations.
+//
+// Every function here builds the forward result and, when gradients are
+// enabled and any input requires them, records an autograd node whose
+// backward closure accumulates into the inputs' grad buffers.
+//
+// Broadcasting follows NumPy right-aligned semantics: trailing dimensions
+// must match or be 1 (rank-0 scalars broadcast to anything). Backward
+// sum-reduces gradients over broadcast dimensions.
+#ifndef CROSSEM_TENSOR_OPS_H_
+#define CROSSEM_TENSOR_OPS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace crossem {
+namespace ops {
+
+// -- Shape utilities ----------------------------------------------------------
+
+/// NumPy-style broadcast of two shapes; CHECK-fails if incompatible.
+Shape BroadcastShapes(const Shape& a, const Shape& b);
+
+/// Identity matrix of size [n, n].
+Tensor Eye(int64_t n);
+
+// -- Elementwise binary (broadcasting) -----------------------------------------
+
+Tensor Add(const Tensor& a, const Tensor& b);
+Tensor Sub(const Tensor& a, const Tensor& b);
+Tensor Mul(const Tensor& a, const Tensor& b);
+Tensor Div(const Tensor& a, const Tensor& b);
+
+/// Convenience scalar forms (the scalar is a constant, not differentiated).
+Tensor AddScalar(const Tensor& a, float s);
+Tensor MulScalar(const Tensor& a, float s);
+
+// -- Elementwise unary ----------------------------------------------------------
+
+Tensor Neg(const Tensor& a);
+Tensor Exp(const Tensor& a);
+Tensor Log(const Tensor& a);   // natural log; input must be positive
+Tensor Sqrt(const Tensor& a);
+Tensor Abs(const Tensor& a);
+Tensor Sin(const Tensor& a);
+Tensor Cos(const Tensor& a);
+Tensor Relu(const Tensor& a);
+Tensor Gelu(const Tensor& a);  // tanh approximation
+Tensor Tanh(const Tensor& a);
+Tensor Sigmoid(const Tensor& a);
+/// Elementwise a^p for constant p (a must be positive unless p is integral).
+Tensor Pow(const Tensor& a, float p);
+
+// -- Matrix multiply --------------------------------------------------------------
+
+/// 2D x 2D, batched ND x ND with identical leading dims, or ND x 2D
+/// (the 2D right-hand side is shared across the batch).
+Tensor MatMul(const Tensor& a, const Tensor& b);
+
+/// Swaps dimensions d0 and d1 (copying; result is contiguous).
+Tensor Transpose(const Tensor& a, int64_t d0, int64_t d1);
+
+/// Reshapes to `shape`; one dimension may be -1 (inferred).
+Tensor Reshape(const Tensor& a, Shape shape);
+
+// -- Reductions --------------------------------------------------------------------
+
+Tensor Sum(const Tensor& a);                              // -> scalar
+Tensor Sum(const Tensor& a, int64_t dim, bool keepdim);   // reduce one dim
+Tensor Mean(const Tensor& a);                             // -> scalar
+Tensor Mean(const Tensor& a, int64_t dim, bool keepdim);  // reduce one dim
+
+/// Index of the max element along `dim` (not differentiable).
+std::vector<int64_t> ArgMax(const Tensor& a, int64_t dim);
+
+// -- Normalization / activations over the last dimension -----------------------------
+
+Tensor Softmax(const Tensor& a);      // over last dim, numerically stable
+Tensor LogSoftmax(const Tensor& a);   // over last dim, numerically stable
+/// x / max(||x||_2, eps) row-wise over the last dimension.
+Tensor L2Normalize(const Tensor& a, float eps = 1e-8f);
+
+// -- Structural -------------------------------------------------------------------
+
+/// Concatenates along `dim`; all other dims must match.
+Tensor Concat(const std::vector<Tensor>& tensors, int64_t dim);
+
+/// Stacks equal-shaped tensors along a new leading dimension.
+Tensor Stack(const std::vector<Tensor>& tensors);
+
+/// Contiguous sub-range [start, end) along `dim`.
+Tensor Slice(const Tensor& a, int64_t dim, int64_t start, int64_t end);
+
+/// Gathers rows along dimension 0: out[i] = a[indices[i]].
+/// Backward scatter-adds (this is the embedding-lookup primitive).
+Tensor IndexSelect(const Tensor& a, const std::vector<int64_t>& indices);
+
+// -- Losses ------------------------------------------------------------------------
+
+/// Mean negative log-likelihood: -mean_i log_probs[i, targets[i]].
+/// `log_probs` is [N, C] (typically from LogSoftmax).
+Tensor NllLoss(const Tensor& log_probs, const std::vector<int64_t>& targets);
+
+/// Dropout with keep-prob (1-p); identity when !training or p == 0.
+Tensor Dropout(const Tensor& a, float p, bool training, Rng* rng);
+
+}  // namespace ops
+}  // namespace crossem
+
+#endif  // CROSSEM_TENSOR_OPS_H_

@@ -1,0 +1,171 @@
+// Dense float32 tensor with reverse-mode automatic differentiation.
+//
+// This is the compute substrate the whole repository trains on. It mirrors
+// the subset of PyTorch semantics that prompt tuning needs:
+//   - contiguous row-major tensors of float,
+//   - a dynamic tape: every differentiable op records a node holding its
+//     inputs and a backward closure,
+//   - Tensor::Backward() runs the tape in reverse topological order,
+//   - parameter freezing via set_requires_grad(false) (used to freeze the
+//     CLIP image encoder during prompt tuning, per the paper Sec. II-C),
+//   - a NoGradGuard scope for inference.
+//
+// Tensors are cheap shared handles: copying a Tensor aliases storage.
+// All op entry points live in ops.h.
+#ifndef CROSSEM_TENSOR_TENSOR_H_
+#define CROSSEM_TENSOR_TENSOR_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/random.h"
+
+namespace crossem {
+
+/// Row-major dimension sizes, outermost first.
+using Shape = std::vector<int64_t>;
+
+/// Number of elements a shape addresses (product of dims; 1 for rank 0).
+int64_t ShapeNumel(const Shape& shape);
+
+/// "[2, 3, 4]" style rendering for error messages.
+std::string ShapeToString(const Shape& shape);
+
+namespace internal {
+
+/// Reference-counted float buffer; reports its size to MemoryTracker so the
+/// efficiency experiments can account "device" memory.
+class Storage {
+ public:
+  explicit Storage(int64_t numel);
+  ~Storage();
+
+  Storage(const Storage&) = delete;
+  Storage& operator=(const Storage&) = delete;
+
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+  int64_t numel() const { return static_cast<int64_t>(data_.size()); }
+
+ private:
+  std::vector<float> data_;
+};
+
+struct TensorImpl;
+
+/// A recorded autograd operation: the inputs it differentiates into and a
+/// closure that, given the output node, accumulates input gradients.
+struct AutogradNode {
+  std::string op_name;
+  std::vector<std::shared_ptr<TensorImpl>> inputs;
+  // Reads `out->grad` and accumulates into each input's grad buffer.
+  std::function<void(const TensorImpl& out)> backward;
+};
+
+struct TensorImpl {
+  Shape shape;
+  std::shared_ptr<Storage> storage;
+  // Lazily allocated; same numel as storage when present.
+  std::shared_ptr<Storage> grad;
+  bool requires_grad = false;
+  std::shared_ptr<AutogradNode> grad_fn;
+
+  int64_t numel() const { return ShapeNumel(shape); }
+  /// Ensures the grad buffer exists (zero-filled on creation).
+  Storage& MutableGrad();
+};
+
+}  // namespace internal
+
+/// True while gradients are being recorded (default). Ops skip building the
+/// tape when false.
+bool GradModeEnabled();
+
+/// RAII scope that disables tape recording (inference / metric computation).
+class NoGradGuard {
+ public:
+  NoGradGuard();
+  ~NoGradGuard();
+  NoGradGuard(const NoGradGuard&) = delete;
+  NoGradGuard& operator=(const NoGradGuard&) = delete;
+
+ private:
+  bool prev_;
+};
+
+/// Shared handle to a dense float tensor. See file comment for semantics.
+class Tensor {
+ public:
+  /// An empty (null) tensor; defined() is false.
+  Tensor() = default;
+
+  // -- Factories ------------------------------------------------------------
+
+  static Tensor Zeros(Shape shape, bool requires_grad = false);
+  static Tensor Full(Shape shape, float value, bool requires_grad = false);
+  static Tensor Ones(Shape shape, bool requires_grad = false);
+  /// Gaussian init with the given stddev (mean 0).
+  static Tensor Randn(Shape shape, Rng* rng, float stddev = 1.0f,
+                      bool requires_grad = false);
+  /// Uniform init in [lo, hi).
+  static Tensor Rand(Shape shape, Rng* rng, float lo = 0.0f, float hi = 1.0f,
+                     bool requires_grad = false);
+  /// Copies `values` (size must equal ShapeNumel(shape)).
+  static Tensor FromVector(Shape shape, const std::vector<float>& values,
+                           bool requires_grad = false);
+  /// Rank-0 scalar.
+  static Tensor Scalar(float value, bool requires_grad = false);
+
+  // -- Introspection ---------------------------------------------------------
+
+  bool defined() const { return impl_ != nullptr; }
+  const Shape& shape() const;
+  int64_t dim() const;
+  int64_t size(int64_t d) const;
+  int64_t numel() const;
+
+  float* data();
+  const float* data() const;
+  /// Copies the buffer out (handy in tests).
+  std::vector<float> ToVector() const;
+  /// Value of a rank-0/1-element tensor.
+  float item() const;
+  /// Element at flat (row-major) index.
+  float at(int64_t flat_index) const;
+
+  // -- Autograd ---------------------------------------------------------------
+
+  bool requires_grad() const;
+  /// Marks this tensor as a leaf that accumulates gradients. Only valid on
+  /// leaves (tensors without grad_fn).
+  Tensor& set_requires_grad(bool value);
+
+  /// Gradient accumulated by Backward(); undefined Tensor if none yet.
+  Tensor grad() const;
+  /// Zero-fills (or drops) the accumulated gradient.
+  void ZeroGrad();
+
+  /// Runs reverse-mode AD from this scalar tensor (numel() must be 1).
+  void Backward();
+
+  /// Returns a view sharing storage but detached from the tape.
+  Tensor Detach() const;
+
+  /// Deep copy of the buffer (detached).
+  Tensor Clone() const;
+
+  // -- Internal ---------------------------------------------------------------
+
+  std::shared_ptr<internal::TensorImpl> impl() const { return impl_; }
+  static Tensor FromImpl(std::shared_ptr<internal::TensorImpl> impl);
+
+ private:
+  std::shared_ptr<internal::TensorImpl> impl_;
+};
+
+}  // namespace crossem
+
+#endif  // CROSSEM_TENSOR_TENSOR_H_

@@ -1,0 +1,118 @@
+#include "text/tokenizer.h"
+
+#include <cctype>
+
+#include "util/logging.h"
+
+namespace crossem {
+namespace text {
+
+Vocabulary::Vocabulary() {
+  words_ = {"[PAD]", "[CLS]", "[SEP]", "[MASK]", "[UNK]"};
+  for (size_t i = 0; i < words_.size(); ++i) {
+    index_.emplace(words_[i], static_cast<int64_t>(i));
+  }
+}
+
+int64_t Vocabulary::AddWord(const std::string& word) {
+  auto it = index_.find(word);
+  if (it != index_.end()) return it->second;
+  const int64_t id = size();
+  words_.push_back(word);
+  index_.emplace(word, id);
+  return id;
+}
+
+int64_t Vocabulary::Id(const std::string& word) const {
+  auto it = index_.find(word);
+  return it == index_.end() ? kUnk : it->second;
+}
+
+const std::string& Vocabulary::Word(int64_t id) const {
+  CROSSEM_CHECK_GE(id, 0);
+  CROSSEM_CHECK_LT(id, size());
+  return words_[static_cast<size_t>(id)];
+}
+
+bool Vocabulary::Contains(const std::string& word) const {
+  return index_.count(word) > 0;
+}
+
+std::vector<std::string> SplitWords(const std::string& text) {
+  std::vector<std::string> words;
+  std::string current;
+  auto is_word_char = [](char c) {
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '-' ||
+           c == '_';
+  };
+  auto flush = [&]() {
+    // Trim leading/trailing separators kept inside words.
+    while (!current.empty() &&
+           (current.front() == '-' || current.front() == '_')) {
+      current.erase(current.begin());
+    }
+    while (!current.empty() &&
+           (current.back() == '-' || current.back() == '_')) {
+      current.pop_back();
+    }
+    if (!current.empty()) words.push_back(current);
+    current.clear();
+  };
+  for (char c : text) {
+    if (is_word_char(c)) {
+      current += static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    } else {
+      flush();
+    }
+  }
+  flush();
+  return words;
+}
+
+Tokenizer::Tokenizer(const Vocabulary* vocab, int64_t max_len)
+    : vocab_(vocab), max_len_(max_len) {
+  CROSSEM_CHECK(vocab != nullptr);
+  CROSSEM_CHECK_GE(max_len, 3);  // room for [CLS] x [SEP]
+}
+
+std::vector<int64_t> Tokenizer::Encode(const std::string& text) const {
+  std::vector<int64_t> ids;
+  ids.push_back(Vocabulary::kCls);
+  for (const std::string& w : SplitWords(text)) {
+    if (static_cast<int64_t>(ids.size()) >= max_len_ - 1) break;  // truncate
+    ids.push_back(vocab_->Id(w));
+  }
+  ids.push_back(Vocabulary::kSep);
+  return ids;
+}
+
+std::vector<int64_t> Tokenizer::EncodePadded(const std::string& text) const {
+  std::vector<int64_t> ids = Encode(text);
+  ids.resize(static_cast<size_t>(max_len_), Vocabulary::kPad);
+  return ids;
+}
+
+std::vector<std::vector<int64_t>> Tokenizer::EncodeBatch(
+    const std::vector<std::string>& texts) const {
+  std::vector<std::vector<int64_t>> rows;
+  rows.reserve(texts.size());
+  size_t longest = 0;
+  for (const std::string& t : texts) {
+    rows.push_back(Encode(t));
+    longest = std::max(longest, rows.back().size());
+  }
+  for (auto& row : rows) row.resize(longest, Vocabulary::kPad);
+  return rows;
+}
+
+std::string Tokenizer::Decode(const std::vector<int64_t>& ids) const {
+  std::string out;
+  for (int64_t id : ids) {
+    if (!out.empty()) out += ' ';
+    out += vocab_->Word(id);
+  }
+  return out;
+}
+
+}  // namespace text
+}  // namespace crossem

@@ -1,0 +1,86 @@
+// Vocabulary and word-level tokenizer for the mini-CLIP text encoder.
+//
+// Mirrors the interface contract CrossEM relies on (paper Sec. III-B):
+// sequences are wrapped as {[CLS], tokens..., [SEP]}, and the encoder has
+// a maximum context length (77 for the pre-trained CLIP; CrossEM extends
+// it to 512 during prompt learning). Tokens beyond the context length are
+// truncated — the hard-prompt drawback the soft prompt avoids.
+#ifndef CROSSEM_TEXT_TOKENIZER_H_
+#define CROSSEM_TEXT_TOKENIZER_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace crossem {
+namespace text {
+
+/// Token-id table with reserved special tokens.
+class Vocabulary {
+ public:
+  static constexpr int64_t kPad = 0;
+  static constexpr int64_t kCls = 1;
+  static constexpr int64_t kSep = 2;
+  static constexpr int64_t kMask = 3;
+  static constexpr int64_t kUnk = 4;
+  static constexpr int64_t kNumSpecial = 5;
+
+  Vocabulary();
+
+  /// Adds a word if absent; returns its id either way.
+  int64_t AddWord(const std::string& word);
+
+  /// Id of a word, or kUnk when unknown.
+  int64_t Id(const std::string& word) const;
+
+  /// Inverse lookup ("[CLS]" etc. for specials).
+  const std::string& Word(int64_t id) const;
+
+  bool Contains(const std::string& word) const;
+
+  int64_t size() const { return static_cast<int64_t>(words_.size()); }
+
+ private:
+  std::vector<std::string> words_;
+  std::unordered_map<std::string, int64_t> index_;
+};
+
+/// Splits text into lowercase word tokens. Letters, digits and intra-word
+/// hyphens/underscores are kept ("long-wings" is one token); all other
+/// characters separate tokens.
+std::vector<std::string> SplitWords(const std::string& text);
+
+/// Encodes text into fixed policy token-id sequences against a vocabulary.
+class Tokenizer {
+ public:
+  /// `vocab` must outlive the tokenizer. `max_len` is the context length
+  /// including the [CLS]/[SEP] wrappers.
+  Tokenizer(const Vocabulary* vocab, int64_t max_len);
+
+  /// {[CLS], word ids..., [SEP]}, truncated to max_len (the [SEP] is kept).
+  std::vector<int64_t> Encode(const std::string& text) const;
+
+  /// Encode + right-pad with [PAD] to exactly max_len.
+  std::vector<int64_t> EncodePadded(const std::string& text) const;
+
+  /// Encodes a batch and right-pads every row to the batch's longest row
+  /// (cheaper than max_len padding: attention cost is quadratic in T).
+  std::vector<std::vector<int64_t>> EncodeBatch(
+      const std::vector<std::string>& texts) const;
+
+  /// Space-joined words; specials rendered as "[CLS]" etc.
+  std::string Decode(const std::vector<int64_t>& ids) const;
+
+  int64_t max_len() const { return max_len_; }
+  const Vocabulary& vocab() const { return *vocab_; }
+
+ private:
+  const Vocabulary* vocab_;
+  int64_t max_len_;
+};
+
+}  // namespace text
+}  // namespace crossem
+
+#endif  // CROSSEM_TEXT_TOKENIZER_H_

@@ -1,0 +1,74 @@
+// Minimal logging and internal-invariant CHECK macros.
+//
+// CHECK* is for programmer errors (invariant violations) and aborts the
+// process; recoverable errors use Status from status.h.
+#ifndef CROSSEM_UTIL_LOGGING_H_
+#define CROSSEM_UTIL_LOGGING_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace crossem {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Process-wide minimum level below which log lines are dropped.
+/// Defaults to kInfo. Not thread-safe to mutate concurrently with logging.
+LogLevel GetLogLevel();
+void SetLogLevel(LogLevel level);
+
+namespace internal {
+
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    if (enabled_) stream_ << v;
+    return *this;
+  }
+
+ private:
+  bool enabled_;
+  std::ostringstream stream_;
+};
+
+class FatalMessage {
+ public:
+  FatalMessage(const char* file, int line, const char* expr);
+  [[noreturn]] ~FatalMessage();
+
+  template <typename T>
+  FatalMessage& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace crossem
+
+#define CROSSEM_LOG(level)                                              \
+  ::crossem::internal::LogMessage(::crossem::LogLevel::k##level,        \
+                                  __FILE__, __LINE__)
+
+#define CROSSEM_CHECK(expr)                                             \
+  if (expr) {                                                           \
+  } else                                                                \
+    ::crossem::internal::FatalMessage(__FILE__, __LINE__, #expr)
+
+#define CROSSEM_CHECK_EQ(a, b) CROSSEM_CHECK((a) == (b))
+#define CROSSEM_CHECK_NE(a, b) CROSSEM_CHECK((a) != (b))
+#define CROSSEM_CHECK_LT(a, b) CROSSEM_CHECK((a) < (b))
+#define CROSSEM_CHECK_LE(a, b) CROSSEM_CHECK((a) <= (b))
+#define CROSSEM_CHECK_GT(a, b) CROSSEM_CHECK((a) > (b))
+#define CROSSEM_CHECK_GE(a, b) CROSSEM_CHECK((a) >= (b))
+
+#endif  // CROSSEM_UTIL_LOGGING_H_

@@ -1,0 +1,30 @@
+#include "util/memory_tracker.h"
+
+namespace crossem {
+
+MemoryTracker& MemoryTracker::Instance() {
+  static MemoryTracker* tracker = new MemoryTracker();
+  return *tracker;
+}
+
+void MemoryTracker::OnAlloc(int64_t bytes) {
+  int64_t now = current_.fetch_add(bytes) + bytes;
+  int64_t prev = peak_.load();
+  while (now > prev && !peak_.compare_exchange_weak(prev, now)) {
+  }
+}
+
+void MemoryTracker::OnFree(int64_t bytes) { current_.fetch_sub(bytes); }
+
+void MemoryTracker::ResetPeak() { peak_.store(current_.load()); }
+
+PeakMemoryScope::PeakMemoryScope() {
+  MemoryTracker::Instance().ResetPeak();
+  entry_peak_ = MemoryTracker::Instance().peak_bytes();
+}
+
+int64_t PeakMemoryScope::PeakBytes() const {
+  return MemoryTracker::Instance().peak_bytes();
+}
+
+}  // namespace crossem

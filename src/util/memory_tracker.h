@@ -1,0 +1,51 @@
+// Accounting of live tensor bytes, standing in for device-memory telemetry.
+//
+// The paper reports peak GPU memory per training epoch (measured with
+// NVIDIA Nsight). Our engine is CPU-resident, so we track the same
+// quantity for it: bytes of tensor storage currently allocated, and the
+// high-water mark since the last ResetPeak(). The tensor library calls
+// OnAlloc/OnFree from its storage constructor/destructor.
+#ifndef CROSSEM_UTIL_MEMORY_TRACKER_H_
+#define CROSSEM_UTIL_MEMORY_TRACKER_H_
+
+#include <atomic>
+#include <cstdint>
+
+namespace crossem {
+
+/// Process-wide tensor-byte accountant. All methods are thread-safe.
+class MemoryTracker {
+ public:
+  static MemoryTracker& Instance();
+
+  void OnAlloc(int64_t bytes);
+  void OnFree(int64_t bytes);
+
+  int64_t current_bytes() const { return current_.load(); }
+  int64_t peak_bytes() const { return peak_.load(); }
+
+  /// Resets the high-water mark to the current usage.
+  void ResetPeak();
+
+ private:
+  MemoryTracker() = default;
+
+  std::atomic<int64_t> current_{0};
+  std::atomic<int64_t> peak_{0};
+};
+
+/// RAII scope that reports the peak tensor bytes reached inside it.
+class PeakMemoryScope {
+ public:
+  PeakMemoryScope();
+
+  /// Peak bytes observed since construction.
+  int64_t PeakBytes() const;
+
+ private:
+  int64_t entry_peak_;
+};
+
+}  // namespace crossem
+
+#endif  // CROSSEM_UTIL_MEMORY_TRACKER_H_

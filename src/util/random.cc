@@ -1,0 +1,35 @@
+#include "util/random.h"
+
+#include <numeric>
+
+namespace crossem {
+
+std::vector<int64_t> Rng::SampleWithoutReplacement(int64_t n, int64_t k) {
+  CROSSEM_CHECK_GE(n, k);
+  CROSSEM_CHECK_GE(k, 0);
+  std::vector<int64_t> pool(n);
+  std::iota(pool.begin(), pool.end(), 0);
+  // Partial Fisher-Yates: after i swaps, pool[0..i) is a uniform sample.
+  for (int64_t i = 0; i < k; ++i) {
+    int64_t j = UniformInt(i, n - 1);
+    std::swap(pool[i], pool[j]);
+  }
+  pool.resize(k);
+  return pool;
+}
+
+int64_t Rng::Categorical(const std::vector<double>& weights) {
+  CROSSEM_CHECK(!weights.empty());
+  double total = 0.0;
+  for (double w : weights) total += (w > 0.0 ? w : 0.0);
+  CROSSEM_CHECK_GT(total, 0.0);
+  double r = Uniform(0.0, total);
+  double acc = 0.0;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    acc += (weights[i] > 0.0 ? weights[i] : 0.0);
+    if (r < acc) return static_cast<int64_t>(i);
+  }
+  return static_cast<int64_t>(weights.size()) - 1;
+}
+
+}  // namespace crossem

@@ -1,0 +1,57 @@
+#include "util/table_printer.h"
+
+#include <cstdio>
+#include <iostream>
+#include <sstream>
+
+#include "util/logging.h"
+
+namespace crossem {
+
+TablePrinter::TablePrinter(std::vector<std::string> header)
+    : header_(std::move(header)) {}
+
+void TablePrinter::AddRow(std::vector<std::string> row) {
+  CROSSEM_CHECK_LE(row.size(), header_.size());
+  row.resize(header_.size());
+  rows_.push_back(std::move(row));
+}
+
+std::string TablePrinter::Fmt(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+std::string TablePrinter::ToString() const {
+  std::vector<size_t> widths(header_.size());
+  for (size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      if (row[c].size() > widths[c]) widths[c] = row[c].size();
+    }
+  }
+  auto render_row = [&](const std::vector<std::string>& row,
+                        std::ostringstream& out) {
+    out << "|";
+    for (size_t c = 0; c < row.size(); ++c) {
+      out << " " << row[c];
+      for (size_t p = row[c].size(); p < widths[c]; ++p) out << ' ';
+      out << " |";
+    }
+    out << "\n";
+  };
+  std::ostringstream out;
+  render_row(header_, out);
+  out << "|";
+  for (size_t c = 0; c < widths.size(); ++c) {
+    out << std::string(widths[c] + 2, '-') << "|";
+  }
+  out << "\n";
+  for (const auto& row : rows_) render_row(row, out);
+  return out.str();
+}
+
+void TablePrinter::Print() const { std::cout << ToString() << std::flush; }
+
+}  // namespace crossem

@@ -1,0 +1,36 @@
+// Fixed-width ASCII table writer used by the benchmark harnesses to print
+// paper-style result tables (Table II-V) to stdout.
+#ifndef CROSSEM_UTIL_TABLE_PRINTER_H_
+#define CROSSEM_UTIL_TABLE_PRINTER_H_
+
+#include <string>
+#include <vector>
+
+namespace crossem {
+
+/// Accumulates rows of string cells and renders them column-aligned.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header);
+
+  /// Appends a data row. Rows shorter than the header are right-padded
+  /// with empty cells; longer rows are an error.
+  void AddRow(std::vector<std::string> row);
+
+  /// Convenience: formats a double with the given precision.
+  static std::string Fmt(double v, int precision = 2);
+
+  /// Renders the full table (header, separator, rows) to a string.
+  std::string ToString() const;
+
+  /// Prints ToString() to stdout.
+  void Print() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace crossem
+
+#endif  // CROSSEM_UTIL_TABLE_PRINTER_H_

@@ -1,0 +1,29 @@
+// Wall-clock stopwatch for the efficiency experiments (Table III, Fig. 8).
+#ifndef CROSSEM_UTIL_TIMER_H_
+#define CROSSEM_UTIL_TIMER_H_
+
+#include <chrono>
+
+namespace crossem {
+
+/// Monotonic stopwatch; starts running on construction.
+class Timer {
+ public:
+  Timer() { Restart(); }
+
+  void Restart() { start_ = Clock::now(); }
+
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double ElapsedMillis() const { return ElapsedSeconds() * 1000.0; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace crossem
+
+#endif  // CROSSEM_UTIL_TIMER_H_

@@ -1,0 +1,226 @@
+// Smoke + contract tests for all competitor reimplementations: each must
+// fit on a small dataset and emit a well-formed score matrix.
+#include <memory>
+
+#include "baselines/common.h"
+#include "baselines/dual_encoder.h"
+#include "baselines/fusion.h"
+#include "baselines/gppt.h"
+#include "baselines/imram.h"
+#include "baselines/kge.h"
+#include "baselines/mkgformer.h"
+#include "baselines/transae.h"
+#include "clip/pretrain.h"
+#include "data/dataset.h"
+#include "gtest/gtest.h"
+
+namespace crossem {
+namespace baselines {
+namespace {
+
+class BaselineFixture : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    ds_ = new data::CrossModalDataset(
+        data::BuildDataset(data::CubLikeConfig(0.4)));
+    tokenizer_ = new text::Tokenizer(&ds_->vocab, 48);
+
+    ctx_ = new BaselineContext();
+    ctx_->dataset = ds_;
+    ctx_->tokenizer = tokenizer_;
+    for (int64_t c : ds_->test_classes) {
+      ctx_->vertices.push_back(ds_->entities[static_cast<size_t>(c)]);
+    }
+    auto idx = ds_->TestImageIndices();
+    ctx_->images = ds_->StackImages(idx);
+    for (int64_t i : idx) {
+      ctx_->image_classes.push_back(
+          ds_->images[static_cast<size_t>(i)].true_class);
+    }
+    ctx_->seed = 33;
+
+    clip::ClipConfig cc;
+    cc.vocab_size = ds_->vocab.size();
+    cc.text_context = 48;
+    cc.model_dim = 16;
+    cc.text_layers = 1;
+    cc.text_heads = 2;
+    cc.image_layers = 1;
+    cc.image_heads = 2;
+    cc.patch_dim = ds_->world->config().patch_dim;
+    cc.max_patches = 16;
+    cc.embed_dim = 12;
+    Rng rng(9);
+    clip_model_ = new clip::ClipModel(cc, &rng);
+  }
+
+  static void TearDownTestSuite() {
+    delete clip_model_;
+    delete ctx_;
+    delete tokenizer_;
+    delete ds_;
+  }
+
+  /// Fits the baseline and checks the score-matrix contract.
+  static void CheckContract(CrossModalBaseline* baseline) {
+    ASSERT_TRUE(baseline->Fit(*ctx_).ok()) << baseline->name();
+    auto scores = baseline->Score(*ctx_);
+    ASSERT_TRUE(scores.ok()) << baseline->name() << ": "
+                             << scores.status().ToString();
+    const Tensor& s = scores.value();
+    EXPECT_EQ(s.size(0), static_cast<int64_t>(ctx_->vertices.size()));
+    EXPECT_EQ(s.size(1), ctx_->images.size(0));
+    for (int64_t i = 0; i < s.numel(); ++i) {
+      EXPECT_TRUE(std::isfinite(s.at(i))) << baseline->name();
+    }
+  }
+
+  static data::CrossModalDataset* ds_;
+  static text::Tokenizer* tokenizer_;
+  static BaselineContext* ctx_;
+  static clip::ClipModel* clip_model_;
+};
+
+data::CrossModalDataset* BaselineFixture::ds_ = nullptr;
+text::Tokenizer* BaselineFixture::tokenizer_ = nullptr;
+BaselineContext* BaselineFixture::ctx_ = nullptr;
+clip::ClipModel* BaselineFixture::clip_model_ = nullptr;
+
+TEST_F(BaselineFixture, SerializeVertexMentionsNeighbors) {
+  graph::VertexId v = ctx_->vertices[0];
+  std::string text = SerializeVertex(ds_->graph, v);
+  EXPECT_NE(text.find(ds_->graph.VertexLabel(v)), std::string::npos);
+  auto nbrs = ds_->graph.Neighbors(v);
+  ASSERT_FALSE(nbrs.empty());
+  EXPECT_NE(text.find(ds_->graph.VertexLabel(nbrs[0])), std::string::npos);
+}
+
+TEST_F(BaselineFixture, MeanPatchesShape) {
+  Tensor m = MeanPatches(ctx_->images);
+  EXPECT_EQ(m.shape(),
+            (Shape{ctx_->images.size(0), ds_->world->config().patch_dim}));
+}
+
+TEST_F(BaselineFixture, ClipZeroShotContract) {
+  ClipZeroShot b(clip_model_);
+  EXPECT_EQ(b.name(), "CLIP");
+  CheckContract(&b);
+}
+
+TEST_F(BaselineFixture, AlignContract) {
+  AlignBaseline b;
+  EXPECT_EQ(b.name(), "ALIGN");
+  CheckContract(&b);
+}
+
+TEST_F(BaselineFixture, VisualBertContract) {
+  FusionTrainConfig cfg;
+  cfg.epochs = 2;
+  cfg.batches_per_epoch = 4;
+  VisualBertBaseline b(cfg);
+  EXPECT_EQ(b.name(), "VisualBERT");
+  CheckContract(&b);
+}
+
+TEST_F(BaselineFixture, VilBertContract) {
+  FusionTrainConfig cfg;
+  cfg.epochs = 2;
+  cfg.batches_per_epoch = 4;
+  VilBertBaseline b(cfg);
+  EXPECT_EQ(b.name(), "ViLBERT");
+  CheckContract(&b);
+}
+
+TEST_F(BaselineFixture, ImramContract) {
+  ImramConfig cfg;
+  cfg.epochs = 2;
+  cfg.batches_per_epoch = 4;
+  ImramBaseline b(cfg);
+  EXPECT_EQ(b.name(), "IMRAM");
+  CheckContract(&b);
+}
+
+TEST_F(BaselineFixture, TransAeContract) {
+  TransAeConfig cfg;
+  cfg.epochs = 2;
+  cfg.batches_per_epoch = 4;
+  TransAeBaseline b(cfg);
+  EXPECT_EQ(b.name(), "TransAE");
+  CheckContract(&b);
+}
+
+TEST_F(BaselineFixture, GpptContract) {
+  GpptConfig cfg;
+  cfg.epochs = 2;
+  cfg.batches_per_epoch = 4;
+  GpptBaseline b(cfg);
+  EXPECT_EQ(b.name(), "GPPT");
+  CheckContract(&b);
+}
+
+class KgeParamTest : public BaselineFixture,
+                     public ::testing::WithParamInterface<KgeScoreFn> {};
+
+TEST_P(KgeParamTest, Contract) {
+  KgeConfig cfg;
+  cfg.score_fn = GetParam();
+  cfg.epochs = 3;
+  cfg.batches_per_epoch = 6;
+  KgeBaseline b(cfg);
+  CheckContract(&b);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllScoreFns, KgeParamTest,
+    ::testing::Values(KgeScoreFn::kTransE, KgeScoreFn::kDistMult,
+                      KgeScoreFn::kRotatE, KgeScoreFn::kRsme),
+    [](const ::testing::TestParamInfo<KgeScoreFn>& info) {
+      return KgeScoreFnName(info.param);
+    });
+
+TEST_F(BaselineFixture, KgeNamesMatchScoreFn) {
+  EXPECT_EQ(KgeBaseline(KgeConfig{KgeScoreFn::kTransE}).name(), "TransE");
+  EXPECT_EQ(KgeBaseline(KgeConfig{KgeScoreFn::kDistMult}).name(), "DistMult");
+  EXPECT_EQ(KgeBaseline(KgeConfig{KgeScoreFn::kRotatE}).name(), "RotatE");
+  EXPECT_EQ(KgeBaseline(KgeConfig{KgeScoreFn::kRsme}).name(), "RSME");
+}
+
+TEST_F(BaselineFixture, MkgFormerContract) {
+  MkgFormerConfig cfg;
+  cfg.epochs = 2;
+  cfg.batches_per_epoch = 4;
+  MkgFormerBaseline b(cfg);
+  EXPECT_EQ(b.name(), "MKGformer");
+  CheckContract(&b);
+}
+
+TEST_F(BaselineFixture, ScoreBeforeFitFails) {
+  AlignBaseline align;
+  EXPECT_FALSE(align.Score(*ctx_).ok());
+  ImramConfig icfg;
+  ImramBaseline imram(icfg);
+  EXPECT_FALSE(imram.Score(*ctx_).ok());
+  KgeBaseline kge;
+  EXPECT_FALSE(kge.Score(*ctx_).ok());
+}
+
+TEST_F(BaselineFixture, KgeRejectsMisalignedImageClasses) {
+  BaselineContext bad = *ctx_;
+  bad.image_classes.pop_back();
+  KgeBaseline b;
+  EXPECT_FALSE(b.Fit(bad).ok());
+}
+
+TEST_F(BaselineFixture, FitRejectsIncompleteContext) {
+  BaselineContext empty;
+  AlignBaseline align;
+  EXPECT_FALSE(align.Fit(empty).ok());
+  VisualBertBaseline vb;
+  EXPECT_FALSE(vb.Fit(empty).ok());
+  GpptBaseline gppt;
+  EXPECT_FALSE(gppt.Fit(empty).ok());
+}
+
+}  // namespace
+}  // namespace baselines
+}  // namespace crossem

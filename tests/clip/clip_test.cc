@@ -1,0 +1,232 @@
+#include "clip/clip.h"
+
+#include <cmath>
+
+#include "gtest/gtest.h"
+#include "tensor/ops.h"
+
+namespace crossem {
+namespace clip {
+namespace {
+
+ClipConfig SmallConfig() {
+  ClipConfig c;
+  c.vocab_size = 50;
+  c.text_context = 12;
+  c.model_dim = 16;
+  c.text_layers = 1;
+  c.text_heads = 2;
+  c.image_layers = 1;
+  c.image_heads = 2;
+  c.patch_dim = 8;
+  c.max_patches = 6;
+  c.embed_dim = 12;
+  return c;
+}
+
+std::vector<std::vector<int64_t>> PaddedBatch(int64_t b, int64_t t) {
+  std::vector<std::vector<int64_t>> batch;
+  for (int64_t i = 0; i < b; ++i) {
+    std::vector<int64_t> row(static_cast<size_t>(t), text::Vocabulary::kPad);
+    row[0] = text::Vocabulary::kCls;
+    row[1] = 5 + i;
+    row[2] = text::Vocabulary::kSep;
+    batch.push_back(std::move(row));
+  }
+  return batch;
+}
+
+TEST(TextEncoderTest, OutputShapeAndNormalization) {
+  Rng rng(1);
+  TextEncoder enc(SmallConfig(), &rng);
+  Tensor e = enc.Forward(PaddedBatch(3, 12));
+  EXPECT_EQ(e.shape(), (Shape{3, 12}));
+  for (int64_t r = 0; r < 3; ++r) {
+    double norm2 = 0;
+    for (int64_t c = 0; c < 12; ++c) {
+      norm2 += static_cast<double>(e.at(r * 12 + c)) * e.at(r * 12 + c);
+    }
+    EXPECT_NEAR(norm2, 1.0, 1e-4);
+  }
+}
+
+TEST(TextEncoderTest, PaddingMaskMarksRealTokens) {
+  Rng rng(2);
+  TextEncoder enc(SmallConfig(), &rng);
+  auto batch = PaddedBatch(1, 12);
+  Tensor mask = enc.PaddingMask(batch);
+  EXPECT_EQ(mask.shape(), (Shape{1, 12}));
+  EXPECT_FLOAT_EQ(mask.at(0), 1.0f);
+  EXPECT_FLOAT_EQ(mask.at(1), 1.0f);
+  EXPECT_FLOAT_EQ(mask.at(2), 1.0f);
+  EXPECT_FLOAT_EQ(mask.at(3), 0.0f);
+}
+
+TEST(TextEncoderTest, PaddingDoesNotChangeEmbedding) {
+  // Same tokens, different padding tails: identical embeddings.
+  Rng rng(3);
+  ClipConfig cfg = SmallConfig();
+  TextEncoder enc(cfg, &rng);
+  std::vector<int64_t> row = {text::Vocabulary::kCls, 7, 9,
+                              text::Vocabulary::kSep};
+  std::vector<int64_t> short_row = row;
+  short_row.resize(8, text::Vocabulary::kPad);
+  std::vector<int64_t> long_row = row;
+  long_row.resize(12, text::Vocabulary::kPad);
+  // Run each padded variant through its own forward; the mask must make
+  // the [CLS] representation identical up to numerical noise.
+  Tensor e1 = enc.Forward({short_row});
+  Tensor e2 = enc.Forward({long_row});
+  for (int64_t i = 0; i < e1.numel(); ++i) {
+    EXPECT_NEAR(e1.at(i), e2.at(i), 1e-4f);
+  }
+}
+
+TEST(TextEncoderTest, EmbeddingEntryMatchesTokenEntry) {
+  // ForwardFromEmbeddings(EmbedTokens(batch) - positional) must equal
+  // Forward(batch): both add positions inside.
+  Rng rng(4);
+  TextEncoder enc(SmallConfig(), &rng);
+  auto batch = PaddedBatch(2, 12);
+  // EmbedTokens already adds positions, so subtract them via a raw
+  // token-embedding path: reuse EmbedTokens and strip the positional
+  // by embedding a zero-position trick is fiddly; instead check the
+  // public contract: ForwardFromEmbeddings on token embeddings WITHOUT
+  // positions equals Forward. Build token-only embeddings by hand.
+  std::vector<int64_t> flat;
+  for (const auto& row : batch) flat.insert(flat.end(), row.begin(), row.end());
+  Tensor tok = enc.token_embedding().Forward(flat);
+  tok = ops::Reshape(tok, {2, 12, enc.model_dim()});
+  Tensor mask = enc.PaddingMask(batch);
+  Tensor via_embeddings = enc.ForwardFromEmbeddings(tok, mask);
+  Tensor via_tokens = enc.Forward(batch);
+  for (int64_t i = 0; i < via_tokens.numel(); ++i) {
+    EXPECT_NEAR(via_embeddings.at(i), via_tokens.at(i), 1e-4f);
+  }
+}
+
+TEST(ImageEncoderTest, OutputShapeAndNormalization) {
+  Rng rng(5);
+  ImageEncoder enc(SmallConfig(), &rng);
+  Tensor patches = Tensor::Randn({4, 6, 8}, &rng);
+  Tensor e = enc.Forward(patches);
+  EXPECT_EQ(e.shape(), (Shape{4, 12}));
+  for (int64_t r = 0; r < 4; ++r) {
+    double norm2 = 0;
+    for (int64_t c = 0; c < 12; ++c) {
+      norm2 += static_cast<double>(e.at(r * 12 + c)) * e.at(r * 12 + c);
+    }
+    EXPECT_NEAR(norm2, 1.0, 1e-4);
+  }
+}
+
+TEST(ImageEncoderTest, FewerPatchesThanMaxAccepted) {
+  Rng rng(6);
+  ImageEncoder enc(SmallConfig(), &rng);
+  Tensor patches = Tensor::Randn({2, 3, 8}, &rng);
+  EXPECT_EQ(enc.Forward(patches).shape(), (Shape{2, 12}));
+}
+
+TEST(ClipModelTest, TemperaturePositiveAndLearnable) {
+  Rng rng(7);
+  ClipModel model(SmallConfig(), &rng);
+  EXPECT_NEAR(model.Temperature().item(), 0.07f, 1e-4f);
+  EXPECT_GT(model.Parameters().size(), 0u);
+}
+
+TEST(ClipModelTest, SimilarityMatrixIsCosine) {
+  Tensor a = ops::L2Normalize(Tensor::FromVector({2, 2}, {1, 0, 0, 1}));
+  Tensor b = ops::L2Normalize(Tensor::FromVector({2, 2}, {1, 0, 1, 1}));
+  Tensor s = ClipModel::SimilarityMatrix(a, b);
+  EXPECT_EQ(s.shape(), (Shape{2, 2}));
+  EXPECT_NEAR(s.at(0), 1.0f, 1e-5f);
+  EXPECT_NEAR(s.at(1), 1.0f / std::sqrt(2.0f), 1e-5f);
+  EXPECT_NEAR(s.at(2), 0.0f, 1e-5f);
+}
+
+TEST(ClipModelTest, ContrastiveLossLowerWhenAligned) {
+  Rng rng(8);
+  ClipModel model(SmallConfig(), &rng);
+  // Perfectly aligned embeddings vs anti-aligned.
+  Tensor aligned = ops::L2Normalize(Tensor::FromVector(
+      {2, 2}, {1, 0, 0, 1}));
+  Tensor shuffled = ops::L2Normalize(Tensor::FromVector(
+      {2, 2}, {0, 1, 1, 0}));
+  float good = model.ContrastiveLoss(aligned, aligned).item();
+  float bad = model.ContrastiveLoss(aligned, shuffled).item();
+  EXPECT_LT(good, bad);
+}
+
+TEST(ClipModelTest, ContrastiveLossWithExplicitTargets) {
+  Rng rng(9);
+  ClipModel model(SmallConfig(), &rng);
+  Tensor t = ops::L2Normalize(Tensor::FromVector({2, 2}, {1, 0, 0, 1}));
+  Tensor i = ops::L2Normalize(Tensor::FromVector({2, 2}, {0, 1, 1, 0}));
+  // With swapped targets, the "shuffled" pairing becomes the correct one.
+  float swapped = model.ContrastiveLoss(t, i, {1, 0}).item();
+  float direct = model.ContrastiveLoss(t, i, {0, 1}).item();
+  EXPECT_LT(swapped, direct);
+}
+
+TEST(ClipModelTest, ContrastiveLossRectangularBatch) {
+  // CrossEM's confident-pair selection yields fewer texts than images;
+  // the loss must handle Nt != Ni.
+  Rng rng(13);
+  ClipModel model(SmallConfig(), &rng);
+  Tensor t = ops::L2Normalize(Tensor::Randn({3, 12}, &rng));
+  Tensor i = ops::L2Normalize(Tensor::Randn({5, 12}, &rng));
+  Tensor loss = model.ContrastiveLoss(t, i, {4, 0, 2});
+  EXPECT_TRUE(std::isfinite(loss.item()));
+  EXPECT_GT(loss.item(), 0.0f);
+}
+
+TEST(ClipModelTest, MatchingProbabilityRowsSumToOne) {
+  Rng rng(10);
+  ClipModel model(SmallConfig(), &rng);
+  Tensor t = ops::L2Normalize(Tensor::Randn({3, 12}, &rng));
+  Tensor i = ops::L2Normalize(Tensor::Randn({5, 12}, &rng));
+  Tensor p = model.MatchingProbability(t, i);
+  EXPECT_EQ(p.shape(), (Shape{3, 5}));
+  EXPECT_FALSE(p.requires_grad());
+  for (int64_t r = 0; r < 3; ++r) {
+    double s = 0;
+    for (int64_t c = 0; c < 5; ++c) s += p.at(r * 5 + c);
+    EXPECT_NEAR(s, 1.0, 1e-5);
+  }
+}
+
+TEST(ClipModelTest, GradFlowsThroughBothTowers) {
+  Rng rng(11);
+  ClipModel model(SmallConfig(), &rng);
+  Tensor text_emb = model.text().Forward(PaddedBatch(2, 12));
+  Tensor patches = Tensor::Randn({2, 4, 8}, &rng);
+  Tensor image_emb = model.image().Forward(patches);
+  Tensor loss = model.ContrastiveLoss(text_emb, image_emb);
+  loss.Backward();
+  int64_t with_grad = 0;
+  for (const Tensor& p : model.Parameters()) {
+    if (p.grad().defined()) ++with_grad;
+  }
+  EXPECT_GT(with_grad, 10);
+}
+
+TEST(ClipModelTest, FrozenImageTowerReceivesNoGrad) {
+  Rng rng(12);
+  ClipModel model(SmallConfig(), &rng);
+  model.image().SetRequiresGrad(false);
+  Tensor text_emb = model.text().Forward(PaddedBatch(2, 12));
+  Tensor image_emb = model.image().Forward(Tensor::Randn({2, 4, 8}, &rng));
+  model.ContrastiveLoss(text_emb, image_emb).Backward();
+  for (const auto& [name, p] : model.image().NamedParameters()) {
+    EXPECT_FALSE(p.grad().defined()) << name;
+  }
+  bool text_has_grad = false;
+  for (const auto& [name, p] : model.text().NamedParameters()) {
+    if (p.grad().defined()) text_has_grad = true;
+  }
+  EXPECT_TRUE(text_has_grad);
+}
+
+}  // namespace
+}  // namespace clip
+}  // namespace crossem

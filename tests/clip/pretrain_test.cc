@@ -1,0 +1,125 @@
+// Integration test: pre-training the mini-CLIP on a synthetic caption
+// corpus must (a) reduce the contrastive loss and (b) transfer zero-shot
+// to held-out classes above chance. This validates the learnability
+// premise every CrossEM experiment rests on.
+#include "clip/pretrain.h"
+
+#include "data/dataset.h"
+#include "eval/metrics.h"
+#include "gtest/gtest.h"
+#include "tensor/ops.h"
+
+namespace crossem {
+namespace clip {
+namespace {
+
+class PretrainFixture : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    data::DatasetConfig dc = data::CubLikeConfig(0.6);
+    dataset_ = new data::CrossModalDataset(data::BuildDataset(dc));
+
+    ClipConfig cc;
+    cc.vocab_size = dataset_->vocab.size();
+    cc.text_context = 24;
+    cc.model_dim = 32;
+    cc.text_layers = 2;
+    cc.text_heads = 4;
+    cc.image_layers = 2;
+    cc.image_heads = 4;
+    cc.patch_dim = dataset_->world->config().patch_dim;
+    cc.max_patches = 16;
+    cc.embed_dim = 24;
+    Rng rng(17);
+    model_ = new ClipModel(cc, &rng);
+    tokenizer_ = new text::Tokenizer(&dataset_->vocab, cc.text_context);
+
+    PretrainConfig pc;
+    pc.epochs = 18;
+    pc.batches_per_epoch = 16;
+    pc.batch_size = 12;
+    // Name-rich corpus: this test checks that name->image alignment
+    // transfers, so every caption names its entity.
+    pc.name_mention_prob = 1.0f;
+    std::vector<int64_t> all_classes(
+        static_cast<size_t>(dataset_->world->num_classes()));
+    for (size_t i = 0; i < all_classes.size(); ++i) {
+      all_classes[i] = static_cast<int64_t>(i);
+    }
+    auto stats = PretrainClip(model_, *dataset_->world, all_classes,
+                              *tokenizer_, pc);
+    ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+    stats_ = new PretrainStats(stats.MoveValue());
+  }
+
+  static void TearDownTestSuite() {
+    delete stats_;
+    delete tokenizer_;
+    delete model_;
+    delete dataset_;
+  }
+
+  static data::CrossModalDataset* dataset_;
+  static ClipModel* model_;
+  static text::Tokenizer* tokenizer_;
+  static PretrainStats* stats_;
+};
+
+data::CrossModalDataset* PretrainFixture::dataset_ = nullptr;
+ClipModel* PretrainFixture::model_ = nullptr;
+text::Tokenizer* PretrainFixture::tokenizer_ = nullptr;
+PretrainStats* PretrainFixture::stats_ = nullptr;
+
+TEST_F(PretrainFixture, LossDecreases) {
+  ASSERT_GE(stats_->epoch_loss.size(), 2u);
+  EXPECT_LT(stats_->final_loss, stats_->epoch_loss.front() * 0.8f);
+}
+
+TEST_F(PretrainFixture, ZeroShotTransferAboveChance) {
+  NoGradGuard guard;
+  // Rank held-out-class images for each held-out-class caption prompt.
+  const auto& test_classes = dataset_->test_classes;
+  auto image_idx = dataset_->TestImageIndices();
+  ASSERT_FALSE(test_classes.empty());
+  ASSERT_FALSE(image_idx.empty());
+
+  std::vector<std::vector<int64_t>> prompts;
+  for (int64_t c : test_classes) {
+    prompts.push_back(tokenizer_->EncodePadded(
+        "a photo of " + dataset_->world->ClassName(c)));
+  }
+  Tensor text_emb = model_->text().Forward(prompts);
+  Tensor image_emb =
+      model_->image().Forward(dataset_->StackImages(image_idx));
+  Tensor scores = ClipModel::SimilarityMatrix(text_emb, image_emb);
+
+  std::vector<int64_t> image_class;
+  for (int64_t i : image_idx) {
+    image_class.push_back(dataset_->images[static_cast<size_t>(i)].true_class);
+  }
+  auto metrics =
+      eval::ComputeRankingMetricsByClass(scores, test_classes, image_class);
+
+  // Chance H@1 is (images per class) / (total test images) ~= 14%.
+  const double chance =
+      100.0 / static_cast<double>(test_classes.size());
+  EXPECT_GT(metrics.hits_at_1, chance * 1.5)
+      << "zero-shot H@1 " << metrics.hits_at_1 << " vs chance " << chance;
+  EXPECT_GT(metrics.mrr, 1.5 / static_cast<double>(test_classes.size()));
+}
+
+TEST_F(PretrainFixture, RejectsEmptyClassList) {
+  PretrainConfig pc;
+  auto r = PretrainClip(model_, *dataset_->world, {}, *tokenizer_, pc);
+  EXPECT_FALSE(r.ok());
+}
+
+TEST_F(PretrainFixture, RejectsOutOfRangeClass) {
+  PretrainConfig pc;
+  auto r = PretrainClip(model_, *dataset_->world, {9999}, *tokenizer_, pc);
+  EXPECT_FALSE(r.ok());
+}
+
+}  // namespace
+}  // namespace clip
+}  // namespace crossem

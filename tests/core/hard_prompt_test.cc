@@ -1,0 +1,147 @@
+#include "core/hard_prompt.h"
+
+#include "gtest/gtest.h"
+
+namespace crossem {
+namespace core {
+namespace {
+
+graph::Graph PaperFigureGraph() {
+  // Figure 1(b)/3 of the paper.
+  graph::Graph g;
+  g.AddVertex("laysan albatross");   // v1 = 0
+  g.AddVertex("white");              // v2 = 1
+  g.AddVertex("black");              // v3 = 2
+  g.AddVertex("long-wings");         // v4 = 3
+  g.AddVertex("grey");               // v5 = 4
+  EXPECT_TRUE(g.AddEdge(0, 1, "has crown color").ok());
+  EXPECT_TRUE(g.AddEdge(0, 2, "has under tail color").ok());
+  EXPECT_TRUE(g.AddEdge(0, 3, "has wing shape").ok());
+  EXPECT_TRUE(g.AddEdge(3, 4, "has wing color").ok());
+  return g;
+}
+
+TEST(HardPromptTest, BaselinePromptIsPhotoTemplate) {
+  graph::Graph g = PaperFigureGraph();
+  HardPromptGenerator gen(&g, HardPromptOptions{});
+  EXPECT_EQ(gen.BaselinePrompt(0), "a photo of laysan albatross");
+}
+
+TEST(HardPromptTest, SerializedStyleMatchesPaperExample2) {
+  graph::Graph g = PaperFigureGraph();
+  HardPromptOptions opt;
+  opt.hops = 2;
+  opt.style = HardPromptStyle::kSerialized;
+  HardPromptGenerator gen(&g, opt);
+  EXPECT_EQ(gen.Generate(0),
+            "laysan albatross has crown color in white, has under tail color "
+            "in black, has wing shape in long-wings, and long-wings has wing "
+            "color in grey");
+}
+
+TEST(HardPromptTest, CaptionStyleListsNeighbors) {
+  graph::Graph g = PaperFigureGraph();
+  HardPromptOptions opt;
+  opt.hops = 1;
+  opt.style = HardPromptStyle::kCaption;
+  HardPromptGenerator gen(&g, opt);
+  EXPECT_EQ(gen.Generate(0),
+            "a photo of laysan albatross with white, black and long-wings");
+}
+
+TEST(HardPromptTest, CaptionStyleTwoHopsNamesParent) {
+  graph::Graph g = PaperFigureGraph();
+  HardPromptOptions opt;
+  opt.hops = 2;
+  HardPromptGenerator gen(&g, opt);
+  EXPECT_EQ(gen.Generate(0),
+            "a photo of laysan albatross with white, black, long-wings and "
+            "long-wings grey");
+}
+
+TEST(HardPromptTest, ZeroHopsIsLabelOnly) {
+  graph::Graph g = PaperFigureGraph();
+  HardPromptOptions opt;
+  opt.hops = 0;
+  opt.style = HardPromptStyle::kSerialized;
+  HardPromptGenerator gen(&g, opt);
+  EXPECT_EQ(gen.Generate(0), "laysan albatross");
+}
+
+TEST(HardPromptTest, IsolatedVertexCaption) {
+  graph::Graph g;
+  g.AddVertex("woodpecker");
+  HardPromptGenerator gen(&g, HardPromptOptions{});
+  EXPECT_EQ(gen.Generate(0), "a photo of woodpecker");
+}
+
+TEST(HardPromptTest, MaxSubPromptsTruncates) {
+  graph::Graph g;
+  g.AddVertex("center");
+  for (int i = 0; i < 10; ++i) {
+    graph::VertexId v = g.AddVertex("n" + std::to_string(i));
+    EXPECT_TRUE(g.AddEdge(0, v, "has part").ok());
+  }
+  HardPromptOptions opt;
+  opt.max_sub_prompts = 3;
+  HardPromptGenerator gen(&g, opt);
+  std::string p = gen.Generate(0);
+  // Exactly three neighbor mentions: "with X, Y and Z".
+  EXPECT_NE(p.find(" with "), std::string::npos);
+  EXPECT_NE(p.find(" and "), std::string::npos);
+  EXPECT_EQ(std::count(p.begin(), p.end(), ','), 1);
+}
+
+TEST(HardPromptTest, AttributesOrderedBeforeRelations) {
+  graph::Graph g;
+  g.AddVertex("entity a");       // 0
+  g.AddVertex("entity b");       // 1
+  g.AddVertex("white crown");    // 2
+  ASSERT_TRUE(g.AddEdge(0, 1, "rel 3").ok());          // relation first
+  ASSERT_TRUE(g.AddEdge(0, 2, "has crown trait").ok());  // attribute second
+  HardPromptGenerator gen(&g, HardPromptOptions{});
+  std::string p = gen.Generate(0);
+  // The attribute neighbor must be mentioned before the relation one.
+  EXPECT_LT(p.find("white crown"), p.find("entity b"));
+}
+
+TEST(HardPromptTest, RelationNeighborsCapped) {
+  graph::Graph g;
+  g.AddVertex("center");
+  for (int i = 0; i < 6; ++i) {
+    graph::VertexId v = g.AddVertex("other" + std::to_string(i));
+    ASSERT_TRUE(g.AddEdge(0, v, "rel " + std::to_string(i)).ok());
+  }
+  graph::VertexId attr = g.AddVertex("white crown");
+  ASSERT_TRUE(g.AddEdge(0, attr, "has crown trait").ok());
+
+  HardPromptOptions opt;
+  opt.max_relation_sub_prompts = 2;
+  HardPromptGenerator gen(&g, opt);
+  std::string p = gen.Generate(0);
+  // The attribute survives; at most 2 of the 6 relation neighbors do.
+  EXPECT_NE(p.find("white crown"), std::string::npos);
+  int relation_mentions = 0;
+  for (int i = 0; i < 6; ++i) {
+    if (p.find("other" + std::to_string(i)) != std::string::npos) {
+      ++relation_mentions;
+    }
+  }
+  EXPECT_EQ(relation_mentions, 2);
+}
+
+TEST(HardPromptTest, IncomingEdgesContribute) {
+  graph::Graph g;
+  g.AddVertex("white");
+  g.AddVertex("albatross");
+  EXPECT_TRUE(g.AddEdge(1, 0, "has color").ok());
+  HardPromptOptions opt;
+  opt.style = HardPromptStyle::kSerialized;
+  HardPromptGenerator gen(&g, opt);
+  // Prompt for the value vertex sees the entity through the in-edge.
+  EXPECT_EQ(gen.Generate(0), "white has color in albatross");
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace crossem

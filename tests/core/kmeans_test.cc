@@ -1,0 +1,81 @@
+#include "core/kmeans.h"
+
+#include <set>
+
+#include "gtest/gtest.h"
+
+namespace crossem {
+namespace core {
+namespace {
+
+TEST(KMeansTest, SeparatesWellSeparatedClusters) {
+  // Two tight blobs far apart.
+  std::vector<float> data;
+  Rng noise(1);
+  for (int i = 0; i < 10; ++i) {
+    data.push_back(static_cast<float>(noise.Normal(0.0, 0.1)));
+    data.push_back(static_cast<float>(noise.Normal(0.0, 0.1)));
+  }
+  for (int i = 0; i < 10; ++i) {
+    data.push_back(static_cast<float>(noise.Normal(10.0, 0.1)));
+    data.push_back(static_cast<float>(noise.Normal(10.0, 0.1)));
+  }
+  Tensor points = Tensor::FromVector({20, 2}, data);
+  Rng rng(2);
+  KMeansResult r = KMeans(points, 2, &rng);
+  // All first-10 in one cluster, all last-10 in the other.
+  for (int i = 1; i < 10; ++i) EXPECT_EQ(r.assignments[i], r.assignments[0]);
+  for (int i = 11; i < 20; ++i) {
+    EXPECT_EQ(r.assignments[static_cast<size_t>(i)], r.assignments[10]);
+  }
+  EXPECT_NE(r.assignments[0], r.assignments[10]);
+}
+
+TEST(KMeansTest, KClampedToPointCount) {
+  Tensor points = Tensor::FromVector({2, 1}, {0.0f, 1.0f});
+  Rng rng(3);
+  KMeansResult r = KMeans(points, 5, &rng);
+  EXPECT_EQ(r.centroids.size(0), 2);
+  EXPECT_NE(r.assignments[0], r.assignments[1]);
+}
+
+TEST(KMeansTest, SinglePoint) {
+  Tensor points = Tensor::FromVector({1, 3}, {1, 2, 3});
+  Rng rng(4);
+  KMeansResult r = KMeans(points, 3, &rng);
+  EXPECT_EQ(r.assignments, (std::vector<int64_t>{0}));
+}
+
+TEST(KMeansTest, IdenticalPointsOneCluster) {
+  Tensor points = Tensor::FromVector({4, 2}, {1, 1, 1, 1, 1, 1, 1, 1});
+  Rng rng(5);
+  KMeansResult r = KMeans(points, 2, &rng);
+  // All assignments equal (ties broken consistently).
+  for (size_t i = 1; i < 4; ++i) EXPECT_EQ(r.assignments[i], r.assignments[0]);
+}
+
+TEST(KMeansTest, AssignmentsInRange) {
+  Rng data_rng(6);
+  Tensor points = Tensor::Randn({30, 4}, &data_rng);
+  Rng rng(7);
+  KMeansResult r = KMeans(points, 5, &rng);
+  EXPECT_EQ(r.assignments.size(), 30u);
+  for (int64_t a : r.assignments) {
+    EXPECT_GE(a, 0);
+    EXPECT_LT(a, 5);
+  }
+  EXPECT_GT(r.iterations, 0);
+}
+
+TEST(KMeansTest, DeterministicGivenSeed) {
+  Rng data_rng(8);
+  Tensor points = Tensor::Randn({30, 4}, &data_rng);
+  Rng rng1(9), rng2(9);
+  KMeansResult a = KMeans(points, 4, &rng1);
+  KMeansResult b = KMeans(points, 4, &rng2);
+  EXPECT_EQ(a.assignments, b.assignments);
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace crossem

@@ -1,0 +1,52 @@
+#include "core/losses.h"
+
+#include "gtest/gtest.h"
+#include "tensor/ops.h"
+
+namespace crossem {
+namespace core {
+namespace {
+
+TEST(OrthogonalPromptLossTest, ZeroForOrthogonalRows) {
+  Tensor f = Tensor::FromVector({2, 2}, {1, 0, 0, 1});
+  EXPECT_NEAR(OrthogonalPromptLoss(f).item(), 0.0f, 1e-5f);
+}
+
+TEST(OrthogonalPromptLossTest, PositiveForParallelRows) {
+  Tensor f = Tensor::FromVector({2, 2}, {1, 0, 2, 0});
+  EXPECT_GT(OrthogonalPromptLoss(f).item(), 0.1f);
+}
+
+TEST(OrthogonalPromptLossTest, ScaleInvariantViaNormalization) {
+  Tensor a = Tensor::FromVector({2, 2}, {1, 1, 1, -1});
+  Tensor b = ops::MulScalar(a, 100.0f);
+  EXPECT_NEAR(OrthogonalPromptLoss(a).item(), OrthogonalPromptLoss(b).item(),
+              1e-5f);
+}
+
+TEST(OrthogonalPromptLossTest, GradientPushesTowardOrthogonality) {
+  Tensor f = Tensor::FromVector({2, 2}, {1.0f, 0.2f, 1.0f, -0.1f});
+  f.set_requires_grad(true);
+  float before = OrthogonalPromptLoss(f).item();
+  for (int step = 0; step < 50; ++step) {
+    f.ZeroGrad();
+    Tensor loss = OrthogonalPromptLoss(f);
+    loss.Backward();
+    float* w = f.data();
+    const float* g = f.grad().data();
+    for (int64_t i = 0; i < f.numel(); ++i) w[i] -= 0.05f * g[i];
+  }
+  EXPECT_LT(OrthogonalPromptLoss(f).item(), before * 0.5f);
+}
+
+TEST(CombinedLossTest, BetaMixesLinearly) {
+  Tensor lc = Tensor::Scalar(2.0f);
+  Tensor lo = Tensor::Scalar(4.0f);
+  EXPECT_FLOAT_EQ(CombinedLoss(lc, lo, 1.0f).item(), 2.0f);
+  EXPECT_FLOAT_EQ(CombinedLoss(lc, lo, 0.0f).item(), 4.0f);
+  EXPECT_FLOAT_EQ(CombinedLoss(lc, lo, 0.75f).item(), 2.5f);
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace crossem

@@ -1,0 +1,126 @@
+// Property-style sweep: every combination of CrossEM+ optimization
+// toggles (and both structural backbones) must train without error and
+// produce a well-formed score matrix.
+#include "clip/pretrain.h"
+#include "core/crossem.h"
+#include "data/dataset.h"
+#include "gtest/gtest.h"
+
+namespace crossem {
+namespace core {
+namespace {
+
+struct SweepCase {
+  bool mbg;
+  bool ns;
+  bool opc;
+  SoftBackbone backbone;
+};
+
+std::string CaseName(const ::testing::TestParamInfo<SweepCase>& info) {
+  std::string s;
+  s += info.param.mbg ? "Mbg" : "NoMbg";
+  s += info.param.ns ? "Ns" : "NoNs";
+  s += info.param.opc ? "Opc" : "NoOpc";
+  s += info.param.backbone == SoftBackbone::kGnn ? "Gnn" : "Sage";
+  return s;
+}
+
+class OptionsSweepTest : public ::testing::TestWithParam<SweepCase> {
+ protected:
+  static void SetUpTestSuite() {
+    ds_ = new data::CrossModalDataset(
+        data::BuildDataset(data::SunLikeConfig(0.5)));
+    clip::ClipConfig cc;
+    cc.vocab_size = ds_->vocab.size();
+    cc.text_context = 48;
+    cc.model_dim = 16;
+    cc.text_layers = 1;
+    cc.text_heads = 2;
+    cc.image_layers = 1;
+    cc.image_heads = 2;
+    cc.patch_dim = ds_->world->config().patch_dim;
+    cc.max_patches = 16;
+    cc.embed_dim = 12;
+    Rng rng(41);
+    model_ = new clip::ClipModel(cc, &rng);
+    tokenizer_ = new text::Tokenizer(&ds_->vocab, cc.text_context);
+    for (int64_t c : ds_->test_classes) {
+      vertices_.push_back(ds_->entities[static_cast<size_t>(c)]);
+    }
+    images_ = new Tensor(ds_->StackImages(ds_->TestImageIndices()));
+    snapshot_ = new std::vector<Tensor>(model_->SnapshotParameters());
+  }
+
+  static void TearDownTestSuite() {
+    delete snapshot_;
+    delete images_;
+    delete tokenizer_;
+    delete model_;
+    delete ds_;
+    vertices_.clear();
+  }
+
+  static data::CrossModalDataset* ds_;
+  static clip::ClipModel* model_;
+  static text::Tokenizer* tokenizer_;
+  static Tensor* images_;
+  static std::vector<Tensor>* snapshot_;
+  static std::vector<graph::VertexId> vertices_;
+};
+
+data::CrossModalDataset* OptionsSweepTest::ds_ = nullptr;
+clip::ClipModel* OptionsSweepTest::model_ = nullptr;
+text::Tokenizer* OptionsSweepTest::tokenizer_ = nullptr;
+Tensor* OptionsSweepTest::images_ = nullptr;
+std::vector<Tensor>* OptionsSweepTest::snapshot_ = nullptr;
+std::vector<graph::VertexId> OptionsSweepTest::vertices_;
+
+TEST_P(OptionsSweepTest, FitsAndScores) {
+  const SweepCase& c = GetParam();
+  model_->RestoreParameters(*snapshot_);
+  CrossEmOptions opt;
+  opt.prompt_mode = PromptMode::kSoft;
+  opt.epochs = 1;
+  opt.use_mini_batch_generation = c.mbg;
+  opt.use_negative_sampling = c.ns;
+  opt.use_orthogonal_constraint = c.opc;
+  opt.soft.backbone = c.backbone;
+  CrossEm matcher(model_, &ds_->graph, tokenizer_, opt);
+  auto stats = matcher.Fit(vertices_, *images_);
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_EQ(stats.value().epochs.size(), 1u);
+  EXPECT_GT(stats.value().epochs[0].num_batches, 0);
+
+  Tensor scores = matcher.ScoreMatrix(vertices_, *images_);
+  EXPECT_EQ(scores.size(0), static_cast<int64_t>(vertices_.size()));
+  EXPECT_EQ(scores.size(1), images_->size(0));
+  for (int64_t i = 0; i < scores.numel(); ++i) {
+    EXPECT_TRUE(std::isfinite(scores.at(i)));
+    EXPECT_GE(scores.at(i), -1.001f);  // cosine range
+    EXPECT_LE(scores.at(i), 1.001f);
+  }
+}
+
+std::vector<SweepCase> AllCases() {
+  std::vector<SweepCase> cases;
+  for (bool mbg : {false, true}) {
+    for (bool ns : {false, true}) {
+      for (bool opc : {false, true}) {
+        // Exercise GraphSAGE on a representative subset to bound runtime.
+        cases.push_back({mbg, ns, opc, SoftBackbone::kGnn});
+        if (mbg && ns && opc) {
+          cases.push_back({mbg, ns, opc, SoftBackbone::kGraphSage});
+        }
+      }
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllToggleCombos, OptionsSweepTest,
+                         ::testing::ValuesIn(AllCases()), CaseName);
+
+}  // namespace
+}  // namespace core
+}  // namespace crossem

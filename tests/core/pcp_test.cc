@@ -1,0 +1,230 @@
+#include "core/pcp.h"
+
+#include <set>
+
+#include "core/negative_sampling.h"
+#include "data/dataset.h"
+#include "gtest/gtest.h"
+
+namespace crossem {
+namespace core {
+namespace {
+
+/// Shared fixture: a small dataset and an (untrained) model — partition
+/// invariants must hold regardless of embedding quality.
+class PcpFixture : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    data::DatasetConfig dc = data::CubLikeConfig(0.4);
+    ds_ = new data::CrossModalDataset(data::BuildDataset(dc));
+    clip::ClipConfig cc;
+    cc.vocab_size = ds_->vocab.size();
+    cc.text_context = 32;
+    cc.model_dim = 16;
+    cc.text_layers = 1;
+    cc.text_heads = 2;
+    cc.image_layers = 1;
+    cc.image_heads = 2;
+    cc.patch_dim = ds_->world->config().patch_dim;
+    cc.max_patches = 16;
+    cc.embed_dim = 12;
+    Rng rng(5);
+    model_ = new clip::ClipModel(cc, &rng);
+    tokenizer_ = new text::Tokenizer(&ds_->vocab, cc.text_context);
+    images_ = new Tensor(ds_->StackImages(ds_->TestImageIndices()));
+    for (int64_t c : ds_->test_classes) {
+      vertices_.push_back(ds_->entities[static_cast<size_t>(c)]);
+    }
+  }
+
+  static void TearDownTestSuite() {
+    delete images_;
+    delete tokenizer_;
+    delete model_;
+    delete ds_;
+    vertices_.clear();
+  }
+
+  static data::CrossModalDataset* ds_;
+  static clip::ClipModel* model_;
+  static text::Tokenizer* tokenizer_;
+  static Tensor* images_;
+  static std::vector<graph::VertexId> vertices_;
+};
+
+data::CrossModalDataset* PcpFixture::ds_ = nullptr;
+clip::ClipModel* PcpFixture::model_ = nullptr;
+text::Tokenizer* PcpFixture::tokenizer_ = nullptr;
+Tensor* PcpFixture::images_ = nullptr;
+std::vector<graph::VertexId> PcpFixture::vertices_;
+
+TEST_F(PcpFixture, ProximityShapeAndFiniteness) {
+  MiniBatchGenerator gen(model_, &ds_->graph, tokenizer_, PcpOptions{});
+  Tensor prox = gen.ComputeProximity(vertices_, *images_);
+  EXPECT_EQ(prox.size(0), static_cast<int64_t>(vertices_.size()));
+  EXPECT_EQ(prox.size(1), images_->size(0));
+  for (int64_t i = 0; i < prox.numel(); ++i) {
+    EXPECT_TRUE(std::isfinite(prox.at(i)));
+  }
+}
+
+TEST_F(PcpFixture, ProximityDoesNotTrackGradients) {
+  MiniBatchGenerator gen(model_, &ds_->graph, tokenizer_, PcpOptions{});
+  Tensor prox = gen.ComputeProximity(vertices_, *images_);
+  EXPECT_FALSE(prox.requires_grad());
+}
+
+TEST_F(PcpFixture, PartitionsCoverAllVertices) {
+  MiniBatchGenerator gen(model_, &ds_->graph, tokenizer_, PcpOptions{});
+  Rng rng(7);
+  auto out = gen.Generate(vertices_, *images_, &rng);
+  ASSERT_TRUE(out.ok());
+  std::set<graph::VertexId> seen;
+  for (const MiniBatch& mb : out.value().partitions) {
+    EXPECT_FALSE(mb.vertices.empty());
+    EXPECT_FALSE(mb.image_indices.empty());
+    for (graph::VertexId v : mb.vertices) seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), vertices_.size());
+}
+
+TEST_F(PcpFixture, PartitionImagesAreValidAndDeduplicated) {
+  MiniBatchGenerator gen(model_, &ds_->graph, tokenizer_, PcpOptions{});
+  Rng rng(8);
+  auto out = gen.Generate(vertices_, *images_, &rng);
+  ASSERT_TRUE(out.ok());
+  for (const MiniBatch& mb : out.value().partitions) {
+    std::set<int64_t> uniq(mb.image_indices.begin(), mb.image_indices.end());
+    EXPECT_EQ(uniq.size(), mb.image_indices.size());
+    for (int64_t img : mb.image_indices) {
+      EXPECT_GE(img, 0);
+      EXPECT_LT(img, images_->size(0));
+    }
+  }
+}
+
+TEST_F(PcpFixture, PruningReducesCandidatePairs) {
+  PcpOptions opt;
+  opt.prune_quantile = 0.5f;
+  MiniBatchGenerator gen(model_, &ds_->graph, tokenizer_, opt);
+  Rng rng(9);
+  auto out = gen.Generate(vertices_, *images_, &rng);
+  ASSERT_TRUE(out.ok());
+  int64_t pairs = 0;
+  for (const MiniBatch& mb : out.value().partitions) {
+    pairs += static_cast<int64_t>(mb.vertices.size() *
+                                  mb.image_indices.size());
+  }
+  const int64_t full = static_cast<int64_t>(vertices_.size()) *
+                       images_->size(0);
+  EXPECT_LT(pairs, full);
+}
+
+TEST_F(PcpFixture, RespectsSubsetAndClusterCounts) {
+  PcpOptions opt;
+  opt.num_vertex_subsets = 3;
+  opt.num_image_clusters = 2;
+  MiniBatchGenerator gen(model_, &ds_->graph, tokenizer_, opt);
+  Rng rng(10);
+  auto out = gen.Generate(vertices_, *images_, &rng);
+  ASSERT_TRUE(out.ok());
+  EXPECT_LE(out.value().partitions.size(), 3u * 2u);
+  EXPECT_GE(out.value().partitions.size(), 3u);  // >=1 cluster per subset
+}
+
+TEST_F(PcpFixture, PartitionFromProximityMatchesGenerate) {
+  MiniBatchGenerator gen(model_, &ds_->graph, tokenizer_, PcpOptions{});
+  Tensor prox = gen.ComputeProximity(vertices_, *images_);
+  Rng rng1(11), rng2(11);
+  auto direct = gen.PartitionFromProximity(vertices_, prox, &rng1);
+  auto full = gen.Generate(vertices_, *images_, &rng2);
+  ASSERT_TRUE(direct.ok());
+  ASSERT_TRUE(full.ok());
+  ASSERT_EQ(direct.value().size(), full.value().partitions.size());
+  for (size_t i = 0; i < direct.value().size(); ++i) {
+    EXPECT_EQ(direct.value()[i].vertices,
+              full.value().partitions[i].vertices);
+    EXPECT_EQ(direct.value()[i].image_indices,
+              full.value().partitions[i].image_indices);
+  }
+}
+
+TEST_F(PcpFixture, RejectsEmptyInputs) {
+  MiniBatchGenerator gen(model_, &ds_->graph, tokenizer_, PcpOptions{});
+  Rng rng(12);
+  EXPECT_FALSE(gen.Generate({}, *images_, &rng).ok());
+  auto bad = gen.PartitionFromProximity(vertices_, Tensor(), &rng);
+  EXPECT_FALSE(bad.ok());
+}
+
+// ---- Negative sampling on top of PCP partitions --------------------------
+
+TEST_F(PcpFixture, NegativeSamplingPadsToBatchMultiple) {
+  MiniBatchGenerator gen(model_, &ds_->graph, tokenizer_, PcpOptions{});
+  Rng rng(13);
+  auto out = gen.Generate(vertices_, *images_, &rng);
+  ASSERT_TRUE(out.ok());
+
+  NegativeSamplingOptions ns;
+  ns.batch_size = 4;
+  NegativeSampler sampler(ns);
+  auto padded = sampler.Apply(out.value().partitions, out.value().proximity,
+                              vertices_, &rng);
+  for (const MiniBatch& mb : padded) {
+    // Padded to a multiple of 4 unless the image pool ran out of
+    // candidates (tiny datasets); never shrunk.
+    EXPECT_GE(mb.image_indices.size(), 1u);
+    std::set<int64_t> uniq(mb.image_indices.begin(), mb.image_indices.end());
+    EXPECT_EQ(uniq.size(), mb.image_indices.size());
+  }
+}
+
+TEST_F(PcpFixture, NegativeSamplingAddsHighProximityImages) {
+  // Construct one partition missing the globally closest image of its
+  // vertex; the sampler must add high-proximity images first.
+  MiniBatchGenerator gen(model_, &ds_->graph, tokenizer_, PcpOptions{});
+  Tensor prox = gen.ComputeProximity(vertices_, *images_);
+  const float* s = prox.data();
+  const int64_t ni = prox.size(1);
+  // Top image of vertex row 0.
+  int64_t top = 0;
+  for (int64_t c = 1; c < ni; ++c) {
+    if (s[c] > s[top]) top = c;
+  }
+  MiniBatch mb;
+  mb.vertices = {vertices_[0]};
+  for (int64_t c = 0; c < ni; ++c) {
+    if (c != top && static_cast<int64_t>(mb.image_indices.size()) < 3) {
+      mb.image_indices.push_back(c);
+    }
+  }
+  NegativeSamplingOptions ns;
+  ns.batch_size = 4;
+  ns.max_top_k = 1;  // forces exactly the top-1 proximity image
+  NegativeSampler sampler(ns);
+  Rng rng(14);
+  auto padded = sampler.Apply({mb}, prox, vertices_, &rng);
+  ASSERT_EQ(padded.size(), 1u);
+  EXPECT_EQ(padded[0].image_indices.size(), 4u);
+  EXPECT_NE(std::find(padded[0].image_indices.begin(),
+                      padded[0].image_indices.end(), top),
+            padded[0].image_indices.end());
+}
+
+TEST_F(PcpFixture, NegativeSamplingNoopWhenAlreadyMultiple) {
+  MiniBatch mb;
+  mb.vertices = {vertices_[0]};
+  mb.image_indices = {0, 1, 2, 3};
+  MiniBatchGenerator gen(model_, &ds_->graph, tokenizer_, PcpOptions{});
+  Tensor prox = gen.ComputeProximity(vertices_, *images_);
+  NegativeSamplingOptions ns;
+  ns.batch_size = 4;
+  NegativeSampler sampler(ns);
+  Rng rng(15);
+  auto padded = sampler.Apply({mb}, prox, vertices_, &rng);
+  EXPECT_EQ(padded[0].image_indices.size(), 4u);
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace crossem

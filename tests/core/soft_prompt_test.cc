@@ -1,0 +1,150 @@
+#include "core/soft_prompt.h"
+
+#include "gtest/gtest.h"
+#include "tensor/ops.h"
+
+namespace crossem {
+namespace core {
+namespace {
+
+class SoftPromptFixture : public ::testing::Test {
+ protected:
+  SoftPromptFixture() {
+    g_.AddVertex("laysan albatross");
+    g_.AddVertex("white crown");
+    g_.AddVertex("long wing");
+    g_.AddVertex("woodpecker");
+    EXPECT_TRUE(g_.AddEdge(0, 1, "has crown trait").ok());
+    EXPECT_TRUE(g_.AddEdge(0, 2, "has wing trait").ok());
+    EXPECT_TRUE(g_.AddEdge(3, 1, "has crown trait").ok());
+
+    for (const char* w : {"laysan", "albatross", "white", "crown", "long",
+                          "wing", "woodpecker", "a", "photo", "of"}) {
+      vocab_.AddWord(w);
+    }
+    clip::ClipConfig cc;
+    cc.vocab_size = vocab_.size();
+    cc.text_context = 16;
+    cc.model_dim = 16;
+    cc.text_layers = 1;
+    cc.text_heads = 2;
+    cc.image_layers = 1;
+    cc.image_heads = 2;
+    cc.patch_dim = 8;
+    cc.max_patches = 4;
+    cc.embed_dim = 8;
+    rng_ = std::make_unique<Rng>(3);
+    model_ = std::make_unique<clip::ClipModel>(cc, rng_.get());
+    tokenizer_ = std::make_unique<text::Tokenizer>(&vocab_, cc.text_context);
+  }
+
+  SoftPromptGenerator MakeGenerator(SoftPromptOptions opt = {}) {
+    return SoftPromptGenerator(&g_, &model_->text(), tokenizer_.get(), opt,
+                               rng_.get());
+  }
+
+  graph::Graph g_;
+  text::Vocabulary vocab_;
+  std::unique_ptr<Rng> rng_;
+  std::unique_ptr<clip::ClipModel> model_;
+  std::unique_ptr<text::Tokenizer> tokenizer_;
+};
+
+TEST_F(SoftPromptFixture, VertexFeaturesInitializedFromLabels) {
+  SoftPromptGenerator gen = MakeGenerator();
+  const Tensor& feats = gen.vertex_features();
+  EXPECT_EQ(feats.shape(), (Shape{4, 16}));
+  // The feature of "laysan albatross" equals the mean of its two token
+  // embeddings.
+  const Tensor& table = model_->text().token_embedding().table();
+  int64_t laysan = vocab_.Id("laysan");
+  int64_t albatross = vocab_.Id("albatross");
+  for (int64_t c = 0; c < 16; ++c) {
+    float expected =
+        0.5f * (table.at(laysan * 16 + c) + table.at(albatross * 16 + c));
+    EXPECT_NEAR(feats.at(c), expected, 1e-5f);
+  }
+}
+
+TEST_F(SoftPromptFixture, PromptFeaturesShapeAndAggregation) {
+  SoftPromptOptions opt;
+  opt.alpha = 1.0f;  // pure self: features unchanged by neighbors
+  SoftPromptGenerator gen = MakeGenerator(opt);
+  Tensor f = gen.PromptFeatures({0, 3});
+  EXPECT_EQ(f.shape(), (Shape{2, 16}));
+  for (int64_t c = 0; c < 16; ++c) {
+    EXPECT_NEAR(f.at(c), gen.vertex_features().at(c), 1e-5f);
+  }
+}
+
+TEST_F(SoftPromptFixture, AlphaZeroUsesNeighborMean) {
+  SoftPromptOptions opt;
+  opt.alpha = 0.0f;
+  SoftPromptGenerator gen = MakeGenerator(opt);
+  Tensor f = gen.PromptFeatures({0});
+  const Tensor& feats = gen.vertex_features();
+  for (int64_t c = 0; c < 16; ++c) {
+    float expected = 0.5f * (feats.at(1 * 16 + c) + feats.at(2 * 16 + c));
+    EXPECT_NEAR(f.at(c), expected, 1e-5f);
+  }
+}
+
+TEST_F(SoftPromptFixture, GraphSageBackboneWorks) {
+  SoftPromptOptions opt;
+  opt.backbone = SoftBackbone::kGraphSage;
+  SoftPromptGenerator gen = MakeGenerator(opt);
+  Tensor f = gen.PromptFeatures({0, 1, 3});
+  EXPECT_EQ(f.shape(), (Shape{3, 16}));
+  // GraphSAGE adds its projection parameters.
+  EXPECT_GT(gen.Parameters().size(), 2u);
+}
+
+TEST_F(SoftPromptFixture, GenerateShapesAndMask) {
+  SoftPromptGenerator gen = MakeGenerator();
+  auto batch = gen.Generate({0, 3});
+  // Row 0: "a photo of laysan albatross with white crown and long wing"
+  // -> [CLS] + 11 + [SEP] = 13 tokens; row 1 ("a photo of woodpecker
+  // with white crown" -> 9) is padded to it; plus the injected prompt.
+  EXPECT_EQ(batch.embeddings.size(0), 2);
+  EXPECT_EQ(batch.embeddings.size(1), 14);
+  EXPECT_EQ(batch.embeddings.size(2), 16);
+  EXPECT_EQ(batch.mask.shape(), (Shape{2, 14}));
+  // Prompt slot (last position) is attended for every row.
+  EXPECT_FLOAT_EQ(batch.mask.at(0 * 14 + 13), 1.0f);
+  EXPECT_FLOAT_EQ(batch.mask.at(1 * 14 + 13), 1.0f);
+  // All of row 0's real positions attended; row 1's pad tail masked out.
+  EXPECT_FLOAT_EQ(batch.mask.at(0 * 14 + 12), 1.0f);
+  EXPECT_FLOAT_EQ(batch.mask.at(1 * 14 + 12), 0.0f);
+  EXPECT_FLOAT_EQ(batch.mask.at(1 * 14 + 8), 1.0f);  // row 1 [SEP]
+}
+
+TEST_F(SoftPromptFixture, EncodableByTextEncoder) {
+  SoftPromptGenerator gen = MakeGenerator();
+  auto batch = gen.Generate({0, 1, 2, 3});
+  Tensor emb = model_->text().ForwardFromEmbeddings(batch.embeddings,
+                                                    batch.mask);
+  EXPECT_EQ(emb.shape(), (Shape{4, 8}));
+}
+
+TEST_F(SoftPromptFixture, GradientsReachVertexFeatures) {
+  SoftPromptGenerator gen = MakeGenerator();
+  auto batch = gen.Generate({0});
+  Tensor emb = model_->text().ForwardFromEmbeddings(batch.embeddings,
+                                                    batch.mask);
+  ops::Sum(emb).Backward();
+  Tensor grad = gen.vertex_features().grad();
+  ASSERT_TRUE(grad.defined());
+  // Vertex 0 and its neighbors (1, 2) receive gradient; vertex 3 none.
+  auto row_norm = [&](int64_t v) {
+    float n = 0;
+    for (int64_t c = 0; c < 16; ++c) n += std::fabs(grad.at(v * 16 + c));
+    return n;
+  };
+  EXPECT_GT(row_norm(0), 0.0f);
+  EXPECT_GT(row_norm(1), 0.0f);
+  EXPECT_EQ(row_norm(3), 0.0f);
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace crossem

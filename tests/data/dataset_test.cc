@@ -1,0 +1,128 @@
+#include "data/dataset.h"
+
+#include <algorithm>
+#include <set>
+
+#include "gtest/gtest.h"
+
+namespace crossem {
+namespace data {
+namespace {
+
+TEST(DatasetTest, BuildCubLikeShape) {
+  CrossModalDataset ds = BuildDataset(CubLikeConfig(0.5));
+  EXPECT_EQ(ds.name, "CUB-like");
+  EXPECT_EQ(static_cast<int64_t>(ds.entities.size()),
+            ds.world->num_classes());
+  EXPECT_GT(ds.graph.NumEdges(), 0);
+  EXPECT_EQ(static_cast<int64_t>(ds.images.size()),
+            ds.world->num_classes() * 6);  // 12 * 0.5 images per class
+}
+
+TEST(DatasetTest, EntityVertexLabelsMatchClassNames) {
+  CrossModalDataset ds = BuildDataset(CubLikeConfig(0.4));
+  for (size_t c = 0; c < ds.entities.size(); ++c) {
+    EXPECT_EQ(ds.graph.VertexLabel(ds.entities[c]),
+              ds.world->ClassName(static_cast<int64_t>(c)));
+  }
+}
+
+TEST(DatasetTest, AttributeStyleLinksEntitiesToSharedAttributeVertices) {
+  CrossModalDataset ds = BuildDataset(CubLikeConfig(0.4));
+  // Each entity has exactly attrs_per_class outgoing edges.
+  for (graph::VertexId v : ds.entities) {
+    EXPECT_EQ(static_cast<int64_t>(ds.graph.OutEdges(v).size()),
+              ds.world->config().attrs_per_class);
+  }
+  // Attribute vertices are interned (fewer vertices than edges).
+  EXPECT_LT(ds.graph.NumVertices(),
+            static_cast<int64_t>(ds.entities.size()) +
+                ds.graph.NumEdges());
+}
+
+TEST(DatasetTest, RelationalStyleAddsEntityEntityEdges) {
+  CrossModalDataset ds = BuildDataset(Fb2kLikeConfig(0.5));
+  int64_t entity_to_entity = 0;
+  std::set<graph::VertexId> entity_set(ds.entities.begin(),
+                                       ds.entities.end());
+  for (graph::EdgeId e = 0; e < ds.graph.NumEdges(); ++e) {
+    const auto& edge = ds.graph.GetEdge(e);
+    if (entity_set.count(edge.src) && entity_set.count(edge.dst)) {
+      ++entity_to_entity;
+    }
+  }
+  EXPECT_GT(entity_to_entity, 0);
+  // Attribute edges capped at attribute_edges_per_entity = 2.
+  for (graph::VertexId v : ds.entities) {
+    int64_t attr_edges = 0;
+    for (graph::EdgeId e : ds.graph.OutEdges(v)) {
+      if (!entity_set.count(ds.graph.GetEdge(e).dst)) ++attr_edges;
+    }
+    EXPECT_LE(attr_edges, 2);
+  }
+}
+
+TEST(DatasetTest, SplitPartitionsClasses) {
+  CrossModalDataset ds = BuildDataset(SunLikeConfig(0.5));
+  std::set<int64_t> all;
+  for (int64_t c : ds.train_classes) all.insert(c);
+  for (int64_t c : ds.test_classes) all.insert(c);
+  EXPECT_EQ(static_cast<int64_t>(all.size()), ds.world->num_classes());
+  EXPECT_EQ(static_cast<int64_t>(ds.train_classes.size() +
+                                 ds.test_classes.size()),
+            ds.world->num_classes());
+  EXPECT_FALSE(ds.test_classes.empty());
+  EXPECT_FALSE(ds.train_classes.empty());
+}
+
+TEST(DatasetTest, TestImageIndicesOnlyTestClasses) {
+  CrossModalDataset ds = BuildDataset(CubLikeConfig(0.4));
+  std::set<int64_t> test(ds.test_classes.begin(), ds.test_classes.end());
+  auto idx = ds.TestImageIndices();
+  EXPECT_FALSE(idx.empty());
+  for (int64_t i : idx) {
+    EXPECT_TRUE(test.count(ds.images[static_cast<size_t>(i)].true_class));
+  }
+  // Complement check: count matches test classes * images per class
+  // (scale 0.4 gives floor(12 * 0.4) = 4 images per class).
+  EXPECT_EQ(idx.size(), test.size() * 4u);
+}
+
+TEST(DatasetTest, StackImagesShape) {
+  CrossModalDataset ds = BuildDataset(CubLikeConfig(0.4));
+  Tensor t = ds.StackImages({0, 1, 2});
+  EXPECT_EQ(t.shape(),
+            (Shape{3, 8, ds.world->config().patch_dim}));
+}
+
+TEST(DatasetTest, DeterministicAcrossBuilds) {
+  CrossModalDataset a = BuildDataset(CubLikeConfig(0.4));
+  CrossModalDataset b = BuildDataset(CubLikeConfig(0.4));
+  EXPECT_EQ(a.test_classes, b.test_classes);
+  EXPECT_EQ(a.graph.NumEdges(), b.graph.NumEdges());
+  EXPECT_EQ(a.images[0].patches.ToVector(), b.images[0].patches.ToVector());
+}
+
+TEST(DatasetTest, VocabularyCoversGraphLabels) {
+  CrossModalDataset ds = BuildDataset(Fb2kLikeConfig(0.5));
+  for (const std::string& w : ds.graph.UniqueWords()) {
+    EXPECT_TRUE(ds.vocab.Contains(w)) << w;
+  }
+}
+
+TEST(DatasetTest, PresetScalesRelativeSizes) {
+  // FB10K > FB6K > FB2K in vertices, edges and images (Table I ordering).
+  CrossModalDataset f2 = BuildDataset(Fb2kLikeConfig(0.3));
+  CrossModalDataset f6 = BuildDataset(Fb6kLikeConfig(0.3));
+  CrossModalDataset f10 = BuildDataset(Fb10kLikeConfig(0.3));
+  EXPECT_LT(f2.graph.NumVertices(), f6.graph.NumVertices());
+  EXPECT_LT(f6.graph.NumVertices(), f10.graph.NumVertices());
+  EXPECT_LT(f2.graph.NumEdges(), f6.graph.NumEdges());
+  EXPECT_LT(f6.graph.NumEdges(), f10.graph.NumEdges());
+  EXPECT_LT(f2.images.size(), f6.images.size());
+  EXPECT_LT(f6.images.size(), f10.images.size());
+}
+
+}  // namespace
+}  // namespace data
+}  // namespace crossem

@@ -1,0 +1,155 @@
+#include "data/world.h"
+
+#include <cmath>
+#include <set>
+
+#include "gtest/gtest.h"
+
+namespace crossem {
+namespace data {
+namespace {
+
+WorldConfig SmallConfig() {
+  WorldConfig c;
+  c.num_attributes = 20;
+  c.num_classes = 8;
+  c.attrs_per_class = 4;
+  c.patch_dim = 12;
+  c.seed = 5;
+  return c;
+}
+
+TEST(WorldTest, DeterministicGivenSeed) {
+  World a(SmallConfig());
+  World b(SmallConfig());
+  for (int64_t i = 0; i < 8; ++i) {
+    EXPECT_EQ(a.ClassName(i), b.ClassName(i));
+    EXPECT_EQ(a.ClassAttributes(i), b.ClassAttributes(i));
+  }
+  EXPECT_EQ(a.AttributeVisual(3), b.AttributeVisual(3));
+}
+
+TEST(WorldTest, ClassNamesAreUnique) {
+  WorldConfig c = SmallConfig();
+  c.num_classes = 50;
+  World w(c);
+  std::set<std::string> names;
+  for (int64_t i = 0; i < 50; ++i) names.insert(w.ClassName(i));
+  EXPECT_EQ(names.size(), 50u);
+}
+
+TEST(WorldTest, AttributeNamesAreUnique) {
+  WorldConfig c = SmallConfig();
+  c.num_attributes = 300;  // beyond adjective x part combinations
+  World w(c);
+  std::set<std::string> names;
+  for (int64_t i = 0; i < 300; ++i) names.insert(w.AttributeName(i));
+  EXPECT_EQ(names.size(), 300u);
+}
+
+TEST(WorldTest, ClassAttributesAreValidAndDistinct) {
+  World w(SmallConfig());
+  for (int64_t c = 0; c < w.num_classes(); ++c) {
+    const auto& attrs = w.ClassAttributes(c);
+    EXPECT_EQ(static_cast<int64_t>(attrs.size()), 4);
+    std::set<int64_t> uniq(attrs.begin(), attrs.end());
+    EXPECT_EQ(uniq.size(), attrs.size());
+    for (int64_t a : attrs) {
+      EXPECT_GE(a, 0);
+      EXPECT_LT(a, w.num_attributes());
+    }
+  }
+}
+
+TEST(WorldTest, VisualCodesAreUnitLength) {
+  World w(SmallConfig());
+  for (int64_t a = 0; a < w.num_attributes(); ++a) {
+    double norm2 = 0;
+    for (float x : w.AttributeVisual(a)) norm2 += static_cast<double>(x) * x;
+    EXPECT_NEAR(norm2, 1.0, 1e-5);
+  }
+}
+
+TEST(WorldTest, SampleImageShapeAndClass) {
+  World w(SmallConfig());
+  Rng rng(1);
+  SyntheticImage img = w.SampleImage(2, 6, 3, &rng);
+  EXPECT_EQ(img.true_class, 2);
+  EXPECT_EQ(img.patches.shape(), (Shape{6, 12}));
+}
+
+TEST(WorldTest, AttributePatchesCorrelateWithCodebook) {
+  WorldConfig c = SmallConfig();
+  c.patch_noise = 0.05f;  // low noise for a crisp check
+  World w(c);
+  Rng rng(2);
+  SyntheticImage img = w.SampleImage(0, 4, 4, &rng);
+  // Every attribute patch (all 4 here) should be near some class attribute.
+  const auto& attrs = w.ClassAttributes(0);
+  for (int64_t p = 0; p < 4; ++p) {
+    double best = -2;
+    for (int64_t a : attrs) {
+      const auto& code = w.AttributeVisual(a);
+      double dot = 0;
+      for (int64_t d = 0; d < 12; ++d) {
+        dot += static_cast<double>(img.patches.at(p * 12 + d)) *
+               code[static_cast<size_t>(d)];
+      }
+      best = std::max(best, dot);
+    }
+    EXPECT_GT(best, 0.5);
+  }
+}
+
+TEST(WorldTest, BackgroundPatchesWhenFewerAttrsShown) {
+  WorldConfig c = SmallConfig();
+  c.patch_noise = 0.01f;
+  World w(c);
+  Rng rng(3);
+  SyntheticImage img = w.SampleImage(0, 6, 2, &rng);
+  // Rows 2..5 are background noise: tiny norm at this noise level.
+  for (int64_t p = 2; p < 6; ++p) {
+    double norm2 = 0;
+    for (int64_t d = 0; d < 12; ++d) {
+      double x = img.patches.at(p * 12 + d);
+      norm2 += x * x;
+    }
+    EXPECT_LT(norm2, 0.1);
+  }
+}
+
+TEST(WorldTest, CaptionMentionsClassAndAttributes) {
+  World w(SmallConfig());
+  Rng rng(4);
+  std::string cap = w.SampleCaption(1, 2, &rng);
+  EXPECT_NE(cap.find(w.ClassName(1)), std::string::npos);
+  EXPECT_NE(cap.find(" with "), std::string::npos);
+  EXPECT_NE(cap.find(" and "), std::string::npos);
+}
+
+TEST(WorldTest, CaptionWithZeroAttrsIsJustThePhoto) {
+  World w(SmallConfig());
+  Rng rng(5);
+  std::string cap = w.SampleCaption(1, 0, &rng);
+  EXPECT_EQ(cap, "a photo of " + w.ClassName(1));
+}
+
+TEST(WorldTest, VocabularyCoversNames) {
+  World w(SmallConfig());
+  auto words = w.VocabularyWords();
+  std::set<std::string> vocab(words.begin(), words.end());
+  // Every word of every class/attribute name must be in the vocabulary.
+  auto check_words = [&](const std::string& name) {
+    std::istringstream in(name);
+    std::string tok;
+    while (in >> tok) EXPECT_TRUE(vocab.count(tok)) << tok;
+  };
+  for (int64_t c = 0; c < w.num_classes(); ++c) check_words(w.ClassName(c));
+  for (int64_t a = 0; a < w.num_attributes(); ++a) {
+    check_words(w.AttributeName(a));
+  }
+}
+
+}  // namespace
+}  // namespace data
+}  // namespace crossem

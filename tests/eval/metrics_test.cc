@@ -1,0 +1,76 @@
+#include "eval/metrics.h"
+
+#include "gtest/gtest.h"
+
+namespace crossem {
+namespace eval {
+namespace {
+
+TEST(MetricsTest, PerfectRanking) {
+  // Query 0's relevant candidate has the top score; same for query 1.
+  Tensor scores = Tensor::FromVector({2, 3}, {0.9f, 0.1f, 0.2f,  //
+                                              0.1f, 0.8f, 0.3f});
+  auto m = ComputeRankingMetricsByClass(scores, {0, 1}, {0, 1, 2});
+  EXPECT_DOUBLE_EQ(m.hits_at_1, 100.0);
+  EXPECT_DOUBLE_EQ(m.hits_at_3, 100.0);
+  EXPECT_DOUBLE_EQ(m.mrr, 1.0);
+}
+
+TEST(MetricsTest, SecondPlaceRanking) {
+  Tensor scores = Tensor::FromVector({1, 3}, {0.5f, 0.9f, 0.1f});
+  auto m = ComputeRankingMetricsByClass(scores, {0}, {0, 1, 2});
+  EXPECT_DOUBLE_EQ(m.hits_at_1, 0.0);
+  EXPECT_DOUBLE_EQ(m.hits_at_3, 100.0);
+  EXPECT_DOUBLE_EQ(m.hits_at_5, 100.0);
+  EXPECT_DOUBLE_EQ(m.mrr, 0.5);
+}
+
+TEST(MetricsTest, RankBeyondFive) {
+  Tensor scores = Tensor::FromVector(
+      {1, 6}, {0.1f, 0.9f, 0.8f, 0.7f, 0.6f, 0.5f});
+  auto m = ComputeRankingMetricsByClass(scores, {0}, {0, 1, 2, 3, 4, 5});
+  EXPECT_DOUBLE_EQ(m.hits_at_5, 0.0);
+  EXPECT_NEAR(m.mrr, 1.0 / 6.0, 1e-9);
+}
+
+TEST(MetricsTest, MultipleRelevantUsesBest) {
+  // Two images of the query class; the better-ranked one counts.
+  Tensor scores = Tensor::FromVector({1, 3}, {0.9f, 0.2f, 0.8f});
+  auto m = ComputeRankingMetricsByClass(scores, {7}, {7, 1, 7});
+  EXPECT_DOUBLE_EQ(m.hits_at_1, 100.0);
+  EXPECT_DOUBLE_EQ(m.mrr, 1.0);
+}
+
+TEST(MetricsTest, QueriesWithoutRelevantAreSkipped) {
+  Tensor scores = Tensor::FromVector({2, 2}, {0.9f, 0.1f,  //
+                                              0.9f, 0.1f});
+  // Query 1's class never appears among candidates.
+  auto m = ComputeRankingMetricsByClass(scores, {0, 5}, {0, 1});
+  EXPECT_DOUBLE_EQ(m.hits_at_1, 100.0);  // only query 0 counted
+}
+
+TEST(MetricsTest, AllQueriesSkippedGivesZeros) {
+  Tensor scores = Tensor::FromVector({1, 2}, {0.5f, 0.5f});
+  auto m = ComputeRankingMetricsByClass(scores, {9}, {0, 1});
+  EXPECT_DOUBLE_EQ(m.hits_at_1, 0.0);
+  EXPECT_DOUBLE_EQ(m.mrr, 0.0);
+}
+
+TEST(MetricsTest, TiesDoNotPushRelevantDown) {
+  Tensor scores = Tensor::FromVector({1, 3}, {0.5f, 0.5f, 0.5f});
+  auto m = ComputeRankingMetricsByClass(scores, {2}, {0, 1, 2});
+  EXPECT_DOUBLE_EQ(m.hits_at_1, 100.0);
+}
+
+TEST(MetricsTest, ExplicitRelevanceMatrix) {
+  Tensor scores = Tensor::FromVector({2, 2}, {0.1f, 0.9f,  //
+                                              0.9f, 0.1f});
+  std::vector<std::vector<bool>> rel = {{true, false}, {true, false}};
+  auto m = ComputeRankingMetrics(scores, rel);
+  EXPECT_DOUBLE_EQ(m.hits_at_1, 50.0);
+  EXPECT_DOUBLE_EQ(m.mrr, 0.75);
+}
+
+}  // namespace
+}  // namespace eval
+}  // namespace crossem

@@ -1,0 +1,69 @@
+#include "eval/per_class.h"
+
+#include "gtest/gtest.h"
+
+namespace crossem {
+namespace eval {
+namespace {
+
+TEST(QueryDiagnosticsTest, RanksAndConfusions) {
+  // Query 0 (class 0): correct at 1. Query 1 (class 1): its relevant
+  // candidate (0.2) is beaten by 0.3 and 0.8 -> rank 3, confused with
+  // class 2 at the top.
+  Tensor scores = Tensor::FromVector({2, 3}, {0.9f, 0.2f, 0.1f,  //
+                                              0.3f, 0.2f, 0.8f});
+  auto diags = ComputeQueryDiagnostics(scores, {0, 1}, {0, 1, 2});
+  ASSERT_EQ(diags.size(), 2u);
+  EXPECT_TRUE(diags[0].correct_at_1);
+  EXPECT_EQ(diags[0].rank, 1);
+  EXPECT_FALSE(diags[1].correct_at_1);
+  EXPECT_EQ(diags[1].rank, 3);
+  EXPECT_EQ(diags[1].top_candidate_class, 2);
+}
+
+TEST(QueryDiagnosticsTest, SkipsQueriesWithoutRelevant) {
+  Tensor scores = Tensor::FromVector({2, 2}, {1, 0, 0, 1});
+  auto diags = ComputeQueryDiagnostics(scores, {0, 9}, {0, 1});
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].query_index, 0);
+}
+
+TEST(TopConfusionsTest, CountsAndOrdersFailures) {
+  std::vector<QueryDiagnostic> diags;
+  auto fail = [](int64_t true_c, int64_t pred_c) {
+    QueryDiagnostic d;
+    d.query_class = true_c;
+    d.top_candidate_class = pred_c;
+    d.rank = 2;
+    d.correct_at_1 = false;
+    return d;
+  };
+  diags.push_back(fail(1, 2));
+  diags.push_back(fail(1, 2));
+  diags.push_back(fail(3, 4));
+  QueryDiagnostic ok;
+  ok.correct_at_1 = true;
+  diags.push_back(ok);
+  auto top = TopConfusions(diags);
+  ASSERT_EQ(top.size(), 2u);
+  EXPECT_EQ(top[0].true_class, 1);
+  EXPECT_EQ(top[0].predicted_class, 2);
+  EXPECT_EQ(top[0].count, 2);
+  EXPECT_EQ(top[1].count, 1);
+}
+
+TEST(TopConfusionsTest, MaxPairsTruncates) {
+  std::vector<QueryDiagnostic> diags;
+  for (int i = 0; i < 5; ++i) {
+    QueryDiagnostic d;
+    d.query_class = i;
+    d.top_candidate_class = i + 10;
+    d.correct_at_1 = false;
+    diags.push_back(d);
+  }
+  EXPECT_EQ(TopConfusions(diags, 3).size(), 3u);
+}
+
+}  // namespace
+}  // namespace eval
+}  // namespace crossem

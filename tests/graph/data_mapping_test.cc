@@ -1,0 +1,224 @@
+#include "graph/data_mapping.h"
+
+#include "gtest/gtest.h"
+
+namespace crossem {
+namespace graph {
+namespace {
+
+RelationalTable BirdTable() {
+  // Figure 1(a) of the paper.
+  RelationalTable t;
+  t.name = "birds";
+  t.columns = {"name", "color", "wings", "origin", "food"};
+  t.key_column = 0;
+  t.rows = {
+      {"laysan albatross", "white", "long-wings", "pacific", "fish"},
+      {"woodpecker", "spotted", "short-wings", "forest", "insects"},
+  };
+  return t;
+}
+
+TEST(TableMappingTest, TuplesBecomeEntities) {
+  GraphBuilder b;
+  ASSERT_TRUE(b.AddTable(BirdTable()).ok());
+  const Graph& g = b.graph();
+  EXPECT_EQ(b.entity_vertices().size(), 2u);
+  EXPECT_GE(g.FindVertex("laysan albatross"), 0);
+  EXPECT_GE(g.FindVertex("woodpecker"), 0);
+  // 2 rows x 4 attribute columns.
+  EXPECT_EQ(g.NumEdges(), 8);
+}
+
+TEST(TableMappingTest, AttributeEdgesAreLabeled) {
+  GraphBuilder b;
+  ASSERT_TRUE(b.AddTable(BirdTable()).ok());
+  const Graph& g = b.graph();
+  VertexId bird = g.FindVertex("laysan albatross");
+  bool found = false;
+  for (EdgeId e : g.OutEdges(bird)) {
+    if (g.GetEdge(e).label == "has color") {
+      EXPECT_EQ(g.VertexLabel(g.GetEdge(e).dst), "white");
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(TableMappingTest, SharedValuesAreInterned) {
+  RelationalTable t = BirdTable();
+  t.rows.push_back({"snow goose", "white", "mid-wings", "arctic", "grass"});
+  GraphBuilder b;
+  ASSERT_TRUE(b.AddTable(t).ok());
+  const Graph& g = b.graph();
+  VertexId white = g.FindVertex("white");
+  ASSERT_GE(white, 0);
+  EXPECT_EQ(g.InEdges(white).size(), 2u);  // albatross and goose share it
+}
+
+TEST(TableMappingTest, ForeignKeysLinkEntities) {
+  RelationalTable habitats;
+  habitats.name = "habitats";
+  habitats.columns = {"habitat", "climate"};
+  habitats.rows = {{"pacific", "mild"}};
+
+  RelationalTable birds;
+  birds.name = "birds";
+  birds.columns = {"name", "habitat"};
+  birds.foreign_keys[1] = "habitats";
+  birds.rows = {{"laysan albatross", "pacific"}};
+
+  GraphBuilder b;
+  ASSERT_TRUE(b.AddTable(habitats).ok());
+  ASSERT_TRUE(b.AddTable(birds).ok());
+  const Graph& g = b.graph();
+  VertexId bird = g.FindVertex("laysan albatross");
+  ASSERT_EQ(g.OutEdges(bird).size(), 1u);
+  const Edge& e = g.GetEdge(g.OutEdges(bird)[0]);
+  EXPECT_EQ(e.label, "ref habitat");
+  EXPECT_EQ(g.VertexLabel(e.dst), "pacific");
+  // "pacific" must be the same entity vertex the habitats table created.
+  EXPECT_EQ(g.NumVertices(), 3);  // pacific, mild, laysan albatross
+}
+
+TEST(TableMappingTest, EmptyCellsAreSkipped) {
+  RelationalTable t;
+  t.columns = {"name", "color"};
+  t.rows = {{"x", ""}};
+  GraphBuilder b;
+  ASSERT_TRUE(b.AddTable(t).ok());
+  EXPECT_EQ(b.graph().NumEdges(), 0);
+}
+
+TEST(TableMappingTest, RejectsBadKeyColumn) {
+  RelationalTable t = BirdTable();
+  t.key_column = 10;
+  GraphBuilder b;
+  EXPECT_FALSE(b.AddTable(t).ok());
+}
+
+TEST(TableMappingTest, RejectsRaggedRows) {
+  RelationalTable t = BirdTable();
+  t.rows.push_back({"short row"});
+  GraphBuilder b;
+  EXPECT_FALSE(b.AddTable(t).ok());
+}
+
+TEST(JsonMappingTest, ObjectBecomesEntityWithAttributes) {
+  auto doc = ParseJson(R"({
+    "name": "laysan albatross",
+    "crown_color": "white",
+    "wing_count": 2
+  })");
+  ASSERT_TRUE(doc.ok());
+  GraphBuilder b;
+  ASSERT_TRUE(b.AddJson(doc.value()).ok());
+  const Graph& g = b.graph();
+  VertexId bird = g.FindVertex("laysan albatross");
+  ASSERT_GE(bird, 0);
+  EXPECT_EQ(g.OutEdges(bird).size(), 2u);
+  EXPECT_GE(g.FindVertex("white"), 0);
+  EXPECT_GE(g.FindVertex("2"), 0);
+}
+
+TEST(JsonMappingTest, NestedObjectsBecomeLinkedEntities) {
+  auto doc = ParseJson(R"({
+    "name": "laysan albatross",
+    "habitat": {"name": "pacific", "climate": "mild"}
+  })");
+  ASSERT_TRUE(doc.ok());
+  GraphBuilder b;
+  ASSERT_TRUE(b.AddJson(doc.value()).ok());
+  const Graph& g = b.graph();
+  VertexId bird = g.FindVertex("laysan albatross");
+  VertexId habitat = g.FindVertex("pacific");
+  ASSERT_GE(habitat, 0);
+  ASSERT_EQ(g.OutEdges(bird).size(), 1u);
+  EXPECT_EQ(g.GetEdge(g.OutEdges(bird)[0]).dst, habitat);
+  // Nested object got its own attribute.
+  EXPECT_EQ(g.OutEdges(habitat).size(), 1u);
+}
+
+TEST(JsonMappingTest, TopLevelArrayOfObjects) {
+  auto doc = ParseJson(R"([
+    {"name": "a", "c": "1"},
+    {"name": "b", "c": "2"}
+  ])");
+  ASSERT_TRUE(doc.ok());
+  GraphBuilder b;
+  ASSERT_TRUE(b.AddJson(doc.value()).ok());
+  EXPECT_EQ(b.entity_vertices().size(), 2u);
+}
+
+TEST(JsonMappingTest, RefCreatesEntityEdge) {
+  auto doc = ParseJson(R"([
+    {"name": "a", "$ref": "b"},
+    {"name": "b"}
+  ])");
+  ASSERT_TRUE(doc.ok());
+  GraphBuilder b;
+  ASSERT_TRUE(b.AddJson(doc.value()).ok());
+  const Graph& g = b.graph();
+  VertexId a = g.FindVertex("a");
+  VertexId bb = g.FindVertex("b");
+  ASSERT_EQ(g.OutEdges(a).size(), 1u);
+  EXPECT_EQ(g.GetEdge(g.OutEdges(a)[0]).dst, bb);
+  EXPECT_EQ(b.entity_vertices().size(), 2u);  // "b" interned once
+}
+
+TEST(JsonMappingTest, RejectsAnonymousTopLevel) {
+  auto doc = ParseJson(R"({"color": "white"})");
+  ASSERT_TRUE(doc.ok());
+  GraphBuilder b;
+  EXPECT_FALSE(b.AddJson(doc.value()).ok());
+}
+
+TEST(JsonMappingTest, CrossSourceEntityResolution) {
+  // A table row and a JSON object with the same name must merge into one
+  // vertex — the data-lake unification property.
+  GraphBuilder b;
+  ASSERT_TRUE(b.AddTable(BirdTable()).ok());
+  auto doc = ParseJson(R"({"name": "laysan albatross", "call": "moaning"})");
+  ASSERT_TRUE(doc.ok());
+  ASSERT_TRUE(b.AddJson(doc.value()).ok());
+  const Graph& g = b.graph();
+  VertexId bird = g.FindVertex("laysan albatross");
+  EXPECT_EQ(g.OutEdges(bird).size(), 5u);  // 4 table attrs + 1 json attr
+  EXPECT_EQ(b.entity_vertices().size(), 2u);
+}
+
+TEST(CsvTest, ParsesHeaderAndRows) {
+  auto r = ParseCsv("birds", "name,color\nalbatross,white\ngoose,grey\n");
+  ASSERT_TRUE(r.ok());
+  const RelationalTable& t = r.value();
+  EXPECT_EQ(t.columns, (std::vector<std::string>{"name", "color"}));
+  ASSERT_EQ(t.rows.size(), 2u);
+  EXPECT_EQ(t.rows[1][1], "grey");
+}
+
+TEST(CsvTest, HandlesCrlfAndBlankLines) {
+  auto r = ParseCsv("t", "a,b\r\n\r\n1,2\r\n");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().rows.size(), 1u);
+}
+
+TEST(CsvTest, RejectsWidthMismatch) {
+  EXPECT_FALSE(ParseCsv("t", "a,b\n1\n").ok());
+}
+
+TEST(CsvTest, RejectsEmpty) {
+  EXPECT_FALSE(ParseCsv("t", "").ok());
+}
+
+TEST(GraphBuilderTest, AddRelationshipByLabel) {
+  GraphBuilder b;
+  b.AddEntity("a");
+  b.AddEntity("b");
+  EXPECT_TRUE(b.AddRelationship("a", "knows", "b").ok());
+  EXPECT_FALSE(b.AddRelationship("a", "knows", "zz").ok());
+  EXPECT_EQ(b.graph().NumEdges(), 1);
+}
+
+}  // namespace
+}  // namespace graph
+}  // namespace crossem

@@ -1,0 +1,163 @@
+#include "graph/graph.h"
+
+#include <algorithm>
+#include <set>
+
+#include "gtest/gtest.h"
+#include "util/random.h"
+
+namespace crossem {
+namespace graph {
+namespace {
+
+Graph MakeBirdGraph() {
+  // The paper's Figure 1(b) fragment: laysan albatross with attributes.
+  Graph g;
+  VertexId v1 = g.AddVertex("laysan albatross");
+  VertexId v2 = g.AddVertex("white");
+  VertexId v3 = g.AddVertex("black");
+  VertexId v4 = g.AddVertex("long-wings");
+  VertexId v5 = g.AddVertex("grey");
+  EXPECT_TRUE(g.AddEdge(v1, v2, "has crown color").ok());
+  EXPECT_TRUE(g.AddEdge(v1, v3, "has under tail color").ok());
+  EXPECT_TRUE(g.AddEdge(v1, v4, "has wing shape").ok());
+  EXPECT_TRUE(g.AddEdge(v4, v5, "has wing color").ok());
+  return g;
+}
+
+TEST(GraphTest, AddVertexAssignsDenseIds) {
+  Graph g;
+  EXPECT_EQ(g.AddVertex("a"), 0);
+  EXPECT_EQ(g.AddVertex("b"), 1);
+  EXPECT_EQ(g.NumVertices(), 2);
+  EXPECT_EQ(g.VertexLabel(0), "a");
+  EXPECT_EQ(g.VertexLabel(1), "b");
+}
+
+TEST(GraphTest, AddEdgeValidatesEndpoints) {
+  Graph g;
+  g.AddVertex("a");
+  EXPECT_FALSE(g.AddEdge(0, 5, "x").ok());
+  EXPECT_FALSE(g.AddEdge(-1, 0, "x").ok());
+  EXPECT_TRUE(g.AddEdge(0, 0, "self").ok());
+  EXPECT_EQ(g.NumEdges(), 1);
+}
+
+TEST(GraphTest, OutAndInEdges) {
+  Graph g = MakeBirdGraph();
+  EXPECT_EQ(g.OutEdges(0).size(), 3u);
+  EXPECT_EQ(g.InEdges(0).size(), 0u);
+  EXPECT_EQ(g.InEdges(1).size(), 1u);
+  EXPECT_EQ(g.GetEdge(g.OutEdges(3)[0]).label, "has wing color");
+}
+
+TEST(GraphTest, NeighborsAreUndirectedAndDeduplicated) {
+  Graph g = MakeBirdGraph();
+  auto n1 = g.Neighbors(0);
+  EXPECT_EQ(n1.size(), 3u);  // v2, v3, v4
+  auto n4 = g.Neighbors(3);
+  // v4 neighbors: v1 (incoming) and v5 (outgoing).
+  std::sort(n4.begin(), n4.end());
+  EXPECT_EQ(n4, (std::vector<VertexId>{0, 4}));
+}
+
+TEST(GraphTest, NeighborsDedupesParallelEdges) {
+  Graph g;
+  g.AddVertex("a");
+  g.AddVertex("b");
+  ASSERT_TRUE(g.AddEdge(0, 1, "x").ok());
+  ASSERT_TRUE(g.AddEdge(0, 1, "y").ok());
+  ASSERT_TRUE(g.AddEdge(1, 0, "z").ok());
+  EXPECT_EQ(g.Neighbors(0).size(), 1u);
+}
+
+TEST(DHopSubgraphTest, ZeroHopsIsJustCenter) {
+  Graph g = MakeBirdGraph();
+  Subgraph s = g.DHopSubgraph(0, 0);
+  EXPECT_EQ(s.center, 0);
+  EXPECT_EQ(s.vertices, (std::vector<VertexId>{0}));
+  EXPECT_TRUE(s.edges.empty());
+}
+
+TEST(DHopSubgraphTest, OneHopCoversDirectNeighbors) {
+  Graph g = MakeBirdGraph();
+  Subgraph s = g.DHopSubgraph(0, 1);
+  EXPECT_EQ(s.vertices.size(), 4u);  // v1 + {v2,v3,v4}
+  EXPECT_EQ(s.edges.size(), 3u);     // edge v4->v5 excluded (v5 outside)
+}
+
+TEST(DHopSubgraphTest, TwoHopsReachesGrey) {
+  Graph g = MakeBirdGraph();
+  Subgraph s = g.DHopSubgraph(0, 2);
+  EXPECT_EQ(s.vertices.size(), 5u);
+  EXPECT_EQ(s.edges.size(), 4u);
+}
+
+TEST(DHopSubgraphTest, BfsOrderStartsAtCenter) {
+  Graph g = MakeBirdGraph();
+  Subgraph s = g.DHopSubgraph(3, 1);
+  EXPECT_EQ(s.vertices.front(), 3);
+}
+
+TEST(DHopSubgraphTest, DisconnectedVertexUnaffected) {
+  Graph g = MakeBirdGraph();
+  VertexId lone = g.AddVertex("woodpecker");
+  Subgraph s = g.DHopSubgraph(lone, 3);
+  EXPECT_EQ(s.vertices, (std::vector<VertexId>{lone}));
+}
+
+TEST(GraphTest, UniqueWordsSplitsLabels) {
+  Graph g = MakeBirdGraph();
+  auto words = g.UniqueWords();
+  EXPECT_TRUE(words.count("laysan"));
+  EXPECT_TRUE(words.count("albatross"));
+  EXPECT_TRUE(words.count("crown"));
+  EXPECT_TRUE(words.count("has"));
+  EXPECT_TRUE(words.count("long-wings"));
+  EXPECT_FALSE(words.count("laysan albatross"));
+}
+
+class DHopPropertyTest : public ::testing::TestWithParam<int64_t> {};
+
+TEST_P(DHopPropertyTest, MonotoneAndClosedOnRandomGraph) {
+  // Property: for every vertex, the d-hop vertex set grows monotonically
+  // with d, always contains the center, and induced edges have both
+  // endpoints inside.
+  Graph g;
+  crossem::Rng rng(GetParam());
+  const int64_t n = 24;
+  for (int64_t i = 0; i < n; ++i) g.AddVertex("v" + std::to_string(i));
+  for (int64_t e = 0; e < 40; ++e) {
+    ASSERT_TRUE(g.AddEdge(rng.UniformInt(0, n - 1), rng.UniformInt(0, n - 1),
+                          "rel")
+                    .ok());
+  }
+  for (VertexId v = 0; v < n; v += 5) {
+    size_t prev = 0;
+    for (int64_t d = 0; d <= 3; ++d) {
+      Subgraph s = g.DHopSubgraph(v, d);
+      EXPECT_GE(s.vertices.size(), std::max<size_t>(prev, 1));
+      EXPECT_NE(std::find(s.vertices.begin(), s.vertices.end(), v),
+                s.vertices.end());
+      std::set<VertexId> inside(s.vertices.begin(), s.vertices.end());
+      for (EdgeId e : s.edges) {
+        EXPECT_TRUE(inside.count(g.GetEdge(e).src));
+        EXPECT_TRUE(inside.count(g.GetEdge(e).dst));
+      }
+      prev = s.vertices.size();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DHopPropertyTest,
+                         ::testing::Values(1, 2, 3, 4));
+
+TEST(GraphTest, FindVertexByLabel) {
+  Graph g = MakeBirdGraph();
+  EXPECT_EQ(g.FindVertex("white"), 1);
+  EXPECT_EQ(g.FindVertex("missing"), -1);
+}
+
+}  // namespace
+}  // namespace graph
+}  // namespace crossem

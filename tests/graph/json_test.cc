@@ -1,0 +1,113 @@
+#include "graph/json.h"
+
+#include "gtest/gtest.h"
+
+namespace crossem {
+namespace graph {
+namespace {
+
+TEST(JsonParseTest, Scalars) {
+  EXPECT_TRUE(ParseJson("null").value().is_null());
+  EXPECT_TRUE(ParseJson("true").value().bool_value());
+  EXPECT_FALSE(ParseJson("false").value().bool_value());
+  EXPECT_DOUBLE_EQ(ParseJson("3.5").value().number_value(), 3.5);
+  EXPECT_DOUBLE_EQ(ParseJson("-17").value().number_value(), -17.0);
+  EXPECT_DOUBLE_EQ(ParseJson("1e3").value().number_value(), 1000.0);
+  EXPECT_EQ(ParseJson("\"hi\"").value().string_value(), "hi");
+}
+
+TEST(JsonParseTest, StringEscapes) {
+  auto r = ParseJson(R"("a\"b\\c\nd\te")");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().string_value(), "a\"b\\c\nd\te");
+}
+
+TEST(JsonParseTest, UnicodeEscapes) {
+  auto r = ParseJson(R"("Aé")");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().string_value(), "A\xC3\xA9");
+}
+
+TEST(JsonParseTest, Arrays) {
+  auto r = ParseJson("[1, 2, [3]]");
+  ASSERT_TRUE(r.ok());
+  const auto& items = r.value().array_items();
+  ASSERT_EQ(items.size(), 3u);
+  EXPECT_DOUBLE_EQ(items[0].number_value(), 1.0);
+  EXPECT_TRUE(items[2].is_array());
+  EXPECT_TRUE(ParseJson("[]").value().array_items().empty());
+}
+
+TEST(JsonParseTest, Objects) {
+  auto r = ParseJson(R"({"name": "albatross", "wings": 2, "flies": true})");
+  ASSERT_TRUE(r.ok());
+  const JsonValue& v = r.value();
+  ASSERT_TRUE(v.is_object());
+  EXPECT_EQ(v.Find("name")->string_value(), "albatross");
+  EXPECT_DOUBLE_EQ(v.Find("wings")->number_value(), 2.0);
+  EXPECT_TRUE(v.Find("flies")->bool_value());
+  EXPECT_EQ(v.Find("missing"), nullptr);
+  EXPECT_TRUE(ParseJson("{}").value().object_members().empty());
+}
+
+TEST(JsonParseTest, NestedDocument) {
+  auto r = ParseJson(R"({
+    "name": "laysan albatross",
+    "attributes": [{"name": "white crown"}, {"name": "black tail"}],
+    "habitat": {"name": "pacific", "ocean": true}
+  })");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  const JsonValue& v = r.value();
+  EXPECT_EQ(v.Find("attributes")->array_items().size(), 2u);
+  EXPECT_EQ(v.Find("habitat")->Find("name")->string_value(), "pacific");
+}
+
+struct BadJsonCase {
+  const char* name;
+  const char* text;
+};
+
+class JsonErrorTest : public ::testing::TestWithParam<BadJsonCase> {};
+
+TEST_P(JsonErrorTest, RejectsMalformedInput) {
+  auto r = ParseJson(GetParam().text);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kParseError);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Malformed, JsonErrorTest,
+    ::testing::Values(
+        BadJsonCase{"empty", ""}, BadJsonCase{"bareword", "albatross"},
+        BadJsonCase{"unterminated_string", "\"abc"},
+        BadJsonCase{"unterminated_object", "{\"a\": 1"},
+        BadJsonCase{"unterminated_array", "[1, 2"},
+        BadJsonCase{"missing_colon", "{\"a\" 1}"},
+        BadJsonCase{"trailing_garbage", "1 x"},
+        BadJsonCase{"bad_escape", "\"\\q\""},
+        BadJsonCase{"bad_unicode", "\"\\u00zz\""},
+        BadJsonCase{"nonstring_key", "{1: 2}"},
+        BadJsonCase{"double_comma", "[1,,2]"},
+        BadJsonCase{"bad_number", "1.2.3"}),
+    [](const ::testing::TestParamInfo<BadJsonCase>& info) {
+      return info.param.name;
+    });
+
+TEST(JsonDumpTest, RoundTripsStructure) {
+  auto r = ParseJson(R"({"b": [1, true, null], "a": "x"})");
+  ASSERT_TRUE(r.ok());
+  std::string dumped = r.value().Dump();
+  auto r2 = ParseJson(dumped);
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ(r2.value().Dump(), dumped);
+  EXPECT_EQ(dumped, R"({"a":"x","b":[1,true,null]})");
+}
+
+TEST(JsonDumpTest, EscapesSpecials) {
+  JsonValue v = JsonValue::String("a\"b\nc");
+  EXPECT_EQ(v.Dump(), R"("a\"b\nc")");
+}
+
+}  // namespace
+}  // namespace graph
+}  // namespace crossem

@@ -1,0 +1,52 @@
+#include "graph/stats.h"
+
+#include "gtest/gtest.h"
+
+namespace crossem {
+namespace graph {
+namespace {
+
+TEST(GraphStatsTest, EmptyGraph) {
+  Graph g;
+  GraphStats s = ComputeGraphStats(g);
+  EXPECT_EQ(s.num_vertices, 0);
+  EXPECT_EQ(s.num_connected_components, 0);
+}
+
+TEST(GraphStatsTest, TwoComponentsWithIsolated) {
+  Graph g;
+  g.AddVertex("a");
+  g.AddVertex("b");
+  g.AddVertex("c");   // isolated
+  g.AddVertex("d");
+  ASSERT_TRUE(g.AddEdge(0, 1, "x").ok());
+  ASSERT_TRUE(g.AddEdge(1, 3, "y").ok());
+  GraphStats s = ComputeGraphStats(g);
+  EXPECT_EQ(s.num_vertices, 4);
+  EXPECT_EQ(s.num_edges, 2);
+  EXPECT_EQ(s.num_isolated_vertices, 1);
+  EXPECT_EQ(s.num_connected_components, 2);  // {a,b,d} and {c}
+  EXPECT_EQ(s.largest_component_size, 3);
+  EXPECT_EQ(s.max_out_degree, 1);
+  EXPECT_EQ(s.max_in_degree, 1);
+  EXPECT_DOUBLE_EQ(s.avg_degree, 1.0);
+  EXPECT_EQ(s.num_unique_edge_labels, 2);
+}
+
+TEST(GraphStatsTest, HubDegrees) {
+  Graph g;
+  g.AddVertex("hub");
+  for (int i = 0; i < 5; ++i) {
+    VertexId v = g.AddVertex("leaf" + std::to_string(i));
+    ASSERT_TRUE(g.AddEdge(0, v, "has part").ok());
+  }
+  GraphStats s = ComputeGraphStats(g);
+  EXPECT_EQ(s.max_out_degree, 5);
+  EXPECT_EQ(s.num_connected_components, 1);
+  EXPECT_EQ(s.num_unique_edge_labels, 1);
+  EXPECT_NE(s.ToString().find("6 vertices"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace graph
+}  // namespace crossem

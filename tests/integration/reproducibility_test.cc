@@ -1,0 +1,81 @@
+// End-to-end reproducibility: identical seeds must give bit-identical
+// datasets, models, tuning trajectories and match sets — the guarantee
+// every experiment in EXPERIMENTS.md relies on.
+#include "clip/pretrain.h"
+#include "core/crossem.h"
+#include "data/dataset.h"
+#include "gtest/gtest.h"
+
+namespace crossem {
+namespace {
+
+struct PipelineResult {
+  std::vector<float> scores;
+  std::vector<int64_t> matched_images;
+  float final_loss;
+};
+
+PipelineResult RunPipeline(uint64_t seed) {
+  data::DatasetConfig dc = data::CubLikeConfig(0.4);
+  data::CrossModalDataset ds = data::BuildDataset(dc);
+  clip::ClipConfig cc;
+  cc.vocab_size = ds.vocab.size();
+  cc.text_context = 32;
+  cc.model_dim = 16;
+  cc.text_layers = 1;
+  cc.text_heads = 2;
+  cc.image_layers = 1;
+  cc.image_heads = 2;
+  cc.patch_dim = ds.world->config().patch_dim;
+  cc.max_patches = 16;
+  cc.embed_dim = 12;
+  Rng rng(seed);
+  clip::ClipModel model(cc, &rng);
+  text::Tokenizer tok(&ds.vocab, cc.text_context);
+  clip::PretrainConfig pc;
+  pc.epochs = 2;
+  pc.batches_per_epoch = 4;
+  pc.batch_size = 8;
+  pc.seed = seed + 1;
+  std::vector<int64_t> all(static_cast<size_t>(ds.world->num_classes()));
+  for (size_t i = 0; i < all.size(); ++i) all[i] = static_cast<int64_t>(i);
+  EXPECT_TRUE(clip::PretrainClip(&model, *ds.world, all, tok, pc).ok());
+
+  std::vector<graph::VertexId> vertices;
+  for (int64_t c : ds.test_classes) {
+    vertices.push_back(ds.entities[static_cast<size_t>(c)]);
+  }
+  Tensor images = ds.StackImages(ds.TestImageIndices());
+
+  core::CrossEmOptions opt = core::CrossEmPlusOptions();
+  opt.epochs = 2;
+  opt.seed = seed + 2;
+  core::CrossEm matcher(&model, &ds.graph, &tok, opt);
+  auto stats = matcher.Fit(vertices, images);
+  EXPECT_TRUE(stats.ok());
+
+  PipelineResult result;
+  result.final_loss = stats.value().FinalLoss();
+  result.scores = matcher.ScoreMatrix(vertices, images).ToVector();
+  for (const auto& pair : matcher.FindMatches(vertices, images)) {
+    result.matched_images.push_back(pair.image);
+  }
+  return result;
+}
+
+TEST(ReproducibilityTest, IdenticalSeedsIdenticalPipelines) {
+  PipelineResult a = RunPipeline(77);
+  PipelineResult b = RunPipeline(77);
+  EXPECT_EQ(a.scores, b.scores);
+  EXPECT_EQ(a.matched_images, b.matched_images);
+  EXPECT_EQ(a.final_loss, b.final_loss);
+}
+
+TEST(ReproducibilityTest, DifferentSeedsDifferentModels) {
+  PipelineResult a = RunPipeline(77);
+  PipelineResult b = RunPipeline(78);
+  EXPECT_NE(a.scores, b.scores);
+}
+
+}  // namespace
+}  // namespace crossem

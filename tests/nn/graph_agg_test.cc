@@ -1,0 +1,78 @@
+#include "nn/graph_agg.h"
+
+#include "gtest/gtest.h"
+#include "tensor/ops.h"
+
+namespace crossem {
+namespace {
+
+TEST(NeighborMeanMatrixTest, RowNormalized) {
+  nn::AdjacencyList adj = {{1, 2}, {0}, {}};
+  Tensor a = nn::NeighborMeanMatrix(adj);
+  EXPECT_EQ(a.shape(), (Shape{3, 3}));
+  // Row 0 averages vertices 1 and 2.
+  EXPECT_FLOAT_EQ(a.at(0 * 3 + 1), 0.5f);
+  EXPECT_FLOAT_EQ(a.at(0 * 3 + 2), 0.5f);
+  // Row 1 points only at vertex 0.
+  EXPECT_FLOAT_EQ(a.at(1 * 3 + 0), 1.0f);
+  // Isolated vertex 2 averages over itself.
+  EXPECT_FLOAT_EQ(a.at(2 * 3 + 2), 1.0f);
+}
+
+TEST(NeighborMeanMatrixTest, DuplicateNeighborsAccumulate) {
+  nn::AdjacencyList adj = {{1, 1}, {0}};
+  Tensor a = nn::NeighborMeanMatrix(adj);
+  EXPECT_FLOAT_EQ(a.at(0 * 2 + 1), 1.0f);  // 0.5 + 0.5
+}
+
+TEST(MeanAggregateTest, AlphaOneIsIdentity) {
+  nn::AdjacencyList adj = {{1}, {0}};
+  Tensor nm = nn::NeighborMeanMatrix(adj);
+  Tensor h = Tensor::FromVector({2, 2}, {1, 2, 3, 4});
+  Tensor out = nn::MeanAggregate(h, nm, 1.0f);
+  EXPECT_EQ(out.ToVector(), h.ToVector());
+}
+
+TEST(MeanAggregateTest, AlphaZeroIsNeighborMean) {
+  nn::AdjacencyList adj = {{1}, {0}};
+  Tensor nm = nn::NeighborMeanMatrix(adj);
+  Tensor h = Tensor::FromVector({2, 2}, {1, 2, 3, 4});
+  Tensor out = nn::MeanAggregate(h, nm, 0.0f);
+  EXPECT_EQ(out.ToVector(), (std::vector<float>{3, 4, 1, 2}));
+}
+
+TEST(MeanAggregateTest, BlendsWithAlpha) {
+  nn::AdjacencyList adj = {{1}, {0}};
+  Tensor nm = nn::NeighborMeanMatrix(adj);
+  Tensor h = Tensor::FromVector({2, 1}, {0.0f, 10.0f});
+  Tensor out = nn::MeanAggregate(h, nm, 0.3f);
+  EXPECT_NEAR(out.at(0), 0.3f * 0.0f + 0.7f * 10.0f, 1e-5f);
+  EXPECT_NEAR(out.at(1), 0.3f * 10.0f + 0.7f * 0.0f, 1e-5f);
+}
+
+TEST(GraphSageLayerTest, OutputShapeAndGrad) {
+  Rng rng(1);
+  nn::GraphSageLayer sage(4, 6, &rng);
+  nn::AdjacencyList adj = {{1, 2}, {0}, {0, 1}};
+  Tensor nm = nn::NeighborMeanMatrix(adj);
+  Tensor h = Tensor::Randn({3, 4}, &rng);
+  h.set_requires_grad(true);
+  Tensor out = sage.Forward(h, nm);
+  EXPECT_EQ(out.shape(), (Shape{3, 6}));
+  ops::Sum(out).Backward();
+  EXPECT_TRUE(h.grad().defined());
+  EXPECT_EQ(sage.Parameters().size(), 2u);
+}
+
+TEST(GraphSageLayerTest, OutputIsNonNegative) {
+  Rng rng(2);
+  nn::GraphSageLayer sage(3, 5, &rng);
+  nn::AdjacencyList adj = {{1}, {0}};
+  Tensor nm = nn::NeighborMeanMatrix(adj);
+  Tensor h = Tensor::Randn({2, 3}, &rng);
+  Tensor out = sage.Forward(h, nm);
+  for (int64_t i = 0; i < out.numel(); ++i) EXPECT_GE(out.at(i), 0.0f);
+}
+
+}  // namespace
+}  // namespace crossem

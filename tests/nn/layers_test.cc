@@ -1,0 +1,143 @@
+#include "nn/layers.h"
+
+#include <cmath>
+
+#include "gtest/gtest.h"
+#include "tensor/ops.h"
+#include "testing/gradcheck.h"
+
+namespace crossem {
+namespace {
+
+TEST(LinearTest, OutputShape) {
+  Rng rng(1);
+  nn::Linear lin(4, 3, &rng);
+  Tensor x = Tensor::Randn({5, 4}, &rng);
+  Tensor y = lin.Forward(x);
+  EXPECT_EQ(y.shape(), (Shape{5, 3}));
+}
+
+TEST(LinearTest, BatchedInput) {
+  Rng rng(2);
+  nn::Linear lin(4, 6, &rng);
+  Tensor x = Tensor::Randn({2, 3, 4}, &rng);
+  EXPECT_EQ(lin.Forward(x).shape(), (Shape{2, 3, 6}));
+}
+
+TEST(LinearTest, NoBiasOption) {
+  Rng rng(3);
+  nn::Linear lin(2, 2, &rng, /*bias=*/false);
+  EXPECT_EQ(lin.Parameters().size(), 1u);
+  Tensor zero = Tensor::Zeros({1, 2});
+  Tensor y = lin.Forward(zero);
+  EXPECT_FLOAT_EQ(y.at(0), 0.0f);
+  EXPECT_FLOAT_EQ(y.at(1), 0.0f);
+}
+
+TEST(LinearTest, KnownValues) {
+  Rng rng(4);
+  nn::Linear lin(2, 2, &rng);
+  // Overwrite the weights to a known matrix: y = [x0+2x1, 3x0+4x1] + [1, -1].
+  Tensor w = lin.weight();
+  w.data()[0] = 1;
+  w.data()[1] = 3;
+  w.data()[2] = 2;
+  w.data()[3] = 4;
+  Tensor b = lin.bias();
+  b.data()[0] = 1;
+  b.data()[1] = -1;
+  Tensor y = lin.Forward(Tensor::FromVector({1, 2}, {1, 1}));
+  EXPECT_FLOAT_EQ(y.at(0), 4.0f);
+  EXPECT_FLOAT_EQ(y.at(1), 6.0f);
+}
+
+TEST(LinearTest, GradFlowsToWeightAndBias) {
+  Rng rng(5);
+  nn::Linear lin(3, 2, &rng);
+  Tensor x = Tensor::Randn({4, 3}, &rng);
+  ops::Sum(lin.Forward(x)).Backward();
+  EXPECT_TRUE(lin.weight().grad().defined());
+  EXPECT_TRUE(lin.bias().grad().defined());
+  // Bias gradient for Sum objective is the row count.
+  EXPECT_FLOAT_EQ(lin.bias().grad().at(0), 4.0f);
+}
+
+TEST(EmbeddingTest, LookupRows) {
+  Rng rng(6);
+  nn::Embedding emb(10, 4, &rng);
+  Tensor out = emb.Forward({3, 3, 7});
+  EXPECT_EQ(out.shape(), (Shape{3, 4}));
+  // Duplicate lookups return identical rows.
+  for (int64_t c = 0; c < 4; ++c) EXPECT_EQ(out.at(c), out.at(4 + c));
+}
+
+TEST(EmbeddingTest, GradScatterAdds) {
+  Rng rng(7);
+  nn::Embedding emb(5, 2, &rng);
+  ops::Sum(emb.Forward({1, 1, 2})).Backward();
+  Tensor g = emb.table().grad();
+  ASSERT_TRUE(g.defined());
+  EXPECT_FLOAT_EQ(g.at(1 * 2), 2.0f);  // row 1 hit twice
+  EXPECT_FLOAT_EQ(g.at(2 * 2), 1.0f);  // row 2 hit once
+  EXPECT_FLOAT_EQ(g.at(0), 0.0f);      // row 0 untouched
+}
+
+TEST(LayerNormTest, NormalizesLastDim) {
+  Rng rng(8);
+  nn::LayerNorm ln(8);
+  Tensor x = Tensor::Randn({4, 8}, &rng, 5.0f);
+  Tensor y = ln.Forward(x);
+  for (int64_t r = 0; r < 4; ++r) {
+    double mean = 0, var = 0;
+    for (int64_t c = 0; c < 8; ++c) mean += y.at(r * 8 + c);
+    mean /= 8;
+    for (int64_t c = 0; c < 8; ++c) {
+      double d = y.at(r * 8 + c) - mean;
+      var += d * d;
+    }
+    var /= 8;
+    EXPECT_NEAR(mean, 0.0, 1e-4);
+    EXPECT_NEAR(var, 1.0, 1e-2);
+  }
+}
+
+TEST(LayerNormTest, GradNumeric) {
+  Rng rng(9);
+  nn::LayerNorm ln(4);
+  Tensor w = Tensor::Randn({3, 4}, &rng);
+  testing::ExpectGradMatchesNumeric(
+      [&](const Tensor& x) { return ops::Sum(ops::Mul(ln.Forward(x), w)); },
+      Tensor::Randn({3, 4}, &rng));
+}
+
+TEST(ModuleTest, ParameterCollection) {
+  Rng rng(10);
+  nn::Linear lin(3, 2, &rng);
+  auto named = lin.NamedParameters();
+  ASSERT_EQ(named.size(), 2u);
+  EXPECT_EQ(named[0].first, "weight");
+  EXPECT_EQ(named[1].first, "bias");
+  EXPECT_EQ(lin.NumParameters(), 3 * 2 + 2);
+}
+
+TEST(ModuleTest, FreezeStopsGradients) {
+  Rng rng(11);
+  nn::Linear lin(2, 2, &rng);
+  lin.SetRequiresGrad(false);
+  Tensor x = Tensor::Randn({1, 2}, &rng);
+  x.set_requires_grad(true);
+  ops::Sum(lin.Forward(x)).Backward();
+  EXPECT_FALSE(lin.weight().grad().defined());
+  EXPECT_TRUE(x.grad().defined());  // grads still flow through
+}
+
+TEST(ModuleTest, TrainingModePropagates) {
+  Rng rng(12);
+  nn::Linear lin(2, 2, &rng);
+  EXPECT_TRUE(lin.training());
+  lin.SetTraining(false);
+  EXPECT_FALSE(lin.training());
+}
+
+}  // namespace
+}  // namespace crossem

@@ -1,0 +1,112 @@
+#include "nn/optimizer.h"
+
+#include <cmath>
+
+#include "gtest/gtest.h"
+#include "nn/layers.h"
+#include "tensor/ops.h"
+
+namespace crossem {
+namespace {
+
+/// Minimizes f(w) = sum((w - target)^2) and returns the final w.
+template <typename OptFactory>
+Tensor Minimize(OptFactory make_opt, int steps) {
+  Tensor w = Tensor::FromVector({2}, {5.0f, -5.0f});
+  w.set_requires_grad(true);
+  Tensor target = Tensor::FromVector({2}, {1.0f, 2.0f});
+  auto opt = make_opt(std::vector<Tensor>{w});
+  for (int i = 0; i < steps; ++i) {
+    opt->ZeroGrad();
+    Tensor d = ops::Sub(w, target);
+    ops::Sum(ops::Mul(d, d)).Backward();
+    opt->Step();
+  }
+  return w;
+}
+
+TEST(SgdTest, ConvergesOnQuadratic) {
+  Tensor w = Minimize(
+      [](std::vector<Tensor> p) {
+        return std::make_unique<nn::Sgd>(std::move(p), 0.1f);
+      },
+      100);
+  EXPECT_NEAR(w.at(0), 1.0f, 1e-3f);
+  EXPECT_NEAR(w.at(1), 2.0f, 1e-3f);
+}
+
+TEST(SgdTest, MomentumConverges) {
+  Tensor w = Minimize(
+      [](std::vector<Tensor> p) {
+        return std::make_unique<nn::Sgd>(std::move(p), 0.05f, 0.9f);
+      },
+      200);
+  EXPECT_NEAR(w.at(0), 1.0f, 1e-2f);
+}
+
+TEST(AdamTest, ConvergesOnQuadratic) {
+  Tensor w = Minimize(
+      [](std::vector<Tensor> p) {
+        return std::make_unique<nn::Adam>(std::move(p), 0.2f);
+      },
+      300);
+  EXPECT_NEAR(w.at(0), 1.0f, 1e-2f);
+  EXPECT_NEAR(w.at(1), 2.0f, 1e-2f);
+}
+
+TEST(AdamWTest, DecayPullsWeightsTowardZero) {
+  // With pure decay (no loss gradient), AdamW shrinks weights; Adam with
+  // wd=0 leaves them unchanged.
+  Tensor w1 = Tensor::FromVector({1}, {4.0f});
+  w1.set_requires_grad(true);
+  nn::AdamW opt1({w1}, /*lr=*/0.1f, 0.9f, 0.999f, 1e-8f, /*weight_decay=*/0.5f);
+  // Provide a zero gradient so only decay acts.
+  ops::Sum(ops::MulScalar(w1, 0.0f)).Backward();
+  opt1.Step();
+  EXPECT_LT(w1.at(0), 4.0f);
+}
+
+TEST(OptimizerTest, SkipsFrozenParameters) {
+  Rng rng(1);
+  nn::Linear lin(2, 2, &rng);
+  Tensor before = lin.weight().Clone();
+  lin.SetRequiresGrad(false);
+  nn::Sgd opt(lin.Parameters(), 0.5f);
+  // Even if a gradient buffer existed, a frozen parameter must not move.
+  opt.Step();
+  EXPECT_EQ(lin.weight().ToVector(), before.ToVector());
+}
+
+TEST(OptimizerTest, ZeroGradClears) {
+  Tensor w = Tensor::Ones({2});
+  w.set_requires_grad(true);
+  ops::Sum(w).Backward();
+  EXPECT_FLOAT_EQ(w.grad().at(0), 1.0f);
+  nn::Sgd opt({w}, 0.1f);
+  opt.ZeroGrad();
+  EXPECT_FLOAT_EQ(w.grad().at(0), 0.0f);
+}
+
+TEST(ClipGradNormTest, RescalesLargeGradients) {
+  Tensor w = Tensor::Ones({4});
+  w.set_requires_grad(true);
+  ops::Sum(ops::MulScalar(w, 10.0f)).Backward();  // grad = 10 each, norm 20
+  float norm = nn::ClipGradNorm({w}, 1.0f);
+  EXPECT_NEAR(norm, 20.0f, 1e-4f);
+  float clipped = 0;
+  for (int64_t i = 0; i < 4; ++i) {
+    clipped += w.grad().at(i) * w.grad().at(i);
+  }
+  EXPECT_NEAR(std::sqrt(clipped), 1.0f, 1e-4f);
+}
+
+TEST(ClipGradNormTest, LeavesSmallGradientsAlone) {
+  Tensor w = Tensor::Ones({2});
+  w.set_requires_grad(true);
+  ops::Sum(w).Backward();  // grad = 1 each, norm sqrt(2)
+  nn::ClipGradNorm({w}, 10.0f);
+  EXPECT_FLOAT_EQ(w.grad().at(0), 1.0f);
+}
+
+}  // namespace
+}  // namespace crossem

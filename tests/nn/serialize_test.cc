@@ -1,0 +1,126 @@
+#include "nn/serialize.h"
+
+#include <unistd.h>
+
+#include <cstdio>
+
+#include "clip/clip.h"
+#include "gtest/gtest.h"
+#include "nn/attention.h"
+#include "nn/layers.h"
+
+namespace crossem {
+namespace nn {
+namespace {
+
+std::string TempPath(const char* name) {
+  return std::string(::testing::TempDir()) + "/" + name;
+}
+
+TEST(SerializeTest, RoundTripLinear) {
+  Rng rng(1);
+  Linear a(4, 3, &rng);
+  const std::string path = TempPath("linear.ckpt");
+  ASSERT_TRUE(SaveCheckpoint(a, path).ok());
+
+  Rng rng2(99);  // different init
+  Linear b(4, 3, &rng2);
+  ASSERT_NE(a.weight().ToVector(), b.weight().ToVector());
+  ASSERT_TRUE(LoadCheckpoint(&b, path).ok());
+  EXPECT_EQ(a.weight().ToVector(), b.weight().ToVector());
+  EXPECT_EQ(a.bias().ToVector(), b.bias().ToVector());
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, RoundTripFullClipModel) {
+  clip::ClipConfig cc;
+  cc.vocab_size = 30;
+  cc.text_context = 12;
+  cc.model_dim = 16;
+  cc.text_layers = 1;
+  cc.text_heads = 2;
+  cc.image_layers = 1;
+  cc.image_heads = 2;
+  cc.patch_dim = 8;
+  cc.max_patches = 4;
+  cc.embed_dim = 8;
+  Rng rng(2);
+  clip::ClipModel a(cc, &rng);
+  const std::string path = TempPath("clip.ckpt");
+  ASSERT_TRUE(SaveCheckpoint(a, path).ok());
+
+  Rng rng2(77);
+  clip::ClipModel b(cc, &rng2);
+  ASSERT_TRUE(LoadCheckpoint(&b, path).ok());
+  auto pa = a.NamedParameters();
+  auto pb = b.NamedParameters();
+  ASSERT_EQ(pa.size(), pb.size());
+  for (size_t i = 0; i < pa.size(); ++i) {
+    EXPECT_EQ(pa[i].second.ToVector(), pb[i].second.ToVector()) << pa[i].first;
+  }
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, LoadRejectsArchitectureMismatch) {
+  Rng rng(3);
+  Linear a(4, 3, &rng);
+  const std::string path = TempPath("mismatch.ckpt");
+  ASSERT_TRUE(SaveCheckpoint(a, path).ok());
+
+  Linear wrong_shape(4, 5, &rng);
+  auto st = LoadCheckpoint(&wrong_shape, path);
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+
+  LayerNorm wrong_names(4);
+  EXPECT_FALSE(LoadCheckpoint(&wrong_names, path).ok());
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, LoadRejectsGarbageFile) {
+  const std::string path = TempPath("garbage.ckpt");
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  std::fputs("not a checkpoint at all", f);
+  std::fclose(f);
+  Rng rng(4);
+  Linear lin(2, 2, &rng);
+  auto st = LoadCheckpoint(&lin, path);
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kParseError);
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, LoadRejectsTruncatedFile) {
+  Rng rng(5);
+  Linear a(8, 8, &rng);
+  const std::string path = TempPath("trunc.ckpt");
+  ASSERT_TRUE(SaveCheckpoint(a, path).ok());
+  // Truncate the file in half.
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  std::fseek(f, 0, SEEK_END);
+  long size = std::ftell(f);
+  std::fclose(f);
+  ASSERT_EQ(truncate(path.c_str(), size / 2), 0);
+  Linear b(8, 8, &rng);
+  EXPECT_FALSE(LoadCheckpoint(&b, path).ok());
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, MissingFileFails) {
+  Rng rng(6);
+  Linear lin(2, 2, &rng);
+  auto st = LoadCheckpoint(&lin, TempPath("does_not_exist.ckpt"));
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kIOError);
+}
+
+TEST(SerializeTest, SaveToUnwritablePathFails) {
+  Rng rng(7);
+  Linear lin(2, 2, &rng);
+  EXPECT_FALSE(SaveCheckpoint(lin, "/nonexistent_dir/x.ckpt").ok());
+}
+
+}  // namespace
+}  // namespace nn
+}  // namespace crossem

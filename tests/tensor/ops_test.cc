@@ -1,0 +1,473 @@
+#include "tensor/ops.h"
+
+#include <cmath>
+
+#include "gtest/gtest.h"
+#include "tensor/tensor.h"
+#include "testing/gradcheck.h"
+
+namespace crossem {
+namespace {
+
+using ops::Add;
+using ops::Concat;
+using ops::Div;
+using ops::IndexSelect;
+using ops::MatMul;
+using ops::Mean;
+using ops::Mul;
+using ops::Reshape;
+using ops::Slice;
+using ops::Softmax;
+using ops::Sub;
+using ops::Sum;
+using ops::Transpose;
+using testing::ExpectGradMatchesNumeric;
+
+TEST(BroadcastTest, Shapes) {
+  EXPECT_EQ(ops::BroadcastShapes({2, 3}, {2, 3}), (Shape{2, 3}));
+  EXPECT_EQ(ops::BroadcastShapes({2, 3}, {3}), (Shape{2, 3}));
+  EXPECT_EQ(ops::BroadcastShapes({2, 1, 4}, {3, 1}), (Shape{2, 3, 4}));
+  EXPECT_EQ(ops::BroadcastShapes({}, {5}), (Shape{5}));
+}
+
+TEST(ElementwiseTest, AddSubMulDiv) {
+  Tensor a = Tensor::FromVector({2, 2}, {1, 2, 3, 4});
+  Tensor b = Tensor::FromVector({2, 2}, {4, 3, 2, 1});
+  EXPECT_EQ(Add(a, b).ToVector(), (std::vector<float>{5, 5, 5, 5}));
+  EXPECT_EQ(Sub(a, b).ToVector(), (std::vector<float>{-3, -1, 1, 3}));
+  EXPECT_EQ(Mul(a, b).ToVector(), (std::vector<float>{4, 6, 6, 4}));
+  EXPECT_EQ(Div(a, b).ToVector(), (std::vector<float>{0.25f, 2.f / 3.f, 1.5f, 4}));
+}
+
+TEST(ElementwiseTest, RowBroadcastAdd) {
+  Tensor a = Tensor::FromVector({2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor bias = Tensor::FromVector({3}, {10, 20, 30});
+  EXPECT_EQ(Add(a, bias).ToVector(),
+            (std::vector<float>{11, 22, 33, 14, 25, 36}));
+}
+
+TEST(ElementwiseTest, ScalarBroadcast) {
+  Tensor a = Tensor::FromVector({2}, {1, 2});
+  Tensor s = Tensor::Scalar(10.0f);
+  EXPECT_EQ(Mul(a, s).ToVector(), (std::vector<float>{10, 20}));
+}
+
+TEST(ElementwiseGradTest, BroadcastBackwardReduces) {
+  // Bias broadcast across rows: grad of bias is summed over rows.
+  Tensor a = Tensor::FromVector({2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor bias = Tensor::FromVector({3}, {1, 1, 1});
+  bias.set_requires_grad(true);
+  Sum(Add(a, bias)).Backward();
+  EXPECT_EQ(bias.grad().ToVector(), (std::vector<float>{2, 2, 2}));
+}
+
+TEST(ElementwiseGradTest, MulNumeric) {
+  Rng rng(1);
+  Tensor b = Tensor::Randn({2, 3}, &rng);
+  ExpectGradMatchesNumeric(
+      [&](const Tensor& x) { return Sum(Mul(x, b)); },
+      Tensor::Randn({2, 3}, &rng));
+}
+
+TEST(ElementwiseGradTest, DivNumeric) {
+  Rng rng(2);
+  Tensor b = ops::AddScalar(ops::Abs(Tensor::Randn({6}, &rng)), 0.5f);
+  ExpectGradMatchesNumeric(
+      [&](const Tensor& x) { return Sum(Div(x, b)); },
+      Tensor::Randn({6}, &rng));
+}
+
+TEST(UnaryTest, Values) {
+  Tensor x = Tensor::FromVector({3}, {-1.0f, 0.0f, 2.0f});
+  EXPECT_EQ(ops::Relu(x).ToVector(), (std::vector<float>{0, 0, 2}));
+  EXPECT_EQ(ops::Neg(x).ToVector(), (std::vector<float>{1, 0, -2}));
+  EXPECT_EQ(ops::Abs(x).ToVector(), (std::vector<float>{1, 0, 2}));
+  Tensor e = ops::Exp(Tensor::FromVector({1}, {1.0f}));
+  EXPECT_NEAR(e.at(0), std::exp(1.0f), 1e-5f);
+  Tensor l = ops::Log(Tensor::FromVector({1}, {std::exp(2.0f)}));
+  EXPECT_NEAR(l.at(0), 2.0f, 1e-5f);
+}
+
+struct UnaryCase {
+  const char* name;
+  Tensor (*fn)(const Tensor&);
+  bool positive_only;
+};
+
+class UnaryGradTest : public ::testing::TestWithParam<UnaryCase> {};
+
+TEST_P(UnaryGradTest, MatchesNumeric) {
+  const UnaryCase& c = GetParam();
+  Rng rng(11);
+  Tensor x = c.positive_only
+                 ? ops::AddScalar(ops::Abs(Tensor::Randn({8}, &rng)), 0.5f)
+                 : ops::AddScalar(Tensor::Randn({8}, &rng), 0.05f);
+  ExpectGradMatchesNumeric(
+      [&](const Tensor& t) { return Sum(c.fn(t)); }, x.Clone());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllUnaryOps, UnaryGradTest,
+    ::testing::Values(UnaryCase{"exp", &ops::Exp, false},
+                      UnaryCase{"log", &ops::Log, true},
+                      UnaryCase{"sqrt", &ops::Sqrt, true},
+                      UnaryCase{"tanh", &ops::Tanh, false},
+                      UnaryCase{"sigmoid", &ops::Sigmoid, false},
+                      UnaryCase{"gelu", &ops::Gelu, false},
+                      UnaryCase{"sin", &ops::Sin, false},
+                      UnaryCase{"cos", &ops::Cos, false},
+                      UnaryCase{"neg", &ops::Neg, false}),
+    [](const ::testing::TestParamInfo<UnaryCase>& info) {
+      return info.param.name;
+    });
+
+TEST(UnaryTest, SinCosIdentity) {
+  Rng rng(30);
+  Tensor x = Tensor::Randn({12}, &rng, 2.0f);
+  Tensor s = ops::Sin(x);
+  Tensor c = ops::Cos(x);
+  for (int64_t i = 0; i < 12; ++i) {
+    EXPECT_NEAR(s.at(i) * s.at(i) + c.at(i) * c.at(i), 1.0f, 1e-5f);
+  }
+}
+
+TEST(PropertyTest, ReshapeTransposeRoundTrip) {
+  Rng rng(31);
+  Tensor x = Tensor::Randn({3, 4, 5}, &rng);
+  Tensor y = Transpose(Transpose(x, 0, 2), 0, 2);
+  EXPECT_EQ(y.ToVector(), x.ToVector());
+  Tensor z = Reshape(Reshape(x, {60}), {3, 4, 5});
+  EXPECT_EQ(z.ToVector(), x.ToVector());
+}
+
+TEST(PropertyTest, SoftmaxInvariantToShift) {
+  Rng rng(32);
+  Tensor x = Tensor::Randn({4, 6}, &rng);
+  Tensor a = Softmax(x);
+  Tensor b = Softmax(ops::AddScalar(x, 100.0f));
+  for (int64_t i = 0; i < a.numel(); ++i) {
+    EXPECT_NEAR(a.at(i), b.at(i), 1e-5f);
+  }
+}
+
+TEST(PropertyTest, ConcatSliceInverse) {
+  Rng rng(33);
+  Tensor a = Tensor::Randn({2, 3}, &rng);
+  Tensor b = Tensor::Randn({2, 5}, &rng);
+  Tensor cat = Concat({a, b}, 1);
+  EXPECT_EQ(Slice(cat, 1, 0, 3).ToVector(), a.ToVector());
+  EXPECT_EQ(Slice(cat, 1, 3, 8).ToVector(), b.ToVector());
+}
+
+TEST(PropertyTest, MeanIsSumOverCount) {
+  Rng rng(34);
+  Tensor x = Tensor::Randn({5, 7}, &rng);
+  EXPECT_NEAR(Mean(x).item(), Sum(x).item() / 35.0f, 1e-5f);
+}
+
+TEST(MatMulTest, TwoByTwo) {
+  Tensor a = Tensor::FromVector({2, 2}, {1, 2, 3, 4});
+  Tensor b = Tensor::FromVector({2, 2}, {5, 6, 7, 8});
+  EXPECT_EQ(MatMul(a, b).ToVector(), (std::vector<float>{19, 22, 43, 50}));
+}
+
+TEST(MatMulTest, RectangularShapes) {
+  Tensor a = Tensor::Ones({3, 4});
+  Tensor b = Tensor::Ones({4, 5});
+  Tensor c = MatMul(a, b);
+  EXPECT_EQ(c.shape(), (Shape{3, 5}));
+  for (int64_t i = 0; i < c.numel(); ++i) EXPECT_FLOAT_EQ(c.at(i), 4.0f);
+}
+
+TEST(MatMulTest, BatchedMatchesPerSlice) {
+  Rng rng(5);
+  Tensor a = Tensor::Randn({2, 3, 4}, &rng);
+  Tensor b = Tensor::Randn({2, 4, 5}, &rng);
+  Tensor c = MatMul(a, b);
+  EXPECT_EQ(c.shape(), (Shape{2, 3, 5}));
+  for (int64_t s = 0; s < 2; ++s) {
+    Tensor as = Reshape(Slice(a, 0, s, s + 1), {3, 4});
+    Tensor bs = Reshape(Slice(b, 0, s, s + 1), {4, 5});
+    Tensor cs = MatMul(as, bs);
+    for (int64_t i = 0; i < 15; ++i) {
+      EXPECT_NEAR(c.at(s * 15 + i), cs.at(i), 1e-5f);
+    }
+  }
+}
+
+TEST(MatMulTest, BatchedWithShared2DRhs) {
+  Rng rng(6);
+  Tensor a = Tensor::Randn({2, 3, 4}, &rng);
+  Tensor b = Tensor::Randn({4, 5}, &rng);
+  Tensor c = MatMul(a, b);
+  EXPECT_EQ(c.shape(), (Shape{2, 3, 5}));
+  Tensor a0 = Reshape(Slice(a, 0, 0, 1), {3, 4});
+  Tensor c0 = MatMul(a0, b);
+  for (int64_t i = 0; i < 15; ++i) EXPECT_NEAR(c.at(i), c0.at(i), 1e-5f);
+}
+
+TEST(MatMulGradTest, LhsNumeric) {
+  Rng rng(7);
+  Tensor b = Tensor::Randn({3, 2}, &rng);
+  ExpectGradMatchesNumeric(
+      [&](const Tensor& x) { return Sum(MatMul(x, b)); },
+      Tensor::Randn({2, 3}, &rng));
+}
+
+TEST(MatMulGradTest, RhsNumeric) {
+  Rng rng(8);
+  Tensor a = Tensor::Randn({2, 3}, &rng);
+  ExpectGradMatchesNumeric(
+      [&](const Tensor& x) { return Sum(MatMul(a, x)); },
+      Tensor::Randn({3, 4}, &rng));
+}
+
+TEST(MatMulGradTest, Shared2DRhsAccumulatesOverBatch) {
+  Rng rng(9);
+  Tensor a = Tensor::Randn({2, 2, 3}, &rng);
+  ExpectGradMatchesNumeric(
+      [&](const Tensor& x) { return Sum(MatMul(a, x)); },
+      Tensor::Randn({3, 2}, &rng));
+}
+
+TEST(TransposeTest, TwoDim) {
+  Tensor a = Tensor::FromVector({2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor t = Transpose(a, 0, 1);
+  EXPECT_EQ(t.shape(), (Shape{3, 2}));
+  EXPECT_EQ(t.ToVector(), (std::vector<float>{1, 4, 2, 5, 3, 6}));
+}
+
+TEST(TransposeTest, InnerDimsOf4D) {
+  Rng rng(10);
+  Tensor a = Tensor::Randn({2, 3, 4, 5}, &rng);
+  Tensor t = Transpose(a, 1, 2);
+  EXPECT_EQ(t.shape(), (Shape{2, 4, 3, 5}));
+  // Element check: t[b][j][i][k] == a[b][i][j][k].
+  auto av = a.ToVector();
+  auto tv = t.ToVector();
+  auto a_at = [&](int64_t b, int64_t i, int64_t j, int64_t k) {
+    return av[static_cast<size_t>(((b * 3 + i) * 4 + j) * 5 + k)];
+  };
+  auto t_at = [&](int64_t b, int64_t j, int64_t i, int64_t k) {
+    return tv[static_cast<size_t>(((b * 4 + j) * 3 + i) * 5 + k)];
+  };
+  for (int64_t b = 0; b < 2; ++b)
+    for (int64_t i = 0; i < 3; ++i)
+      for (int64_t j = 0; j < 4; ++j)
+        for (int64_t k = 0; k < 5; ++k)
+          EXPECT_EQ(t_at(b, j, i, k), a_at(b, i, j, k));
+}
+
+TEST(TransposeGradTest, Numeric) {
+  Rng rng(12);
+  Tensor w = Tensor::Randn({3, 2}, &rng);
+  ExpectGradMatchesNumeric(
+      [&](const Tensor& x) { return Sum(Mul(Transpose(x, 0, 1), w)); },
+      Tensor::Randn({2, 3}, &rng));
+}
+
+TEST(ReshapeTest, InferredDim) {
+  Tensor a = Tensor::Ones({2, 6});
+  EXPECT_EQ(Reshape(a, {3, -1}).shape(), (Shape{3, 4}));
+  EXPECT_EQ(Reshape(a, {-1}).shape(), (Shape{12}));
+}
+
+TEST(ReductionTest, SumAndMean) {
+  Tensor a = Tensor::FromVector({2, 3}, {1, 2, 3, 4, 5, 6});
+  EXPECT_FLOAT_EQ(Sum(a).item(), 21.0f);
+  EXPECT_FLOAT_EQ(Mean(a).item(), 3.5f);
+  Tensor s0 = Sum(a, 0, false);
+  EXPECT_EQ(s0.shape(), (Shape{3}));
+  EXPECT_EQ(s0.ToVector(), (std::vector<float>{5, 7, 9}));
+  Tensor s1 = Sum(a, 1, true);
+  EXPECT_EQ(s1.shape(), (Shape{2, 1}));
+  EXPECT_EQ(s1.ToVector(), (std::vector<float>{6, 15}));
+  Tensor m1 = Mean(a, -1, false);
+  EXPECT_EQ(m1.ToVector(), (std::vector<float>{2, 5}));
+}
+
+TEST(ReductionGradTest, SumDimNumeric) {
+  Rng rng(13);
+  ExpectGradMatchesNumeric(
+      [](const Tensor& x) {
+        return Sum(Mul(Sum(x, 1, true), Sum(x, 1, true)));
+      },
+      Tensor::Randn({3, 4}, &rng));
+}
+
+TEST(ArgMaxTest, LastDim) {
+  Tensor a = Tensor::FromVector({2, 3}, {1, 5, 2, 9, 0, 3});
+  auto idx = ops::ArgMax(a, -1);
+  EXPECT_EQ(idx, (std::vector<int64_t>{1, 0}));
+}
+
+TEST(SoftmaxTest, RowsSumToOne) {
+  Rng rng(14);
+  Tensor x = Tensor::Randn({4, 7}, &rng, 3.0f);
+  Tensor y = Softmax(x);
+  for (int64_t r = 0; r < 4; ++r) {
+    float s = 0;
+    for (int64_t c = 0; c < 7; ++c) s += y.at(r * 7 + c);
+    EXPECT_NEAR(s, 1.0f, 1e-5f);
+  }
+}
+
+TEST(SoftmaxTest, NumericallyStableWithLargeLogits) {
+  Tensor x = Tensor::FromVector({1, 3}, {1000.0f, 1001.0f, 1002.0f});
+  Tensor y = Softmax(x);
+  EXPECT_FALSE(std::isnan(y.at(0)));
+  EXPECT_GT(y.at(2), y.at(1));
+  EXPECT_GT(y.at(1), y.at(0));
+}
+
+TEST(SoftmaxGradTest, Numeric) {
+  Rng rng(15);
+  Tensor w = Tensor::Randn({2, 5}, &rng);
+  ExpectGradMatchesNumeric(
+      [&](const Tensor& x) { return Sum(Mul(Softmax(x), w)); },
+      Tensor::Randn({2, 5}, &rng));
+}
+
+TEST(LogSoftmaxTest, MatchesLogOfSoftmax) {
+  Rng rng(16);
+  Tensor x = Tensor::Randn({3, 4}, &rng);
+  Tensor a = ops::LogSoftmax(x);
+  Tensor b = ops::Log(Softmax(x));
+  for (int64_t i = 0; i < x.numel(); ++i) EXPECT_NEAR(a.at(i), b.at(i), 1e-5f);
+}
+
+TEST(LogSoftmaxGradTest, Numeric) {
+  Rng rng(17);
+  Tensor w = Tensor::Randn({2, 5}, &rng);
+  ExpectGradMatchesNumeric(
+      [&](const Tensor& x) { return Sum(Mul(ops::LogSoftmax(x), w)); },
+      Tensor::Randn({2, 5}, &rng));
+}
+
+TEST(L2NormalizeTest, UnitNorms) {
+  Rng rng(18);
+  Tensor x = Tensor::Randn({5, 8}, &rng);
+  Tensor y = ops::L2Normalize(x);
+  for (int64_t r = 0; r < 5; ++r) {
+    float s = 0;
+    for (int64_t c = 0; c < 8; ++c) s += y.at(r * 8 + c) * y.at(r * 8 + c);
+    EXPECT_NEAR(s, 1.0f, 1e-4f);
+  }
+}
+
+TEST(L2NormalizeGradTest, Numeric) {
+  Rng rng(19);
+  Tensor w = Tensor::Randn({2, 6}, &rng);
+  ExpectGradMatchesNumeric(
+      [&](const Tensor& x) { return Sum(Mul(ops::L2Normalize(x), w)); },
+      ops::AddScalar(Tensor::Randn({2, 6}, &rng), 1.0f));
+}
+
+TEST(ConcatTest, AlongEachDim) {
+  Tensor a = Tensor::FromVector({2, 2}, {1, 2, 3, 4});
+  Tensor b = Tensor::FromVector({2, 2}, {5, 6, 7, 8});
+  Tensor c0 = Concat({a, b}, 0);
+  EXPECT_EQ(c0.shape(), (Shape{4, 2}));
+  EXPECT_EQ(c0.ToVector(), (std::vector<float>{1, 2, 3, 4, 5, 6, 7, 8}));
+  Tensor c1 = Concat({a, b}, 1);
+  EXPECT_EQ(c1.shape(), (Shape{2, 4}));
+  EXPECT_EQ(c1.ToVector(), (std::vector<float>{1, 2, 5, 6, 3, 4, 7, 8}));
+}
+
+TEST(ConcatGradTest, SplitsGradient) {
+  Tensor a = Tensor::Ones({2, 2});
+  Tensor b = Tensor::Ones({2, 2});
+  a.set_requires_grad(true);
+  b.set_requires_grad(true);
+  Tensor w = Tensor::FromVector({2, 4}, {1, 2, 3, 4, 5, 6, 7, 8});
+  Sum(Mul(Concat({a, b}, 1), w)).Backward();
+  EXPECT_EQ(a.grad().ToVector(), (std::vector<float>{1, 2, 5, 6}));
+  EXPECT_EQ(b.grad().ToVector(), (std::vector<float>{3, 4, 7, 8}));
+}
+
+TEST(StackTest, AddsLeadingDim) {
+  Tensor a = Tensor::Ones({3});
+  Tensor b = Tensor::Zeros({3});
+  Tensor s = ops::Stack({a, b});
+  EXPECT_EQ(s.shape(), (Shape{2, 3}));
+  EXPECT_EQ(s.ToVector(), (std::vector<float>{1, 1, 1, 0, 0, 0}));
+}
+
+TEST(SliceTest, MiddleDim) {
+  Tensor a = Tensor::FromVector({2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor s = Slice(a, 1, 1, 3);
+  EXPECT_EQ(s.shape(), (Shape{2, 2}));
+  EXPECT_EQ(s.ToVector(), (std::vector<float>{2, 3, 5, 6}));
+}
+
+TEST(SliceGradTest, ScattersIntoRange) {
+  Tensor a = Tensor::Zeros({2, 3});
+  a.set_requires_grad(true);
+  Sum(Slice(a, 1, 0, 2)).Backward();
+  EXPECT_EQ(a.grad().ToVector(), (std::vector<float>{1, 1, 0, 1, 1, 0}));
+}
+
+TEST(IndexSelectTest, GathersRows) {
+  Tensor a = Tensor::FromVector({3, 2}, {1, 2, 3, 4, 5, 6});
+  Tensor g = IndexSelect(a, {2, 0, 2});
+  EXPECT_EQ(g.shape(), (Shape{3, 2}));
+  EXPECT_EQ(g.ToVector(), (std::vector<float>{5, 6, 1, 2, 5, 6}));
+}
+
+TEST(IndexSelectGradTest, ScatterAddsDuplicates) {
+  Tensor a = Tensor::Zeros({3, 2});
+  a.set_requires_grad(true);
+  Sum(IndexSelect(a, {2, 0, 2})).Backward();
+  // Row 2 selected twice -> grad 2; row 0 once; row 1 never.
+  EXPECT_EQ(a.grad().ToVector(), (std::vector<float>{1, 1, 0, 0, 2, 2}));
+}
+
+TEST(NllLossTest, ValueAndGrad) {
+  Tensor logits = Tensor::FromVector({2, 3}, {2, 1, 0, 0, 1, 2});
+  logits.set_requires_grad(true);
+  Tensor lp = ops::LogSoftmax(logits);
+  Tensor loss = ops::NllLoss(lp, {0, 2});
+  // Both rows have the target at the max logit; loss is the same per row.
+  float expected = -std::log(std::exp(2.0f) /
+                             (std::exp(2.0f) + std::exp(1.0f) + 1.0f));
+  EXPECT_NEAR(loss.item(), expected, 1e-5f);
+  loss.Backward();
+  ASSERT_TRUE(logits.grad().defined());
+}
+
+TEST(NllLossGradTest, Numeric) {
+  Rng rng(20);
+  std::vector<int64_t> targets = {1, 0, 2};
+  ExpectGradMatchesNumeric(
+      [&](const Tensor& x) {
+        return ops::NllLoss(ops::LogSoftmax(x), targets);
+      },
+      Tensor::Randn({3, 4}, &rng));
+}
+
+TEST(DropoutTest, EvalModeIsIdentity) {
+  Rng rng(21);
+  Tensor x = Tensor::Randn({10}, &rng);
+  Tensor y = ops::Dropout(x, 0.5f, /*training=*/false, &rng);
+  EXPECT_EQ(y.ToVector(), x.ToVector());
+}
+
+TEST(DropoutTest, TrainModePreservesExpectation) {
+  Rng rng(22);
+  Tensor x = Tensor::Ones({10000});
+  Tensor y = ops::Dropout(x, 0.3f, /*training=*/true, &rng);
+  double mean = 0;
+  for (int64_t i = 0; i < y.numel(); ++i) mean += y.at(i);
+  mean /= static_cast<double>(y.numel());
+  EXPECT_NEAR(mean, 1.0, 0.05);
+}
+
+TEST(EyeTest, Identity) {
+  Tensor e = ops::Eye(3);
+  EXPECT_EQ(e.ToVector(),
+            (std::vector<float>{1, 0, 0, 0, 1, 0, 0, 0, 1}));
+}
+
+}  // namespace
+}  // namespace crossem

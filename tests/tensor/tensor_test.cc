@@ -1,0 +1,169 @@
+#include "tensor/tensor.h"
+
+#include "gtest/gtest.h"
+#include "tensor/ops.h"
+#include "util/memory_tracker.h"
+
+namespace crossem {
+namespace {
+
+TEST(ShapeTest, NumelAndToString) {
+  EXPECT_EQ(ShapeNumel({}), 1);
+  EXPECT_EQ(ShapeNumel({3}), 3);
+  EXPECT_EQ(ShapeNumel({2, 3, 4}), 24);
+  EXPECT_EQ(ShapeNumel({5, 0}), 0);
+  EXPECT_EQ(ShapeToString({2, 3}), "[2, 3]");
+  EXPECT_EQ(ShapeToString({}), "[]");
+}
+
+TEST(TensorTest, DefaultIsUndefined) {
+  Tensor t;
+  EXPECT_FALSE(t.defined());
+}
+
+TEST(TensorTest, ZerosOnesFull) {
+  Tensor z = Tensor::Zeros({2, 3});
+  EXPECT_EQ(z.numel(), 6);
+  for (int64_t i = 0; i < 6; ++i) EXPECT_EQ(z.at(i), 0.0f);
+
+  Tensor o = Tensor::Ones({4});
+  for (int64_t i = 0; i < 4; ++i) EXPECT_EQ(o.at(i), 1.0f);
+
+  Tensor f = Tensor::Full({2}, 3.5f);
+  EXPECT_EQ(f.at(0), 3.5f);
+  EXPECT_EQ(f.at(1), 3.5f);
+}
+
+TEST(TensorTest, FromVectorRoundTrip) {
+  std::vector<float> v = {1, 2, 3, 4, 5, 6};
+  Tensor t = Tensor::FromVector({2, 3}, v);
+  EXPECT_EQ(t.ToVector(), v);
+  EXPECT_EQ(t.dim(), 2);
+  EXPECT_EQ(t.size(0), 2);
+  EXPECT_EQ(t.size(1), 3);
+  EXPECT_EQ(t.size(-1), 3);
+}
+
+TEST(TensorTest, ScalarItem) {
+  Tensor s = Tensor::Scalar(2.5f);
+  EXPECT_EQ(s.dim(), 0);
+  EXPECT_EQ(s.numel(), 1);
+  EXPECT_FLOAT_EQ(s.item(), 2.5f);
+}
+
+TEST(TensorTest, RandnIsSeeded) {
+  Rng rng1(7);
+  Rng rng2(7);
+  Tensor a = Tensor::Randn({16}, &rng1);
+  Tensor b = Tensor::Randn({16}, &rng2);
+  EXPECT_EQ(a.ToVector(), b.ToVector());
+}
+
+TEST(TensorTest, RandRange) {
+  Rng rng(3);
+  Tensor t = Tensor::Rand({100}, &rng, -2.0f, 2.0f);
+  for (int64_t i = 0; i < t.numel(); ++i) {
+    EXPECT_GE(t.at(i), -2.0f);
+    EXPECT_LT(t.at(i), 2.0f);
+  }
+}
+
+TEST(TensorTest, CopyAliasesStorage) {
+  Tensor a = Tensor::Zeros({3});
+  Tensor b = a;  // shared handle semantics
+  b.data()[0] = 5.0f;
+  EXPECT_EQ(a.at(0), 5.0f);
+}
+
+TEST(TensorTest, CloneIsDeep) {
+  Tensor a = Tensor::Ones({3});
+  Tensor b = a.Clone();
+  b.data()[0] = 9.0f;
+  EXPECT_EQ(a.at(0), 1.0f);
+  EXPECT_EQ(b.at(0), 9.0f);
+}
+
+TEST(TensorTest, DetachSharesDataButNoGrad) {
+  Tensor a = Tensor::Ones({2});
+  a.set_requires_grad(true);
+  Tensor b = ops::MulScalar(a, 2.0f);
+  Tensor d = b.Detach();
+  EXPECT_FALSE(d.requires_grad());
+  EXPECT_EQ(d.at(0), 2.0f);
+}
+
+TEST(AutogradTest, SimpleChain) {
+  // y = sum(2x + 1); dy/dx = 2 everywhere.
+  Tensor x = Tensor::FromVector({3}, {1, 2, 3});
+  x.set_requires_grad(true);
+  Tensor y = ops::Sum(ops::AddScalar(ops::MulScalar(x, 2.0f), 1.0f));
+  EXPECT_FLOAT_EQ(y.item(), 15.0f);
+  y.Backward();
+  Tensor g = x.grad();
+  ASSERT_TRUE(g.defined());
+  for (int64_t i = 0; i < 3; ++i) EXPECT_FLOAT_EQ(g.at(i), 2.0f);
+}
+
+TEST(AutogradTest, GradAccumulatesAcrossBackward) {
+  Tensor x = Tensor::Ones({2});
+  x.set_requires_grad(true);
+  Tensor y1 = ops::Sum(x);
+  y1.Backward();
+  Tensor y2 = ops::Sum(x);
+  y2.Backward();
+  EXPECT_FLOAT_EQ(x.grad().at(0), 2.0f);
+  x.ZeroGrad();
+  EXPECT_FLOAT_EQ(x.grad().at(0), 0.0f);
+}
+
+TEST(AutogradTest, DiamondDependency) {
+  // y = sum(x*x + x*x) -> dy/dx = 4x.
+  Tensor x = Tensor::FromVector({2}, {1.0f, 3.0f});
+  x.set_requires_grad(true);
+  Tensor sq = ops::Mul(x, x);
+  Tensor y = ops::Sum(ops::Add(sq, sq));
+  y.Backward();
+  EXPECT_FLOAT_EQ(x.grad().at(0), 4.0f);
+  EXPECT_FLOAT_EQ(x.grad().at(1), 12.0f);
+}
+
+TEST(AutogradTest, NoGradGuardStopsTaping) {
+  Tensor x = Tensor::Ones({2});
+  x.set_requires_grad(true);
+  {
+    NoGradGuard guard;
+    Tensor y = ops::MulScalar(x, 3.0f);
+    EXPECT_FALSE(y.requires_grad());
+  }
+  Tensor z = ops::MulScalar(x, 3.0f);
+  EXPECT_TRUE(z.requires_grad());
+}
+
+TEST(AutogradTest, DetachBlocksGradientFlow) {
+  Tensor x = Tensor::Ones({2});
+  x.set_requires_grad(true);
+  Tensor y = ops::Sum(ops::Mul(ops::MulScalar(x, 2.0f).Detach(), x));
+  y.Backward();
+  // d/dx of (c * x) where c = 2x detached -> just c = 2.
+  EXPECT_FLOAT_EQ(x.grad().at(0), 2.0f);
+}
+
+TEST(MemoryTrackerTest, TracksTensorAllocations) {
+  auto& tracker = MemoryTracker::Instance();
+  const int64_t before = tracker.current_bytes();
+  {
+    Tensor t = Tensor::Zeros({1024});
+    EXPECT_GE(tracker.current_bytes(), before + 4096);
+  }
+  EXPECT_EQ(tracker.current_bytes(), before);
+}
+
+TEST(MemoryTrackerTest, PeakScopeObservesHighWaterMark) {
+  PeakMemoryScope scope;
+  const int64_t base = MemoryTracker::Instance().current_bytes();
+  { Tensor t = Tensor::Zeros({2048}); }
+  EXPECT_GE(scope.PeakBytes(), base + 8192);
+}
+
+}  // namespace
+}  // namespace crossem

@@ -1,0 +1,58 @@
+// Numeric gradient checking helper for autograd tests.
+#ifndef CROSSEM_TESTS_TESTING_GRADCHECK_H_
+#define CROSSEM_TESTS_TESTING_GRADCHECK_H_
+
+#include <cmath>
+#include <functional>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "tensor/tensor.h"
+
+namespace crossem {
+namespace testing {
+
+/// Checks autograd gradients of `fn` (tensor -> scalar tensor) against
+/// central finite differences at `x`. `fn` must be deterministic.
+inline void ExpectGradMatchesNumeric(
+    const std::function<Tensor(const Tensor&)>& fn, Tensor x,
+    float eps = 1e-3f, float rtol = 5e-2f, float atol = 5e-3f) {
+  x.set_requires_grad(true);
+  x.ZeroGrad();
+  Tensor out = fn(x);
+  ASSERT_EQ(out.numel(), 1) << "gradcheck needs a scalar objective";
+  out.Backward();
+  Tensor analytic = x.grad();
+  ASSERT_TRUE(analytic.defined());
+
+  std::vector<float> numeric(static_cast<size_t>(x.numel()));
+  for (int64_t i = 0; i < x.numel(); ++i) {
+    const float orig = x.data()[i];
+    x.data()[i] = orig + eps;
+    float plus;
+    {
+      NoGradGuard guard;
+      plus = fn(x).item();
+    }
+    x.data()[i] = orig - eps;
+    float minus;
+    {
+      NoGradGuard guard;
+      minus = fn(x).item();
+    }
+    x.data()[i] = orig;
+    numeric[static_cast<size_t>(i)] = (plus - minus) / (2.0f * eps);
+  }
+
+  for (int64_t i = 0; i < x.numel(); ++i) {
+    const float a = analytic.at(i);
+    const float n = numeric[static_cast<size_t>(i)];
+    const float tol = atol + rtol * std::fabs(n);
+    EXPECT_NEAR(a, n, tol) << "grad mismatch at flat index " << i;
+  }
+}
+
+}  // namespace testing
+}  // namespace crossem
+
+#endif  // CROSSEM_TESTS_TESTING_GRADCHECK_H_

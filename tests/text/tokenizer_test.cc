@@ -1,0 +1,129 @@
+#include "text/tokenizer.h"
+
+#include "gtest/gtest.h"
+
+namespace crossem {
+namespace text {
+namespace {
+
+TEST(VocabularyTest, SpecialsPreRegistered) {
+  Vocabulary v;
+  EXPECT_EQ(v.size(), Vocabulary::kNumSpecial);
+  EXPECT_EQ(v.Id("[CLS]"), Vocabulary::kCls);
+  EXPECT_EQ(v.Id("[SEP]"), Vocabulary::kSep);
+  EXPECT_EQ(v.Id("[PAD]"), Vocabulary::kPad);
+  EXPECT_EQ(v.Id("[MASK]"), Vocabulary::kMask);
+  EXPECT_EQ(v.Word(Vocabulary::kUnk), "[UNK]");
+}
+
+TEST(VocabularyTest, AddWordIsIdempotent) {
+  Vocabulary v;
+  int64_t a = v.AddWord("albatross");
+  EXPECT_EQ(v.AddWord("albatross"), a);
+  EXPECT_EQ(v.Id("albatross"), a);
+  EXPECT_TRUE(v.Contains("albatross"));
+  EXPECT_FALSE(v.Contains("woodpecker"));
+}
+
+TEST(VocabularyTest, UnknownMapsToUnk) {
+  Vocabulary v;
+  EXPECT_EQ(v.Id("nonexistent"), Vocabulary::kUnk);
+}
+
+TEST(SplitWordsTest, LowercasesAndSplits) {
+  EXPECT_EQ(SplitWords("Laysan Albatross"),
+            (std::vector<std::string>{"laysan", "albatross"}));
+}
+
+TEST(SplitWordsTest, KeepsIntraWordHyphens) {
+  EXPECT_EQ(SplitWords("long-wings, grey."),
+            (std::vector<std::string>{"long-wings", "grey"}));
+}
+
+TEST(SplitWordsTest, TrimsDanglingHyphens) {
+  EXPECT_EQ(SplitWords("-abc- def"),
+            (std::vector<std::string>{"abc", "def"}));
+}
+
+TEST(SplitWordsTest, EmptyAndPunctuationOnly) {
+  EXPECT_TRUE(SplitWords("").empty());
+  EXPECT_TRUE(SplitWords("!!! ... ,,,").empty());
+}
+
+TEST(SplitWordsTest, DigitsAreWords) {
+  EXPECT_EQ(SplitWords("top 5 birds"),
+            (std::vector<std::string>{"top", "5", "birds"}));
+}
+
+TEST(TokenizerTest, WrapsWithClsSep) {
+  Vocabulary v;
+  int64_t a = v.AddWord("a");
+  int64_t b = v.AddWord("b");
+  Tokenizer tok(&v, 16);
+  EXPECT_EQ(tok.Encode("a b"),
+            (std::vector<int64_t>{Vocabulary::kCls, a, b, Vocabulary::kSep}));
+}
+
+TEST(TokenizerTest, TruncatesAtContextLength) {
+  Vocabulary v;
+  for (int i = 0; i < 20; ++i) v.AddWord("w" + std::to_string(i));
+  Tokenizer tok(&v, 8);
+  std::string long_text;
+  for (int i = 0; i < 20; ++i) long_text += "w" + std::to_string(i) + " ";
+  auto ids = tok.Encode(long_text);
+  EXPECT_EQ(static_cast<int64_t>(ids.size()), 8);
+  EXPECT_EQ(ids.front(), Vocabulary::kCls);
+  EXPECT_EQ(ids.back(), Vocabulary::kSep);
+}
+
+TEST(TokenizerTest, PaddedEncodingHasFixedLength) {
+  Vocabulary v;
+  v.AddWord("a");
+  Tokenizer tok(&v, 10);
+  auto ids = tok.EncodePadded("a");
+  EXPECT_EQ(ids.size(), 10u);
+  EXPECT_EQ(ids[3], Vocabulary::kPad);
+  EXPECT_EQ(ids[9], Vocabulary::kPad);
+}
+
+TEST(TokenizerTest, UnknownWordsBecomeUnk) {
+  Vocabulary v;
+  Tokenizer tok(&v, 8);
+  auto ids = tok.Encode("mystery");
+  EXPECT_EQ(ids[1], Vocabulary::kUnk);
+}
+
+TEST(TokenizerTest, EncodeBatchPadsToLongestRow) {
+  Vocabulary v;
+  v.AddWord("a");
+  v.AddWord("b");
+  v.AddWord("c");
+  Tokenizer tok(&v, 32);
+  auto rows = tok.EncodeBatch({"a", "a b c"});
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0].size(), rows[1].size());
+  EXPECT_EQ(rows[1].size(), 5u);  // CLS a b c SEP
+  EXPECT_EQ(rows[0][3], Vocabulary::kPad);
+  EXPECT_EQ(rows[0][4], Vocabulary::kPad);
+}
+
+TEST(TokenizerTest, EncodeBatchPrefixMatchesEncode) {
+  Vocabulary v;
+  for (const char* w : {"x", "y", "z"}) v.AddWord(w);
+  Tokenizer tok(&v, 16);
+  auto rows = tok.EncodeBatch({"x y", "z"});
+  auto lone = tok.Encode("x y");
+  for (size_t i = 0; i < lone.size(); ++i) EXPECT_EQ(rows[0][i], lone[i]);
+}
+
+TEST(TokenizerTest, DecodeRendersWords) {
+  Vocabulary v;
+  int64_t a = v.AddWord("albatross");
+  Tokenizer tok(&v, 8);
+  EXPECT_EQ(tok.Decode({Vocabulary::kCls, a, Vocabulary::kSep}),
+            "[CLS] albatross [SEP]");
+}
+
+}  // namespace
+}  // namespace text
+}  // namespace crossem

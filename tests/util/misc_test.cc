@@ -1,0 +1,62 @@
+#include "gtest/gtest.h"
+#include "util/memory_tracker.h"
+#include "util/table_printer.h"
+#include "util/timer.h"
+
+namespace crossem {
+namespace {
+
+TEST(MemoryTrackerTest, AllocFreeBalance) {
+  auto& t = MemoryTracker::Instance();
+  int64_t before = t.current_bytes();
+  t.OnAlloc(100);
+  EXPECT_EQ(t.current_bytes(), before + 100);
+  t.OnFree(100);
+  EXPECT_EQ(t.current_bytes(), before);
+}
+
+TEST(MemoryTrackerTest, PeakMonotoneUntilReset) {
+  auto& t = MemoryTracker::Instance();
+  t.ResetPeak();
+  int64_t base = t.peak_bytes();
+  t.OnAlloc(500);
+  EXPECT_GE(t.peak_bytes(), base + 500);
+  t.OnFree(500);
+  EXPECT_GE(t.peak_bytes(), base + 500);  // peak persists
+  t.ResetPeak();
+  EXPECT_LT(t.peak_bytes(), base + 500);
+}
+
+TEST(TimerTest, MeasuresElapsed) {
+  Timer timer;
+  double sink = 0;
+  for (int i = 0; i < 100000; ++i) sink += i;
+  EXPECT_GT(sink, 0.0);
+  EXPECT_GE(timer.ElapsedSeconds(), 0.0);
+  EXPECT_GE(timer.ElapsedMillis(), timer.ElapsedSeconds());
+}
+
+TEST(TablePrinterTest, AlignsColumns) {
+  TablePrinter tp({"Method", "H@1"});
+  tp.AddRow({"CLIP", "68.00"});
+  tp.AddRow({"CrossEM+", "82.00"});
+  std::string s = tp.ToString();
+  EXPECT_NE(s.find("| Method   | H@1   |"), std::string::npos);
+  EXPECT_NE(s.find("| CrossEM+ | 82.00 |"), std::string::npos);
+}
+
+TEST(TablePrinterTest, PadsShortRows) {
+  TablePrinter tp({"A", "B", "C"});
+  tp.AddRow({"x"});
+  std::string s = tp.ToString();
+  EXPECT_NE(s.find("| x |"), std::string::npos);
+}
+
+TEST(TablePrinterTest, FmtPrecision) {
+  EXPECT_EQ(TablePrinter::Fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(TablePrinter::Fmt(2.0, 0), "2");
+  EXPECT_EQ(TablePrinter::Fmt(0.5, 3), "0.500");
+}
+
+}  // namespace
+}  // namespace crossem

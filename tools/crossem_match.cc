@@ -1,0 +1,370 @@
+// crossem_match — command-line cross-modal entity matching.
+//
+// Maps relational CSV tables and JSON documents into the unified graph,
+// loads an image repository given as patch-feature rows, and emits the
+// matching set S as CSV.
+//
+// Usage:
+//   crossem_match --table birds=birds.csv [--json extra.json]
+//                 --images patches.csv [--output matches.csv]
+//                 [--prompt hard|soft|baseline] [--epochs N]
+//                 [--checkpoint model.ckpt] [--save-checkpoint model.ckpt]
+//                 [--train-steps N] [--seed N]
+//
+// Image file format: one patch per row,
+//   image_id,f0,f1,...,f{D-1}
+// rows sharing image_id form one image (patch counts are padded to the
+// repository maximum with zero patches).
+//
+// Without --checkpoint, a small CLIP is trained on self-captions derived
+// from the mapped graph paired with the given images of each entity
+// (requires image_id values equal to entity labels, or entity labels
+// prefixed: "<entity label>#<n>").
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/crossem.h"
+#include "graph/data_mapping.h"
+#include "graph/stats.h"
+#include "nn/optimizer.h"
+#include "nn/serialize.h"
+#include "tensor/ops.h"
+#include "text/tokenizer.h"
+
+namespace {
+
+using namespace crossem;
+
+struct Args {
+  std::vector<std::pair<std::string, std::string>> tables;  // name, path
+  std::vector<std::string> jsons;
+  std::string images_path;
+  std::string output_path;
+  std::string checkpoint;
+  std::string save_checkpoint;
+  std::string prompt = "hard";
+  int64_t epochs = 4;
+  int64_t train_steps = 200;
+  uint64_t seed = 7;
+};
+
+void PrintUsage() {
+  std::fprintf(stderr,
+               "usage: crossem_match --table NAME=FILE.csv [--json FILE] "
+               "--images FILE.csv\n"
+               "       [--output FILE.csv] [--prompt hard|soft|baseline] "
+               "[--epochs N]\n"
+               "       [--checkpoint FILE] [--save-checkpoint FILE] "
+               "[--train-steps N] [--seed N]\n");
+}
+
+bool ParseArgs(int argc, char** argv, Args* args) {
+  for (int i = 1; i < argc; ++i) {
+    std::string flag = argv[i];
+    auto next = [&]() -> const char* {
+      return (i + 1 < argc) ? argv[++i] : nullptr;
+    };
+    if (flag == "--table") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      std::string spec = v;
+      size_t eq = spec.find('=');
+      if (eq == std::string::npos) return false;
+      args->tables.emplace_back(spec.substr(0, eq), spec.substr(eq + 1));
+    } else if (flag == "--json") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      args->jsons.push_back(v);
+    } else if (flag == "--images") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      args->images_path = v;
+    } else if (flag == "--output") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      args->output_path = v;
+    } else if (flag == "--checkpoint") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      args->checkpoint = v;
+    } else if (flag == "--save-checkpoint") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      args->save_checkpoint = v;
+    } else if (flag == "--prompt") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      args->prompt = v;
+    } else if (flag == "--epochs") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      args->epochs = std::atoll(v);
+    } else if (flag == "--train-steps") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      args->train_steps = std::atoll(v);
+    } else if (flag == "--seed") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      args->seed = static_cast<uint64_t>(std::atoll(v));
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", flag.c_str());
+      return false;
+    }
+  }
+  return !args->images_path.empty() &&
+         (!args->tables.empty() || !args->jsons.empty());
+}
+
+Result<std::string> ReadFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IOError("cannot read '" + path + "'");
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+struct ImageRepository {
+  std::vector<std::string> ids;      // one per image, input order
+  Tensor patches;                    // [N, Pmax, D]
+};
+
+/// Parses the patch-feature CSV (see file header for the format).
+Result<ImageRepository> LoadImages(const std::string& path) {
+  auto text = ReadFile(path);
+  if (!text.ok()) return text.status();
+  std::map<std::string, std::vector<std::vector<float>>> by_image;
+  std::vector<std::string> order;
+  std::istringstream in(text.value());
+  std::string line;
+  int64_t dim = -1;
+  while (std::getline(in, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty()) continue;
+    std::istringstream ls(line);
+    std::string cell;
+    if (!std::getline(ls, cell, ',')) continue;
+    std::string id = cell;
+    std::vector<float> feats;
+    while (std::getline(ls, cell, ',')) {
+      feats.push_back(std::strtof(cell.c_str(), nullptr));
+    }
+    if (feats.empty()) {
+      return Status::ParseError("image row without features: " + line);
+    }
+    if (dim < 0) dim = static_cast<int64_t>(feats.size());
+    if (static_cast<int64_t>(feats.size()) != dim) {
+      return Status::ParseError("inconsistent feature width in '" + path +
+                                "'");
+    }
+    if (by_image.emplace(id, std::vector<std::vector<float>>{}).second) {
+      order.push_back(id);
+    }
+    by_image[id].push_back(std::move(feats));
+  }
+  if (order.empty()) return Status::ParseError("no images in '" + path + "'");
+
+  size_t max_patches = 0;
+  for (const auto& [id, rows] : by_image) {
+    max_patches = std::max(max_patches, rows.size());
+  }
+  ImageRepository repo;
+  repo.ids = order;
+  repo.patches = Tensor::Zeros({static_cast<int64_t>(order.size()),
+                                static_cast<int64_t>(max_patches), dim});
+  float* p = repo.patches.data();
+  for (size_t img = 0; img < order.size(); ++img) {
+    const auto& rows = by_image[order[img]];
+    for (size_t r = 0; r < rows.size(); ++r) {
+      std::copy(rows[r].begin(), rows[r].end(),
+                p + (img * max_patches + r) * static_cast<size_t>(dim));
+    }
+  }
+  return repo;
+}
+
+/// Entity label for an image id "<label>" or "<label>#<n>".
+std::string EntityOfImageId(const std::string& id) {
+  size_t hash = id.find('#');
+  return hash == std::string::npos ? id : id.substr(0, hash);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args;
+  if (!ParseArgs(argc, argv, &args)) {
+    PrintUsage();
+    return 2;
+  }
+
+  // -- Data mapping ------------------------------------------------------
+  graph::GraphBuilder builder;
+  for (const auto& [name, path] : args.tables) {
+    auto text = ReadFile(path);
+    if (!text.ok()) {
+      std::fprintf(stderr, "%s\n", text.status().ToString().c_str());
+      return 1;
+    }
+    auto table = graph::ParseCsv(name, text.value());
+    if (!table.ok()) {
+      std::fprintf(stderr, "%s: %s\n", path.c_str(),
+                   table.status().ToString().c_str());
+      return 1;
+    }
+    if (auto st = builder.AddTable(table.value()); !st.ok()) {
+      std::fprintf(stderr, "%s: %s\n", path.c_str(), st.ToString().c_str());
+      return 1;
+    }
+  }
+  for (const std::string& path : args.jsons) {
+    auto text = ReadFile(path);
+    if (!text.ok()) {
+      std::fprintf(stderr, "%s\n", text.status().ToString().c_str());
+      return 1;
+    }
+    auto doc = graph::ParseJson(text.value());
+    if (!doc.ok()) {
+      std::fprintf(stderr, "%s: %s\n", path.c_str(),
+                   doc.status().ToString().c_str());
+      return 1;
+    }
+    if (auto st = builder.AddJson(doc.value()); !st.ok()) {
+      std::fprintf(stderr, "%s: %s\n", path.c_str(), st.ToString().c_str());
+      return 1;
+    }
+  }
+  const graph::Graph& g = builder.graph();
+  std::fprintf(stderr, "mapped graph: %s\n",
+               graph::ComputeGraphStats(g).ToString().c_str());
+
+  // -- Images ----------------------------------------------------------------
+  auto repo = LoadImages(args.images_path);
+  if (!repo.ok()) {
+    std::fprintf(stderr, "%s\n", repo.status().ToString().c_str());
+    return 1;
+  }
+  const ImageRepository& images = repo.value();
+  const int64_t patch_dim = images.patches.size(2);
+  std::fprintf(stderr, "images: %zu (up to %lld patches of dim %lld)\n",
+               images.ids.size(),
+               static_cast<long long>(images.patches.size(1)),
+               static_cast<long long>(patch_dim));
+
+  // -- Model -----------------------------------------------------------------
+  text::Vocabulary vocab;
+  for (const std::string& w : g.UniqueWords()) vocab.AddWord(w);
+  for (const char* w : {"a", "photo", "of", "with", "and", "in"}) {
+    vocab.AddWord(w);
+  }
+  clip::ClipConfig cc;
+  cc.vocab_size = vocab.size();
+  cc.text_context = 64;
+  cc.patch_dim = patch_dim;
+  cc.max_patches = images.patches.size(1) + 1;
+  Rng rng(args.seed);
+  clip::ClipModel model(cc, &rng);
+  text::Tokenizer tokenizer(&vocab, cc.text_context);
+
+  if (!args.checkpoint.empty()) {
+    if (auto st = nn::LoadCheckpoint(&model, args.checkpoint); !st.ok()) {
+      std::fprintf(stderr, "checkpoint: %s\n", st.ToString().c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "loaded checkpoint %s\n", args.checkpoint.c_str());
+  } else {
+    // Self-supervised pre-training on (entity serialization, entity
+    // image) pairs, when image ids name their entities.
+    core::HardPromptOptions hp;
+    core::HardPromptGenerator prompts(&g, hp);
+    std::vector<std::pair<graph::VertexId, int64_t>> pairs;
+    for (size_t img = 0; img < images.ids.size(); ++img) {
+      graph::VertexId v = g.FindVertex(EntityOfImageId(images.ids[img]));
+      if (v >= 0) pairs.emplace_back(v, static_cast<int64_t>(img));
+    }
+    if (pairs.empty()) {
+      std::fprintf(stderr,
+                   "no image ids match entity labels and no --checkpoint "
+                   "given; cannot train\n");
+      return 1;
+    }
+    std::fprintf(stderr, "training on %zu aligned (entity, image) pairs\n",
+                 pairs.size());
+    nn::AdamW opt(model.Parameters(), 3e-3f);
+    for (int64_t step = 0; step < args.train_steps; ++step) {
+      const int64_t batch =
+          std::min<int64_t>(12, static_cast<int64_t>(pairs.size()));
+      auto pick = rng.SampleWithoutReplacement(
+          static_cast<int64_t>(pairs.size()), batch);
+      std::vector<std::string> captions;
+      std::vector<Tensor> patch_rows;
+      for (int64_t k : pick) {
+        captions.push_back(prompts.Generate(pairs[static_cast<size_t>(k)].first));
+        const int64_t img = pairs[static_cast<size_t>(k)].second;
+        patch_rows.push_back(ops::Reshape(
+            ops::Slice(images.patches, 0, img, img + 1),
+            {images.patches.size(1), patch_dim}));
+      }
+      Tensor te = model.text().Forward(tokenizer.EncodeBatch(captions));
+      Tensor ie = model.image().Forward(ops::Stack(patch_rows));
+      Tensor loss = model.ContrastiveLoss(te, ie);
+      opt.ZeroGrad();
+      loss.Backward();
+      nn::ClipGradNorm(model.Parameters(), 5.0f);
+      opt.Step();
+    }
+  }
+  if (!args.save_checkpoint.empty()) {
+    if (auto st = nn::SaveCheckpoint(model, args.save_checkpoint); !st.ok()) {
+      std::fprintf(stderr, "save: %s\n", st.ToString().c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "saved checkpoint %s\n",
+                 args.save_checkpoint.c_str());
+  }
+
+  // -- Matching -----------------------------------------------------------------
+  core::CrossEmOptions options;
+  if (args.prompt == "hard") {
+    options.prompt_mode = core::PromptMode::kHard;
+  } else if (args.prompt == "soft") {
+    options.prompt_mode = core::PromptMode::kSoft;
+  } else if (args.prompt == "baseline") {
+    options.prompt_mode = core::PromptMode::kBaseline;
+  } else {
+    std::fprintf(stderr, "unknown --prompt '%s'\n", args.prompt.c_str());
+    return 2;
+  }
+  options.epochs = args.epochs;
+  options.seed = args.seed;
+  core::CrossEm matcher(&model, &g, &tokenizer, options);
+  std::vector<graph::VertexId> entities = builder.entity_vertices();
+  if (auto fit = matcher.Fit(entities, images.patches); !fit.ok()) {
+    std::fprintf(stderr, "fit: %s\n", fit.status().ToString().c_str());
+    return 1;
+  }
+  auto matches = matcher.FindMatches(entities, images.patches);
+
+  std::FILE* out = stdout;
+  if (!args.output_path.empty()) {
+    out = std::fopen(args.output_path.c_str(), "w");
+    if (out == nullptr) {
+      std::fprintf(stderr, "cannot write '%s'\n", args.output_path.c_str());
+      return 1;
+    }
+  }
+  std::fprintf(out, "entity,image_id,probability\n");
+  for (const auto& m : matches) {
+    std::fprintf(out, "%s,%s,%.6f\n", g.VertexLabel(m.vertex).c_str(),
+                 images.ids[static_cast<size_t>(m.image)].c_str(), m.score);
+  }
+  if (out != stdout) std::fclose(out);
+  std::fprintf(stderr, "wrote %zu matching pairs\n", matches.size());
+  return 0;
+}
