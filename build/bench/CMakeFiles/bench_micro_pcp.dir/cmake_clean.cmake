@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_pcp.dir/bench_micro_pcp.cc.o"
+  "CMakeFiles/bench_micro_pcp.dir/bench_micro_pcp.cc.o.d"
+  "bench_micro_pcp"
+  "bench_micro_pcp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_pcp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sweep_hyperparams.dir/bench_sweep_hyperparams.cc.o"
+  "CMakeFiles/bench_sweep_hyperparams.dir/bench_sweep_hyperparams.cc.o.d"
+  "bench_sweep_hyperparams"
+  "bench_sweep_hyperparams.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sweep_hyperparams.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

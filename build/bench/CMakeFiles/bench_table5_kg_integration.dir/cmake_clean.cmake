@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table5_kg_integration.dir/bench_table5_kg_integration.cc.o"
+  "CMakeFiles/bench_table5_kg_integration.dir/bench_table5_kg_integration.cc.o.d"
+  "bench_table5_kg_integration"
+  "bench_table5_kg_integration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_kg_integration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

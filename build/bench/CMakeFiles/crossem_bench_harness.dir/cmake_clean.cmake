@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crossem_bench_harness.dir/harness.cc.o"
+  "CMakeFiles/crossem_bench_harness.dir/harness.cc.o.d"
+  "libcrossem_bench_harness.a"
+  "libcrossem_bench_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crossem_bench_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

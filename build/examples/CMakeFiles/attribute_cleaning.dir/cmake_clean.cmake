@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/attribute_cleaning.dir/attribute_cleaning.cpp.o"
+  "CMakeFiles/attribute_cleaning.dir/attribute_cleaning.cpp.o.d"
+  "attribute_cleaning"
+  "attribute_cleaning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/attribute_cleaning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

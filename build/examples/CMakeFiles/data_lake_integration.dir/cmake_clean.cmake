@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/data_lake_integration.dir/data_lake_integration.cpp.o"
+  "CMakeFiles/data_lake_integration.dir/data_lake_integration.cpp.o.d"
+  "data_lake_integration"
+  "data_lake_integration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/data_lake_integration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kg_integration.dir/kg_integration.cpp.o"
+  "CMakeFiles/kg_integration.dir/kg_integration.cpp.o.d"
+  "kg_integration"
+  "kg_integration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kg_integration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

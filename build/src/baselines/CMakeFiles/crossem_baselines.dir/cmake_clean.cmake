@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crossem_baselines.dir/common.cc.o"
+  "CMakeFiles/crossem_baselines.dir/common.cc.o.d"
+  "CMakeFiles/crossem_baselines.dir/dual_encoder.cc.o"
+  "CMakeFiles/crossem_baselines.dir/dual_encoder.cc.o.d"
+  "CMakeFiles/crossem_baselines.dir/fusion.cc.o"
+  "CMakeFiles/crossem_baselines.dir/fusion.cc.o.d"
+  "CMakeFiles/crossem_baselines.dir/gppt.cc.o"
+  "CMakeFiles/crossem_baselines.dir/gppt.cc.o.d"
+  "CMakeFiles/crossem_baselines.dir/imram.cc.o"
+  "CMakeFiles/crossem_baselines.dir/imram.cc.o.d"
+  "CMakeFiles/crossem_baselines.dir/kge.cc.o"
+  "CMakeFiles/crossem_baselines.dir/kge.cc.o.d"
+  "CMakeFiles/crossem_baselines.dir/mkgformer.cc.o"
+  "CMakeFiles/crossem_baselines.dir/mkgformer.cc.o.d"
+  "CMakeFiles/crossem_baselines.dir/transae.cc.o"
+  "CMakeFiles/crossem_baselines.dir/transae.cc.o.d"
+  "libcrossem_baselines.a"
+  "libcrossem_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crossem_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

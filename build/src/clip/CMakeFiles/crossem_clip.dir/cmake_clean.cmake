@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crossem_clip.dir/clip.cc.o"
+  "CMakeFiles/crossem_clip.dir/clip.cc.o.d"
+  "CMakeFiles/crossem_clip.dir/pretrain.cc.o"
+  "CMakeFiles/crossem_clip.dir/pretrain.cc.o.d"
+  "libcrossem_clip.a"
+  "libcrossem_clip.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crossem_clip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crossem_core.dir/crossem.cc.o"
+  "CMakeFiles/crossem_core.dir/crossem.cc.o.d"
+  "CMakeFiles/crossem_core.dir/hard_prompt.cc.o"
+  "CMakeFiles/crossem_core.dir/hard_prompt.cc.o.d"
+  "CMakeFiles/crossem_core.dir/kmeans.cc.o"
+  "CMakeFiles/crossem_core.dir/kmeans.cc.o.d"
+  "CMakeFiles/crossem_core.dir/losses.cc.o"
+  "CMakeFiles/crossem_core.dir/losses.cc.o.d"
+  "CMakeFiles/crossem_core.dir/negative_sampling.cc.o"
+  "CMakeFiles/crossem_core.dir/negative_sampling.cc.o.d"
+  "CMakeFiles/crossem_core.dir/pcp.cc.o"
+  "CMakeFiles/crossem_core.dir/pcp.cc.o.d"
+  "CMakeFiles/crossem_core.dir/soft_prompt.cc.o"
+  "CMakeFiles/crossem_core.dir/soft_prompt.cc.o.d"
+  "libcrossem_core.a"
+  "libcrossem_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crossem_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

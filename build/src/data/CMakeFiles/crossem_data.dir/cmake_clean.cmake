@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crossem_data.dir/dataset.cc.o"
+  "CMakeFiles/crossem_data.dir/dataset.cc.o.d"
+  "CMakeFiles/crossem_data.dir/world.cc.o"
+  "CMakeFiles/crossem_data.dir/world.cc.o.d"
+  "libcrossem_data.a"
+  "libcrossem_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crossem_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crossem_eval.dir/metrics.cc.o"
+  "CMakeFiles/crossem_eval.dir/metrics.cc.o.d"
+  "CMakeFiles/crossem_eval.dir/per_class.cc.o"
+  "CMakeFiles/crossem_eval.dir/per_class.cc.o.d"
+  "libcrossem_eval.a"
+  "libcrossem_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crossem_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

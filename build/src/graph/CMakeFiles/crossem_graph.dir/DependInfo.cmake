@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/data_mapping.cc" "src/graph/CMakeFiles/crossem_graph.dir/data_mapping.cc.o" "gcc" "src/graph/CMakeFiles/crossem_graph.dir/data_mapping.cc.o.d"
+  "/root/repo/src/graph/graph.cc" "src/graph/CMakeFiles/crossem_graph.dir/graph.cc.o" "gcc" "src/graph/CMakeFiles/crossem_graph.dir/graph.cc.o.d"
+  "/root/repo/src/graph/json.cc" "src/graph/CMakeFiles/crossem_graph.dir/json.cc.o" "gcc" "src/graph/CMakeFiles/crossem_graph.dir/json.cc.o.d"
+  "/root/repo/src/graph/stats.cc" "src/graph/CMakeFiles/crossem_graph.dir/stats.cc.o" "gcc" "src/graph/CMakeFiles/crossem_graph.dir/stats.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/crossem_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crossem_graph.dir/data_mapping.cc.o"
+  "CMakeFiles/crossem_graph.dir/data_mapping.cc.o.d"
+  "CMakeFiles/crossem_graph.dir/graph.cc.o"
+  "CMakeFiles/crossem_graph.dir/graph.cc.o.d"
+  "CMakeFiles/crossem_graph.dir/json.cc.o"
+  "CMakeFiles/crossem_graph.dir/json.cc.o.d"
+  "CMakeFiles/crossem_graph.dir/stats.cc.o"
+  "CMakeFiles/crossem_graph.dir/stats.cc.o.d"
+  "libcrossem_graph.a"
+  "libcrossem_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crossem_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crossem_nn.dir/attention.cc.o"
+  "CMakeFiles/crossem_nn.dir/attention.cc.o.d"
+  "CMakeFiles/crossem_nn.dir/graph_agg.cc.o"
+  "CMakeFiles/crossem_nn.dir/graph_agg.cc.o.d"
+  "CMakeFiles/crossem_nn.dir/layers.cc.o"
+  "CMakeFiles/crossem_nn.dir/layers.cc.o.d"
+  "CMakeFiles/crossem_nn.dir/module.cc.o"
+  "CMakeFiles/crossem_nn.dir/module.cc.o.d"
+  "CMakeFiles/crossem_nn.dir/optimizer.cc.o"
+  "CMakeFiles/crossem_nn.dir/optimizer.cc.o.d"
+  "CMakeFiles/crossem_nn.dir/serialize.cc.o"
+  "CMakeFiles/crossem_nn.dir/serialize.cc.o.d"
+  "libcrossem_nn.a"
+  "libcrossem_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crossem_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crossem_tensor.dir/ops.cc.o"
+  "CMakeFiles/crossem_tensor.dir/ops.cc.o.d"
+  "CMakeFiles/crossem_tensor.dir/tensor.cc.o"
+  "CMakeFiles/crossem_tensor.dir/tensor.cc.o.d"
+  "libcrossem_tensor.a"
+  "libcrossem_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crossem_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crossem_text.dir/tokenizer.cc.o"
+  "CMakeFiles/crossem_text.dir/tokenizer.cc.o.d"
+  "libcrossem_text.a"
+  "libcrossem_text.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crossem_text.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

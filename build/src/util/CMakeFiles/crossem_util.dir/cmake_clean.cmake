@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crossem_util.dir/logging.cc.o"
+  "CMakeFiles/crossem_util.dir/logging.cc.o.d"
+  "CMakeFiles/crossem_util.dir/memory_tracker.cc.o"
+  "CMakeFiles/crossem_util.dir/memory_tracker.cc.o.d"
+  "CMakeFiles/crossem_util.dir/random.cc.o"
+  "CMakeFiles/crossem_util.dir/random.cc.o.d"
+  "CMakeFiles/crossem_util.dir/status.cc.o"
+  "CMakeFiles/crossem_util.dir/status.cc.o.d"
+  "CMakeFiles/crossem_util.dir/table_printer.cc.o"
+  "CMakeFiles/crossem_util.dir/table_printer.cc.o.d"
+  "libcrossem_util.a"
+  "libcrossem_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crossem_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

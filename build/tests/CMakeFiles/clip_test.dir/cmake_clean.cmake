@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clip_test.dir/clip/clip_test.cc.o"
+  "CMakeFiles/clip_test.dir/clip/clip_test.cc.o.d"
+  "CMakeFiles/clip_test.dir/clip/pretrain_test.cc.o"
+  "CMakeFiles/clip_test.dir/clip/pretrain_test.cc.o.d"
+  "clip_test"
+  "clip_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clip_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_test.dir/core/crossem_test.cc.o"
+  "CMakeFiles/core_test.dir/core/crossem_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/hard_prompt_test.cc.o"
+  "CMakeFiles/core_test.dir/core/hard_prompt_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/kmeans_test.cc.o"
+  "CMakeFiles/core_test.dir/core/kmeans_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/losses_test.cc.o"
+  "CMakeFiles/core_test.dir/core/losses_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/options_sweep_test.cc.o"
+  "CMakeFiles/core_test.dir/core/options_sweep_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/pcp_test.cc.o"
+  "CMakeFiles/core_test.dir/core/pcp_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/soft_prompt_test.cc.o"
+  "CMakeFiles/core_test.dir/core/soft_prompt_test.cc.o.d"
+  "core_test"
+  "core_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/tensor/ops_test.cc" "tests/CMakeFiles/tensor_test.dir/tensor/ops_test.cc.o" "gcc" "tests/CMakeFiles/tensor_test.dir/tensor/ops_test.cc.o.d"
+  "/root/repo/tests/tensor/tensor_test.cc" "tests/CMakeFiles/tensor_test.dir/tensor/tensor_test.cc.o" "gcc" "tests/CMakeFiles/tensor_test.dir/tensor/tensor_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/baselines/CMakeFiles/crossem_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/crossem_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/eval/CMakeFiles/crossem_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/clip/CMakeFiles/crossem_clip.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/crossem_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/crossem_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/crossem_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/crossem_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/crossem_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/crossem_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

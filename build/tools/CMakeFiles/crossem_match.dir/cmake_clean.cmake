@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crossem_match.dir/crossem_match.cc.o"
+  "CMakeFiles/crossem_match.dir/crossem_match.cc.o.d"
+  "crossem_match"
+  "crossem_match.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crossem_match.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
