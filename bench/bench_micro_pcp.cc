@@ -2,11 +2,13 @@
 // (google-benchmark): d-hop subgraph extraction, PCP proximity, phase-3
 // partitioning, negative sampling, and k-means — the components whose
 // cost Table III/IV attribute to MBG/NS.
+#include "bench/parallel_report.h"
 #include "benchmark/benchmark.h"
 #include "core/kmeans.h"
 #include "core/negative_sampling.h"
 #include "core/pcp.h"
 #include "data/dataset.h"
+#include "tensor/ops.h"
 
 namespace crossem {
 namespace {
@@ -110,7 +112,72 @@ void BM_KMeans(benchmark::State& state) {
 }
 BENCHMARK(BM_KMeans)->Arg(64)->Arg(256);
 
+void EmitParallelReport() {
+  bench::ParallelReport report;
+  auto& ctx = Context();
+  const std::vector<int> sweep = {1, 2, 4, 8};
+
+  {
+    // The parallel sweep runs a larger tower than the shared BM context so
+    // the timing is dominated by the GEMM/encoder work the runtime
+    // parallelizes rather than by per-op dispatch overhead.
+    clip::ClipConfig cc;
+    cc.vocab_size = ctx.dataset.vocab.size();
+    cc.text_context = 32;
+    cc.model_dim = 64;
+    cc.text_layers = 2;
+    cc.text_heads = 4;
+    cc.image_layers = 2;
+    cc.image_heads = 4;
+    cc.patch_dim = ctx.dataset.world->config().patch_dim;
+    cc.max_patches = 16;
+    cc.embed_dim = 32;
+    Rng rng(11);
+    clip::ClipModel big_model(cc, &rng);
+    text::Tokenizer tokenizer(&ctx.dataset.vocab, cc.text_context);
+    core::MiniBatchGenerator gen(&big_model, &ctx.dataset.graph, &tokenizer,
+                                 core::PcpOptions{});
+    const std::string size =
+        std::to_string(ctx.vertices.size()) + "v_dim" +
+        std::to_string(cc.model_dim);
+    auto proximity = [&] {
+      Tensor prox = gen.ComputeProximity(ctx.vertices, ctx.images);
+      benchmark::DoNotOptimize(prox.data());
+    };
+    // Baseline: the seed's serial scalar GEMM under the whole PCP stack,
+    // so the sweep's speedup column tracks the composite improvement.
+    ops::SetGemmKernel(ops::GemmKernel::kReference);
+    const double seed_ns =
+        report.Measure("pcp_proximity_seed_gemm", size, 1, proximity);
+    ops::SetGemmKernel(ops::GemmKernel::kBlocked);
+    report.MeasureSweep("pcp_proximity", size, sweep, proximity, seed_ns);
+  }
+  {
+    Rng data_rng(9);
+    Tensor points = Tensor::Randn({1024, 16}, &data_rng);
+    report.MeasureSweep("kmeans", "1024x16_k8", sweep, [&] {
+      // Fresh same-seed rng per run so every timing does identical work.
+      Rng rng(10);
+      auto result = core::KMeans(points, 8, &rng);
+      benchmark::DoNotOptimize(result.assignments.data());
+    });
+  }
+
+  const std::string path = bench::ParallelReportPath();
+  if (report.WriteJson(path)) {
+    printf("wrote %zu parallel perf records to %s\n",
+           report.records().size(), path.c_str());
+  }
+}
+
 }  // namespace
 }  // namespace crossem
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  crossem::EmitParallelReport();
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,10 +1,12 @@
 // Microbenchmarks of the tensor/NN substrate (google-benchmark): matmul,
 // softmax forward/backward, attention forward/backward. These quantify
 // the engine the CrossEM results run on.
+#include "bench/parallel_report.h"
 #include "benchmark/benchmark.h"
 #include "nn/attention.h"
 #include "tensor/ops.h"
 #include "tensor/tensor.h"
+#include "util/parallel.h"
 
 namespace crossem {
 namespace {
@@ -21,7 +23,7 @@ void BM_MatMul(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations() * n * n * n);
 }
-BENCHMARK(BM_MatMul)->Arg(32)->Arg(64)->Arg(128);
+BENCHMARK(BM_MatMul)->Arg(32)->Arg(64)->Arg(128)->Arg(256);
 
 void BM_SoftmaxForward(benchmark::State& state) {
   const int64_t rows = state.range(0);
@@ -85,7 +87,72 @@ void BM_LayerNormForward(benchmark::State& state) {
 }
 BENCHMARK(BM_LayerNormForward)->Arg(64)->Arg(512);
 
+void EmitParallelReport() {
+  bench::ParallelReport report;
+  Rng rng(42);
+  const std::vector<int> sweep = {1, 2, 4, 8};
+
+  {
+    // The seed repository's scalar kernel (kReference) is the fixed
+    // baseline the gemm speedup column is measured against across PRs;
+    // both sides run through ops::MatMul so tensor overhead cancels.
+    const int64_t n = 256;
+    Tensor a = Tensor::Randn({n, n}, &rng);
+    Tensor b = Tensor::Randn({n, n}, &rng);
+    auto matmul = [&] {
+      NoGradGuard guard;
+      Tensor out = ops::MatMul(a, b);
+      benchmark::DoNotOptimize(out.data());
+    };
+    ops::SetGemmKernel(ops::GemmKernel::kReference);
+    const double seed_ns =
+        report.Measure("gemm_seed_scalar", "256x256x256", 1, matmul);
+    ops::SetGemmKernel(ops::GemmKernel::kBlocked);
+    report.MeasureSweep("gemm", "256x256x256", sweep, matmul, seed_ns);
+  }
+  {
+    // trans_b layout (the similarity-matrix pattern V x I^T).
+    const int64_t n = 256;
+    Tensor a = Tensor::Randn({n, n}, &rng);
+    Tensor bt = Tensor::Randn({n, n}, &rng);
+    report.MeasureSweep("gemm_trans_b", "256x256x256", sweep, [&] {
+      NoGradGuard guard;
+      Tensor out = ops::MatMul(a, ops::Transpose(bt, 0, 1));
+      benchmark::DoNotOptimize(out.data());
+    });
+  }
+  {
+    Tensor x = Tensor::Randn({4096, 256}, &rng);
+    report.MeasureSweep("softmax_fwd", "4096x256", sweep, [&] {
+      NoGradGuard guard;
+      Tensor y = ops::Softmax(x);
+      benchmark::DoNotOptimize(y.data());
+    });
+  }
+  {
+    Tensor x = Tensor::Randn({1 << 21}, &rng);
+    report.MeasureSweep("sum_reduce", "2097152", sweep, [&] {
+      NoGradGuard guard;
+      Tensor s = ops::Sum(x);
+      benchmark::DoNotOptimize(s.data());
+    });
+  }
+
+  const std::string path = bench::ParallelReportPath();
+  if (report.WriteJson(path)) {
+    printf("wrote %zu parallel perf records to %s\n",
+           report.records().size(), path.c_str());
+  }
+}
+
 }  // namespace
 }  // namespace crossem
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  crossem::EmitParallelReport();
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

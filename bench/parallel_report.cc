@@ -1,0 +1,139 @@
+#include "bench/parallel_report.h"
+
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <sstream>
+
+#include "graph/json.h"
+#include "util/logging.h"
+#include "util/parallel.h"
+#include "util/timer.h"
+
+namespace crossem {
+namespace bench {
+
+namespace {
+
+/// Min-of-repetitions timing: repeats `fn` until ~200ms of samples (at
+/// least 3 runs after one warmup) and returns the fastest in ns.
+double TimeNs(const std::function<void()>& fn) {
+  fn();  // warmup
+  double best = -1.0;
+  double total = 0.0;
+  int reps = 0;
+  while ((total < 0.2 || reps < 3) && reps < 50) {
+    Timer timer;
+    fn();
+    const double sec = timer.ElapsedSeconds();
+    total += sec;
+    ++reps;
+    if (best < 0.0 || sec < best) best = sec;
+  }
+  return best * 1e9;
+}
+
+std::string RecordKey(const std::string& op, const std::string& size,
+                      int threads) {
+  std::ostringstream key;
+  key << op << '|' << size << '|' << threads;
+  return key.str();
+}
+
+graph::JsonValue ToJson(const ParallelBenchRecord& r) {
+  std::map<std::string, graph::JsonValue> obj;
+  obj["op"] = graph::JsonValue::String(r.op);
+  obj["size"] = graph::JsonValue::String(r.size);
+  obj["threads"] = graph::JsonValue::Number(r.threads);
+  obj["ns_per_iter"] = graph::JsonValue::Number(r.ns_per_iter);
+  obj["speedup"] = graph::JsonValue::Number(r.speedup);
+  return graph::JsonValue::Object(std::move(obj));
+}
+
+}  // namespace
+
+double ParallelReport::Measure(const std::string& op, const std::string& size,
+                               int threads, const std::function<void()>& fn,
+                               double baseline_ns) {
+  SetNumThreads(threads);
+  const double ns = TimeNs(fn);
+  SetNumThreads(0);
+  ParallelBenchRecord rec;
+  rec.op = op;
+  rec.size = size;
+  rec.threads = threads;
+  rec.ns_per_iter = ns;
+  rec.speedup = baseline_ns > 0.0 ? baseline_ns / ns : 1.0;
+  records_.push_back(rec);
+  return ns;
+}
+
+void ParallelReport::MeasureSweep(const std::string& op,
+                                  const std::string& size,
+                                  const std::vector<int>& thread_counts,
+                                  const std::function<void()>& fn,
+                                  double baseline_ns) {
+  double base = baseline_ns;
+  for (int t : thread_counts) {
+    const double ns = Measure(op, size, t, fn, base);
+    if (base <= 0.0) {
+      // First (typically 1-thread) run anchors the sweep's speedups.
+      base = ns;
+      records_.back().speedup = 1.0;
+    }
+  }
+}
+
+bool ParallelReport::WriteJson(const std::string& path) const {
+  // Load existing records so repeated bench runs merge rather than clobber.
+  std::map<std::string, graph::JsonValue> merged;  // key -> record object
+  std::vector<std::string> order;
+  std::ifstream in(path);
+  if (in) {
+    std::stringstream buf;
+    buf << in.rdbuf();
+    auto parsed = graph::ParseJson(buf.str());
+    if (parsed.ok() && parsed.value().is_object()) {
+      const graph::JsonValue* recs = parsed.value().Find("records");
+      if (recs != nullptr && recs->is_array()) {
+        for (const graph::JsonValue& r : recs->array_items()) {
+          const graph::JsonValue* op = r.Find("op");
+          const graph::JsonValue* size = r.Find("size");
+          const graph::JsonValue* threads = r.Find("threads");
+          if (!op || !size || !threads) continue;
+          const std::string key =
+              RecordKey(op->string_value(), size->string_value(),
+                        static_cast<int>(threads->number_value()));
+          if (merged.emplace(key, r).second) order.push_back(key);
+        }
+      }
+    }
+  }
+  for (const ParallelBenchRecord& r : records_) {
+    const std::string key = RecordKey(r.op, r.size, r.threads);
+    if (merged.find(key) == merged.end()) order.push_back(key);
+    merged[key] = ToJson(r);
+  }
+
+  std::vector<graph::JsonValue> array;
+  array.reserve(order.size());
+  for (const std::string& key : order) array.push_back(merged.at(key));
+  std::map<std::string, graph::JsonValue> doc;
+  doc["records"] = graph::JsonValue::Array(std::move(array));
+
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    CROSSEM_LOG(Error) << "cannot write " << path;
+    return false;
+  }
+  out << graph::JsonValue::Object(std::move(doc)).Dump() << "\n";
+  return static_cast<bool>(out);
+}
+
+std::string ParallelReportPath() {
+  if (const char* env = std::getenv("CROSSEM_BENCH_JSON")) return env;
+  return "BENCH_parallel.json";
+}
+
+}  // namespace bench
+}  // namespace crossem

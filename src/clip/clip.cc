@@ -105,11 +105,10 @@ Tensor ImageEncoder::Forward(const Tensor& patches) const {
   CROSSEM_CHECK_LE(p, config_.max_patches);
 
   Tensor x = patch_embedding_.Forward(patches);  // [B, P, D]
-  // Prepend the learned [CLS] patch.
-  Tensor cls = ops::Reshape(cls_token_, {1, config_.model_dim});
-  std::vector<Tensor> cls_rows(static_cast<size_t>(b), cls);
-  Tensor cls_batch = ops::Reshape(ops::Concat(cls_rows, 0),
-                                  {b, 1, config_.model_dim});
+  // Prepend the learned [CLS] patch, tiled across the batch by a broadcast
+  // add (one op instead of a b-way concat).
+  Tensor cls_batch =
+      ops::Add(Tensor::Zeros({b, 1, config_.model_dim}), cls_token_);
   // No positional embeddings: images are BAGS of patch features (see
   // DESIGN.md) — the encoder must be permutation-invariant over patches.
   x = ops::Concat({cls_batch, x}, 1);  // [B, P+1, D]

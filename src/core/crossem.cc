@@ -8,6 +8,7 @@
 #include "tensor/ops.h"
 #include "util/logging.h"
 #include "util/memory_tracker.h"
+#include "util/parallel.h"
 #include "util/timer.h"
 
 namespace crossem {
@@ -77,12 +78,16 @@ Tensor CrossEm::EncodeImages(const Tensor& images) const {
   NoGradGuard guard;
   CROSSEM_CHECK_EQ(images.dim(), 3);
   const int64_t n = images.size(0);
-  std::vector<Tensor> chunks;
   const int64_t chunk = 64;
-  for (int64_t start = 0; start < n; start += chunk) {
-    const int64_t end = std::min(start + chunk, n);
-    chunks.push_back(model_->image().Forward(ops::Slice(images, 0, start, end)));
-  }
+  std::vector<Tensor> chunks(static_cast<size_t>(NumChunks(0, n, chunk)));
+  // Chunks are independent inference forwards over the frozen image tower;
+  // spread them across the pool. Workers default to grad-on, so each chunk
+  // opens its own no-grad scope.
+  ParallelForChunks(0, n, chunk, [&](int64_t c, int64_t start, int64_t end) {
+    NoGradGuard chunk_guard;
+    chunks[static_cast<size_t>(c)] =
+        model_->image().Forward(ops::Slice(images, 0, start, end));
+  });
   return ops::Concat(chunks, 0);
 }
 

@@ -1,10 +1,12 @@
 #include "core/kmeans.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <limits>
 
 #include "util/logging.h"
+#include "util/parallel.h"
 
 namespace crossem {
 namespace core {
@@ -64,24 +66,28 @@ KMeansResult KMeans(const Tensor& points, int64_t k, Rng* rng,
   result.assignments.assign(static_cast<size_t>(n), 0);
   for (int64_t iter = 0; iter < max_iters; ++iter) {
     result.iterations = iter + 1;
-    // Assignment step.
-    bool changed = false;
-    for (int64_t i = 0; i < n; ++i) {
-      int64_t best = 0;
-      double best_d = std::numeric_limits<double>::max();
-      for (int64_t j = 0; j < k; ++j) {
-        const double d = SquaredDistance(p + i * dim, c + j * dim, dim);
-        if (d < best_d) {
-          best_d = d;
-          best = j;
+    // Assignment step: each point's nearest centroid is independent.
+    std::atomic<bool> changed{false};
+    const int64_t grain =
+        std::max<int64_t>(1, 4096 / std::max<int64_t>(k * dim, 1));
+    ParallelFor(0, n, grain, [&](int64_t i0, int64_t i1) {
+      for (int64_t i = i0; i < i1; ++i) {
+        int64_t best = 0;
+        double best_d = std::numeric_limits<double>::max();
+        for (int64_t j = 0; j < k; ++j) {
+          const double d = SquaredDistance(p + i * dim, c + j * dim, dim);
+          if (d < best_d) {
+            best_d = d;
+            best = j;
+          }
+        }
+        if (result.assignments[static_cast<size_t>(i)] != best) {
+          result.assignments[static_cast<size_t>(i)] = best;
+          changed.store(true, std::memory_order_relaxed);
         }
       }
-      if (result.assignments[static_cast<size_t>(i)] != best) {
-        result.assignments[static_cast<size_t>(i)] = best;
-        changed = true;
-      }
-    }
-    if (!changed && iter > 0) break;
+    });
+    if (!changed.load(std::memory_order_relaxed) && iter > 0) break;
     // Update step.
     std::vector<int64_t> counts(static_cast<size_t>(k), 0);
     std::fill_n(c, k * dim, 0.0f);

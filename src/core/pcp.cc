@@ -8,6 +8,7 @@
 #include "core/kmeans.h"
 #include "tensor/ops.h"
 #include "util/logging.h"
+#include "util/parallel.h"
 
 namespace crossem {
 namespace core {
@@ -64,13 +65,18 @@ Tensor MiniBatchGenerator::ComputeProximity(
   // (stand-in for ResNet patch features), in chunks.
   Tensor patch_rows = ops::Reshape(images, {num_images * patches, 1,
                                             patch_dim});
-  std::vector<Tensor> chunks;
   const int64_t chunk = 256;
-  for (int64_t start = 0; start < num_images * patches; start += chunk) {
-    const int64_t end = std::min(start + chunk, num_images * patches);
-    chunks.push_back(model_->image().Forward(
-        ops::Slice(patch_rows, 0, start, end)));
-  }
+  std::vector<Tensor> chunks(static_cast<size_t>(
+      NumChunks(0, num_images * patches, chunk)));
+  // Chunks are independent inference forwards; run them across the pool.
+  // Worker threads default to grad-on, so each chunk opens its own
+  // no-grad scope.
+  ParallelForChunks(0, num_images * patches, chunk,
+                    [&](int64_t c, int64_t start, int64_t end) {
+                      NoGradGuard guard;
+                      chunks[static_cast<size_t>(c)] = model_->image().Forward(
+                          ops::Slice(patch_rows, 0, start, end));
+                    });
   Tensor patch_emb = ops::Concat(chunks, 0);  // [N*P, E]
 
   // Phase 1 closeness: S_c = A x C^T.
@@ -83,19 +89,22 @@ Tensor MiniBatchGenerator::ComputeProximity(
   float* s = proximity.data();
   const float* sc = closeness.data();
   const int64_t sc_cols = num_images * patches;
-  for (int64_t vi = 0; vi < nv; ++vi) {
-    for (graph::VertexId u : property_sets[static_cast<size_t>(vi)]) {
-      const int64_t row = property_row.at(u);
-      const float* sc_row = sc + row * sc_cols;
-      for (int64_t img = 0; img < num_images; ++img) {
-        float best = sc_row[img * patches];
-        for (int64_t k = 1; k < patches; ++k) {
-          best = std::max(best, sc_row[img * patches + k]);
+  // Each vertex row of the proximity matrix is independent.
+  ParallelFor(0, nv, 1, [&](int64_t v0, int64_t v1) {
+    for (int64_t vi = v0; vi < v1; ++vi) {
+      for (graph::VertexId u : property_sets[static_cast<size_t>(vi)]) {
+        const int64_t row = property_row.at(u);
+        const float* sc_row = sc + row * sc_cols;
+        for (int64_t img = 0; img < num_images; ++img) {
+          float best = sc_row[img * patches];
+          for (int64_t k = 1; k < patches; ++k) {
+            best = std::max(best, sc_row[img * patches + k]);
+          }
+          s[vi * num_images + img] += best;
         }
-        s[vi * num_images + img] += best;
       }
     }
-  }
+  });
   return proximity;
 }
 
@@ -173,20 +182,24 @@ Result<std::vector<MiniBatch>> MiniBatchGenerator::PartitionFromProximity(
     const int64_t sd = static_cast<int64_t>(subset.size());
     Tensor dist = Tensor::Zeros({sv, sd});
     float* dp = dist.data();
-    for (int64_t r = 0; r < sv; ++r) {
-      const int64_t img = survivors[static_cast<size_t>(r)];
-      float total = 0.0f;
-      for (int64_t c = 0; c < sd; ++c) {
-        const float val = s[subset[static_cast<size_t>(c)] * ni + img];
-        dp[r * sd + c] = val;
-        total += std::max(val, 0.0f);
-      }
-      if (total > 0.0f) {
-        for (int64_t c = 0; c < sd; ++c) {
-          dp[r * sd + c] = std::max(dp[r * sd + c], 0.0f) / total;
-        }
-      }
-    }
+    ParallelFor(0, sv, std::max<int64_t>(1, 2048 / std::max<int64_t>(sd, 1)),
+                [&](int64_t r0, int64_t r1) {
+                  for (int64_t r = r0; r < r1; ++r) {
+                    const int64_t img = survivors[static_cast<size_t>(r)];
+                    float total = 0.0f;
+                    for (int64_t c = 0; c < sd; ++c) {
+                      const float val =
+                          s[subset[static_cast<size_t>(c)] * ni + img];
+                      dp[r * sd + c] = val;
+                      total += std::max(val, 0.0f);
+                    }
+                    if (total > 0.0f) {
+                      for (int64_t c = 0; c < sd; ++c) {
+                        dp[r * sd + c] = std::max(dp[r * sd + c], 0.0f) / total;
+                      }
+                    }
+                  }
+                });
     KMeansResult clusters =
         KMeans(dist, options_.num_image_clusters, rng);
 

@@ -8,11 +8,22 @@
 #include <utility>
 
 #include "util/logging.h"
+#include "util/parallel.h"
 
 namespace crossem {
 namespace ops {
 
 namespace {
+
+/// Elements per chunk for parallel elementwise loops. Fixed (independent of
+/// the thread count) so chunked reductions are bitwise-deterministic; also
+/// acts as the cutoff below which work stays on the calling thread.
+constexpr int64_t kElemGrain = 1 << 13;
+
+/// Rows per chunk for row-wise kernels (softmax, normalize, reductions).
+int64_t RowGrain(int64_t cols) {
+  return std::max<int64_t>(1, kElemGrain / std::max<int64_t>(cols, 1));
+}
 
 using internal::AutogradNode;
 using internal::Storage;
@@ -92,6 +103,126 @@ int64_t BroadcastOffset(int64_t flat, const std::vector<int64_t>& out_strides,
 /// `fwd(av, bv)` computes the output element; `bwd(g, av, bv, &ga, &gb)`
 /// adds the per-element gradient contributions (ga/gb may be ignored when
 /// the corresponding input does not require gradients).
+/// Visits output indices [lo, hi) in linear order, handing the body the
+/// matching input offset under `read_strides`. The multi-index advances
+/// odometer-style, so after the one-time seed at `lo` no per-element
+/// div/mod is needed (BroadcastOffset does rank divisions per element).
+template <typename Body>
+void StridedVisit(int64_t lo, int64_t hi, const Shape& shape,
+                  const std::vector<int64_t>& out_strides,
+                  const std::vector<int64_t>& read_strides, Body body) {
+  const size_t rank = shape.size();
+  std::vector<int64_t> idx(rank, 0);
+  int64_t rem = lo;
+  int64_t off = 0;
+  for (size_t d = 0; d < rank; ++d) {
+    idx[d] = rem / out_strides[d];
+    rem %= out_strides[d];
+    off += idx[d] * read_strides[d];
+  }
+  for (int64_t i = lo; i < hi; ++i) {
+    body(i, off);
+    for (int64_t d = static_cast<int64_t>(rank) - 1; d >= 0; --d) {
+      const size_t du = static_cast<size_t>(d);
+      ++idx[du];
+      off += read_strides[du];
+      if (idx[du] < shape[du]) break;
+      off -= shape[du] * read_strides[du];
+      idx[du] = 0;
+    }
+  }
+}
+
+/// How a broadcast operand's input offset follows the linear output index.
+/// The two periodic kinds cover the ubiquitous cases — a trailing-dims
+/// operand (bias [D] under [.., D]) maps by modulo, and a trailing-ones
+/// operand (keepdim mean [.., 1] under [.., D]) maps by division — letting
+/// those ops stream without the per-element div/mod walk of the general
+/// stride path.
+struct BcastPlan {
+  enum Kind { kIdentity, kModulo, kDivide, kGeneral };
+  Kind kind = kGeneral;
+  int64_t period = 1;
+};
+
+BcastPlan PlanBroadcast(const Shape& x, const Shape& out, bool contig) {
+  if (contig) return {BcastPlan::kIdentity, 1};
+  // Trailing suffix: x (leading 1s stripped) equals the trailing out dims.
+  size_t lead = 0;
+  while (lead < x.size() && x[lead] == 1) ++lead;
+  const size_t rx = x.size() - lead;
+  if (rx <= out.size()) {
+    bool suffix = true;
+    int64_t period = 1;
+    for (size_t d = 0; d < rx && suffix; ++d) {
+      suffix = (x[lead + d] == out[out.size() - rx + d]);
+      period *= x[lead + d];
+    }
+    if (suffix) return {BcastPlan::kModulo, period};
+  }
+  // Trailing run of 1s with equal leading dims: offset = i / run-extent.
+  if (x.size() == out.size()) {
+    size_t t = x.size();
+    while (t > 0 && x[t - 1] == 1) --t;
+    bool ok = t < x.size();
+    int64_t div = 1;
+    for (size_t d = t; d < x.size(); ++d) div *= out[d];
+    for (size_t d = 0; d < t && ok; ++d) ok = (x[d] == out[d]);
+    if (ok) return {BcastPlan::kDivide, div};
+  }
+  return {BcastPlan::kGeneral, 1};
+}
+
+/// Streams a broadcast operand's input offsets for consecutive output
+/// indices, division-free after construction.
+class BcastCursor {
+ public:
+  BcastCursor(const BcastPlan& plan, int64_t start)
+      : kind_(plan.kind), period_(plan.period) {
+    switch (kind_) {
+      case BcastPlan::kIdentity:
+        idx_ = start;
+        break;
+      case BcastPlan::kModulo:
+        idx_ = start % period_;
+        break;
+      case BcastPlan::kDivide:
+        idx_ = start / period_;
+        rem_ = start - idx_ * period_;
+        break;
+      case BcastPlan::kGeneral:
+        break;
+    }
+  }
+
+  int64_t index() const { return idx_; }
+
+  void Advance() {
+    switch (kind_) {
+      case BcastPlan::kIdentity:
+        ++idx_;
+        break;
+      case BcastPlan::kModulo:
+        if (++idx_ == period_) idx_ = 0;
+        break;
+      case BcastPlan::kDivide:
+        if (++rem_ == period_) {
+          rem_ = 0;
+          ++idx_;
+        }
+        break;
+      case BcastPlan::kGeneral:
+        break;
+    }
+  }
+
+ private:
+  BcastPlan::Kind kind_;
+  int64_t period_;
+  int64_t idx_ = 0;
+  int64_t rem_ = 0;
+};
+
 template <typename FwdFn, typename BwdFn>
 Tensor BroadcastBinaryOp(const Tensor& a, const Tensor& b, const char* name,
                          FwdFn fwd, BwdFn bwd) {
@@ -101,12 +232,17 @@ Tensor BroadcastBinaryOp(const Tensor& a, const Tensor& b, const char* name,
   std::vector<int64_t> b_strides = BroadcastStrides(b.shape(), out_shape);
   const bool a_contig = (a.shape() == out_shape);
   const bool b_contig = (b.shape() == out_shape);
+  const BcastPlan a_plan = PlanBroadcast(a.shape(), out_shape, a_contig);
+  const BcastPlan b_plan = PlanBroadcast(b.shape(), out_shape, b_contig);
+  const bool periodic = a_plan.kind != BcastPlan::kGeneral &&
+                        b_plan.kind != BcastPlan::kGeneral;
 
   auto a_impl = a.impl();
   auto b_impl = b.impl();
 
   auto backward = [a_impl, b_impl, out_strides, a_strides, b_strides, a_contig,
-                   b_contig, bwd](const TensorImpl& out) {
+                   b_contig, a_plan, b_plan, periodic,
+                   bwd](const TensorImpl& out) {
     const float* g = out.grad->data();
     const float* av = a_impl->storage->data();
     const float* bv = b_impl->storage->data();
@@ -114,13 +250,28 @@ Tensor BroadcastBinaryOp(const Tensor& a, const Tensor& b, const char* name,
     float* gb = NeedsGrad(b_impl) ? b_impl->MutableGrad().data() : nullptr;
     const int64_t n = out.numel();
     if (a_contig && b_contig) {
+      ParallelFor(0, n, kElemGrain, [&](int64_t lo, int64_t hi) {
+        for (int64_t i = lo; i < hi; ++i) {
+          float da = 0.0f, db = 0.0f;
+          bwd(g[i], av[i], bv[i], &da, &db);
+          if (ga) ga[i] += da;
+          if (gb) gb[i] += db;
+        }
+      });
+    } else if (periodic) {
+      // Broadcast dims scatter-add into shared grad slots; keep serial
+      // (ascending i) but stream offsets division-free.
+      BcastCursor ac(a_plan, 0), bc(b_plan, 0);
       for (int64_t i = 0; i < n; ++i) {
         float da = 0.0f, db = 0.0f;
-        bwd(g[i], av[i], bv[i], &da, &db);
-        if (ga) ga[i] += da;
-        if (gb) gb[i] += db;
+        bwd(g[i], av[ac.index()], bv[bc.index()], &da, &db);
+        if (ga) ga[ac.index()] += da;
+        if (gb) gb[bc.index()] += db;
+        ac.Advance();
+        bc.Advance();
       }
     } else {
+      // Broadcast dims scatter-add into shared grad slots; keep serial.
       for (int64_t i = 0; i < n; ++i) {
         int64_t ai = a_contig ? i : BroadcastOffset(i, out_strides, a_strides);
         int64_t bi = b_contig ? i : BroadcastOffset(i, out_strides, b_strides);
@@ -138,13 +289,26 @@ Tensor BroadcastBinaryOp(const Tensor& a, const Tensor& b, const char* name,
   float* ov = out.data();
   const int64_t n = out.numel();
   if (a_contig && b_contig) {
-    for (int64_t i = 0; i < n; ++i) ov[i] = fwd(av[i], bv[i]);
+    ParallelFor(0, n, kElemGrain, [&](int64_t lo, int64_t hi) {
+      for (int64_t i = lo; i < hi; ++i) ov[i] = fwd(av[i], bv[i]);
+    });
+  } else if (periodic) {
+    ParallelFor(0, n, kElemGrain, [&](int64_t lo, int64_t hi) {
+      BcastCursor ac(a_plan, lo), bc(b_plan, lo);
+      for (int64_t i = lo; i < hi; ++i) {
+        ov[i] = fwd(av[ac.index()], bv[bc.index()]);
+        ac.Advance();
+        bc.Advance();
+      }
+    });
   } else {
-    for (int64_t i = 0; i < n; ++i) {
-      int64_t ai = a_contig ? i : BroadcastOffset(i, out_strides, a_strides);
-      int64_t bi = b_contig ? i : BroadcastOffset(i, out_strides, b_strides);
-      ov[i] = fwd(av[ai], bv[bi]);
-    }
+    ParallelFor(0, n, kElemGrain, [&](int64_t lo, int64_t hi) {
+      for (int64_t i = lo; i < hi; ++i) {
+        int64_t ai = a_contig ? i : BroadcastOffset(i, out_strides, a_strides);
+        int64_t bi = b_contig ? i : BroadcastOffset(i, out_strides, b_strides);
+        ov[i] = fwd(av[ai], bv[bi]);
+      }
+    });
   }
   return out;
 }
@@ -162,36 +326,193 @@ Tensor UnaryOp(const Tensor& a, const char* name, FwdFn fwd, DyDxFn dydx) {
     const float* y = out.storage->data();
     float* ga = a_impl->MutableGrad().data();
     const int64_t n = out.numel();
-    for (int64_t i = 0; i < n; ++i) ga[i] += g[i] * dydx(x[i], y[i]);
+    ParallelFor(0, n, kElemGrain, [&](int64_t lo, int64_t hi) {
+      for (int64_t i = lo; i < hi; ++i) ga[i] += g[i] * dydx(x[i], y[i]);
+    });
   };
   Tensor out = MakeResult(a.shape(), {a}, name, backward);
   const float* x = a.data();
   float* y = out.data();
-  for (int64_t i = 0; i < a.numel(); ++i) y[i] = fwd(x[i]);
+  ParallelFor(0, a.numel(), kElemGrain, [&](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) y[i] = fwd(x[i]);
+  });
   return out;
 }
 
-/// C (m x n) = or += A (m x k) * B (k x n), with optional transposes
-/// interpreting A as (k x m) / B as (n x k) physical layouts.
-void Gemm(const float* a, const float* b, float* c, int64_t m, int64_t k,
-          int64_t n, bool trans_a, bool trans_b, bool accumulate) {
-  if (!accumulate) std::fill_n(c, m * n, 0.0f);
-  for (int64_t i = 0; i < m; ++i) {
-    for (int64_t p = 0; p < k; ++p) {
-      const float av = trans_a ? a[p * m + i] : a[i * k + p];
-      if (av == 0.0f) continue;
-      const float* brow = trans_b ? nullptr : &b[p * n];
-      float* crow = &c[i * n];
-      if (trans_b) {
-        for (int64_t j = 0; j < n; ++j) crow[j] += av * b[j * k + p];
-      } else {
-        for (int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+/// Rows of C per parallel chunk; also the unit the row micro-kernel tiles.
+constexpr int64_t kGemmRowChunk = 32;
+/// Depth of the K panel kept hot in cache between passes over C rows.
+constexpr int64_t kGemmKBlock = 256;
+
+// Function multi-versioning for the GEMM inner kernel: the binary stays
+// baseline x86-64 (no -march flags leak into the portable build), but the
+// dynamic loader's ifunc resolver picks an AVX2+FMA clone on CPUs that
+// have it. Every clone accumulates each C row in ascending-p order, so
+// results on a given machine are identical regardless of which clone runs
+// — the thread-count determinism contract is unaffected.
+// Sanitizer builds drop the clones: TSan/ASan runtimes intercept ifunc
+// resolution and crash on multi-versioned symbols.
+#if defined(__x86_64__) && defined(__GNUC__) && !defined(__clang__) && \
+    !defined(__SANITIZE_THREAD__) && !defined(__SANITIZE_ADDRESS__)
+#define CROSSEM_GEMM_CLONES \
+  __attribute__((target_clones("arch=x86-64-v3", "default")))
+#else
+#define CROSSEM_GEMM_CLONES
+#endif
+
+/// Columns of C held in registers across a K-panel (4 rows x 16 cols of
+/// float accumulators fits the 16 YMM registers of the AVX2 clone).
+constexpr int64_t kGemmNTile = 16;
+
+/// C rows [r0, r1) += A rows [r0, r1) times the K-panel b[p0:p1, :].
+///
+/// Register-tiled micro-kernel: a 4 x kGemmNTile accumulator block is
+/// loaded from C once, updated in registers across the whole K panel, and
+/// stored back once — C traffic is O(m*n) per panel instead of O(m*n*k).
+/// Each C element still accumulates its products in ascending-p order in
+/// every tile/remainder path, so results are independent of tiling edges
+/// and thread count.
+CROSSEM_GEMM_CLONES
+void GemmRowBlock(const float* a, const float* b, float* c, int64_t k,
+                  int64_t n, int64_t p0, int64_t p1, int64_t r0, int64_t r1) {
+  int64_t i = r0;
+  for (; i + 4 <= r1; i += 4) {
+    const float* a0 = a + i * k;
+    const float* a1 = a0 + k;
+    const float* a2 = a1 + k;
+    const float* a3 = a2 + k;
+    float* c0 = c + i * n;
+    float* c1 = c0 + n;
+    float* c2 = c1 + n;
+    float* c3 = c2 + n;
+    int64_t j0 = 0;
+    for (; j0 + kGemmNTile <= n; j0 += kGemmNTile) {
+      float t0[kGemmNTile], t1[kGemmNTile], t2[kGemmNTile], t3[kGemmNTile];
+      for (int64_t j = 0; j < kGemmNTile; ++j) {
+        t0[j] = c0[j0 + j];
+        t1[j] = c1[j0 + j];
+        t2[j] = c2[j0 + j];
+        t3[j] = c3[j0 + j];
       }
+      for (int64_t p = p0; p < p1; ++p) {
+        const float av0 = a0[p], av1 = a1[p], av2 = a2[p], av3 = a3[p];
+        const float* bp = b + p * n + j0;
+        for (int64_t j = 0; j < kGemmNTile; ++j) {
+          const float bv = bp[j];
+          t0[j] += av0 * bv;
+          t1[j] += av1 * bv;
+          t2[j] += av2 * bv;
+          t3[j] += av3 * bv;
+        }
+      }
+      for (int64_t j = 0; j < kGemmNTile; ++j) {
+        c0[j0 + j] = t0[j];
+        c1[j0 + j] = t1[j];
+        c2[j0 + j] = t2[j];
+        c3[j0 + j] = t3[j];
+      }
+    }
+    for (; j0 < n; ++j0) {
+      float s0 = c0[j0], s1 = c1[j0], s2 = c2[j0], s3 = c3[j0];
+      for (int64_t p = p0; p < p1; ++p) {
+        const float bv = b[p * n + j0];
+        s0 += a0[p] * bv;
+        s1 += a1[p] * bv;
+        s2 += a2[p] * bv;
+        s3 += a3[p] * bv;
+      }
+      c0[j0] = s0;
+      c1[j0] = s1;
+      c2[j0] = s2;
+      c3[j0] = s3;
+    }
+  }
+  for (; i < r1; ++i) {
+    const float* ai = a + i * k;
+    float* ci = c + i * n;
+    int64_t j0 = 0;
+    for (; j0 + kGemmNTile <= n; j0 += kGemmNTile) {
+      float t[kGemmNTile];
+      for (int64_t j = 0; j < kGemmNTile; ++j) t[j] = ci[j0 + j];
+      for (int64_t p = p0; p < p1; ++p) {
+        const float av = ai[p];
+        const float* bp = b + p * n + j0;
+        for (int64_t j = 0; j < kGemmNTile; ++j) t[j] += av * bp[j];
+      }
+      for (int64_t j = 0; j < kGemmNTile; ++j) ci[j0 + j] = t[j];
+    }
+    for (; j0 < n; ++j0) {
+      float s = ci[j0];
+      for (int64_t p = p0; p < p1; ++p) s += ai[p] * b[p * n + j0];
+      ci[j0] = s;
     }
   }
 }
 
+/// C (m x n) = or += A (m x k) * B (k x n), with optional transposes
+/// interpreting A as (k x m) / B as (n x k) physical layouts.
+///
+/// Transposed operands are packed once into contiguous row-major panels so
+/// both layouts stream sequentially, the K dimension is blocked so the B
+/// panel stays cache-resident, and C rows are processed four at a time to
+/// reuse each B row across four accumulators. Row blocks run in parallel;
+/// per-row accumulation order is fixed (ascending p), so results do not
+/// depend on the thread count.
+GemmKernel g_gemm_kernel = GemmKernel::kBlocked;
+
+void Gemm(const float* a, const float* b, float* c, int64_t m, int64_t k,
+          int64_t n, bool trans_a, bool trans_b, bool accumulate) {
+  if (!accumulate) std::fill_n(c, m * n, 0.0f);
+  if (m == 0 || n == 0 || k == 0) return;
+
+  static thread_local std::vector<float> a_pack;
+  static thread_local std::vector<float> b_pack;
+  if (trans_a) {
+    // a is physically (k x m); pack to row-major (m x k).
+    a_pack.resize(static_cast<size_t>(m * k));
+    for (int64_t p = 0; p < k; ++p) {
+      const float* src = a + p * m;
+      for (int64_t i = 0; i < m; ++i) a_pack[i * k + p] = src[i];
+    }
+    a = a_pack.data();
+  }
+  if (trans_b) {
+    // b is physically (n x k); pack to row-major (k x n).
+    b_pack.resize(static_cast<size_t>(k * n));
+    for (int64_t j = 0; j < n; ++j) {
+      const float* src = b + j * k;
+      for (int64_t p = 0; p < k; ++p) b_pack[p * n + j] = src[p];
+    }
+    b = b_pack.data();
+  }
+
+  if (g_gemm_kernel == GemmKernel::kReference) {
+    // The seed repository's serial scalar loop (including its zero-skip
+    // branch), preserved as the benchmark baseline.
+    for (int64_t i = 0; i < m; ++i) {
+      const float* ai = a + i * k;
+      float* ci = c + i * n;
+      for (int64_t p = 0; p < k; ++p) {
+        const float av = ai[p];
+        if (av == 0.0f) continue;
+        const float* bp = b + p * n;
+        for (int64_t j = 0; j < n; ++j) ci[j] += av * bp[j];
+      }
+    }
+    return;
+  }
+
+  ParallelFor(0, m, kGemmRowChunk, [a, b, c, k, n](int64_t r0, int64_t r1) {
+    for (int64_t p0 = 0; p0 < k; p0 += kGemmKBlock) {
+      const int64_t p1 = std::min(k, p0 + kGemmKBlock);
+      GemmRowBlock(a, b, c, k, n, p0, p1, r0, r1);
+    }
+  });
+}
+
 }  // namespace
+
+void SetGemmKernel(GemmKernel kernel) { g_gemm_kernel = kernel; }
 
 Shape BroadcastShapes(const Shape& a, const Shape& b) {
   const size_t rank = std::max(a.size(), b.size());
@@ -384,39 +705,51 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
   out_shape.push_back(m);
   out_shape.push_back(n);
 
+  // A shared 2D rhs makes the whole batch one GEMM: `a` is contiguous, so
+  // [batch, m, k] x [k, n] is exactly [batch*m, k] x [k, n]. Collapsing
+  // avoids per-slice dispatch (the dominant cost for seq-1 towers) and
+  // turns the shared-dB reduction into a single fixed-order trans_a GEMM.
+  const int64_t rows = b_shared ? batch * m : m;
+  const int64_t slices = b_shared ? 1 : batch;
+
   auto a_impl = a.impl();
   auto b_impl = b.impl();
-  auto backward = [a_impl, b_impl, m, k, n, batch,
-                   b_shared](const TensorImpl& out) {
+  auto backward = [a_impl, b_impl, rows, k, n, slices](const TensorImpl& out) {
     const float* g = out.grad->data();
     const float* av = a_impl->storage->data();
     const float* bv = b_impl->storage->data();
     float* ga = NeedsGrad(a_impl) ? a_impl->MutableGrad().data() : nullptr;
     float* gb = NeedsGrad(b_impl) ? b_impl->MutableGrad().data() : nullptr;
-    for (int64_t s = 0; s < batch; ++s) {
-      const float* gs = g + s * m * n;
-      const float* as = av + s * m * k;
-      const float* bs = b_shared ? bv : bv + s * k * n;
-      if (ga) {
-        // dA = dC * B^T   (m x n)(n x k)
-        Gemm(gs, bs, ga + s * m * k, m, n, k, false, true, true);
+    // dA and dB slices are disjoint per batch entry (the shared-B case is
+    // a single slice covering the whole batch), so the slice dimension
+    // parallelizes directly.
+    ParallelFor(0, slices, 1, [&](int64_t s0, int64_t s1) {
+      for (int64_t s = s0; s < s1; ++s) {
+        const float* gs = g + s * rows * n;
+        const float* as = av + s * rows * k;
+        const float* bs = bv + s * k * n;
+        if (ga) {
+          // dA = dC * B^T   (rows x n)(n x k)
+          Gemm(gs, bs, ga + s * rows * k, rows, n, k, false, true, true);
+        }
+        if (gb) {
+          // dB = A^T * dC   (k x rows)(rows x n)
+          Gemm(as, gs, gb + s * k * n, k, rows, n, true, false, true);
+        }
       }
-      if (gb) {
-        // dB = A^T * dC   (k x m)(m x n)
-        float* gbs = b_shared ? gb : gb + s * k * n;
-        Gemm(as, gs, gbs, k, m, n, true, false, true);
-      }
-    }
+    });
   };
 
   Tensor out = MakeResult(out_shape, {a, b}, "matmul", backward);
   const float* av = a.data();
   const float* bv = b.data();
   float* ov = out.data();
-  for (int64_t s = 0; s < batch; ++s) {
-    Gemm(av + s * m * k, b_shared ? bv : bv + s * k * n, ov + s * m * n, m, k,
-         n, false, false, false);
-  }
+  ParallelFor(0, slices, 1, [&](int64_t s0, int64_t s1) {
+    for (int64_t s = s0; s < s1; ++s) {
+      Gemm(av + s * rows * k, bv + s * k * n, ov + s * rows * n, rows, k, n,
+           false, false, false);
+    }
+  });
   return out;
 }
 
@@ -441,23 +774,26 @@ Tensor Transpose(const Tensor& a, int64_t d0, int64_t d1) {
             read_strides[static_cast<size_t>(d1)]);
 
   auto a_impl = a.impl();
-  auto backward = [a_impl, out_strides, read_strides](const TensorImpl& out) {
+  auto backward = [a_impl, out_shape, out_strides,
+                   read_strides](const TensorImpl& out) {
     if (!NeedsGrad(a_impl)) return;
     const float* g = out.grad->data();
     float* ga = a_impl->MutableGrad().data();
-    const int64_t numel = out.numel();
-    for (int64_t i = 0; i < numel; ++i) {
-      ga[BroadcastOffset(i, out_strides, read_strides)] += g[i];
-    }
+    // The output->input index map is a bijection, so the scatter-adds are
+    // disjoint and parallelize safely.
+    ParallelFor(0, out.numel(), kElemGrain, [&](int64_t lo, int64_t hi) {
+      StridedVisit(lo, hi, out_shape, out_strides, read_strides,
+                   [&](int64_t i, int64_t off) { ga[off] += g[i]; });
+    });
   };
 
   Tensor out = MakeResult(out_shape, {a}, "transpose", backward);
   const float* src = a.data();
   float* dst = out.data();
-  const int64_t numel = a.numel();
-  for (int64_t i = 0; i < numel; ++i) {
-    dst[i] = src[BroadcastOffset(i, out_strides, read_strides)];
-  }
+  ParallelFor(0, a.numel(), kElemGrain, [&](int64_t lo, int64_t hi) {
+    StridedVisit(lo, hi, out_shape, out_strides, read_strides,
+                 [&](int64_t i, int64_t off) { dst[i] = src[off]; });
+  });
   return out;
 }
 
@@ -502,12 +838,22 @@ Tensor Sum(const Tensor& a) {
     if (!NeedsGrad(a_impl)) return;
     const float g = out.grad->data()[0];
     float* ga = a_impl->MutableGrad().data();
-    for (int64_t i = 0; i < a_impl->numel(); ++i) ga[i] += g;
+    ParallelFor(0, a_impl->numel(), kElemGrain, [&](int64_t lo, int64_t hi) {
+      for (int64_t i = lo; i < hi; ++i) ga[i] += g;
+    });
   };
   Tensor out = MakeResult({}, {a}, "sum", backward);
-  double acc = 0.0;
   const float* p = a.data();
-  for (int64_t i = 0; i < a.numel(); ++i) acc += p[i];
+  // Fixed-grain chunked reduction: partials are combined in chunk order, so
+  // the result is identical at any thread count (see util/parallel.h).
+  const double acc = ParallelReduce<double>(
+      0, a.numel(), kElemGrain, 0.0,
+      [p](int64_t lo, int64_t hi) {
+        double part = 0.0;
+        for (int64_t i = lo; i < hi; ++i) part += p[i];
+        return part;
+      },
+      [](double x, double y) { return x + y; });
   out.data()[0] = static_cast<float>(acc);
   return out;
 }
@@ -546,25 +892,30 @@ Tensor Sum(const Tensor& a, int64_t dim, bool keepdim) {
     if (!NeedsGrad(a_impl)) return;
     const float* g = out.grad->data();
     float* ga = a_impl->MutableGrad().data();
-    for (int64_t o = 0; o < outer; ++o) {
-      for (int64_t r = 0; r < reduce; ++r) {
-        for (int64_t i = 0; i < inner; ++i) {
-          ga[(o * reduce + r) * inner + i] += g[o * inner + i];
-        }
-      }
-    }
+    ParallelFor(0, outer, RowGrain(reduce * inner),
+                [&](int64_t o0, int64_t o1) {
+                  for (int64_t o = o0; o < o1; ++o) {
+                    for (int64_t r = 0; r < reduce; ++r) {
+                      for (int64_t i = 0; i < inner; ++i) {
+                        ga[(o * reduce + r) * inner + i] += g[o * inner + i];
+                      }
+                    }
+                  }
+                });
   };
   Tensor out = MakeResult(std::move(out_shape), {a}, "sum_dim", backward);
   const float* p = a.data();
   float* q = out.data();
   std::fill_n(q, out.numel(), 0.0f);
-  for (int64_t o = 0; o < outer; ++o) {
-    for (int64_t r = 0; r < reduce; ++r) {
-      for (int64_t i = 0; i < inner; ++i) {
-        q[o * inner + i] += p[(o * reduce + r) * inner + i];
+  ParallelFor(0, outer, RowGrain(reduce * inner), [&](int64_t o0, int64_t o1) {
+    for (int64_t o = o0; o < o1; ++o) {
+      for (int64_t r = 0; r < reduce; ++r) {
+        for (int64_t i = 0; i < inner; ++i) {
+          q[o * inner + i] += p[(o * reduce + r) * inner + i];
+        }
       }
     }
-  }
+  });
   return out;
 }
 
@@ -586,20 +937,22 @@ std::vector<int64_t> ArgMax(const Tensor& a, int64_t dim) {
   SplitAroundDim(a.shape(), dim, &outer, &reduce, &inner);
   std::vector<int64_t> result(static_cast<size_t>(outer * inner));
   const float* p = a.data();
-  for (int64_t o = 0; o < outer; ++o) {
-    for (int64_t i = 0; i < inner; ++i) {
-      int64_t best = 0;
-      float best_v = p[o * reduce * inner + i];
-      for (int64_t r = 1; r < reduce; ++r) {
-        float v = p[(o * reduce + r) * inner + i];
-        if (v > best_v) {
-          best_v = v;
-          best = r;
+  ParallelFor(0, outer, RowGrain(reduce * inner), [&](int64_t o0, int64_t o1) {
+    for (int64_t o = o0; o < o1; ++o) {
+      for (int64_t i = 0; i < inner; ++i) {
+        int64_t best = 0;
+        float best_v = p[o * reduce * inner + i];
+        for (int64_t r = 1; r < reduce; ++r) {
+          float v = p[(o * reduce + r) * inner + i];
+          if (v > best_v) {
+            best_v = v;
+            best = r;
+          }
         }
+        result[static_cast<size_t>(o * inner + i)] = best;
       }
-      result[static_cast<size_t>(o * inner + i)] = best;
     }
-  }
+  });
   return result;
 }
 
@@ -616,31 +969,35 @@ Tensor Softmax(const Tensor& a) {
     const float* g = out.grad->data();
     const float* y = out.storage->data();
     float* ga = a_impl->MutableGrad().data();
-    for (int64_t r = 0; r < rows; ++r) {
-      const float* gr = g + r * cols;
-      const float* yr = y + r * cols;
-      float dot = 0.0f;
-      for (int64_t c = 0; c < cols; ++c) dot += gr[c] * yr[c];
-      float* gar = ga + r * cols;
-      for (int64_t c = 0; c < cols; ++c) gar[c] += yr[c] * (gr[c] - dot);
-    }
+    ParallelFor(0, rows, RowGrain(cols), [&](int64_t r0, int64_t r1) {
+      for (int64_t r = r0; r < r1; ++r) {
+        const float* gr = g + r * cols;
+        const float* yr = y + r * cols;
+        float dot = 0.0f;
+        for (int64_t c = 0; c < cols; ++c) dot += gr[c] * yr[c];
+        float* gar = ga + r * cols;
+        for (int64_t c = 0; c < cols; ++c) gar[c] += yr[c] * (gr[c] - dot);
+      }
+    });
   };
   Tensor out = MakeResult(a.shape(), {a}, "softmax", backward);
   const float* x = a.data();
   float* y = out.data();
-  for (int64_t r = 0; r < rows; ++r) {
-    const float* xr = x + r * cols;
-    float* yr = y + r * cols;
-    float mx = xr[0];
-    for (int64_t c = 1; c < cols; ++c) mx = std::max(mx, xr[c]);
-    float denom = 0.0f;
-    for (int64_t c = 0; c < cols; ++c) {
-      yr[c] = std::exp(xr[c] - mx);
-      denom += yr[c];
+  ParallelFor(0, rows, RowGrain(cols), [&](int64_t r0, int64_t r1) {
+    for (int64_t r = r0; r < r1; ++r) {
+      const float* xr = x + r * cols;
+      float* yr = y + r * cols;
+      float mx = xr[0];
+      for (int64_t c = 1; c < cols; ++c) mx = std::max(mx, xr[c]);
+      float denom = 0.0f;
+      for (int64_t c = 0; c < cols; ++c) {
+        yr[c] = std::exp(xr[c] - mx);
+        denom += yr[c];
+      }
+      const float inv = 1.0f / denom;
+      for (int64_t c = 0; c < cols; ++c) yr[c] *= inv;
     }
-    const float inv = 1.0f / denom;
-    for (int64_t c = 0; c < cols; ++c) yr[c] *= inv;
-  }
+  });
   return out;
 }
 
@@ -655,30 +1012,34 @@ Tensor LogSoftmax(const Tensor& a) {
     const float* g = out.grad->data();
     const float* y = out.storage->data();  // log-probabilities
     float* ga = a_impl->MutableGrad().data();
-    for (int64_t r = 0; r < rows; ++r) {
-      const float* gr = g + r * cols;
-      const float* yr = y + r * cols;
-      float gsum = 0.0f;
-      for (int64_t c = 0; c < cols; ++c) gsum += gr[c];
-      float* gar = ga + r * cols;
-      for (int64_t c = 0; c < cols; ++c) {
-        gar[c] += gr[c] - std::exp(yr[c]) * gsum;
+    ParallelFor(0, rows, RowGrain(cols), [&](int64_t r0, int64_t r1) {
+      for (int64_t r = r0; r < r1; ++r) {
+        const float* gr = g + r * cols;
+        const float* yr = y + r * cols;
+        float gsum = 0.0f;
+        for (int64_t c = 0; c < cols; ++c) gsum += gr[c];
+        float* gar = ga + r * cols;
+        for (int64_t c = 0; c < cols; ++c) {
+          gar[c] += gr[c] - std::exp(yr[c]) * gsum;
+        }
       }
-    }
+    });
   };
   Tensor out = MakeResult(a.shape(), {a}, "log_softmax", backward);
   const float* x = a.data();
   float* y = out.data();
-  for (int64_t r = 0; r < rows; ++r) {
-    const float* xr = x + r * cols;
-    float* yr = y + r * cols;
-    float mx = xr[0];
-    for (int64_t c = 1; c < cols; ++c) mx = std::max(mx, xr[c]);
-    float denom = 0.0f;
-    for (int64_t c = 0; c < cols; ++c) denom += std::exp(xr[c] - mx);
-    const float log_denom = std::log(denom) + mx;
-    for (int64_t c = 0; c < cols; ++c) yr[c] = xr[c] - log_denom;
-  }
+  ParallelFor(0, rows, RowGrain(cols), [&](int64_t r0, int64_t r1) {
+    for (int64_t r = r0; r < r1; ++r) {
+      const float* xr = x + r * cols;
+      float* yr = y + r * cols;
+      float mx = xr[0];
+      for (int64_t c = 1; c < cols; ++c) mx = std::max(mx, xr[c]);
+      float denom = 0.0f;
+      for (int64_t c = 0; c < cols; ++c) denom += std::exp(xr[c] - mx);
+      const float log_denom = std::log(denom) + mx;
+      for (int64_t c = 0; c < cols; ++c) yr[c] = xr[c] - log_denom;
+    }
+  });
   return out;
 }
 
@@ -694,33 +1055,37 @@ Tensor L2Normalize(const Tensor& a, float eps) {
     const float* x = a_impl->storage->data();
     const float* y = out.storage->data();
     float* ga = a_impl->MutableGrad().data();
-    for (int64_t r = 0; r < rows; ++r) {
-      const float* xr = x + r * cols;
-      const float* yr = y + r * cols;
-      const float* gr = g + r * cols;
-      float norm2 = 0.0f;
-      for (int64_t c = 0; c < cols; ++c) norm2 += xr[c] * xr[c];
-      float norm = std::max(std::sqrt(norm2), eps);
-      float dot = 0.0f;
-      for (int64_t c = 0; c < cols; ++c) dot += gr[c] * yr[c];
-      float* gar = ga + r * cols;
-      const float inv = 1.0f / norm;
-      for (int64_t c = 0; c < cols; ++c) {
-        gar[c] += (gr[c] - yr[c] * dot) * inv;
+    ParallelFor(0, rows, RowGrain(cols), [&](int64_t r0, int64_t r1) {
+      for (int64_t r = r0; r < r1; ++r) {
+        const float* xr = x + r * cols;
+        const float* yr = y + r * cols;
+        const float* gr = g + r * cols;
+        float norm2 = 0.0f;
+        for (int64_t c = 0; c < cols; ++c) norm2 += xr[c] * xr[c];
+        float norm = std::max(std::sqrt(norm2), eps);
+        float dot = 0.0f;
+        for (int64_t c = 0; c < cols; ++c) dot += gr[c] * yr[c];
+        float* gar = ga + r * cols;
+        const float inv = 1.0f / norm;
+        for (int64_t c = 0; c < cols; ++c) {
+          gar[c] += (gr[c] - yr[c] * dot) * inv;
+        }
       }
-    }
+    });
   };
   Tensor out = MakeResult(a.shape(), {a}, "l2_normalize", backward);
   const float* x = a.data();
   float* y = out.data();
-  for (int64_t r = 0; r < rows; ++r) {
-    const float* xr = x + r * cols;
-    float* yr = y + r * cols;
-    float norm2 = 0.0f;
-    for (int64_t c = 0; c < cols; ++c) norm2 += xr[c] * xr[c];
-    const float inv = 1.0f / std::max(std::sqrt(norm2), eps);
-    for (int64_t c = 0; c < cols; ++c) yr[c] = xr[c] * inv;
-  }
+  ParallelFor(0, rows, RowGrain(cols), [&](int64_t r0, int64_t r1) {
+    for (int64_t r = r0; r < r1; ++r) {
+      const float* xr = x + r * cols;
+      float* yr = y + r * cols;
+      float norm2 = 0.0f;
+      for (int64_t c = 0; c < cols; ++c) norm2 += xr[c] * xr[c];
+      const float inv = 1.0f / std::max(std::sqrt(norm2), eps);
+      for (int64_t c = 0; c < cols; ++c) yr[c] = xr[c] * inv;
+    }
+  });
   return out;
 }
 

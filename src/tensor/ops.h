@@ -55,6 +55,17 @@ Tensor Pow(const Tensor& a, float p);
 
 // -- Matrix multiply --------------------------------------------------------------
 
+/// Which inner GEMM kernel MatMul uses. kBlocked is the production
+/// cache-blocked/register-tiled kernel; kReference is the original scalar
+/// triple loop, kept selectable so benchmarks can measure composite ops
+/// (e.g. PCP proximity) against the pre-optimization baseline and tests
+/// can cross-check numerics.
+enum class GemmKernel { kBlocked, kReference };
+
+/// Selects the GEMM kernel process-wide (not thread-safe; call only from
+/// single-threaded setup code in benchmarks/tests).
+void SetGemmKernel(GemmKernel kernel);
+
 /// 2D x 2D, batched ND x ND with identical leading dims, or ND x 2D
 /// (the 2D right-hand side is shared across the batch).
 Tensor MatMul(const Tensor& a, const Tensor& b);

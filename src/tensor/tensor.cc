@@ -48,13 +48,16 @@ Storage& TensorImpl::MutableGrad() {
 }  // namespace internal
 
 namespace {
-bool g_grad_mode = true;
+// Thread-local so worker threads in parallel regions manage their own
+// no-grad scopes (see util/parallel.h); workers default to grad-on and
+// must open a NoGradGuard themselves when running inference chunks.
+thread_local bool t_grad_mode = true;
 }  // namespace
 
-bool GradModeEnabled() { return g_grad_mode; }
+bool GradModeEnabled() { return t_grad_mode; }
 
-NoGradGuard::NoGradGuard() : prev_(g_grad_mode) { g_grad_mode = false; }
-NoGradGuard::~NoGradGuard() { g_grad_mode = prev_; }
+NoGradGuard::NoGradGuard() : prev_(t_grad_mode) { t_grad_mode = false; }
+NoGradGuard::~NoGradGuard() { t_grad_mode = prev_; }
 
 // -- Factories ----------------------------------------------------------------
 

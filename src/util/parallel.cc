@@ -1,0 +1,199 @@
+#include "util/parallel.h"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <cstdlib>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+#include "util/logging.h"
+
+namespace crossem {
+namespace {
+
+/// Set while a thread is executing chunk bodies; nested regions run inline.
+thread_local bool t_in_parallel = false;
+
+/// One parallel region: a range chunked by `grain`, claimed chunk-by-chunk
+/// via an atomic cursor by every participating thread.
+struct Region {
+  int64_t begin = 0;
+  int64_t grain = 1;
+  int64_t num_chunks = 0;
+  std::function<void(int64_t, int64_t, int64_t)> fn;
+  int64_t end = 0;
+
+  std::atomic<int64_t> next{0};
+  std::atomic<int64_t> done{0};
+  std::mutex mu;
+  std::condition_variable cv;
+  std::exception_ptr error;
+
+  /// Claims and runs chunks until none remain. Safe to call from any
+  /// number of threads concurrently.
+  void RunChunks() {
+    for (;;) {
+      const int64_t c = next.fetch_add(1, std::memory_order_relaxed);
+      if (c >= num_chunks) return;
+      const int64_t b = begin + c * grain;
+      const int64_t e = std::min(end, b + grain);
+      try {
+        fn(c, b, e);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(mu);
+        if (!error) error = std::current_exception();
+      }
+      if (done.fetch_add(1, std::memory_order_acq_rel) + 1 == num_chunks) {
+        std::lock_guard<std::mutex> lock(mu);
+        cv.notify_all();
+      }
+    }
+  }
+
+  void WaitAll() {
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&] {
+      return done.load(std::memory_order_acquire) == num_chunks;
+    });
+  }
+};
+
+/// Persistent worker pool. Workers sleep on a condition variable and wake
+/// to help drain a posted Region; the caller always participates too, so a
+/// region completes even if every worker is busy elsewhere.
+class ThreadPool {
+ public:
+  static ThreadPool& Instance() {
+    static ThreadPool pool;  // joined in the destructor at process exit
+    return pool;
+  }
+
+  /// Ensures at least `n` workers exist (callers keep one thread for
+  /// themselves, so `n` is num_threads - 1).
+  void EnsureWorkers(int n) {
+    std::lock_guard<std::mutex> lock(mu_);
+    while (static_cast<int>(workers_.size()) < n) {
+      workers_.emplace_back([this] { WorkerLoop(); });
+    }
+  }
+
+  /// Offers `helpers` work tickets for `region` to idle workers.
+  void Post(const std::shared_ptr<Region>& region, int helpers) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      for (int i = 0; i < helpers; ++i) jobs_.push_back(region);
+    }
+    if (helpers == 1) {
+      cv_.notify_one();
+    } else {
+      cv_.notify_all();
+    }
+  }
+
+  ~ThreadPool() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      stop_ = true;
+    }
+    cv_.notify_all();
+    for (std::thread& t : workers_) t.join();
+  }
+
+ private:
+  ThreadPool() = default;
+
+  void WorkerLoop() {
+    t_in_parallel = true;  // nested parallel calls from workers run inline
+    for (;;) {
+      std::shared_ptr<Region> region;
+      {
+        std::unique_lock<std::mutex> lock(mu_);
+        cv_.wait(lock, [&] { return stop_ || !jobs_.empty(); });
+        if (stop_) return;
+        region = std::move(jobs_.front());
+        jobs_.pop_front();
+      }
+      region->RunChunks();
+    }
+  }
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::shared_ptr<Region>> jobs_;
+  std::vector<std::thread> workers_;
+  bool stop_ = false;
+};
+
+int DefaultNumThreads() {
+  if (const char* env = std::getenv("CROSSEM_NUM_THREADS")) {
+    const int n = std::atoi(env);
+    if (n > 0) return n;
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? static_cast<int>(hw) : 1;
+}
+
+/// 0 = unset (fall back to env/hardware default).
+std::atomic<int> g_num_threads{0};
+
+}  // namespace
+
+int GetNumThreads() {
+  const int n = g_num_threads.load(std::memory_order_relaxed);
+  if (n > 0) return n;
+  // Resolved once: getenv + hardware_concurrency are far too slow for a
+  // function on the per-op dispatch path.
+  static const int kDefault = DefaultNumThreads();
+  return kDefault;
+}
+
+void SetNumThreads(int n) {
+  g_num_threads.store(n > 0 ? n : 0, std::memory_order_relaxed);
+}
+
+bool InParallelRegion() { return t_in_parallel; }
+
+int64_t NumChunks(int64_t begin, int64_t end, int64_t grain) {
+  CROSSEM_CHECK_GT(grain, 0);
+  if (end <= begin) return 0;
+  return (end - begin + grain - 1) / grain;
+}
+
+namespace internal {
+
+bool EnterInlineRegion() {
+  const bool prev = t_in_parallel;
+  t_in_parallel = true;
+  return prev;
+}
+
+void RestoreInlineRegion(bool prev) { t_in_parallel = prev; }
+
+void ParallelForChunksImpl(
+    int64_t begin, int64_t end, int64_t grain, int64_t chunks, int threads,
+    const std::function<void(int64_t, int64_t, int64_t)>& fn) {
+  auto region = std::make_shared<Region>();
+  region->begin = begin;
+  region->end = end;
+  region->grain = grain;
+  region->num_chunks = chunks;
+  region->fn = fn;
+
+  const int helpers = static_cast<int>(
+      std::min<int64_t>(threads - 1, chunks - 1));
+  ThreadPool::Instance().EnsureWorkers(helpers);
+  ThreadPool::Instance().Post(region, helpers);
+
+  t_in_parallel = true;
+  region->RunChunks();
+  t_in_parallel = false;
+  region->WaitAll();
+  if (region->error) std::rethrow_exception(region->error);
+}
+
+}  // namespace internal
+
+}  // namespace crossem

@@ -1,0 +1,138 @@
+// Shared parallel execution runtime: a lazily-initialized persistent
+// thread pool behind chunked ParallelFor / ParallelReduce helpers.
+//
+// Determinism contract: work is split into fixed-size chunks of `grain`
+// iterations. The chunk decomposition depends ONLY on (begin, end, grain)
+// — never on the thread count — and ParallelReduce combines per-chunk
+// partials sequentially in ascending chunk order. Therefore any
+// computation whose per-chunk result is a pure function of its range
+// (disjoint writes for ParallelFor, pure map for ParallelReduce) produces
+// bitwise-identical results whether it runs on 1 thread or 64.
+//
+// Thread count resolution, in priority order:
+//   1. SetNumThreads(n) (programmatic),
+//   2. the CROSSEM_NUM_THREADS environment variable (read once),
+//   3. std::thread::hardware_concurrency().
+// A count of 1 bypasses the pool entirely and executes inline on the
+// calling thread. Nested parallel regions (a ParallelFor issued from
+// inside a worker chunk) also execute inline, so kernels can call other
+// parallel kernels without deadlock or oversubscription.
+//
+// Exceptions thrown by chunk bodies are captured (first one wins) and
+// rethrown on the calling thread after all chunks have completed.
+#ifndef CROSSEM_UTIL_PARALLEL_H_
+#define CROSSEM_UTIL_PARALLEL_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace crossem {
+
+/// Number of threads parallel regions may use (>= 1). Resolves the env /
+/// hardware default on first call.
+int GetNumThreads();
+
+/// Overrides the thread count for subsequent parallel regions; n <= 0
+/// restores the CROSSEM_NUM_THREADS / hardware default. The persistent
+/// pool grows on demand and is never shrunk — a smaller count simply
+/// leaves workers idle.
+void SetNumThreads(int n);
+
+/// True when called from inside a parallel chunk body (such regions run
+/// their own parallel calls inline).
+bool InParallelRegion();
+
+/// Number of chunks ParallelForChunks will produce for a range and grain.
+int64_t NumChunks(int64_t begin, int64_t end, int64_t grain);
+
+namespace internal {
+
+/// Marks the calling thread as inside a parallel region; returns the
+/// previous flag for RestoreInlineRegion.
+bool EnterInlineRegion();
+void RestoreInlineRegion(bool prev);
+
+/// Scoped EnterInlineRegion/RestoreInlineRegion (exception-safe).
+struct InlineRegionGuard {
+  bool prev = EnterInlineRegion();
+  InlineRegionGuard() = default;
+  InlineRegionGuard(const InlineRegionGuard&) = delete;
+  InlineRegionGuard& operator=(const InlineRegionGuard&) = delete;
+  ~InlineRegionGuard() { RestoreInlineRegion(prev); }
+};
+
+/// Type-erased pool dispatch for the multi-chunk case; blocks until every
+/// chunk has run and rethrows the first chunk exception.
+void ParallelForChunksImpl(
+    int64_t begin, int64_t end, int64_t grain, int64_t chunks, int threads,
+    const std::function<void(int64_t, int64_t, int64_t)>& fn);
+
+}  // namespace internal
+
+/// Runs fn(chunk_index, chunk_begin, chunk_end) over [begin, end) split
+/// into chunks of at most `grain` iterations. Requires grain > 0 so the
+/// decomposition is caller-controlled (and thread-count independent).
+/// Chunks execute concurrently and writes must be disjoint across chunks.
+/// Blocks until every chunk has finished.
+///
+/// The serial path (single chunk, one thread, or a nested call) invokes
+/// the callable directly — no std::function is materialized — so the
+/// helper is cheap enough for per-op hot paths; only work that actually
+/// reaches the pool pays for type erasure.
+template <typename Fn>
+void ParallelForChunks(int64_t begin, int64_t end, int64_t grain, Fn&& fn) {
+  const int64_t chunks = NumChunks(begin, end, grain);
+  if (chunks == 0) return;
+  const int threads = GetNumThreads();
+  if (chunks == 1 || threads <= 1 || InParallelRegion()) {
+    internal::InlineRegionGuard guard;
+    for (int64_t c = 0; c < chunks; ++c) {
+      const int64_t b = begin + c * grain;
+      fn(c, b, std::min<int64_t>(end, b + grain));
+    }
+    return;
+  }
+  internal::ParallelForChunksImpl(begin, end, grain, chunks, threads, fn);
+}
+
+/// Runs fn(chunk_begin, chunk_end) over [begin, end) split into chunks of
+/// at most `grain` iterations (grain <= 0 picks a heuristic based on the
+/// range and thread count). Same execution contract as ParallelForChunks.
+template <typename Fn>
+void ParallelFor(int64_t begin, int64_t end, int64_t grain, Fn&& fn) {
+  if (end <= begin) return;
+  if (grain <= 0) {
+    // Heuristic: ~4 chunks per thread bounds scheduling overhead while
+    // keeping the pool busy. Only used where determinism does not depend
+    // on the decomposition (disjoint writes).
+    const int64_t n = end - begin;
+    grain = std::max<int64_t>(1, n / (4 * GetNumThreads()));
+  }
+  ParallelForChunks(begin, end, grain,
+                    [&fn](int64_t, int64_t b, int64_t e) { fn(b, e); });
+}
+
+/// Deterministic parallel reduction: `map(chunk_begin, chunk_end)` computes
+/// a per-chunk partial, and `combine(acc, partial)` folds the partials in
+/// ascending chunk order on the calling thread. `grain` must be positive;
+/// the result is independent of the thread count by construction.
+template <typename T, typename MapFn, typename CombineFn>
+T ParallelReduce(int64_t begin, int64_t end, int64_t grain, T init,
+                 MapFn map, CombineFn combine) {
+  const int64_t chunks = NumChunks(begin, end, grain);
+  if (chunks <= 0) return init;
+  std::vector<T> partials(static_cast<size_t>(chunks));
+  ParallelForChunks(begin, end, grain,
+                    [&](int64_t c, int64_t b, int64_t e) {
+                      partials[static_cast<size_t>(c)] = map(b, e);
+                    });
+  T acc = init;
+  for (const T& p : partials) acc = combine(acc, p);
+  return acc;
+}
+
+}  // namespace crossem
+
+#endif  // CROSSEM_UTIL_PARALLEL_H_

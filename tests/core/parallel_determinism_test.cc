@@ -1,0 +1,116 @@
+// End-to-end determinism of the CrossEM+ optimization machinery under the
+// parallel runtime: PCP proximity scores, mini-batch partitions, and
+// k-means cluster assignments must be bitwise-identical with 1 and 8
+// threads (acceptance contract of the parallel runtime).
+#include <vector>
+
+#include "core/kmeans.h"
+#include "core/pcp.h"
+#include "data/dataset.h"
+#include "gtest/gtest.h"
+#include "util/parallel.h"
+
+namespace crossem {
+namespace core {
+namespace {
+
+class ParallelDeterminismFixture : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    data::DatasetConfig dc = data::CubLikeConfig(0.4);
+    ds_ = new data::CrossModalDataset(data::BuildDataset(dc));
+    clip::ClipConfig cc;
+    cc.vocab_size = ds_->vocab.size();
+    cc.text_context = 32;
+    cc.model_dim = 16;
+    cc.text_layers = 1;
+    cc.text_heads = 2;
+    cc.image_layers = 1;
+    cc.image_heads = 2;
+    cc.patch_dim = ds_->world->config().patch_dim;
+    cc.max_patches = 16;
+    cc.embed_dim = 12;
+    Rng rng(5);
+    model_ = new clip::ClipModel(cc, &rng);
+    tokenizer_ = new text::Tokenizer(&ds_->vocab, cc.text_context);
+    images_ = new Tensor(ds_->StackImages(ds_->TestImageIndices()));
+    for (int64_t c : ds_->test_classes) {
+      vertices_.push_back(ds_->entities[static_cast<size_t>(c)]);
+    }
+  }
+
+  static void TearDownTestSuite() {
+    SetNumThreads(0);
+    delete images_;
+    delete tokenizer_;
+    delete model_;
+    delete ds_;
+    vertices_.clear();
+  }
+
+  static data::CrossModalDataset* ds_;
+  static clip::ClipModel* model_;
+  static text::Tokenizer* tokenizer_;
+  static Tensor* images_;
+  static std::vector<graph::VertexId> vertices_;
+};
+
+data::CrossModalDataset* ParallelDeterminismFixture::ds_ = nullptr;
+clip::ClipModel* ParallelDeterminismFixture::model_ = nullptr;
+text::Tokenizer* ParallelDeterminismFixture::tokenizer_ = nullptr;
+Tensor* ParallelDeterminismFixture::images_ = nullptr;
+std::vector<graph::VertexId> ParallelDeterminismFixture::vertices_;
+
+TEST_F(ParallelDeterminismFixture, PcpProximityBitwiseStableAcrossThreads) {
+  MiniBatchGenerator gen(model_, &ds_->graph, tokenizer_, PcpOptions{});
+  SetNumThreads(1);
+  Tensor prox1 = gen.ComputeProximity(vertices_, *images_);
+  SetNumThreads(8);
+  Tensor prox8 = gen.ComputeProximity(vertices_, *images_);
+  SetNumThreads(0);
+  ASSERT_EQ(prox1.numel(), prox8.numel());
+  for (int64_t i = 0; i < prox1.numel(); ++i) {
+    ASSERT_EQ(prox1.at(i), prox8.at(i)) << "proximity element " << i;
+  }
+}
+
+TEST_F(ParallelDeterminismFixture, PcpPartitionsStableAcrossThreads) {
+  MiniBatchGenerator gen(model_, &ds_->graph, tokenizer_, PcpOptions{});
+  SetNumThreads(1);
+  Rng rng1(21);
+  auto out1 = gen.Generate(vertices_, *images_, &rng1);
+  SetNumThreads(8);
+  Rng rng8(21);
+  auto out8 = gen.Generate(vertices_, *images_, &rng8);
+  SetNumThreads(0);
+  ASSERT_TRUE(out1.ok());
+  ASSERT_TRUE(out8.ok());
+  ASSERT_EQ(out1.value().partitions.size(), out8.value().partitions.size());
+  for (size_t i = 0; i < out1.value().partitions.size(); ++i) {
+    EXPECT_EQ(out1.value().partitions[i].vertices,
+              out8.value().partitions[i].vertices);
+    EXPECT_EQ(out1.value().partitions[i].image_indices,
+              out8.value().partitions[i].image_indices);
+  }
+}
+
+TEST_F(ParallelDeterminismFixture, KMeansAssignmentsStableAcrossThreads) {
+  Rng data_rng(31);
+  Tensor points = Tensor::Randn({400, 12}, &data_rng);
+  SetNumThreads(1);
+  Rng rng1(32);
+  KMeansResult r1 = KMeans(points, 7, &rng1);
+  SetNumThreads(8);
+  Rng rng8(32);
+  KMeansResult r8 = KMeans(points, 7, &rng8);
+  SetNumThreads(0);
+  EXPECT_EQ(r1.assignments, r8.assignments);
+  EXPECT_EQ(r1.iterations, r8.iterations);
+  for (int64_t i = 0; i < r1.centroids.numel(); ++i) {
+    ASSERT_EQ(r1.centroids.at(i), r8.centroids.at(i)) << "centroid " << i;
+  }
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace crossem

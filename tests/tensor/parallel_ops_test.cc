@@ -1,0 +1,145 @@
+// Determinism of tensor ops under the parallel runtime: forward values and
+// gradients must be bitwise-identical with 1 and 8 threads (the fixed-grain
+// chunking contract in util/parallel.h).
+#include <functional>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "tensor/ops.h"
+#include "tensor/tensor.h"
+#include "util/parallel.h"
+
+namespace crossem {
+namespace {
+
+/// Runs `fn` under 1 and then 8 threads and returns both flat outputs
+/// (forward values followed by all input gradients).
+std::pair<std::vector<float>, std::vector<float>> RunBothThreadCounts(
+    const std::function<std::vector<float>()>& fn) {
+  SetNumThreads(1);
+  std::vector<float> one = fn();
+  SetNumThreads(8);
+  std::vector<float> eight = fn();
+  SetNumThreads(0);
+  return {std::move(one), std::move(eight)};
+}
+
+void ExpectBitwiseEqual(const std::vector<float>& a,
+                        const std::vector<float>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    // EXPECT_EQ (not NEAR): the determinism contract is bitwise.
+    ASSERT_EQ(a[i], b[i]) << "element " << i;
+  }
+}
+
+void Append(std::vector<float>* out, const Tensor& t) {
+  std::vector<float> v = t.ToVector();
+  out->insert(out->end(), v.begin(), v.end());
+}
+
+TEST(ParallelOpsDeterminismTest, MatMulForwardAndGrad) {
+  auto run = [] {
+    Rng rng(11);
+    Tensor a = Tensor::Randn({3, 96, 40}, &rng, 1.0f, true);
+    Tensor b = Tensor::Randn({40, 56}, &rng, 1.0f, true);
+    Tensor c = ops::MatMul(a, b);
+    ops::Sum(ops::Mul(c, c)).Backward();
+    std::vector<float> flat;
+    Append(&flat, c);
+    Append(&flat, a.grad());
+    Append(&flat, b.grad());
+    return flat;
+  };
+  auto [one, eight] = RunBothThreadCounts(run);
+  ExpectBitwiseEqual(one, eight);
+}
+
+TEST(ParallelOpsDeterminismTest, BatchedMatMulForwardAndGrad) {
+  auto run = [] {
+    Rng rng(12);
+    Tensor a = Tensor::Randn({4, 32, 24}, &rng, 1.0f, true);
+    Tensor b = Tensor::Randn({4, 24, 48}, &rng, 1.0f, true);
+    Tensor c = ops::MatMul(a, b);
+    ops::Sum(c).Backward();
+    std::vector<float> flat;
+    Append(&flat, c);
+    Append(&flat, a.grad());
+    Append(&flat, b.grad());
+    return flat;
+  };
+  auto [one, eight] = RunBothThreadCounts(run);
+  ExpectBitwiseEqual(one, eight);
+}
+
+TEST(ParallelOpsDeterminismTest, SumForwardAndGrad) {
+  auto run = [] {
+    Rng rng(13);
+    Tensor x = Tensor::Randn({50'000}, &rng, 1.0f, true);
+    Tensor s = ops::Sum(x);
+    s.Backward();
+    std::vector<float> flat;
+    Append(&flat, s);
+    Append(&flat, x.grad());
+    return flat;
+  };
+  auto [one, eight] = RunBothThreadCounts(run);
+  ExpectBitwiseEqual(one, eight);
+}
+
+TEST(ParallelOpsDeterminismTest, SoftmaxForwardAndGrad) {
+  auto run = [] {
+    Rng rng(14);
+    Tensor x = Tensor::Randn({300, 64}, &rng, 1.0f, true);
+    Tensor y = ops::Softmax(x);
+    ops::Sum(ops::Mul(y, y)).Backward();
+    std::vector<float> flat;
+    Append(&flat, y);
+    Append(&flat, x.grad());
+    return flat;
+  };
+  auto [one, eight] = RunBothThreadCounts(run);
+  ExpectBitwiseEqual(one, eight);
+}
+
+TEST(ParallelOpsDeterminismTest, ElementwiseAndReductionChain) {
+  auto run = [] {
+    Rng rng(15);
+    Tensor a = Tensor::Randn({64, 256}, &rng, 1.0f, true);
+    Tensor b = Tensor::Randn({64, 256}, &rng, 1.0f, true);
+    Tensor y = ops::L2Normalize(ops::Gelu(ops::Add(ops::Mul(a, b), a)));
+    Tensor loss = ops::Sum(ops::Mean(y, -1, false));
+    loss.Backward();
+    std::vector<float> flat;
+    Append(&flat, y);
+    Append(&flat, loss);
+    Append(&flat, a.grad());
+    Append(&flat, b.grad());
+    return flat;
+  };
+  auto [one, eight] = RunBothThreadCounts(run);
+  ExpectBitwiseEqual(one, eight);
+}
+
+TEST(ParallelOpsDeterminismTest, GemmTransposedLayoutsMatchReference) {
+  // The packed/blocked kernel must agree with a plain triple loop on every
+  // layout combination (within float tolerance: accumulation order along k
+  // is unchanged, so it is in fact exact).
+  Rng rng(16);
+  const int64_t m = 37, k = 53, n = 29;
+  Tensor a = Tensor::Randn({m, k}, &rng);
+  Tensor bt = Tensor::Randn({n, k}, &rng);  // physically transposed B
+  Tensor c = ops::MatMul(a, ops::Transpose(bt, 0, 1));
+  const float* av = a.data();
+  const float* bv = bt.data();
+  for (int64_t i = 0; i < m; ++i) {
+    for (int64_t j = 0; j < n; ++j) {
+      float ref = 0.0f;
+      for (int64_t p = 0; p < k; ++p) ref += av[i * k + p] * bv[j * k + p];
+      EXPECT_NEAR(c.at(i * n + j), ref, 1e-4f);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace crossem

@@ -1,0 +1,145 @@
+#include "util/parallel.h"
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace crossem {
+namespace {
+
+/// Restores the default thread count when a test exits.
+class ThreadCountGuard {
+ public:
+  ThreadCountGuard() = default;
+  ~ThreadCountGuard() { SetNumThreads(0); }
+};
+
+TEST(ParallelTest, NumChunksCoversRange) {
+  EXPECT_EQ(NumChunks(0, 0, 4), 0);
+  EXPECT_EQ(NumChunks(0, 1, 4), 1);
+  EXPECT_EQ(NumChunks(0, 4, 4), 1);
+  EXPECT_EQ(NumChunks(0, 5, 4), 2);
+  EXPECT_EQ(NumChunks(3, 11, 4), 2);
+  EXPECT_EQ(NumChunks(5, 3, 4), 0);  // empty (reversed) range
+}
+
+TEST(ParallelTest, ForVisitsEveryIndexExactlyOnce) {
+  ThreadCountGuard guard;
+  SetNumThreads(8);
+  constexpr int64_t kN = 10'000;
+  std::vector<std::atomic<int>> hits(kN);
+  for (auto& h : hits) h.store(0);
+  ParallelFor(0, kN, 64, [&](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) hits[static_cast<size_t>(i)]++;
+  });
+  for (int64_t i = 0; i < kN; ++i) {
+    ASSERT_EQ(hits[static_cast<size_t>(i)].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ParallelTest, EmptyRangeNeverInvokesBody) {
+  ThreadCountGuard guard;
+  SetNumThreads(8);
+  std::atomic<int> calls{0};
+  ParallelFor(5, 5, 1, [&](int64_t, int64_t) { calls++; });
+  ParallelFor(7, 3, 1, [&](int64_t, int64_t) { calls++; });
+  ParallelForChunks(0, 0, 16, [&](int64_t, int64_t, int64_t) { calls++; });
+  EXPECT_EQ(calls.load(), 0);
+}
+
+TEST(ParallelTest, ChunkBoundsRespectGrain) {
+  ThreadCountGuard guard;
+  SetNumThreads(4);
+  std::atomic<bool> bad{false};
+  ParallelForChunks(2, 23, 5, [&](int64_t c, int64_t b, int64_t e) {
+    if (b != 2 + c * 5 || e != std::min<int64_t>(23, b + 5) || e <= b) {
+      bad.store(true);
+    }
+  });
+  EXPECT_FALSE(bad.load());
+}
+
+TEST(ParallelTest, NestedRegionsRunInline) {
+  ThreadCountGuard guard;
+  SetNumThreads(8);
+  EXPECT_FALSE(InParallelRegion());
+  std::atomic<int64_t> total{0};
+  std::atomic<bool> saw_region_flag{true};
+  ParallelFor(0, 16, 1, [&](int64_t lo, int64_t hi) {
+    if (!InParallelRegion()) saw_region_flag.store(false);
+    for (int64_t i = lo; i < hi; ++i) {
+      // A nested parallel call must complete inline without deadlock.
+      ParallelFor(0, 100, 10, [&](int64_t nlo, int64_t nhi) {
+        total.fetch_add(nhi - nlo);
+      });
+    }
+  });
+  EXPECT_TRUE(saw_region_flag.load());
+  EXPECT_FALSE(InParallelRegion());
+  EXPECT_EQ(total.load(), 16 * 100);
+}
+
+TEST(ParallelTest, ExceptionPropagatesToCaller) {
+  ThreadCountGuard guard;
+  SetNumThreads(8);
+  EXPECT_THROW(
+      ParallelFor(0, 1000, 1,
+                  [&](int64_t lo, int64_t) {
+                    if (lo == 500) throw std::runtime_error("chunk failure");
+                  }),
+      std::runtime_error);
+  // The pool must remain usable after an exception.
+  std::atomic<int64_t> n{0};
+  ParallelFor(0, 100, 1, [&](int64_t lo, int64_t hi) { n += hi - lo; });
+  EXPECT_EQ(n.load(), 100);
+}
+
+TEST(ParallelTest, ExceptionInlinePathRestoresRegionFlag) {
+  ThreadCountGuard guard;
+  SetNumThreads(1);
+  EXPECT_THROW(ParallelFor(0, 10, 2,
+                           [](int64_t, int64_t) {
+                             throw std::logic_error("inline failure");
+                           }),
+               std::logic_error);
+  EXPECT_FALSE(InParallelRegion());
+}
+
+TEST(ParallelTest, ReduceMatchesSerialSum) {
+  ThreadCountGuard guard;
+  std::vector<double> values(5'000);
+  std::iota(values.begin(), values.end(), 1.0);
+  auto run = [&] {
+    return ParallelReduce<double>(
+        0, static_cast<int64_t>(values.size()), 128, 0.0,
+        [&](int64_t lo, int64_t hi) {
+          double part = 0.0;
+          for (int64_t i = lo; i < hi; ++i) {
+            part += values[static_cast<size_t>(i)];
+          }
+          return part;
+        },
+        [](double a, double b) { return a + b; });
+  };
+  SetNumThreads(1);
+  const double serial = run();
+  SetNumThreads(8);
+  const double parallel = run();
+  // Bitwise equality: the chunk decomposition and combine order are fixed.
+  EXPECT_EQ(serial, parallel);
+  EXPECT_EQ(serial, 5'000.0 * 5'001.0 / 2.0);
+}
+
+TEST(ParallelTest, SetNumThreadsRoundTrips) {
+  ThreadCountGuard guard;
+  SetNumThreads(3);
+  EXPECT_EQ(GetNumThreads(), 3);
+  SetNumThreads(0);
+  EXPECT_GE(GetNumThreads(), 1);  // env or hardware default
+}
+
+}  // namespace
+}  // namespace crossem
