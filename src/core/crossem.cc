@@ -1,11 +1,14 @@
 #include "core/crossem.h"
 
 #include <algorithm>
+#include <cmath>
 #include <numeric>
 
 #include "core/losses.h"
 #include "nn/optimizer.h"
+#include "nn/serialize.h"
 #include "tensor/ops.h"
+#include "util/fault_injection.h"
 #include "util/logging.h"
 #include "util/memory_tracker.h"
 #include "util/parallel.h"
@@ -102,6 +105,13 @@ Tensor CrossEm::ScoreMatrix(const std::vector<graph::VertexId>& vertices,
 std::vector<MatchingPair> CrossEm::FindMatches(
     const std::vector<graph::VertexId>& vertices, const Tensor& images,
     float min_probability) const {
+  // With no vertices or no images the matching set is trivially empty;
+  // without this guard the best-image scan below would index into an
+  // empty probability row.
+  if (vertices.empty() || !images.defined() || images.dim() != 3 ||
+      images.size(0) == 0) {
+    return {};
+  }
   NoGradGuard guard;
   Tensor v = EncodeVertices(vertices);
   Tensor i = EncodeImages(images);
@@ -128,6 +138,10 @@ std::vector<MatchingPair> CrossEm::FindMatches(
 std::vector<MatchingPair> CrossEm::FindMutualMatches(
     const std::vector<graph::VertexId>& vertices,
     const Tensor& images) const {
+  if (vertices.empty() || !images.defined() || images.dim() != 3 ||
+      images.size(0) == 0) {
+    return {};
+  }
   NoGradGuard guard;
   Tensor v = EncodeVertices(vertices);
   Tensor i = EncodeImages(images);
@@ -162,6 +176,29 @@ std::vector<Tensor> CrossEm::TrainableParameters() const {
   return params;
 }
 
+std::vector<std::pair<std::string, Tensor>> CrossEm::NamedTrainableParameters()
+    const {
+  // Must enumerate in exactly the TrainableParameters() order: the AdamW
+  // moment slots saved in a checkpoint are indexed by position.
+  std::vector<std::pair<std::string, Tensor>> named;
+  if (options_.tune_text_encoder) {
+    for (auto& [n, p] : model_->text().NamedParameters()) {
+      named.emplace_back("model.text." + n, p);
+    }
+  }
+  if (soft_gen_) {
+    for (auto& [n, p] : soft_gen_->NamedParameters()) {
+      named.emplace_back("soft_prompt." + n, p);
+    }
+  }
+  if (!options_.freeze_image_encoder) {
+    for (auto& [n, p] : model_->image().NamedParameters()) {
+      named.emplace_back("model.image." + n, p);
+    }
+  }
+  return named;
+}
+
 Result<FitStats> CrossEm::Fit(const std::vector<graph::VertexId>& vertices,
                               const Tensor& images) {
   if (vertices.empty()) return Status::InvalidArgument("no vertices to fit");
@@ -172,6 +209,20 @@ Result<FitStats> CrossEm::Fit(const std::vector<graph::VertexId>& vertices,
     if (v < 0 || v >= graph_->NumVertices()) {
       return Status::OutOfRange("vertex id out of range");
     }
+  }
+  if (options_.resume && options_.checkpoint_path.empty()) {
+    return Status::InvalidArgument("resume requires a checkpoint_path");
+  }
+  if (options_.checkpoint_every_epochs < 1) {
+    return Status::InvalidArgument("checkpoint_every_epochs must be >= 1");
+  }
+  if (options_.max_bad_batch_fraction < 0.0f ||
+      options_.max_bad_batch_fraction > 1.0f) {
+    return Status::InvalidArgument(
+        "max_bad_batch_fraction must be within [0, 1]");
+  }
+  if (options_.max_epoch_retries < 0) {
+    return Status::InvalidArgument("max_epoch_retries must be >= 0");
   }
 
   // Discrete prompt modes have no trainable prompt parameters: matching
@@ -195,172 +246,298 @@ Result<FitStats> CrossEm::Fit(const std::vector<graph::VertexId>& vertices,
   }
   nn::AdamW optimizer(params, options_.learning_rate);
 
+  // Whatever path Fit exits through — success, checkpoint I/O failure,
+  // retry exhaustion — the shared model must come back in inference mode
+  // with requires_grad restored for its other users.
+  struct ModeRestore {
+    CrossEm* self;
+    ~ModeRestore() {
+      self->model_->SetTraining(false);
+      if (self->options_.freeze_image_encoder) {
+        self->model_->image().SetRequiresGrad(true);
+      }
+      if (!self->options_.tune_text_encoder) {
+        self->model_->text().SetRequiresGrad(true);
+      }
+    }
+  } mode_restore{this};
+
   const int64_t num_images = images.size(0);
   FitStats stats;
   MemoryTracker::Instance().ResetPeak();
   Timer total_timer;
 
+  MiniBatchGenerator generator(model_, graph_, tokenizer_, options_.pcp);
+  Tensor proximity;
+
+  // ---- Resume (bit-for-bit) ----
+  // The checkpoint restores everything an uninterrupted run would carry
+  // into epoch k: parameters, AdamW moments/step, the data-order RNG, the
+  // (possibly backed-off) learning rate, and the proximity matrix — which
+  // must be reloaded, not recomputed, because an uninterrupted run builds
+  // it once from the pre-tuning encoders.
+  const bool checkpointing = !options_.checkpoint_path.empty();
+  const std::vector<std::pair<std::string, Tensor>> named_params =
+      NamedTrainableParameters();
+  int64_t start_epoch = 0;
+  if (checkpointing && options_.resume &&
+      io::FileExists(options_.checkpoint_path)) {
+    nn::TrainState train_state;
+    CROSSEM_RETURN_NOT_OK(nn::LoadTrainState(named_params, &train_state,
+                                             options_.checkpoint_path));
+    CROSSEM_RETURN_NOT_OK(optimizer.ImportState(train_state.optimizer));
+    CROSSEM_RETURN_NOT_OK(rng_.LoadState(train_state.rng_state));
+    optimizer.set_learning_rate(train_state.learning_rate);
+    proximity = train_state.proximity;
+    start_epoch = train_state.next_epoch;
+    if (options_.use_mini_batch_generation && !proximity.defined()) {
+      return Status::InvalidArgument(
+          "checkpoint '" + options_.checkpoint_path +
+          "' lacks the proximity matrix mini-batch generation needs");
+    }
+    CROSSEM_LOG(Info) << "resumed from '" << options_.checkpoint_path
+                      << "' at epoch " << start_epoch;
+  }
+
   // PCP phases 1-2 are data preprocessing (paper Fig. 5): the property
   // closeness and proximity matrices are computed once, under the frozen
   // pre-trained encoders, and reused across epochs.
-  MiniBatchGenerator generator(model_, graph_, tokenizer_, options_.pcp);
-  Tensor proximity;
-  if (options_.use_mini_batch_generation) {
+  if (options_.use_mini_batch_generation && !proximity.defined()) {
     proximity = generator.ComputeProximity(vertices, images);
   }
 
-  for (int64_t epoch = 0; epoch < options_.epochs; ++epoch) {
+  for (int64_t epoch = start_epoch; epoch < options_.epochs; ++epoch) {
     Timer epoch_timer;
     PeakMemoryScope mem_scope;
 
-    // ---- Mini-batch construction (Alg. 1 line 3 / Alg. 2 + Alg. 3) ----
-    std::vector<MiniBatch> batches;
-    if (options_.use_mini_batch_generation) {
-      auto generated =
-          generator.PartitionFromProximity(vertices, proximity, &rng_);
-      if (!generated.ok()) return generated.status();
-      batches = generated.MoveValue();
-      if (options_.use_negative_sampling) {
-        NegativeSampler sampler(options_.negative_sampling);
-        batches =
-            sampler.Apply(std::move(batches), proximity, vertices, &rng_);
-      }
-      // Cap contrastive batch sizes: split oversize partitions.
-      std::vector<MiniBatch> sized;
-      for (MiniBatch& mb : batches) {
-        for (size_t vs = 0; vs < mb.vertices.size();
-             vs += static_cast<size_t>(options_.batch_vertices)) {
-          for (size_t is = 0; is < mb.image_indices.size();
-               is += static_cast<size_t>(options_.batch_images)) {
-            MiniBatch piece;
-            piece.vertices.assign(
-                mb.vertices.begin() + static_cast<int64_t>(vs),
-                mb.vertices.begin() +
-                    std::min(vs + static_cast<size_t>(options_.batch_vertices),
-                             mb.vertices.size()));
-            piece.image_indices.assign(
-                mb.image_indices.begin() + static_cast<int64_t>(is),
-                mb.image_indices.begin() +
-                    std::min(is + static_cast<size_t>(options_.batch_images),
-                             mb.image_indices.size()));
-            sized.push_back(std::move(piece));
-          }
-        }
-      }
-      batches = std::move(sized);
-    } else {
-      // Random split of the full candidate-pair set V x I: every vertex
-      // chunk is paired with every image chunk (the quadratic training
-      // cost CrossEM+ avoids, Sec. III-C discussion).
-      std::vector<graph::VertexId> vs = vertices;
-      rng_.Shuffle(&vs);
-      std::vector<int64_t> is(static_cast<size_t>(num_images));
-      std::iota(is.begin(), is.end(), 0);
-      rng_.Shuffle(&is);
-      for (size_t v0 = 0; v0 < vs.size();
-           v0 += static_cast<size_t>(options_.batch_vertices)) {
-        for (size_t i0 = 0; i0 < is.size();
-             i0 += static_cast<size_t>(options_.batch_images)) {
-          MiniBatch mb;
-          mb.vertices.assign(
-              vs.begin() + static_cast<int64_t>(v0),
-              vs.begin() + std::min(v0 + static_cast<size_t>(
-                                             options_.batch_vertices),
-                                    vs.size()));
-          mb.image_indices.assign(
-              is.begin() + static_cast<int64_t>(i0),
-              is.begin() +
-                  std::min(i0 + static_cast<size_t>(options_.batch_images),
-                           is.size()));
-          batches.push_back(std::move(mb));
-        }
-      }
-    }
+    // Epoch-start snapshot the divergence guard rolls back to. The RNG is
+    // part of it so a retried epoch replays the same batch sequence.
+    std::vector<Tensor> param_snapshot;
+    param_snapshot.reserve(params.size());
+    for (const Tensor& p : params) param_snapshot.push_back(p.Clone());
+    const nn::Adam::State opt_snapshot = optimizer.ExportState();
+    const std::string rng_snapshot = rng_.SaveState();
 
-    // ---- Tuning steps (Alg. 1 lines 4-10) ----
-    double epoch_loss = 0.0;
-    int64_t steps = 0;
-    int64_t pairs = 0;
-    for (const MiniBatch& mb : batches) {
-      if (mb.vertices.empty() || mb.image_indices.empty()) continue;
-      pairs += static_cast<int64_t>(mb.vertices.size()) *
-               static_cast<int64_t>(mb.image_indices.size());
-      // Image side: frozen tower, no tape (saves the activation memory
-      // the paper's frozen-encoder design saves on GPU).
-      Tensor image_emb;
-      {
-        NoGradGuard guard;
-        std::vector<Tensor> rows;
-        rows.reserve(mb.image_indices.size());
-        for (int64_t idx : mb.image_indices) {
-          CROSSEM_CHECK_GE(idx, 0);
-          CROSSEM_CHECK_LT(idx, num_images);
-          rows.push_back(ops::Reshape(ops::Slice(images, 0, idx, idx + 1),
-                                      {images.size(1), images.size(2)}));
-        }
-        image_emb = model_->image().Forward(ops::Stack(rows));
-      }
-      Tensor text_emb = EncodeVerticesForTraining(mb.vertices);
-
-      // Pseudo-positives X_p: the top-similarity pairs of the batch
-      // (paper Sec. II-B: "X_p is collected from the pairs with top
-      // similarity"; the rest forms X_n). We take mutual nearest
-      // neighbors — (v, I) where I is v's best image AND v is I's best
-      // vertex — which keeps only confident pairs and avoids the drift
-      // of forcing a positive for every vertex.
-      std::vector<int64_t> confident_rows;
-      std::vector<int64_t> confident_targets;
-      {
-        NoGradGuard guard;
-        Tensor sim = clip::ClipModel::SimilarityMatrix(text_emb.Detach(),
-                                                       image_emb);
-        std::vector<int64_t> t2i = ops::ArgMax(sim, -1);
-        std::vector<int64_t> i2t = ops::ArgMax(ops::Transpose(sim, 0, 1), -1);
-        for (size_t r = 0; r < t2i.size(); ++r) {
-          const int64_t img = t2i[r];
-          if (i2t[static_cast<size_t>(img)] == static_cast<int64_t>(r)) {
-            confident_rows.push_back(static_cast<int64_t>(r));
-            confident_targets.push_back(img);
-          }
-        }
-      }
-      if (confident_rows.empty()) continue;  // no trustworthy pair
-
-      Tensor selected_text = ops::IndexSelect(text_emb, confident_rows);
-      Tensor loss =
-          model_->ContrastiveLoss(selected_text, image_emb, confident_targets);
-      if (options_.use_orthogonal_constraint && soft_gen_) {
-        Tensor lo = OrthogonalPromptLoss(
-            soft_gen_->PromptFeatures(mb.vertices));
-        loss = CombinedLoss(loss, lo, options_.beta);
-      }
-      optimizer.ZeroGrad();
-      loss.Backward();
-      nn::ClipGradNorm(params, options_.grad_clip);
-      optimizer.Step();
-      epoch_loss += loss.item();
-      ++steps;
-    }
-
+    int64_t retries = 0;
     EpochStats es;
-    es.loss = steps > 0 ? static_cast<float>(epoch_loss / steps) : 0.0f;
+    for (;;) {
+      CROSSEM_RETURN_NOT_OK(RunEpochAttempt(vertices, images, proximity,
+                                            &generator, &optimizer, params,
+                                            num_images, &es));
+      const int64_t attempted = es.num_batches + es.bad_batches;
+      const bool diverged =
+          attempted > 0 &&
+          static_cast<float>(es.bad_batches) >
+              options_.max_bad_batch_fraction * static_cast<float>(attempted);
+      if (!diverged) break;
+
+      // Roll back to the epoch-start snapshot; nothing of the failed
+      // attempt survives.
+      for (size_t i = 0; i < params.size(); ++i) {
+        Tensor p = params[i];
+        std::copy_n(param_snapshot[i].data(), param_snapshot[i].numel(),
+                    p.data());
+      }
+      CROSSEM_RETURN_NOT_OK(optimizer.ImportState(opt_snapshot));
+      CROSSEM_RETURN_NOT_OK(rng_.LoadState(rng_snapshot));
+      if (retries >= options_.max_epoch_retries) {
+        return Status::Internal(
+            "epoch " + std::to_string(epoch) + " diverged (" +
+            std::to_string(es.bad_batches) + "/" + std::to_string(attempted) +
+            " batches with non-finite loss/gradients) after " +
+            std::to_string(retries) + " retries; learning rate backed off to " +
+            std::to_string(optimizer.learning_rate()) +
+            "; parameters rolled back to the last good state");
+      }
+      ++retries;
+      optimizer.set_learning_rate(0.5f * optimizer.learning_rate());
+      CROSSEM_LOG(Warning) << "epoch " << epoch << " diverged ("
+                           << es.bad_batches << "/" << attempted
+                           << " bad batches); retry " << retries
+                           << " with learning rate "
+                           << optimizer.learning_rate();
+    }
+    es.retries = retries;
+    es.learning_rate = optimizer.learning_rate();
     es.seconds = epoch_timer.ElapsedSeconds();
     es.peak_bytes = mem_scope.PeakBytes();
-    es.num_batches = steps;
-    es.num_pairs = pairs;
     stats.peak_bytes = std::max(stats.peak_bytes, es.peak_bytes);
     stats.epochs.push_back(es);
+
+    if (checkpointing &&
+        ((epoch + 1) % options_.checkpoint_every_epochs == 0 ||
+         epoch + 1 == options_.epochs)) {
+      nn::TrainState train_state;
+      train_state.next_epoch = epoch + 1;
+      train_state.learning_rate = optimizer.learning_rate();
+      train_state.optimizer = optimizer.ExportState();
+      train_state.rng_state = rng_.SaveState();
+      train_state.proximity = proximity;
+      CROSSEM_RETURN_NOT_OK(nn::SaveTrainState(named_params, train_state,
+                                               options_.checkpoint_path));
+    }
   }
   stats.total_seconds = total_timer.ElapsedSeconds();
-  model_->SetTraining(false);
-  // Restore requires_grad for other users of the shared model.
-  if (options_.freeze_image_encoder) {
-    model_->image().SetRequiresGrad(true);
-  }
-  if (!options_.tune_text_encoder) {
-    model_->text().SetRequiresGrad(true);
-  }
   return stats;
+}
+
+Status CrossEm::RunEpochAttempt(const std::vector<graph::VertexId>& vertices,
+                                const Tensor& images, const Tensor& proximity,
+                                MiniBatchGenerator* generator,
+                                nn::Optimizer* optimizer,
+                                const std::vector<Tensor>& params,
+                                int64_t num_images, EpochStats* es) {
+  *es = EpochStats{};
+
+  // ---- Mini-batch construction (Alg. 1 line 3 / Alg. 2 + Alg. 3) ----
+  std::vector<MiniBatch> batches;
+  if (options_.use_mini_batch_generation) {
+    CROSSEM_ASSIGN_OR_RETURN(
+        batches, generator->PartitionFromProximity(vertices, proximity, &rng_));
+    if (options_.use_negative_sampling) {
+      NegativeSampler sampler(options_.negative_sampling);
+      batches =
+          sampler.Apply(std::move(batches), proximity, vertices, &rng_);
+    }
+    // Cap contrastive batch sizes: split oversize partitions.
+    std::vector<MiniBatch> sized;
+    for (MiniBatch& mb : batches) {
+      for (size_t vs = 0; vs < mb.vertices.size();
+           vs += static_cast<size_t>(options_.batch_vertices)) {
+        for (size_t is = 0; is < mb.image_indices.size();
+             is += static_cast<size_t>(options_.batch_images)) {
+          MiniBatch piece;
+          piece.vertices.assign(
+              mb.vertices.begin() + static_cast<int64_t>(vs),
+              mb.vertices.begin() +
+                  std::min(vs + static_cast<size_t>(options_.batch_vertices),
+                           mb.vertices.size()));
+          piece.image_indices.assign(
+              mb.image_indices.begin() + static_cast<int64_t>(is),
+              mb.image_indices.begin() +
+                  std::min(is + static_cast<size_t>(options_.batch_images),
+                           mb.image_indices.size()));
+          sized.push_back(std::move(piece));
+        }
+      }
+    }
+    batches = std::move(sized);
+  } else {
+    // Random split of the full candidate-pair set V x I: every vertex
+    // chunk is paired with every image chunk (the quadratic training
+    // cost CrossEM+ avoids, Sec. III-C discussion).
+    std::vector<graph::VertexId> vs = vertices;
+    rng_.Shuffle(&vs);
+    std::vector<int64_t> is(static_cast<size_t>(num_images));
+    std::iota(is.begin(), is.end(), 0);
+    rng_.Shuffle(&is);
+    for (size_t v0 = 0; v0 < vs.size();
+         v0 += static_cast<size_t>(options_.batch_vertices)) {
+      for (size_t i0 = 0; i0 < is.size();
+           i0 += static_cast<size_t>(options_.batch_images)) {
+        MiniBatch mb;
+        mb.vertices.assign(
+            vs.begin() + static_cast<int64_t>(v0),
+            vs.begin() +
+                std::min(v0 + static_cast<size_t>(options_.batch_vertices),
+                         vs.size()));
+        mb.image_indices.assign(
+            is.begin() + static_cast<int64_t>(i0),
+            is.begin() +
+                std::min(i0 + static_cast<size_t>(options_.batch_images),
+                         is.size()));
+        batches.push_back(std::move(mb));
+      }
+    }
+  }
+
+  // ---- Tuning steps (Alg. 1 lines 4-10) ----
+  double epoch_loss = 0.0;
+  int64_t steps = 0;
+  int64_t pairs = 0;
+  int64_t bad = 0;
+  for (const MiniBatch& mb : batches) {
+    if (mb.vertices.empty() || mb.image_indices.empty()) continue;
+    pairs += static_cast<int64_t>(mb.vertices.size()) *
+             static_cast<int64_t>(mb.image_indices.size());
+    // Image side: frozen tower, no tape (saves the activation memory
+    // the paper's frozen-encoder design saves on GPU).
+    Tensor image_emb;
+    {
+      NoGradGuard guard;
+      std::vector<Tensor> rows;
+      rows.reserve(mb.image_indices.size());
+      for (int64_t idx : mb.image_indices) {
+        CROSSEM_CHECK_GE(idx, 0);
+        CROSSEM_CHECK_LT(idx, num_images);
+        rows.push_back(ops::Reshape(ops::Slice(images, 0, idx, idx + 1),
+                                    {images.size(1), images.size(2)}));
+      }
+      image_emb = model_->image().Forward(ops::Stack(rows));
+    }
+    Tensor text_emb = EncodeVerticesForTraining(mb.vertices);
+
+    // Pseudo-positives X_p: the top-similarity pairs of the batch
+    // (paper Sec. II-B: "X_p is collected from the pairs with top
+    // similarity"; the rest forms X_n). We take mutual nearest
+    // neighbors — (v, I) where I is v's best image AND v is I's best
+    // vertex — which keeps only confident pairs and avoids the drift
+    // of forcing a positive for every vertex.
+    std::vector<int64_t> confident_rows;
+    std::vector<int64_t> confident_targets;
+    {
+      NoGradGuard guard;
+      Tensor sim = clip::ClipModel::SimilarityMatrix(text_emb.Detach(),
+                                                     image_emb);
+      std::vector<int64_t> t2i = ops::ArgMax(sim, -1);
+      std::vector<int64_t> i2t = ops::ArgMax(ops::Transpose(sim, 0, 1), -1);
+      for (size_t r = 0; r < t2i.size(); ++r) {
+        const int64_t img = t2i[r];
+        if (i2t[static_cast<size_t>(img)] == static_cast<int64_t>(r)) {
+          confident_rows.push_back(static_cast<int64_t>(r));
+          confident_targets.push_back(img);
+        }
+      }
+    }
+    if (confident_rows.empty()) continue;  // no trustworthy pair
+
+    Tensor selected_text = ops::IndexSelect(text_emb, confident_rows);
+    Tensor loss =
+        model_->ContrastiveLoss(selected_text, image_emb, confident_targets);
+    if (options_.use_orthogonal_constraint && soft_gen_) {
+      Tensor lo = OrthogonalPromptLoss(
+          soft_gen_->PromptFeatures(mb.vertices));
+      loss = CombinedLoss(loss, lo, options_.beta);
+    }
+    optimizer->ZeroGrad();
+
+    // Numeric guard: a batch whose loss or gradients are non-finite is
+    // dropped before it can poison the parameters or the Adam moments.
+    const float loss_value = loss.item();
+    bool finite = std::isfinite(loss_value);
+    if (finite) {
+      loss.Backward();
+      finite = std::isfinite(nn::ClipGradNorm(params, options_.grad_clip));
+    }
+    if (!finite) {
+      optimizer->ZeroGrad();
+      ++bad;
+      CROSSEM_LOG(Warning)
+          << "skipping batch with non-finite loss/gradients (loss="
+          << loss_value << ", " << mb.vertices.size() << " vertices x "
+          << mb.image_indices.size() << " images)";
+      continue;
+    }
+    optimizer->Step();
+    epoch_loss += loss_value;
+    ++steps;
+  }
+
+  es->loss = steps > 0 ? static_cast<float>(epoch_loss / steps) : 0.0f;
+  es->num_batches = steps;
+  es->num_pairs = pairs;
+  es->bad_batches = bad;
+  return Status::OK();
 }
 
 }  // namespace core

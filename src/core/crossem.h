@@ -18,6 +18,8 @@
 #define CROSSEM_CORE_CROSSEM_H_
 
 #include <memory>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "clip/clip.h"
@@ -26,6 +28,7 @@
 #include "core/pcp.h"
 #include "core/soft_prompt.h"
 #include "graph/graph.h"
+#include "nn/optimizer.h"
 #include "tensor/tensor.h"
 #include "text/tokenizer.h"
 #include "util/random.h"
@@ -70,6 +73,25 @@ struct CrossEmOptions {
   NegativeSamplingOptions negative_sampling;
 
   uint64_t seed = 13;
+
+  // -- Fault tolerance -----------------------------------------------------
+  /// When non-empty, Fit writes a resumable training checkpoint (module
+  /// parameters + optimizer/RNG state, nn/serialize.h TrainState) here.
+  std::string checkpoint_path;
+  /// Checkpoint cadence; the final epoch is always checkpointed too.
+  int64_t checkpoint_every_epochs = 1;
+  /// Resume from `checkpoint_path` if it exists (bit-for-bit: the resumed
+  /// run produces exactly the losses and parameters of an uninterrupted
+  /// one). A missing checkpoint file starts fresh; a corrupt or
+  /// unreadable one fails the Fit.
+  bool resume = false;
+  /// A batch whose loss or gradients come out non-finite is skipped (no
+  /// optimizer step) and counted. If more than this fraction of an
+  /// epoch's loss-producing batches go bad, the epoch is rolled back to
+  /// its start snapshot and retried with the learning rate halved.
+  float max_bad_batch_fraction = 0.5f;
+  /// Rollback retries per epoch before Fit gives up with an error.
+  int64_t max_epoch_retries = 2;
 };
 
 /// The full CrossEM+ configuration (soft prompt + MBG + NS + OPC).
@@ -84,6 +106,12 @@ struct EpochStats {
   /// Candidate pairs processed: sum over batches of |V_i| * |I_i|
   /// (the quantity MBG reduces from |V||I|, Sec. IV-A).
   int64_t num_pairs = 0;
+  /// Batches skipped by the non-finite loss/gradient guard.
+  int64_t bad_batches = 0;
+  /// Divergence rollbacks this epoch consumed before succeeding.
+  int64_t retries = 0;
+  /// Learning rate in effect when the epoch finished (halved on rollback).
+  float learning_rate = 0.0f;
 };
 
 struct FitStats {
@@ -158,6 +186,20 @@ class CrossEm {
 
   /// Trainable parameter set under the current options.
   std::vector<Tensor> TrainableParameters() const;
+
+  /// Same tensors, in the same order, with stable checkpoint names
+  /// ("model.text.*", "soft_prompt.*", "model.image.*").
+  std::vector<std::pair<std::string, Tensor>> NamedTrainableParameters() const;
+
+  /// One full pass over the (re)generated mini-batches, with the
+  /// non-finite batch guard. Fills loss/num_batches/num_pairs/bad_batches
+  /// of `es`; the caller decides whether the attempt diverged.
+  Status RunEpochAttempt(const std::vector<graph::VertexId>& vertices,
+                         const Tensor& images, const Tensor& proximity,
+                         MiniBatchGenerator* generator,
+                         nn::Optimizer* optimizer,
+                         const std::vector<Tensor>& params, int64_t num_images,
+                         EpochStats* es);
 
   clip::ClipModel* model_;
   const graph::Graph* graph_;

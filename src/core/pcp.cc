@@ -117,9 +117,8 @@ Result<MiniBatchGenerator::Output> MiniBatchGenerator::Generate(
   }
   Output out;
   out.proximity = ComputeProximity(vertices, images);
-  auto partitions = PartitionFromProximity(vertices, out.proximity, rng);
-  if (!partitions.ok()) return partitions.status();
-  out.partitions = partitions.MoveValue();
+  CROSSEM_ASSIGN_OR_RETURN(
+      out.partitions, PartitionFromProximity(vertices, out.proximity, rng));
   return out;
 }
 

@@ -1,10 +1,15 @@
 #include "data/dataset.h"
 
 #include <algorithm>
+#include <cstdio>
+#include <cstdlib>
 #include <map>
+#include <memory>
 #include <numeric>
+#include <sstream>
 
 #include "tensor/ops.h"
+#include "util/fault_injection.h"
 #include "util/logging.h"
 
 namespace crossem {
@@ -203,6 +208,147 @@ DatasetConfig Fb6kLikeConfig(double scale) {
 
 DatasetConfig Fb10kLikeConfig(double scale) {
   return FbLikeConfig("FB10K-IMG-like", scale, 136, 1180, 3005);
+}
+
+namespace {
+
+struct FileCloser {
+  void operator()(std::FILE* f) const {
+    if (f != nullptr) std::fclose(f);
+  }
+};
+using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+
+Result<std::string> ReadWholeFile(const std::string& path) {
+  FilePtr f(io::Fopen(path, "rb"));
+  if (!f) return Status::IOError("cannot open '" + path + "' for reading");
+  std::string data;
+  char buf[1 << 16];
+  for (;;) {
+    const size_t n = io::Fread(buf, 1, sizeof(buf), f.get());
+    data.append(buf, n);
+    if (n < sizeof(buf)) {
+      // Real freads end short only at EOF or on a stream error; an
+      // injected fault sets neither flag — treat both non-EOF cases as
+      // I/O failures.
+      if (!std::feof(f.get())) {
+        return Status::IOError("read failed: '" + path + "'");
+      }
+      break;
+    }
+  }
+  return data;
+}
+
+}  // namespace
+
+Result<ImageRepository> LoadImageRepositoryCsv(const std::string& path) {
+  std::string text;
+  CROSSEM_ASSIGN_OR_RETURN(text, ReadWholeFile(path));
+  std::map<std::string, std::vector<std::vector<float>>> by_image;
+  std::vector<std::string> order;
+  std::istringstream in(text);
+  std::string line;
+  int64_t dim = -1;
+  while (std::getline(in, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty()) continue;
+    std::istringstream ls(line);
+    std::string cell;
+    if (!std::getline(ls, cell, ',')) continue;
+    std::string id = cell;
+    std::vector<float> feats;
+    while (std::getline(ls, cell, ',')) {
+      feats.push_back(std::strtof(cell.c_str(), nullptr));
+    }
+    if (feats.empty()) {
+      return Status::ParseError("'" + path +
+                                "': image row without features: " + line);
+    }
+    if (dim < 0) dim = static_cast<int64_t>(feats.size());
+    if (static_cast<int64_t>(feats.size()) != dim) {
+      return Status::ParseError("inconsistent feature width in '" + path +
+                                "'");
+    }
+    if (by_image.emplace(id, std::vector<std::vector<float>>{}).second) {
+      order.push_back(id);
+    }
+    by_image[id].push_back(std::move(feats));
+  }
+  if (order.empty()) return Status::ParseError("no images in '" + path + "'");
+
+  size_t max_patches = 0;
+  for (const auto& [id, rows] : by_image) {
+    max_patches = std::max(max_patches, rows.size());
+  }
+  ImageRepository repo;
+  repo.ids = order;
+  repo.patches = Tensor::Zeros({static_cast<int64_t>(order.size()),
+                                static_cast<int64_t>(max_patches), dim});
+  float* p = repo.patches.data();
+  for (size_t img = 0; img < order.size(); ++img) {
+    const auto& rows = by_image[order[img]];
+    for (size_t r = 0; r < rows.size(); ++r) {
+      std::copy(rows[r].begin(), rows[r].end(),
+                p + (img * max_patches + r) * static_cast<size_t>(dim));
+    }
+  }
+  return repo;
+}
+
+Status SaveImageRepositoryCsv(const ImageRepository& repo,
+                              const std::string& path) {
+  if (!repo.patches.defined() || repo.patches.dim() != 3 ||
+      repo.patches.size(0) != static_cast<int64_t>(repo.ids.size())) {
+    return Status::InvalidArgument(
+        "repository patches must be [N, P, D] with one id per image");
+  }
+  const int64_t num_patches = repo.patches.size(1);
+  const int64_t dim = repo.patches.size(2);
+  const float* p = repo.patches.data();
+
+  // Serialize fully before touching the filesystem.
+  std::ostringstream out;
+  for (size_t img = 0; img < repo.ids.size(); ++img) {
+    for (int64_t r = 0; r < num_patches; ++r) {
+      const float* row =
+          p + (static_cast<int64_t>(img) * num_patches + r) * dim;
+      // Trailing all-zero rows are the load-time padding; skip them (but
+      // always keep the first patch so every image appears).
+      if (r > 0 && std::all_of(row, row + dim,
+                               [](float v) { return v == 0.0f; })) {
+        continue;
+      }
+      out << repo.ids[img];
+      for (int64_t d = 0; d < dim; ++d) out << ',' << row[d];
+      out << '\n';
+    }
+  }
+  const std::string text = out.str();
+
+  const std::string tmp = path + ".tmp";
+  {
+    FilePtr f(io::Fopen(tmp, "wb"));
+    if (!f) return Status::IOError("cannot open '" + tmp + "' for writing");
+    Status st = Status::OK();
+    if (io::Fwrite(text.data(), 1, text.size(), f.get()) != text.size()) {
+      st = Status::IOError("write failed: '" + tmp + "'");
+    } else if (io::Fflush(f.get()) != 0) {
+      st = Status::IOError("flush failed: '" + tmp + "'");
+    } else if (io::Fsync(f.get()) != 0) {
+      st = Status::IOError("fsync failed: '" + tmp + "'");
+    }
+    if (!st.ok()) {
+      f.reset();
+      io::Remove(tmp);
+      return st;
+    }
+  }
+  if (io::Rename(tmp, path) != 0) {
+    io::Remove(tmp);
+    return Status::IOError("rename failed: '" + tmp + "' -> '" + path + "'");
+  }
+  return Status::OK();
 }
 
 }  // namespace data

@@ -15,6 +15,7 @@
 #include "data/world.h"
 #include "graph/graph.h"
 #include "text/tokenizer.h"
+#include "util/status.h"
 
 namespace crossem {
 namespace data {
@@ -68,6 +69,29 @@ struct CrossModalDataset {
 
 /// Builds a dataset from its config (deterministic given config.seed).
 CrossModalDataset BuildDataset(const DatasetConfig& config);
+
+/// An on-disk image repository: patch-feature rows grouped by image id.
+///
+/// CSV format (crossem_match --images): one patch per row,
+///   image_id,f0,f1,...,f{D-1}
+/// rows sharing image_id form one image; patch counts are padded to the
+/// repository maximum with zero patches.
+struct ImageRepository {
+  std::vector<std::string> ids;  // one per image, input order
+  Tensor patches;                // [N, Pmax, D]
+};
+
+/// Parses a patch-feature CSV into a repository. All file I/O goes
+/// through the crossem::io wrappers (util/fault_injection.h), so read
+/// failures surface as Status instead of silently truncated data.
+Result<ImageRepository> LoadImageRepositoryCsv(const std::string& path);
+
+/// Writes a repository back out as patch-feature CSV, atomically
+/// ("<path>.tmp" + fsync + rename; failed saves leave no tmp file).
+/// All-zero trailing patch rows (the padding LoadImageRepositoryCsv
+/// adds) are not written back.
+Status SaveImageRepositoryCsv(const ImageRepository& repo,
+                              const std::string& path);
 
 /// Presets reproducing the relative statistics of the paper's Table I at
 /// CPU scale. `scale` multiplies class/image counts (1.0 = defaults).

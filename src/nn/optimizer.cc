@@ -15,14 +15,15 @@ bool Updatable(const Tensor& p) {
 }
 }  // namespace
 
-Optimizer::Optimizer(std::vector<Tensor> params) : params_(std::move(params)) {}
+Optimizer::Optimizer(std::vector<Tensor> params, float lr)
+    : params_(std::move(params)), lr_(lr) {}
 
 void Optimizer::ZeroGrad() {
   for (Tensor& p : params_) p.ZeroGrad();
 }
 
 Sgd::Sgd(std::vector<Tensor> params, float lr, float momentum)
-    : Optimizer(std::move(params)), lr_(lr), momentum_(momentum) {
+    : Optimizer(std::move(params), lr), momentum_(momentum) {
   velocity_.resize(params_.size());
 }
 
@@ -49,14 +50,44 @@ void Sgd::Step() {
 
 Adam::Adam(std::vector<Tensor> params, float lr, float beta1, float beta2,
            float eps, float weight_decay)
-    : Optimizer(std::move(params)),
-      lr_(lr),
+    : Optimizer(std::move(params), lr),
       beta1_(beta1),
       beta2_(beta2),
       eps_(eps),
       weight_decay_(weight_decay) {
   m_.resize(params_.size());
   v_.resize(params_.size());
+}
+
+Adam::State Adam::ExportState() const {
+  State state;
+  state.step = t_;
+  state.m = m_;
+  state.v = v_;
+  return state;
+}
+
+Status Adam::ImportState(const State& state) {
+  if (state.step < 0) {
+    return Status::InvalidArgument("optimizer step count is negative");
+  }
+  if (state.m.size() != params_.size() || state.v.size() != params_.size()) {
+    return Status::InvalidArgument(
+        "optimizer state holds " + std::to_string(state.m.size()) +
+        " moment slots, expected " + std::to_string(params_.size()));
+  }
+  for (size_t i = 0; i < params_.size(); ++i) {
+    const size_t numel = static_cast<size_t>(params_[i].numel());
+    if ((!state.m[i].empty() && state.m[i].size() != numel) ||
+        (!state.v[i].empty() && state.v[i].size() != numel)) {
+      return Status::InvalidArgument(
+          "optimizer moment size mismatch at slot " + std::to_string(i));
+    }
+  }
+  t_ = state.step;
+  m_ = state.m;
+  v_ = state.v;
+  return Status::OK();
 }
 
 void Adam::Step() {

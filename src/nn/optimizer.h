@@ -4,20 +4,26 @@
 // and ablations. Parameters whose requires_grad flag is off (frozen
 // modules) are skipped, which is how prompt tuning updates only the
 // prompt-side parameters.
+//
+// Adam exposes its full state (step count + moment vectors) via
+// ExportState/ImportState so a training run can be checkpointed and
+// resumed bit-for-bit (see nn/serialize.h TrainState).
 #ifndef CROSSEM_NN_OPTIMIZER_H_
 #define CROSSEM_NN_OPTIMIZER_H_
 
 #include <vector>
 
 #include "tensor/tensor.h"
+#include "util/status.h"
 
 namespace crossem {
 namespace nn {
 
-/// Base optimizer: owns the parameter list and grad clearing.
+/// Base optimizer: owns the parameter list, learning rate and grad
+/// clearing.
 class Optimizer {
  public:
-  explicit Optimizer(std::vector<Tensor> params);
+  Optimizer(std::vector<Tensor> params, float lr);
   virtual ~Optimizer() = default;
 
   Optimizer(const Optimizer&) = delete;
@@ -29,8 +35,14 @@ class Optimizer {
   /// Zero-fills all parameter gradients.
   void ZeroGrad();
 
+  /// The learning rate applied by subsequent Step calls. Mutable so the
+  /// training loop's divergence guard can back off (halve) on rollback.
+  float learning_rate() const { return lr_; }
+  void set_learning_rate(float lr) { lr_ = lr; }
+
  protected:
   std::vector<Tensor> params_;
+  float lr_;
 };
 
 /// Stochastic gradient descent with optional classical momentum.
@@ -41,7 +53,6 @@ class Sgd : public Optimizer {
   void Step() override;
 
  private:
-  float lr_;
   float momentum_;
   std::vector<std::vector<float>> velocity_;
 };
@@ -54,8 +65,23 @@ class Adam : public Optimizer {
 
   void Step() override;
 
+  /// Complete resumable state: step count plus first/second moment
+  /// vectors, one slot per parameter (empty until that parameter's first
+  /// update — the slots are allocated lazily).
+  struct State {
+    int64_t step = 0;
+    std::vector<std::vector<float>> m;
+    std::vector<std::vector<float>> v;
+  };
+
+  /// Deep-copies the current state (for checkpointing / rollback).
+  State ExportState() const;
+
+  /// Restores a state captured by ExportState. Fails if the slot count
+  /// or any populated slot's size disagrees with the parameter list.
+  Status ImportState(const State& state);
+
  protected:
-  float lr_;
   float beta1_;
   float beta2_;
   float eps_;
@@ -74,7 +100,9 @@ class AdamW : public Adam {
 };
 
 /// Rescales gradients so their global L2 norm is at most `max_norm`.
-/// Returns the pre-clipping norm.
+/// Returns the pre-clipping norm (NaN/Inf when any gradient is
+/// non-finite — callers use this as a divergence signal and must then
+/// skip the update).
 float ClipGradNorm(const std::vector<Tensor>& params, float max_norm);
 
 }  // namespace nn

@@ -6,6 +6,8 @@
 #include <memory>
 #include <vector>
 
+#include "util/crc32.h"
+#include "util/fault_injection.h"
 #include "util/logging.h"
 
 namespace crossem {
@@ -13,7 +15,17 @@ namespace nn {
 
 namespace {
 
-constexpr char kMagic[8] = {'C', 'E', 'M', 'C', 'K', 'P', 'T', '1'};
+constexpr char kMagicV1[8] = {'C', 'E', 'M', 'C', 'K', 'P', 'T', '1'};
+constexpr char kMagicV2[8] = {'C', 'E', 'M', 'C', 'K', 'P', 'T', '2'};
+constexpr char kMagicEnd[8] = {'C', 'E', 'M', '2', 'E', 'N', 'D', '\n'};
+
+constexpr uint32_t kKindTensor = 0;
+constexpr uint32_t kKindBytes = 1;
+
+// Parse limits: no legitimate checkpoint comes close, and they keep a
+// corrupt length field from driving a huge allocation.
+constexpr int64_t kMaxNameLen = 4096;
+constexpr int64_t kMaxRank = 16;
 
 /// RAII FILE handle.
 struct FileCloser {
@@ -23,112 +35,518 @@ struct FileCloser {
 };
 using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
 
-bool WriteI64(std::FILE* f, int64_t v) {
-  return std::fwrite(&v, sizeof(v), 1, f) == 1;
+/// One named entry of a v2 file: either an f32 tensor or a byte string.
+struct Record {
+  std::string name;
+  uint32_t kind = kKindTensor;
+  Shape shape;              // kKindTensor
+  std::vector<float> f32;   // kKindTensor payload
+  std::string bytes;        // kKindBytes payload
+
+  static Record TensorRecord(std::string name, Shape shape,
+                             std::vector<float> data) {
+    Record r;
+    r.name = std::move(name);
+    r.kind = kKindTensor;
+    r.shape = std::move(shape);
+    r.f32 = std::move(data);
+    return r;
+  }
+  static Record BytesRecord(std::string name, std::string data) {
+    Record r;
+    r.name = std::move(name);
+    r.kind = kKindBytes;
+    r.bytes = std::move(data);
+    return r;
+  }
+
+  /// CRC over name bytes, kind, shape/size fields and payload — the
+  /// value stored after the record and chained into the trailer.
+  uint32_t Crc() const {
+    uint32_t crc = Crc32Update(0, name.data(), name.size());
+    crc = Crc32Update(crc, &kind, sizeof(kind));
+    if (kind == kKindTensor) {
+      const int64_t rank = static_cast<int64_t>(shape.size());
+      crc = Crc32Update(crc, &rank, sizeof(rank));
+      for (int64_t d : shape) crc = Crc32Update(crc, &d, sizeof(d));
+      crc = Crc32Update(crc, f32.data(), f32.size() * sizeof(float));
+    } else {
+      const int64_t count = static_cast<int64_t>(bytes.size());
+      crc = Crc32Update(crc, &count, sizeof(count));
+      crc = Crc32Update(crc, bytes.data(), bytes.size());
+    }
+    return crc;
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Writing
+// ---------------------------------------------------------------------------
+
+/// Accumulates fwrite failures so call sites stay linear.
+class Writer {
+ public:
+  explicit Writer(std::FILE* f) : f_(f) {}
+
+  void Raw(const void* p, size_t n) {
+    if (ok_ && n > 0) ok_ = io::Fwrite(p, 1, n, f_) == n;
+  }
+  void I64(int64_t v) { Raw(&v, sizeof(v)); }
+  void U32(uint32_t v) { Raw(&v, sizeof(v)); }
+  bool ok() const { return ok_; }
+
+ private:
+  std::FILE* f_;
+  bool ok_ = true;
+};
+
+/// Serializes `records` in v2 layout to an open stream.
+bool WriteRecordsTo(std::FILE* f, const std::vector<Record>& records) {
+  Writer w(f);
+  w.Raw(kMagicV2, sizeof(kMagicV2));
+  w.I64(static_cast<int64_t>(records.size()));
+  uint32_t file_crc = 0;
+  for (const Record& r : records) {
+    w.I64(static_cast<int64_t>(r.name.size()));
+    w.Raw(r.name.data(), r.name.size());
+    w.U32(r.kind);
+    if (r.kind == kKindTensor) {
+      w.I64(static_cast<int64_t>(r.shape.size()));
+      for (int64_t d : r.shape) w.I64(d);
+      w.Raw(r.f32.data(), r.f32.size() * sizeof(float));
+    } else {
+      w.I64(static_cast<int64_t>(r.bytes.size()));
+      w.Raw(r.bytes.data(), r.bytes.size());
+    }
+    const uint32_t crc = r.Crc();
+    w.U32(crc);
+    file_crc = Crc32Update(file_crc, &crc, sizeof(crc));
+  }
+  w.U32(file_crc);
+  w.Raw(kMagicEnd, sizeof(kMagicEnd));
+  return w.ok();
 }
 
-bool ReadI64(std::FILE* f, int64_t* v) {
-  return std::fread(v, sizeof(*v), 1, f) == 1;
+/// Atomic save: write to "<path>.tmp", fsync, rename over `path`. On any
+/// failure the tmp file is removed and `path` is left untouched.
+Status WriteRecordsAtomic(const std::vector<Record>& records,
+                          const std::string& path) {
+  const std::string tmp = path + ".tmp";
+  {
+    FilePtr f(io::Fopen(tmp, "wb"));
+    if (!f) {
+      return Status::IOError("cannot open '" + tmp + "' for writing");
+    }
+    Status st = Status::OK();
+    if (!WriteRecordsTo(f.get(), records)) {
+      st = Status::IOError("write failed: '" + tmp + "'");
+    } else if (io::Fflush(f.get()) != 0) {
+      st = Status::IOError("flush failed: '" + tmp + "'");
+    } else if (io::Fsync(f.get()) != 0) {
+      st = Status::IOError("fsync failed: '" + tmp + "'");
+    }
+    if (!st.ok()) {
+      f.reset();
+      io::Remove(tmp);
+      return st;
+    }
+  }
+  if (io::Rename(tmp, path) != 0) {
+    io::Remove(tmp);
+    return Status::IOError("rename failed: '" + tmp + "' -> '" + path + "'");
+  }
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// Reading
+// ---------------------------------------------------------------------------
+
+/// Slurps the file; loads then parse and validate fully in memory, so a
+/// failed load can never leave partial state anywhere.
+Result<std::string> ReadWholeFile(const std::string& path) {
+  FilePtr f(io::Fopen(path, "rb"));
+  if (!f) return Status::IOError("cannot open '" + path + "' for reading");
+  std::string data;
+  char buf[1 << 16];
+  for (;;) {
+    const size_t n = io::Fread(buf, 1, sizeof(buf), f.get());
+    data.append(buf, n);
+    if (n < sizeof(buf)) {
+      // A short count from a real fread means EOF or a stream error; an
+      // injected fault sets neither flag. Both non-EOF cases are I/O
+      // failures.
+      if (!std::feof(f.get())) {
+        return Status::IOError("read failed: '" + path + "'");
+      }
+      break;
+    }
+  }
+  return data;
+}
+
+/// Bounds-checked sequential reader over an in-memory file image.
+class Cursor {
+ public:
+  Cursor(const std::string& data) : p_(data.data()), left_(data.size()) {}
+
+  bool Raw(void* out, size_t n) {
+    if (n > left_) return false;
+    std::memcpy(out, p_, n);
+    p_ += n;
+    left_ -= n;
+    return true;
+  }
+  bool I64(int64_t* v) { return Raw(v, sizeof(*v)); }
+  bool U32(uint32_t* v) { return Raw(v, sizeof(*v)); }
+  size_t remaining() const { return left_; }
+
+ private:
+  const char* p_;
+  size_t left_;
+};
+
+Status Corrupt(const std::string& path, const std::string& what) {
+  return Status::ParseError("corrupt checkpoint '" + path + "': " + what);
+}
+
+/// Parses the v1 layout (no checksums; every record is a tensor).
+Status ParseV1(Cursor* c, const std::string& path,
+               std::vector<Record>* out) {
+  int64_t count = 0;
+  if (!c->I64(&count) || count < 0) return Corrupt(path, "bad header");
+  for (int64_t i = 0; i < count; ++i) {
+    int64_t name_len = 0;
+    if (!c->I64(&name_len) || name_len < 0 || name_len > kMaxNameLen) {
+      return Corrupt(path, "bad parameter name");
+    }
+    std::string name(static_cast<size_t>(name_len), '\0');
+    if (!c->Raw(name.data(), name.size())) {
+      return Corrupt(path, "truncated");
+    }
+    int64_t rank = 0;
+    if (!c->I64(&rank) || rank < 0 || rank > kMaxRank) {
+      return Corrupt(path, "bad parameter rank");
+    }
+    Shape shape(static_cast<size_t>(rank));
+    for (auto& d : shape) {
+      if (!c->I64(&d) || d < 0) return Corrupt(path, "bad parameter shape");
+    }
+    std::vector<float> data(static_cast<size_t>(ShapeNumel(shape)));
+    if (!c->Raw(data.data(), data.size() * sizeof(float))) {
+      return Corrupt(path, "truncated");
+    }
+    out->push_back(
+        Record::TensorRecord(std::move(name), std::move(shape),
+                             std::move(data)));
+  }
+  return Status::OK();
+}
+
+/// Parses and checksum-verifies the v2 layout.
+Status ParseV2(Cursor* c, const std::string& path,
+               std::vector<Record>* out) {
+  int64_t count = 0;
+  if (!c->I64(&count) || count < 0) return Corrupt(path, "bad header");
+  uint32_t file_crc = 0;
+  for (int64_t i = 0; i < count; ++i) {
+    Record r;
+    int64_t name_len = 0;
+    if (!c->I64(&name_len) || name_len < 0 || name_len > kMaxNameLen) {
+      return Corrupt(path, "bad record name");
+    }
+    r.name.resize(static_cast<size_t>(name_len));
+    if (!c->Raw(r.name.data(), r.name.size())) {
+      return Corrupt(path, "truncated");
+    }
+    if (!c->U32(&r.kind) ||
+        (r.kind != kKindTensor && r.kind != kKindBytes)) {
+      return Corrupt(path, "bad record kind");
+    }
+    if (r.kind == kKindTensor) {
+      int64_t rank = 0;
+      if (!c->I64(&rank) || rank < 0 || rank > kMaxRank) {
+        return Corrupt(path, "bad record rank");
+      }
+      r.shape.resize(static_cast<size_t>(rank));
+      for (auto& d : r.shape) {
+        if (!c->I64(&d) || d < 0) return Corrupt(path, "bad record shape");
+      }
+      const int64_t numel = ShapeNumel(r.shape);
+      if (static_cast<size_t>(numel) * sizeof(float) > c->remaining()) {
+        return Corrupt(path, "truncated");
+      }
+      r.f32.resize(static_cast<size_t>(numel));
+      if (!c->Raw(r.f32.data(), r.f32.size() * sizeof(float))) {
+        return Corrupt(path, "truncated");
+      }
+    } else {
+      int64_t byte_count = 0;
+      if (!c->I64(&byte_count) || byte_count < 0 ||
+          static_cast<size_t>(byte_count) > c->remaining()) {
+        return Corrupt(path, "bad record size");
+      }
+      r.bytes.resize(static_cast<size_t>(byte_count));
+      if (!c->Raw(r.bytes.data(), r.bytes.size())) {
+        return Corrupt(path, "truncated");
+      }
+    }
+    uint32_t stored_crc = 0;
+    if (!c->U32(&stored_crc)) return Corrupt(path, "truncated");
+    if (stored_crc != r.Crc()) {
+      return Corrupt(path, "record '" + r.name + "' fails its checksum");
+    }
+    file_crc = Crc32Update(file_crc, &stored_crc, sizeof(stored_crc));
+    out->push_back(std::move(r));
+  }
+  uint32_t stored_file_crc = 0;
+  char end[8];
+  if (!c->U32(&stored_file_crc) || !c->Raw(end, sizeof(end))) {
+    return Corrupt(path, "missing trailer");
+  }
+  if (std::memcmp(end, kMagicEnd, sizeof(end)) != 0) {
+    return Corrupt(path, "bad trailer magic");
+  }
+  if (stored_file_crc != file_crc) {
+    return Corrupt(path, "trailer fails the whole-file checksum");
+  }
+  if (c->remaining() != 0) {
+    return Corrupt(path, "trailing garbage after trailer");
+  }
+  return Status::OK();
+}
+
+/// Reads a checkpoint of either version into validated records.
+Status ReadRecords(const std::string& path, std::vector<Record>* out,
+                   int* version) {
+  std::string data;
+  CROSSEM_ASSIGN_OR_RETURN(data, ReadWholeFile(path));
+  Cursor c(data);
+  char magic[8];
+  if (!c.Raw(magic, sizeof(magic))) {
+    return Status::ParseError("'" + path + "' is not a CrossEM checkpoint");
+  }
+  if (std::memcmp(magic, kMagicV2, sizeof(magic)) == 0) {
+    *version = 2;
+    return ParseV2(&c, path, out);
+  }
+  if (std::memcmp(magic, kMagicV1, sizeof(magic)) == 0) {
+    *version = 1;
+    return ParseV1(&c, path, out);
+  }
+  return Status::ParseError("'" + path + "' is not a CrossEM checkpoint");
+}
+
+/// Looks up the tensor record for a parameter: exact name first, then
+/// with the "model." prefix a training checkpoint adds.
+const Record* FindTensorRecord(
+    const std::map<std::string, const Record*>& by_name,
+    const std::string& name) {
+  auto it = by_name.find(name);
+  if (it == by_name.end()) it = by_name.find("model." + name);
+  if (it == by_name.end() || it->second->kind != kKindTensor) {
+    return nullptr;
+  }
+  return it->second;
+}
+
+/// Validates that every parameter has a matching tensor record; only
+/// after every check passes are values copied into the tensors.
+Status RestoreParams(
+    const std::vector<std::pair<std::string, Tensor>>& params,
+    const std::vector<Record>& records, const std::string& path,
+    bool allow_model_prefix) {
+  std::map<std::string, const Record*> by_name;
+  for (const Record& r : records) by_name.emplace(r.name, &r);
+  std::vector<const Record*> matched;
+  matched.reserve(params.size());
+  for (const auto& [name, tensor] : params) {
+    const Record* r = allow_model_prefix
+                          ? FindTensorRecord(by_name, name)
+                          : [&]() -> const Record* {
+                              auto it = by_name.find(name);
+                              return it != by_name.end() &&
+                                             it->second->kind == kKindTensor
+                                         ? it->second
+                                         : nullptr;
+                            }();
+    if (r == nullptr) {
+      return Status::NotFound("checkpoint '" + path +
+                              "' missing parameter '" + name + "'");
+    }
+    if (r->shape != tensor.shape()) {
+      return Status::InvalidArgument(
+          "shape mismatch for '" + name + "': checkpoint " +
+          ShapeToString(r->shape) + " vs module " +
+          ShapeToString(tensor.shape()));
+    }
+    matched.push_back(r);
+  }
+  for (size_t i = 0; i < params.size(); ++i) {
+    Tensor tensor = params[i].second;
+    std::copy(matched[i]->f32.begin(), matched[i]->f32.end(), tensor.data());
+  }
+  return Status::OK();
+}
+
+// -- TrainState record names ------------------------------------------------
+
+constexpr char kStateNextEpoch[] = "state/next_epoch";
+constexpr char kStateLearningRate[] = "state/learning_rate";
+constexpr char kStateAdamStep[] = "state/adam/step";
+constexpr char kStateAdamSlots[] = "state/adam/slots";
+constexpr char kStateRng[] = "state/rng";
+constexpr char kStateProximity[] = "state/proximity";
+
+std::string EncodeI64(int64_t v) {
+  return std::string(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+std::string EncodeF32(float v) {
+  return std::string(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+Status DecodeI64(const Record& r, int64_t* v) {
+  if (r.kind != kKindBytes || r.bytes.size() != sizeof(*v)) {
+    return Status::ParseError("record '" + r.name + "' is not an i64");
+  }
+  std::memcpy(v, r.bytes.data(), sizeof(*v));
+  return Status::OK();
+}
+Status DecodeF32(const Record& r, float* v) {
+  if (r.kind != kKindBytes || r.bytes.size() != sizeof(*v)) {
+    return Status::ParseError("record '" + r.name + "' is not an f32");
+  }
+  std::memcpy(v, r.bytes.data(), sizeof(*v));
+  return Status::OK();
 }
 
 }  // namespace
 
 Status SaveCheckpoint(const Module& module, const std::string& path) {
-  FilePtr f(std::fopen(path.c_str(), "wb"));
-  if (!f) return Status::IOError("cannot open '" + path + "' for writing");
-  auto params = module.NamedParameters();
-  if (std::fwrite(kMagic, sizeof(kMagic), 1, f.get()) != 1 ||
-      !WriteI64(f.get(), static_cast<int64_t>(params.size()))) {
-    return Status::IOError("write failed: " + path);
+  std::vector<Record> records;
+  for (const auto& [name, tensor] : module.NamedParameters()) {
+    records.push_back(
+        Record::TensorRecord(name, tensor.shape(), tensor.ToVector()));
   }
-  for (const auto& [name, tensor] : params) {
-    if (!WriteI64(f.get(), static_cast<int64_t>(name.size())) ||
-        std::fwrite(name.data(), 1, name.size(), f.get()) != name.size() ||
-        !WriteI64(f.get(), tensor.dim())) {
-      return Status::IOError("write failed: " + path);
-    }
-    for (int64_t d = 0; d < tensor.dim(); ++d) {
-      if (!WriteI64(f.get(), tensor.size(d))) {
-        return Status::IOError("write failed: " + path);
-      }
-    }
-    const size_t n = static_cast<size_t>(tensor.numel());
-    if (std::fwrite(tensor.data(), sizeof(float), n, f.get()) != n) {
-      return Status::IOError("write failed: " + path);
-    }
-  }
-  return Status::OK();
+  return WriteRecordsAtomic(records, path);
 }
 
 Status LoadCheckpoint(Module* module, const std::string& path) {
   if (module == nullptr) return Status::InvalidArgument("module is null");
-  FilePtr f(std::fopen(path.c_str(), "rb"));
-  if (!f) return Status::IOError("cannot open '" + path + "' for reading");
+  std::vector<Record> records;
+  int version = 0;
+  CROSSEM_RETURN_NOT_OK(ReadRecords(path, &records, &version));
+  return RestoreParams(module->NamedParameters(), records, path,
+                       /*allow_model_prefix=*/true);
+}
 
-  char magic[8];
-  if (std::fread(magic, sizeof(magic), 1, f.get()) != 1 ||
-      std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
-    return Status::ParseError("'" + path + "' is not a CrossEM checkpoint");
+Status SaveTrainState(
+    const std::vector<std::pair<std::string, Tensor>>& params,
+    const TrainState& state, const std::string& path) {
+  std::vector<Record> records;
+  for (const auto& [name, tensor] : params) {
+    records.push_back(
+        Record::TensorRecord(name, tensor.shape(), tensor.ToVector()));
   }
-  int64_t count = 0;
-  if (!ReadI64(f.get(), &count) || count < 0) {
-    return Status::ParseError("corrupt checkpoint header");
+  records.push_back(
+      Record::BytesRecord(kStateNextEpoch, EncodeI64(state.next_epoch)));
+  records.push_back(Record::BytesRecord(kStateLearningRate,
+                                        EncodeF32(state.learning_rate)));
+  records.push_back(
+      Record::BytesRecord(kStateAdamStep, EncodeI64(state.optimizer.step)));
+  CROSSEM_CHECK_EQ(state.optimizer.m.size(), state.optimizer.v.size());
+  records.push_back(Record::BytesRecord(
+      kStateAdamSlots,
+      EncodeI64(static_cast<int64_t>(state.optimizer.m.size()))));
+  for (size_t i = 0; i < state.optimizer.m.size(); ++i) {
+    records.push_back(Record::TensorRecord(
+        "state/adam/m/" + std::to_string(i),
+        {static_cast<int64_t>(state.optimizer.m[i].size())},
+        state.optimizer.m[i]));
+    records.push_back(Record::TensorRecord(
+        "state/adam/v/" + std::to_string(i),
+        {static_cast<int64_t>(state.optimizer.v[i].size())},
+        state.optimizer.v[i]));
   }
+  records.push_back(Record::BytesRecord(kStateRng, state.rng_state));
+  if (state.proximity.defined()) {
+    records.push_back(Record::TensorRecord(kStateProximity,
+                                           state.proximity.shape(),
+                                           state.proximity.ToVector()));
+  }
+  return WriteRecordsAtomic(records, path);
+}
 
-  // Read everything first so the module is never partially mutated.
-  std::map<std::string, std::pair<Shape, std::vector<float>>> loaded;
-  for (int64_t i = 0; i < count; ++i) {
-    int64_t name_len = 0;
-    if (!ReadI64(f.get(), &name_len) || name_len < 0 || name_len > 4096) {
-      return Status::ParseError("corrupt parameter name");
+Status LoadTrainState(
+    const std::vector<std::pair<std::string, Tensor>>& params,
+    TrainState* state, const std::string& path) {
+  if (state == nullptr) return Status::InvalidArgument("state is null");
+  std::vector<Record> records;
+  int version = 0;
+  CROSSEM_RETURN_NOT_OK(ReadRecords(path, &records, &version));
+  if (version < 2) {
+    return Status::ParseError("'" + path +
+                              "' is a v1 checkpoint without training state");
+  }
+  std::map<std::string, const Record*> by_name;
+  for (const Record& r : records) by_name.emplace(r.name, &r);
+  auto find = [&](const std::string& name) -> const Record* {
+    auto it = by_name.find(name);
+    return it == by_name.end() ? nullptr : it->second;
+  };
+  auto require = [&](const std::string& name) -> Result<const Record*> {
+    const Record* r = find(name);
+    if (r == nullptr) {
+      return Status::ParseError("'" + path + "' lacks training-state record '" +
+                                name + "'");
     }
-    std::string name(static_cast<size_t>(name_len), '\0');
-    if (name_len > 0 &&
-        std::fread(name.data(), 1, name.size(), f.get()) != name.size()) {
-      return Status::ParseError("truncated checkpoint");
+    return r;
+  };
+
+  // Decode every piece of state into locals first — the caller's tensors
+  // and `state` are only touched once the whole file has validated.
+  TrainState loaded;
+  {
+    const Record* r;
+    CROSSEM_ASSIGN_OR_RETURN(r, require(kStateNextEpoch));
+    CROSSEM_RETURN_NOT_OK(DecodeI64(*r, &loaded.next_epoch));
+    CROSSEM_ASSIGN_OR_RETURN(r, require(kStateLearningRate));
+    CROSSEM_RETURN_NOT_OK(DecodeF32(*r, &loaded.learning_rate));
+    CROSSEM_ASSIGN_OR_RETURN(r, require(kStateAdamStep));
+    CROSSEM_RETURN_NOT_OK(DecodeI64(*r, &loaded.optimizer.step));
+    int64_t slots = 0;
+    CROSSEM_ASSIGN_OR_RETURN(r, require(kStateAdamSlots));
+    CROSSEM_RETURN_NOT_OK(DecodeI64(*r, &slots));
+    if (slots < 0 || slots > static_cast<int64_t>(records.size())) {
+      return Status::ParseError("'" + path + "' has a bad adam slot count");
     }
-    int64_t rank = 0;
-    if (!ReadI64(f.get(), &rank) || rank < 0 || rank > 16) {
-      return Status::ParseError("corrupt parameter rank");
-    }
-    Shape shape(static_cast<size_t>(rank));
-    for (auto& d : shape) {
-      if (!ReadI64(f.get(), &d) || d < 0) {
-        return Status::ParseError("corrupt parameter shape");
+    for (int64_t i = 0; i < slots; ++i) {
+      for (const char* kind : {"m", "v"}) {
+        CROSSEM_ASSIGN_OR_RETURN(
+            r, require("state/adam/" + std::string(kind) + "/" +
+                       std::to_string(i)));
+        if (r->kind != kKindTensor || r->shape.size() != 1) {
+          return Status::ParseError("'" + path + "' has a bad adam moment");
+        }
+        auto& dst = kind[0] == 'm' ? loaded.optimizer.m : loaded.optimizer.v;
+        dst.push_back(r->f32);
       }
     }
-    std::vector<float> data(static_cast<size_t>(ShapeNumel(shape)));
-    if (!data.empty() &&
-        std::fread(data.data(), sizeof(float), data.size(), f.get()) !=
-            data.size()) {
-      return Status::ParseError("truncated checkpoint");
+    CROSSEM_ASSIGN_OR_RETURN(r, require(kStateRng));
+    if (r->kind != kKindBytes) {
+      return Status::ParseError("'" + path + "' has a bad RNG record");
     }
-    loaded.emplace(std::move(name), std::make_pair(std::move(shape),
-                                                   std::move(data)));
-  }
-
-  auto params = module->NamedParameters();
-  if (params.size() != loaded.size()) {
-    return Status::InvalidArgument(
-        "checkpoint holds " + std::to_string(loaded.size()) +
-        " parameters, module expects " + std::to_string(params.size()));
-  }
-  for (auto& [name, tensor] : params) {
-    auto it = loaded.find(name);
-    if (it == loaded.end()) {
-      return Status::NotFound("checkpoint missing parameter '" + name + "'");
-    }
-    if (it->second.first != tensor.shape()) {
-      return Status::InvalidArgument(
-          "shape mismatch for '" + name + "': checkpoint " +
-          ShapeToString(it->second.first) + " vs module " +
-          ShapeToString(tensor.shape()));
+    loaded.rng_state = r->bytes;
+    if (const Record* prox = find(kStateProximity)) {
+      if (prox->kind != kKindTensor) {
+        return Status::ParseError("'" + path + "' has a bad proximity record");
+      }
+      loaded.proximity = Tensor::FromVector(prox->shape, prox->f32);
     }
   }
-  for (auto& [name, tensor] : params) {
-    const auto& data = loaded.at(name).second;
-    std::copy(data.begin(), data.end(), tensor.data());
-  }
+  CROSSEM_RETURN_NOT_OK(RestoreParams(params, records, path,
+                                      /*allow_model_prefix=*/false));
+  *state = std::move(loaded);
   return Status::OK();
 }
 

@@ -1,29 +1,85 @@
-// Checkpoint I/O: save/load a module's named parameters to a binary file.
+// Checkpoint I/O: durable, corruption-detecting serialization of module
+// parameters and full training state.
 //
-// Format (little-endian):
-//   magic "CEMCKPT1" | int64 count |
-//   per parameter: int64 name_len | name bytes | int64 rank |
-//                  int64 dims[rank] | float data[numel]
+// Format v2 ("CEMCKPT2", little-endian):
 //
-// Loading matches parameters by name and shape; any mismatch fails the
-// whole load without partially mutating the module.
+//   magic "CEMCKPT2" | i64 record_count
+//   per record:
+//     i64 name_len | name bytes | u32 kind | shape-or-size | payload |
+//     u32 crc32(name, kind, shape, payload)
+//       kind 0 (f32 tensor): i64 rank | i64 dims[rank] | f32 data[numel]
+//       kind 1 (raw bytes):  i64 byte_count | bytes
+//   trailer:
+//     u32 crc32 over the record CRCs, in order | magic "CEM2END\n"
+//
+// Robustness properties:
+//   - every record carries a CRC-32, so bit rot and torn writes are
+//     detected, not silently loaded;
+//   - the trailer chains all record CRCs, so record reordering,
+//     insertion or truncation at a record boundary is also detected;
+//   - writes are atomic: data goes to "<path>.tmp", is fsync'ed, and
+//     only then renamed over <path> — a crash mid-save never clobbers
+//     the previous checkpoint, and failed saves remove their tmp file;
+//   - loads stage everything in memory and validate names, shapes and
+//     checksums before the first byte of module state is mutated.
+//
+// Version 1 files ("CEMCKPT1": no checksums, parameters only) remain
+// readable; new files are always written as v2.
+//
+// All file I/O goes through the crossem::io wrappers, so every failure
+// mode is exercisable via util/fault_injection.h.
 #ifndef CROSSEM_NN_SERIALIZE_H_
 #define CROSSEM_NN_SERIALIZE_H_
 
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "nn/module.h"
+#include "nn/optimizer.h"
 #include "util/status.h"
 
 namespace crossem {
 namespace nn {
 
-/// Writes all named parameters of `module` to `path`.
+/// Writes all named parameters of `module` to `path` (format v2,
+/// atomically).
 Status SaveCheckpoint(const Module& module, const std::string& path);
 
-/// Loads a checkpoint written by SaveCheckpoint into `module`. The
-/// module's architecture (names and shapes) must match exactly.
+/// Loads a checkpoint (v1 or v2) into `module`. Every module parameter
+/// must be present with a matching shape; extra records — e.g. the
+/// "state/..." and "soft_prompt...." records of a training checkpoint
+/// written by CrossEm::Fit — are ignored, and a "model." name prefix is
+/// accepted, so a module can be restored from a TrainState bundle too.
+/// Any mismatch or corruption fails the whole load without partially
+/// mutating the module.
 Status LoadCheckpoint(Module* module, const std::string& path);
+
+/// Everything beyond raw parameters that bit-for-bit training resume
+/// needs: the AdamW moments/step, the (possibly backed-off) learning
+/// rate, the data-order RNG, the index of the next epoch to run, and the
+/// PCP proximity matrix (undefined when mini-batch generation is off).
+struct TrainState {
+  int64_t next_epoch = 0;
+  float learning_rate = 0.0f;
+  Adam::State optimizer;
+  std::string rng_state;
+  Tensor proximity;
+};
+
+/// Writes a training checkpoint: the given named parameter tensors plus
+/// `state`, as one atomic v2 file.
+Status SaveTrainState(
+    const std::vector<std::pair<std::string, Tensor>>& params,
+    const TrainState& state, const std::string& path);
+
+/// Restores a training checkpoint written by SaveTrainState: every
+/// tensor in `params` is overwritten from its same-named record and
+/// `state` is filled in. Validates everything (names, shapes, CRCs)
+/// before mutating any tensor.
+Status LoadTrainState(
+    const std::vector<std::pair<std::string, Tensor>>& params,
+    TrainState* state, const std::string& path);
 
 }  // namespace nn
 }  // namespace crossem

@@ -1,0 +1,26 @@
+// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320).
+//
+// Used by the checkpoint format v2 to detect bit rot and torn writes:
+// every record payload carries its own CRC, and the file trailer chains
+// the record CRCs into a whole-file checksum. Incremental use:
+//
+//   uint32_t crc = Crc32Update(0, a, na);
+//   crc = Crc32Update(crc, b, nb);   // == Crc32(concat(a, b))
+#ifndef CROSSEM_UTIL_CRC32_H_
+#define CROSSEM_UTIL_CRC32_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace crossem {
+
+/// CRC-32 of a buffer (equivalent to Crc32Update(0, data, n)).
+uint32_t Crc32(const void* data, size_t n);
+
+/// Extends a running CRC with more bytes. `crc` is the value returned by
+/// a previous call (0 to start).
+uint32_t Crc32Update(uint32_t crc, const void* data, size_t n);
+
+}  // namespace crossem
+
+#endif  // CROSSEM_UTIL_CRC32_H_

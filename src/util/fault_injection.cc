@@ -1,0 +1,226 @@
+#include "util/fault_injection.h"
+
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <cstdlib>
+#include <mutex>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace crossem {
+namespace fault {
+
+namespace {
+
+struct OpPlan {
+  int64_t fail_at = 0;   // 1-based call index; 0 = disarmed
+  bool sticky = false;
+  int64_t calls = 0;
+  int64_t injected = 0;
+};
+
+struct FaultState {
+  std::mutex mu;
+  OpPlan plans[kNumFileOps];
+  // Any op armed? Checked lock-free on the hot path.
+  std::atomic<bool> armed{false};
+
+  void RecomputeArmed() {
+    bool any = false;
+    for (const OpPlan& p : plans) any = any || p.fail_at > 0;
+    armed.store(any, std::memory_order_relaxed);
+  }
+};
+
+FaultState& State() {
+  static FaultState* state = new FaultState();
+  return *state;
+}
+
+/// Parses the CROSSEM_FAULT_SPEC environment variable exactly once, before
+/// the first wrapped call consults the plan.
+void EnsureEnvLoaded() {
+  static std::once_flag once;
+  std::call_once(once, [] {
+    const char* spec = std::getenv("CROSSEM_FAULT_SPEC");
+    if (spec == nullptr || spec[0] == '\0') return;
+    Status st = ArmFromSpec(spec);
+    if (!st.ok()) {
+      CROSSEM_LOG(Error) << "ignoring invalid CROSSEM_FAULT_SPEC: "
+                         << st.ToString();
+    } else {
+      CROSSEM_LOG(Warning) << "I/O fault injection armed from "
+                           << "CROSSEM_FAULT_SPEC='" << spec << "'";
+    }
+  });
+}
+
+Result<FileOp> ParseOpName(const std::string& name) {
+  for (int i = 0; i < kNumFileOps; ++i) {
+    if (name == FileOpName(static_cast<FileOp>(i))) {
+      return static_cast<FileOp>(i);
+    }
+  }
+  return Status::InvalidArgument("unknown file op '" + name + "'");
+}
+
+}  // namespace
+
+const char* FileOpName(FileOp op) {
+  switch (op) {
+    case FileOp::kOpen: return "open";
+    case FileOp::kRead: return "read";
+    case FileOp::kWrite: return "write";
+    case FileOp::kFlush: return "flush";
+    case FileOp::kRename: return "rename";
+    case FileOp::kRemove: return "remove";
+  }
+  return "?";
+}
+
+void FailOn(FileOp op, int64_t nth, bool sticky) {
+  CROSSEM_CHECK_GT(nth, 0);
+  FaultState& s = State();
+  std::lock_guard<std::mutex> lock(s.mu);
+  OpPlan& p = s.plans[static_cast<int>(op)];
+  p = OpPlan{};
+  p.fail_at = nth;
+  p.sticky = sticky;
+  s.RecomputeArmed();
+}
+
+void Clear() {
+  FaultState& s = State();
+  std::lock_guard<std::mutex> lock(s.mu);
+  for (OpPlan& p : s.plans) p = OpPlan{};
+  s.RecomputeArmed();
+}
+
+int64_t CallCount(FileOp op) {
+  FaultState& s = State();
+  std::lock_guard<std::mutex> lock(s.mu);
+  return s.plans[static_cast<int>(op)].calls;
+}
+
+int64_t InjectedCount(FileOp op) {
+  FaultState& s = State();
+  std::lock_guard<std::mutex> lock(s.mu);
+  return s.plans[static_cast<int>(op)].injected;
+}
+
+Status ArmFromSpec(const std::string& spec) {
+  // Validate the whole spec before arming anything.
+  struct Parsed {
+    FileOp op;
+    int64_t nth;
+    bool sticky;
+  };
+  std::vector<Parsed> parsed;
+  size_t pos = 0;
+  while (pos < spec.size()) {
+    size_t comma = spec.find(',', pos);
+    if (comma == std::string::npos) comma = spec.size();
+    const std::string entry = spec.substr(pos, comma - pos);
+    pos = comma + 1;
+    if (entry.empty()) continue;
+    const size_t colon = entry.find(':');
+    if (colon == std::string::npos) {
+      return Status::InvalidArgument("fault spec entry '" + entry +
+                                     "' lacks ':'");
+    }
+    auto op = ParseOpName(entry.substr(0, colon));
+    if (!op.ok()) return op.status();
+    std::string count = entry.substr(colon + 1);
+    bool sticky = false;
+    if (!count.empty() && count.back() == '+') {
+      sticky = true;
+      count.pop_back();
+    }
+    if (count.empty() ||
+        count.find_first_not_of("0123456789") != std::string::npos) {
+      return Status::InvalidArgument("fault spec entry '" + entry +
+                                     "' has a bad call index");
+    }
+    const int64_t nth = std::atoll(count.c_str());
+    if (nth <= 0) {
+      return Status::InvalidArgument("fault spec entry '" + entry +
+                                     "' must use a positive call index");
+    }
+    parsed.push_back(Parsed{op.value(), nth, sticky});
+  }
+  for (const Parsed& p : parsed) FailOn(p.op, p.nth, p.sticky);
+  return Status::OK();
+}
+
+bool ShouldFail(FileOp op) {
+  EnsureEnvLoaded();
+  FaultState& s = State();
+  if (!s.armed.load(std::memory_order_relaxed)) return false;
+  std::lock_guard<std::mutex> lock(s.mu);
+  OpPlan& p = s.plans[static_cast<int>(op)];
+  ++p.calls;
+  if (p.fail_at <= 0) return false;
+  const bool fail =
+      p.sticky ? p.calls >= p.fail_at : p.calls == p.fail_at;
+  if (fail) ++p.injected;
+  return fail;
+}
+
+}  // namespace fault
+
+namespace io {
+
+namespace {
+bool Inject(fault::FileOp op) {
+  if (!fault::ShouldFail(op)) return false;
+  errno = EIO;
+  return true;
+}
+}  // namespace
+
+std::FILE* Fopen(const std::string& path, const char* mode) {
+  if (Inject(fault::FileOp::kOpen)) return nullptr;
+  return std::fopen(path.c_str(), mode);
+}
+
+size_t Fread(void* ptr, size_t size, size_t n, std::FILE* f) {
+  if (Inject(fault::FileOp::kRead)) return 0;
+  return std::fread(ptr, size, n, f);
+}
+
+size_t Fwrite(const void* ptr, size_t size, size_t n, std::FILE* f) {
+  if (Inject(fault::FileOp::kWrite)) return 0;
+  return std::fwrite(ptr, size, n, f);
+}
+
+int Fflush(std::FILE* f) {
+  if (Inject(fault::FileOp::kFlush)) return EOF;
+  return std::fflush(f);
+}
+
+int Fsync(std::FILE* f) {
+  if (Inject(fault::FileOp::kFlush)) return -1;
+  return ::fsync(::fileno(f));
+}
+
+int Rename(const std::string& from, const std::string& to) {
+  if (Inject(fault::FileOp::kRename)) return -1;
+  return std::rename(from.c_str(), to.c_str());
+}
+
+int Remove(const std::string& path) {
+  if (Inject(fault::FileOp::kRemove)) return -1;
+  return std::remove(path.c_str());
+}
+
+bool FileExists(const std::string& path) {
+  struct stat st;
+  return ::stat(path.c_str(), &st) == 0;
+}
+
+}  // namespace io
+}  // namespace crossem

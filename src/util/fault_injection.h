@@ -1,0 +1,96 @@
+// Deterministic I/O fault injection for robustness testing.
+//
+// Library file I/O (checkpoint serialization, dataset CSV I/O) goes
+// through the thin stdio wrappers in crossem::io below. Each wrapper
+// consults a process-wide fault plan before delegating to the real call:
+// when the plan says the Nth invocation of an operation fails, the
+// wrapper returns the same failure shape the real call would (nullptr
+// from Fopen, a short count from Fwrite, -1 from Rename, ...) with
+// errno set to EIO — so callers exercise their genuine error paths.
+//
+// Arming a fault, two ways:
+//   - programmatic (tests): fault::FailOn(fault::FileOp::kWrite, 3);
+//     fails the 3rd Fwrite call observed after arming.
+//   - environment: CROSSEM_FAULT_SPEC="write:3,open:1+" — a
+//     comma-separated list of `op:n` (fail the nth call once) or `op:n+`
+//     (fail the nth and every later call). Parsed once, on the first
+//     wrapped call. Ops: open, read, write, flush, rename, remove.
+//
+// The plan is disarmed by default; production binaries pay one relaxed
+// atomic load per wrapped call. This is a test hook, not a chaos-monkey:
+// counters are process-wide, so tests that arm faults should run the
+// faulty operation in isolation and call fault::Clear() when done.
+#ifndef CROSSEM_UTIL_FAULT_INJECTION_H_
+#define CROSSEM_UTIL_FAULT_INJECTION_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+
+#include "util/status.h"
+
+namespace crossem {
+namespace fault {
+
+/// File operations that can be made to fail.
+enum class FileOp : int {
+  kOpen = 0,
+  kRead,
+  kWrite,
+  kFlush,   // covers both fflush and fsync
+  kRename,
+  kRemove,
+};
+inline constexpr int kNumFileOps = 6;
+
+/// "open", "read", ... (for specs and messages).
+const char* FileOpName(FileOp op);
+
+/// Arms `op` to fail on its `nth` (1-based) call counted from now.
+/// `sticky` extends the failure to every call after the nth too.
+/// Resets the op's call counter.
+void FailOn(FileOp op, int64_t nth, bool sticky = false);
+
+/// Disarms every fault and zeroes all counters (including the
+/// environment-derived plan; the env is not re-read).
+void Clear();
+
+/// Calls of `op` observed since the last FailOn/Clear for that op.
+int64_t CallCount(FileOp op);
+
+/// Failures injected into `op` since the last FailOn/Clear for that op.
+int64_t InjectedCount(FileOp op);
+
+/// Parses a CROSSEM_FAULT_SPEC string and arms the described faults.
+/// Returns InvalidArgument on malformed specs (nothing is armed).
+Status ArmFromSpec(const std::string& spec);
+
+/// Counts a call of `op` against the plan; true when this call must fail.
+/// Used by the io wrappers; tests normally don't call it directly.
+bool ShouldFail(FileOp op);
+
+}  // namespace fault
+
+namespace io {
+
+// stdio pass-throughs with fault injection. Same contracts as the libc
+// calls; injected failures set errno to EIO.
+
+std::FILE* Fopen(const std::string& path, const char* mode);
+size_t Fread(void* ptr, size_t size, size_t n, std::FILE* f);
+size_t Fwrite(const void* ptr, size_t size, size_t n, std::FILE* f);
+int Fflush(std::FILE* f);
+/// fsync(2) of the descriptor behind `f` (counted as a kFlush op).
+int Fsync(std::FILE* f);
+int Rename(const std::string& from, const std::string& to);
+int Remove(const std::string& path);
+
+/// True when `path` exists (stat probe; deliberately NOT fault-injected —
+/// resume logic uses it to distinguish "no checkpoint yet" from a real
+/// I/O failure).
+bool FileExists(const std::string& path);
+
+}  // namespace io
+}  // namespace crossem
+
+#endif  // CROSSEM_UTIL_FAULT_INJECTION_H_

@@ -1,8 +1,26 @@
 #include "util/random.h"
 
 #include <numeric>
+#include <sstream>
 
 namespace crossem {
+
+std::string Rng::SaveState() const {
+  std::ostringstream out;
+  out << engine_;
+  return out.str();
+}
+
+Status Rng::LoadState(const std::string& state) {
+  std::istringstream in(state);
+  std::mt19937_64 restored;
+  in >> restored;
+  if (in.fail()) {
+    return Status::InvalidArgument("malformed RNG state string");
+  }
+  engine_ = restored;
+  return Status::OK();
+}
 
 std::vector<int64_t> Rng::SampleWithoutReplacement(int64_t n, int64_t k) {
   CROSSEM_CHECK_GE(n, k);

@@ -7,9 +7,11 @@
 
 #include <cstdint>
 #include <random>
+#include <string>
 #include <vector>
 
 #include "util/logging.h"
+#include "util/status.h"
 
 namespace crossem {
 
@@ -58,6 +60,14 @@ class Rng {
   /// Draws an index in [0, weights.size()) proportionally to weights.
   /// Non-positive weights are treated as zero; requires a positive total.
   int64_t Categorical(const std::vector<double>& weights);
+
+  /// Serializes the full engine state (the standard textual mt19937_64
+  /// stream format). A generator restored via LoadState produces the
+  /// exact same draw sequence — the basis of bit-for-bit training resume.
+  std::string SaveState() const;
+
+  /// Restores a state captured by SaveState; InvalidArgument on garbage.
+  Status LoadState(const std::string& state);
 
   std::mt19937_64& engine() { return engine_; }
 

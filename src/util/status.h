@@ -130,6 +130,23 @@ void Result<T>::AbortIfError() const {
     if (!_st.ok()) return _st;                    \
   } while (0)
 
+/// Evaluates a Result<T> expression; on success assigns the value to
+/// `lhs` (a declaration or an existing lvalue), on failure propagates the
+/// status out of the enclosing function:
+///
+///   CROSSEM_ASSIGN_OR_RETURN(auto batches, generator.Generate(...));
+#define CROSSEM_ASSIGN_OR_RETURN(lhs, expr) \
+  CROSSEM_ASSIGN_OR_RETURN_IMPL_(           \
+      CROSSEM_STATUS_CONCAT_(_crossem_result_, __LINE__), lhs, expr)
+
+#define CROSSEM_ASSIGN_OR_RETURN_IMPL_(result, lhs, expr) \
+  auto result = (expr);                                   \
+  if (!result.ok()) return result.status();               \
+  lhs = result.MoveValue()
+
+#define CROSSEM_STATUS_CONCAT_(a, b) CROSSEM_STATUS_CONCAT_IMPL_(a, b)
+#define CROSSEM_STATUS_CONCAT_IMPL_(a, b) a##b
+
 }  // namespace crossem
 
 #endif  // CROSSEM_UTIL_STATUS_H_

@@ -1,9 +1,13 @@
 #include "data/dataset.h"
 
 #include <algorithm>
+#include <cstdio>
+#include <cstdlib>
 #include <set>
+#include <string>
 
 #include "gtest/gtest.h"
+#include "util/fault_injection.h"
 
 namespace crossem {
 namespace data {
@@ -121,6 +125,120 @@ TEST(DatasetTest, PresetScalesRelativeSizes) {
   EXPECT_LT(f6.graph.NumEdges(), f10.graph.NumEdges());
   EXPECT_LT(f2.images.size(), f6.images.size());
   EXPECT_LT(f6.images.size(), f10.images.size());
+}
+
+std::string TempPath(const char* name) {
+  return std::string(::testing::TempDir()) + "/" + name;
+}
+
+/// A 2-image repository with a ragged patch count ("a" has 2 patches,
+/// "b" has 1, so "b"'s second row is load-style zero padding).
+ImageRepository SmallRepo() {
+  ImageRepository repo;
+  repo.ids = {"a", "b"};
+  repo.patches = Tensor::FromVector(
+      {2, 2, 3}, {1.0f, 2.0f, 3.0f, 4.0f, 5.0f, 6.0f,   // a: two patches
+                  7.0f, 8.0f, 9.0f, 0.0f, 0.0f, 0.0f});  // b: one + padding
+  return repo;
+}
+
+TEST(ImageRepositoryTest, CsvRoundTrip) {
+  const std::string path = TempPath("repo_roundtrip.csv");
+  const ImageRepository repo = SmallRepo();
+  ASSERT_TRUE(SaveImageRepositoryCsv(repo, path).ok());
+  EXPECT_FALSE(io::FileExists(path + ".tmp"));
+
+  auto loaded = LoadImageRepositoryCsv(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded.value().ids, repo.ids);
+  EXPECT_EQ(loaded.value().patches.shape(), repo.patches.shape());
+  EXPECT_EQ(loaded.value().patches.ToVector(), repo.patches.ToVector());
+  std::remove(path.c_str());
+}
+
+TEST(ImageRepositoryTest, LoadRejectsMissingAndMalformedFiles) {
+  auto missing = LoadImageRepositoryCsv(TempPath("no_such_repo.csv"));
+  ASSERT_FALSE(missing.ok());
+  EXPECT_EQ(missing.status().code(), StatusCode::kIOError);
+  EXPECT_NE(missing.status().ToString().find("no_such_repo.csv"),
+            std::string::npos);
+
+  const std::string path = TempPath("bad_repo.csv");
+  {
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    std::fputs("img_without_features\n", f);
+    std::fclose(f);
+  }
+  auto bad = LoadImageRepositoryCsv(path);
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kParseError);
+  std::remove(path.c_str());
+}
+
+TEST(ImageRepositoryTest, SaveValidatesShape) {
+  ImageRepository repo = SmallRepo();
+  repo.ids.push_back("extra-id-without-patches");
+  EXPECT_EQ(SaveImageRepositoryCsv(repo, TempPath("bad_shape.csv")).code(),
+            StatusCode::kInvalidArgument);
+}
+
+class ImageRepositoryFaultTest : public ::testing::Test {
+ protected:
+  void SetUp() override { fault::Clear(); }
+  void TearDown() override { fault::Clear(); }
+};
+
+TEST_F(ImageRepositoryFaultTest, SaveFaultsSurfaceAsStatusWithoutTmpFiles) {
+  const ImageRepository repo = SmallRepo();
+  const std::string path = TempPath("repo_fault.csv");
+  struct Case {
+    const char* name;
+    fault::FileOp op;
+  };
+  for (const Case& c :
+       {Case{"open", fault::FileOp::kOpen}, Case{"write", fault::FileOp::kWrite},
+        Case{"flush", fault::FileOp::kFlush},
+        Case{"rename", fault::FileOp::kRename}}) {
+    SCOPED_TRACE(c.name);
+    fault::FailOn(c.op, 1);
+    Status st = SaveImageRepositoryCsv(repo, path);
+    fault::Clear();
+    ASSERT_FALSE(st.ok());
+    EXPECT_EQ(st.code(), StatusCode::kIOError) << st.ToString();
+    EXPECT_NE(st.ToString().find(path), std::string::npos) << st.ToString();
+    EXPECT_FALSE(io::FileExists(path + ".tmp"));
+    EXPECT_FALSE(io::FileExists(path));
+  }
+  ASSERT_TRUE(SaveImageRepositoryCsv(repo, path).ok());
+  std::remove(path.c_str());
+}
+
+TEST_F(ImageRepositoryFaultTest, ReadFaultSurfacesAsStatus) {
+  const std::string path = TempPath("repo_read_fault.csv");
+  ASSERT_TRUE(SaveImageRepositoryCsv(SmallRepo(), path).ok());
+  fault::FailOn(fault::FileOp::kRead, 1);
+  auto loaded = LoadImageRepositoryCsv(path);
+  fault::Clear();
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kIOError);
+  EXPECT_NE(loaded.status().ToString().find(path), std::string::npos);
+  std::remove(path.c_str());
+}
+
+// Runs only under the dedicated CTest entry that sets CROSSEM_FAULT_SPEC.
+TEST(DatasetEnvFaultTest, EnvSpecFailsRepositoryIo) {
+  const char* spec = std::getenv("CROSSEM_FAULT_SPEC");
+  if (spec == nullptr || spec[0] == '\0') {
+    GTEST_SKIP() << "CROSSEM_FAULT_SPEC not set";
+  }
+  const std::string path = TempPath("repo_env_fault.csv");
+  Status st = SaveImageRepositoryCsv(SmallRepo(), path);
+  EXPECT_FALSE(st.ok()) << "spec '" << spec << "' should fail the save";
+  EXPECT_NE(st.ToString().find(path), std::string::npos) << st.ToString();
+  EXPECT_FALSE(io::FileExists(path + ".tmp"));
+  fault::Clear();
+  std::remove(path.c_str());
 }
 
 }  // namespace

@@ -3,11 +3,18 @@
 #include <unistd.h>
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <functional>
+#include <string>
+#include <vector>
 
 #include "clip/clip.h"
 #include "gtest/gtest.h"
 #include "nn/attention.h"
 #include "nn/layers.h"
+#include "util/fault_injection.h"
 
 namespace crossem {
 namespace nn {
@@ -15,6 +22,25 @@ namespace {
 
 std::string TempPath(const char* name) {
   return std::string(::testing::TempDir()) + "/" + name;
+}
+
+std::string ReadFileBytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << path;
+  return std::string(std::istreambuf_iterator<char>(in),
+                     std::istreambuf_iterator<char>());
+}
+
+void WriteFileBytes(const std::string& path, const std::string& data) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(data.data(), static_cast<std::streamsize>(data.size()));
+  ASSERT_TRUE(out.good()) << path;
+}
+
+std::vector<std::vector<float>> SnapshotValues(const Module& m) {
+  std::vector<std::vector<float>> out;
+  for (const auto& [name, p] : m.NamedParameters()) out.push_back(p.ToVector());
+  return out;
 }
 
 TEST(SerializeTest, RoundTripLinear) {
@@ -119,6 +145,313 @@ TEST(SerializeTest, SaveToUnwritablePathFails) {
   Rng rng(7);
   Linear lin(2, 2, &rng);
   EXPECT_FALSE(SaveCheckpoint(lin, "/nonexistent_dir/x.ckpt").ok());
+}
+
+TEST(SerializeTest, SaveLeavesNoTmpFileBehind) {
+  Rng rng(8);
+  Linear lin(3, 3, &rng);
+  const std::string path = TempPath("clean_save.ckpt");
+  ASSERT_TRUE(SaveCheckpoint(lin, path).ok());
+  EXPECT_TRUE(io::FileExists(path));
+  EXPECT_FALSE(io::FileExists(path + ".tmp"));
+  std::remove(path.c_str());
+}
+
+// Table-driven corruption drills: every mutation of a valid v2 file must
+// fail the load as kParseError without mutating a single module value.
+TEST(SerializeTest, CorruptFilesAreRejectedWithoutPartialLoads) {
+  Rng rng(21);
+  Linear source(6, 4, &rng);
+  const std::string good_path = TempPath("corrupt_base.ckpt");
+  ASSERT_TRUE(SaveCheckpoint(source, good_path).ok());
+  const std::string good = ReadFileBytes(good_path);
+  ASSERT_GT(good.size(), 48u);
+
+  struct Case {
+    const char* name;
+    std::function<std::string(std::string)> corrupt;
+  };
+  const std::vector<Case> cases = {
+      {"flipped magic byte",
+       [](std::string d) { d[3] ^= 0xFF; return d; }},
+      {"v3 future version",
+       [](std::string d) { d[7] = '3'; return d; }},
+      {"empty file", [](std::string) { return std::string(); }},
+      {"truncated header", [](std::string d) { return d.substr(0, 10); }},
+      {"truncated mid-record",
+       [](std::string d) { return d.substr(0, d.size() / 2); }},
+      {"missing trailer",
+       [](std::string d) { return d.substr(0, d.size() - 12); }},
+      {"payload bit flip",
+       [](std::string d) { d[d.size() / 2] ^= 0x10; return d; }},
+      {"record crc flip",
+       // The byte right before the 12-byte trailer is the last record's CRC.
+       [](std::string d) { d[d.size() - 13] ^= 0x01; return d; }},
+      {"trailer crc flip",
+       [](std::string d) { d[d.size() - 12] ^= 0x01; return d; }},
+      {"trailing garbage", [](std::string d) { return d + "junk"; }},
+  };
+
+  for (const Case& c : cases) {
+    SCOPED_TRACE(c.name);
+    const std::string path = TempPath("corrupt_case.ckpt");
+    WriteFileBytes(path, c.corrupt(good));
+    Rng rng2(22);
+    Linear target(6, 4, &rng2);
+    const auto before = SnapshotValues(target);
+    Status st = LoadCheckpoint(&target, path);
+    EXPECT_FALSE(st.ok());
+    EXPECT_EQ(st.code(), StatusCode::kParseError) << st.ToString();
+    EXPECT_EQ(SnapshotValues(target), before)
+        << "failed load must not touch module values";
+    std::remove(path.c_str());
+  }
+  std::remove(good_path.c_str());
+}
+
+TEST(SerializeTest, MismatchedLoadLeavesModuleUntouched) {
+  Rng rng(23);
+  Linear source(4, 3, &rng);
+  const std::string path = TempPath("mismatch_untouched.ckpt");
+  ASSERT_TRUE(SaveCheckpoint(source, path).ok());
+
+  // Same "weight" name, different shape: the shape check must reject the
+  // load before any value is copied.
+  Rng rng2(24);
+  Linear target(4, 5, &rng2);
+  const auto before = SnapshotValues(target);
+  Status st = LoadCheckpoint(&target, path);
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument) << st.ToString();
+  EXPECT_EQ(SnapshotValues(target), before);
+  std::remove(path.c_str());
+}
+
+// Hand-writes the v1 layout ("CEMCKPT1", no checksums) and checks new
+// binaries still read it.
+TEST(SerializeTest, ReadsVersion1Checkpoints) {
+  Rng rng(31);
+  Linear source(5, 2, &rng);
+  const std::string path = TempPath("v1_compat.ckpt");
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write("CEMCKPT1", 8);
+    const auto named = source.NamedParameters();
+    const int64_t count = static_cast<int64_t>(named.size());
+    out.write(reinterpret_cast<const char*>(&count), sizeof(count));
+    for (const auto& [name, tensor] : named) {
+      const int64_t name_len = static_cast<int64_t>(name.size());
+      out.write(reinterpret_cast<const char*>(&name_len), sizeof(name_len));
+      out.write(name.data(), name_len);
+      const int64_t rank = tensor.dim();
+      out.write(reinterpret_cast<const char*>(&rank), sizeof(rank));
+      for (int64_t d : tensor.shape()) {
+        out.write(reinterpret_cast<const char*>(&d), sizeof(d));
+      }
+      const auto values = tensor.ToVector();
+      out.write(reinterpret_cast<const char*>(values.data()),
+                static_cast<std::streamsize>(values.size() * sizeof(float)));
+    }
+    ASSERT_TRUE(out.good());
+  }
+
+  Rng rng2(32);
+  Linear target(5, 2, &rng2);
+  ASSERT_NE(SnapshotValues(target), SnapshotValues(source));
+  ASSERT_TRUE(LoadCheckpoint(&target, path).ok());
+  EXPECT_EQ(SnapshotValues(target), SnapshotValues(source));
+
+  // v1 files carry no training state.
+  TrainState state;
+  Status st = LoadTrainState(target.NamedParameters(), &state, path);
+  EXPECT_EQ(st.code(), StatusCode::kParseError) << st.ToString();
+  std::remove(path.c_str());
+}
+
+TEST(TrainStateTest, RoundTripsEverything) {
+  Rng rng(41);
+  Linear lin(3, 2, &rng);
+  const auto named = lin.NamedParameters();
+  ASSERT_EQ(named.size(), 2u);
+
+  TrainState state;
+  state.next_epoch = 4;
+  state.learning_rate = 0.125f;
+  state.optimizer.step = 17;
+  state.optimizer.m = {std::vector<float>(6, 0.5f), {}};  // second: lazy slot
+  state.optimizer.v = {std::vector<float>(6, 0.25f), {}};
+  state.rng_state = rng.SaveState();
+  state.proximity = Tensor::FromVector({2, 2}, {1.0f, 2.0f, 3.0f, 4.0f});
+
+  const std::string path = TempPath("train_state.ckpt");
+  ASSERT_TRUE(SaveTrainState(named, state, path).ok());
+
+  Rng rng2(42);
+  Linear other(3, 2, &rng2);
+  TrainState loaded;
+  ASSERT_TRUE(
+      LoadTrainState(other.NamedParameters(), &loaded, path).ok());
+  EXPECT_EQ(SnapshotValues(other), SnapshotValues(lin));
+  EXPECT_EQ(loaded.next_epoch, 4);
+  EXPECT_EQ(loaded.learning_rate, 0.125f);
+  EXPECT_EQ(loaded.optimizer.step, 17);
+  EXPECT_EQ(loaded.optimizer.m, state.optimizer.m);
+  EXPECT_EQ(loaded.optimizer.v, state.optimizer.v);
+  EXPECT_EQ(loaded.rng_state, state.rng_state);
+  ASSERT_TRUE(loaded.proximity.defined());
+  EXPECT_EQ(loaded.proximity.ToVector(), state.proximity.ToVector());
+  std::remove(path.c_str());
+}
+
+TEST(TrainStateTest, ModelLoadsFromTrainingBundleViaPrefix) {
+  // A training checkpoint names module records "model.<name>";
+  // LoadCheckpoint must find them and ignore the "state/..." extras.
+  Rng rng(43);
+  Linear lin(4, 4, &rng);
+  std::vector<std::pair<std::string, Tensor>> prefixed;
+  for (const auto& [name, tensor] : lin.NamedParameters()) {
+    prefixed.emplace_back("model." + name, tensor);
+  }
+  TrainState state;
+  state.optimizer.m = {{}, {}};
+  state.optimizer.v = {{}, {}};
+  state.rng_state = rng.SaveState();
+  const std::string path = TempPath("bundle.ckpt");
+  ASSERT_TRUE(SaveTrainState(prefixed, state, path).ok());
+
+  Rng rng2(44);
+  Linear target(4, 4, &rng2);
+  ASSERT_TRUE(LoadCheckpoint(&target, path).ok());
+  EXPECT_EQ(SnapshotValues(target), SnapshotValues(lin));
+  std::remove(path.c_str());
+}
+
+TEST(TrainStateTest, PlainCheckpointIsNotATrainingCheckpoint) {
+  Rng rng(45);
+  Linear lin(2, 3, &rng);
+  const std::string path = TempPath("not_train_state.ckpt");
+  ASSERT_TRUE(SaveCheckpoint(lin, path).ok());
+  TrainState state;
+  Status st = LoadTrainState(lin.NamedParameters(), &state, path);
+  EXPECT_EQ(st.code(), StatusCode::kParseError) << st.ToString();
+  EXPECT_NE(st.ToString().find("training-state"), std::string::npos)
+      << st.ToString();
+  std::remove(path.c_str());
+}
+
+/// Fault-injection drills share process-wide state: always disarm.
+class SerializeFaultTest : public ::testing::Test {
+ protected:
+  void SetUp() override { fault::Clear(); }
+  void TearDown() override { fault::Clear(); }
+};
+
+TEST_F(SerializeFaultTest, EverySavePathFaultSurfacesAsStatus) {
+  Rng rng(51);
+  Linear lin(8, 8, &rng);
+  const std::string path = TempPath("save_fault.ckpt");
+
+  struct Case {
+    const char* name;
+    fault::FileOp op;
+    int64_t nth;
+  };
+  const std::vector<Case> cases = {
+      {"tmp open fails", fault::FileOp::kOpen, 1},
+      {"first write fails", fault::FileOp::kWrite, 1},
+      {"mid-file write fails", fault::FileOp::kWrite, 5},
+      {"fflush fails", fault::FileOp::kFlush, 1},
+      {"fsync fails", fault::FileOp::kFlush, 2},
+      {"rename fails", fault::FileOp::kRename, 1},
+  };
+  for (const Case& c : cases) {
+    SCOPED_TRACE(c.name);
+    fault::FailOn(c.op, c.nth);
+    Status st = SaveCheckpoint(lin, path);
+    fault::Clear();
+    ASSERT_FALSE(st.ok());
+    EXPECT_EQ(st.code(), StatusCode::kIOError) << st.ToString();
+    EXPECT_NE(st.ToString().find(path), std::string::npos)
+        << "message must name the failing path: " << st.ToString();
+    EXPECT_FALSE(io::FileExists(path + ".tmp"))
+        << "failed save must not leave a tmp file";
+    EXPECT_FALSE(io::FileExists(path));
+  }
+
+  // And with no fault armed, the same save succeeds.
+  ASSERT_TRUE(SaveCheckpoint(lin, path).ok());
+  std::remove(path.c_str());
+}
+
+TEST_F(SerializeFaultTest, LoadFaultsSurfaceAsStatus) {
+  Rng rng(52);
+  Linear lin(8, 8, &rng);
+  const std::string path = TempPath("load_fault.ckpt");
+  ASSERT_TRUE(SaveCheckpoint(lin, path).ok());
+
+  Rng rng2(53);
+  Linear target(8, 8, &rng2);
+  const auto before = SnapshotValues(target);
+
+  fault::FailOn(fault::FileOp::kOpen, 1);
+  Status open_fail = LoadCheckpoint(&target, path);
+  fault::Clear();
+  EXPECT_EQ(open_fail.code(), StatusCode::kIOError) << open_fail.ToString();
+  EXPECT_NE(open_fail.ToString().find(path), std::string::npos);
+
+  fault::FailOn(fault::FileOp::kRead, 1);
+  Status read_fail = LoadCheckpoint(&target, path);
+  fault::Clear();
+  EXPECT_EQ(read_fail.code(), StatusCode::kIOError) << read_fail.ToString();
+  EXPECT_NE(read_fail.ToString().find(path), std::string::npos);
+
+  EXPECT_EQ(SnapshotValues(target), before);
+  ASSERT_TRUE(LoadCheckpoint(&target, path).ok());
+  EXPECT_EQ(SnapshotValues(target), SnapshotValues(lin));
+  std::remove(path.c_str());
+}
+
+TEST_F(SerializeFaultTest, TrainStateSaveFaultLeavesOldCheckpointIntact) {
+  // Atomicity: when a later save fails, the previous checkpoint file must
+  // survive unmodified — exactly what crash-safe resume depends on.
+  Rng rng(54);
+  Linear lin(4, 4, &rng);
+  const auto named = lin.NamedParameters();
+  TrainState state;
+  state.next_epoch = 1;
+  state.optimizer.m = {{}, {}};
+  state.optimizer.v = {{}, {}};
+  state.rng_state = rng.SaveState();
+  const std::string path = TempPath("atomic.ckpt");
+  ASSERT_TRUE(SaveTrainState(named, state, path).ok());
+  const std::string before = ReadFileBytes(path);
+
+  state.next_epoch = 2;
+  fault::FailOn(fault::FileOp::kWrite, 3);
+  Status st = SaveTrainState(named, state, path);
+  fault::Clear();
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(ReadFileBytes(path), before);
+  EXPECT_FALSE(io::FileExists(path + ".tmp"));
+  std::remove(path.c_str());
+}
+
+// Runs only under the dedicated CTest entry that sets CROSSEM_FAULT_SPEC
+// (see tests/CMakeLists.txt): proves the env-variable arming path works
+// end to end through the checkpoint writer.
+TEST(SerializeEnvFaultTest, EnvSpecFailsCheckpointIo) {
+  const char* spec = std::getenv("CROSSEM_FAULT_SPEC");
+  if (spec == nullptr || spec[0] == '\0') {
+    GTEST_SKIP() << "CROSSEM_FAULT_SPEC not set";
+  }
+  Rng rng(61);
+  Linear lin(2, 2, &rng);
+  const std::string path = TempPath("env_fault.ckpt");
+  Status st = SaveCheckpoint(lin, path);
+  EXPECT_FALSE(st.ok()) << "spec '" << spec << "' should fail the save";
+  EXPECT_NE(st.ToString().find(path), std::string::npos) << st.ToString();
+  EXPECT_FALSE(io::FileExists(path + ".tmp"));
+  fault::Clear();
+  std::remove(path.c_str());
 }
 
 }  // namespace

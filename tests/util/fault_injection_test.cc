@@ -1,0 +1,124 @@
+#include "util/fault_injection.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <string>
+
+#include "gtest/gtest.h"
+#include "util/crc32.h"
+
+namespace crossem {
+namespace {
+
+std::string TempPath(const char* name) {
+  return std::string(::testing::TempDir()) + "/" + name;
+}
+
+/// Every test leaves the process-wide plan disarmed.
+class FaultInjectionTest : public ::testing::Test {
+ protected:
+  void SetUp() override { fault::Clear(); }
+  void TearDown() override { fault::Clear(); }
+};
+
+TEST(Crc32Test, KnownVector) {
+  // The IEEE 802.3 check value for "123456789".
+  EXPECT_EQ(Crc32("123456789", 9), 0xCBF43926u);
+  EXPECT_EQ(Crc32("", 0), 0x00000000u);
+}
+
+TEST(Crc32Test, IncrementalMatchesOneShot) {
+  const std::string data = "the quick brown fox jumps over the lazy dog";
+  const uint32_t whole = Crc32(data.data(), data.size());
+  for (size_t split : {size_t{0}, size_t{1}, size_t{7}, data.size()}) {
+    uint32_t crc = Crc32Update(0, data.data(), split);
+    crc = Crc32Update(crc, data.data() + split, data.size() - split);
+    EXPECT_EQ(crc, whole) << "split at " << split;
+  }
+}
+
+TEST(Crc32Test, DetectsSingleBitFlip) {
+  std::string data = "some checkpoint payload";
+  const uint32_t before = Crc32(data.data(), data.size());
+  data[5] ^= 0x01;
+  EXPECT_NE(Crc32(data.data(), data.size()), before);
+}
+
+TEST_F(FaultInjectionTest, NthWriteFailsOnce) {
+  const std::string path = TempPath("fault_nth_write.bin");
+  fault::FailOn(fault::FileOp::kWrite, 2);
+  std::FILE* f = io::Fopen(path, "wb");
+  ASSERT_NE(f, nullptr);
+  EXPECT_EQ(io::Fwrite("a", 1, 1, f), 1u);
+  errno = 0;
+  EXPECT_EQ(io::Fwrite("b", 1, 1, f), 0u);  // the injected failure
+  EXPECT_EQ(errno, EIO);
+  EXPECT_EQ(io::Fwrite("c", 1, 1, f), 1u);  // non-sticky: recovers
+  std::fclose(f);
+  EXPECT_EQ(fault::CallCount(fault::FileOp::kWrite), 3);
+  EXPECT_EQ(fault::InjectedCount(fault::FileOp::kWrite), 1);
+  std::remove(path.c_str());
+}
+
+TEST_F(FaultInjectionTest, StickyOpenKeepsFailing) {
+  fault::FailOn(fault::FileOp::kOpen, 1, /*sticky=*/true);
+  for (int i = 0; i < 3; ++i) {
+    errno = 0;
+    EXPECT_EQ(io::Fopen(TempPath("fault_sticky.bin"), "wb"), nullptr);
+    EXPECT_EQ(errno, EIO);
+  }
+  EXPECT_EQ(fault::InjectedCount(fault::FileOp::kOpen), 3);
+}
+
+TEST_F(FaultInjectionTest, ClearDisarms) {
+  fault::FailOn(fault::FileOp::kOpen, 1, /*sticky=*/true);
+  fault::Clear();
+  const std::string path = TempPath("fault_cleared.bin");
+  std::FILE* f = io::Fopen(path, "wb");
+  EXPECT_NE(f, nullptr);
+  if (f != nullptr) std::fclose(f);
+  std::remove(path.c_str());
+}
+
+TEST_F(FaultInjectionTest, ArmFromSpecParsesCompoundSpecs) {
+  ASSERT_TRUE(fault::ArmFromSpec("write:3,open:1+").ok());
+  // open is sticky from call 1; write fails only on call 3.
+  errno = 0;
+  EXPECT_EQ(io::Fopen(TempPath("x"), "wb"), nullptr);
+  EXPECT_EQ(errno, EIO);
+  EXPECT_FALSE(fault::ShouldFail(fault::FileOp::kWrite));
+  EXPECT_FALSE(fault::ShouldFail(fault::FileOp::kWrite));
+  EXPECT_TRUE(fault::ShouldFail(fault::FileOp::kWrite));
+  EXPECT_FALSE(fault::ShouldFail(fault::FileOp::kWrite));
+}
+
+TEST_F(FaultInjectionTest, ArmFromSpecRejectsMalformedSpecs) {
+  for (const char* bad :
+       {"write", "write:", "write:x", "write:0", "write:-1", "chmod:1"}) {
+    EXPECT_EQ(fault::ArmFromSpec(bad).code(), StatusCode::kInvalidArgument)
+        << bad;
+  }
+  // Nothing was armed by the rejected specs.
+  const std::string path = TempPath("fault_still_ok.bin");
+  std::FILE* f = io::Fopen(path, "wb");
+  EXPECT_NE(f, nullptr);
+  if (f != nullptr) std::fclose(f);
+  std::remove(path.c_str());
+}
+
+TEST_F(FaultInjectionTest, FileExistsIsNeverInjected) {
+  const std::string path = TempPath("fault_exists_probe.bin");
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  std::fclose(f);
+  for (int op = 0; op < fault::kNumFileOps; ++op) {
+    fault::FailOn(static_cast<fault::FileOp>(op), 1, /*sticky=*/true);
+  }
+  EXPECT_TRUE(io::FileExists(path));
+  EXPECT_FALSE(io::FileExists(TempPath("fault_never_created.bin")));
+  fault::Clear();
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace crossem

@@ -64,5 +64,43 @@ TEST(ResultTest, ReturnNotOkMacroPropagates) {
   EXPECT_EQ(Chain(-1).code(), StatusCode::kInvalidArgument);
 }
 
+Result<int> Doubled(int x) {
+  if (x < 0) return Status::InvalidArgument("negative");
+  return 2 * x;
+}
+
+Result<int> SumOfDoubles(int a, int b) {
+  int da = 0;
+  CROSSEM_ASSIGN_OR_RETURN(da, Doubled(a));
+  // A second expansion in the same scope must not collide with the first.
+  int db = 0;
+  CROSSEM_ASSIGN_OR_RETURN(db, Doubled(b));
+  return da + db;
+}
+
+Result<std::string> MovedThrough() {
+  std::string s;
+  CROSSEM_ASSIGN_OR_RETURN(s, Result<std::string>(std::string("payload")));
+  return s;
+}
+
+TEST(ResultTest, AssignOrReturnMacroAssignsAndPropagates) {
+  auto ok = SumOfDoubles(2, 3);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(ok.value(), 10);
+
+  auto first_fails = SumOfDoubles(-1, 3);
+  ASSERT_FALSE(first_fails.ok());
+  EXPECT_EQ(first_fails.status().code(), StatusCode::kInvalidArgument);
+
+  auto second_fails = SumOfDoubles(2, -4);
+  ASSERT_FALSE(second_fails.ok());
+  EXPECT_EQ(second_fails.status().code(), StatusCode::kInvalidArgument);
+
+  auto moved = MovedThrough();
+  ASSERT_TRUE(moved.ok());
+  EXPECT_EQ(moved.value(), "payload");
+}
+
 }  // namespace
 }  // namespace crossem

@@ -8,7 +8,9 @@
 //   crossem_match --table birds=birds.csv [--json extra.json]
 //                 --images patches.csv [--output matches.csv]
 //                 [--prompt hard|soft|baseline] [--epochs N]
-//                 [--checkpoint model.ckpt] [--save-checkpoint model.ckpt]
+//                 [--model model.ckpt] [--save-model model.ckpt]
+//                 [--checkpoint train.ckpt] [--resume]
+//                 [--checkpoint-every N]
 //                 [--train-steps N] [--seed N]
 //
 // Image file format: one patch per row,
@@ -16,10 +18,15 @@
 // rows sharing image_id form one image (patch counts are padded to the
 // repository maximum with zero patches).
 //
-// Without --checkpoint, a small CLIP is trained on self-captions derived
+// Without --model, a small CLIP is trained on self-captions derived
 // from the mapped graph paired with the given images of each entity
 // (requires image_id values equal to entity labels, or entity labels
 // prefixed: "<entity label>#<n>").
+//
+// --checkpoint names a resumable *training* checkpoint for the prompt
+// tuning phase: Fit writes it every --checkpoint-every epochs, and with
+// --resume an interrupted run picks up exactly where it left off
+// (bit-for-bit identical to an uninterrupted run).
 #include <algorithm>
 #include <cstdio>
 #include <cstring>
@@ -30,6 +37,7 @@
 #include <vector>
 
 #include "core/crossem.h"
+#include "data/dataset.h"
 #include "graph/data_mapping.h"
 #include "graph/stats.h"
 #include "nn/optimizer.h"
@@ -46,8 +54,11 @@ struct Args {
   std::vector<std::string> jsons;
   std::string images_path;
   std::string output_path;
+  std::string model;
+  std::string save_model;
   std::string checkpoint;
-  std::string save_checkpoint;
+  bool resume = false;
+  int64_t checkpoint_every = 1;
   std::string prompt = "hard";
   int64_t epochs = 4;
   int64_t train_steps = 200;
@@ -60,8 +71,9 @@ void PrintUsage() {
                "--images FILE.csv\n"
                "       [--output FILE.csv] [--prompt hard|soft|baseline] "
                "[--epochs N]\n"
-               "       [--checkpoint FILE] [--save-checkpoint FILE] "
-               "[--train-steps N] [--seed N]\n");
+               "       [--model FILE] [--save-model FILE]\n"
+               "       [--checkpoint FILE] [--resume] [--checkpoint-every N]\n"
+               "       [--train-steps N] [--seed N]\n");
 }
 
 bool ParseArgs(int argc, char** argv, Args* args) {
@@ -89,14 +101,24 @@ bool ParseArgs(int argc, char** argv, Args* args) {
       const char* v = next();
       if (v == nullptr) return false;
       args->output_path = v;
+    } else if (flag == "--model") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      args->model = v;
+    } else if (flag == "--save-model") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      args->save_model = v;
     } else if (flag == "--checkpoint") {
       const char* v = next();
       if (v == nullptr) return false;
       args->checkpoint = v;
-    } else if (flag == "--save-checkpoint") {
+    } else if (flag == "--resume") {
+      args->resume = true;
+    } else if (flag == "--checkpoint-every") {
       const char* v = next();
       if (v == nullptr) return false;
-      args->save_checkpoint = v;
+      args->checkpoint_every = std::atoll(v);
     } else if (flag == "--prompt") {
       const char* v = next();
       if (v == nullptr) return false;
@@ -128,65 +150,6 @@ Result<std::string> ReadFile(const std::string& path) {
   std::ostringstream out;
   out << in.rdbuf();
   return out.str();
-}
-
-struct ImageRepository {
-  std::vector<std::string> ids;      // one per image, input order
-  Tensor patches;                    // [N, Pmax, D]
-};
-
-/// Parses the patch-feature CSV (see file header for the format).
-Result<ImageRepository> LoadImages(const std::string& path) {
-  auto text = ReadFile(path);
-  if (!text.ok()) return text.status();
-  std::map<std::string, std::vector<std::vector<float>>> by_image;
-  std::vector<std::string> order;
-  std::istringstream in(text.value());
-  std::string line;
-  int64_t dim = -1;
-  while (std::getline(in, line)) {
-    if (!line.empty() && line.back() == '\r') line.pop_back();
-    if (line.empty()) continue;
-    std::istringstream ls(line);
-    std::string cell;
-    if (!std::getline(ls, cell, ',')) continue;
-    std::string id = cell;
-    std::vector<float> feats;
-    while (std::getline(ls, cell, ',')) {
-      feats.push_back(std::strtof(cell.c_str(), nullptr));
-    }
-    if (feats.empty()) {
-      return Status::ParseError("image row without features: " + line);
-    }
-    if (dim < 0) dim = static_cast<int64_t>(feats.size());
-    if (static_cast<int64_t>(feats.size()) != dim) {
-      return Status::ParseError("inconsistent feature width in '" + path +
-                                "'");
-    }
-    if (by_image.emplace(id, std::vector<std::vector<float>>{}).second) {
-      order.push_back(id);
-    }
-    by_image[id].push_back(std::move(feats));
-  }
-  if (order.empty()) return Status::ParseError("no images in '" + path + "'");
-
-  size_t max_patches = 0;
-  for (const auto& [id, rows] : by_image) {
-    max_patches = std::max(max_patches, rows.size());
-  }
-  ImageRepository repo;
-  repo.ids = order;
-  repo.patches = Tensor::Zeros({static_cast<int64_t>(order.size()),
-                                static_cast<int64_t>(max_patches), dim});
-  float* p = repo.patches.data();
-  for (size_t img = 0; img < order.size(); ++img) {
-    const auto& rows = by_image[order[img]];
-    for (size_t r = 0; r < rows.size(); ++r) {
-      std::copy(rows[r].begin(), rows[r].end(),
-                p + (img * max_patches + r) * static_cast<size_t>(dim));
-    }
-  }
-  return repo;
 }
 
 /// Entity label for an image id "<label>" or "<label>#<n>".
@@ -245,12 +208,12 @@ int main(int argc, char** argv) {
                graph::ComputeGraphStats(g).ToString().c_str());
 
   // -- Images ----------------------------------------------------------------
-  auto repo = LoadImages(args.images_path);
+  auto repo = data::LoadImageRepositoryCsv(args.images_path);
   if (!repo.ok()) {
     std::fprintf(stderr, "%s\n", repo.status().ToString().c_str());
     return 1;
   }
-  const ImageRepository& images = repo.value();
+  const data::ImageRepository& images = repo.value();
   const int64_t patch_dim = images.patches.size(2);
   std::fprintf(stderr, "images: %zu (up to %lld patches of dim %lld)\n",
                images.ids.size(),
@@ -272,12 +235,12 @@ int main(int argc, char** argv) {
   clip::ClipModel model(cc, &rng);
   text::Tokenizer tokenizer(&vocab, cc.text_context);
 
-  if (!args.checkpoint.empty()) {
-    if (auto st = nn::LoadCheckpoint(&model, args.checkpoint); !st.ok()) {
-      std::fprintf(stderr, "checkpoint: %s\n", st.ToString().c_str());
+  if (!args.model.empty()) {
+    if (auto st = nn::LoadCheckpoint(&model, args.model); !st.ok()) {
+      std::fprintf(stderr, "model: %s\n", st.ToString().c_str());
       return 1;
     }
-    std::fprintf(stderr, "loaded checkpoint %s\n", args.checkpoint.c_str());
+    std::fprintf(stderr, "loaded model %s\n", args.model.c_str());
   } else {
     // Self-supervised pre-training on (entity serialization, entity
     // image) pairs, when image ids name their entities.
@@ -290,7 +253,7 @@ int main(int argc, char** argv) {
     }
     if (pairs.empty()) {
       std::fprintf(stderr,
-                   "no image ids match entity labels and no --checkpoint "
+                   "no image ids match entity labels and no --model "
                    "given; cannot train\n");
       return 1;
     }
@@ -320,13 +283,12 @@ int main(int argc, char** argv) {
       opt.Step();
     }
   }
-  if (!args.save_checkpoint.empty()) {
-    if (auto st = nn::SaveCheckpoint(model, args.save_checkpoint); !st.ok()) {
+  if (!args.save_model.empty()) {
+    if (auto st = nn::SaveCheckpoint(model, args.save_model); !st.ok()) {
       std::fprintf(stderr, "save: %s\n", st.ToString().c_str());
       return 1;
     }
-    std::fprintf(stderr, "saved checkpoint %s\n",
-                 args.save_checkpoint.c_str());
+    std::fprintf(stderr, "saved model %s\n", args.save_model.c_str());
   }
 
   // -- Matching -----------------------------------------------------------------
@@ -343,6 +305,9 @@ int main(int argc, char** argv) {
   }
   options.epochs = args.epochs;
   options.seed = args.seed;
+  options.checkpoint_path = args.checkpoint;
+  options.resume = args.resume;
+  options.checkpoint_every_epochs = args.checkpoint_every;
   core::CrossEm matcher(&model, &g, &tokenizer, options);
   std::vector<graph::VertexId> entities = builder.entity_vertices();
   if (auto fit = matcher.Fit(entities, images.patches); !fit.ok()) {
