@@ -5,8 +5,10 @@
 #include <numeric>
 
 #include "core/losses.h"
+#include "eval/topk.h"
 #include "nn/optimizer.h"
 #include "nn/serialize.h"
+#include "util/crc32.h"
 #include "tensor/ops.h"
 #include "util/fault_injection.h"
 #include "util/logging.h"
@@ -102,6 +104,11 @@ Tensor CrossEm::ScoreMatrix(const std::vector<graph::VertexId>& vertices,
   return clip::ClipModel::SimilarityMatrix(v, i);
 }
 
+float CrossEm::Temperature() const {
+  NoGradGuard guard;
+  return model_->Temperature().item();
+}
+
 std::vector<MatchingPair> CrossEm::FindMatches(
     const std::vector<graph::VertexId>& vertices, const Tensor& images,
     float min_probability) const {
@@ -116,20 +123,14 @@ std::vector<MatchingPair> CrossEm::FindMatches(
   Tensor v = EncodeVertices(vertices);
   Tensor i = EncodeImages(images);
   Tensor prob = model_->MatchingProbability(v, i);  // [Nv, Ni], Eq. 4
-  const int64_t ni = prob.size(1);
+  // Shared ranking kernel (eval/topk.h): k = 1 with its lower-index
+  // tie-break reproduces the original strictly-greater argmax scan.
+  std::vector<std::vector<eval::ScoredId>> best = eval::TopKRows(prob, 1);
   std::vector<MatchingPair> out;
-  const float* p = prob.data();
   for (size_t row = 0; row < vertices.size(); ++row) {
-    int64_t best = 0;
-    for (int64_t c = 1; c < ni; ++c) {
-      if (p[static_cast<int64_t>(row) * ni + c] >
-          p[static_cast<int64_t>(row) * ni + best]) {
-        best = c;
-      }
-    }
-    const float score = p[static_cast<int64_t>(row) * ni + best];
-    if (score >= min_probability) {
-      out.push_back(MatchingPair{vertices[row], best, score});
+    if (best[row].front().score >= min_probability) {
+      out.push_back(MatchingPair{vertices[row], best[row].front().id,
+                                 best[row].front().score});
     }
   }
   return out;
@@ -147,19 +148,35 @@ std::vector<MatchingPair> CrossEm::FindMutualMatches(
   Tensor i = EncodeImages(images);
   Tensor prob = model_->MatchingProbability(v, i);
   Tensor sim = clip::ClipModel::SimilarityMatrix(v, i);
-  std::vector<int64_t> v2i = ops::ArgMax(sim, -1);
-  std::vector<int64_t> i2v = ops::ArgMax(ops::Transpose(sim, 0, 1), -1);
+  // Both directions' best-match scans ride the shared top-k kernel; the
+  // lower-index tie-break matches ops::ArgMax's first-maximum scan.
+  std::vector<std::vector<eval::ScoredId>> v2i = eval::TopKRows(sim, 1);
+  std::vector<std::vector<eval::ScoredId>> i2v =
+      eval::TopKRows(ops::Transpose(sim, 0, 1), 1);
   std::vector<MatchingPair> out;
   const int64_t ni = prob.size(1);
   for (size_t row = 0; row < vertices.size(); ++row) {
-    const int64_t img = v2i[row];
-    if (i2v[static_cast<size_t>(img)] == static_cast<int64_t>(row)) {
+    const int64_t img = v2i[row].front().id;
+    if (i2v[static_cast<size_t>(img)].front().id ==
+        static_cast<int64_t>(row)) {
       out.push_back(MatchingPair{
           vertices[row], img,
           prob.at(static_cast<int64_t>(row) * ni + img)});
     }
   }
   return out;
+}
+
+uint32_t CrossEm::EncoderFingerprint() const {
+  const uint32_t mode = static_cast<uint32_t>(options_.prompt_mode);
+  uint32_t crc = Crc32Update(0, &mode, sizeof(mode));
+  const uint32_t text_fp = nn::ModuleFingerprint(model_->text());
+  crc = Crc32Update(crc, &text_fp, sizeof(text_fp));
+  if (soft_gen_) {
+    const uint32_t soft_fp = nn::ModuleFingerprint(*soft_gen_);
+    crc = Crc32Update(crc, &soft_fp, sizeof(soft_fp));
+  }
+  return crc;
 }
 
 std::vector<Tensor> CrossEm::TrainableParameters() const {

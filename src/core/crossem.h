@@ -17,6 +17,7 @@
 #ifndef CROSSEM_CORE_CROSSEM_H_
 #define CROSSEM_CORE_CROSSEM_H_
 
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <utility>
@@ -175,7 +176,18 @@ class CrossEm {
       const std::vector<graph::VertexId>& vertices,
       const Tensor& images) const;
 
+  /// CRC-32 fingerprint of everything EncodeVertices depends on: the
+  /// prompt mode, the text tower's parameters and, in soft mode, the
+  /// soft prompt's parameters. The serving layer keys its vertex
+  /// embedding cache on this so entries from a stale model never
+  /// satisfy queries against a retuned one.
+  uint32_t EncoderFingerprint() const;
+
+  /// The model's current temperature tau (Eq. 4 softmax scale).
+  float Temperature() const;
+
   const CrossEmOptions& options() const { return options_; }
+  const graph::Graph& graph() const { return *graph_; }
   SoftPromptGenerator* soft_prompt() { return soft_gen_.get(); }
   const HardPromptGenerator& hard_prompt() const { return hard_gen_; }
 

@@ -1,0 +1,79 @@
+#include "eval/topk.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+#include "util/parallel.h"
+
+namespace crossem {
+namespace eval {
+
+namespace {
+
+/// Heap comparator: the WORST candidate sits at the front so it can be
+/// evicted when a better one arrives.
+struct WorstFirst {
+  bool operator()(const ScoredId& a, const ScoredId& b) const {
+    return RanksBefore(a, b);
+  }
+};
+
+}  // namespace
+
+std::vector<ScoredId> TopK(const float* scores, int64_t n, int64_t k) {
+  if (k <= 0 || n <= 0) return {};
+  k = std::min(k, n);
+  // Max-heap of the current k best with the worst on top. push_heap /
+  // pop_heap with WorstFirst keep the eviction candidate at heap[0].
+  std::vector<ScoredId> heap;
+  heap.reserve(static_cast<size_t>(k));
+  for (int64_t i = 0; i < n; ++i) {
+    const ScoredId cand{i, scores[i]};
+    if (static_cast<int64_t>(heap.size()) < k) {
+      heap.push_back(cand);
+      std::push_heap(heap.begin(), heap.end(), WorstFirst{});
+    } else if (RanksBefore(cand, heap.front())) {
+      std::pop_heap(heap.begin(), heap.end(), WorstFirst{});
+      heap.back() = cand;
+      std::push_heap(heap.begin(), heap.end(), WorstFirst{});
+    }
+  }
+  // With RanksBefore as the "less than", sort_heap yields ascending
+  // order under it — best candidate first.
+  std::sort_heap(heap.begin(), heap.end(), WorstFirst{});
+  return heap;
+}
+
+std::vector<ScoredId> MergeTopK(
+    const std::vector<std::vector<ScoredId>>& parts, int64_t k) {
+  if (k <= 0) return {};
+  std::vector<ScoredId> merged;
+  for (const auto& part : parts) {
+    merged.insert(merged.end(), part.begin(), part.end());
+  }
+  std::sort(merged.begin(), merged.end(),
+            [](const ScoredId& a, const ScoredId& b) {
+              return RanksBefore(a, b);
+            });
+  if (static_cast<int64_t>(merged.size()) > k) {
+    merged.resize(static_cast<size_t>(k));
+  }
+  return merged;
+}
+
+std::vector<std::vector<ScoredId>> TopKRows(const Tensor& scores, int64_t k) {
+  CROSSEM_CHECK_EQ(scores.dim(), 2);
+  const int64_t rows = scores.size(0);
+  const int64_t cols = scores.size(1);
+  const float* data = scores.data();
+  std::vector<std::vector<ScoredId>> out(static_cast<size_t>(rows));
+  ParallelFor(0, rows, /*grain=*/1, [&](int64_t b, int64_t e) {
+    for (int64_t r = b; r < e; ++r) {
+      out[static_cast<size_t>(r)] = TopK(data + r * cols, cols, k);
+    }
+  });
+  return out;
+}
+
+}  // namespace eval
+}  // namespace crossem

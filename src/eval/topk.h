@@ -1,0 +1,50 @@
+// Deterministic top-k selection over score rows.
+//
+// This is the single ranking kernel shared by the matching entry points
+// (core::CrossEm::FindMatches / FindMutualMatches take the k = 1 case)
+// and the serving layer's exact flat index (arbitrary k). Ordering is
+// total and thread-count independent: candidates sort by score
+// descending, ties broken toward the lower index — exactly the order a
+// left-to-right strictly-greater argmax scan produces, so replacing such
+// a scan with TopK(..., 1) is bitwise identical.
+#ifndef CROSSEM_EVAL_TOPK_H_
+#define CROSSEM_EVAL_TOPK_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace crossem {
+namespace eval {
+
+/// One ranked candidate: its index in the scanned range and its score.
+struct ScoredId {
+  int64_t id = 0;
+  float score = 0.0f;
+};
+
+/// True when a ranks strictly ahead of b (higher score, lower id on ties).
+inline bool RanksBefore(const ScoredId& a, const ScoredId& b) {
+  return a.score > b.score || (a.score == b.score && a.id < b.id);
+}
+
+/// The k best of scores[0..n), best first. k >= n returns all n sorted;
+/// k <= 0 returns empty. Single pass, O(n log k).
+std::vector<ScoredId> TopK(const float* scores, int64_t n, int64_t k);
+
+/// Merges pre-ranked candidate lists (each ordered by RanksBefore) into
+/// the overall top k. Deterministic regardless of list count or sizes —
+/// the combine step of a chunked parallel scan.
+std::vector<ScoredId> MergeTopK(
+    const std::vector<std::vector<ScoredId>>& parts, int64_t k);
+
+/// Row-wise top-k over a [rows, cols] score matrix, parallel across rows
+/// (each row's result is independent, so the output is deterministic at
+/// any thread count).
+std::vector<std::vector<ScoredId>> TopKRows(const Tensor& scores, int64_t k);
+
+}  // namespace eval
+}  // namespace crossem
+
+#endif  // CROSSEM_EVAL_TOPK_H_

@@ -19,8 +19,8 @@ constexpr char kMagicV1[8] = {'C', 'E', 'M', 'C', 'K', 'P', 'T', '1'};
 constexpr char kMagicV2[8] = {'C', 'E', 'M', 'C', 'K', 'P', 'T', '2'};
 constexpr char kMagicEnd[8] = {'C', 'E', 'M', '2', 'E', 'N', 'D', '\n'};
 
-constexpr uint32_t kKindTensor = 0;
-constexpr uint32_t kKindBytes = 1;
+constexpr uint32_t kKindTensor = kRecordTensor;
+constexpr uint32_t kKindBytes = kRecordBytes;
 
 // Parse limits: no legitimate checkpoint comes close, and they keep a
 // corrupt length field from driving a huge allocation.
@@ -35,49 +35,7 @@ struct FileCloser {
 };
 using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
 
-/// One named entry of a v2 file: either an f32 tensor or a byte string.
-struct Record {
-  std::string name;
-  uint32_t kind = kKindTensor;
-  Shape shape;              // kKindTensor
-  std::vector<float> f32;   // kKindTensor payload
-  std::string bytes;        // kKindBytes payload
-
-  static Record TensorRecord(std::string name, Shape shape,
-                             std::vector<float> data) {
-    Record r;
-    r.name = std::move(name);
-    r.kind = kKindTensor;
-    r.shape = std::move(shape);
-    r.f32 = std::move(data);
-    return r;
-  }
-  static Record BytesRecord(std::string name, std::string data) {
-    Record r;
-    r.name = std::move(name);
-    r.kind = kKindBytes;
-    r.bytes = std::move(data);
-    return r;
-  }
-
-  /// CRC over name bytes, kind, shape/size fields and payload — the
-  /// value stored after the record and chained into the trailer.
-  uint32_t Crc() const {
-    uint32_t crc = Crc32Update(0, name.data(), name.size());
-    crc = Crc32Update(crc, &kind, sizeof(kind));
-    if (kind == kKindTensor) {
-      const int64_t rank = static_cast<int64_t>(shape.size());
-      crc = Crc32Update(crc, &rank, sizeof(rank));
-      for (int64_t d : shape) crc = Crc32Update(crc, &d, sizeof(d));
-      crc = Crc32Update(crc, f32.data(), f32.size() * sizeof(float));
-    } else {
-      const int64_t count = static_cast<int64_t>(bytes.size());
-      crc = Crc32Update(crc, &count, sizeof(count));
-      crc = Crc32Update(crc, bytes.data(), bytes.size());
-    }
-    return crc;
-  }
-};
+using Record = CheckpointRecord;
 
 // ---------------------------------------------------------------------------
 // Writing
@@ -421,6 +379,66 @@ Status DecodeF32(const Record& r, float* v) {
 }
 
 }  // namespace
+
+CheckpointRecord CheckpointRecord::TensorRecord(std::string name, Shape shape,
+                                                std::vector<float> data) {
+  CheckpointRecord r;
+  r.name = std::move(name);
+  r.kind = kRecordTensor;
+  r.shape = std::move(shape);
+  r.f32 = std::move(data);
+  return r;
+}
+
+CheckpointRecord CheckpointRecord::BytesRecord(std::string name,
+                                               std::string data) {
+  CheckpointRecord r;
+  r.name = std::move(name);
+  r.kind = kRecordBytes;
+  r.bytes = std::move(data);
+  return r;
+}
+
+uint32_t CheckpointRecord::Crc() const {
+  uint32_t crc = Crc32Update(0, name.data(), name.size());
+  crc = Crc32Update(crc, &kind, sizeof(kind));
+  if (kind == kRecordTensor) {
+    const int64_t rank = static_cast<int64_t>(shape.size());
+    crc = Crc32Update(crc, &rank, sizeof(rank));
+    for (int64_t d : shape) crc = Crc32Update(crc, &d, sizeof(d));
+    crc = Crc32Update(crc, f32.data(), f32.size() * sizeof(float));
+  } else {
+    const int64_t count = static_cast<int64_t>(bytes.size());
+    crc = Crc32Update(crc, &count, sizeof(count));
+    crc = Crc32Update(crc, bytes.data(), bytes.size());
+  }
+  return crc;
+}
+
+Status SaveRecordFile(const std::vector<CheckpointRecord>& records,
+                      const std::string& path) {
+  return WriteRecordsAtomic(records, path);
+}
+
+Status LoadRecordFile(const std::string& path,
+                      std::vector<CheckpointRecord>* records) {
+  if (records == nullptr) return Status::InvalidArgument("records is null");
+  int version = 0;
+  return ReadRecords(path, records, &version);
+}
+
+uint32_t ModuleFingerprint(const Module& module) {
+  uint32_t crc = 0;
+  for (const auto& [name, tensor] : module.NamedParameters()) {
+    crc = Crc32Update(crc, name.data(), name.size());
+    const int64_t rank = static_cast<int64_t>(tensor.shape().size());
+    crc = Crc32Update(crc, &rank, sizeof(rank));
+    for (int64_t d : tensor.shape()) crc = Crc32Update(crc, &d, sizeof(d));
+    crc = Crc32Update(crc, tensor.data(),
+                      static_cast<size_t>(tensor.numel()) * sizeof(float));
+  }
+  return crc;
+}
 
 Status SaveCheckpoint(const Module& module, const std::string& path) {
   std::vector<Record> records;

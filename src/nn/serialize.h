@@ -31,6 +31,7 @@
 #ifndef CROSSEM_NN_SERIALIZE_H_
 #define CROSSEM_NN_SERIALIZE_H_
 
+#include <cstdint>
 #include <string>
 #include <utility>
 #include <vector>
@@ -41,6 +42,50 @@
 
 namespace crossem {
 namespace nn {
+
+// -- Generic record access ----------------------------------------------------
+//
+// The v2 format is a plain stream of named records; the record layer is
+// public so other subsystems (e.g. the serving layer's embedding
+// indexes) get CRC-checked, atomically-written persistence without
+// inventing a new file format.
+
+/// Record kinds of the v2 layout.
+inline constexpr uint32_t kRecordTensor = 0;  // f32 tensor with a shape
+inline constexpr uint32_t kRecordBytes = 1;   // raw byte string
+
+/// One named entry of a checkpoint file.
+struct CheckpointRecord {
+  std::string name;
+  uint32_t kind = kRecordTensor;
+  Shape shape;              // kRecordTensor
+  std::vector<float> f32;   // kRecordTensor payload
+  std::string bytes;        // kRecordBytes payload
+
+  static CheckpointRecord TensorRecord(std::string name, Shape shape,
+                                       std::vector<float> data);
+  static CheckpointRecord BytesRecord(std::string name, std::string data);
+
+  /// CRC over name bytes, kind, shape/size fields and payload — the
+  /// value stored after the record and chained into the trailer.
+  uint32_t Crc() const;
+};
+
+/// Writes `records` to `path` as one atomic v2 file (tmp + fsync +
+/// rename; a failed save removes its tmp file and leaves `path` intact).
+Status SaveRecordFile(const std::vector<CheckpointRecord>& records,
+                      const std::string& path);
+
+/// Reads a checkpoint file (v1 or v2) into `records`, validating magic,
+/// bounds, per-record CRCs and the trailer before returning anything.
+Status LoadRecordFile(const std::string& path,
+                      std::vector<CheckpointRecord>* records);
+
+/// CRC-32 fingerprint over a module's named parameters (names, shapes
+/// and values, in registration order). Two modules fingerprint equal iff
+/// they would serialize identically — the serving layer keys embedding
+/// caches and index files on this to detect model/index mismatches.
+uint32_t ModuleFingerprint(const Module& module);
 
 /// Writes all named parameters of `module` to `path` (format v2,
 /// atomically).

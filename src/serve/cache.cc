@@ -1,0 +1,61 @@
+#include "serve/cache.h"
+
+namespace crossem {
+namespace serve {
+
+bool EmbeddingCache::Lookup(graph::VertexId vertex, uint32_t fingerprint,
+                            std::vector<float>* out) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = map_.find(Key{vertex, fingerprint});
+  if (it == map_.end()) {
+    ++misses_;
+    return false;
+  }
+  lru_.splice(lru_.begin(), lru_, it->second);
+  *out = it->second->second;
+  ++hits_;
+  return true;
+}
+
+void EmbeddingCache::Insert(graph::VertexId vertex, uint32_t fingerprint,
+                            std::vector<float> embedding) {
+  if (capacity_ <= 0) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  const Key key{vertex, fingerprint};
+  auto it = map_.find(key);
+  if (it != map_.end()) {
+    it->second->second = std::move(embedding);
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  lru_.emplace_front(key, std::move(embedding));
+  map_.emplace(key, lru_.begin());
+  while (static_cast<int64_t>(lru_.size()) > capacity_) {
+    map_.erase(lru_.back().first);
+    lru_.pop_back();
+  }
+}
+
+int64_t EmbeddingCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<int64_t>(lru_.size());
+}
+
+int64_t EmbeddingCache::hits() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return hits_;
+}
+
+int64_t EmbeddingCache::misses() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return misses_;
+}
+
+void EmbeddingCache::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  lru_.clear();
+  map_.clear();
+}
+
+}  // namespace serve
+}  // namespace crossem

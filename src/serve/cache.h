@@ -1,0 +1,77 @@
+// LRU vertex-embedding cache for the online matching service.
+//
+// Encoding a vertex (prompt generation + text-tower forward) dominates
+// query latency, and production traffic is heavily repeated — so the
+// service memoizes embeddings keyed by (vertex id, encoder fingerprint).
+// The fingerprint half of the key (core::CrossEm::EncoderFingerprint)
+// makes staleness structural: entries written under an old model can
+// never satisfy lookups against a retuned one, no invalidation
+// broadcast required.
+//
+// Thread-safe; all operations are O(1) amortized under one mutex.
+#ifndef CROSSEM_SERVE_CACHE_H_
+#define CROSSEM_SERVE_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace crossem {
+namespace serve {
+
+class EmbeddingCache {
+ public:
+  /// `capacity` <= 0 disables caching (every lookup misses).
+  explicit EmbeddingCache(int64_t capacity) : capacity_(capacity) {}
+
+  /// Copies the cached embedding for (vertex, fingerprint) into `out`
+  /// and marks the entry most-recently-used; false on miss.
+  bool Lookup(graph::VertexId vertex, uint32_t fingerprint,
+              std::vector<float>* out);
+
+  /// Inserts (or refreshes) an entry, evicting the least-recently-used
+  /// entries beyond capacity.
+  void Insert(graph::VertexId vertex, uint32_t fingerprint,
+              std::vector<float> embedding);
+
+  int64_t size() const;
+  int64_t capacity() const { return capacity_; }
+  int64_t hits() const;
+  int64_t misses() const;
+
+  void Clear();
+
+ private:
+  struct Key {
+    graph::VertexId vertex;
+    uint32_t fingerprint;
+    bool operator==(const Key& o) const {
+      return vertex == o.vertex && fingerprint == o.fingerprint;
+    }
+  };
+  struct KeyHash {
+    size_t operator()(const Key& k) const {
+      const uint64_t mix = static_cast<uint64_t>(k.vertex) * 0x9E3779B97F4A7C15ULL ^
+                           (static_cast<uint64_t>(k.fingerprint) << 32);
+      return static_cast<size_t>(mix ^ (mix >> 29));
+    }
+  };
+  using Entry = std::pair<Key, std::vector<float>>;
+
+  const int64_t capacity_;
+  mutable std::mutex mu_;
+  std::list<Entry> lru_;  // front = most recent
+  std::unordered_map<Key, std::list<Entry>::iterator, KeyHash> map_;
+  int64_t hits_ = 0;
+  int64_t misses_ = 0;
+};
+
+}  // namespace serve
+}  // namespace crossem
+
+#endif  // CROSSEM_SERVE_CACHE_H_

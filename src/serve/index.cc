@@ -1,0 +1,679 @@
+#include "serve/index.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <queue>
+
+#include "util/logging.h"
+#include "util/parallel.h"
+
+namespace crossem {
+namespace serve {
+
+namespace {
+
+// -- Record names of an index file -------------------------------------------
+
+constexpr char kRecBackend[] = "index/backend";
+constexpr char kRecDim[] = "index/dim";
+constexpr char kRecFingerprint[] = "index/model_fingerprint";
+constexpr char kRecIds[] = "index/ids";
+constexpr char kRecVectors[] = "index/vectors";
+constexpr char kRecHnswParams[] = "hnsw/params";
+constexpr char kRecHnswLevels[] = "hnsw/levels";
+constexpr char kRecHnswCounts[] = "hnsw/neighbor_counts";
+constexpr char kRecHnswNeighbors[] = "hnsw/neighbors";
+
+// -- Little-endian POD packing into bytes records ----------------------------
+
+template <typename T>
+void PackPod(std::string* out, T v) {
+  out->append(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+template <typename T>
+bool UnpackPod(const std::string& in, size_t* pos, T* v) {
+  if (in.size() - *pos < sizeof(*v)) return false;
+  std::memcpy(v, in.data() + *pos, sizeof(*v));
+  *pos += sizeof(*v);
+  return true;
+}
+
+std::string PackI32Vec(const std::vector<int32_t>& v) {
+  std::string out;
+  out.reserve(v.size() * sizeof(int32_t));
+  for (int32_t x : v) PackPod(&out, x);
+  return out;
+}
+
+bool UnpackI32Vec(const std::string& in, std::vector<int32_t>* v) {
+  if (in.size() % sizeof(int32_t) != 0) return false;
+  v->resize(in.size() / sizeof(int32_t));
+  std::memcpy(v->data(), in.data(), in.size());
+  return true;
+}
+
+Status CorruptIndex(const std::string& path, const std::string& what) {
+  return Status::ParseError("corrupt index '" + path + "': " + what);
+}
+
+Result<const nn::CheckpointRecord*> RequireRecord(
+    const std::map<std::string, const nn::CheckpointRecord*>& by_name,
+    const std::string& name, uint32_t kind, const std::string& path) {
+  auto it = by_name.find(name);
+  if (it == by_name.end() || it->second->kind != kind) {
+    return CorruptIndex(path, "missing record '" + name + "'");
+  }
+  return it->second;
+}
+
+/// splitmix64 — the per-element hash behind deterministic HNSW level
+/// assignment (no shared RNG stream, so levels are independent of both
+/// thread count and Add-call batching).
+uint64_t SplitMix64(uint64_t x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+/// Heap where the BEST candidate (highest similarity, lowest id on
+/// ties) is on top — the expansion frontier.
+struct BestOnTop {
+  bool operator()(const eval::ScoredId& a, const eval::ScoredId& b) const {
+    return !eval::RanksBefore(a, b);
+  }
+};
+
+/// Heap where the WORST kept result is on top — the eviction candidate.
+struct WorstOnTop {
+  bool operator()(const eval::ScoredId& a, const eval::ScoredId& b) const {
+    return eval::RanksBefore(a, b);
+  }
+};
+
+/// Per-thread visited markers reused across searches: stamping instead
+/// of clearing keeps a level-0 beam search allocation-free after warmup.
+struct VisitedSet {
+  std::vector<uint32_t> stamp;
+  uint32_t epoch = 0;
+
+  void Reset(size_t n) {
+    if (stamp.size() < n) stamp.resize(n, 0);
+    if (++epoch == 0) {  // stamp wraparound: clear once every 2^32 uses
+      std::fill(stamp.begin(), stamp.end(), 0);
+      epoch = 1;
+    }
+  }
+  bool Visit(int64_t id) {  // true the first time
+    if (stamp[static_cast<size_t>(id)] == epoch) return false;
+    stamp[static_cast<size_t>(id)] = epoch;
+    return true;
+  }
+};
+
+thread_local VisitedSet t_visited;
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// EmbeddingIndex (shared base)
+// ---------------------------------------------------------------------------
+
+float EmbeddingIndex::Similarity(int64_t id, const float* query) const {
+  const float* row = data_.data() + id * dim_;
+  float dot = 0.0f;
+  for (int64_t d = 0; d < dim_; ++d) dot += row[d] * query[d];
+  return dot;
+}
+
+Status EmbeddingIndex::AppendNormalized(const Tensor& embeddings,
+                                        const std::vector<std::string>& ids,
+                                        int64_t* first) {
+  if (!embeddings.defined() || embeddings.dim() != 2) {
+    return Status::InvalidArgument("embeddings must be a [n, dim] tensor");
+  }
+  const int64_t n = embeddings.size(0);
+  const int64_t dim = embeddings.size(1);
+  if (static_cast<int64_t>(ids.size()) != n) {
+    return Status::InvalidArgument(
+        "got " + std::to_string(ids.size()) + " ids for " + std::to_string(n) +
+        " embeddings");
+  }
+  if (dim_ == 0) {
+    if (dim <= 0) return Status::InvalidArgument("embedding dim must be > 0");
+    dim_ = dim;
+  } else if (dim != dim_) {
+    return Status::InvalidArgument(
+        "embedding dim " + std::to_string(dim) + " does not match index dim " +
+        std::to_string(dim_));
+  }
+  for (const std::string& id : ids) {
+    if (id.find('\n') != std::string::npos) {
+      return Status::InvalidArgument("image id contains a newline: '" + id +
+                                     "'");
+    }
+  }
+  *first = size();
+  data_.resize(data_.size() + static_cast<size_t>(n * dim_));
+  float* dst = data_.data() + *first * dim_;
+  const float* src = embeddings.data();
+  ParallelFor(0, n, /*grain=*/256, [&](int64_t b, int64_t e) {
+    for (int64_t r = b; r < e; ++r) {
+      float norm = 0.0f;
+      for (int64_t d = 0; d < dim_; ++d) {
+        norm += src[r * dim_ + d] * src[r * dim_ + d];
+      }
+      const float inv = 1.0f / std::max(std::sqrt(norm), 1e-12f);
+      for (int64_t d = 0; d < dim_; ++d) {
+        dst[r * dim_ + d] = src[r * dim_ + d] * inv;
+      }
+    }
+  });
+  ids_.insert(ids_.end(), ids.begin(), ids.end());
+  return Status::OK();
+}
+
+Status EmbeddingIndex::Save(const std::string& path) const {
+  std::vector<nn::CheckpointRecord> records;
+  records.push_back(nn::CheckpointRecord::BytesRecord(kRecBackend, backend()));
+  std::string dim_bytes;
+  PackPod(&dim_bytes, dim_);
+  records.push_back(
+      nn::CheckpointRecord::BytesRecord(kRecDim, std::move(dim_bytes)));
+  std::string fp_bytes;
+  PackPod(&fp_bytes, model_fingerprint_);
+  records.push_back(
+      nn::CheckpointRecord::BytesRecord(kRecFingerprint, std::move(fp_bytes)));
+  std::string joined;
+  for (size_t i = 0; i < ids_.size(); ++i) {
+    if (i > 0) joined += '\n';
+    joined += ids_[i];
+  }
+  records.push_back(
+      nn::CheckpointRecord::BytesRecord(kRecIds, std::move(joined)));
+  records.push_back(nn::CheckpointRecord::TensorRecord(
+      kRecVectors, {size(), dim_}, data_));
+  AppendExtraRecords(&records);
+  return nn::SaveRecordFile(records, path);
+}
+
+Result<std::unique_ptr<EmbeddingIndex>> EmbeddingIndex::Load(
+    const std::string& path) {
+  std::vector<nn::CheckpointRecord> records;
+  CROSSEM_RETURN_NOT_OK(nn::LoadRecordFile(path, &records));
+  std::map<std::string, const nn::CheckpointRecord*> by_name;
+  for (const nn::CheckpointRecord& r : records) by_name.emplace(r.name, &r);
+
+  const nn::CheckpointRecord* r;
+  CROSSEM_ASSIGN_OR_RETURN(
+      r, RequireRecord(by_name, kRecBackend, nn::kRecordBytes, path));
+  const std::string backend = r->bytes;
+  std::unique_ptr<EmbeddingIndex> index;
+  if (backend == "flat") {
+    index = std::make_unique<FlatIndex>();
+  } else if (backend == "hnsw") {
+    index = std::make_unique<HnswIndex>();
+  } else {
+    return CorruptIndex(path, "unknown backend '" + backend + "'");
+  }
+
+  CROSSEM_ASSIGN_OR_RETURN(
+      r, RequireRecord(by_name, kRecDim, nn::kRecordBytes, path));
+  size_t pos = 0;
+  if (!UnpackPod(r->bytes, &pos, &index->dim_) || index->dim_ <= 0) {
+    return CorruptIndex(path, "bad dim");
+  }
+  CROSSEM_ASSIGN_OR_RETURN(
+      r, RequireRecord(by_name, kRecFingerprint, nn::kRecordBytes, path));
+  pos = 0;
+  if (!UnpackPod(r->bytes, &pos, &index->model_fingerprint_)) {
+    return CorruptIndex(path, "bad fingerprint");
+  }
+  CROSSEM_ASSIGN_OR_RETURN(
+      r, RequireRecord(by_name, kRecVectors, nn::kRecordTensor, path));
+  if (r->shape.size() != 2 || r->shape[1] != index->dim_) {
+    return CorruptIndex(path, "bad vector shape");
+  }
+  const int64_t n = r->shape[0];
+  index->data_ = r->f32;
+  CROSSEM_ASSIGN_OR_RETURN(
+      r, RequireRecord(by_name, kRecIds, nn::kRecordBytes, path));
+  if (n > 0) {
+    size_t start = 0;
+    const std::string& joined = r->bytes;
+    for (;;) {
+      const size_t nl = joined.find('\n', start);
+      index->ids_.push_back(joined.substr(
+          start, nl == std::string::npos ? std::string::npos : nl - start));
+      if (nl == std::string::npos) break;
+      start = nl + 1;
+    }
+  } else if (!r->bytes.empty()) {
+    return CorruptIndex(path, "ids for an empty index");
+  }
+  if (static_cast<int64_t>(index->ids_.size()) != n) {
+    return CorruptIndex(
+        path, "id count " + std::to_string(index->ids_.size()) +
+                  " does not match vector count " + std::to_string(n));
+  }
+  CROSSEM_RETURN_NOT_OK(index->RestoreExtra(by_name, path));
+  return index;
+}
+
+// ---------------------------------------------------------------------------
+// FlatIndex
+// ---------------------------------------------------------------------------
+
+Status FlatIndex::Add(const Tensor& embeddings,
+                      const std::vector<std::string>& ids) {
+  int64_t first = 0;
+  return AppendNormalized(embeddings, ids, &first);
+}
+
+std::vector<eval::ScoredId> FlatIndex::Search(const float* query,
+                                              int64_t k) const {
+  const int64_t n = size();
+  if (n == 0 || k <= 0) return {};
+  // Chunked exact scan: per-chunk top-k via the shared kernel, merged in
+  // ascending chunk order — deterministic at any thread count.
+  constexpr int64_t kGrain = 2048;
+  const int64_t chunks = NumChunks(0, n, kGrain);
+  std::vector<std::vector<eval::ScoredId>> parts(
+      static_cast<size_t>(chunks));
+  ParallelForChunks(0, n, kGrain, [&](int64_t c, int64_t b, int64_t e) {
+    std::vector<float> sims(static_cast<size_t>(e - b));
+    for (int64_t i = b; i < e; ++i) {
+      sims[static_cast<size_t>(i - b)] = Similarity(i, query);
+    }
+    std::vector<eval::ScoredId> top =
+        eval::TopK(sims.data(), e - b, std::min(k, e - b));
+    for (eval::ScoredId& s : top) s.id += b;
+    parts[static_cast<size_t>(c)] = std::move(top);
+  });
+  return eval::MergeTopK(parts, k);
+}
+
+void FlatIndex::AppendExtraRecords(std::vector<nn::CheckpointRecord>*) const {}
+
+Status FlatIndex::RestoreExtra(
+    const std::map<std::string, const nn::CheckpointRecord*>&,
+    const std::string&) {
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// HnswIndex
+// ---------------------------------------------------------------------------
+
+HnswIndex::HnswIndex(HnswOptions options) : options_(options) {
+  CROSSEM_CHECK_GE(options_.M, 2);
+  CROSSEM_CHECK_GE(options_.ef_construction, 1);
+  CROSSEM_CHECK_GE(options_.ef_search, 1);
+  CROSSEM_CHECK_GE(options_.build_batch, 1);
+}
+
+const std::vector<int32_t>& HnswIndex::neighbors(int64_t id) const {
+  CROSSEM_CHECK_GE(id, 0);
+  CROSSEM_CHECK_LT(id, static_cast<int64_t>(nodes_.size()));
+  return nodes_[static_cast<size_t>(id)].neighbors[0];
+}
+
+int64_t HnswIndex::LevelFor(int64_t id) const {
+  const uint64_t h =
+      SplitMix64(options_.seed ^ (static_cast<uint64_t>(id) *
+                                  0x9E3779B97F4A7C15ULL));
+  // u in (0, 1]: never 0, so log(u) is finite.
+  const double u =
+      (static_cast<double>(h >> 11) + 1.0) / 9007199254740993.0;
+  const double mult = 1.0 / std::log(static_cast<double>(options_.M));
+  const int64_t level = static_cast<int64_t>(-std::log(u) * mult);
+  return std::min<int64_t>(level, 30);
+}
+
+int64_t HnswIndex::MaxNeighbors(int64_t level) const {
+  return level == 0 ? 2 * options_.M : options_.M;
+}
+
+int64_t HnswIndex::GreedyDescend(const float* query, int64_t entry,
+                                 int64_t from, int64_t to) const {
+  int64_t cur = entry;
+  float cur_sim = Similarity(cur, query);
+  for (int64_t level = from; level > to; --level) {
+    for (bool improved = true; improved;) {
+      improved = false;
+      for (int32_t nb :
+           nodes_[static_cast<size_t>(cur)].neighbors[static_cast<size_t>(
+               level)]) {
+        const float sim = Similarity(nb, query);
+        // Strictly-greater moves only: ties keep the current node, so
+        // the walk is deterministic.
+        if (sim > cur_sim) {
+          cur = nb;
+          cur_sim = sim;
+          improved = true;
+        }
+      }
+    }
+  }
+  return cur;
+}
+
+std::vector<eval::ScoredId> HnswIndex::SearchLayer(const float* query,
+                                                   int64_t entry, int64_t ef,
+                                                   int64_t level) const {
+  VisitedSet& visited = t_visited;
+  visited.Reset(nodes_.size());
+  visited.Visit(entry);
+
+  std::priority_queue<eval::ScoredId, std::vector<eval::ScoredId>, BestOnTop>
+      frontier;
+  std::priority_queue<eval::ScoredId, std::vector<eval::ScoredId>, WorstOnTop>
+      results;
+  const eval::ScoredId seed{entry, Similarity(entry, query)};
+  frontier.push(seed);
+  results.push(seed);
+
+  while (!frontier.empty()) {
+    const eval::ScoredId cand = frontier.top();
+    frontier.pop();
+    if (static_cast<int64_t>(results.size()) >= ef &&
+        eval::RanksBefore(results.top(), cand)) {
+      break;  // every kept result beats the best unexpanded candidate
+    }
+    for (int32_t nb : nodes_[static_cast<size_t>(cand.id)]
+                          .neighbors[static_cast<size_t>(level)]) {
+      if (!visited.Visit(nb)) continue;
+      const eval::ScoredId next{nb, Similarity(nb, query)};
+      if (static_cast<int64_t>(results.size()) < ef ||
+          eval::RanksBefore(next, results.top())) {
+        frontier.push(next);
+        results.push(next);
+        if (static_cast<int64_t>(results.size()) > ef) results.pop();
+      }
+    }
+  }
+  std::vector<eval::ScoredId> out(results.size());
+  for (size_t i = out.size(); i > 0; --i) {
+    out[i - 1] = results.top();
+    results.pop();
+  }
+  return out;
+}
+
+std::vector<int32_t> HnswIndex::SelectDiverse(
+    const std::vector<eval::ScoredId>& sorted, int64_t max) const {
+  // Walk candidates best first, keep one only if it is closer to the base
+  // point than to any already-kept neighbor — spreads edges across
+  // directions instead of clustering them around one hub. Rejected
+  // candidates backfill leftover slots in closest-first order so nodes
+  // never end up under-connected (keep-pruned-connections).
+  std::vector<int32_t> chosen;
+  std::vector<int32_t> rejected;
+  for (const eval::ScoredId& cand : sorted) {
+    if (static_cast<int64_t>(chosen.size()) >= max) break;
+    bool diverse = true;
+    for (int32_t kept : chosen) {
+      if (Similarity(cand.id, vector(kept)) > cand.score) {
+        diverse = false;
+        break;
+      }
+    }
+    if (diverse) {
+      chosen.push_back(static_cast<int32_t>(cand.id));
+    } else {
+      rejected.push_back(static_cast<int32_t>(cand.id));
+    }
+  }
+  for (size_t i = 0;
+       i < rejected.size() && static_cast<int64_t>(chosen.size()) < max;
+       ++i) {
+    chosen.push_back(rejected[i]);
+  }
+  return chosen;
+}
+
+void HnswIndex::Link(int64_t id,
+                     const std::vector<std::vector<eval::ScoredId>>& cands) {
+  Node& node = nodes_[static_cast<size_t>(id)];
+  for (int64_t level = 0; level <= node.level; ++level) {
+    if (static_cast<size_t>(level) >= cands.size() ||
+        cands[static_cast<size_t>(level)].empty()) {
+      continue;  // above the old top level: no peers yet
+    }
+    std::vector<int32_t>& chosen =
+        node.neighbors[static_cast<size_t>(level)];
+    chosen = SelectDiverse(cands[static_cast<size_t>(level)], options_.M);
+    // Bidirectional links; overflowing neighbor lists re-run the same
+    // diversity heuristic over their candidates (ties toward lower id —
+    // deterministic), mirroring the forward selection.
+    for (int32_t nb : chosen) {
+      Node& other = nodes_[static_cast<size_t>(nb)];
+      std::vector<int32_t>& list =
+          other.neighbors[static_cast<size_t>(level)];
+      list.push_back(static_cast<int32_t>(id));
+      const int64_t max = MaxNeighbors(level);
+      if (static_cast<int64_t>(list.size()) > max) {
+        const float* base = vector(nb);
+        std::vector<eval::ScoredId> scored;
+        scored.reserve(list.size());
+        for (int32_t x : list) scored.push_back({x, Similarity(x, base)});
+        std::sort(scored.begin(), scored.end(), eval::RanksBefore);
+        list = SelectDiverse(scored, max);
+      }
+    }
+  }
+  if (node.level > max_level_) {
+    max_level_ = node.level;
+    entry_point_ = id;
+  }
+}
+
+Status HnswIndex::Add(const Tensor& embeddings,
+                      const std::vector<std::string>& ids) {
+  int64_t first = 0;
+  CROSSEM_RETURN_NOT_OK(AppendNormalized(embeddings, ids, &first));
+  const int64_t total = size();
+  nodes_.resize(static_cast<size_t>(total));
+  for (int64_t id = first; id < total; ++id) {
+    Node& node = nodes_[static_cast<size_t>(id)];
+    node.level = static_cast<int32_t>(LevelFor(id));
+    node.neighbors.assign(static_cast<size_t>(node.level) + 1, {});
+  }
+
+  // Candidate lists for one element against the CURRENT graph (read-only).
+  auto search_candidates =
+      [&](int64_t id) -> std::vector<std::vector<eval::ScoredId>> {
+    const float* q = vector(id);
+    const int64_t node_level = nodes_[static_cast<size_t>(id)].level;
+    std::vector<std::vector<eval::ScoredId>> cands(
+        static_cast<size_t>(node_level) + 1);
+    if (entry_point_ < 0) return cands;
+    int64_t entry =
+        GreedyDescend(q, entry_point_, max_level_, node_level);
+    for (int64_t level = std::min(node_level, max_level_); level >= 0;
+         --level) {
+      cands[static_cast<size_t>(level)] =
+          SearchLayer(q, entry, options_.ef_construction, level);
+      entry = cands[static_cast<size_t>(level)].front().id;
+    }
+    return cands;
+  };
+
+  int64_t id = first;
+  // Bootstrap the first elements of an empty graph sequentially so the
+  // initial batch is mutually connected (a parallel first batch would
+  // search an empty graph and link to nothing).
+  if (entry_point_ < 0) {
+    const int64_t boot = std::min(total, first + options_.build_batch);
+    for (; id < boot; ++id) Link(id, search_candidates(id));
+  }
+
+  // Batched construction: each batch's searches run in parallel against
+  // the pre-batch graph (frozen during the phase), then linking applies
+  // sequentially in ascending id order. The batch decomposition depends
+  // only on (first, total, build_batch), never the thread count, so the
+  // built graph is bitwise-identical on 1 thread or 64.
+  for (; id < total; id += options_.build_batch) {
+    const int64_t batch_end = std::min(total, id + options_.build_batch);
+    std::vector<std::vector<std::vector<eval::ScoredId>>> batch_cands(
+        static_cast<size_t>(batch_end - id));
+    ParallelFor(id, batch_end, /*grain=*/1, [&](int64_t b, int64_t e) {
+      for (int64_t x = b; x < e; ++x) {
+        batch_cands[static_cast<size_t>(x - id)] = search_candidates(x);
+      }
+    });
+    for (int64_t x = id; x < batch_end; ++x) {
+      // The frozen-graph searches above cannot see batch members, so
+      // without augmentation no edge would ever form inside a batch and
+      // recall would degrade as build_batch grows. Merge the already
+      // linked earlier members of this batch (ids [id, x)) into the
+      // candidate lists before linking — still sequential ascending id,
+      // so the graph stays independent of the thread count.
+      std::vector<std::vector<eval::ScoredId>>& cands =
+          batch_cands[static_cast<size_t>(x - id)];
+      const float* q = vector(x);
+      const int64_t x_level = nodes_[static_cast<size_t>(x)].level;
+      for (int64_t level = 0; level <= x_level; ++level) {
+        std::vector<eval::ScoredId>& list =
+            cands[static_cast<size_t>(level)];
+        bool added = false;
+        for (int64_t y = id; y < x; ++y) {
+          if (nodes_[static_cast<size_t>(y)].level < level) continue;
+          list.push_back({y, Similarity(y, q)});
+          added = true;
+        }
+        if (added) {
+          std::sort(list.begin(), list.end(), eval::RanksBefore);
+          if (static_cast<int64_t>(list.size()) > options_.ef_construction) {
+            list.resize(static_cast<size_t>(options_.ef_construction));
+          }
+        }
+      }
+      Link(x, cands);
+    }
+  }
+  return Status::OK();
+}
+
+std::vector<eval::ScoredId> HnswIndex::Search(const float* query,
+                                              int64_t k) const {
+  if (entry_point_ < 0 || k <= 0) return {};
+  const int64_t entry = GreedyDescend(query, entry_point_, max_level_, 0);
+  std::vector<eval::ScoredId> beam =
+      SearchLayer(query, entry, std::max(options_.ef_search, k), 0);
+  if (static_cast<int64_t>(beam.size()) > k) {
+    beam.resize(static_cast<size_t>(k));
+  }
+  return beam;
+}
+
+void HnswIndex::AppendExtraRecords(
+    std::vector<nn::CheckpointRecord>* out) const {
+  std::string params;
+  PackPod(&params, options_.M);
+  PackPod(&params, options_.ef_construction);
+  PackPod(&params, options_.ef_search);
+  PackPod(&params, options_.seed);
+  PackPod(&params, options_.build_batch);
+  PackPod(&params, entry_point_);
+  PackPod(&params, max_level_);
+  out->push_back(
+      nn::CheckpointRecord::BytesRecord(kRecHnswParams, std::move(params)));
+
+  std::vector<int32_t> levels, counts, flat;
+  levels.reserve(nodes_.size());
+  for (const Node& node : nodes_) {
+    levels.push_back(node.level);
+    for (const std::vector<int32_t>& list : node.neighbors) {
+      counts.push_back(static_cast<int32_t>(list.size()));
+      flat.insert(flat.end(), list.begin(), list.end());
+    }
+  }
+  out->push_back(
+      nn::CheckpointRecord::BytesRecord(kRecHnswLevels, PackI32Vec(levels)));
+  out->push_back(
+      nn::CheckpointRecord::BytesRecord(kRecHnswCounts, PackI32Vec(counts)));
+  out->push_back(
+      nn::CheckpointRecord::BytesRecord(kRecHnswNeighbors, PackI32Vec(flat)));
+}
+
+Status HnswIndex::RestoreExtra(
+    const std::map<std::string, const nn::CheckpointRecord*>& by_name,
+    const std::string& path) {
+  const nn::CheckpointRecord* r;
+  CROSSEM_ASSIGN_OR_RETURN(
+      r, RequireRecord(by_name, kRecHnswParams, nn::kRecordBytes, path));
+  size_t pos = 0;
+  if (!UnpackPod(r->bytes, &pos, &options_.M) ||
+      !UnpackPod(r->bytes, &pos, &options_.ef_construction) ||
+      !UnpackPod(r->bytes, &pos, &options_.ef_search) ||
+      !UnpackPod(r->bytes, &pos, &options_.seed) ||
+      !UnpackPod(r->bytes, &pos, &options_.build_batch) ||
+      !UnpackPod(r->bytes, &pos, &entry_point_) ||
+      !UnpackPod(r->bytes, &pos, &max_level_) || options_.M < 2 ||
+      options_.ef_construction < 1 || options_.ef_search < 1 ||
+      options_.build_batch < 1) {
+    return CorruptIndex(path, "bad hnsw params");
+  }
+  const int64_t n = size();
+  if (entry_point_ < -1 || entry_point_ >= n ||
+      (n > 0) != (entry_point_ >= 0)) {
+    return CorruptIndex(path, "bad hnsw entry point");
+  }
+
+  std::vector<int32_t> levels, counts, flat;
+  CROSSEM_ASSIGN_OR_RETURN(
+      r, RequireRecord(by_name, kRecHnswLevels, nn::kRecordBytes, path));
+  if (!UnpackI32Vec(r->bytes, &levels) ||
+      static_cast<int64_t>(levels.size()) != n) {
+    return CorruptIndex(path, "bad hnsw levels");
+  }
+  CROSSEM_ASSIGN_OR_RETURN(
+      r, RequireRecord(by_name, kRecHnswCounts, nn::kRecordBytes, path));
+  if (!UnpackI32Vec(r->bytes, &counts)) {
+    return CorruptIndex(path, "bad hnsw neighbor counts");
+  }
+  CROSSEM_ASSIGN_OR_RETURN(
+      r, RequireRecord(by_name, kRecHnswNeighbors, nn::kRecordBytes, path));
+  if (!UnpackI32Vec(r->bytes, &flat)) {
+    return CorruptIndex(path, "bad hnsw neighbors");
+  }
+
+  nodes_.assign(static_cast<size_t>(n), {});
+  size_t count_pos = 0;
+  size_t flat_pos = 0;
+  for (int64_t i = 0; i < n; ++i) {
+    Node& node = nodes_[static_cast<size_t>(i)];
+    node.level = levels[static_cast<size_t>(i)];
+    if (node.level < 0 || node.level > max_level_) {
+      return CorruptIndex(path, "bad hnsw node level");
+    }
+    node.neighbors.resize(static_cast<size_t>(node.level) + 1);
+    for (std::vector<int32_t>& list : node.neighbors) {
+      if (count_pos >= counts.size()) {
+        return CorruptIndex(path, "truncated hnsw neighbor counts");
+      }
+      const int32_t cnt = counts[count_pos++];
+      if (cnt < 0 || flat_pos + static_cast<size_t>(cnt) > flat.size()) {
+        return CorruptIndex(path, "truncated hnsw neighbors");
+      }
+      list.assign(flat.begin() + static_cast<int64_t>(flat_pos),
+                  flat.begin() + static_cast<int64_t>(flat_pos) + cnt);
+      flat_pos += static_cast<size_t>(cnt);
+      for (int32_t nb : list) {
+        if (nb < 0 || nb >= n || nb == i) {
+          return CorruptIndex(path, "hnsw neighbor id out of range");
+        }
+      }
+    }
+  }
+  if (count_pos != counts.size() || flat_pos != flat.size()) {
+    return CorruptIndex(path, "hnsw graph has trailing data");
+  }
+  return Status::OK();
+}
+
+}  // namespace serve
+}  // namespace crossem

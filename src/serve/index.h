@@ -1,0 +1,194 @@
+// Embedding indexes for online matching: top-k nearest neighbors over
+// the frozen EncodeImages output under the cosine metric.
+//
+// Two interchangeable backends:
+//   - FlatIndex: exact chunked scan (ParallelFor + the shared top-k
+//     kernel). The recall baseline and the small-repository default.
+//   - HnswIndex: a Hierarchical Navigable Small World graph. Insertion
+//     order is fixed and batched: each batch first runs its neighbor
+//     searches against the pre-batch graph in parallel, then links
+//     sequentially in ascending id order — so the built graph is
+//     bitwise-identical at any thread count (the PR-1 determinism
+//     contract), at a small recall cost versus pure sequential
+//     insertion.
+//
+// Vectors are L2-normalized on Add (cosine == dot). Both backends
+// serialize through the CEMCKPT2 record layer (nn/serialize.h): CRC-32
+// checked, atomically written, corrupt files rejected wholesale. Index
+// files carry the fingerprint of the model that produced the embeddings
+// so a retuned model cannot silently query a stale index.
+#ifndef CROSSEM_SERVE_INDEX_H_
+#define CROSSEM_SERVE_INDEX_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "eval/topk.h"
+#include "nn/serialize.h"
+#include "tensor/tensor.h"
+#include "util/status.h"
+
+namespace crossem {
+namespace serve {
+
+/// Abstract top-k retrieval over a repository of embeddings.
+class EmbeddingIndex {
+ public:
+  virtual ~EmbeddingIndex() = default;
+
+  /// Appends `embeddings` ([n, dim], any L2 norm; normalized copies are
+  /// stored) with their external string ids. The first Add fixes dim.
+  virtual Status Add(const Tensor& embeddings,
+                     const std::vector<std::string>& ids) = 0;
+
+  /// The k nearest stored vectors to `query` (length dim()) by cosine
+  /// similarity, best first. Deterministic at any thread count.
+  virtual std::vector<eval::ScoredId> Search(const float* query,
+                                             int64_t k) const = 0;
+
+  /// "flat" or "hnsw" (the token --backend accepts and files record).
+  virtual std::string backend() const = 0;
+
+  int64_t size() const { return static_cast<int64_t>(ids_.size()); }
+  int64_t dim() const { return dim_; }
+  const std::vector<std::string>& ids() const { return ids_; }
+
+  /// Fingerprint of the model whose EncodeImages built this index
+  /// (0 until set; persisted by Save, restored by Load).
+  uint32_t model_fingerprint() const { return model_fingerprint_; }
+  void set_model_fingerprint(uint32_t fp) { model_fingerprint_ = fp; }
+
+  /// Row pointer into the normalized stored vectors.
+  const float* vector(int64_t id) const { return data_.data() + id * dim_; }
+
+  /// Writes the index as one atomic CEMCKPT2 file.
+  Status Save(const std::string& path) const;
+
+  /// Loads an index file written by Save, dispatching on the recorded
+  /// backend. Corruption or a malformed record set fails without
+  /// returning a partially-built index.
+  static Result<std::unique_ptr<EmbeddingIndex>> Load(const std::string& path);
+
+ protected:
+  /// Validates/normalizes `embeddings` into data_ and appends ids;
+  /// returns the id of the first appended row via `first`.
+  Status AppendNormalized(const Tensor& embeddings,
+                          const std::vector<std::string>& ids, int64_t* first);
+
+  /// Cosine similarity (dot of normalized rows) of stored row `id` and
+  /// an external query of length dim_.
+  float Similarity(int64_t id, const float* query) const;
+
+  /// Backend-specific records appended to Save's common set.
+  virtual void AppendExtraRecords(
+      std::vector<nn::CheckpointRecord>* out) const = 0;
+
+  /// Restores backend state from a loaded file's records (by name).
+  /// The base fields (vectors, ids, fingerprint) are already populated.
+  virtual Status RestoreExtra(
+      const std::map<std::string, const nn::CheckpointRecord*>& by_name,
+      const std::string& path) = 0;
+
+  int64_t dim_ = 0;
+  std::vector<float> data_;          // [size, dim], L2-normalized rows
+  std::vector<std::string> ids_;     // external image ids, row order
+  uint32_t model_fingerprint_ = 0;
+};
+
+/// Exact brute-force backend.
+class FlatIndex : public EmbeddingIndex {
+ public:
+  Status Add(const Tensor& embeddings,
+             const std::vector<std::string>& ids) override;
+  std::vector<eval::ScoredId> Search(const float* query,
+                                     int64_t k) const override;
+  std::string backend() const override { return "flat"; }
+
+ protected:
+  void AppendExtraRecords(
+      std::vector<nn::CheckpointRecord>* out) const override;
+  Status RestoreExtra(
+      const std::map<std::string, const nn::CheckpointRecord*>& by_name,
+      const std::string& path) override;
+};
+
+/// HNSW construction/search parameters.
+struct HnswOptions {
+  /// Max neighbors per node per layer (level 0 keeps 2*M).
+  int64_t M = 16;
+  /// Beam width while inserting.
+  int64_t ef_construction = 128;
+  /// Beam width while searching (raised to k when smaller).
+  int64_t ef_search = 64;
+  /// Level-assignment hash seed: part of the index identity — two
+  /// builds agree iff seed, options and insertion order agree.
+  uint64_t seed = 0x5eed5eed;
+  /// Elements per construction batch; batch boundaries are fixed by
+  /// element count alone, so they never depend on the thread count.
+  int64_t build_batch = 64;
+};
+
+/// Approximate backend: HNSW graph over the stored vectors.
+class HnswIndex : public EmbeddingIndex {
+ public:
+  explicit HnswIndex(HnswOptions options = {});
+
+  Status Add(const Tensor& embeddings,
+             const std::vector<std::string>& ids) override;
+  std::vector<eval::ScoredId> Search(const float* query,
+                                     int64_t k) const override;
+  std::string backend() const override { return "hnsw"; }
+
+  const HnswOptions& options() const { return options_; }
+  /// Level-0 neighbor list of a node (determinism tests compare these).
+  const std::vector<int32_t>& neighbors(int64_t id) const;
+  int64_t max_level() const { return max_level_; }
+
+ protected:
+  void AppendExtraRecords(
+      std::vector<nn::CheckpointRecord>* out) const override;
+  Status RestoreExtra(
+      const std::map<std::string, const nn::CheckpointRecord*>& by_name,
+      const std::string& path) override;
+
+ private:
+  struct Node {
+    int32_t level = 0;
+    /// neighbors[l] for l in [0, level]; capped at 2*M on level 0 and M
+    /// above.
+    std::vector<std::vector<int32_t>> neighbors;
+  };
+
+  int64_t LevelFor(int64_t id) const;
+  int64_t MaxNeighbors(int64_t level) const;
+
+  /// Greedy single-best descent through [level_from, level_to).
+  int64_t GreedyDescend(const float* query, int64_t entry, int64_t from,
+                        int64_t to) const;
+
+  /// Beam search at one level; returns up to `ef` candidates best first.
+  std::vector<eval::ScoredId> SearchLayer(const float* query, int64_t entry,
+                                          int64_t ef, int64_t level) const;
+
+  /// Links `id` into the graph given its per-level candidate lists.
+  void Link(int64_t id, const std::vector<std::vector<eval::ScoredId>>& cands);
+
+  // HNSW Alg. 4 over a best-first-sorted candidate list: keep a candidate
+  // only if it is closer to the base vector than to any already-kept
+  // neighbor, then fill leftover slots with the closest rejected ones.
+  std::vector<int32_t> SelectDiverse(const std::vector<eval::ScoredId>& sorted,
+                                     int64_t max) const;
+
+  HnswOptions options_;
+  std::vector<Node> nodes_;
+  int64_t entry_point_ = -1;
+  int64_t max_level_ = -1;
+};
+
+}  // namespace serve
+}  // namespace crossem
+
+#endif  // CROSSEM_SERVE_INDEX_H_

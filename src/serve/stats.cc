@@ -1,0 +1,123 @@
+#include "serve/stats.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace crossem {
+namespace serve {
+
+namespace {
+
+/// Bucket index for a value: floor(log2(v)) clamped to the table.
+int BucketFor(int64_t value) {
+  if (value < 1) return 0;
+  int b = 0;
+  while (value > 1 && b < Histogram::kBuckets - 1) {
+    value >>= 1;
+    ++b;
+  }
+  return b;
+}
+
+}  // namespace
+
+void Histogram::Record(int64_t value) {
+  ++buckets_[BucketFor(value)];
+  ++count_;
+  sum_ += value;
+  max_ = std::max(max_, value);
+}
+
+int64_t Histogram::Percentile(double q) const {
+  if (count_ == 0) return 0;
+  q = std::min(std::max(q, 0.0), 1.0);
+  // Rank of the q-quantile observation (1-based, ceiling).
+  const int64_t rank =
+      std::max<int64_t>(1, static_cast<int64_t>(q * static_cast<double>(count_) + 0.9999999));
+  int64_t seen = 0;
+  for (int b = 0; b < kBuckets; ++b) {
+    seen += buckets_[b];
+    if (seen >= rank) {
+      // Upper bound of bucket b, capped by the true max.
+      return std::min((int64_t{1} << (b + 1)) - 1, max_);
+    }
+  }
+  return max_;
+}
+
+double Histogram::Mean() const {
+  return count_ == 0 ? 0.0 : static_cast<double>(sum_) / static_cast<double>(count_);
+}
+
+void StatsCollector::RecordReceived() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++counters_.received;
+}
+
+void StatsCollector::RecordRejectedQueueFull() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++counters_.rejected_queue_full;
+}
+
+void StatsCollector::RecordRejectedShutdown() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++counters_.rejected_shutdown;
+}
+
+void StatsCollector::RecordExpired() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++counters_.expired_deadline;
+}
+
+void StatsCollector::RecordBatch(int64_t batch_size, int64_t cache_hits,
+                                 int64_t cache_misses) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++counters_.batches;
+  counters_.cache_hits += cache_hits;
+  counters_.cache_misses += cache_misses;
+  batch_sizes_.Record(batch_size);
+}
+
+void StatsCollector::RecordCompleted(int64_t latency_us) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++counters_.completed;
+  latency_us_.Record(latency_us);
+}
+
+ServiceStats StatsCollector::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  ServiceStats s = counters_;
+  s.batch_size_p50 = batch_sizes_.Percentile(0.50);
+  s.batch_size_p99 = batch_sizes_.Percentile(0.99);
+  s.batch_size_mean = batch_sizes_.Mean();
+  s.latency_p50_us = latency_us_.Percentile(0.50);
+  s.latency_p99_us = latency_us_.Percentile(0.99);
+  s.latency_max_us = latency_us_.max();
+  s.latency_mean_us = latency_us_.Mean();
+  return s;
+}
+
+std::string ServiceStats::ToString() const {
+  char buf[512];
+  std::snprintf(
+      buf, sizeof(buf),
+      "requests=%lld completed=%lld rejected(queue=%lld, shutdown=%lld) "
+      "expired=%lld batches=%lld batch_size(mean=%.1f, p50=%lld, p99=%lld) "
+      "cache(hits=%lld, misses=%lld, rate=%.2f) "
+      "latency_us(mean=%.0f, p50=%lld, p99=%lld, max=%lld)",
+      static_cast<long long>(received), static_cast<long long>(completed),
+      static_cast<long long>(rejected_queue_full),
+      static_cast<long long>(rejected_shutdown),
+      static_cast<long long>(expired_deadline),
+      static_cast<long long>(batches), batch_size_mean,
+      static_cast<long long>(batch_size_p50),
+      static_cast<long long>(batch_size_p99),
+      static_cast<long long>(cache_hits), static_cast<long long>(cache_misses),
+      CacheHitRate(), latency_mean_us, static_cast<long long>(latency_p50_us),
+      static_cast<long long>(latency_p99_us),
+      static_cast<long long>(latency_max_us));
+  return buf;
+}
+
+}  // namespace serve
+}  // namespace crossem

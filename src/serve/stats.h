@@ -1,0 +1,94 @@
+// Service observability: counters plus log-bucketed histograms with
+// percentile readout. The seed of the serving observability layer — a
+// MatchService keeps one StatsCollector and hands out immutable
+// ServiceStats snapshots, so monitoring never blocks the data path for
+// longer than a mutex-protected bucket increment.
+#ifndef CROSSEM_SERVE_STATS_H_
+#define CROSSEM_SERVE_STATS_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace crossem {
+namespace serve {
+
+/// Fixed log2-bucketed histogram: bucket i counts values in
+/// [2^i, 2^{i+1}) (bucket 0 additionally takes values < 1). Percentiles
+/// are read out at bucket upper bounds, so a reported p99 is an upper
+/// bound within 2x of the true value — plenty for latency monitoring.
+class Histogram {
+ public:
+  static constexpr int kBuckets = 40;  // covers > 10^11 units
+
+  void Record(int64_t value);
+  int64_t count() const { return count_; }
+  int64_t sum() const { return sum_; }
+  int64_t max() const { return max_; }
+  /// Upper bound of the bucket holding quantile q in [0, 1]; 0 when empty.
+  int64_t Percentile(double q) const;
+  double Mean() const;
+
+ private:
+  int64_t buckets_[kBuckets] = {};
+  int64_t count_ = 0;
+  int64_t sum_ = 0;
+  int64_t max_ = 0;
+};
+
+/// Immutable stats snapshot (all counters since service start).
+struct ServiceStats {
+  int64_t received = 0;          // requests accepted into the queue
+  int64_t rejected_queue_full = 0;
+  int64_t rejected_shutdown = 0;
+  int64_t expired_deadline = 0;  // dequeued after their deadline
+  int64_t completed = 0;
+  int64_t batches = 0;
+  int64_t cache_hits = 0;
+  int64_t cache_misses = 0;
+
+  /// Micro-batch sizes (requests per EncodeVertices call).
+  int64_t batch_size_p50 = 0;
+  int64_t batch_size_p99 = 0;
+  double batch_size_mean = 0.0;
+
+  /// End-to-end request latency, submit to completion, microseconds.
+  int64_t latency_p50_us = 0;
+  int64_t latency_p99_us = 0;
+  int64_t latency_max_us = 0;
+  double latency_mean_us = 0.0;
+
+  double CacheHitRate() const {
+    const int64_t total = cache_hits + cache_misses;
+    return total == 0 ? 0.0 : static_cast<double>(cache_hits) / total;
+  }
+
+  /// One-line human-readable rendering (CLI / logs).
+  std::string ToString() const;
+};
+
+/// Mutex-protected accumulator behind ServiceStats.
+class StatsCollector {
+ public:
+  void RecordReceived();
+  void RecordRejectedQueueFull();
+  void RecordRejectedShutdown();
+  void RecordExpired();
+  void RecordBatch(int64_t batch_size, int64_t cache_hits,
+                   int64_t cache_misses);
+  void RecordCompleted(int64_t latency_us);
+
+  ServiceStats Snapshot() const;
+
+ private:
+  mutable std::mutex mu_;
+  ServiceStats counters_;
+  Histogram batch_sizes_;
+  Histogram latency_us_;
+};
+
+}  // namespace serve
+}  // namespace crossem
+
+#endif  // CROSSEM_SERVE_STATS_H_

@@ -23,6 +23,8 @@ enum class StatusCode {
   kParseError = 6,
   kInternal = 7,
   kNotImplemented = 8,
+  kUnavailable = 9,       // transient overload; the caller may retry later
+  kDeadlineExceeded = 10,
 };
 
 /// Returns a short human-readable name for `code` ("OK", "Invalid argument", ...).
@@ -61,6 +63,12 @@ class Status {
   }
   static Status NotImplemented(std::string msg) {
     return Status(StatusCode::kNotImplemented, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

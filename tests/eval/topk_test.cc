@@ -1,0 +1,90 @@
+// The shared deterministic ranking kernel: total order, heap selection,
+// merge, and agreement with a naive argmax scan (the contract that let
+// FindMatches/FindMutualMatches move onto it bitwise-unchanged).
+#include "eval/topk.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "tensor/tensor.h"
+
+namespace crossem {
+namespace eval {
+namespace {
+
+TEST(TopKTest, OrdersByScoreThenLowerId) {
+  const std::vector<float> scores = {0.5f, 0.9f, 0.9f, 0.1f, 0.9f};
+  auto top = TopK(scores.data(), 5, 4);
+  ASSERT_EQ(top.size(), 4u);
+  // Three-way tie at 0.9 resolves toward lower ids.
+  EXPECT_EQ(top[0].id, 1);
+  EXPECT_EQ(top[1].id, 2);
+  EXPECT_EQ(top[2].id, 4);
+  EXPECT_EQ(top[3].id, 0);
+}
+
+TEST(TopKTest, KLargerThanNReturnsAll) {
+  const std::vector<float> scores = {3.0f, 1.0f, 2.0f};
+  auto top = TopK(scores.data(), 3, 10);
+  ASSERT_EQ(top.size(), 3u);
+  EXPECT_EQ(top[0].id, 0);
+  EXPECT_EQ(top[1].id, 2);
+  EXPECT_EQ(top[2].id, 1);
+}
+
+TEST(TopKTest, ZeroOrNegativeKIsEmpty) {
+  const std::vector<float> scores = {1.0f};
+  EXPECT_TRUE(TopK(scores.data(), 1, 0).empty());
+  EXPECT_TRUE(TopK(scores.data(), 1, -3).empty());
+}
+
+TEST(TopKTest, MatchesFullSortOnRandomInput) {
+  std::vector<float> scores;
+  uint64_t state = 99;
+  for (int i = 0; i < 500; ++i) {
+    state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+    // Coarse quantization to force plenty of score ties.
+    scores.push_back(static_cast<float>((state >> 56) % 16));
+  }
+  auto top = TopK(scores.data(), 500, 37);
+
+  std::vector<ScoredId> all;
+  for (int64_t i = 0; i < 500; ++i) all.push_back({i, scores[i]});
+  std::sort(all.begin(), all.end(), RanksBefore);
+  ASSERT_EQ(top.size(), 37u);
+  for (size_t i = 0; i < top.size(); ++i) {
+    EXPECT_EQ(top[i].id, all[i].id) << "rank " << i;
+    EXPECT_EQ(top[i].score, all[i].score) << "rank " << i;
+  }
+}
+
+TEST(MergeTopKTest, MergesPartials) {
+  std::vector<std::vector<ScoredId>> parts = {
+      {{0, 0.9f}, {1, 0.5f}},
+      {{2, 0.7f}, {3, 0.7f}},
+      {},
+      {{4, 1.0f}},
+  };
+  auto merged = MergeTopK(parts, 3);
+  ASSERT_EQ(merged.size(), 3u);
+  EXPECT_EQ(merged[0].id, 4);
+  EXPECT_EQ(merged[1].id, 0);
+  EXPECT_EQ(merged[2].id, 2);  // ties at 0.7 resolve toward id 2
+}
+
+TEST(TopKRowsTest, RowWiseTopOneMatchesArgmaxScan) {
+  Tensor scores = Tensor::FromVector(
+      {3, 4}, {0.1f, 0.4f, 0.4f, 0.2f,   //
+               0.9f, 0.0f, 0.1f, 0.9f,   //
+               -1.0f, -2.0f, -0.5f, -3.0f});
+  auto rows = TopKRows(scores, 1);
+  ASSERT_EQ(rows.size(), 3u);
+  EXPECT_EQ(rows[0].front().id, 1);  // tie 0.4 -> first occurrence
+  EXPECT_EQ(rows[1].front().id, 0);  // tie 0.9 -> first occurrence
+  EXPECT_EQ(rows[2].front().id, 2);
+}
+
+}  // namespace
+}  // namespace eval
+}  // namespace crossem

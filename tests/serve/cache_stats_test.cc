@@ -1,0 +1,116 @@
+// The serving cache (LRU + fingerprint keying) and the observability
+// layer (log2 histograms, stats snapshots).
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "serve/cache.h"
+#include "serve/stats.h"
+
+namespace crossem {
+namespace serve {
+namespace {
+
+std::vector<float> Emb(float v) { return {v, v + 1}; }
+
+TEST(EmbeddingCacheTest, LruEvictionOrder) {
+  EmbeddingCache cache(2);
+  cache.Insert(1, 7, Emb(1));
+  cache.Insert(2, 7, Emb(2));
+  std::vector<float> out;
+  ASSERT_TRUE(cache.Lookup(1, 7, &out));  // 1 now most-recent
+  cache.Insert(3, 7, Emb(3));             // evicts 2
+  EXPECT_TRUE(cache.Lookup(1, 7, &out));
+  EXPECT_FALSE(cache.Lookup(2, 7, &out));
+  EXPECT_TRUE(cache.Lookup(3, 7, &out));
+  EXPECT_EQ(cache.size(), 2);
+  EXPECT_EQ(out, Emb(3));
+}
+
+TEST(EmbeddingCacheTest, FingerprintIsPartOfTheKey) {
+  EmbeddingCache cache(8);
+  cache.Insert(5, /*fingerprint=*/100, Emb(1));
+  std::vector<float> out;
+  // Same vertex under a retuned model's fingerprint: structural miss.
+  EXPECT_FALSE(cache.Lookup(5, 200, &out));
+  EXPECT_TRUE(cache.Lookup(5, 100, &out));
+  EXPECT_EQ(out, Emb(1));
+}
+
+TEST(EmbeddingCacheTest, ReinsertRefreshesValueAndRecency) {
+  EmbeddingCache cache(2);
+  cache.Insert(1, 7, Emb(1));
+  cache.Insert(2, 7, Emb(2));
+  cache.Insert(1, 7, Emb(9));  // refresh, now most-recent
+  cache.Insert(3, 7, Emb(3));  // evicts 2
+  std::vector<float> out;
+  ASSERT_TRUE(cache.Lookup(1, 7, &out));
+  EXPECT_EQ(out, Emb(9));
+  EXPECT_FALSE(cache.Lookup(2, 7, &out));
+}
+
+TEST(EmbeddingCacheTest, ZeroCapacityDisables) {
+  EmbeddingCache cache(0);
+  cache.Insert(1, 7, Emb(1));
+  std::vector<float> out;
+  EXPECT_FALSE(cache.Lookup(1, 7, &out));
+  EXPECT_EQ(cache.size(), 0);
+  EXPECT_EQ(cache.hits(), 0);
+  EXPECT_EQ(cache.misses(), 1);
+}
+
+TEST(HistogramTest, PercentilesBoundTheData) {
+  Histogram h;
+  for (int64_t v = 1; v <= 1000; ++v) h.Record(v);
+  EXPECT_EQ(h.count(), 1000);
+  EXPECT_EQ(h.max(), 1000);
+  // Log2 buckets: percentile readouts are bucket upper bounds, so p50
+  // lands within a factor of two above the true median...
+  EXPECT_GE(h.Percentile(0.5), 500);
+  EXPECT_LE(h.Percentile(0.5), 1023);
+  // ...and p99/p100 are capped by the observed max.
+  EXPECT_GE(h.Percentile(0.99), 990);
+  EXPECT_LE(h.Percentile(0.99), 1000);
+  EXPECT_EQ(h.Percentile(1.0), 1000);
+  EXPECT_DOUBLE_EQ(h.Mean(), 500.5);
+}
+
+TEST(HistogramTest, EmptyAndSingleValue) {
+  Histogram h;
+  EXPECT_EQ(h.Percentile(0.5), 0);
+  EXPECT_EQ(h.Mean(), 0.0);
+  h.Record(42);
+  EXPECT_EQ(h.Percentile(0.01), 42);
+  EXPECT_EQ(h.Percentile(0.99), 42);
+}
+
+TEST(StatsCollectorTest, SnapshotAggregates) {
+  StatsCollector c;
+  c.RecordReceived();
+  c.RecordReceived();
+  c.RecordReceived();
+  c.RecordRejectedQueueFull();
+  c.RecordRejectedShutdown();
+  c.RecordExpired();
+  c.RecordBatch(/*batch_size=*/2, /*cache_hits=*/1, /*cache_misses=*/1);
+  c.RecordCompleted(/*latency_us=*/1500);
+  c.RecordCompleted(/*latency_us=*/300);
+
+  ServiceStats s = c.Snapshot();
+  EXPECT_EQ(s.received, 3);
+  EXPECT_EQ(s.rejected_queue_full, 1);
+  EXPECT_EQ(s.rejected_shutdown, 1);
+  EXPECT_EQ(s.expired_deadline, 1);
+  EXPECT_EQ(s.completed, 2);
+  EXPECT_EQ(s.batches, 1);
+  EXPECT_EQ(s.cache_hits, 1);
+  EXPECT_EQ(s.cache_misses, 1);
+  EXPECT_DOUBLE_EQ(s.CacheHitRate(), 0.5);
+  EXPECT_GE(s.latency_p99_us, 1500);
+  EXPECT_EQ(s.latency_max_us, 1500);
+  EXPECT_FALSE(s.ToString().empty());
+}
+
+}  // namespace
+}  // namespace serve
+}  // namespace crossem

@@ -1,0 +1,302 @@
+// Serving-index contracts: flat exactness, HNSW recall and
+// thread-count-independent construction, CEMCKPT2 roundtrip with
+// corruption rejection, and the environment-driven fault drill on save.
+#include "serve/index.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "tensor/tensor.h"
+#include "util/fault_injection.h"
+#include "util/parallel.h"
+#include "util/random.h"
+
+namespace crossem {
+namespace serve {
+namespace {
+
+std::string TempPath(const char* name) {
+  return std::string(::testing::TempDir()) + "/" + name;
+}
+
+std::vector<std::string> MakeIds(int64_t n) {
+  std::vector<std::string> ids;
+  ids.reserve(n);
+  for (int64_t i = 0; i < n; ++i) ids.push_back("img" + std::to_string(i));
+  return ids;
+}
+
+/// Clustered vectors (mixture of Gaussians): realistic ANN difficulty —
+/// uniform random points in high dim are all nearly equidistant.
+Tensor ClusteredVectors(int64_t n, int64_t dim, uint64_t seed,
+                        int64_t clusters = 16) {
+  Rng rng(seed);
+  Tensor centers = Tensor::Randn({clusters, dim}, &rng, 1.0f);
+  Tensor out = Tensor::Randn({n, dim}, &rng, 0.25f);
+  float* o = out.data();
+  const float* c = centers.data();
+  for (int64_t i = 0; i < n; ++i) {
+    const int64_t cl = rng.UniformInt(0, clusters - 1);
+    for (int64_t d = 0; d < dim; ++d) o[i * dim + d] += c[cl * dim + d];
+  }
+  return out;
+}
+
+/// Brute-force exact top-k under the same ranking order the indexes use.
+std::vector<int64_t> ExactTopK(const EmbeddingIndex& index, const float* q,
+                               int64_t k) {
+  std::vector<eval::ScoredId> all;
+  for (int64_t i = 0; i < index.size(); ++i) {
+    float dot = 0.0f;
+    const float* v = index.vector(i);
+    for (int64_t d = 0; d < index.dim(); ++d) dot += v[d] * q[d];
+    all.push_back({i, dot});
+  }
+  std::sort(all.begin(), all.end(), eval::RanksBefore);
+  std::vector<int64_t> ids;
+  for (int64_t i = 0; i < std::min<int64_t>(k, all.size()); ++i) {
+    ids.push_back(all[i].id);
+  }
+  return ids;
+}
+
+TEST(FlatIndexTest, MatchesBruteForceExactly) {
+  const int64_t n = 300, dim = 8;
+  Tensor vecs = ClusteredVectors(n, dim, 11);
+  FlatIndex index;
+  ASSERT_TRUE(index.Add(vecs, MakeIds(n)).ok());
+  EXPECT_EQ(index.size(), n);
+  EXPECT_EQ(index.dim(), dim);
+
+  Tensor queries = ClusteredVectors(20, dim, 12);
+  for (int64_t qi = 0; qi < 20; ++qi) {
+    const float* q = queries.data() + qi * dim;
+    auto got = index.Search(q, 7);
+    auto want = ExactTopK(index, q, 7);
+    ASSERT_EQ(got.size(), want.size());
+    for (size_t j = 0; j < want.size(); ++j) {
+      EXPECT_EQ(got[j].id, want[j]) << "query " << qi << " rank " << j;
+    }
+  }
+}
+
+TEST(FlatIndexTest, ValidatesInput) {
+  FlatIndex index;
+  // id count mismatch
+  EXPECT_FALSE(index.Add(Tensor::Zeros({3, 4}), MakeIds(2)).ok());
+  // newline in an id would corrupt the serialized id table
+  EXPECT_FALSE(index.Add(Tensor::Zeros({1, 4}), {"bad\nid"}).ok());
+  // rank != 2
+  EXPECT_FALSE(index.Add(Tensor::Zeros({4}), MakeIds(4)).ok());
+  ASSERT_TRUE(index.Add(Tensor::Zeros({2, 4}), MakeIds(2)).ok());
+  // dim fixed by first successful Add
+  EXPECT_FALSE(index.Add(Tensor::Zeros({2, 5}), MakeIds(2)).ok());
+}
+
+TEST(FlatIndexTest, EmptyIndexReturnsNothing) {
+  FlatIndex index;
+  float q[4] = {1, 0, 0, 0};
+  EXPECT_TRUE(index.Search(q, 5).empty());
+}
+
+TEST(HnswIndexTest, RecallAtTenAtLeast95Percent) {
+  const int64_t n = 2000, dim = 16, num_queries = 100, k = 10;
+  Tensor corpus = ClusteredVectors(n, dim, 21);
+  Tensor queries = ClusteredVectors(num_queries, dim, 22);
+
+  FlatIndex flat;
+  ASSERT_TRUE(flat.Add(corpus, MakeIds(n)).ok());
+  HnswOptions ho;
+  ho.ef_search = 128;
+  HnswIndex hnsw(ho);
+  ASSERT_TRUE(hnsw.Add(corpus, MakeIds(n)).ok());
+
+  // Queries are unnormalized; Search normalizes nothing on the query
+  // side, but cosine ranking is scale-invariant so raw rows are fine.
+  int64_t found = 0;
+  for (int64_t qi = 0; qi < num_queries; ++qi) {
+    const float* raw = queries.data() + qi * dim;
+    std::vector<float> q(raw, raw + dim);
+    auto exact = flat.Search(q.data(), k);
+    auto approx = hnsw.Search(q.data(), k);
+    for (const auto& e : exact) {
+      for (const auto& a : approx) {
+        if (a.id == e.id) {
+          ++found;
+          break;
+        }
+      }
+    }
+  }
+  const double recall =
+      static_cast<double>(found) / static_cast<double>(num_queries * k);
+  EXPECT_GE(recall, 0.95) << "recall@10 = " << recall;
+}
+
+TEST(HnswIndexTest, ConstructionIdenticalAtOneAndEightThreads) {
+  const int64_t n = 600, dim = 12;
+  Tensor corpus = ClusteredVectors(n, dim, 31);
+
+  SetNumThreads(1);
+  HnswIndex one;
+  ASSERT_TRUE(one.Add(corpus, MakeIds(n)).ok());
+  SetNumThreads(8);
+  HnswIndex eight;
+  ASSERT_TRUE(eight.Add(corpus, MakeIds(n)).ok());
+  SetNumThreads(0);
+
+  for (int64_t i = 0; i < n; ++i) {
+    ASSERT_EQ(one.neighbors(i), eight.neighbors(i)) << "node " << i;
+  }
+
+  Tensor queries = ClusteredVectors(25, dim, 32);
+  for (int64_t qi = 0; qi < 25; ++qi) {
+    const float* q = queries.data() + qi * dim;
+    auto a = one.Search(q, 10);
+    auto b = eight.Search(q, 10);
+    ASSERT_EQ(a.size(), b.size());
+    for (size_t j = 0; j < a.size(); ++j) {
+      EXPECT_EQ(a[j].id, b[j].id);
+      EXPECT_EQ(a[j].score, b[j].score);
+    }
+  }
+}
+
+TEST(HnswIndexTest, IncrementalAddEqualsOneShot) {
+  const int64_t n = 400, dim = 10;
+  Tensor corpus = ClusteredVectors(n, dim, 41);
+  auto ids = MakeIds(n);
+
+  HnswIndex whole;
+  ASSERT_TRUE(whole.Add(corpus, ids).ok());
+
+  // Same elements via two Add calls, split off a batch boundary
+  // (batches are per-Add, so alignment matters for bit-identity only
+  // when the split is a multiple of build_batch).
+  const int64_t split = whole.options().build_batch * 3;
+  Tensor first = Tensor::Zeros({split, dim});
+  Tensor second = Tensor::Zeros({n - split, dim});
+  std::copy(corpus.data(), corpus.data() + split * dim, first.data());
+  std::copy(corpus.data() + split * dim, corpus.data() + n * dim,
+            second.data());
+  HnswIndex incremental;
+  ASSERT_TRUE(incremental
+                  .Add(first, {ids.begin(), ids.begin() + split})
+                  .ok());
+  ASSERT_TRUE(incremental
+                  .Add(second, {ids.begin() + split, ids.end()})
+                  .ok());
+
+  for (int64_t i = 0; i < n; ++i) {
+    ASSERT_EQ(whole.neighbors(i), incremental.neighbors(i)) << "node " << i;
+  }
+}
+
+TEST(IndexIoTest, SaveLoadRoundtripBothBackends) {
+  const int64_t n = 250, dim = 8;
+  Tensor corpus = ClusteredVectors(n, dim, 51);
+  Tensor queries = ClusteredVectors(10, dim, 52);
+
+  for (const char* backend_name : {"flat", "hnsw"}) {
+    const std::string backend = backend_name;
+    std::unique_ptr<EmbeddingIndex> index;
+    if (backend == "flat") {
+      index = std::make_unique<FlatIndex>();
+    } else {
+      index = std::make_unique<HnswIndex>();
+    }
+    ASSERT_TRUE(index->Add(corpus, MakeIds(n)).ok());
+    index->set_model_fingerprint(0xfeedbeef);
+    const std::string path = TempPath(("roundtrip_" + backend + ".cidx").c_str());
+    ASSERT_TRUE(index->Save(path).ok());
+
+    auto loaded = EmbeddingIndex::Load(path);
+    ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+    const EmbeddingIndex& re = *loaded.value();
+    EXPECT_EQ(re.backend(), backend);
+    EXPECT_EQ(re.size(), n);
+    EXPECT_EQ(re.dim(), dim);
+    EXPECT_EQ(re.model_fingerprint(), 0xfeedbeefu);
+    EXPECT_EQ(re.ids(), index->ids());
+
+    for (int64_t qi = 0; qi < 10; ++qi) {
+      const float* q = queries.data() + qi * dim;
+      auto a = index->Search(q, 10);
+      auto b = re.Search(q, 10);
+      ASSERT_EQ(a.size(), b.size()) << backend;
+      for (size_t j = 0; j < a.size(); ++j) {
+        EXPECT_EQ(a[j].id, b[j].id) << backend;
+        EXPECT_EQ(a[j].score, b[j].score) << backend;
+      }
+    }
+    std::remove(path.c_str());
+  }
+}
+
+TEST(IndexIoTest, CorruptFileRejectedWholesale) {
+  const int64_t n = 64, dim = 6;
+  Tensor corpus = ClusteredVectors(n, dim, 61);
+  HnswIndex index;
+  ASSERT_TRUE(index.Add(corpus, MakeIds(n)).ok());
+  const std::string path = TempPath("corrupt.cidx");
+  ASSERT_TRUE(index.Save(path).ok());
+
+  std::ifstream in(path, std::ios::binary);
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  in.close();
+  ASSERT_GT(bytes.size(), 128u);
+
+  // Flip one byte in the middle (vector payload), one near the end
+  // (neighbor lists / trailer), and truncate — every mutation must be
+  // rejected by the CRC or structural validation.
+  for (size_t pos : {bytes.size() / 2, bytes.size() - 16}) {
+    std::string bad = bytes;
+    bad[pos] = static_cast<char>(bad[pos] ^ 0x5a);
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << bad;
+    out.close();
+    auto loaded = EmbeddingIndex::Load(path);
+    EXPECT_FALSE(loaded.ok()) << "flipped byte at " << pos;
+  }
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << bytes.substr(0, bytes.size() / 3);
+    out.close();
+    EXPECT_FALSE(EmbeddingIndex::Load(path).ok());
+  }
+  std::remove(path.c_str());
+}
+
+TEST(IndexIoTest, LoadMissingFileFails) {
+  EXPECT_FALSE(EmbeddingIndex::Load(TempPath("nonexistent.cidx")).ok());
+}
+
+// Runs only from the serve_env_fault ctest entry (CROSSEM_FAULT_SPEC
+// set): every injected I/O failure must surface as a Status — never an
+// abort — and the atomic-write tmp file must not survive.
+TEST(ServeIndexEnvFaultTest, SaveSurfacesInjectedFaults) {
+  const char* spec = std::getenv("CROSSEM_FAULT_SPEC");
+  if (spec == nullptr || spec[0] == '\0') {
+    GTEST_SKIP() << "CROSSEM_FAULT_SPEC not set";
+  }
+  Tensor corpus = ClusteredVectors(32, 4, 71);
+  FlatIndex index;
+  ASSERT_TRUE(index.Add(corpus, MakeIds(32)).ok());
+  const std::string path = TempPath("env_fault.cidx");
+  Status st = index.Save(path);
+  EXPECT_FALSE(st.ok()) << "spec '" << spec << "' should fail the save";
+  EXPECT_FALSE(io::FileExists(path + ".tmp"));
+  fault::Clear();
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace serve
+}  // namespace crossem

@@ -12,6 +12,7 @@
 //                 [--checkpoint train.ckpt] [--resume]
 //                 [--checkpoint-every N]
 //                 [--train-steps N] [--seed N]
+//                 [--min-probability P] [--mutual]
 //
 // Image file format: one patch per row,
 //   image_id,f0,f1,...,f{D-1}
@@ -63,6 +64,10 @@ struct Args {
   int64_t epochs = 4;
   int64_t train_steps = 200;
   uint64_t seed = 7;
+  /// Drop pairs whose Eq. 4 matching probability falls below this.
+  float min_probability = 0.0f;
+  /// Keep only mutual nearest neighbours (high-precision subset).
+  bool mutual = false;
 };
 
 void PrintUsage() {
@@ -73,7 +78,8 @@ void PrintUsage() {
                "[--epochs N]\n"
                "       [--model FILE] [--save-model FILE]\n"
                "       [--checkpoint FILE] [--resume] [--checkpoint-every N]\n"
-               "       [--train-steps N] [--seed N]\n");
+               "       [--train-steps N] [--seed N]\n"
+               "       [--min-probability P] [--mutual]\n");
 }
 
 bool ParseArgs(int argc, char** argv, Args* args) {
@@ -135,6 +141,12 @@ bool ParseArgs(int argc, char** argv, Args* args) {
       const char* v = next();
       if (v == nullptr) return false;
       args->seed = static_cast<uint64_t>(std::atoll(v));
+    } else if (flag == "--min-probability") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      args->min_probability = static_cast<float>(std::atof(v));
+    } else if (flag == "--mutual") {
+      args->mutual = true;
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", flag.c_str());
       return false;
@@ -314,7 +326,19 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "fit: %s\n", fit.status().ToString().c_str());
     return 1;
   }
-  auto matches = matcher.FindMatches(entities, images.patches);
+  auto matches =
+      args.mutual ? matcher.FindMutualMatches(entities, images.patches)
+                  : matcher.FindMatches(entities, images.patches,
+                                        args.min_probability);
+  if (args.mutual && args.min_probability > 0.0f) {
+    // FindMutualMatches has no threshold parameter; both paths report
+    // the Eq. 4 probability as the score, so filter uniformly here.
+    matches.erase(std::remove_if(matches.begin(), matches.end(),
+                                 [&](const core::MatchingPair& m) {
+                                   return m.score < args.min_probability;
+                                 }),
+                  matches.end());
+  }
 
   std::FILE* out = stdout;
   if (!args.output_path.empty()) {

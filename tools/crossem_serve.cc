@@ -1,0 +1,491 @@
+// crossem_serve — build and query online matching indexes.
+//
+// Three modes:
+//
+//   crossem_serve build-index --table NAME=FILE.csv [--json FILE]
+//       --images patches.csv --model model.ckpt --index repo.cidx
+//       [--backend flat|hnsw] [--hnsw-m N] [--ef-construction N]
+//       [--prompt hard|soft|baseline] [--seed N]
+//     Encodes every image with the frozen model and writes the
+//     embedding index (CEMCKPT2, CRC-checked, atomic).
+//
+//   crossem_serve query --table NAME=FILE.csv [--json FILE]
+//       --index repo.cidx --model model.ckpt --entity LABEL [...]
+//       [--k N] [--min-probability P] [--patch-dim D] [--max-patches P]
+//     Answers one MatchService request per --entity and prints
+//     entity,image_id,similarity,probability CSV to stdout.
+//
+//   crossem_serve stdin-batch --table NAME=FILE.csv [--json FILE]
+//       --index repo.cidx --model model.ckpt
+//       [--k N] [--clients N] [--deadline-us N] [--max-batch N]
+//       [--max-wait-us N] [--queue N] [--patch-dim D] [--max-patches P]
+//     Reads entity labels from stdin (one per line) and serves them
+//     through N concurrent client threads — the micro-batching,
+//     admission-control path production traffic takes. Per-request
+//     results go to stdout; rejections and the final stats line to
+//     stderr.
+//
+// The model checkpoint must have been written against the same graph
+// inputs (the vocabulary is rebuilt from the mapped graph). query and
+// stdin-batch do not need --images: pass the --patch-dim / --max-patches
+// the model was built with (build-index prints them).
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/crossem.h"
+#include "data/dataset.h"
+#include "graph/data_mapping.h"
+#include "nn/serialize.h"
+#include "serve/index.h"
+#include "serve/service.h"
+#include "text/tokenizer.h"
+
+namespace {
+
+using namespace crossem;
+
+struct Args {
+  std::string mode;
+  std::vector<std::pair<std::string, std::string>> tables;  // name, path
+  std::vector<std::string> jsons;
+  std::string images_path;
+  std::string index_path;
+  std::string model;
+  std::string backend = "flat";
+  std::string prompt = "hard";
+  std::vector<std::string> entities;
+  int64_t k = 5;
+  float min_probability = 0.0f;
+  int64_t hnsw_m = 16;
+  int64_t ef_construction = 128;
+  int64_t ef_search = 64;
+  int64_t clients = 4;
+  int64_t deadline_us = 0;
+  int64_t max_batch = 16;
+  int64_t max_wait_us = 2000;
+  int64_t queue = 256;
+  int64_t cache = 4096;
+  int64_t patch_dim = 0;    // model config when --images is absent
+  int64_t max_patches = 0;  // ditto (repository max, pre-padding)
+  uint64_t seed = 7;
+};
+
+void PrintUsage() {
+  std::fprintf(
+      stderr,
+      "usage: crossem_serve MODE [flags]\n"
+      "modes:\n"
+      "  build-index  --table NAME=FILE.csv [--json FILE] --images FILE.csv\n"
+      "               --model FILE --index FILE [--backend flat|hnsw]\n"
+      "               [--hnsw-m N] [--ef-construction N]\n"
+      "               [--prompt hard|soft|baseline] [--seed N]\n"
+      "  query        --table NAME=FILE.csv [--json FILE] --index FILE\n"
+      "               --model FILE --entity LABEL [--entity LABEL ...]\n"
+      "               [--k N] [--min-probability P] [--ef-search N]\n"
+      "               [--patch-dim D] [--max-patches P]\n"
+      "  stdin-batch  --table NAME=FILE.csv [--json FILE] --index FILE\n"
+      "               --model FILE [--k N] [--clients N] [--deadline-us N]\n"
+      "               [--max-batch N] [--max-wait-us N] [--queue N]\n"
+      "               [--cache N] [--patch-dim D] [--max-patches P]\n");
+}
+
+bool ParseArgs(int argc, char** argv, Args* args) {
+  if (argc < 2) return false;
+  args->mode = argv[1];
+  if (args->mode != "build-index" && args->mode != "query" &&
+      args->mode != "stdin-batch") {
+    std::fprintf(stderr, "unknown mode: %s\n", args->mode.c_str());
+    return false;
+  }
+  for (int i = 2; i < argc; ++i) {
+    std::string flag = argv[i];
+    auto next = [&]() -> const char* {
+      return (i + 1 < argc) ? argv[++i] : nullptr;
+    };
+    auto next_i64 = [&](int64_t* out) {
+      const char* v = next();
+      if (v == nullptr) return false;
+      *out = std::atoll(v);
+      return true;
+    };
+    if (flag == "--table") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      std::string spec = v;
+      size_t eq = spec.find('=');
+      if (eq == std::string::npos) return false;
+      args->tables.emplace_back(spec.substr(0, eq), spec.substr(eq + 1));
+    } else if (flag == "--json") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      args->jsons.push_back(v);
+    } else if (flag == "--images") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      args->images_path = v;
+    } else if (flag == "--index") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      args->index_path = v;
+    } else if (flag == "--model") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      args->model = v;
+    } else if (flag == "--backend") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      args->backend = v;
+    } else if (flag == "--prompt") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      args->prompt = v;
+    } else if (flag == "--entity") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      args->entities.push_back(v);
+    } else if (flag == "--min-probability") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      args->min_probability = static_cast<float>(std::atof(v));
+    } else if (flag == "--seed") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      args->seed = static_cast<uint64_t>(std::atoll(v));
+    } else if (flag == "--k") {
+      if (!next_i64(&args->k)) return false;
+    } else if (flag == "--hnsw-m") {
+      if (!next_i64(&args->hnsw_m)) return false;
+    } else if (flag == "--ef-construction") {
+      if (!next_i64(&args->ef_construction)) return false;
+    } else if (flag == "--ef-search") {
+      if (!next_i64(&args->ef_search)) return false;
+    } else if (flag == "--clients") {
+      if (!next_i64(&args->clients)) return false;
+    } else if (flag == "--deadline-us") {
+      if (!next_i64(&args->deadline_us)) return false;
+    } else if (flag == "--max-batch") {
+      if (!next_i64(&args->max_batch)) return false;
+    } else if (flag == "--max-wait-us") {
+      if (!next_i64(&args->max_wait_us)) return false;
+    } else if (flag == "--queue") {
+      if (!next_i64(&args->queue)) return false;
+    } else if (flag == "--cache") {
+      if (!next_i64(&args->cache)) return false;
+    } else if (flag == "--patch-dim") {
+      if (!next_i64(&args->patch_dim)) return false;
+    } else if (flag == "--max-patches") {
+      if (!next_i64(&args->max_patches)) return false;
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", flag.c_str());
+      return false;
+    }
+  }
+  if (args->tables.empty() && args->jsons.empty()) return false;
+  if (args->index_path.empty() || args->model.empty()) return false;
+  if (args->mode == "build-index" && args->images_path.empty()) return false;
+  if (args->mode == "query" && args->entities.empty()) return false;
+  return true;
+}
+
+Result<std::string> ReadFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IOError("cannot read '" + path + "'");
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+/// Everything a mode needs: the mapped graph, the model restored from
+/// --model, a tokenizer over the graph vocabulary, and the matcher.
+struct Setup {
+  graph::GraphBuilder builder;
+  std::unique_ptr<text::Vocabulary> vocab;
+  std::unique_ptr<clip::ClipModel> model;
+  std::unique_ptr<text::Tokenizer> tokenizer;
+  std::unique_ptr<core::CrossEm> matcher;
+  data::ImageRepository images;  // only when --images was given
+  bool have_images = false;
+};
+
+int BuildSetup(const Args& args, Setup* s) {
+  for (const auto& [name, path] : args.tables) {
+    auto text = ReadFile(path);
+    if (!text.ok()) {
+      std::fprintf(stderr, "%s\n", text.status().ToString().c_str());
+      return 1;
+    }
+    auto table = graph::ParseCsv(name, text.value());
+    if (!table.ok()) {
+      std::fprintf(stderr, "%s: %s\n", path.c_str(),
+                   table.status().ToString().c_str());
+      return 1;
+    }
+    if (auto st = s->builder.AddTable(table.value()); !st.ok()) {
+      std::fprintf(stderr, "%s: %s\n", path.c_str(), st.ToString().c_str());
+      return 1;
+    }
+  }
+  for (const std::string& path : args.jsons) {
+    auto text = ReadFile(path);
+    if (!text.ok()) {
+      std::fprintf(stderr, "%s\n", text.status().ToString().c_str());
+      return 1;
+    }
+    auto doc = graph::ParseJson(text.value());
+    if (!doc.ok()) {
+      std::fprintf(stderr, "%s: %s\n", path.c_str(),
+                   doc.status().ToString().c_str());
+      return 1;
+    }
+    if (auto st = s->builder.AddJson(doc.value()); !st.ok()) {
+      std::fprintf(stderr, "%s: %s\n", path.c_str(), st.ToString().c_str());
+      return 1;
+    }
+  }
+
+  int64_t patch_dim = args.patch_dim;
+  int64_t max_patches = args.max_patches;
+  if (!args.images_path.empty()) {
+    auto repo = data::LoadImageRepositoryCsv(args.images_path);
+    if (!repo.ok()) {
+      std::fprintf(stderr, "%s\n", repo.status().ToString().c_str());
+      return 1;
+    }
+    s->images = repo.value();
+    s->have_images = true;
+    patch_dim = s->images.patches.size(2);
+    max_patches = s->images.patches.size(1);
+  }
+  if (patch_dim <= 0 || max_patches <= 0) {
+    std::fprintf(stderr,
+                 "need --images, or the model's --patch-dim and "
+                 "--max-patches (build-index prints them)\n");
+    return 2;
+  }
+
+  // The vocabulary must be rebuilt exactly as at model-training time
+  // (crossem_match's recipe) or the checkpoint will not load.
+  s->vocab = std::make_unique<text::Vocabulary>();
+  for (const std::string& w : s->builder.graph().UniqueWords()) {
+    s->vocab->AddWord(w);
+  }
+  for (const char* w : {"a", "photo", "of", "with", "and", "in"}) {
+    s->vocab->AddWord(w);
+  }
+  clip::ClipConfig cc;
+  cc.vocab_size = s->vocab->size();
+  cc.text_context = 64;
+  cc.patch_dim = patch_dim;
+  cc.max_patches = max_patches + 1;
+  Rng rng(args.seed);
+  s->model = std::make_unique<clip::ClipModel>(cc, &rng);
+  s->tokenizer = std::make_unique<text::Tokenizer>(s->vocab.get(), cc.text_context);
+  if (auto st = nn::LoadCheckpoint(s->model.get(), args.model); !st.ok()) {
+    std::fprintf(stderr, "model: %s\n", st.ToString().c_str());
+    return 1;
+  }
+
+  core::CrossEmOptions options;
+  if (args.prompt == "hard") {
+    options.prompt_mode = core::PromptMode::kHard;
+  } else if (args.prompt == "soft") {
+    options.prompt_mode = core::PromptMode::kSoft;
+  } else if (args.prompt == "baseline") {
+    options.prompt_mode = core::PromptMode::kBaseline;
+  } else {
+    std::fprintf(stderr, "unknown --prompt '%s'\n", args.prompt.c_str());
+    return 2;
+  }
+  options.seed = args.seed;
+  s->matcher = std::make_unique<core::CrossEm>(
+      s->model.get(), &s->builder.graph(), s->tokenizer.get(), options);
+  return 0;
+}
+
+int RunBuildIndex(const Args& args, Setup* s) {
+  std::unique_ptr<serve::EmbeddingIndex> index;
+  if (args.backend == "flat") {
+    index = std::make_unique<serve::FlatIndex>();
+  } else if (args.backend == "hnsw") {
+    serve::HnswOptions ho;
+    ho.M = args.hnsw_m;
+    ho.ef_construction = args.ef_construction;
+    ho.ef_search = args.ef_search;
+    index = std::make_unique<serve::HnswIndex>(ho);
+  } else {
+    std::fprintf(stderr, "unknown --backend '%s'\n", args.backend.c_str());
+    return 2;
+  }
+
+  Tensor embeddings = s->matcher->EncodeImages(s->images.patches);
+  if (auto st = index->Add(embeddings, s->images.ids); !st.ok()) {
+    std::fprintf(stderr, "add: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  index->set_model_fingerprint(s->matcher->EncoderFingerprint());
+  if (auto st = index->Save(args.index_path); !st.ok()) {
+    std::fprintf(stderr, "save: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  std::fprintf(stderr,
+               "wrote %s index: %lld vectors of dim %lld -> %s\n"
+               "query with: --patch-dim %lld --max-patches %lld\n",
+               index->backend().c_str(), static_cast<long long>(index->size()),
+               static_cast<long long>(index->dim()), args.index_path.c_str(),
+               static_cast<long long>(s->images.patches.size(2)),
+               static_cast<long long>(s->images.patches.size(1)));
+  return 0;
+}
+
+/// Loads the index and refuses to serve it with a retuned/mismatched
+/// model (the fingerprint handshake).
+Result<std::unique_ptr<serve::EmbeddingIndex>> LoadIndexFor(
+    const Args& args, const core::CrossEm& matcher) {
+  auto loaded = serve::EmbeddingIndex::Load(args.index_path);
+  if (!loaded.ok()) return loaded.status();
+  std::unique_ptr<serve::EmbeddingIndex> index = loaded.MoveValue();
+  const uint32_t want = matcher.EncoderFingerprint();
+  if (index->model_fingerprint() != 0 && index->model_fingerprint() != want) {
+    return Status::InvalidArgument(
+        "index " + args.index_path + " was built by a different model "
+        "(fingerprint mismatch); rebuild with build-index");
+  }
+  return index;
+}
+
+void PrintMatches(std::FILE* out, const std::string& entity,
+                  const serve::MatchResponse& response) {
+  for (const serve::RankedMatch& m : response.matches) {
+    std::fprintf(out, "%s,%s,%.6f,%.6f\n", entity.c_str(),
+                 m.image_id.c_str(), m.similarity, m.probability);
+  }
+}
+
+int RunQuery(const Args& args, Setup* s) {
+  auto loaded = LoadIndexFor(args, *s->matcher);
+  if (!loaded.ok()) {
+    std::fprintf(stderr, "%s\n", loaded.status().ToString().c_str());
+    return 1;
+  }
+  serve::MatchServiceOptions so;
+  so.max_batch = args.max_batch;
+  so.max_wait_micros = args.max_wait_us;
+  so.max_queue = args.queue;
+  so.cache_capacity = args.cache;
+  std::unique_ptr<serve::EmbeddingIndex> index = loaded.MoveValue();
+  serve::MatchService service(s->matcher.get(), index.get(), so);
+
+  std::printf("entity,image_id,similarity,probability\n");
+  int failures = 0;
+  for (const std::string& label : args.entities) {
+    graph::VertexId v = s->builder.graph().FindVertex(label);
+    if (v < 0) {
+      std::fprintf(stderr, "%s: no such entity\n", label.c_str());
+      ++failures;
+      continue;
+    }
+    serve::MatchRequest request;
+    request.vertex = v;
+    request.k = args.k;
+    request.min_probability = args.min_probability;
+    request.deadline_micros = args.deadline_us;
+    auto result = service.Match(request);
+    if (!result.ok()) {
+      std::fprintf(stderr, "%s: %s\n", label.c_str(),
+                   result.status().ToString().c_str());
+      ++failures;
+      continue;
+    }
+    PrintMatches(stdout, label, result.value());
+  }
+  service.Shutdown();
+  std::fprintf(stderr, "%s\n", service.Snapshot().ToString().c_str());
+  return failures == 0 ? 0 : 1;
+}
+
+int RunStdinBatch(const Args& args, Setup* s) {
+  auto loaded = LoadIndexFor(args, *s->matcher);
+  if (!loaded.ok()) {
+    std::fprintf(stderr, "%s\n", loaded.status().ToString().c_str());
+    return 1;
+  }
+  serve::MatchServiceOptions so;
+  so.max_batch = args.max_batch;
+  so.max_wait_micros = args.max_wait_us;
+  so.max_queue = args.queue;
+  so.cache_capacity = args.cache;
+  std::unique_ptr<serve::EmbeddingIndex> index = loaded.MoveValue();
+  serve::MatchService service(s->matcher.get(), index.get(), so);
+
+  std::vector<std::string> labels;
+  for (std::string line; std::getline(std::cin, line);) {
+    if (!line.empty()) labels.push_back(line);
+  }
+
+  std::printf("entity,image_id,similarity,probability\n");
+  std::atomic<size_t> cursor{0};
+  std::atomic<int64_t> failed{0};
+  std::mutex out_mu;
+  const int64_t clients = std::max<int64_t>(1, args.clients);
+  std::vector<std::thread> workers;
+  workers.reserve(clients);
+  for (int64_t c = 0; c < clients; ++c) {
+    workers.emplace_back([&] {
+      for (;;) {
+        const size_t i = cursor.fetch_add(1);
+        if (i >= labels.size()) return;
+        const std::string& label = labels[i];
+        graph::VertexId v = s->builder.graph().FindVertex(label);
+        if (v < 0) {
+          std::lock_guard<std::mutex> lock(out_mu);
+          std::fprintf(stderr, "%s: no such entity\n", label.c_str());
+          ++failed;
+          continue;
+        }
+        serve::MatchRequest request;
+        request.vertex = v;
+        request.k = args.k;
+        request.min_probability = args.min_probability;
+        request.deadline_micros = args.deadline_us;
+        auto result = service.Match(request);
+        std::lock_guard<std::mutex> lock(out_mu);
+        if (!result.ok()) {
+          std::fprintf(stderr, "%s: %s\n", label.c_str(),
+                       result.status().ToString().c_str());
+          ++failed;
+        } else {
+          PrintMatches(stdout, label, result.value());
+        }
+      }
+    });
+  }
+  for (std::thread& t : workers) t.join();
+  service.Shutdown();
+  std::fprintf(stderr, "%s\n", service.Snapshot().ToString().c_str());
+  return failed.load() == 0 ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args;
+  if (!ParseArgs(argc, argv, &args)) {
+    PrintUsage();
+    return 2;
+  }
+  Setup setup;
+  if (int rc = BuildSetup(args, &setup); rc != 0) return rc;
+  if (args.mode == "build-index") return RunBuildIndex(args, &setup);
+  if (args.mode == "query") return RunQuery(args, &setup);
+  return RunStdinBatch(args, &setup);
+}
