@@ -2,6 +2,7 @@
 // (google-benchmark): d-hop subgraph extraction, PCP proximity, phase-3
 // partitioning, negative sampling, and k-means — the components whose
 // cost Table III/IV attribute to MBG/NS.
+#include "bench/harness.h"
 #include "bench/parallel_report.h"
 #include "benchmark/benchmark.h"
 #include "core/kmeans.h"
@@ -179,5 +180,6 @@ int main(int argc, char** argv) {
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
+  crossem::bench::WriteTraceIfEnabled("BENCH_micro_pcp_trace.json");
   return 0;
 }

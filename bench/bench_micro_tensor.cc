@@ -1,6 +1,7 @@
 // Microbenchmarks of the tensor/NN substrate (google-benchmark): matmul,
 // softmax forward/backward, attention forward/backward. These quantify
 // the engine the CrossEM results run on.
+#include "bench/harness.h"
 #include "bench/parallel_report.h"
 #include "benchmark/benchmark.h"
 #include "nn/attention.h"
@@ -154,5 +155,6 @@ int main(int argc, char** argv) {
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
+  crossem::bench::WriteTraceIfEnabled("BENCH_micro_tensor_trace.json");
   return 0;
 }

@@ -60,5 +60,6 @@ int main() {
   bench::RunDataset(data::CubLikeConfig(0.8));
   bench::RunDataset(data::SunLikeConfig(0.7));
   bench::RunDataset(data::Fb2kLikeConfig(0.4));
+  bench::WriteTraceIfEnabled("BENCH_table3_trace.json");
   return 0;
 }

@@ -1,5 +1,9 @@
 #include "bench/harness.h"
 
+#include <cstdio>
+#include <cstdlib>
+
+#include "obs/trace.h"
 #include "tensor/ops.h"
 #include "util/logging.h"
 #include "util/memory_tracker.h"
@@ -151,6 +155,20 @@ core::CrossEmOptions PlusOptions(int64_t epochs) {
   opt.epochs = epochs;
   opt.learning_rate = 1e-3f;
   return opt;
+}
+
+void WriteTraceIfEnabled(const std::string& default_path) {
+  if (!obs::TraceEnabled()) return;
+  const char* env = std::getenv("CROSSEM_TRACE_JSON");
+  const std::string path = (env != nullptr && env[0] != '\0')
+                               ? std::string(env)
+                               : default_path;
+  if (obs::WriteChromeTrace(path)) {
+    std::printf("wrote %lld trace spans to %s\n",
+                static_cast<long long>(obs::SpanCount()), path.c_str());
+  } else {
+    std::fprintf(stderr, "cannot write trace '%s'\n", path.c_str());
+  }
 }
 
 }  // namespace bench

@@ -95,6 +95,12 @@ class Experiment {
   std::vector<int64_t> all_image_classes_;
 };
 
+/// When span tracing is on (CROSSEM_TRACE=1 in the environment), writes
+/// everything recorded so far as Chrome trace_event JSON to
+/// $CROSSEM_TRACE_JSON, or `default_path` when the variable is unset —
+/// call at the end of a bench main. No-op when tracing is disabled.
+void WriteTraceIfEnabled(const std::string& default_path);
+
 /// Ready-made CrossEM option presets used across benches.
 core::CrossEmOptions BaselinePromptOptions();
 core::CrossEmOptions HardPromptOptions2();

@@ -2,12 +2,15 @@
 
 #include <algorithm>
 #include <cmath>
+#include <fstream>
 #include <numeric>
 
 #include "core/losses.h"
 #include "eval/topk.h"
 #include "nn/optimizer.h"
 #include "nn/serialize.h"
+#include "obs/telemetry.h"
+#include "obs/trace.h"
 #include "util/crc32.h"
 #include "tensor/ops.h"
 #include "util/fault_injection.h"
@@ -323,7 +326,23 @@ Result<FitStats> CrossEm::Fit(const std::vector<graph::VertexId>& vertices,
     proximity = generator.ComputeProximity(vertices, images);
   }
 
+  // ---- Telemetry sink (JSONL, one line per epoch) ----
+  // A fresh run truncates so stale lines from a previous run can't mix
+  // into the new curve; a resume appends to keep one line per epoch
+  // across the interruption.
+  std::ofstream telemetry_out;
+  if (!options_.telemetry_path.empty()) {
+    telemetry_out.open(options_.telemetry_path,
+                       start_epoch > 0 ? std::ios::app : std::ios::trunc);
+    if (!telemetry_out) {
+      return Status::IOError("cannot open telemetry file '" +
+                             options_.telemetry_path + "' for writing");
+    }
+  }
+
   for (int64_t epoch = start_epoch; epoch < options_.epochs; ++epoch) {
+    CROSSEM_TRACE_SPAN_V(epoch_span, "epoch");
+    epoch_span.Arg("epoch", epoch);
     Timer epoch_timer;
     PeakMemoryScope mem_scope;
 
@@ -381,9 +400,35 @@ Result<FitStats> CrossEm::Fit(const std::vector<graph::VertexId>& vertices,
     stats.peak_bytes = std::max(stats.peak_bytes, es.peak_bytes);
     stats.epochs.push_back(es);
 
+    if (telemetry_out.is_open()) {
+      obs::EpochTelemetry t;
+      t.epoch = epoch;
+      t.loss = es.loss;
+      t.grad_norm = es.grad_norm;
+      t.learning_rate = es.learning_rate;
+      t.num_batches = es.num_batches;
+      t.num_pairs = es.num_pairs;
+      t.bad_batches = es.bad_batches;
+      t.retries = es.retries;
+      t.peak_bytes = es.peak_bytes;
+      t.seconds = es.seconds;
+      t.batch_gen_seconds = es.batch_gen_seconds;
+      t.encode_seconds = es.encode_seconds;
+      t.score_seconds = es.score_seconds;
+      t.backward_seconds = es.backward_seconds;
+      t.optimizer_seconds = es.optimizer_seconds;
+      telemetry_out << obs::EpochTelemetryJson(t) << '\n';
+      telemetry_out.flush();  // each line survives a mid-training crash
+      if (!telemetry_out) {
+        return Status::IOError("failed writing telemetry to '" +
+                               options_.telemetry_path + "'");
+      }
+    }
+
     if (checkpointing &&
         ((epoch + 1) % options_.checkpoint_every_epochs == 0 ||
          epoch + 1 == options_.epochs)) {
+      CROSSEM_TRACE_SPAN("checkpoint");
       nn::TrainState train_state;
       train_state.next_epoch = epoch + 1;
       train_state.learning_rate = optimizer.learning_rate();
@@ -407,6 +452,7 @@ Status CrossEm::RunEpochAttempt(const std::vector<graph::VertexId>& vertices,
   *es = EpochStats{};
 
   // ---- Mini-batch construction (Alg. 1 line 3 / Alg. 2 + Alg. 3) ----
+  Timer phase_timer;
   std::vector<MiniBatch> batches;
   if (options_.use_mini_batch_generation) {
     CROSSEM_ASSIGN_OR_RETURN(
@@ -468,8 +514,11 @@ Status CrossEm::RunEpochAttempt(const std::vector<graph::VertexId>& vertices,
     }
   }
 
+  es->batch_gen_seconds = phase_timer.ElapsedSeconds();
+
   // ---- Tuning steps (Alg. 1 lines 4-10) ----
   double epoch_loss = 0.0;
+  double grad_norm_sum = 0.0;
   int64_t steps = 0;
   int64_t pairs = 0;
   int64_t bad = 0;
@@ -479,20 +528,29 @@ Status CrossEm::RunEpochAttempt(const std::vector<graph::VertexId>& vertices,
              static_cast<int64_t>(mb.image_indices.size());
     // Image side: frozen tower, no tape (saves the activation memory
     // the paper's frozen-encoder design saves on GPU).
+    phase_timer.Restart();
     Tensor image_emb;
     {
-      NoGradGuard guard;
-      std::vector<Tensor> rows;
-      rows.reserve(mb.image_indices.size());
-      for (int64_t idx : mb.image_indices) {
-        CROSSEM_CHECK_GE(idx, 0);
-        CROSSEM_CHECK_LT(idx, num_images);
-        rows.push_back(ops::Reshape(ops::Slice(images, 0, idx, idx + 1),
-                                    {images.size(1), images.size(2)}));
+      CROSSEM_TRACE_SPAN("encode");
+      {
+        NoGradGuard guard;
+        std::vector<Tensor> rows;
+        rows.reserve(mb.image_indices.size());
+        for (int64_t idx : mb.image_indices) {
+          CROSSEM_CHECK_GE(idx, 0);
+          CROSSEM_CHECK_LT(idx, num_images);
+          rows.push_back(ops::Reshape(ops::Slice(images, 0, idx, idx + 1),
+                                      {images.size(1), images.size(2)}));
+        }
+        image_emb = model_->image().Forward(ops::Stack(rows));
       }
-      image_emb = model_->image().Forward(ops::Stack(rows));
     }
-    Tensor text_emb = EncodeVerticesForTraining(mb.vertices);
+    Tensor text_emb;
+    {
+      CROSSEM_TRACE_SPAN("encode");
+      text_emb = EncodeVerticesForTraining(mb.vertices);
+    }
+    es->encode_seconds += phase_timer.ElapsedSeconds();
 
     // Pseudo-positives X_p: the top-similarity pairs of the batch
     // (paper Sec. II-B: "X_p is collected from the pairs with top
@@ -500,41 +558,56 @@ Status CrossEm::RunEpochAttempt(const std::vector<graph::VertexId>& vertices,
     // neighbors — (v, I) where I is v's best image AND v is I's best
     // vertex — which keeps only confident pairs and avoids the drift
     // of forcing a positive for every vertex.
+    phase_timer.Restart();
     std::vector<int64_t> confident_rows;
     std::vector<int64_t> confident_targets;
+    Tensor loss;
     {
-      NoGradGuard guard;
-      Tensor sim = clip::ClipModel::SimilarityMatrix(text_emb.Detach(),
-                                                     image_emb);
-      std::vector<int64_t> t2i = ops::ArgMax(sim, -1);
-      std::vector<int64_t> i2t = ops::ArgMax(ops::Transpose(sim, 0, 1), -1);
-      for (size_t r = 0; r < t2i.size(); ++r) {
-        const int64_t img = t2i[r];
-        if (i2t[static_cast<size_t>(img)] == static_cast<int64_t>(r)) {
-          confident_rows.push_back(static_cast<int64_t>(r));
-          confident_targets.push_back(img);
+      CROSSEM_TRACE_SPAN("score");
+      {
+        NoGradGuard guard;
+        Tensor sim = clip::ClipModel::SimilarityMatrix(text_emb.Detach(),
+                                                       image_emb);
+        std::vector<int64_t> t2i = ops::ArgMax(sim, -1);
+        std::vector<int64_t> i2t = ops::ArgMax(ops::Transpose(sim, 0, 1), -1);
+        for (size_t r = 0; r < t2i.size(); ++r) {
+          const int64_t img = t2i[r];
+          if (i2t[static_cast<size_t>(img)] == static_cast<int64_t>(r)) {
+            confident_rows.push_back(static_cast<int64_t>(r));
+            confident_targets.push_back(img);
+          }
+        }
+      }
+      if (!confident_rows.empty()) {
+        Tensor selected_text = ops::IndexSelect(text_emb, confident_rows);
+        loss = model_->ContrastiveLoss(selected_text, image_emb,
+                                       confident_targets);
+        if (options_.use_orthogonal_constraint && soft_gen_) {
+          Tensor lo = OrthogonalPromptLoss(
+              soft_gen_->PromptFeatures(mb.vertices));
+          loss = CombinedLoss(loss, lo, options_.beta);
         }
       }
     }
+    es->score_seconds += phase_timer.ElapsedSeconds();
     if (confident_rows.empty()) continue;  // no trustworthy pair
 
-    Tensor selected_text = ops::IndexSelect(text_emb, confident_rows);
-    Tensor loss =
-        model_->ContrastiveLoss(selected_text, image_emb, confident_targets);
-    if (options_.use_orthogonal_constraint && soft_gen_) {
-      Tensor lo = OrthogonalPromptLoss(
-          soft_gen_->PromptFeatures(mb.vertices));
-      loss = CombinedLoss(loss, lo, options_.beta);
-    }
     optimizer->ZeroGrad();
 
     // Numeric guard: a batch whose loss or gradients are non-finite is
     // dropped before it can poison the parameters or the Adam moments.
     const float loss_value = loss.item();
     bool finite = std::isfinite(loss_value);
+    float batch_grad_norm = 0.0f;
     if (finite) {
-      loss.Backward();
-      finite = std::isfinite(nn::ClipGradNorm(params, options_.grad_clip));
+      phase_timer.Restart();
+      {
+        CROSSEM_TRACE_SPAN("backward");
+        loss.Backward();
+        batch_grad_norm = nn::ClipGradNorm(params, options_.grad_clip);
+      }
+      es->backward_seconds += phase_timer.ElapsedSeconds();
+      finite = std::isfinite(batch_grad_norm);
     }
     if (!finite) {
       optimizer->ZeroGrad();
@@ -545,12 +618,17 @@ Status CrossEm::RunEpochAttempt(const std::vector<graph::VertexId>& vertices,
           << mb.image_indices.size() << " images)";
       continue;
     }
-    optimizer->Step();
+    phase_timer.Restart();
+    optimizer->Step();  // carries its own "optimizer_step" span
+    es->optimizer_seconds += phase_timer.ElapsedSeconds();
     epoch_loss += loss_value;
+    grad_norm_sum += batch_grad_norm;
     ++steps;
   }
 
   es->loss = steps > 0 ? static_cast<float>(epoch_loss / steps) : 0.0f;
+  es->grad_norm =
+      steps > 0 ? static_cast<float>(grad_norm_sum / steps) : 0.0f;
   es->num_batches = steps;
   es->num_pairs = pairs;
   es->bad_batches = bad;

@@ -93,6 +93,13 @@ struct CrossEmOptions {
   float max_bad_batch_fraction = 0.5f;
   /// Rollback retries per epoch before Fit gives up with an error.
   int64_t max_epoch_retries = 2;
+
+  // -- Observability -------------------------------------------------------
+  /// When non-empty, Fit appends one obs::EpochTelemetry JSON object per
+  /// epoch to this file (JSONL). A fresh run truncates the file; a
+  /// resumed one appends, so an interrupted + resumed training still
+  /// yields one line per epoch. An unwritable path fails the Fit.
+  std::string telemetry_path;
 };
 
 /// The full CrossEM+ configuration (soft prompt + MBG + NS + OPC).
@@ -113,6 +120,16 @@ struct EpochStats {
   int64_t retries = 0;
   /// Learning rate in effect when the epoch finished (halved on rollback).
   float learning_rate = 0.0f;
+  /// Mean pre-clip global gradient L2 norm over the stepped batches.
+  float grad_norm = 0.0f;
+  // Phase breakdown of the successful attempt, seconds. The phases do
+  // not sum to `seconds`: batch bookkeeping, the divergence-guard
+  // snapshot, and any rolled-back attempts sit outside them.
+  double batch_gen_seconds = 0.0;
+  double encode_seconds = 0.0;
+  double score_seconds = 0.0;
+  double backward_seconds = 0.0;
+  double optimizer_seconds = 0.0;
 };
 
 struct FitStats {

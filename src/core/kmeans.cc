@@ -5,6 +5,7 @@
 #include <cmath>
 #include <limits>
 
+#include "obs/trace.h"
 #include "util/logging.h"
 #include "util/parallel.h"
 
@@ -30,6 +31,8 @@ KMeansResult KMeans(const Tensor& points, int64_t k, Rng* rng,
   const int64_t n = points.size(0);
   const int64_t dim = points.size(1);
   k = std::min(k, n);
+  CROSSEM_TRACE_SPAN_V(span, "kmeans");
+  span.Arg("n", n).Arg("dim", dim).Arg("k", k);
 
   const float* p = points.data();
   KMeansResult result;

@@ -6,6 +6,7 @@
 #include <set>
 
 #include "core/kmeans.h"
+#include "obs/trace.h"
 #include "tensor/ops.h"
 #include "util/logging.h"
 #include "util/parallel.h"
@@ -35,6 +36,9 @@ Tensor MiniBatchGenerator::ComputeProximity(
   const int64_t num_images = images.size(0);
   const int64_t patches = images.size(1);
   const int64_t patch_dim = images.size(2);
+  CROSSEM_TRACE_SPAN_V(span, "pcp_proximity");
+  span.Arg("vertices", static_cast<int64_t>(vertices.size()))
+      .Arg("images", num_images);
 
   // Property sets N(v) = {v} + d-hop neighbors; collect distinct property
   // vertices so each label is embedded once (phase 1).
@@ -58,8 +62,12 @@ Tensor MiniBatchGenerator::ComputeProximity(
   for (graph::VertexId u : property_order) {
     property_labels.push_back(graph_->VertexLabel(u));
   }
-  Tensor property_emb =
-      model_->text().Forward(tokenizer_->EncodeBatch(property_labels));
+  Tensor property_emb;
+  {
+    CROSSEM_TRACE_SPAN("pcp_property_embed");
+    property_emb =
+        model_->text().Forward(tokenizer_->EncodeBatch(property_labels));
+  }
 
   // Embed every patch as a one-patch image through the frozen image tower
   // (stand-in for ResNet patch features), in chunks.
@@ -68,20 +76,27 @@ Tensor MiniBatchGenerator::ComputeProximity(
   const int64_t chunk = 256;
   std::vector<Tensor> chunks(static_cast<size_t>(
       NumChunks(0, num_images * patches, chunk)));
-  // Chunks are independent inference forwards; run them across the pool.
-  // Worker threads default to grad-on, so each chunk opens its own
-  // no-grad scope.
-  ParallelForChunks(0, num_images * patches, chunk,
-                    [&](int64_t c, int64_t start, int64_t end) {
-                      NoGradGuard guard;
-                      chunks[static_cast<size_t>(c)] = model_->image().Forward(
-                          ops::Slice(patch_rows, 0, start, end));
-                    });
+  {
+    CROSSEM_TRACE_SPAN("pcp_patch_embed");
+    // Chunks are independent inference forwards; run them across the pool.
+    // Worker threads default to grad-on, so each chunk opens its own
+    // no-grad scope.
+    ParallelForChunks(0, num_images * patches, chunk,
+                      [&](int64_t c, int64_t start, int64_t end) {
+                        NoGradGuard guard;
+                        chunks[static_cast<size_t>(c)] =
+                            model_->image().Forward(
+                                ops::Slice(patch_rows, 0, start, end));
+                      });
+  }
   Tensor patch_emb = ops::Concat(chunks, 0);  // [N*P, E]
 
   // Phase 1 closeness: S_c = A x C^T.
-  Tensor closeness =
-      ops::MatMul(property_emb, ops::Transpose(patch_emb, 0, 1));
+  Tensor closeness;
+  {
+    CROSSEM_TRACE_SPAN("pcp_closeness");
+    closeness = ops::MatMul(property_emb, ops::Transpose(patch_emb, 0, 1));
+  }
 
   // Phase 2 proximity (Eq. 8).
   const int64_t nv = static_cast<int64_t>(vertices.size());
@@ -133,6 +148,8 @@ Result<std::vector<MiniBatch>> MiniBatchGenerator::PartitionFromProximity(
   std::vector<MiniBatch> partitions;
   const int64_t nv = static_cast<int64_t>(vertices.size());
   const int64_t ni = proximity.size(1);
+  CROSSEM_TRACE_SPAN_V(span, "pcp_partition");
+  span.Arg("vertices", nv).Arg("images", ni);
   const float* s = proximity.data();
 
   // Phase 3, step 1: random vertex subsets.

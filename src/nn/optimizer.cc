@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/logging.h"
 
 namespace crossem {
@@ -12,6 +14,22 @@ namespace {
 /// received a gradient this step.
 bool Updatable(const Tensor& p) {
   return p.requires_grad() && p.grad().defined();
+}
+
+/// Shared-registry optimizer instruments, resolved once; the per-step
+/// cost is one atomic increment + one atomic store.
+struct StepMetrics {
+  obs::Counter* steps =
+      obs::MetricsRegistry::Default().GetCounter("crossem_optimizer_steps_total");
+  obs::Counter* updated_params = obs::MetricsRegistry::Default().GetCounter(
+      "crossem_optimizer_updated_parameters_total");
+  obs::Gauge* lr = obs::MetricsRegistry::Default().GetGauge(
+      "crossem_optimizer_learning_rate");
+};
+
+StepMetrics& Metrics() {
+  static StepMetrics metrics;
+  return metrics;
 }
 }  // namespace
 
@@ -28,9 +46,15 @@ Sgd::Sgd(std::vector<Tensor> params, float lr, float momentum)
 }
 
 void Sgd::Step() {
+  CROSSEM_TRACE_SPAN("optimizer_step");
+  StepMetrics& metrics = Metrics();
+  metrics.steps->Increment();
+  metrics.lr->Set(static_cast<double>(lr_));
+  int64_t updated = 0;
   for (size_t i = 0; i < params_.size(); ++i) {
     Tensor& p = params_[i];
     if (!Updatable(p)) continue;
+    ++updated;
     const float* g = p.grad().data();
     float* w = p.data();
     const int64_t n = p.numel();
@@ -46,6 +70,7 @@ void Sgd::Step() {
       for (int64_t j = 0; j < n; ++j) w[j] -= lr_ * g[j];
     }
   }
+  metrics.updated_params->Add(updated);
 }
 
 Adam::Adam(std::vector<Tensor> params, float lr, float beta1, float beta2,
@@ -91,12 +116,18 @@ Status Adam::ImportState(const State& state) {
 }
 
 void Adam::Step() {
+  CROSSEM_TRACE_SPAN("optimizer_step");
+  StepMetrics& metrics = Metrics();
+  metrics.steps->Increment();
+  metrics.lr->Set(static_cast<double>(lr_));
   ++t_;
   const float bc1 = 1.0f - std::pow(beta1_, static_cast<float>(t_));
   const float bc2 = 1.0f - std::pow(beta2_, static_cast<float>(t_));
+  int64_t updated = 0;
   for (size_t i = 0; i < params_.size(); ++i) {
     Tensor& p = params_[i];
     if (!Updatable(p)) continue;
+    ++updated;
     const float* g = p.grad().data();
     float* w = p.data();
     const int64_t n = p.numel();
@@ -123,6 +154,7 @@ void Adam::Step() {
       w[j] -= update;
     }
   }
+  metrics.updated_params->Add(updated);
 }
 
 AdamW::AdamW(std::vector<Tensor> params, float lr, float beta1, float beta2,

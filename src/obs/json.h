@@ -1,0 +1,27 @@
+// Tiny JSON-emission helpers shared by the metrics/trace/telemetry
+// exporters. Emission only — parsing lives in src/graph/json.h (which
+// the obs tests use to round-trip what these helpers produce).
+#ifndef CROSSEM_OBS_JSON_H_
+#define CROSSEM_OBS_JSON_H_
+
+#include <cstdint>
+#include <string>
+
+namespace crossem {
+namespace obs {
+
+/// Returns `s` as a quoted JSON string literal (control characters,
+/// quotes and backslashes escaped).
+std::string JsonString(const std::string& s);
+
+/// Renders a double as a JSON number. JSON has no NaN/Inf, so non-finite
+/// values become null — a telemetry line with a diverged loss must stay
+/// machine-parseable.
+std::string JsonNumber(double v);
+
+std::string JsonNumber(int64_t v);
+
+}  // namespace obs
+}  // namespace crossem
+
+#endif  // CROSSEM_OBS_JSON_H_

@@ -1,0 +1,260 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "obs/json.h"
+
+namespace crossem {
+namespace obs {
+
+namespace {
+
+/// Bucket index for a value: floor(log2(v)) clamped to the table.
+int BucketFor(int64_t value) {
+  if (value < 1) return 0;
+  int b = 0;
+  while (value > 1 && b < Histogram::kBuckets - 1) {
+    value >>= 1;
+    ++b;
+  }
+  return b;
+}
+
+/// Raises an atomic maximum (relaxed; monotonic so CAS loop suffices).
+void AtomicMax(std::atomic<int64_t>* slot, int64_t value) {
+  int64_t cur = slot->load(std::memory_order_relaxed);
+  while (cur < value &&
+         !slot->compare_exchange_weak(cur, value, std::memory_order_relaxed)) {
+  }
+}
+
+void AtomicMin(std::atomic<int64_t>* slot, int64_t value) {
+  int64_t cur = slot->load(std::memory_order_relaxed);
+  while (cur > value &&
+         !slot->compare_exchange_weak(cur, value, std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+void Histogram::Record(int64_t value) {
+  buckets_[BucketFor(value)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value, std::memory_order_relaxed);
+  AtomicMax(&max_, value);
+  AtomicMin(&min_, value);
+}
+
+void Histogram::Merge(const Histogram& other) {
+  for (int b = 0; b < kBuckets; ++b) {
+    const int64_t n = other.buckets_[b].load(std::memory_order_relaxed);
+    if (n != 0) buckets_[b].fetch_add(n, std::memory_order_relaxed);
+  }
+  count_.fetch_add(other.count(), std::memory_order_relaxed);
+  sum_.fetch_add(other.sum(), std::memory_order_relaxed);
+  AtomicMax(&max_, other.max());
+  const int64_t omin = other.min_.load(std::memory_order_relaxed);
+  AtomicMin(&min_, omin);
+}
+
+int64_t Histogram::min() const {
+  const int64_t m = min_.load(std::memory_order_relaxed);
+  return m == std::numeric_limits<int64_t>::max() ? 0 : m;
+}
+
+int64_t Histogram::Percentile(double q) const {
+  const int64_t count = this->count();
+  if (count == 0) return 0;
+  // Exact at the edges: the log2 upper-bound readout would otherwise
+  // report a bucket bound for a quantile whose value is known precisely.
+  if (q <= 0.0) return min();
+  if (q >= 1.0) return max();
+  // Rank of the q-quantile observation (1-based, ceiling).
+  const int64_t rank = std::max<int64_t>(
+      1, static_cast<int64_t>(std::ceil(q * static_cast<double>(count))));
+  int64_t seen = 0;
+  for (int b = 0; b < kBuckets; ++b) {
+    seen += buckets_[b].load(std::memory_order_relaxed);
+    if (seen >= rank) {
+      // Upper bound of bucket b, clamped into the observed range so a
+      // single-value histogram (or a quantile landing in the min/max
+      // bucket) reports an actually-observed value.
+      return std::clamp(BucketUpperBound(b), min(), max());
+    }
+  }
+  return max();
+}
+
+double Histogram::Mean() const {
+  const int64_t count = this->count();
+  return count == 0
+             ? 0.0
+             : static_cast<double>(sum()) / static_cast<double>(count);
+}
+
+MetricsRegistry& MetricsRegistry::Default() {
+  static MetricsRegistry* registry = new MetricsRegistry();  // never freed
+  return *registry;
+}
+
+namespace {
+
+/// obs sits below util in the link order, so it cannot use
+/// CROSSEM_CHECK; a kind clash is a programmer error worth an abort.
+[[noreturn]] void KindClash(const std::string& name) {
+  std::fprintf(stderr,
+               "[FATAL obs/metrics] instrument '%s' already registered "
+               "with a different kind\n",
+               name.c_str());
+  std::abort();
+}
+
+}  // namespace
+
+Counter* MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] = kinds_.emplace(name, Kind::kCounter);
+  if (!inserted && it->second != Kind::kCounter) KindClash(name);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] = kinds_.emplace(name, Kind::kGauge);
+  if (!inserted && it->second != Kind::kGauge) KindClash(name);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return slot.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] = kinds_.emplace(name, Kind::kHistogram);
+  if (!inserted && it->second != Kind::kHistogram) KindClash(name);
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<Histogram>();
+  return slot.get();
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  MetricsSnapshot snap;
+  snap.counters.reserve(counters_.size());
+  for (const auto& [name, c] : counters_) {
+    snap.counters.push_back({name, c->Value()});
+  }
+  snap.gauges.reserve(gauges_.size());
+  for (const auto& [name, g] : gauges_) {
+    snap.gauges.push_back({name, g->Value()});
+  }
+  snap.histograms.reserve(histograms_.size());
+  for (const auto& [name, h] : histograms_) {
+    MetricsSnapshot::HistogramValue v;
+    v.name = name;
+    v.count = h->count();
+    v.sum = h->sum();
+    v.min = h->min();
+    v.max = h->max();
+    v.p50 = h->Percentile(0.50);
+    v.p99 = h->Percentile(0.99);
+    v.mean = h->Mean();
+    for (int b = 0; b < Histogram::kBuckets; ++b) v.buckets[b] = h->bucket(b);
+    snap.histograms.push_back(std::move(v));
+  }
+  return snap;  // std::map iteration is already name-sorted
+}
+
+namespace {
+
+/// Prometheus metric names allow [a-zA-Z_:][a-zA-Z0-9_:]*.
+std::string SanitizeMetricName(const std::string& name) {
+  std::string out = name;
+  for (size_t i = 0; i < out.size(); ++i) {
+    const char c = out[i];
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    c == '_' || c == ':' || (i > 0 && c >= '0' && c <= '9');
+    if (!ok) out[i] = '_';
+  }
+  return out.empty() ? "_" : out;
+}
+
+std::string FormatDouble(double v) {
+  if (std::isnan(v)) return "NaN";
+  if (std::isinf(v)) return v > 0 ? "+Inf" : "-Inf";
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  return buf;
+}
+
+}  // namespace
+
+std::string ExportPrometheus(const MetricsSnapshot& snapshot) {
+  std::string out;
+  for (const auto& c : snapshot.counters) {
+    const std::string name = SanitizeMetricName(c.name);
+    out += "# TYPE " + name + " counter\n";
+    out += name + " " + std::to_string(c.value) + "\n";
+  }
+  for (const auto& g : snapshot.gauges) {
+    const std::string name = SanitizeMetricName(g.name);
+    out += "# TYPE " + name + " gauge\n";
+    out += name + " " + FormatDouble(g.value) + "\n";
+  }
+  for (const auto& h : snapshot.histograms) {
+    const std::string name = SanitizeMetricName(h.name);
+    out += "# TYPE " + name + " histogram\n";
+    int highest = -1;
+    for (int b = 0; b < Histogram::kBuckets; ++b) {
+      if (h.buckets[b] != 0) highest = b;
+    }
+    int64_t cumulative = 0;
+    for (int b = 0; b <= highest; ++b) {
+      cumulative += h.buckets[b];
+      out += name + "_bucket{le=\"" +
+             std::to_string(Histogram::BucketUpperBound(b)) + "\"} " +
+             std::to_string(cumulative) + "\n";
+    }
+    out += name + "_bucket{le=\"+Inf\"} " + std::to_string(h.count) + "\n";
+    out += name + "_sum " + std::to_string(h.sum) + "\n";
+    out += name + "_count " + std::to_string(h.count) + "\n";
+  }
+  return out;
+}
+
+std::string ExportJson(const MetricsSnapshot& snapshot) {
+  std::string out = "{\"counters\":{";
+  bool first = true;
+  for (const auto& c : snapshot.counters) {
+    if (!first) out += ",";
+    first = false;
+    out += JsonString(c.name) + ":" + JsonNumber(c.value);
+  }
+  out += "},\"gauges\":{";
+  first = true;
+  for (const auto& g : snapshot.gauges) {
+    if (!first) out += ",";
+    first = false;
+    out += JsonString(g.name) + ":" + JsonNumber(g.value);
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const auto& h : snapshot.histograms) {
+    if (!first) out += ",";
+    first = false;
+    out += JsonString(h.name) + ":{\"count\":" + JsonNumber(h.count) +
+           ",\"sum\":" + JsonNumber(h.sum) + ",\"min\":" + JsonNumber(h.min) +
+           ",\"max\":" + JsonNumber(h.max) + ",\"mean\":" + JsonNumber(h.mean) +
+           ",\"p50\":" + JsonNumber(h.p50) + ",\"p99\":" + JsonNumber(h.p99) +
+           "}";
+  }
+  out += "}}";
+  return out;
+}
+
+}  // namespace obs
+}  // namespace crossem

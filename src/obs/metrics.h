@@ -1,0 +1,184 @@
+// Process-wide metrics: named Counter / Gauge / Histogram instruments
+// behind a thread-safe MetricsRegistry, with Prometheus-text and JSON
+// exporters.
+//
+// Design constraints (DESIGN.md §11):
+//   * Hot-path updates are lock-free: counters and histogram records are
+//     relaxed atomic adds; gauges are atomic stores. The registry mutex
+//     is only taken to *resolve* an instrument by name — callers cache
+//     the returned pointer (instruments are never deleted, so pointers
+//     stay valid for the registry's lifetime).
+//   * Snapshots read the atomics without stopping writers, so a snapshot
+//     taken mid-update may be off by in-flight increments — fine for
+//     monitoring, documented here so nobody builds an invariant on it.
+//   * The log2 Histogram generalizes the one that used to live in
+//     src/serve/stats.h: same 40-bucket layout, plus min tracking,
+//     Merge(), and exact readouts at the distribution edges
+//     (Percentile(0) = min, Percentile(1) = max, single-value
+//     histograms always report that value).
+//
+// This header deliberately depends on nothing but the standard library:
+// it sits below src/util in the link order so logging, parallel, and
+// every other layer can publish metrics.
+#ifndef CROSSEM_OBS_METRICS_H_
+#define CROSSEM_OBS_METRICS_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace crossem {
+namespace obs {
+
+/// Monotonically increasing count (requests served, batches run, ...).
+class Counter {
+ public:
+  void Increment() { Add(1); }
+  void Add(int64_t n) { value_.fetch_add(n, std::memory_order_relaxed); }
+  int64_t Value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+/// Last-write-wins instantaneous value (learning rate, queue depth, ...).
+class Gauge {
+ public:
+  void Set(double v) { value_.store(v, std::memory_order_relaxed); }
+  void Add(double delta) {
+    double cur = value_.load(std::memory_order_relaxed);
+    while (!value_.compare_exchange_weak(cur, cur + delta,
+                                         std::memory_order_relaxed)) {
+    }
+  }
+  double Value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Fixed log2-bucketed histogram: bucket i counts values in
+/// [2^i, 2^{i+1}) (bucket 0 additionally takes values < 1). Percentile
+/// readouts are bucket upper bounds clamped into [min, max], so a
+/// reported p99 is an upper bound within 2x of the true value — plenty
+/// for latency monitoring — and the distribution edges are exact.
+/// All mutation is lock-free (relaxed atomics); see the header comment
+/// for snapshot consistency semantics.
+class Histogram {
+ public:
+  static constexpr int kBuckets = 40;  // covers > 10^11 units
+
+  void Record(int64_t value);
+
+  /// Folds another histogram's observations into this one (bucket-wise
+  /// addition; min/max widen). The other histogram may be concurrently
+  /// written; the merge then reflects some valid interleaving.
+  void Merge(const Histogram& other);
+
+  int64_t count() const { return count_.load(std::memory_order_relaxed); }
+  int64_t sum() const { return sum_.load(std::memory_order_relaxed); }
+  int64_t max() const { return max_.load(std::memory_order_relaxed); }
+  /// Smallest recorded value; 0 when empty.
+  int64_t min() const;
+  int64_t bucket(int i) const {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+
+  /// Upper bound of the bucket holding quantile q, clamped into
+  /// [min, max]. q <= 0 returns the exact min, q >= 1 the exact max;
+  /// an empty histogram returns 0 for any q.
+  int64_t Percentile(double q) const;
+  double Mean() const;
+
+  /// Inclusive upper bound of bucket b (2^{b+1} - 1).
+  static int64_t BucketUpperBound(int b) {
+    return (int64_t{1} << (b + 1)) - 1;
+  }
+
+ private:
+  std::array<std::atomic<int64_t>, kBuckets> buckets_{};
+  std::atomic<int64_t> count_{0};
+  std::atomic<int64_t> sum_{0};
+  std::atomic<int64_t> max_{0};
+  std::atomic<int64_t> min_{std::numeric_limits<int64_t>::max()};
+};
+
+/// Point-in-time copy of every instrument in a registry, sorted by name.
+struct MetricsSnapshot {
+  struct CounterValue {
+    std::string name;
+    int64_t value = 0;
+  };
+  struct GaugeValue {
+    std::string name;
+    double value = 0.0;
+  };
+  struct HistogramValue {
+    std::string name;
+    int64_t count = 0;
+    int64_t sum = 0;
+    int64_t min = 0;
+    int64_t max = 0;
+    int64_t p50 = 0;
+    int64_t p99 = 0;
+    double mean = 0.0;
+    std::array<int64_t, Histogram::kBuckets> buckets{};
+  };
+
+  std::vector<CounterValue> counters;
+  std::vector<GaugeValue> gauges;
+  std::vector<HistogramValue> histograms;
+};
+
+/// Thread-safe name -> instrument map. Get* registers on first use and
+/// returns the same pointer for the same name ever after; instruments
+/// live as long as the registry. Distinct instrument kinds share no
+/// namespace checks — registering "x" as both a counter and a gauge is
+/// caught and aborts (it would produce a nonsensical exposition).
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// The process-wide registry every subsystem publishes into.
+  static MetricsRegistry& Default();
+
+  Counter* GetCounter(const std::string& name);
+  Gauge* GetGauge(const std::string& name);
+  Histogram* GetHistogram(const std::string& name);
+
+  MetricsSnapshot Snapshot() const;
+
+ private:
+  enum class Kind { kCounter, kGauge, kHistogram };
+
+  mutable std::mutex mu_;
+  std::map<std::string, Kind> kinds_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+/// Prometheus text exposition (format version 0.0.4) of a snapshot:
+/// counters as `# TYPE <name> counter`, gauges as gauge, histograms as
+/// cumulative `<name>_bucket{le="..."}` series (log2 upper bounds, only
+/// up to the highest non-empty bucket) plus `_sum` and `_count`. Names
+/// are sanitized to [a-zA-Z0-9_:]. Deterministic: sorted by name.
+std::string ExportPrometheus(const MetricsSnapshot& snapshot);
+
+/// The same snapshot as one compact JSON object:
+/// {"counters":{...},"gauges":{...},"histograms":{name:{count,sum,min,
+/// max,mean,p50,p99}}}.
+std::string ExportJson(const MetricsSnapshot& snapshot);
+
+}  // namespace obs
+}  // namespace crossem
+
+#endif  // CROSSEM_OBS_METRICS_H_

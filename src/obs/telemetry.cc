@@ -1,0 +1,30 @@
+#include "obs/telemetry.h"
+
+#include "obs/json.h"
+
+namespace crossem {
+namespace obs {
+
+std::string EpochTelemetryJson(const EpochTelemetry& t) {
+  std::string out = "{";
+  out += "\"epoch\":" + JsonNumber(t.epoch);
+  out += ",\"loss\":" + JsonNumber(t.loss);
+  out += ",\"grad_norm\":" + JsonNumber(t.grad_norm);
+  out += ",\"learning_rate\":" + JsonNumber(t.learning_rate);
+  out += ",\"num_batches\":" + JsonNumber(t.num_batches);
+  out += ",\"num_pairs\":" + JsonNumber(t.num_pairs);
+  out += ",\"bad_batches\":" + JsonNumber(t.bad_batches);
+  out += ",\"retries\":" + JsonNumber(t.retries);
+  out += ",\"peak_bytes\":" + JsonNumber(t.peak_bytes);
+  out += ",\"seconds\":" + JsonNumber(t.seconds);
+  out += ",\"batch_gen_seconds\":" + JsonNumber(t.batch_gen_seconds);
+  out += ",\"encode_seconds\":" + JsonNumber(t.encode_seconds);
+  out += ",\"score_seconds\":" + JsonNumber(t.score_seconds);
+  out += ",\"backward_seconds\":" + JsonNumber(t.backward_seconds);
+  out += ",\"optimizer_seconds\":" + JsonNumber(t.optimizer_seconds);
+  out += "}";
+  return out;
+}
+
+}  // namespace obs
+}  // namespace crossem

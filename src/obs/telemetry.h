@@ -1,0 +1,50 @@
+// Per-epoch training telemetry records (JSONL).
+//
+// CrossEm::Fit (and any other training loop) fills one EpochTelemetry
+// per epoch and appends EpochTelemetryJson() + '\n' to its --telemetry-out
+// sink, producing a machine-readable training log: one JSON object per
+// line with the loss/grad-norm curve, divergence-guard activity, and the
+// wall-clock phase breakdown the paper's Table III measures
+// (encode / score / backward / optimizer).
+//
+// Formatting lives here (schema in one place, reused by the tests);
+// file I/O stays with the caller so obs keeps zero dependencies.
+#ifndef CROSSEM_OBS_TELEMETRY_H_
+#define CROSSEM_OBS_TELEMETRY_H_
+
+#include <cstdint>
+#include <string>
+
+namespace crossem {
+namespace obs {
+
+struct EpochTelemetry {
+  int64_t epoch = 0;
+  double loss = 0.0;
+  /// Mean pre-clip global gradient L2 norm over the epoch's good batches.
+  double grad_norm = 0.0;
+  double learning_rate = 0.0;
+  int64_t num_batches = 0;
+  int64_t num_pairs = 0;
+  int64_t bad_batches = 0;
+  int64_t retries = 0;
+  int64_t peak_bytes = 0;
+  /// Epoch wall time and its phase breakdown, seconds. The phases do not
+  /// sum to `seconds`: batch bookkeeping and the divergence-guard
+  /// snapshot sit outside them.
+  double seconds = 0.0;
+  double batch_gen_seconds = 0.0;
+  double encode_seconds = 0.0;
+  double score_seconds = 0.0;
+  double backward_seconds = 0.0;
+  double optimizer_seconds = 0.0;
+};
+
+/// One compact JSON object (no trailing newline). Non-finite values
+/// (e.g. a diverged loss) render as null so every line stays parseable.
+std::string EpochTelemetryJson(const EpochTelemetry& t);
+
+}  // namespace obs
+}  // namespace crossem
+
+#endif  // CROSSEM_OBS_TELEMETRY_H_

@@ -1,0 +1,241 @@
+#include "obs/trace.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <mutex>
+
+#include "obs/json.h"
+
+namespace crossem {
+namespace obs {
+
+namespace {
+
+/// Nanoseconds on the steady clock.
+uint64_t NowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// Trace epoch: timestamps are reported relative to the first use so
+/// exported traces start near t=0.
+uint64_t TraceEpochNs() {
+  static const uint64_t epoch = NowNs();
+  return epoch;
+}
+
+bool TraceEnvDefault() {
+  const char* env = std::getenv("CROSSEM_TRACE");
+  return env != nullptr && env[0] != '\0' && std::strcmp(env, "0") != 0;
+}
+
+std::atomic<bool>& EnabledFlag() {
+  static std::atomic<bool> enabled{TraceEnvDefault()};
+  return enabled;
+}
+
+/// Per-thread span sink. The owning thread appends; the exporter reads
+/// under the same mutex, which is uncontended except during export.
+struct ThreadBuffer {
+  std::mutex mu;
+  uint64_t thread_id = 0;
+  std::vector<SpanRecord> spans;
+};
+
+/// Registry of every thread's buffer. Buffers are shared_ptr so they
+/// outlive their thread (spans from exited pool workers still export).
+class Tracer {
+ public:
+  static Tracer& Instance() {
+    static Tracer* tracer = new Tracer();  // never freed
+    return *tracer;
+  }
+
+  std::shared_ptr<ThreadBuffer> RegisterThread() {
+    auto buffer = std::make_shared<ThreadBuffer>();
+    std::lock_guard<std::mutex> lock(mu_);
+    buffer->thread_id = next_thread_id_++;
+    buffers_.push_back(buffer);
+    return buffer;
+  }
+
+  std::vector<SpanRecord> Collect() {
+    std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      buffers = buffers_;
+    }
+    std::vector<SpanRecord> out;
+    for (const auto& b : buffers) {
+      std::lock_guard<std::mutex> lock(b->mu);
+      out.insert(out.end(), b->spans.begin(), b->spans.end());
+    }
+    return out;
+  }
+
+  void Clear() {
+    std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      buffers = buffers_;
+    }
+    for (const auto& b : buffers) {
+      std::lock_guard<std::mutex> lock(b->mu);
+      b->spans.clear();
+    }
+  }
+
+  int64_t Count() {
+    std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      buffers = buffers_;
+    }
+    int64_t n = 0;
+    for (const auto& b : buffers) {
+      std::lock_guard<std::mutex> lock(b->mu);
+      n += static_cast<int64_t>(b->spans.size());
+    }
+    return n;
+  }
+
+ private:
+  Tracer() = default;
+
+  std::mutex mu_;
+  uint64_t next_thread_id_ = 1;
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers_;
+};
+
+ThreadBuffer& LocalBuffer() {
+  thread_local std::shared_ptr<ThreadBuffer> buffer =
+      Tracer::Instance().RegisterThread();
+  return *buffer;
+}
+
+}  // namespace
+
+bool TraceEnabled() {
+  return EnabledFlag().load(std::memory_order_relaxed);
+}
+
+void SetTraceEnabled(bool enabled) {
+  if (enabled) TraceEpochNs();  // pin the epoch before the first span
+  EnabledFlag().store(enabled, std::memory_order_relaxed);
+}
+
+TraceSpan::TraceSpan(const char* name)
+    : enabled_(TraceEnabled()), name_(name) {
+  if (enabled_) start_ns_ = NowNs();
+}
+
+TraceSpan::~TraceSpan() {
+  if (!enabled_) return;
+  const uint64_t end_ns = NowNs();
+  SpanRecord record;
+  record.name = name_;
+  const uint64_t epoch = TraceEpochNs();
+  record.start_ns = start_ns_ >= epoch ? start_ns_ - epoch : 0;
+  record.duration_ns = end_ns >= start_ns_ ? end_ns - start_ns_ : 0;
+  record.args = std::move(args_);
+  ThreadBuffer& buffer = LocalBuffer();
+  record.thread_id = buffer.thread_id;
+  std::lock_guard<std::mutex> lock(buffer.mu);
+  buffer.spans.push_back(std::move(record));
+}
+
+TraceSpan& TraceSpan::Arg(const char* key, int64_t value) {
+  if (!enabled_) return *this;
+  SpanArg arg;
+  arg.key = key;
+  arg.type = SpanArg::Type::kInt;
+  arg.int_value = value;
+  args_.push_back(std::move(arg));
+  return *this;
+}
+
+TraceSpan& TraceSpan::Arg(const char* key, double value) {
+  if (!enabled_) return *this;
+  SpanArg arg;
+  arg.key = key;
+  arg.type = SpanArg::Type::kDouble;
+  arg.double_value = value;
+  args_.push_back(std::move(arg));
+  return *this;
+}
+
+TraceSpan& TraceSpan::Arg(const char* key, const std::string& value) {
+  if (!enabled_) return *this;
+  SpanArg arg;
+  arg.key = key;
+  arg.type = SpanArg::Type::kString;
+  arg.string_value = value;
+  args_.push_back(std::move(arg));
+  return *this;
+}
+
+std::vector<SpanRecord> CollectSpans() { return Tracer::Instance().Collect(); }
+
+int64_t SpanCount() { return Tracer::Instance().Count(); }
+
+void ClearTrace() { Tracer::Instance().Clear(); }
+
+std::string ChromeTraceJson() {
+  const std::vector<SpanRecord> spans = CollectSpans();
+  std::string out = "{\"traceEvents\":[";
+  bool first = true;
+  for (const SpanRecord& s : spans) {
+    if (!first) out += ",";
+    first = false;
+    // Chrome trace timestamps/durations are microseconds (double).
+    out += "{\"name\":" + JsonString(s.name) +
+           ",\"cat\":\"crossem\",\"ph\":\"X\",\"pid\":1,\"tid\":" +
+           std::to_string(s.thread_id) +
+           ",\"ts\":" + JsonNumber(static_cast<double>(s.start_ns) / 1000.0) +
+           ",\"dur\":" +
+           JsonNumber(static_cast<double>(s.duration_ns) / 1000.0);
+    if (!s.args.empty()) {
+      out += ",\"args\":{";
+      bool first_arg = true;
+      for (const SpanArg& a : s.args) {
+        if (!first_arg) out += ",";
+        first_arg = false;
+        out += JsonString(a.key);
+        out += ":";
+        switch (a.type) {
+          case SpanArg::Type::kInt:
+            out += JsonNumber(a.int_value);
+            break;
+          case SpanArg::Type::kDouble:
+            out += JsonNumber(a.double_value);
+            break;
+          case SpanArg::Type::kString:
+            out += JsonString(a.string_value);
+            break;
+        }
+      }
+      out += "}";
+    }
+    out += "}";
+  }
+  out += "]}";
+  return out;
+}
+
+bool WriteChromeTrace(const std::string& path) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return false;
+  out << ChromeTraceJson();
+  out.flush();
+  return static_cast<bool>(out);
+}
+
+}  // namespace obs
+}  // namespace crossem

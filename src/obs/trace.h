@@ -1,0 +1,116 @@
+// Scoped-span tracing with Chrome trace_event JSON export (loadable in
+// Perfetto / chrome://tracing).
+//
+//   void Gemm(...) {
+//     CROSSEM_TRACE_SPAN_V(span, "gemm");
+//     span.Arg("m", m).Arg("n", n).Arg("k", k);
+//     ...
+//   }  // span records itself on scope exit
+//
+// Cost model:
+//   * Disabled (the default): constructing a span is one relaxed atomic
+//     load and two member stores — low single-digit nanoseconds, cheap
+//     enough for per-GEMM-call instrumentation. Arg() is a branch.
+//   * Enabled: each span takes two steady_clock reads plus an append to
+//     a per-thread buffer (one uncontended mutex acquisition), roughly
+//     ~100ns — tracing is a diagnosis mode, not an always-on path.
+//
+// Enabling: the CROSSEM_TRACE environment variable (0/1, read once at
+// first query) seeds the flag; SetTraceEnabled() toggles it at runtime
+// (e.g. tools enable it when --trace-out is given). Spans started while
+// disabled record nothing even if tracing is enabled before they close.
+//
+// Buffering: every thread appends finished spans to its own buffer; the
+// buffers are registered with the process-wide tracer and survive thread
+// exit (ownership is shared), so spans recorded by short-lived pool
+// workers are still present at export time. ExportChromeTrace() renders
+// everything recorded so far; ClearTrace() drops it (tests).
+#ifndef CROSSEM_OBS_TRACE_H_
+#define CROSSEM_OBS_TRACE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace crossem {
+namespace obs {
+
+/// Global trace toggle (relaxed atomic; seeded from CROSSEM_TRACE).
+bool TraceEnabled();
+void SetTraceEnabled(bool enabled);
+
+/// One key/value annotation on a span. Keys must be string literals
+/// (spans store the pointer, not a copy).
+struct SpanArg {
+  enum class Type { kInt, kDouble, kString };
+  const char* key = "";
+  Type type = Type::kInt;
+  int64_t int_value = 0;
+  double double_value = 0.0;
+  std::string string_value;
+};
+
+/// A finished span as stored in the trace buffers.
+struct SpanRecord {
+  const char* name = "";   // string literal
+  uint64_t start_ns = 0;   // since process trace epoch
+  uint64_t duration_ns = 0;
+  uint64_t thread_id = 0;  // dense per-thread id (Chrome "tid")
+  std::vector<SpanArg> args;
+};
+
+/// RAII span: measures from construction to destruction and appends the
+/// record to the calling thread's buffer. `name` must be a string
+/// literal (or otherwise outlive the tracer).
+class TraceSpan {
+ public:
+  explicit TraceSpan(const char* name);
+  ~TraceSpan();
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+  /// Attaches an annotation; no-ops (one branch) when the span is
+  /// disabled. Keys must be string literals.
+  TraceSpan& Arg(const char* key, int64_t value);
+  TraceSpan& Arg(const char* key, double value);
+  TraceSpan& Arg(const char* key, const std::string& value);
+
+ private:
+  bool enabled_;
+  const char* name_;
+  uint64_t start_ns_ = 0;
+  std::vector<SpanArg> args_;
+};
+
+/// Copies every span recorded so far (all threads).
+std::vector<SpanRecord> CollectSpans();
+
+/// Number of spans recorded so far (all threads).
+int64_t SpanCount();
+
+/// Drops all recorded spans.
+void ClearTrace();
+
+/// Chrome trace_event JSON ({"traceEvents":[...]}) of every recorded
+/// span: complete ("ph":"X") events with microsecond timestamps, pid 1,
+/// per-thread tids, and span args.
+std::string ChromeTraceJson();
+
+/// Writes ChromeTraceJson() to `path`; returns false (and leaves any
+/// partial file) on I/O failure.
+bool WriteChromeTrace(const std::string& path);
+
+// Span with a compiler-generated variable name (no args).
+#define CROSSEM_TRACE_CONCAT_2(a, b) a##b
+#define CROSSEM_TRACE_CONCAT_(a, b) CROSSEM_TRACE_CONCAT_2(a, b)
+#define CROSSEM_TRACE_SPAN(name)                                   \
+  ::crossem::obs::TraceSpan CROSSEM_TRACE_CONCAT_(crossem_span_,   \
+                                                  __LINE__)(name)
+// Named span variable, for attaching Arg()s.
+#define CROSSEM_TRACE_SPAN_V(var, name) ::crossem::obs::TraceSpan var(name)
+
+}  // namespace obs
+}  // namespace crossem
+
+#endif  // CROSSEM_OBS_TRACE_H_

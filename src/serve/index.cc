@@ -5,6 +5,7 @@
 #include <cstring>
 #include <queue>
 
+#include "obs/trace.h"
 #include "util/logging.h"
 #include "util/parallel.h"
 
@@ -475,6 +476,8 @@ Status HnswIndex::Add(const Tensor& embeddings,
   int64_t first = 0;
   CROSSEM_RETURN_NOT_OK(AppendNormalized(embeddings, ids, &first));
   const int64_t total = size();
+  CROSSEM_TRACE_SPAN_V(span, "hnsw_build");
+  span.Arg("added", total - first).Arg("total", total);
   nodes_.resize(static_cast<size_t>(total));
   for (int64_t id = first; id < total; ++id) {
     Node& node = nodes_[static_cast<size_t>(id)];

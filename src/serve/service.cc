@@ -6,6 +6,7 @@
 #include <unordered_map>
 #include <utility>
 
+#include "obs/trace.h"
 #include "tensor/tensor.h"
 
 namespace crossem {
@@ -149,6 +150,8 @@ void MatchService::WorkerLoop() {
 }
 
 void MatchService::ProcessBatch(std::vector<Pending> batch) {
+  CROSSEM_TRACE_SPAN_V(span, "serve_batch");
+  span.Arg("requests", static_cast<int64_t>(batch.size()));
   // Expire requests that aged out while queued.
   const Clock::time_point dequeued = Clock::now();
   std::vector<Pending> live;

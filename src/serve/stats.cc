@@ -1,92 +1,100 @@
 #include "serve/stats.h"
 
-#include <algorithm>
 #include <cstdio>
 
 namespace crossem {
 namespace serve {
 
-namespace {
+/// The process-wide `crossem_serve_*` aggregates every StatsCollector
+/// double-writes into, so `crossem_serve --stats-out` (and any other
+/// obs::ExportPrometheus caller) sees serving traffic without reaching
+/// into individual services.
+struct StatsCollector::SharedInstruments {
+  obs::Counter* received;
+  obs::Counter* rejected_queue_full;
+  obs::Counter* rejected_shutdown;
+  obs::Counter* expired_deadline;
+  obs::Counter* completed;
+  obs::Counter* batches;
+  obs::Counter* cache_hits;
+  obs::Counter* cache_misses;
+  obs::Histogram* batch_size;
+  obs::Histogram* latency_us;
 
-/// Bucket index for a value: floor(log2(v)) clamped to the table.
-int BucketFor(int64_t value) {
-  if (value < 1) return 0;
-  int b = 0;
-  while (value > 1 && b < Histogram::kBuckets - 1) {
-    value >>= 1;
-    ++b;
+  static const SharedInstruments& Instance() {
+    static const SharedInstruments shared = [] {
+      obs::MetricsRegistry& reg = obs::MetricsRegistry::Default();
+      SharedInstruments s;
+      s.received = reg.GetCounter("crossem_serve_requests_received_total");
+      s.rejected_queue_full =
+          reg.GetCounter("crossem_serve_rejected_queue_full_total");
+      s.rejected_shutdown =
+          reg.GetCounter("crossem_serve_rejected_shutdown_total");
+      s.expired_deadline =
+          reg.GetCounter("crossem_serve_requests_expired_total");
+      s.completed = reg.GetCounter("crossem_serve_requests_completed_total");
+      s.batches = reg.GetCounter("crossem_serve_batches_total");
+      s.cache_hits = reg.GetCounter("crossem_serve_cache_hits_total");
+      s.cache_misses = reg.GetCounter("crossem_serve_cache_misses_total");
+      s.batch_size = reg.GetHistogram("crossem_serve_batch_size");
+      s.latency_us = reg.GetHistogram("crossem_serve_latency_us");
+      return s;
+    }();
+    return shared;
   }
-  return b;
-}
+};
 
-}  // namespace
-
-void Histogram::Record(int64_t value) {
-  ++buckets_[BucketFor(value)];
-  ++count_;
-  sum_ += value;
-  max_ = std::max(max_, value);
-}
-
-int64_t Histogram::Percentile(double q) const {
-  if (count_ == 0) return 0;
-  q = std::min(std::max(q, 0.0), 1.0);
-  // Rank of the q-quantile observation (1-based, ceiling).
-  const int64_t rank =
-      std::max<int64_t>(1, static_cast<int64_t>(q * static_cast<double>(count_) + 0.9999999));
-  int64_t seen = 0;
-  for (int b = 0; b < kBuckets; ++b) {
-    seen += buckets_[b];
-    if (seen >= rank) {
-      // Upper bound of bucket b, capped by the true max.
-      return std::min((int64_t{1} << (b + 1)) - 1, max_);
-    }
-  }
-  return max_;
-}
-
-double Histogram::Mean() const {
-  return count_ == 0 ? 0.0 : static_cast<double>(sum_) / static_cast<double>(count_);
-}
+StatsCollector::StatsCollector() : shared_(SharedInstruments::Instance()) {}
 
 void StatsCollector::RecordReceived() {
-  std::lock_guard<std::mutex> lock(mu_);
-  ++counters_.received;
+  received_.Increment();
+  shared_.received->Increment();
 }
 
 void StatsCollector::RecordRejectedQueueFull() {
-  std::lock_guard<std::mutex> lock(mu_);
-  ++counters_.rejected_queue_full;
+  rejected_queue_full_.Increment();
+  shared_.rejected_queue_full->Increment();
 }
 
 void StatsCollector::RecordRejectedShutdown() {
-  std::lock_guard<std::mutex> lock(mu_);
-  ++counters_.rejected_shutdown;
+  rejected_shutdown_.Increment();
+  shared_.rejected_shutdown->Increment();
 }
 
 void StatsCollector::RecordExpired() {
-  std::lock_guard<std::mutex> lock(mu_);
-  ++counters_.expired_deadline;
+  expired_deadline_.Increment();
+  shared_.expired_deadline->Increment();
 }
 
 void StatsCollector::RecordBatch(int64_t batch_size, int64_t cache_hits,
                                  int64_t cache_misses) {
-  std::lock_guard<std::mutex> lock(mu_);
-  ++counters_.batches;
-  counters_.cache_hits += cache_hits;
-  counters_.cache_misses += cache_misses;
+  batches_.Increment();
+  cache_hits_.Add(cache_hits);
+  cache_misses_.Add(cache_misses);
   batch_sizes_.Record(batch_size);
+  shared_.batches->Increment();
+  shared_.cache_hits->Add(cache_hits);
+  shared_.cache_misses->Add(cache_misses);
+  shared_.batch_size->Record(batch_size);
 }
 
 void StatsCollector::RecordCompleted(int64_t latency_us) {
-  std::lock_guard<std::mutex> lock(mu_);
-  ++counters_.completed;
+  completed_.Increment();
   latency_us_.Record(latency_us);
+  shared_.completed->Increment();
+  shared_.latency_us->Record(latency_us);
 }
 
 ServiceStats StatsCollector::Snapshot() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  ServiceStats s = counters_;
+  ServiceStats s;
+  s.received = received_.Value();
+  s.rejected_queue_full = rejected_queue_full_.Value();
+  s.rejected_shutdown = rejected_shutdown_.Value();
+  s.expired_deadline = expired_deadline_.Value();
+  s.completed = completed_.Value();
+  s.batches = batches_.Value();
+  s.cache_hits = cache_hits_.Value();
+  s.cache_misses = cache_misses_.Value();
   s.batch_size_p50 = batch_sizes_.Percentile(0.50);
   s.batch_size_p99 = batch_sizes_.Percentile(0.99);
   s.batch_size_mean = batch_sizes_.Mean();

@@ -1,41 +1,30 @@
-// Service observability: counters plus log-bucketed histograms with
-// percentile readout. The seed of the serving observability layer — a
-// MatchService keeps one StatsCollector and hands out immutable
-// ServiceStats snapshots, so monitoring never blocks the data path for
-// longer than a mutex-protected bucket increment.
+// Service observability, built on the shared obs instruments
+// (obs/metrics.h): lock-free counters plus log-bucketed histograms with
+// percentile readout. A MatchService keeps one StatsCollector and hands
+// out immutable ServiceStats snapshots, so monitoring never blocks the
+// data path for longer than a few relaxed atomic adds.
+//
+// Every StatsCollector double-writes: its own per-service instruments
+// back the exact ServiceStats snapshot (tests and embedders may run many
+// services in one process), and the process-wide
+// obs::MetricsRegistry::Default() `crossem_serve_*` instruments aggregate
+// across services for the Prometheus exposition
+// (obs::ExportPrometheus).
 #ifndef CROSSEM_SERVE_STATS_H_
 #define CROSSEM_SERVE_STATS_H_
 
 #include <cstdint>
-#include <mutex>
 #include <string>
-#include <vector>
+
+#include "obs/metrics.h"
 
 namespace crossem {
 namespace serve {
 
-/// Fixed log2-bucketed histogram: bucket i counts values in
-/// [2^i, 2^{i+1}) (bucket 0 additionally takes values < 1). Percentiles
-/// are read out at bucket upper bounds, so a reported p99 is an upper
-/// bound within 2x of the true value — plenty for latency monitoring.
-class Histogram {
- public:
-  static constexpr int kBuckets = 40;  // covers > 10^11 units
-
-  void Record(int64_t value);
-  int64_t count() const { return count_; }
-  int64_t sum() const { return sum_; }
-  int64_t max() const { return max_; }
-  /// Upper bound of the bucket holding quantile q in [0, 1]; 0 when empty.
-  int64_t Percentile(double q) const;
-  double Mean() const;
-
- private:
-  int64_t buckets_[kBuckets] = {};
-  int64_t count_ = 0;
-  int64_t sum_ = 0;
-  int64_t max_ = 0;
-};
+/// The serving layer's log2 histogram is the shared obs one (it
+/// originated here and moved down to src/obs when the process-wide
+/// registry was introduced).
+using obs::Histogram;
 
 /// Immutable stats snapshot (all counters since service start).
 struct ServiceStats {
@@ -68,9 +57,13 @@ struct ServiceStats {
   std::string ToString() const;
 };
 
-/// Mutex-protected accumulator behind ServiceStats.
+/// Lock-free accumulator behind ServiceStats. Snapshot() reads the
+/// atomics without stopping writers, so a snapshot taken mid-update may
+/// be off by in-flight increments — fine for monitoring.
 class StatsCollector {
  public:
+  StatsCollector();
+
   void RecordReceived();
   void RecordRejectedQueueFull();
   void RecordRejectedShutdown();
@@ -82,10 +75,22 @@ class StatsCollector {
   ServiceStats Snapshot() const;
 
  private:
-  mutable std::mutex mu_;
-  ServiceStats counters_;
+  // Per-service instruments: exact snapshot semantics per collector.
+  obs::Counter received_;
+  obs::Counter rejected_queue_full_;
+  obs::Counter rejected_shutdown_;
+  obs::Counter expired_deadline_;
+  obs::Counter completed_;
+  obs::Counter batches_;
+  obs::Counter cache_hits_;
+  obs::Counter cache_misses_;
   Histogram batch_sizes_;
   Histogram latency_us_;
+
+  // Process-wide aggregates in obs::MetricsRegistry::Default(),
+  // resolved once at construction (registry instruments are immortal).
+  struct SharedInstruments;
+  const SharedInstruments& shared_;
 };
 
 }  // namespace serve

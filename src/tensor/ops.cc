@@ -7,6 +7,7 @@
 #include <memory>
 #include <utility>
 
+#include "obs/trace.h"
 #include "util/logging.h"
 #include "util/parallel.h"
 
@@ -462,6 +463,10 @@ GemmKernel g_gemm_kernel = GemmKernel::kBlocked;
 
 void Gemm(const float* a, const float* b, float* c, int64_t m, int64_t k,
           int64_t n, bool trans_a, bool trans_b, bool accumulate) {
+  // Disabled-tracing cost is one relaxed load + branch — measured
+  // against the 256^3 GEMM bench this is noise (DESIGN.md §11 budget).
+  CROSSEM_TRACE_SPAN_V(span, "gemm");
+  span.Arg("m", m).Arg("k", k).Arg("n", n);
   if (!accumulate) std::fill_n(c, m * n, 0.0f);
   if (m == 0 || n == 0 || k == 0) return;
 

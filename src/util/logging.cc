@@ -1,9 +1,50 @@
 #include "util/logging.h"
 
+#include <atomic>
+#include <cctype>
+#include <cstdio>
+#include <mutex>
+
 namespace crossem {
 
 namespace {
-LogLevel g_level = LogLevel::kInfo;
+
+/// CROSSEM_LOG_LEVEL: symbolic name (any case) or numeric 0-3.
+LogLevel LevelFromEnv() {
+  const char* env = std::getenv("CROSSEM_LOG_LEVEL");
+  if (env == nullptr || env[0] == '\0') return LogLevel::kInfo;
+  std::string v;
+  for (const char* p = env; *p; ++p) {
+    v.push_back(static_cast<char>(std::tolower(*p)));
+  }
+  if (v == "debug" || v == "0") return LogLevel::kDebug;
+  if (v == "info" || v == "1") return LogLevel::kInfo;
+  if (v == "warning" || v == "warn" || v == "2") return LogLevel::kWarning;
+  if (v == "error" || v == "3") return LogLevel::kError;
+  return LogLevel::kInfo;
+}
+
+/// Function-local static so the env read happens exactly once, on first
+/// use, regardless of static-initialization order.
+std::atomic<LogLevel>& LevelFlag() {
+  static std::atomic<LogLevel> level{LevelFromEnv()};
+  return level;
+}
+
+/// Serializes emitted lines: without this, two threads' operator<< calls
+/// on stderr can interleave mid-line.
+std::mutex& OutputMutex() {
+  static std::mutex mu;
+  return mu;
+}
+
+/// Writes one complete line to stderr under the output lock.
+void EmitLine(const std::string& message) {
+  std::lock_guard<std::mutex> lock(OutputMutex());
+  std::fwrite(message.data(), 1, message.size(), stderr);
+  std::fputc('\n', stderr);
+  std::fflush(stderr);
+}
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -18,15 +59,21 @@ const char* LevelName(LogLevel level) {
   }
   return "?";
 }
+
 }  // namespace
 
-LogLevel GetLogLevel() { return g_level; }
-void SetLogLevel(LogLevel level) { g_level = level; }
+LogLevel GetLogLevel() {
+  return LevelFlag().load(std::memory_order_relaxed);
+}
+
+void SetLogLevel(LogLevel level) {
+  LevelFlag().store(level, std::memory_order_relaxed);
+}
 
 namespace internal {
 
 LogMessage::LogMessage(LogLevel level, const char* file, int line)
-    : enabled_(level >= g_level) {
+    : enabled_(level >= GetLogLevel()) {
   if (enabled_) {
     const char* base = file;
     for (const char* p = file; *p; ++p) {
@@ -37,7 +84,7 @@ LogMessage::LogMessage(LogLevel level, const char* file, int line)
 }
 
 LogMessage::~LogMessage() {
-  if (enabled_) std::cerr << stream_.str() << std::endl;
+  if (enabled_) EmitLine(stream_.str());
 }
 
 FatalMessage::FatalMessage(const char* file, int line, const char* expr) {
@@ -46,7 +93,7 @@ FatalMessage::FatalMessage(const char* file, int line, const char* expr) {
 }
 
 FatalMessage::~FatalMessage() {
-  std::cerr << stream_.str() << std::endl;
+  EmitLine(stream_.str());
   std::abort();
 }
 

@@ -14,8 +14,12 @@ namespace crossem {
 
 enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
 
-/// Process-wide minimum level below which log lines are dropped.
-/// Defaults to kInfo. Not thread-safe to mutate concurrently with logging.
+/// Process-wide minimum level below which log lines are dropped. The
+/// default is kInfo, overridable at startup with the CROSSEM_LOG_LEVEL
+/// environment variable ("debug"/"info"/"warning"/"error", or 0-3; read
+/// once at first use). The level is an atomic: Set/Get are safe to call
+/// concurrently with logging from any thread, and emitted lines are
+/// serialized so concurrent log statements never interleave mid-line.
 LogLevel GetLogLevel();
 void SetLogLevel(LogLevel level);
 

@@ -9,6 +9,7 @@
 #include <mutex>
 #include <thread>
 
+#include "obs/trace.h"
 #include "util/logging.h"
 
 namespace crossem {
@@ -175,6 +176,12 @@ void RestoreInlineRegion(bool prev) { t_in_parallel = prev; }
 void ParallelForChunksImpl(
     int64_t begin, int64_t end, int64_t grain, int64_t chunks, int threads,
     const std::function<void(int64_t, int64_t, int64_t)>& fn) {
+  // Only multi-chunk pool dispatches get a span: the serial/inline path
+  // is on per-op hot loops where even an enabled span would distort the
+  // measurement (and a disabled one still costs a branch per call).
+  CROSSEM_TRACE_SPAN_V(span, "parallel_region");
+  span.Arg("chunks", chunks).Arg("threads", static_cast<int64_t>(threads));
+
   auto region = std::make_shared<Region>();
   region->begin = begin;
   region->end = end;

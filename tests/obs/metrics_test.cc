@@ -1,0 +1,233 @@
+// The metrics registry: instrument semantics, concurrency (exact totals
+// under parallel writers — also re-run under TSan, see
+// tests/CMakeLists.txt), histogram merge/percentile properties, and the
+// Prometheus / JSON exporters.
+#include "obs/metrics.h"
+
+#include <thread>
+#include <vector>
+
+#include "graph/json.h"
+#include "gtest/gtest.h"
+#include "util/random.h"
+
+namespace crossem {
+namespace obs {
+namespace {
+
+TEST(CounterTest, IncrementAndAdd) {
+  Counter c;
+  EXPECT_EQ(c.Value(), 0);
+  c.Increment();
+  c.Add(41);
+  EXPECT_EQ(c.Value(), 42);
+}
+
+TEST(GaugeTest, SetAndAdd) {
+  Gauge g;
+  g.Set(2.5);
+  EXPECT_DOUBLE_EQ(g.Value(), 2.5);
+  g.Add(-0.5);
+  EXPECT_DOUBLE_EQ(g.Value(), 2.0);
+  g.Set(7.0);  // last write wins
+  EXPECT_DOUBLE_EQ(g.Value(), 7.0);
+}
+
+TEST(HistogramTest, EmptyEdgeCases) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0);
+  EXPECT_EQ(h.min(), 0);
+  EXPECT_EQ(h.max(), 0);
+  EXPECT_EQ(h.Percentile(0.0), 0);
+  EXPECT_EQ(h.Percentile(0.5), 0);
+  EXPECT_EQ(h.Percentile(1.0), 0);
+  EXPECT_DOUBLE_EQ(h.Mean(), 0.0);
+}
+
+TEST(HistogramTest, ExactAtDistributionEdges) {
+  Histogram h;
+  for (int64_t v : {3, 17, 900}) h.Record(v);
+  // The log2 readout is approximate in the middle but exact at the
+  // edges: q <= 0 is the true min, q >= 1 the true max.
+  EXPECT_EQ(h.Percentile(0.0), 3);
+  EXPECT_EQ(h.Percentile(-1.0), 3);
+  EXPECT_EQ(h.Percentile(1.0), 900);
+  EXPECT_EQ(h.Percentile(2.0), 900);
+  EXPECT_EQ(h.min(), 3);
+  EXPECT_EQ(h.max(), 900);
+}
+
+TEST(HistogramTest, SingleValueReportsItselfAtAnyQuantile) {
+  Histogram h;
+  h.Record(42);
+  for (double q : {0.0, 0.01, 0.5, 0.99, 1.0}) {
+    EXPECT_EQ(h.Percentile(q), 42) << "q=" << q;
+  }
+}
+
+// Property: percentiles are bounded by [min, max] and monotone in q.
+TEST(HistogramTest, PercentileBoundedAndMonotone) {
+  Rng rng(123);
+  Histogram h;
+  for (int i = 0; i < 500; ++i) h.Record(rng.UniformInt(0, 1'000'000));
+  int64_t prev = h.Percentile(0.0);
+  for (double q = 0.0; q <= 1.0; q += 0.05) {
+    const int64_t p = h.Percentile(q);
+    EXPECT_GE(p, h.min());
+    EXPECT_LE(p, h.max());
+    EXPECT_GE(p, prev) << "q=" << q;
+    prev = p;
+  }
+}
+
+// Property: merging B into A gives exactly the histogram of A's and B's
+// observations recorded into one instrument.
+TEST(HistogramTest, MergeEqualsCombinedRecording) {
+  Rng rng(7);
+  Histogram a, b, combined;
+  for (int i = 0; i < 300; ++i) {
+    const int64_t v = rng.UniformInt(0, 100'000);
+    if (i % 3 == 0) {
+      a.Record(v);
+    } else {
+      b.Record(v);
+    }
+    combined.Record(v);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.count(), combined.count());
+  EXPECT_EQ(a.sum(), combined.sum());
+  EXPECT_EQ(a.min(), combined.min());
+  EXPECT_EQ(a.max(), combined.max());
+  for (int bk = 0; bk < Histogram::kBuckets; ++bk) {
+    EXPECT_EQ(a.bucket(bk), combined.bucket(bk)) << "bucket " << bk;
+  }
+  for (double q : {0.0, 0.25, 0.5, 0.9, 0.99, 1.0}) {
+    EXPECT_EQ(a.Percentile(q), combined.Percentile(q)) << "q=" << q;
+  }
+}
+
+TEST(HistogramTest, MergeWithEmptySides) {
+  Histogram a, empty;
+  a.Record(5);
+  a.Merge(empty);  // no-op
+  EXPECT_EQ(a.count(), 1);
+  EXPECT_EQ(a.min(), 5);
+  EXPECT_EQ(a.max(), 5);
+
+  Histogram target;
+  target.Merge(a);  // into empty
+  EXPECT_EQ(target.count(), 1);
+  EXPECT_EQ(target.min(), 5);
+  EXPECT_EQ(target.max(), 5);
+}
+
+TEST(MetricsRegistryTest, SameNameSameInstrument) {
+  MetricsRegistry reg;
+  Counter* c1 = reg.GetCounter("requests");
+  Counter* c2 = reg.GetCounter("requests");
+  EXPECT_EQ(c1, c2);
+  EXPECT_NE(reg.GetCounter("other"), c1);
+  EXPECT_EQ(reg.GetGauge("lr"), reg.GetGauge("lr"));
+  EXPECT_EQ(reg.GetHistogram("lat"), reg.GetHistogram("lat"));
+}
+
+// Exact totals under concurrent writers resolving instruments by name —
+// the lock-free hot path plus the mutex-protected resolution path
+// together. Re-run under TSan via the metrics_tsan ctest entry.
+TEST(MetricsRegistryTest, ConcurrentCountersAreExact) {
+  MetricsRegistry reg;
+  constexpr int kThreads = 8;
+  constexpr int kIncrements = 20'000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&reg] {
+      Counter* shared = reg.GetCounter("shared_total");
+      Histogram* lat = reg.GetHistogram("latency");
+      for (int i = 0; i < kIncrements; ++i) {
+        shared->Increment();
+        lat->Record(i % 1024);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(reg.GetCounter("shared_total")->Value(),
+            static_cast<int64_t>(kThreads) * kIncrements);
+  Histogram* lat = reg.GetHistogram("latency");
+  EXPECT_EQ(lat->count(), static_cast<int64_t>(kThreads) * kIncrements);
+  EXPECT_EQ(lat->max(), 1023);
+  EXPECT_EQ(lat->min(), 0);
+}
+
+TEST(MetricsRegistryTest, SnapshotIsSortedAndComplete) {
+  MetricsRegistry reg;
+  reg.GetCounter("b_count")->Add(2);
+  reg.GetCounter("a_count")->Add(1);
+  reg.GetGauge("g")->Set(1.5);
+  reg.GetHistogram("h")->Record(10);
+  MetricsSnapshot snap = reg.Snapshot();
+  ASSERT_EQ(snap.counters.size(), 2u);
+  EXPECT_EQ(snap.counters[0].name, "a_count");
+  EXPECT_EQ(snap.counters[1].name, "b_count");
+  ASSERT_EQ(snap.gauges.size(), 1u);
+  EXPECT_DOUBLE_EQ(snap.gauges[0].value, 1.5);
+  ASSERT_EQ(snap.histograms.size(), 1u);
+  EXPECT_EQ(snap.histograms[0].count, 1);
+  EXPECT_EQ(snap.histograms[0].min, 10);
+  EXPECT_EQ(snap.histograms[0].max, 10);
+}
+
+// Golden exposition: the exact Prometheus 0.0.4 text for a small
+// registry. Deterministic because snapshots are name-sorted.
+TEST(ExportPrometheusTest, GoldenExposition) {
+  MetricsRegistry reg;
+  reg.GetCounter("requests_total")->Add(3);
+  reg.GetGauge("learning.rate")->Set(0.5);  // '.' sanitized to '_'
+  Histogram* h = reg.GetHistogram("latency_us");
+  h->Record(1);  // bucket 0 (le 1)
+  h->Record(5);  // bucket 2 (le 7)
+  h->Record(5);
+  const std::string expected =
+      "# TYPE requests_total counter\n"
+      "requests_total 3\n"
+      "# TYPE learning_rate gauge\n"
+      "learning_rate 0.5\n"
+      "# TYPE latency_us histogram\n"
+      "latency_us_bucket{le=\"1\"} 1\n"
+      "latency_us_bucket{le=\"3\"} 1\n"
+      "latency_us_bucket{le=\"7\"} 3\n"
+      "latency_us_bucket{le=\"+Inf\"} 3\n"
+      "latency_us_sum 11\n"
+      "latency_us_count 3\n";
+  EXPECT_EQ(ExportPrometheus(reg.Snapshot()), expected);
+}
+
+TEST(ExportJsonTest, RoundTripsThroughParser) {
+  MetricsRegistry reg;
+  reg.GetCounter("n")->Add(7);
+  reg.GetGauge("lr")->Set(0.25);
+  Histogram* h = reg.GetHistogram("lat");
+  for (int64_t v = 1; v <= 100; ++v) h->Record(v);
+
+  auto doc = graph::ParseJson(ExportJson(reg.Snapshot()));
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+  const graph::JsonValue& root = doc.value();
+  const graph::JsonValue* counters = root.Find("counters");
+  ASSERT_NE(counters, nullptr);
+  ASSERT_NE(counters->Find("n"), nullptr);
+  EXPECT_DOUBLE_EQ(counters->Find("n")->number_value(), 7.0);
+  const graph::JsonValue* gauges = root.Find("gauges");
+  ASSERT_NE(gauges, nullptr);
+  EXPECT_DOUBLE_EQ(gauges->Find("lr")->number_value(), 0.25);
+  const graph::JsonValue* hist = root.Find("histograms")->Find("lat");
+  ASSERT_NE(hist, nullptr);
+  EXPECT_DOUBLE_EQ(hist->Find("count")->number_value(), 100.0);
+  EXPECT_DOUBLE_EQ(hist->Find("min")->number_value(), 1.0);
+  EXPECT_DOUBLE_EQ(hist->Find("max")->number_value(), 100.0);
+  EXPECT_DOUBLE_EQ(hist->Find("mean")->number_value(), 50.5);
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace crossem

@@ -1,0 +1,183 @@
+// Per-epoch training telemetry: the JSONL schema (every line parses,
+// every field present) both for the formatter in isolation and for a
+// real CrossEm::Fit writing --telemetry-out style output.
+#include "obs/telemetry.h"
+
+#include <cmath>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "core/crossem.h"
+#include "data/dataset.h"
+#include "graph/json.h"
+#include "gtest/gtest.h"
+
+namespace crossem {
+namespace obs {
+namespace {
+
+const char* const kRequiredKeys[] = {
+    "epoch",         "loss",
+    "grad_norm",     "learning_rate",
+    "num_batches",   "num_pairs",
+    "bad_batches",   "retries",
+    "peak_bytes",    "seconds",
+    "batch_gen_seconds", "encode_seconds",
+    "score_seconds", "backward_seconds",
+    "optimizer_seconds"};
+
+TEST(EpochTelemetryJsonTest, AllFieldsPresentAndCorrect) {
+  EpochTelemetry t;
+  t.epoch = 3;
+  t.loss = 1.25;
+  t.grad_norm = 0.5;
+  t.learning_rate = 0.001;
+  t.num_batches = 7;
+  t.num_pairs = 112;
+  t.bad_batches = 1;
+  t.retries = 2;
+  t.peak_bytes = 4096;
+  t.seconds = 1.5;
+  t.batch_gen_seconds = 0.1;
+  t.encode_seconds = 0.7;
+  t.score_seconds = 0.2;
+  t.backward_seconds = 0.3;
+  t.optimizer_seconds = 0.05;
+
+  auto doc = graph::ParseJson(EpochTelemetryJson(t));
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+  const graph::JsonValue& root = doc.value();
+  for (const char* key : kRequiredKeys) {
+    ASSERT_NE(root.Find(key), nullptr) << "missing key " << key;
+  }
+  EXPECT_DOUBLE_EQ(root.Find("epoch")->number_value(), 3.0);
+  EXPECT_DOUBLE_EQ(root.Find("loss")->number_value(), 1.25);
+  EXPECT_DOUBLE_EQ(root.Find("grad_norm")->number_value(), 0.5);
+  EXPECT_DOUBLE_EQ(root.Find("num_pairs")->number_value(), 112.0);
+  EXPECT_DOUBLE_EQ(root.Find("optimizer_seconds")->number_value(), 0.05);
+}
+
+TEST(EpochTelemetryJsonTest, NonFiniteValuesRenderAsNull) {
+  EpochTelemetry t;
+  t.loss = std::nan("");
+  t.grad_norm = std::numeric_limits<double>::infinity();
+  auto doc = graph::ParseJson(EpochTelemetryJson(t));
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+  EXPECT_TRUE(doc.value().Find("loss")->is_null());
+  EXPECT_TRUE(doc.value().Find("grad_norm")->is_null());
+  EXPECT_DOUBLE_EQ(doc.value().Find("seconds")->number_value(), 0.0);
+}
+
+// End-to-end: a small soft-prompt Fit with telemetry_path produces one
+// parseable JSONL line per epoch matching FitStats, and a re-run
+// truncates rather than appends.
+TEST(TrainingTelemetryTest, FitWritesOneSchemaValidLinePerEpoch) {
+  data::CrossModalDataset ds =
+      data::BuildDataset(data::CubLikeConfig(0.5));
+  clip::ClipConfig cc;
+  cc.vocab_size = ds.vocab.size();
+  cc.text_context = 32;
+  cc.model_dim = 16;
+  cc.text_layers = 1;
+  cc.text_heads = 2;
+  cc.image_layers = 1;
+  cc.image_heads = 2;
+  cc.patch_dim = ds.world->config().patch_dim;
+  cc.max_patches = 16;
+  cc.embed_dim = 12;
+  Rng rng(21);
+  clip::ClipModel model(cc, &rng);
+  text::Tokenizer tokenizer(&ds.vocab, cc.text_context);
+  std::vector<graph::VertexId> vertices;
+  for (int64_t c : ds.test_classes) {
+    vertices.push_back(ds.entities[static_cast<size_t>(c)]);
+  }
+  Tensor images = ds.StackImages(ds.TestImageIndices());
+
+  const std::string path =
+      std::string(::testing::TempDir()) + "/fit_telemetry.jsonl";
+  core::CrossEmOptions opt;
+  opt.prompt_mode = core::PromptMode::kSoft;
+  opt.epochs = 2;
+  opt.telemetry_path = path;
+  core::CrossEm matcher(&model, &ds.graph, &tokenizer, opt);
+  auto stats = matcher.Fit(vertices, images);
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  ASSERT_EQ(stats.value().epochs.size(), 2u);
+
+  auto read_lines = [&] {
+    std::ifstream in(path);
+    EXPECT_TRUE(in.good());
+    std::vector<std::string> lines;
+    for (std::string line; std::getline(in, line);) lines.push_back(line);
+    return lines;
+  };
+  std::vector<std::string> lines = read_lines();
+  ASSERT_EQ(lines.size(), 2u);
+  for (size_t i = 0; i < lines.size(); ++i) {
+    auto doc = graph::ParseJson(lines[i]);
+    ASSERT_TRUE(doc.ok()) << "line " << i << ": " << doc.status().ToString();
+    const graph::JsonValue& root = doc.value();
+    for (const char* key : kRequiredKeys) {
+      ASSERT_NE(root.Find(key), nullptr)
+          << "line " << i << " missing key " << key;
+    }
+    EXPECT_DOUBLE_EQ(root.Find("epoch")->number_value(),
+                     static_cast<double>(i));
+    const auto& es = stats.value().epochs[i];
+    EXPECT_NEAR(root.Find("loss")->number_value(), es.loss, 1e-6);
+    EXPECT_DOUBLE_EQ(root.Find("num_batches")->number_value(),
+                     static_cast<double>(es.num_batches));
+    EXPECT_GT(root.Find("seconds")->number_value(), 0.0);
+    // The phase breakdown must not exceed the epoch wall time.
+    const double phases = root.Find("batch_gen_seconds")->number_value() +
+                          root.Find("encode_seconds")->number_value() +
+                          root.Find("score_seconds")->number_value() +
+                          root.Find("backward_seconds")->number_value() +
+                          root.Find("optimizer_seconds")->number_value();
+    EXPECT_LE(phases, root.Find("seconds")->number_value() + 1e-6);
+    EXPECT_GT(phases, 0.0);
+  }
+
+  // A fresh (non-resumed) run truncates: still one line per epoch.
+  auto again = matcher.Fit(vertices, images);
+  ASSERT_TRUE(again.ok()) << again.status().ToString();
+  EXPECT_EQ(read_lines().size(), 2u);
+}
+
+TEST(TrainingTelemetryTest, UnwritablePathFailsFit) {
+  data::CrossModalDataset ds =
+      data::BuildDataset(data::CubLikeConfig(0.5));
+  clip::ClipConfig cc;
+  cc.vocab_size = ds.vocab.size();
+  cc.text_context = 32;
+  cc.model_dim = 16;
+  cc.text_layers = 1;
+  cc.text_heads = 2;
+  cc.image_layers = 1;
+  cc.image_heads = 2;
+  cc.patch_dim = ds.world->config().patch_dim;
+  cc.max_patches = 16;
+  cc.embed_dim = 12;
+  Rng rng(22);
+  clip::ClipModel model(cc, &rng);
+  text::Tokenizer tokenizer(&ds.vocab, cc.text_context);
+  std::vector<graph::VertexId> vertices;
+  for (int64_t c : ds.test_classes) {
+    vertices.push_back(ds.entities[static_cast<size_t>(c)]);
+  }
+  Tensor images = ds.StackImages(ds.TestImageIndices());
+
+  core::CrossEmOptions opt;
+  opt.prompt_mode = core::PromptMode::kSoft;
+  opt.epochs = 1;
+  opt.telemetry_path = "/nonexistent-dir/telemetry.jsonl";
+  core::CrossEm matcher(&model, &ds.graph, &tokenizer, opt);
+  auto stats = matcher.Fit(vertices, images);
+  EXPECT_FALSE(stats.ok());
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace crossem

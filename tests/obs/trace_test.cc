@@ -1,0 +1,150 @@
+// The scoped-span tracer: enable/disable semantics, span recording with
+// args across threads, and the Chrome trace_event JSON export (validated
+// with the repo's own JSON parser — what Perfetto loads must parse).
+#include "obs/trace.h"
+
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <thread>
+
+#include "graph/json.h"
+#include "gtest/gtest.h"
+
+namespace crossem {
+namespace obs {
+namespace {
+
+/// Every test starts from a clean, known trace state and leaves tracing
+/// disabled for the rest of the binary.
+class TraceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    SetTraceEnabled(false);
+    ClearTrace();
+  }
+  void TearDown() override {
+    SetTraceEnabled(false);
+    ClearTrace();
+  }
+};
+
+TEST_F(TraceTest, DisabledSpansRecordNothing) {
+  {
+    CROSSEM_TRACE_SPAN("invisible");
+    CROSSEM_TRACE_SPAN_V(span, "also_invisible");
+    span.Arg("k", int64_t{1});
+  }
+  EXPECT_EQ(SpanCount(), 0);
+  EXPECT_TRUE(CollectSpans().empty());
+}
+
+TEST_F(TraceTest, EnabledSpansRecordNameDurationArgs) {
+  SetTraceEnabled(true);
+  {
+    CROSSEM_TRACE_SPAN_V(span, "work");
+    span.Arg("items", int64_t{42})
+        .Arg("ratio", 0.5)
+        .Arg("label", std::string("abc"));
+  }
+  ASSERT_EQ(SpanCount(), 1);
+  std::vector<SpanRecord> spans = CollectSpans();
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_STREQ(spans[0].name, "work");
+  ASSERT_EQ(spans[0].args.size(), 3u);
+  EXPECT_STREQ(spans[0].args[0].key, "items");
+  EXPECT_EQ(spans[0].args[0].int_value, 42);
+  EXPECT_STREQ(spans[0].args[1].key, "ratio");
+  EXPECT_DOUBLE_EQ(spans[0].args[1].double_value, 0.5);
+  EXPECT_STREQ(spans[0].args[2].key, "label");
+  EXPECT_EQ(spans[0].args[2].string_value, "abc");
+}
+
+TEST_F(TraceTest, RuntimeToggleStopsRecording) {
+  SetTraceEnabled(true);
+  { CROSSEM_TRACE_SPAN("recorded"); }
+  SetTraceEnabled(false);
+  { CROSSEM_TRACE_SPAN("dropped"); }
+  EXPECT_EQ(SpanCount(), 1);
+}
+
+TEST_F(TraceTest, NestedSpansAllRecorded) {
+  SetTraceEnabled(true);
+  {
+    CROSSEM_TRACE_SPAN("outer");
+    {
+      CROSSEM_TRACE_SPAN("inner");
+    }
+  }
+  EXPECT_EQ(SpanCount(), 2);
+}
+
+TEST_F(TraceTest, ThreadsGetDistinctTidsAndBuffersSurviveThreadExit) {
+  SetTraceEnabled(true);
+  { CROSSEM_TRACE_SPAN("main_thread"); }
+  std::thread t1([] { CROSSEM_TRACE_SPAN("worker_a"); });
+  std::thread t2([] { CROSSEM_TRACE_SPAN("worker_b"); });
+  t1.join();
+  t2.join();
+  // The worker threads are gone; their spans must still be collectable.
+  std::vector<SpanRecord> spans = CollectSpans();
+  ASSERT_EQ(spans.size(), 3u);
+  std::set<uint64_t> tids;
+  for (const SpanRecord& s : spans) tids.insert(s.thread_id);
+  EXPECT_EQ(tids.size(), 3u);
+}
+
+TEST_F(TraceTest, ChromeTraceJsonIsValidAndComplete) {
+  SetTraceEnabled(true);
+  {
+    CROSSEM_TRACE_SPAN_V(span, "gemm");
+    span.Arg("m", int64_t{8}).Arg("note", std::string("q\"uote"));
+  }
+  auto doc = graph::ParseJson(ChromeTraceJson());
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+  const graph::JsonValue* events = doc.value().Find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_TRUE(events->is_array());
+  ASSERT_EQ(events->array_items().size(), 1u);
+  const graph::JsonValue& ev = events->array_items()[0];
+  EXPECT_EQ(ev.Find("ph")->string_value(), "X");
+  EXPECT_EQ(ev.Find("name")->string_value(), "gemm");
+  EXPECT_DOUBLE_EQ(ev.Find("pid")->number_value(), 1.0);
+  ASSERT_NE(ev.Find("tid"), nullptr);
+  ASSERT_NE(ev.Find("ts"), nullptr);
+  EXPECT_GE(ev.Find("dur")->number_value(), 0.0);
+  const graph::JsonValue* args = ev.Find("args");
+  ASSERT_NE(args, nullptr);
+  EXPECT_DOUBLE_EQ(args->Find("m")->number_value(), 8.0);
+  EXPECT_EQ(args->Find("note")->string_value(), "q\"uote");
+}
+
+TEST_F(TraceTest, WriteChromeTraceProducesLoadableFile) {
+  SetTraceEnabled(true);
+  { CROSSEM_TRACE_SPAN("epoch"); }
+  const std::string path =
+      std::string(::testing::TempDir()) + "/trace_test_out.json";
+  ASSERT_TRUE(WriteChromeTrace(path));
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::ostringstream text;
+  text << in.rdbuf();
+  auto doc = graph::ParseJson(text.str());
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+  EXPECT_EQ(
+      doc.value().Find("traceEvents")->array_items()[0].Find("name")
+          ->string_value(),
+      "epoch");
+}
+
+TEST_F(TraceTest, ClearTraceDropsEverything) {
+  SetTraceEnabled(true);
+  { CROSSEM_TRACE_SPAN("gone"); }
+  ASSERT_EQ(SpanCount(), 1);
+  ClearTrace();
+  EXPECT_EQ(SpanCount(), 0);
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace crossem

@@ -13,6 +13,7 @@
 //                 [--checkpoint-every N]
 //                 [--train-steps N] [--seed N]
 //                 [--min-probability P] [--mutual]
+//                 [--telemetry-out FILE.jsonl] [--trace-out FILE.json]
 //
 // Image file format: one patch per row,
 //   image_id,f0,f1,...,f{D-1}
@@ -28,6 +29,11 @@
 // tuning phase: Fit writes it every --checkpoint-every epochs, and with
 // --resume an interrupted run picks up exactly where it left off
 // (bit-for-bit identical to an uninterrupted run).
+//
+// Observability: --telemetry-out appends one JSON object per tuning
+// epoch (loss, gradient norm, phase timing breakdown) to FILE.jsonl;
+// --trace-out enables span tracing for the whole run and writes a
+// Chrome trace_event JSON loadable in Perfetto / chrome://tracing.
 #include <algorithm>
 #include <cstdio>
 #include <cstring>
@@ -39,6 +45,7 @@
 
 #include "core/crossem.h"
 #include "data/dataset.h"
+#include "obs/trace.h"
 #include "graph/data_mapping.h"
 #include "graph/stats.h"
 #include "nn/optimizer.h"
@@ -68,6 +75,8 @@ struct Args {
   float min_probability = 0.0f;
   /// Keep only mutual nearest neighbours (high-precision subset).
   bool mutual = false;
+  std::string telemetry_out;  // per-epoch JSONL training telemetry
+  std::string trace_out;      // Chrome trace_event JSON (Perfetto)
 };
 
 void PrintUsage() {
@@ -79,7 +88,8 @@ void PrintUsage() {
                "       [--model FILE] [--save-model FILE]\n"
                "       [--checkpoint FILE] [--resume] [--checkpoint-every N]\n"
                "       [--train-steps N] [--seed N]\n"
-               "       [--min-probability P] [--mutual]\n");
+               "       [--min-probability P] [--mutual]\n"
+               "       [--telemetry-out FILE.jsonl] [--trace-out FILE.json]\n");
 }
 
 bool ParseArgs(int argc, char** argv, Args* args) {
@@ -147,6 +157,14 @@ bool ParseArgs(int argc, char** argv, Args* args) {
       args->min_probability = static_cast<float>(std::atof(v));
     } else if (flag == "--mutual") {
       args->mutual = true;
+    } else if (flag == "--telemetry-out") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      args->telemetry_out = v;
+    } else if (flag == "--trace-out") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      args->trace_out = v;
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", flag.c_str());
       return false;
@@ -178,6 +196,9 @@ int main(int argc, char** argv) {
     PrintUsage();
     return 2;
   }
+  // Tracing covers everything from here on (pre-training, tuning,
+  // matching); the file is written just before exit.
+  if (!args.trace_out.empty()) obs::SetTraceEnabled(true);
 
   // -- Data mapping ------------------------------------------------------
   graph::GraphBuilder builder;
@@ -320,6 +341,7 @@ int main(int argc, char** argv) {
   options.checkpoint_path = args.checkpoint;
   options.resume = args.resume;
   options.checkpoint_every_epochs = args.checkpoint_every;
+  options.telemetry_path = args.telemetry_out;
   core::CrossEm matcher(&model, &g, &tokenizer, options);
   std::vector<graph::VertexId> entities = builder.entity_vertices();
   if (auto fit = matcher.Fit(entities, images.patches); !fit.ok()) {
@@ -355,5 +377,16 @@ int main(int argc, char** argv) {
   }
   if (out != stdout) std::fclose(out);
   std::fprintf(stderr, "wrote %zu matching pairs\n", matches.size());
+
+  if (!args.trace_out.empty()) {
+    if (!obs::WriteChromeTrace(args.trace_out)) {
+      std::fprintf(stderr, "cannot write trace '%s'\n",
+                   args.trace_out.c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "wrote %lld trace spans to %s\n",
+                 static_cast<long long>(obs::SpanCount()),
+                 args.trace_out.c_str());
+  }
   return 0;
 }

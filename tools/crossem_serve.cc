@@ -29,6 +29,12 @@
 // inputs (the vocabulary is rebuilt from the mapped graph). query and
 // stdin-batch do not need --images: pass the --patch-dim / --max-patches
 // the model was built with (build-index prints them).
+//
+// Observability: --stats-out FILE (query and stdin-batch modes) writes
+// the process-wide metrics registry — including the crossem_serve_*
+// request/batch/cache/latency instruments — in Prometheus text
+// exposition format after the run; --trace-out FILE enables span
+// tracing and writes a Chrome trace_event JSON (Perfetto).
 #include <algorithm>
 #include <atomic>
 #include <cstdio>
@@ -46,6 +52,8 @@
 #include "data/dataset.h"
 #include "graph/data_mapping.h"
 #include "nn/serialize.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "serve/index.h"
 #include "serve/service.h"
 #include "text/tokenizer.h"
@@ -78,6 +86,8 @@ struct Args {
   int64_t patch_dim = 0;    // model config when --images is absent
   int64_t max_patches = 0;  // ditto (repository max, pre-padding)
   uint64_t seed = 7;
+  std::string stats_out;  // Prometheus text exposition of the registry
+  std::string trace_out;  // Chrome trace_event JSON (Perfetto)
 };
 
 void PrintUsage() {
@@ -96,7 +106,9 @@ void PrintUsage() {
       "  stdin-batch  --table NAME=FILE.csv [--json FILE] --index FILE\n"
       "               --model FILE [--k N] [--clients N] [--deadline-us N]\n"
       "               [--max-batch N] [--max-wait-us N] [--queue N]\n"
-      "               [--cache N] [--patch-dim D] [--max-patches P]\n");
+      "               [--cache N] [--patch-dim D] [--max-patches P]\n"
+      "query/stdin-batch also take [--stats-out FILE] (Prometheus text)\n"
+      "and [--trace-out FILE] (Chrome trace_event JSON)\n");
 }
 
 bool ParseArgs(int argc, char** argv, Args* args) {
@@ -185,6 +197,14 @@ bool ParseArgs(int argc, char** argv, Args* args) {
       if (!next_i64(&args->patch_dim)) return false;
     } else if (flag == "--max-patches") {
       if (!next_i64(&args->max_patches)) return false;
+    } else if (flag == "--stats-out") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      args->stats_out = v;
+    } else if (flag == "--trace-out") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      args->trace_out = v;
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", flag.c_str());
       return false;
@@ -203,6 +223,30 @@ Result<std::string> ReadFile(const std::string& path) {
   std::ostringstream out;
   out << in.rdbuf();
   return out.str();
+}
+
+/// Writes the requested observability outputs after a serving run:
+/// --stats-out gets the process-wide registry (crossem_serve_* and
+/// everything else) as Prometheus text; --trace-out gets the recorded
+/// spans as Chrome trace_event JSON. Returns false if a requested file
+/// could not be written.
+bool WriteObservability(const Args& args) {
+  bool ok = true;
+  if (!args.stats_out.empty()) {
+    std::ofstream out(args.stats_out, std::ios::trunc);
+    out << obs::ExportPrometheus(obs::MetricsRegistry::Default().Snapshot());
+    out.flush();
+    if (!out) {
+      std::fprintf(stderr, "cannot write stats '%s'\n",
+                   args.stats_out.c_str());
+      ok = false;
+    }
+  }
+  if (!args.trace_out.empty() && !obs::WriteChromeTrace(args.trace_out)) {
+    std::fprintf(stderr, "cannot write trace '%s'\n", args.trace_out.c_str());
+    ok = false;
+  }
+  return ok;
 }
 
 /// Everything a mode needs: the mapped graph, the model restored from
@@ -410,6 +454,7 @@ int RunQuery(const Args& args, Setup* s) {
   }
   service.Shutdown();
   std::fprintf(stderr, "%s\n", service.Snapshot().ToString().c_str());
+  if (!WriteObservability(args)) return 1;
   return failures == 0 ? 0 : 1;
 }
 
@@ -472,6 +517,7 @@ int RunStdinBatch(const Args& args, Setup* s) {
   for (std::thread& t : workers) t.join();
   service.Shutdown();
   std::fprintf(stderr, "%s\n", service.Snapshot().ToString().c_str());
+  if (!WriteObservability(args)) return 1;
   return failed.load() == 0 ? 0 : 1;
 }
 
@@ -483,6 +529,7 @@ int main(int argc, char** argv) {
     PrintUsage();
     return 2;
   }
+  if (!args.trace_out.empty()) obs::SetTraceEnabled(true);
   Setup setup;
   if (int rc = BuildSetup(args, &setup); rc != 0) return rc;
   if (args.mode == "build-index") return RunBuildIndex(args, &setup);
