@@ -5,7 +5,9 @@
 #include "bench/parallel_report.h"
 #include "benchmark/benchmark.h"
 #include "nn/attention.h"
+#include "nn/layers.h"
 #include "tensor/ops.h"
+#include "tensor/pool.h"
 #include "tensor/tensor.h"
 #include "util/parallel.h"
 
@@ -146,11 +148,139 @@ void EmitParallelReport() {
   }
 }
 
+// Fused-kernel A/B (speedup column = reference ns / fused ns, both at one
+// thread so graph overhead, not parallelism, is what's measured) plus the
+// steady-state tensor-pool hit rate of a training loop.
+void EmitFusedReport() {
+  bench::ParallelReport report;
+  Rng rng(43);
+
+  {
+    nn::LayerNorm ln(256);
+    Tensor x = Tensor::Randn({512, 256}, &rng);
+    auto fwd = [&] {
+      NoGradGuard guard;
+      Tensor y = ln.Forward(x);
+      benchmark::DoNotOptimize(y.data());
+    };
+    ops::SetFusedKernels(ops::FusedKernels::kReference);
+    const double ref_ns =
+        report.Measure("layernorm_fwd_ref", "512x256", 1, fwd);
+    ops::SetFusedKernels(ops::FusedKernels::kFused);
+    report.Measure("layernorm_fwd", "512x256", 1, fwd, ref_ns);
+  }
+  {
+    // The acceptance target: LayerNorm + scaled softmax through a full
+    // forward+backward, fused vs the composed-op tape.
+    nn::LayerNorm ln(256);
+    Tensor x = Tensor::Randn({256, 256}, &rng);
+    x.set_requires_grad(true);
+    auto train = [&] {
+      x.ZeroGrad();
+      ln.ZeroGrad();
+      Tensor h = ln.Forward(x);
+      Tensor s;
+      if (ops::GetFusedKernels() == ops::FusedKernels::kFused) {
+        s = ops::ScaledMaskedSoftmax(h, 0.125f);
+      } else {
+        s = ops::Softmax(ops::MulScalar(h, 0.125f));
+      }
+      ops::Sum(s).Backward();
+      benchmark::DoNotOptimize(x.grad().data());
+    };
+    ops::SetFusedKernels(ops::FusedKernels::kReference);
+    const double ref_ns =
+        report.Measure("ln_softmax_train_ref", "256x256", 1, train);
+    ops::SetFusedKernels(ops::FusedKernels::kFused);
+    report.Measure("ln_softmax_train", "256x256", 1, train, ref_ns);
+  }
+  {
+    // Masked attention-score softmax, forward only.
+    Tensor scores = Tensor::Randn({8, 4, 64, 64}, &rng);
+    Tensor mask = Tensor::Ones({8, 64});
+    float* mp = mask.data();
+    for (int64_t i = 48; i < 64; ++i) mp[i] = 0.0f;  // pad batch 0's tail
+    const float scale = 0.125f;
+    auto ref = [&] {
+      NoGradGuard guard;
+      Tensor s = ops::MulScalar(scores, scale);
+      Tensor bias =
+          ops::MulScalar(ops::AddScalar(mask.Detach(), -1.0f), 1e9f);
+      bias = ops::Reshape(bias, {8, 1, 1, 64});
+      Tensor y = ops::Softmax(ops::Add(s, bias));
+      benchmark::DoNotOptimize(y.data());
+    };
+    auto fused = [&] {
+      NoGradGuard guard;
+      Tensor y = ops::ScaledMaskedSoftmax(scores, scale, mask);
+      benchmark::DoNotOptimize(y.data());
+    };
+    const double ref_ns =
+        report.Measure("scaled_masked_softmax_ref", "8x4x64x64", 1, ref);
+    report.Measure("scaled_masked_softmax", "8x4x64x64", 1, fused, ref_ns);
+  }
+  {
+    Rng wrng(7);
+    nn::Linear lin(256, 256, &wrng);
+    Tensor x = Tensor::Randn({512, 256}, &rng);
+    auto fwd = [&] {
+      NoGradGuard guard;
+      Tensor y = lin.Forward(x, ops::BiasAct::kGelu);
+      benchmark::DoNotOptimize(y.data());
+    };
+    ops::SetFusedKernels(ops::FusedKernels::kReference);
+    const double ref_ns = report.Measure("bias_gelu_ref", "512x256", 1, fwd);
+    ops::SetFusedKernels(ops::FusedKernels::kFused);
+    report.Measure("bias_gelu", "512x256", 1, fwd, ref_ns);
+  }
+  {
+    // Steady-state pool behaviour of a realistic Fit step: a transformer
+    // encoder forward+backward re-allocates the same activation and grad
+    // shapes every step, so after warmup every Acquire should hit the
+    // freelists. The hit rate rides in the speedup column.
+    ops::SetFusedKernels(ops::FusedKernels::kFused);
+    Rng wrng(8);
+    nn::TransformerEncoder enc(2, 32, 4, 64, &wrng);
+    Tensor x = Tensor::Randn({4, 16, 32}, &rng);
+    x.set_requires_grad(true);
+    auto step = [&] {
+      x.ZeroGrad();
+      enc.ZeroGrad();
+      ops::Sum(enc.Forward(x)).Backward();
+    };
+    for (int i = 0; i < 5; ++i) step();  // warmup: populate the freelists
+    auto& pool = internal::TensorPool::Instance();
+    const int64_t hits0 = pool.hits();
+    const int64_t misses0 = pool.misses();
+    const double ns = report.Measure("fit_step_pooled", "2L_32d_4x16", 1, step);
+    const int64_t dh = pool.hits() - hits0;
+    const int64_t dm = pool.misses() - misses0;
+    const double hit_rate =
+        (dh + dm) > 0 ? static_cast<double>(dh) / static_cast<double>(dh + dm)
+                      : (internal::TensorPool::Enabled() ? 0.0 : 1.0);
+    bench::ParallelBenchRecord rec;
+    rec.op = "fit_pool_hit_rate";
+    rec.size = "2L_32d_4x16";
+    rec.threads = 1;
+    rec.ns_per_iter = ns;
+    rec.speedup = hit_rate;  // rate, not a speedup; see check script
+    report.AddRecord(rec);
+  }
+  ops::SetFusedKernels(ops::FusedKernels::kFused);
+
+  const std::string path = bench::FusedReportPath();
+  if (report.WriteJson(path)) {
+    printf("wrote %zu fused perf records to %s\n", report.records().size(),
+           path.c_str());
+  }
+}
+
 }  // namespace
 }  // namespace crossem
 
 int main(int argc, char** argv) {
   crossem::EmitParallelReport();
+  crossem::EmitFusedReport();
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();

@@ -39,6 +39,12 @@ class ParallelReport {
                     const std::vector<int>& thread_counts,
                     const std::function<void()>& fn, double baseline_ns = 0.0);
 
+  /// Appends a pre-built record (for derived quantities like the pool hit
+  /// rate that are not plain timings).
+  void AddRecord(ParallelBenchRecord record) {
+    records_.push_back(std::move(record));
+  }
+
   const std::vector<ParallelBenchRecord>& records() const { return records_; }
 
   /// Merges the collected records into the JSON document at `path`
@@ -50,9 +56,17 @@ class ParallelReport {
   std::vector<ParallelBenchRecord> records_;
 };
 
+/// Resolves a report output path: the value of `env_var` when set, else
+/// `fallback` in the working directory.
+std::string ReportPathFromEnv(const char* env_var, const char* fallback);
+
 /// Output path for BENCH_parallel.json: the CROSSEM_BENCH_JSON env var, or
 /// "BENCH_parallel.json" in the working directory.
 std::string ParallelReportPath();
+
+/// Output path for the fused-kernel / pool report: CROSSEM_BENCH_FUSED_JSON,
+/// or "BENCH_fused.json" in the working directory.
+std::string FusedReportPath();
 
 }  // namespace bench
 }  // namespace crossem

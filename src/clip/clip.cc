@@ -136,7 +136,10 @@ Tensor ClipModel::SimilarityMatrix(const Tensor& text_emb,
   CROSSEM_CHECK_EQ(text_emb.dim(), 2);
   CROSSEM_CHECK_EQ(image_emb.dim(), 2);
   CROSSEM_CHECK_EQ(text_emb.size(1), image_emb.size(1));
-  return ops::MatMul(text_emb, ops::Transpose(image_emb, 0, 1));
+  // MatMulTransB consumes image_emb in its natural [I, E] layout — bitwise
+  // equal to MatMul(text, Transpose(image)) without materializing the
+  // transpose (which on small batches used to cost more than the GEMM).
+  return ops::MatMulTransB(text_emb, image_emb);
 }
 
 Tensor ClipModel::ContrastiveLoss(const Tensor& text_emb,

@@ -71,8 +71,12 @@ KMeansResult KMeans(const Tensor& points, int64_t k, Rng* rng,
     result.iterations = iter + 1;
     // Assignment step: each point's nearest centroid is independent.
     std::atomic<bool> changed{false};
-    const int64_t grain =
-        std::max<int64_t>(1, 4096 / std::max<int64_t>(k * dim, 1));
+    const int64_t work_per_point = std::max<int64_t>(k * dim, 1);
+    // Stay serial unless the whole assignment pass carries enough work to
+    // pay for a pool dispatch (small clusterings were slower at 8 threads
+    // than at 1 with the old unconditional split).
+    const int64_t grain = GrainWithCutoff(
+        std::max<int64_t>(1, 4096 / work_per_point), n, work_per_point);
     ParallelFor(0, n, grain, [&](int64_t i0, int64_t i1) {
       for (int64_t i = i0; i < i1; ++i) {
         int64_t best = 0;

@@ -95,7 +95,8 @@ Tensor MiniBatchGenerator::ComputeProximity(
   Tensor closeness;
   {
     CROSSEM_TRACE_SPAN("pcp_closeness");
-    closeness = ops::MatMul(property_emb, ops::Transpose(patch_emb, 0, 1));
+    // A x C^T without materializing C^T (bitwise-equal; see MatMulTransB).
+    closeness = ops::MatMulTransB(property_emb, patch_emb);
   }
 
   // Phase 2 proximity (Eq. 8).
@@ -104,8 +105,16 @@ Tensor MiniBatchGenerator::ComputeProximity(
   float* s = proximity.data();
   const float* sc = closeness.data();
   const int64_t sc_cols = num_images * patches;
-  // Each vertex row of the proximity matrix is independent.
-  ParallelFor(0, nv, 1, [&](int64_t v0, int64_t v1) {
+  // Each vertex row of the proximity matrix is independent. Average the
+  // per-vertex cost for the cutoff: tiny graphs run serially.
+  int64_t total_props = 0;
+  for (const auto& ps : property_sets) {
+    total_props += static_cast<int64_t>(ps.size());
+  }
+  const int64_t work_per_vertex =
+      std::max<int64_t>(1, total_props / std::max<int64_t>(nv, 1)) * sc_cols;
+  ParallelFor(0, nv, GrainWithCutoff(1, nv, work_per_vertex),
+              [&](int64_t v0, int64_t v1) {
     for (int64_t vi = v0; vi < v1; ++vi) {
       for (graph::VertexId u : property_sets[static_cast<size_t>(vi)]) {
         const int64_t row = property_row.at(u);
@@ -198,7 +207,10 @@ Result<std::vector<MiniBatch>> MiniBatchGenerator::PartitionFromProximity(
     const int64_t sd = static_cast<int64_t>(subset.size());
     Tensor dist = Tensor::Zeros({sv, sd});
     float* dp = dist.data();
-    ParallelFor(0, sv, std::max<int64_t>(1, 2048 / std::max<int64_t>(sd, 1)),
+    ParallelFor(0, sv,
+                GrainWithCutoff(
+                    std::max<int64_t>(1, 2048 / std::max<int64_t>(sd, 1)), sv,
+                    std::max<int64_t>(sd, 1)),
                 [&](int64_t r0, int64_t r1) {
                   for (int64_t r = r0; r < r1; ++r) {
                     const int64_t img = survivors[static_cast<size_t>(r)];

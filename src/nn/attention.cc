@@ -45,22 +45,28 @@ Tensor MultiHeadAttention::Forward(const Tensor& query, const Tensor& context,
 
   // Attention scores: [B, H, Tq, Tk].
   Tensor scores = ops::MatMul(q, ops::Transpose(k, -1, -2));
-  scores = ops::MulScalar(scores,
-                          1.0f / std::sqrt(static_cast<float>(head_dim_)));
-
+  const float scale = 1.0f / std::sqrt(static_cast<float>(head_dim_));
   if (key_padding_mask.defined()) {
     CROSSEM_CHECK_EQ(key_padding_mask.dim(), 2);
     CROSSEM_CHECK_EQ(key_padding_mask.size(0), b);
     CROSSEM_CHECK_EQ(key_padding_mask.size(1), tk);
-    // (mask - 1) * 1e9 gives 0 for valid keys, -1e9 for padded ones;
-    // broadcast [B, 1, 1, Tk] over heads and query positions.
-    Tensor bias = ops::MulScalar(
-        ops::AddScalar(key_padding_mask.Detach(), -1.0f), 1e9f);
-    bias = ops::Reshape(bias, {b, 1, 1, tk});
-    scores = ops::Add(scores, bias);
   }
 
-  Tensor attn = ops::Softmax(scores);
+  Tensor attn;
+  if (ops::GetFusedKernels() == ops::FusedKernels::kFused) {
+    attn = ops::ScaledMaskedSoftmax(scores, scale, key_padding_mask);
+  } else {
+    scores = ops::MulScalar(scores, scale);
+    if (key_padding_mask.defined()) {
+      // (mask - 1) * 1e9 gives 0 for valid keys, -1e9 for padded ones;
+      // broadcast [B, 1, 1, Tk] over heads and query positions.
+      Tensor bias = ops::MulScalar(
+          ops::AddScalar(key_padding_mask.Detach(), -1.0f), 1e9f);
+      bias = ops::Reshape(bias, {b, 1, 1, tk});
+      scores = ops::Add(scores, bias);
+    }
+    attn = ops::Softmax(scores);
+  }
   Tensor ctx = ops::MatMul(attn, v);  // [B, H, Tq, Dh]
   ctx = ops::Transpose(ctx, 1, 2);    // [B, Tq, H, Dh]
   ctx = ops::Reshape(ctx, {b, tq, model_dim_});
@@ -87,7 +93,8 @@ Tensor TransformerBlock::Forward(const Tensor& x,
                                  Rng* rng) const {
   Tensor n1 = ln1_.Forward(x);
   Tensor h = ops::Add(x, attn_.Forward(n1, n1, key_padding_mask));
-  Tensor mlp = fc2_.Forward(ops::Gelu(fc1_.Forward(ln2_.Forward(h))));
+  Tensor mlp =
+      fc2_.Forward(fc1_.Forward(ln2_.Forward(h), ops::BiasAct::kGelu));
   mlp = ops::Dropout(mlp, dropout_, training() && rng != nullptr, rng);
   return ops::Add(h, mlp);
 }

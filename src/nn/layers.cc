@@ -22,10 +22,21 @@ Linear::Linear(int64_t in_features, int64_t out_features, Rng* rng, bool bias)
   }
 }
 
-Tensor Linear::Forward(const Tensor& x) const {
+Tensor Linear::Forward(const Tensor& x, ops::BiasAct act) const {
   CROSSEM_CHECK_EQ(x.size(-1), in_features_);
   Tensor y = ops::MatMul(x, weight_);
+  if (bias_.defined() && ops::GetFusedKernels() == ops::FusedKernels::kFused) {
+    return ops::BiasActivation(y, bias_, act);
+  }
   if (bias_.defined()) y = ops::Add(y, bias_);
+  switch (act) {
+    case ops::BiasAct::kNone:
+      return y;
+    case ops::BiasAct::kRelu:
+      return ops::Relu(y);
+    case ops::BiasAct::kGelu:
+      return ops::Gelu(y);
+  }
   return y;
 }
 
@@ -49,6 +60,9 @@ LayerNorm::LayerNorm(int64_t dim, float eps) : dim_(dim), eps_(eps) {
 
 Tensor LayerNorm::Forward(const Tensor& x) const {
   CROSSEM_CHECK_EQ(x.size(-1), dim_);
+  if (ops::GetFusedKernels() == ops::FusedKernels::kFused) {
+    return ops::LayerNormFused(x, gamma_, beta_, eps_);
+  }
   Tensor mean = ops::Mean(x, -1, /*keepdim=*/true);
   Tensor centered = ops::Sub(x, mean);
   Tensor var = ops::Mean(ops::Mul(centered, centered), -1, /*keepdim=*/true);

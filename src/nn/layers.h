@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "nn/module.h"
+#include "tensor/ops.h"
 #include "tensor/tensor.h"
 #include "util/random.h"
 
@@ -18,8 +19,11 @@ class Linear : public Module {
   Linear(int64_t in_features, int64_t out_features, Rng* rng,
          bool bias = true);
 
-  /// x: [..., in] -> [..., out].
-  Tensor Forward(const Tensor& x) const;
+  /// x: [..., in] -> act([..., out]). When `act` is not kNone the
+  /// activation is applied after the bias add — through the fused
+  /// BiasActivation kernel when fused kernels are enabled, otherwise as
+  /// the composed Add + activation graph (bitwise-identical either way).
+  Tensor Forward(const Tensor& x, ops::BiasAct act = ops::BiasAct::kNone) const;
 
   const Tensor& weight() const { return weight_; }
   const Tensor& bias() const { return bias_; }

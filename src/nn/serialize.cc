@@ -442,9 +442,13 @@ uint32_t ModuleFingerprint(const Module& module) {
 
 Status SaveCheckpoint(const Module& module, const std::string& path) {
   std::vector<Record> records;
-  for (const auto& [name, tensor] : module.NamedParameters()) {
-    records.push_back(
-        Record::TensorRecord(name, tensor.shape(), tensor.ToVector()));
+  // Mutable binding so ToVector() takes its move-out path: snapshot
+  // tensors are stolen outright, live parameter handles (aliased with the
+  // module) fall back to a copy.
+  for (auto&& [name, tensor] : module.NamedParameters()) {
+    Shape shape = tensor.shape();
+    records.push_back(Record::TensorRecord(name, std::move(shape),
+                                           std::move(tensor).ToVector()));
   }
   return WriteRecordsAtomic(records, path);
 }

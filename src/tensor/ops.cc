@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdlib>
 #include <cstring>
 #include <functional>
 #include <memory>
@@ -17,13 +18,24 @@ namespace ops {
 namespace {
 
 /// Elements per chunk for parallel elementwise loops. Fixed (independent of
-/// the thread count) so chunked reductions are bitwise-deterministic; also
-/// acts as the cutoff below which work stays on the calling thread.
-constexpr int64_t kElemGrain = 1 << 13;
+/// the thread count) so chunked decompositions are bitwise-deterministic.
+constexpr int64_t kElemGrain = 1 << 16;
 
-/// Rows per chunk for row-wise kernels (softmax, normalize, reductions).
-int64_t RowGrain(int64_t cols) {
-  return std::max<int64_t>(1, kElemGrain / std::max<int64_t>(cols, 1));
+/// Elements per chunk for the scalar Sum reduction. Coarser than
+/// kElemGrain: a reduction chunk is a single streaming add per element, so
+/// smaller chunks put dispatch overhead on par with the work itself.
+constexpr int64_t kReduceGrain = 1 << 18;
+
+/// Grain for elementwise loops, degenerating to one (inline) chunk when the
+/// tensor is too small to amortize a pool dispatch (GrainWithCutoff).
+int64_t ElemGrain(int64_t n) { return GrainWithCutoff(kElemGrain, n, 1); }
+
+/// Rows per chunk for row-wise kernels (softmax, normalize, reductions):
+/// about 2^15 elements per chunk, serial below the dispatch break-even.
+int64_t RowGrain(int64_t rows, int64_t cols) {
+  const int64_t c = std::max<int64_t>(cols, 1);
+  return GrainWithCutoff(std::max<int64_t>(1, (int64_t{1} << 15) / c), rows,
+                         c);
 }
 
 using internal::AutogradNode;
@@ -251,7 +263,7 @@ Tensor BroadcastBinaryOp(const Tensor& a, const Tensor& b, const char* name,
     float* gb = NeedsGrad(b_impl) ? b_impl->MutableGrad().data() : nullptr;
     const int64_t n = out.numel();
     if (a_contig && b_contig) {
-      ParallelFor(0, n, kElemGrain, [&](int64_t lo, int64_t hi) {
+      ParallelFor(0, n, ElemGrain(n), [&](int64_t lo, int64_t hi) {
         for (int64_t i = lo; i < hi; ++i) {
           float da = 0.0f, db = 0.0f;
           bwd(g[i], av[i], bv[i], &da, &db);
@@ -290,11 +302,11 @@ Tensor BroadcastBinaryOp(const Tensor& a, const Tensor& b, const char* name,
   float* ov = out.data();
   const int64_t n = out.numel();
   if (a_contig && b_contig) {
-    ParallelFor(0, n, kElemGrain, [&](int64_t lo, int64_t hi) {
+    ParallelFor(0, n, ElemGrain(n), [&](int64_t lo, int64_t hi) {
       for (int64_t i = lo; i < hi; ++i) ov[i] = fwd(av[i], bv[i]);
     });
   } else if (periodic) {
-    ParallelFor(0, n, kElemGrain, [&](int64_t lo, int64_t hi) {
+    ParallelFor(0, n, ElemGrain(n), [&](int64_t lo, int64_t hi) {
       BcastCursor ac(a_plan, lo), bc(b_plan, lo);
       for (int64_t i = lo; i < hi; ++i) {
         ov[i] = fwd(av[ac.index()], bv[bc.index()]);
@@ -303,7 +315,7 @@ Tensor BroadcastBinaryOp(const Tensor& a, const Tensor& b, const char* name,
       }
     });
   } else {
-    ParallelFor(0, n, kElemGrain, [&](int64_t lo, int64_t hi) {
+    ParallelFor(0, n, ElemGrain(n), [&](int64_t lo, int64_t hi) {
       for (int64_t i = lo; i < hi; ++i) {
         int64_t ai = a_contig ? i : BroadcastOffset(i, out_strides, a_strides);
         int64_t bi = b_contig ? i : BroadcastOffset(i, out_strides, b_strides);
@@ -327,14 +339,14 @@ Tensor UnaryOp(const Tensor& a, const char* name, FwdFn fwd, DyDxFn dydx) {
     const float* y = out.storage->data();
     float* ga = a_impl->MutableGrad().data();
     const int64_t n = out.numel();
-    ParallelFor(0, n, kElemGrain, [&](int64_t lo, int64_t hi) {
+    ParallelFor(0, n, ElemGrain(n), [&](int64_t lo, int64_t hi) {
       for (int64_t i = lo; i < hi; ++i) ga[i] += g[i] * dydx(x[i], y[i]);
     });
   };
   Tensor out = MakeResult(a.shape(), {a}, name, backward);
   const float* x = a.data();
   float* y = out.data();
-  ParallelFor(0, a.numel(), kElemGrain, [&](int64_t lo, int64_t hi) {
+  ParallelFor(0, a.numel(), ElemGrain(a.numel()), [&](int64_t lo, int64_t hi) {
     for (int64_t i = lo; i < hi; ++i) y[i] = fwd(x[i]);
   });
   return out;
@@ -344,6 +356,11 @@ Tensor UnaryOp(const Tensor& a, const char* name, FwdFn fwd, DyDxFn dydx) {
 constexpr int64_t kGemmRowChunk = 32;
 /// Depth of the K panel kept hot in cache between passes over C rows.
 constexpr int64_t kGemmKBlock = 256;
+/// Multiply-adds below which a GEMM runs serially on the calling thread:
+/// ~2M flops is around a millisecond of scalar work, several times the
+/// cost of waking the pool. The small per-layer GEMMs of the training
+/// towers stay inline; the 256^3-and-up matrices still fan out.
+constexpr int64_t kGemmMinParallelOps = int64_t{1} << 21;
 
 // Function multi-versioning for the GEMM inner kernel: the binary stays
 // baseline x86-64 (no -march flags leak into the portable build), but the
@@ -473,21 +490,42 @@ void Gemm(const float* a, const float* b, float* c, int64_t m, int64_t k,
   static thread_local std::vector<float> a_pack;
   static thread_local std::vector<float> b_pack;
   if (trans_a) {
-    // a is physically (k x m); pack to row-major (m x k).
+    // a is physically (k x m); pack to row-major (m x k). Chunks write
+    // disjoint pack columns, so the copy parallelizes for large panels
+    // (and GrainWithCutoff keeps small ones on the calling thread).
     a_pack.resize(static_cast<size_t>(m * k));
-    for (int64_t p = 0; p < k; ++p) {
-      const float* src = a + p * m;
-      for (int64_t i = 0; i < m; ++i) a_pack[i * k + p] = src[i];
-    }
+    float* ap = a_pack.data();
+    const float* asrc = a;
+    ParallelFor(0, k,
+                GrainWithCutoff(
+                    std::max<int64_t>(1, (int64_t{1} << 15) /
+                                            std::max<int64_t>(m, 1)),
+                    k, m),
+                [ap, asrc, m, k](int64_t p0, int64_t p1) {
+                  for (int64_t p = p0; p < p1; ++p) {
+                    const float* src = asrc + p * m;
+                    for (int64_t i = 0; i < m; ++i) ap[i * k + p] = src[i];
+                  }
+                });
     a = a_pack.data();
   }
   if (trans_b) {
-    // b is physically (n x k); pack to row-major (k x n).
+    // b is physically (n x k); pack to row-major (k x n). Same disjoint
+    // column-chunk parallelization as the A pack.
     b_pack.resize(static_cast<size_t>(k * n));
-    for (int64_t j = 0; j < n; ++j) {
-      const float* src = b + j * k;
-      for (int64_t p = 0; p < k; ++p) b_pack[p * n + j] = src[p];
-    }
+    float* bp = b_pack.data();
+    const float* bsrc = b;
+    ParallelFor(0, n,
+                GrainWithCutoff(
+                    std::max<int64_t>(1, (int64_t{1} << 15) /
+                                            std::max<int64_t>(k, 1)),
+                    n, k),
+                [bp, bsrc, k, n](int64_t j0, int64_t j1) {
+                  for (int64_t j = j0; j < j1; ++j) {
+                    const float* src = bsrc + j * k;
+                    for (int64_t p = 0; p < k; ++p) bp[p * n + j] = src[p];
+                  }
+                });
     b = b_pack.data();
   }
 
@@ -507,7 +545,11 @@ void Gemm(const float* a, const float* b, float* c, int64_t m, int64_t k,
     return;
   }
 
-  ParallelFor(0, m, kGemmRowChunk, [a, b, c, k, n](int64_t r0, int64_t r1) {
+  // Serial below the flop cutoff: the chunk decomposition still depends
+  // only on the problem size, so determinism is unaffected.
+  const int64_t row_grain = (m * n * k < kGemmMinParallelOps) ? m
+                                                              : kGemmRowChunk;
+  ParallelFor(0, m, row_grain, [a, b, c, k, n](int64_t r0, int64_t r1) {
     for (int64_t p0 = 0; p0 < k; p0 += kGemmKBlock) {
       const int64_t p1 = std::min(k, p0 + kGemmKBlock);
       GemmRowBlock(a, b, c, k, n, p0, p1, r0, r1);
@@ -515,9 +557,44 @@ void Gemm(const float* a, const float* b, float* c, int64_t m, int64_t k,
   });
 }
 
+// GELU tanh approximation, shared between ops::Gelu and the fused
+// bias+activation kernel so both paths round identically per element.
+constexpr float kGeluC = 0.7978845608f;  // sqrt(2/pi)
+constexpr float kGeluA = 0.044715f;
+
+inline float GeluFwd(float x) {
+  float inner = kGeluC * (x + kGeluA * x * x * x);
+  return 0.5f * x * (1.0f + std::tanh(inner));
+}
+
+inline float GeluBwd(float x) {
+  float x3 = x * x * x;
+  float inner = kGeluC * (x + kGeluA * x3);
+  float t = std::tanh(inner);
+  float sech2 = 1.0f - t * t;
+  return 0.5f * (1.0f + t) +
+         0.5f * x * sech2 * kGeluC * (1.0f + 3.0f * kGeluA * x * x);
+}
+
+FusedKernels ResolveFusedKernelsDefault() {
+  const char* env = std::getenv("CROSSEM_FUSED_KERNELS");
+  if (env != nullptr &&
+      (std::strcmp(env, "0") == 0 || std::strcmp(env, "off") == 0 ||
+       std::strcmp(env, "reference") == 0)) {
+    return FusedKernels::kReference;
+  }
+  return FusedKernels::kFused;
+}
+
+FusedKernels g_fused_kernels = ResolveFusedKernelsDefault();
+
 }  // namespace
 
 void SetGemmKernel(GemmKernel kernel) { g_gemm_kernel = kernel; }
+
+void SetFusedKernels(FusedKernels mode) { g_fused_kernels = mode; }
+
+FusedKernels GetFusedKernels() { return g_fused_kernels; }
 
 Shape BroadcastShapes(const Shape& a, const Shape& b) {
   const size_t rank = std::max(a.size(), b.size());
@@ -647,21 +724,9 @@ Tensor Relu(const Tensor& a) {
 
 Tensor Gelu(const Tensor& a) {
   // tanh approximation: 0.5x(1 + tanh(sqrt(2/pi)(x + 0.044715 x^3))).
-  constexpr float kC = 0.7978845608f;  // sqrt(2/pi)
-  constexpr float kA = 0.044715f;
   return UnaryOp(
-      a, "gelu",
-      [](float x) {
-        float inner = kC * (x + kA * x * x * x);
-        return 0.5f * x * (1.0f + std::tanh(inner));
-      },
-      [](float x, float) {
-        float x3 = x * x * x;
-        float inner = kC * (x + kA * x3);
-        float t = std::tanh(inner);
-        float sech2 = 1.0f - t * t;
-        return 0.5f * (1.0f + t) + 0.5f * x * sech2 * kC * (1.0f + 3.0f * kA * x * x);
-      });
+      a, "gelu", [](float x) { return GeluFwd(x); },
+      [](float x, float) { return GeluBwd(x); });
 }
 
 Tensor Tanh(const Tensor& a) {
@@ -758,6 +823,51 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
   return out;
 }
 
+Tensor MatMulTransB(const Tensor& a, const Tensor& b) {
+  CROSSEM_CHECK_GE(a.dim(), 2);
+  CROSSEM_CHECK_EQ(b.dim(), 2);
+  const int64_t m = a.size(-2);
+  const int64_t k = a.size(-1);
+  const int64_t n = b.size(0);
+  CROSSEM_CHECK_EQ(k, b.size(1))
+      << "matmul_trans_b inner dims: " << ShapeToString(a.shape()) << " x "
+      << ShapeToString(b.shape()) << "^T";
+
+  // b is shared across a's batch dims, so (as in MatMul's shared-2D case)
+  // the whole batch collapses into one [batch*m, k] x [k, n] GEMM.
+  Shape lead(a.shape().begin(), a.shape().end() - 2);
+  int64_t batch = 1;
+  for (int64_t d : lead) batch *= d;
+  Shape out_shape = lead;
+  out_shape.push_back(m);
+  out_shape.push_back(n);
+  const int64_t rows = batch * m;
+
+  auto a_impl = a.impl();
+  auto b_impl = b.impl();
+  auto backward = [a_impl, b_impl, rows, k, n](const TensorImpl& out) {
+    const float* g = out.grad->data();
+    const float* av = a_impl->storage->data();
+    const float* bv = b_impl->storage->data();
+    if (float* ga = NeedsGrad(a_impl) ? a_impl->MutableGrad().data()
+                                      : nullptr) {
+      // dA = dC * B: b is already the (n x k) row-major operand this GEMM
+      // wants, so unlike the Transpose-composed path no packing happens.
+      Gemm(g, bv, ga, rows, n, k, false, false, true);
+    }
+    if (float* gb = NeedsGrad(b_impl) ? b_impl->MutableGrad().data()
+                                      : nullptr) {
+      // dB = dC^T * A   (n x rows)(rows x k)
+      Gemm(g, av, gb, n, rows, k, true, false, true);
+    }
+  };
+
+  Tensor out = MakeResult(std::move(out_shape), {a, b}, "matmul_trans_b",
+                          backward);
+  Gemm(a.data(), b.data(), out.data(), rows, k, n, false, true, false);
+  return out;
+}
+
 Tensor Transpose(const Tensor& a, int64_t d0, int64_t d1) {
   const int64_t rank = a.dim();
   if (d0 < 0) d0 += rank;
@@ -786,7 +896,8 @@ Tensor Transpose(const Tensor& a, int64_t d0, int64_t d1) {
     float* ga = a_impl->MutableGrad().data();
     // The output->input index map is a bijection, so the scatter-adds are
     // disjoint and parallelize safely.
-    ParallelFor(0, out.numel(), kElemGrain, [&](int64_t lo, int64_t hi) {
+    ParallelFor(0, out.numel(), ElemGrain(out.numel()),
+                [&](int64_t lo, int64_t hi) {
       StridedVisit(lo, hi, out_shape, out_strides, read_strides,
                    [&](int64_t i, int64_t off) { ga[off] += g[i]; });
     });
@@ -795,7 +906,7 @@ Tensor Transpose(const Tensor& a, int64_t d0, int64_t d1) {
   Tensor out = MakeResult(out_shape, {a}, "transpose", backward);
   const float* src = a.data();
   float* dst = out.data();
-  ParallelFor(0, a.numel(), kElemGrain, [&](int64_t lo, int64_t hi) {
+  ParallelFor(0, a.numel(), ElemGrain(a.numel()), [&](int64_t lo, int64_t hi) {
     StridedVisit(lo, hi, out_shape, out_strides, read_strides,
                  [&](int64_t i, int64_t off) { dst[i] = src[off]; });
   });
@@ -843,16 +954,17 @@ Tensor Sum(const Tensor& a) {
     if (!NeedsGrad(a_impl)) return;
     const float g = out.grad->data()[0];
     float* ga = a_impl->MutableGrad().data();
-    ParallelFor(0, a_impl->numel(), kElemGrain, [&](int64_t lo, int64_t hi) {
-      for (int64_t i = lo; i < hi; ++i) ga[i] += g;
-    });
+    ParallelFor(0, a_impl->numel(), ElemGrain(a_impl->numel()),
+                [&](int64_t lo, int64_t hi) {
+                  for (int64_t i = lo; i < hi; ++i) ga[i] += g;
+                });
   };
   Tensor out = MakeResult({}, {a}, "sum", backward);
   const float* p = a.data();
   // Fixed-grain chunked reduction: partials are combined in chunk order, so
   // the result is identical at any thread count (see util/parallel.h).
   const double acc = ParallelReduce<double>(
-      0, a.numel(), kElemGrain, 0.0,
+      0, a.numel(), GrainWithCutoff(kReduceGrain, a.numel(), 1), 0.0,
       [p](int64_t lo, int64_t hi) {
         double part = 0.0;
         for (int64_t i = lo; i < hi; ++i) part += p[i];
@@ -897,7 +1009,7 @@ Tensor Sum(const Tensor& a, int64_t dim, bool keepdim) {
     if (!NeedsGrad(a_impl)) return;
     const float* g = out.grad->data();
     float* ga = a_impl->MutableGrad().data();
-    ParallelFor(0, outer, RowGrain(reduce * inner),
+    ParallelFor(0, outer, RowGrain(outer, reduce * inner),
                 [&](int64_t o0, int64_t o1) {
                   for (int64_t o = o0; o < o1; ++o) {
                     for (int64_t r = 0; r < reduce; ++r) {
@@ -912,7 +1024,7 @@ Tensor Sum(const Tensor& a, int64_t dim, bool keepdim) {
   const float* p = a.data();
   float* q = out.data();
   std::fill_n(q, out.numel(), 0.0f);
-  ParallelFor(0, outer, RowGrain(reduce * inner), [&](int64_t o0, int64_t o1) {
+  ParallelFor(0, outer, RowGrain(outer, reduce * inner), [&](int64_t o0, int64_t o1) {
     for (int64_t o = o0; o < o1; ++o) {
       for (int64_t r = 0; r < reduce; ++r) {
         for (int64_t i = 0; i < inner; ++i) {
@@ -942,7 +1054,7 @@ std::vector<int64_t> ArgMax(const Tensor& a, int64_t dim) {
   SplitAroundDim(a.shape(), dim, &outer, &reduce, &inner);
   std::vector<int64_t> result(static_cast<size_t>(outer * inner));
   const float* p = a.data();
-  ParallelFor(0, outer, RowGrain(reduce * inner), [&](int64_t o0, int64_t o1) {
+  ParallelFor(0, outer, RowGrain(outer, reduce * inner), [&](int64_t o0, int64_t o1) {
     for (int64_t o = o0; o < o1; ++o) {
       for (int64_t i = 0; i < inner; ++i) {
         int64_t best = 0;
@@ -974,7 +1086,7 @@ Tensor Softmax(const Tensor& a) {
     const float* g = out.grad->data();
     const float* y = out.storage->data();
     float* ga = a_impl->MutableGrad().data();
-    ParallelFor(0, rows, RowGrain(cols), [&](int64_t r0, int64_t r1) {
+    ParallelFor(0, rows, RowGrain(rows, cols), [&](int64_t r0, int64_t r1) {
       for (int64_t r = r0; r < r1; ++r) {
         const float* gr = g + r * cols;
         const float* yr = y + r * cols;
@@ -988,7 +1100,7 @@ Tensor Softmax(const Tensor& a) {
   Tensor out = MakeResult(a.shape(), {a}, "softmax", backward);
   const float* x = a.data();
   float* y = out.data();
-  ParallelFor(0, rows, RowGrain(cols), [&](int64_t r0, int64_t r1) {
+  ParallelFor(0, rows, RowGrain(rows, cols), [&](int64_t r0, int64_t r1) {
     for (int64_t r = r0; r < r1; ++r) {
       const float* xr = x + r * cols;
       float* yr = y + r * cols;
@@ -1017,7 +1129,7 @@ Tensor LogSoftmax(const Tensor& a) {
     const float* g = out.grad->data();
     const float* y = out.storage->data();  // log-probabilities
     float* ga = a_impl->MutableGrad().data();
-    ParallelFor(0, rows, RowGrain(cols), [&](int64_t r0, int64_t r1) {
+    ParallelFor(0, rows, RowGrain(rows, cols), [&](int64_t r0, int64_t r1) {
       for (int64_t r = r0; r < r1; ++r) {
         const float* gr = g + r * cols;
         const float* yr = y + r * cols;
@@ -1033,7 +1145,7 @@ Tensor LogSoftmax(const Tensor& a) {
   Tensor out = MakeResult(a.shape(), {a}, "log_softmax", backward);
   const float* x = a.data();
   float* y = out.data();
-  ParallelFor(0, rows, RowGrain(cols), [&](int64_t r0, int64_t r1) {
+  ParallelFor(0, rows, RowGrain(rows, cols), [&](int64_t r0, int64_t r1) {
     for (int64_t r = r0; r < r1; ++r) {
       const float* xr = x + r * cols;
       float* yr = y + r * cols;
@@ -1060,7 +1172,7 @@ Tensor L2Normalize(const Tensor& a, float eps) {
     const float* x = a_impl->storage->data();
     const float* y = out.storage->data();
     float* ga = a_impl->MutableGrad().data();
-    ParallelFor(0, rows, RowGrain(cols), [&](int64_t r0, int64_t r1) {
+    ParallelFor(0, rows, RowGrain(rows, cols), [&](int64_t r0, int64_t r1) {
       for (int64_t r = r0; r < r1; ++r) {
         const float* xr = x + r * cols;
         const float* yr = y + r * cols;
@@ -1081,7 +1193,7 @@ Tensor L2Normalize(const Tensor& a, float eps) {
   Tensor out = MakeResult(a.shape(), {a}, "l2_normalize", backward);
   const float* x = a.data();
   float* y = out.data();
-  ParallelFor(0, rows, RowGrain(cols), [&](int64_t r0, int64_t r1) {
+  ParallelFor(0, rows, RowGrain(rows, cols), [&](int64_t r0, int64_t r1) {
     for (int64_t r = r0; r < r1; ++r) {
       const float* xr = x + r * cols;
       float* yr = y + r * cols;
@@ -1089,6 +1201,294 @@ Tensor L2Normalize(const Tensor& a, float eps) {
       for (int64_t c = 0; c < cols; ++c) norm2 += xr[c] * xr[c];
       const float inv = 1.0f / std::max(std::sqrt(norm2), eps);
       for (int64_t c = 0; c < cols; ++c) yr[c] = xr[c] * inv;
+    }
+  });
+  return out;
+}
+
+// -- Fused kernels ------------------------------------------------------------------
+//
+// Each kernel below replays the arithmetic of the composed-op graph it
+// replaces, per element and in the same accumulation order, so fused and
+// reference paths produce bitwise-identical values and gradients (the
+// build compiles this file without FMA contraction, so every float op
+// rounds individually and the sequences really are reproducible). The
+// fusion rules are documented in DESIGN.md §12.
+
+Tensor LayerNormFused(const Tensor& x, const Tensor& gamma,
+                      const Tensor& beta, float eps) {
+  CROSSEM_CHECK_GE(x.dim(), 1);
+  const int64_t cols = x.size(-1);
+  const int64_t rows = x.numel() / cols;
+  CROSSEM_CHECK_EQ(gamma.numel(), cols);
+  CROSSEM_CHECK_EQ(beta.numel(), cols);
+  const float inv_d = 1.0f / static_cast<float>(cols);
+
+  // Row statistics saved for backward: mean and var+eps (2 floats per row,
+  // pool-backed, instead of the seven intermediate tensors the composed
+  // graph keeps alive on the tape).
+  Tensor stats = Tensor::Zeros({2, std::max<int64_t>(rows, 1)});
+
+  auto x_impl = x.impl();
+  auto g_impl = gamma.impl();
+  auto b_impl = beta.impl();
+  auto backward = [x_impl, g_impl, b_impl, stats, rows, cols,
+                   inv_d](const TensorImpl& out) {
+    const float* g = out.grad->data();
+    const float* xv = x_impl->storage->data();
+    const float* gam = g_impl->storage->data();
+    const float* mp = stats.data();
+    const float* vp = mp + rows;
+    // Scatter-adds into gamma/beta run serially in ascending element order,
+    // exactly as the composed graph's periodic broadcast backwards do.
+    if (NeedsGrad(b_impl)) {
+      float* gbet = b_impl->MutableGrad().data();
+      for (int64_t r = 0; r < rows; ++r) {
+        const float* gr = g + r * cols;
+        for (int64_t c = 0; c < cols; ++c) gbet[c] += gr[c];
+      }
+    }
+    if (NeedsGrad(g_impl)) {
+      float* ggam = g_impl->MutableGrad().data();
+      for (int64_t r = 0; r < rows; ++r) {
+        const float m = mp[r];
+        const float is = std::pow(vp[r], -0.5f);
+        const float* gr = g + r * cols;
+        const float* xr = xv + r * cols;
+        for (int64_t c = 0; c < cols; ++c) {
+          const float norm = (xr[c] - m) * is;
+          ggam[c] += gr[c] * norm;
+        }
+      }
+    }
+    if (NeedsGrad(x_impl)) {
+      float* gx = x_impl->MutableGrad().data();
+      // Rows write disjoint gx slices and all cross-element accumulators
+      // (ginv, gmean) are per-row, so row parallelism keeps the composed
+      // graph's per-element add sequences intact.
+      ParallelFor(0, rows, RowGrain(rows, cols), [&](int64_t r0, int64_t r1) {
+        for (int64_t r = r0; r < r1; ++r) {
+          const float m = mp[r];
+          const float vpe = vp[r];
+          const float is = std::pow(vpe, -0.5f);
+          const float* xr = xv + r * cols;
+          const float* gr = g + r * cols;
+          float* gxr = gx + r * cols;
+          // d(inv_std): ascending-c accumulation, as the composed
+          // Mul(centered, inv_std) backward streams it.
+          float ginv = 0.0f;
+          for (int64_t c = 0; c < cols; ++c) {
+            const float cv = xr[c] - m;
+            const float gnorm = gr[c] * gam[c];
+            ginv += gnorm * cv;
+          }
+          // Pow(-0.5) -> AddScalar(eps) -> MulScalar(1/D) chain.
+          const float dydx = -0.5f * std::pow(vpe, -1.5f);
+          const float gvpe = ginv * dydx;
+          const float gsumsq = gvpe * inv_d;
+          float gmean = 0.0f;
+          for (int64_t c = 0; c < cols; ++c) {
+            const float cv = xr[c] - m;
+            const float gnorm = gr[c] * gam[c];
+            // Mul(centered, centered) contributes the same product twice,
+            // as two separate adds (da then db in the composed backward).
+            const float t = gsumsq * cv;
+            float gc = gnorm * is;
+            gc += t;
+            gc += t;
+            gxr[c] += gc;        // Sub backward: d(x)
+            gmean += -gc;        // Sub backward: d(mean), ascending c
+          }
+          const float gsum = gmean * inv_d;  // Mean's MulScalar backward
+          for (int64_t c = 0; c < cols; ++c) gxr[c] += gsum;
+        }
+      });
+    }
+  };
+
+  Tensor out = MakeResult(x.shape(), {x, gamma, beta}, "layer_norm_fused",
+                          backward);
+  const float* xv = x.data();
+  const float* gam = gamma.data();
+  const float* bet = beta.data();
+  float* y = out.data();
+  float* mp = stats.data();
+  float* vp = mp + rows;
+  ParallelFor(0, rows, RowGrain(rows, cols), [&](int64_t r0, int64_t r1) {
+    for (int64_t r = r0; r < r1; ++r) {
+      const float* xr = xv + r * cols;
+      float* yr = y + r * cols;
+      // Float accumulators in ascending order, matching Sum(dim).
+      float s = 0.0f;
+      for (int64_t c = 0; c < cols; ++c) s += xr[c];
+      const float m = s * inv_d;
+      float s2 = 0.0f;
+      for (int64_t c = 0; c < cols; ++c) {
+        const float cv = xr[c] - m;
+        const float sq = cv * cv;
+        s2 += sq;
+      }
+      const float var = s2 * inv_d;
+      const float vpe = var + eps;
+      const float is = std::pow(vpe, -0.5f);
+      mp[r] = m;
+      vp[r] = vpe;
+      for (int64_t c = 0; c < cols; ++c) {
+        const float norm = (xr[c] - m) * is;
+        yr[c] = (norm * gam[c]) + bet[c];
+      }
+    }
+  });
+  return out;
+}
+
+Tensor ScaledMaskedSoftmax(const Tensor& x, float scale,
+                           const Tensor& key_padding_mask) {
+  CROSSEM_CHECK_GE(x.dim(), 1);
+  const int64_t cols = x.size(-1);
+  const int64_t rows = x.numel() / cols;
+  int64_t rows_per_batch = rows;
+  if (key_padding_mask.defined()) {
+    CROSSEM_CHECK_EQ(x.dim(), 4) << "masked scores must be [B, H, Tq, Tk]";
+    CROSSEM_CHECK_EQ(key_padding_mask.dim(), 2);
+    CROSSEM_CHECK_EQ(key_padding_mask.size(0), x.size(0));
+    CROSSEM_CHECK_EQ(key_padding_mask.size(1), cols);
+    rows_per_batch = rows / x.size(0);
+  }
+
+  auto x_impl = x.impl();
+  auto backward = [x_impl, rows, cols, scale](const TensorImpl& out) {
+    if (!NeedsGrad(x_impl)) return;
+    const float* g = out.grad->data();
+    const float* y = out.storage->data();
+    float* gx = x_impl->MutableGrad().data();
+    ParallelFor(0, rows, RowGrain(rows, cols), [&](int64_t r0, int64_t r1) {
+      for (int64_t r = r0; r < r1; ++r) {
+        const float* gr = g + r * cols;
+        const float* yr = y + r * cols;
+        float dot = 0.0f;
+        for (int64_t c = 0; c < cols; ++c) dot += gr[c] * yr[c];
+        float* gxr = gx + r * cols;
+        // Softmax backward, then the MulScalar(scale) backward, per
+        // element — the additive mask bias has derivative zero.
+        for (int64_t c = 0; c < cols; ++c) {
+          gxr[c] += (yr[c] * (gr[c] - dot)) * scale;
+        }
+      }
+    });
+  };
+
+  // The (detached) mask rides along as an input only to keep its storage
+  // alive; it is a constant and receives no gradient.
+  std::vector<Tensor> inputs = {x};
+  if (key_padding_mask.defined()) inputs.push_back(key_padding_mask.Detach());
+  Tensor out = MakeResult(x.shape(), std::move(inputs),
+                          "scaled_masked_softmax", backward);
+  const float* xv = x.data();
+  const float* mv = key_padding_mask.defined() ? key_padding_mask.data()
+                                               : nullptr;
+  float* y = out.data();
+  ParallelFor(0, rows, RowGrain(rows, cols), [&](int64_t r0, int64_t r1) {
+    for (int64_t r = r0; r < r1; ++r) {
+      const float* xr = xv + r * cols;
+      const float* mr = mv ? mv + (r / rows_per_batch) * cols : nullptr;
+      float* yr = y + r * cols;
+      // z = x*scale (+ (mask-1)*1e9), rounded per op exactly as the
+      // composed MulScalar / AddScalar / MulScalar / Add chain stores it.
+      for (int64_t c = 0; c < cols; ++c) {
+        float z = xr[c] * scale;
+        if (mr != nullptr) z = z + ((mr[c] + (-1.0f)) * 1e9f);
+        yr[c] = z;
+      }
+      float mx = yr[0];
+      for (int64_t c = 1; c < cols; ++c) mx = std::max(mx, yr[c]);
+      float denom = 0.0f;
+      for (int64_t c = 0; c < cols; ++c) {
+        yr[c] = std::exp(yr[c] - mx);
+        denom += yr[c];
+      }
+      const float inv = 1.0f / denom;
+      for (int64_t c = 0; c < cols; ++c) yr[c] *= inv;
+    }
+  });
+  return out;
+}
+
+namespace {
+
+inline float BiasActFwd(BiasAct act, float z) {
+  switch (act) {
+    case BiasAct::kNone:
+      return z;
+    case BiasAct::kRelu:
+      return z > 0.0f ? z : 0.0f;
+    case BiasAct::kGelu:
+      return GeluFwd(z);
+  }
+  return z;
+}
+
+/// d(act)/dz; kNone uses the composed Add backward's implicit factor 1.
+inline float BiasActBwd(BiasAct act, float z) {
+  switch (act) {
+    case BiasAct::kNone:
+      return 1.0f;
+    case BiasAct::kRelu:
+      return z > 0.0f ? 1.0f : 0.0f;
+    case BiasAct::kGelu:
+      return GeluBwd(z);
+  }
+  return 1.0f;
+}
+
+}  // namespace
+
+Tensor BiasActivation(const Tensor& x, const Tensor& bias, BiasAct act) {
+  CROSSEM_CHECK_GE(x.dim(), 1);
+  const int64_t cols = x.size(-1);
+  CROSSEM_CHECK_EQ(bias.numel(), cols);
+  const int64_t n = x.numel();
+
+  auto x_impl = x.impl();
+  auto b_impl = bias.impl();
+  auto backward = [x_impl, b_impl, n, cols, act](const TensorImpl& out) {
+    const float* g = out.grad->data();
+    const float* xv = x_impl->storage->data();
+    const float* bv = b_impl->storage->data();
+    if (NeedsGrad(x_impl)) {
+      float* gx = x_impl->MutableGrad().data();
+      ParallelFor(0, n, ElemGrain(n), [&](int64_t lo, int64_t hi) {
+        int64_t c = lo % cols;
+        for (int64_t i = lo; i < hi; ++i) {
+          const float z = xv[i] + bv[c];  // recomputed pre-activation
+          gx[i] += g[i] * BiasActBwd(act, z);
+          if (++c == cols) c = 0;
+        }
+      });
+    }
+    if (NeedsGrad(b_impl)) {
+      // Serial ascending-i scatter, as the composed Add's modulo-broadcast
+      // backward streams into the shared bias slots.
+      float* gb = b_impl->MutableGrad().data();
+      int64_t c = 0;
+      for (int64_t i = 0; i < n; ++i) {
+        const float z = xv[i] + bv[c];
+        gb[c] += g[i] * BiasActBwd(act, z);
+        if (++c == cols) c = 0;
+      }
+    }
+  };
+
+  Tensor out = MakeResult(x.shape(), {x, bias}, "bias_act", backward);
+  const float* xv = x.data();
+  const float* bv = bias.data();
+  float* y = out.data();
+  ParallelFor(0, n, ElemGrain(n), [&](int64_t lo, int64_t hi) {
+    int64_t c = lo % cols;
+    for (int64_t i = lo; i < hi; ++i) {
+      const float z = xv[i] + bv[c];
+      y[i] = BiasActFwd(act, z);
+      if (++c == cols) c = 0;
     }
   });
   return out;

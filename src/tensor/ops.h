@@ -70,6 +70,14 @@ void SetGemmKernel(GemmKernel kernel);
 /// (the 2D right-hand side is shared across the batch).
 Tensor MatMul(const Tensor& a, const Tensor& b);
 
+/// A @ B^T with b given in its natural [n, k] layout (2D, shared across
+/// a's batch dims). Equivalent to MatMul(a, Transpose(b, 0, 1)) — bitwise,
+/// since the GEMM pack produces exactly the materialized transpose — but
+/// skips the transpose tensor entirely and the backward dA GEMM reads b
+/// directly with no packing. This is the similarity-matrix layout
+/// (text [V, E] x image [I, E]^T).
+Tensor MatMulTransB(const Tensor& a, const Tensor& b);
+
 /// Swaps dimensions d0 and d1 (copying; result is contiguous).
 Tensor Transpose(const Tensor& a, int64_t d0, int64_t d1);
 
@@ -92,6 +100,44 @@ Tensor Softmax(const Tensor& a);      // over last dim, numerically stable
 Tensor LogSoftmax(const Tensor& a);   // over last dim, numerically stable
 /// x / max(||x||_2, eps) row-wise over the last dimension.
 Tensor L2Normalize(const Tensor& a, float eps = 1e-8f);
+
+// -- Fused kernels ------------------------------------------------------------------
+//
+// Single-node replacements for the hot composed-op subgraphs in src/nn.
+// Each kernel replicates the composed graph's per-element arithmetic and
+// accumulation order exactly, so switching between fused and reference
+// paths is bitwise-invisible (the determinism tests enforce this); the win
+// is graph overhead — one tape node and zero intermediate tensors instead
+// of ~10 nodes and ~8 temporaries per call.
+
+/// Whether the nn layers route through the fused kernels (kFused, default)
+/// or the original composed-op graphs (kReference). Mirrors SetGemmKernel:
+/// process-wide, set only from single-threaded setup code. The initial
+/// value honors CROSSEM_FUSED_KERNELS ("0"/"off"/"reference" disables).
+enum class FusedKernels { kFused, kReference };
+void SetFusedKernels(FusedKernels mode);
+FusedKernels GetFusedKernels();
+
+/// Activation fused into BiasActivation after the bias add.
+enum class BiasAct { kNone, kRelu, kGelu };
+
+/// Fused LayerNorm over the last dimension:
+/// gamma * (x - mean) / sqrt(var + eps) + beta, with single-pass row
+/// statistics (two saved floats per row instead of seven intermediate
+/// tensors on the tape).
+Tensor LayerNormFused(const Tensor& x, const Tensor& gamma,
+                      const Tensor& beta, float eps);
+
+/// Fused softmax(x * scale [+ mask_bias]) over the last dimension. When
+/// `key_padding_mask` ([B, Tk], 1 = valid key) is defined, x must be
+/// [B, H, Tq, Tk] and masked keys receive the same -1e9 additive bias the
+/// composed attention path builds. The mask is treated as a constant.
+Tensor ScaledMaskedSoftmax(const Tensor& x, float scale,
+                           const Tensor& key_padding_mask = Tensor());
+
+/// Fused act(x + bias) with bias ([D]) broadcast over the trailing
+/// dimension of x ([..., D]).
+Tensor BiasActivation(const Tensor& x, const Tensor& bias, BiasAct act);
 
 // -- Structural -------------------------------------------------------------------
 

@@ -1,0 +1,132 @@
+#include "tensor/pool.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <cstring>
+
+#include "obs/metrics.h"
+
+namespace crossem {
+namespace internal {
+namespace {
+
+// Zero-initialized before any dynamic initialization runs, so Storage
+// allocations made during static init of other translation units see the
+// pool as disabled (plain vectors) until the env var is consulted.
+std::atomic<int> g_pool_enabled{-1};  // -1 = not yet resolved from env
+
+bool ResolveEnabledFromEnv() {
+  const char* env = std::getenv("CROSSEM_TENSOR_POOL");
+  if (env == nullptr) return true;
+  if (std::strcmp(env, "0") == 0 || std::strcmp(env, "false") == 0 ||
+      std::strcmp(env, "off") == 0) {
+    return false;
+  }
+  return true;
+}
+
+// Smallest b with 2^b >= n (n >= 1).
+int CeilLog2(int64_t n) {
+  int b = 0;
+  while ((int64_t{1} << b) < n) ++b;
+  return b;
+}
+
+// Largest b with 2^b <= n (n >= 1).
+int FloorLog2(int64_t n) {
+  int b = 0;
+  while ((int64_t{1} << (b + 1)) <= n) ++b;
+  return b;
+}
+
+}  // namespace
+
+TensorPool& TensorPool::Instance() {
+  static TensorPool* pool = new TensorPool();  // leaked; see header
+  return *pool;
+}
+
+TensorPool::TensorPool() {
+  auto& registry = obs::MetricsRegistry::Default();
+  hit_counter_ = registry.GetCounter("tensor_pool_hits_total");
+  miss_counter_ = registry.GetCounter("tensor_pool_misses_total");
+}
+
+bool TensorPool::Enabled() {
+  int state = g_pool_enabled.load(std::memory_order_relaxed);
+  if (state < 0) {
+    state = ResolveEnabledFromEnv() ? 1 : 0;
+    g_pool_enabled.store(state, std::memory_order_relaxed);
+  }
+  return state != 0;
+}
+
+void TensorPool::SetEnabled(bool enabled) {
+  g_pool_enabled.store(enabled ? 1 : 0, std::memory_order_relaxed);
+}
+
+std::vector<float> TensorPool::Acquire(int64_t numel) {
+  if (numel <= 0) return {};
+  if (!Enabled()) return std::vector<float>(static_cast<size_t>(numel), 0.0f);
+  const int bucket = CeilLog2(numel);
+  if (bucket >= kNumBuckets) {
+    return std::vector<float>(static_cast<size_t>(numel), 0.0f);
+  }
+  std::vector<float> buf;
+  bool pooled = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto& list = buckets_[bucket];
+    if (!list.empty()) {
+      buf = std::move(list.back());
+      list.pop_back();
+      pooled = true;
+    }
+  }
+  if (pooled) {
+    // Hit: capacity >= 2^bucket >= numel, so this resize never reallocates.
+    buf.resize(static_cast<size_t>(numel));
+    std::fill(buf.begin(), buf.end(), 0.0f);
+    hits_.fetch_add(1, std::memory_order_relaxed);
+    hit_counter_->Increment();
+    return buf;
+  }
+  // Miss: allocate the full bucket capacity up front so the buffer can serve
+  // any future request in this bucket.
+  buf.reserve(static_cast<size_t>(int64_t{1} << bucket));
+  buf.resize(static_cast<size_t>(numel), 0.0f);
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  miss_counter_->Increment();
+  return buf;
+}
+
+void TensorPool::Release(std::vector<float>&& buffer) {
+  if (buffer.capacity() == 0) return;  // moved-out or empty: nothing to keep
+  if (!Enabled()) return;              // destructor frees it
+  const int bucket = FloorLog2(static_cast<int64_t>(buffer.capacity()));
+  if (bucket >= kNumBuckets) return;
+  std::vector<float> local = std::move(buffer);
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& list = buckets_[bucket];
+  if (static_cast<int>(list.size()) < kMaxPerBucket) {
+    list.push_back(std::move(local));
+  }
+  // else: `local` frees on scope exit (after the lock guard unwinds, which
+  // is fine — freeing outside the critical path matters less than capping).
+}
+
+int64_t TensorPool::hits() const {
+  return hits_.load(std::memory_order_relaxed);
+}
+
+int64_t TensorPool::misses() const {
+  return misses_.load(std::memory_order_relaxed);
+}
+
+void TensorPool::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& list : buckets_) list.clear();
+}
+
+}  // namespace internal
+}  // namespace crossem

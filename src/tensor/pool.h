@@ -1,0 +1,90 @@
+// Size-bucketed buffer pool for tensor storage. Every op output and every
+// autograd gradient buffer is a freshly zeroed std::vector<float>; in the
+// Fit inner loop the same few dozen sizes recur every step, so after a short
+// warmup the pool serves every allocation from a freelist and the hot path
+// stops touching malloc entirely.
+//
+// Design:
+//  - Buffers live in power-of-two capacity buckets. Acquire(numel) takes a
+//    buffer from bucket ceil(log2(numel)) — any buffer there has capacity
+//    >= numel, so the resize back to numel never reallocates — and returns
+//    it zero-filled (Storage's constructor contract).
+//  - Release() files a buffer under floor(log2(capacity)), so a reused
+//    buffer keeps satisfying the bucket invariant above.
+//  - A single mutex guards the freelists. The critical section is a
+//    pointer-swap push/pop; the zero-fill happens outside the lock on the
+//    calling thread. Fit steps running on concurrent threads (serving +
+//    training) share one pool safely.
+//  - CROSSEM_TENSOR_POOL=0 disables pooling entirely (allocations fall back
+//    to plain vectors); SetEnabled() is the programmatic equivalent for
+//    tests and A/B benchmarks.
+//  - Hit/miss counters are mirrored into the obs metrics registry
+//    ("tensor_pool_hits_total" / "tensor_pool_misses_total").
+//
+// The singleton is intentionally leaked: Storage destructors run during
+// static teardown (e.g. thread_local tensors) and must always find a live
+// pool to hand their buffers back to.
+#ifndef CROSSEM_TENSOR_POOL_H_
+#define CROSSEM_TENSOR_POOL_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+namespace crossem {
+namespace obs {
+class Counter;
+}  // namespace obs
+
+namespace internal {
+
+class TensorPool {
+ public:
+  /// Leaked singleton (never destroyed; see file comment).
+  static TensorPool& Instance();
+
+  /// Returns a zero-filled buffer of exactly `numel` floats, reusing a
+  /// pooled buffer when one of sufficient capacity is available.
+  std::vector<float> Acquire(int64_t numel);
+
+  /// Returns a buffer to its capacity bucket (or frees it if the bucket is
+  /// full, the pool is disabled, or the buffer was moved out of).
+  void Release(std::vector<float>&& buffer);
+
+  /// Pooling on/off. The initial value comes from CROSSEM_TENSOR_POOL
+  /// (anything other than "0"/"false"/"off" enables). Thread-safe.
+  static bool Enabled();
+  static void SetEnabled(bool enabled);
+
+  /// Lifetime hit/miss counts (also exported to the obs registry).
+  int64_t hits() const;
+  int64_t misses() const;
+
+  /// Drops every cached buffer. Test hook; never needed in production.
+  void Clear();
+
+ private:
+  TensorPool();
+  TensorPool(const TensorPool&) = delete;
+  TensorPool& operator=(const TensorPool&) = delete;
+
+  // Buckets cover capacities up to 2^47 floats; larger requests bypass the
+  // pool (they would never recur enough to be worth caching anyway).
+  static constexpr int kNumBuckets = 48;
+  // Per-bucket cap: bounds worst-case retained memory at roughly
+  // kMaxPerBucket * 2 * largest-live-tensor-size floats.
+  static constexpr int kMaxPerBucket = 128;
+
+  std::mutex mu_;
+  std::vector<std::vector<float>> buckets_[kNumBuckets];
+  std::atomic<int64_t> hits_{0};
+  std::atomic<int64_t> misses_{0};
+  obs::Counter* hit_counter_ = nullptr;
+  obs::Counter* miss_counter_ = nullptr;
+};
+
+}  // namespace internal
+}  // namespace crossem
+
+#endif  // CROSSEM_TENSOR_POOL_H_

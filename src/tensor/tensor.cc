@@ -4,6 +4,7 @@
 #include <sstream>
 #include <unordered_set>
 
+#include "tensor/pool.h"
 #include "util/logging.h"
 #include "util/memory_tracker.h"
 
@@ -31,14 +32,20 @@ std::string ShapeToString(const Shape& shape) {
 
 namespace internal {
 
-Storage::Storage(int64_t numel) : data_(static_cast<size_t>(numel), 0.0f) {
-  MemoryTracker::Instance().OnAlloc(numel * static_cast<int64_t>(sizeof(float)));
+Storage::Storage(int64_t numel)
+    : data_(TensorPool::Instance().Acquire(numel)),
+      tracked_bytes_(numel * static_cast<int64_t>(sizeof(float))) {
+  MemoryTracker::Instance().OnAlloc(tracked_bytes_);
 }
 
 Storage::~Storage() {
-  MemoryTracker::Instance().OnFree(static_cast<int64_t>(data_.size()) *
-                                   static_cast<int64_t>(sizeof(float)));
+  // tracked_bytes_ (not data_.size()) keeps OnAlloc/OnFree symmetric even
+  // after TakeData() emptied the buffer.
+  MemoryTracker::Instance().OnFree(tracked_bytes_);
+  TensorPool::Instance().Release(std::move(data_));
 }
+
+std::vector<float> Storage::TakeData() { return std::move(data_); }
 
 Storage& TensorImpl::MutableGrad() {
   if (!grad) grad = std::make_shared<Storage>(numel());
@@ -150,9 +157,22 @@ const float* Tensor::data() const {
   return impl_->storage->data();
 }
 
-std::vector<float> Tensor::ToVector() const {
+std::vector<float> Tensor::ToVector() const& {
   const float* p = data();
   return std::vector<float>(p, p + numel());
+}
+
+std::vector<float> Tensor::ToVector() && {
+  CROSSEM_CHECK(defined());
+  if (impl_.use_count() == 1 && impl_->storage &&
+      impl_->storage.use_count() == 1) {
+    // Sole owner of both handle and buffer: steal instead of copying. The
+    // tensor is left undefined so any later use CHECK-fails loudly.
+    std::vector<float> out = impl_->storage->TakeData();
+    impl_.reset();
+    return out;
+  }
+  return ToVector();  // aliased storage: lvalue overload copies
 }
 
 float Tensor::item() const {

@@ -37,7 +37,9 @@ std::string ShapeToString(const Shape& shape);
 namespace internal {
 
 /// Reference-counted float buffer; reports its size to MemoryTracker so the
-/// efficiency experiments can account "device" memory.
+/// efficiency experiments can account "device" memory. The underlying
+/// vector is drawn from (and returned to) TensorPool, so steady-state
+/// training reuses buffers instead of hitting malloc per op.
 class Storage {
  public:
   explicit Storage(int64_t numel);
@@ -50,8 +52,14 @@ class Storage {
   const float* data() const { return data_.data(); }
   int64_t numel() const { return static_cast<int64_t>(data_.size()); }
 
+  /// Moves the buffer out (Tensor::ToVector() && path). The storage is left
+  /// empty; its destructor then has nothing to return to the pool, and the
+  /// MemoryTracker accounting stays symmetric via tracked_bytes_.
+  std::vector<float> TakeData();
+
  private:
   std::vector<float> data_;
+  int64_t tracked_bytes_ = 0;
 };
 
 struct TensorImpl;
@@ -130,7 +138,11 @@ class Tensor {
   float* data();
   const float* data() const;
   /// Copies the buffer out (handy in tests).
-  std::vector<float> ToVector() const;
+  std::vector<float> ToVector() const&;
+  /// Move-out overload for `std::move(t).ToVector()`: steals the buffer
+  /// without a copy when this handle uniquely owns the storage (the tensor
+  /// becomes undefined), and falls back to a copy when storage is aliased.
+  std::vector<float> ToVector() &&;
   /// Value of a rank-0/1-element tensor.
   float item() const;
   /// Element at flat (row-major) index.

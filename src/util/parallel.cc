@@ -5,8 +5,10 @@
 #include <condition_variable>
 #include <cstdlib>
 #include <deque>
+#include <limits>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <thread>
 
 #include "obs/trace.h"
@@ -137,6 +139,17 @@ int DefaultNumThreads() {
   return hw > 0 ? static_cast<int>(hw) : 1;
 }
 
+int ResolveDispatchThreadCap() {
+  if (const char* env = std::getenv("CROSSEM_OVERSUBSCRIBE")) {
+    const std::string v = env;
+    if (v != "0" && v != "false" && v != "off") {
+      return std::numeric_limits<int>::max();
+    }
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? static_cast<int>(hw) : 1;
+}
+
 /// 0 = unset (fall back to env/hardware default).
 std::atomic<int> g_num_threads{0};
 
@@ -164,6 +177,11 @@ int64_t NumChunks(int64_t begin, int64_t end, int64_t grain) {
 }
 
 namespace internal {
+
+int DispatchThreadCap() {
+  static const int kCap = ResolveDispatchThreadCap();
+  return kCap;
+}
 
 bool EnterInlineRegion() {
   const bool prev = t_in_parallel;

@@ -18,6 +18,14 @@
 // inside a worker chunk) also execute inline, so kernels can call other
 // parallel kernels without deadlock or oversubscription.
 //
+// Dispatch is additionally capped at hardware_concurrency: requesting more
+// threads than the machine has cores cannot go faster, only pay context-
+// switch overhead, so the surplus request is honored in GetNumThreads()
+// (callers can size data structures off it) but ignored when deciding how
+// many workers to wake. Set CROSSEM_OVERSUBSCRIBE=1 to lift the cap —
+// the sanitizer test suites do this so race detection still sees more
+// concurrent workers than cores.
+//
 // Exceptions thrown by chunk bodies are captured (first one wins) and
 // rethrown on the calling thread after all chunks have completed.
 #ifndef CROSSEM_UTIL_PARALLEL_H_
@@ -47,12 +55,38 @@ bool InParallelRegion();
 /// Number of chunks ParallelForChunks will produce for a range and grain.
 int64_t NumChunks(int64_t begin, int64_t end, int64_t grain);
 
+/// Minimum total work (in ~per-float-op units) below which dispatching to
+/// the pool costs more than it buys; callers fold it in via GrainWithCutoff.
+/// 2^18 units is roughly 100µs of scalar arithmetic — several times the
+/// measured cost of waking and draining a pool region.
+constexpr int64_t kMinParallelWork = int64_t{1} << 18;
+
+/// Per-op grain-size floor: returns `grain` unchanged when the range
+/// carries enough total work (`n * work_per_iter >= kMinParallelWork`) to
+/// amortize a pool dispatch, and otherwise the whole range, which makes
+/// ParallelForChunks take its single-chunk inline path. Because the result
+/// depends only on the problem size — never the thread count — the
+/// determinism contract above is preserved.
+inline int64_t GrainWithCutoff(int64_t grain, int64_t n,
+                               int64_t work_per_iter) {
+  if (n <= 0) return std::max<int64_t>(grain, 1);
+  return (n * work_per_iter >= kMinParallelWork) ? grain
+                                                 : std::max<int64_t>(n, 1);
+}
+
 namespace internal {
 
 /// Marks the calling thread as inside a parallel region; returns the
 /// previous flag for RestoreInlineRegion.
 bool EnterInlineRegion();
 void RestoreInlineRegion(bool prev);
+
+/// Most threads a region will actually dispatch, resolved once:
+/// hardware_concurrency (>= 1), or INT_MAX when CROSSEM_OVERSUBSCRIBE is
+/// set. Deliberately NOT folded into GetNumThreads(): the requested count
+/// must round-trip through Set/GetNumThreads unchanged, and only the
+/// dispatch decision below treats cores as the useful ceiling.
+int DispatchThreadCap();
 
 /// Scoped EnterInlineRegion/RestoreInlineRegion (exception-safe).
 struct InlineRegionGuard {
@@ -85,7 +119,7 @@ template <typename Fn>
 void ParallelForChunks(int64_t begin, int64_t end, int64_t grain, Fn&& fn) {
   const int64_t chunks = NumChunks(begin, end, grain);
   if (chunks == 0) return;
-  const int threads = GetNumThreads();
+  const int threads = std::min(GetNumThreads(), internal::DispatchThreadCap());
   if (chunks == 1 || threads <= 1 || InParallelRegion()) {
     internal::InlineRegionGuard guard;
     for (int64_t c = 0; c < chunks; ++c) {
@@ -123,13 +157,19 @@ T ParallelReduce(int64_t begin, int64_t end, int64_t grain, T init,
                  MapFn map, CombineFn combine) {
   const int64_t chunks = NumChunks(begin, end, grain);
   if (chunks <= 0) return init;
-  std::vector<T> partials(static_cast<size_t>(chunks));
+  // One cache line per partial: adjacent bare-T slots would share a line
+  // across writer threads and the resulting false sharing costs more than
+  // the reduction itself for cheap maps (measured on sum_reduce).
+  struct alignas(64) PaddedPartial {
+    T value{};
+  };
+  std::vector<PaddedPartial> partials(static_cast<size_t>(chunks));
   ParallelForChunks(begin, end, grain,
                     [&](int64_t c, int64_t b, int64_t e) {
-                      partials[static_cast<size_t>(c)] = map(b, e);
+                      partials[static_cast<size_t>(c)].value = map(b, e);
                     });
   T acc = init;
-  for (const T& p : partials) acc = combine(acc, p);
+  for (const PaddedPartial& p : partials) acc = combine(acc, p.value);
   return acc;
 }
 

@@ -1,0 +1,114 @@
+// End-to-end determinism of the pooled + fused training hot path: a small
+// transformer training run must produce bitwise-identical parameters — and
+// byte-identical checkpoints — whether it runs with the tensor pool on or
+// off, with fused or composed-reference kernels, on 1 thread or 8.
+// This is the guarantee that lets CROSSEM_TENSOR_POOL / CROSSEM_FUSED_KERNELS
+// be flipped on a production run without changing its numbers.
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "gtest/gtest.h"
+#include "nn/attention.h"
+#include "nn/optimizer.h"
+#include "nn/serialize.h"
+#include "tensor/ops.h"
+#include "tensor/pool.h"
+#include "tensor/tensor.h"
+#include "util/parallel.h"
+#include "util/random.h"
+
+namespace crossem {
+namespace {
+
+struct RunResult {
+  std::vector<std::vector<float>> params;  // post-training values
+  std::string checkpoint_bytes;            // serialized checkpoint file
+};
+
+std::string SlurpAndRemove(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::stringstream buf;
+  buf << in.rdbuf();
+  std::remove(path.c_str());
+  return buf.str();
+}
+
+/// One complete training run under the given configuration. Every source
+/// of randomness is re-seeded inside, so any two calls may only differ
+/// through the pool / fused / threading configuration under test.
+RunResult TrainSmallTransformer(bool fused, bool pool, int threads,
+                                const std::string& tag) {
+  internal::TensorPool::SetEnabled(pool);
+  ops::SetFusedKernels(fused ? ops::FusedKernels::kFused
+                             : ops::FusedKernels::kReference);
+  SetNumThreads(threads);
+
+  Rng init_rng(21);
+  nn::TransformerEncoder enc(/*num_layers=*/1, /*model_dim=*/16,
+                             /*num_heads=*/2, /*mlp_dim=*/32, &init_rng);
+  Rng data_rng(22);
+  Tensor x = Tensor::Randn({2, 8, 16}, &data_rng);
+  Tensor mask = Tensor::Ones({2, 8});
+  float* mp = mask.data();
+  mp[8 + 6] = 0.0f;  // batch 1 pads its last two positions
+  mp[8 + 7] = 0.0f;
+
+  nn::Adam opt(enc.Parameters(), /*lr=*/1e-2f);
+  for (int step = 0; step < 5; ++step) {
+    opt.ZeroGrad();
+    Tensor y = enc.Forward(x, mask);
+    ops::Sum(ops::Mul(y, y)).Backward();
+    opt.Step();
+  }
+
+  RunResult result;
+  for (const Tensor& p : enc.Parameters()) {
+    result.params.push_back(p.ToVector());
+  }
+  const std::string path =
+      ::testing::TempDir() + "/pooled_fused_ckpt_" + tag + ".bin";
+  EXPECT_TRUE(nn::SaveCheckpoint(enc, path).ok());
+  result.checkpoint_bytes = SlurpAndRemove(path);
+
+  // Restore process defaults for whoever runs next.
+  SetNumThreads(0);
+  internal::TensorPool::SetEnabled(true);
+  ops::SetFusedKernels(ops::FusedKernels::kFused);
+  return result;
+}
+
+void ExpectIdenticalRuns(const RunResult& a, const RunResult& b,
+                         const char* what) {
+  ASSERT_EQ(a.params.size(), b.params.size()) << what;
+  for (size_t p = 0; p < a.params.size(); ++p) {
+    ASSERT_EQ(a.params[p].size(), b.params[p].size()) << what;
+    for (size_t i = 0; i < a.params[p].size(); ++i) {
+      ASSERT_EQ(a.params[p][i], b.params[p][i])
+          << what << ": param " << p << " diverges at " << i;
+    }
+  }
+  ASSERT_FALSE(a.checkpoint_bytes.empty()) << what;
+  EXPECT_EQ(a.checkpoint_bytes, b.checkpoint_bytes)
+      << what << ": checkpoint files differ";
+}
+
+TEST(PooledFusedDeterminismTest, TrainingRunBitwiseStableAcrossConfigs) {
+  const RunResult base =
+      TrainSmallTransformer(/*fused=*/true, /*pool=*/true, /*threads=*/1,
+                            "fused_pool_1t");
+  const RunResult fused_8t =
+      TrainSmallTransformer(true, true, 8, "fused_pool_8t");
+  const RunResult reference_1t =
+      TrainSmallTransformer(false, false, 1, "ref_nopool_1t");
+  const RunResult reference_8t =
+      TrainSmallTransformer(false, false, 8, "ref_nopool_8t");
+
+  ExpectIdenticalRuns(base, fused_8t, "fused+pool 1T vs 8T");
+  ExpectIdenticalRuns(base, reference_1t, "fused+pool vs reference+nopool 1T");
+  ExpectIdenticalRuns(base, reference_8t, "fused+pool 1T vs reference 8T");
+}
+
+}  // namespace
+}  // namespace crossem

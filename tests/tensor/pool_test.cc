@@ -1,0 +1,140 @@
+// Tensor buffer pool: reuse, counters, escape hatch, zero-fill contract,
+// ToVector move-out, and concurrent Fit-style steps hammering one pool
+// (the *Pool* filter runs this file under TSan with an 8-thread runtime).
+#include <thread>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "nn/layers.h"
+#include "obs/metrics.h"
+#include "tensor/ops.h"
+#include "tensor/pool.h"
+#include "tensor/tensor.h"
+
+namespace crossem {
+namespace {
+
+using internal::TensorPool;
+
+// Every test leaves the pool enabled (the process default unless
+// CROSSEM_TENSOR_POOL=0, which the suite overrides for determinism).
+class PoolTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    TensorPool::SetEnabled(true);
+    TensorPool::Instance().Clear();
+  }
+  void TearDown() override { TensorPool::SetEnabled(true); }
+};
+
+TEST_F(PoolTest, ReusesReleasedBufferAndCountsHit) {
+  auto& pool = TensorPool::Instance();
+  const float* first_ptr = nullptr;
+  const int64_t misses0 = pool.misses();
+  {
+    Tensor t = Tensor::Zeros({1000});
+    first_ptr = t.data();
+  }
+  EXPECT_GT(pool.misses(), misses0);  // cold acquire missed
+
+  const int64_t hits0 = pool.hits();
+  Tensor again = Tensor::Zeros({1000});
+  EXPECT_GT(pool.hits(), hits0);
+  // The freed buffer came straight back (vector moves preserve the
+  // allocation).
+  EXPECT_EQ(again.data(), first_ptr);
+}
+
+TEST_F(PoolTest, ReusedBuffersComeBackZeroFilled) {
+  {
+    Tensor t = Tensor::Full({257}, 3.5f);
+    ASSERT_EQ(t.at(0), 3.5f);
+  }
+  Tensor reused = Tensor::Zeros({257});
+  for (int64_t i = 0; i < reused.numel(); ++i) {
+    ASSERT_EQ(reused.at(i), 0.0f) << "stale data at " << i;
+  }
+}
+
+TEST_F(PoolTest, SmallerRequestReusesLargerBucketBuffer) {
+  auto& pool = TensorPool::Instance();
+  { Tensor t = Tensor::Zeros({1024}); }
+  const int64_t hits0 = pool.hits();
+  // 600 rounds up to the same 1024-capacity bucket.
+  Tensor t = Tensor::Zeros({600});
+  EXPECT_EQ(t.numel(), 600);
+  EXPECT_GT(pool.hits(), hits0);
+}
+
+TEST_F(PoolTest, DisabledPoolBypassesFreelists) {
+  TensorPool::SetEnabled(false);
+  ASSERT_FALSE(TensorPool::Enabled());
+  auto& pool = TensorPool::Instance();
+  const int64_t hits0 = pool.hits();
+  const int64_t misses0 = pool.misses();
+  {
+    Tensor t = Tensor::Zeros({512});
+  }
+  Tensor u = Tensor::Zeros({512});
+  EXPECT_EQ(pool.hits(), hits0);
+  EXPECT_EQ(pool.misses(), misses0);
+}
+
+TEST_F(PoolTest, CountersMirroredToObsRegistry) {
+  auto& pool = TensorPool::Instance();
+  auto& registry = obs::MetricsRegistry::Default();
+  { Tensor t = Tensor::Zeros({64}); }
+  Tensor u = Tensor::Zeros({64});
+  EXPECT_EQ(registry.GetCounter("tensor_pool_hits_total")->Value(),
+            pool.hits());
+  EXPECT_EQ(registry.GetCounter("tensor_pool_misses_total")->Value(),
+            pool.misses());
+}
+
+TEST_F(PoolTest, ToVectorMoveOutStealsUniquelyOwnedBuffer) {
+  Tensor t = Tensor::FromVector({4}, {1.0f, 2.0f, 3.0f, 4.0f});
+  const float* ptr = t.data();
+  std::vector<float> v = std::move(t).ToVector();
+  EXPECT_EQ(v, (std::vector<float>{1.0f, 2.0f, 3.0f, 4.0f}));
+  EXPECT_EQ(v.data(), ptr);    // stolen, not copied
+  EXPECT_FALSE(t.defined());   // tensor is consumed
+}
+
+TEST_F(PoolTest, ToVectorMoveOutCopiesWhenAliased) {
+  Tensor t = Tensor::FromVector({3}, {5.0f, 6.0f, 7.0f});
+  Tensor alias = t.Detach();  // shares storage
+  std::vector<float> v = std::move(t).ToVector();
+  EXPECT_EQ(v, (std::vector<float>{5.0f, 6.0f, 7.0f}));
+  EXPECT_NE(v.data(), alias.data());  // fell back to a copy
+  EXPECT_EQ(alias.at(0), 5.0f);       // alias untouched
+}
+
+TEST_F(PoolTest, ConcurrentFitStepsShareOnePool) {
+  constexpr int kThreads = 4;
+  constexpr int kSteps = 10;
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int w = 0; w < kThreads; ++w) {
+    workers.emplace_back([w] {
+      Rng rng(100 + w);
+      nn::Linear lin(16, 16, &rng);
+      nn::LayerNorm ln(16);
+      Tensor x = Tensor::Randn({8, 16}, &rng);
+      x.set_requires_grad(true);
+      for (int s = 0; s < kSteps; ++s) {
+        x.ZeroGrad();
+        lin.ZeroGrad();
+        ln.ZeroGrad();
+        Tensor y = ln.Forward(lin.Forward(x, ops::BiasAct::kGelu));
+        ops::Sum(y).Backward();
+      }
+      EXPECT_TRUE(x.grad().defined());
+    });
+  }
+  for (auto& t : workers) t.join();
+  // Steady-state steps on every thread should be serviced from freelists.
+  EXPECT_GT(TensorPool::Instance().hits(), 0);
+}
+
+}  // namespace
+}  // namespace crossem

@@ -1,0 +1,113 @@
+#!/usr/bin/env python3
+"""Bench regression gate for the fused-kernel / tensor-pool report.
+
+Compares a freshly generated BENCH_fused.json against the committed
+baseline. Because CI machines differ from the machine that produced the
+baseline, the gate compares the *relative* columns, which are stable
+across hosts:
+
+  - fused-vs-reference speedups may not fall more than --threshold below
+    the committed value (a fused kernel quietly losing its win is the
+    regression this catches);
+  - fit_pool_hit_rate may not fall below --hit-rate-floor;
+  - optionally (--parallel), every multi-thread record in the parallel
+    report must keep speedup >= (1 - threshold), i.e. parallelism must
+    never make an op meaningfully slower than its baseline.
+
+Absolute ns_per_iter values are printed for context but never gated.
+Exit code 0 = pass, 1 = regression, 2 = usage/data error.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_records(path):
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"error: cannot read {path}: {e}", file=sys.stderr)
+        sys.exit(2)
+    records = doc.get("records")
+    if not isinstance(records, list):
+        print(f"error: {path} has no 'records' array", file=sys.stderr)
+        sys.exit(2)
+    by_key = {}
+    for r in records:
+        key = (r.get("op"), r.get("size"), r.get("threads"))
+        by_key[key] = r
+    return by_key
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--baseline", required=True,
+                    help="committed BENCH_fused.json")
+    ap.add_argument("--current", required=True,
+                    help="freshly generated fused report")
+    ap.add_argument("--parallel",
+                    help="freshly generated BENCH_parallel.json (optional)")
+    ap.add_argument("--threshold", type=float, default=0.15,
+                    help="allowed relative drop (default 0.15)")
+    ap.add_argument("--hit-rate-floor", type=float, default=0.99,
+                    help="minimum steady-state pool hit rate")
+    args = ap.parse_args()
+
+    baseline = load_records(args.baseline)
+    current = load_records(args.current)
+    failures = []
+
+    for key, base in sorted(baseline.items()):
+        op, size, threads = key
+        cur = current.get(key)
+        if cur is None:
+            failures.append(f"{op}|{size}|{threads}: missing from current run")
+            continue
+        base_ratio = base.get("speedup", 0.0)
+        cur_ratio = cur.get("speedup", 0.0)
+        note = (f"{op}|{size}|{threads}: speedup {cur_ratio:.3f} "
+                f"(baseline {base_ratio:.3f}), "
+                f"{cur.get('ns_per_iter', 0.0):.0f} ns/iter")
+        if op == "fit_pool_hit_rate":
+            if cur_ratio < args.hit_rate_floor:
+                failures.append(
+                    f"{note} -- pool hit rate below {args.hit_rate_floor}")
+            else:
+                print(f"ok   {note}")
+            continue
+        if op.endswith("_ref") or base_ratio <= 0.0:
+            # Reference-side records anchor the ratios; nothing to gate.
+            print(f"info {note}")
+            continue
+        if cur_ratio < base_ratio * (1.0 - args.threshold):
+            failures.append(
+                f"{note} -- regressed more than {args.threshold:.0%}")
+        else:
+            print(f"ok   {note}")
+
+    if args.parallel:
+        for key, cur in sorted(load_records(args.parallel).items()):
+            op, size, threads = key
+            if not isinstance(threads, (int, float)) or threads < 2:
+                continue
+            ratio = cur.get("speedup", 0.0)
+            note = f"{op}|{size}|{threads}: speedup {ratio:.3f}"
+            if ratio < 1.0 - args.threshold:
+                failures.append(
+                    f"{note} -- parallel run slower than 1-thread baseline")
+            else:
+                print(f"ok   {note}")
+
+    if failures:
+        print("\nBENCH REGRESSIONS:", file=sys.stderr)
+        for f in failures:
+            print(f"  {f}", file=sys.stderr)
+        return 1
+    print("\nall bench gates passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
