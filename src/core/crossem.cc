@@ -5,7 +5,12 @@
 #include <fstream>
 #include <numeric>
 
+#include <cstring>
+#include <map>
+#include <tuple>
+
 #include "core/losses.h"
+#include "core/step_plan.h"
 #include "eval/topk.h"
 #include "nn/optimizer.h"
 #include "nn/serialize.h"
@@ -13,6 +18,7 @@
 #include "obs/trace.h"
 #include "util/crc32.h"
 #include "tensor/ops.h"
+#include "tensor/plan.h"
 #include "util/fault_injection.h"
 #include "util/logging.h"
 #include "util/memory_tracker.h"
@@ -82,21 +88,94 @@ Tensor CrossEm::EncodeVertices(
   return EncodeVerticesForTraining(vertices);
 }
 
+namespace {
+
+// One worker's compiled image-encode chunk (tensor/plan.h): the encoder
+// forward traced once per (encoder, chunk shape), replayed thereafter
+// through a write-in patch buffer. Thread-local, so concurrent workers
+// replay their own plans without sharing buffers.
+struct ImageEncodePlan {
+  plan::ExecutionPlan plan;
+  const void* first_param;  // identity of the encoder traced against
+  Tensor input;             // write-in [rows, P, patch_dim]
+  Tensor output;            // retained [rows, embed_dim]
+};
+using ImageEncodeKey = std::tuple<const void*, int64_t, int64_t, int64_t>;
+
+std::map<ImageEncodeKey, std::unique_ptr<ImageEncodePlan>>&
+ThreadImageEncodePlans() {
+  thread_local std::map<ImageEncodeKey, std::unique_ptr<ImageEncodePlan>>
+      plans;
+  return plans;
+}
+
+}  // namespace
+
 Tensor CrossEm::EncodeImages(const Tensor& images) const {
   NoGradGuard guard;
   CROSSEM_CHECK_EQ(images.dim(), 3);
   const int64_t n = images.size(0);
   const int64_t chunk = 64;
-  std::vector<Tensor> chunks(static_cast<size_t>(NumChunks(0, n, chunk)));
-  // Chunks are independent inference forwards over the frozen image tower;
-  // spread them across the pool. Workers default to grad-on, so each chunk
-  // opens its own no-grad scope.
-  ParallelForChunks(0, n, chunk, [&](int64_t c, int64_t start, int64_t end) {
+  if (!plan::Enabled() || n == 0) {
+    std::vector<Tensor> chunks(static_cast<size_t>(NumChunks(0, n, chunk)));
+    // Chunks are independent inference forwards over the frozen image
+    // tower; spread them across the pool. Workers default to grad-on, so
+    // each chunk opens its own no-grad scope.
+    ParallelForChunks(0, n, chunk, [&](int64_t c, int64_t start, int64_t end) {
+      NoGradGuard chunk_guard;
+      chunks[static_cast<size_t>(c)] =
+          model_->image().Forward(ops::Slice(images, 0, start, end));
+    });
+    return ops::Concat(chunks, 0);
+  }
+
+  // Planned path: byte-equal to the eager chunk forward + Concat (the
+  // Slice in and the row copy out are both contiguous row copies), with
+  // the transformer forward replayed from each worker's traced plan.
+  const std::vector<Tensor> image_params = model_->image().Parameters();
+  const void* first_param = image_params.front().impl().get();
+  const int64_t row_elems = images.size(1) * images.size(2);
+  const int64_t embed = model_->config().embed_dim;
+  Tensor out = Tensor::Zeros({n, embed});
+  ParallelForChunks(0, n, chunk, [&](int64_t, int64_t start, int64_t end) {
     NoGradGuard chunk_guard;
-    chunks[static_cast<size_t>(c)] =
-        model_->image().Forward(ops::Slice(images, 0, start, end));
+    const int64_t rows = end - start;
+    auto& cache = ThreadImageEncodePlans();
+    const ImageEncodeKey key{model_, rows, images.size(1), images.size(2)};
+    auto it = cache.find(key);
+    ImageEncodePlan* ep = it != cache.end() ? it->second.get() : nullptr;
+    std::string reason;
+    if (ep != nullptr &&
+        (ep->first_param != first_param || !ep->plan.Validate(&reason))) {
+      cache.erase(it);  // encoder replaced or plan stale: re-trace
+      ep = nullptr;
+    }
+    if (ep == nullptr) {
+      if (cache.size() >= 8) cache.clear();  // bound retained buffers
+      auto fresh = std::make_unique<ImageEncodePlan>();
+      fresh->first_param = first_param;
+      fresh->input = Tensor::Zeros({rows, images.size(1), images.size(2)});
+      std::memcpy(fresh->input.data(), images.data() + start * row_elems,
+                  static_cast<size_t>(rows * row_elems) * sizeof(float));
+      {
+        plan::CaptureScope scope(&fresh->plan);
+        fresh->output = model_->image().Forward(fresh->input);
+      }
+      fresh->plan.BindParams(image_params);
+      std::memcpy(out.data() + start * embed, fresh->output.data(),
+                  static_cast<size_t>(rows * embed) * sizeof(float));
+      // An incomplete capture still computed the chunk (tracing IS an
+      // instrumented eager forward); it just is not worth caching.
+      if (fresh->plan.complete()) cache.emplace(key, std::move(fresh));
+    } else {
+      std::memcpy(ep->input.data(), images.data() + start * row_elems,
+                  static_cast<size_t>(rows * row_elems) * sizeof(float));
+      ep->plan.Replay();
+      std::memcpy(out.data() + start * embed, ep->output.data(),
+                  static_cast<size_t>(rows * embed) * sizeof(float));
+    }
   });
-  return ops::Concat(chunks, 0);
+  return out;
 }
 
 Tensor CrossEm::ScoreMatrix(const std::vector<graph::VertexId>& vertices,
@@ -282,6 +361,16 @@ Result<FitStats> CrossEm::Fit(const std::vector<graph::VertexId>& vertices,
     }
   } mode_restore{this};
 
+  // Compiled tuning steps (core/step_plan.h): trace the step once per
+  // batch shape, replay thereafter. Built AFTER the freeze above so the
+  // traced tapes see the final requires_grad state; batches the planner
+  // declines run the eager path unchanged. CROSSEM_EXEC_PLAN=0 disables.
+  std::unique_ptr<FitStepPlanner> planner;
+  if (soft_gen_ && FitStepPlanner::Eligible(options_)) {
+    planner = std::make_unique<FitStepPlanner>(model_, soft_gen_.get(),
+                                               &options_, params, images);
+  }
+
   const int64_t num_images = images.size(0);
   FitStats stats;
   MemoryTracker::Instance().ResetPeak();
@@ -359,7 +448,7 @@ Result<FitStats> CrossEm::Fit(const std::vector<graph::VertexId>& vertices,
     for (;;) {
       CROSSEM_RETURN_NOT_OK(RunEpochAttempt(vertices, images, proximity,
                                             &generator, &optimizer, params,
-                                            num_images, &es));
+                                            num_images, planner.get(), &es));
       const int64_t attempted = es.num_batches + es.bad_batches;
       const bool diverged =
           attempted > 0 &&
@@ -448,7 +537,8 @@ Status CrossEm::RunEpochAttempt(const std::vector<graph::VertexId>& vertices,
                                 MiniBatchGenerator* generator,
                                 nn::Optimizer* optimizer,
                                 const std::vector<Tensor>& params,
-                                int64_t num_images, EpochStats* es) {
+                                int64_t num_images, FitStepPlanner* planner,
+                                EpochStats* es) {
   *es = EpochStats{};
 
   // ---- Mini-batch construction (Alg. 1 line 3 / Alg. 2 + Alg. 3) ----
@@ -526,71 +616,91 @@ Status CrossEm::RunEpochAttempt(const std::vector<graph::VertexId>& vertices,
     if (mb.vertices.empty() || mb.image_indices.empty()) continue;
     pairs += static_cast<int64_t>(mb.vertices.size()) *
              static_cast<int64_t>(mb.image_indices.size());
-    // Image side: frozen tower, no tape (saves the activation memory
-    // the paper's frozen-encoder design saves on GPU).
-    phase_timer.Restart();
-    Tensor image_emb;
-    {
-      CROSSEM_TRACE_SPAN("encode");
-      {
-        NoGradGuard guard;
-        std::vector<Tensor> rows;
-        rows.reserve(mb.image_indices.size());
-        for (int64_t idx : mb.image_indices) {
-          CROSSEM_CHECK_GE(idx, 0);
-          CROSSEM_CHECK_LT(idx, num_images);
-          rows.push_back(ops::Reshape(ops::Slice(images, 0, idx, idx + 1),
-                                      {images.size(1), images.size(2)}));
-        }
-        image_emb = model_->image().Forward(ops::Stack(rows));
+
+    Tensor loss;
+    bool have_pairs = false;
+    bool planned = false;
+    if (planner != nullptr) {
+      // Compiled step: encode + score + loss replayed from the traced
+      // plan (or traced now, which is the same eager math instrumented).
+      FitStepPlanner::StepOutcome fwd;
+      phase_timer.Restart();
+      planned = planner->RunForward(mb.vertices, mb.image_indices, &fwd);
+      if (planned) {
+        // The planned step fuses encode and score; book it under encode.
+        es->encode_seconds += phase_timer.ElapsedSeconds();
+        have_pairs = fwd.num_confident > 0;
+        loss = fwd.loss;
       }
     }
-    Tensor text_emb;
-    {
-      CROSSEM_TRACE_SPAN("encode");
-      text_emb = EncodeVerticesForTraining(mb.vertices);
-    }
-    es->encode_seconds += phase_timer.ElapsedSeconds();
-
-    // Pseudo-positives X_p: the top-similarity pairs of the batch
-    // (paper Sec. II-B: "X_p is collected from the pairs with top
-    // similarity"; the rest forms X_n). We take mutual nearest
-    // neighbors — (v, I) where I is v's best image AND v is I's best
-    // vertex — which keeps only confident pairs and avoids the drift
-    // of forcing a positive for every vertex.
-    phase_timer.Restart();
-    std::vector<int64_t> confident_rows;
-    std::vector<int64_t> confident_targets;
-    Tensor loss;
-    {
-      CROSSEM_TRACE_SPAN("score");
+    if (!planned) {
+      // Image side: frozen tower, no tape (saves the activation memory
+      // the paper's frozen-encoder design saves on GPU).
+      phase_timer.Restart();
+      Tensor image_emb;
       {
-        NoGradGuard guard;
-        Tensor sim = clip::ClipModel::SimilarityMatrix(text_emb.Detach(),
-                                                       image_emb);
-        std::vector<int64_t> t2i = ops::ArgMax(sim, -1);
-        std::vector<int64_t> i2t = ops::ArgMax(ops::Transpose(sim, 0, 1), -1);
-        for (size_t r = 0; r < t2i.size(); ++r) {
-          const int64_t img = t2i[r];
-          if (i2t[static_cast<size_t>(img)] == static_cast<int64_t>(r)) {
-            confident_rows.push_back(static_cast<int64_t>(r));
-            confident_targets.push_back(img);
+        CROSSEM_TRACE_SPAN("encode");
+        {
+          NoGradGuard guard;
+          std::vector<Tensor> rows;
+          rows.reserve(mb.image_indices.size());
+          for (int64_t idx : mb.image_indices) {
+            CROSSEM_CHECK_GE(idx, 0);
+            CROSSEM_CHECK_LT(idx, num_images);
+            rows.push_back(ops::Reshape(ops::Slice(images, 0, idx, idx + 1),
+                                        {images.size(1), images.size(2)}));
+          }
+          image_emb = model_->image().Forward(ops::Stack(rows));
+        }
+      }
+      Tensor text_emb;
+      {
+        CROSSEM_TRACE_SPAN("encode");
+        text_emb = EncodeVerticesForTraining(mb.vertices);
+      }
+      es->encode_seconds += phase_timer.ElapsedSeconds();
+
+      // Pseudo-positives X_p: the top-similarity pairs of the batch
+      // (paper Sec. II-B: "X_p is collected from the pairs with top
+      // similarity"; the rest forms X_n). We take mutual nearest
+      // neighbors — (v, I) where I is v's best image AND v is I's best
+      // vertex — which keeps only confident pairs and avoids the drift
+      // of forcing a positive for every vertex.
+      phase_timer.Restart();
+      std::vector<int64_t> confident_rows;
+      std::vector<int64_t> confident_targets;
+      {
+        CROSSEM_TRACE_SPAN("score");
+        {
+          NoGradGuard guard;
+          Tensor sim = clip::ClipModel::SimilarityMatrix(text_emb.Detach(),
+                                                         image_emb);
+          std::vector<int64_t> t2i = ops::ArgMax(sim, -1);
+          std::vector<int64_t> i2t =
+              ops::ArgMax(ops::Transpose(sim, 0, 1), -1);
+          for (size_t r = 0; r < t2i.size(); ++r) {
+            const int64_t img = t2i[r];
+            if (i2t[static_cast<size_t>(img)] == static_cast<int64_t>(r)) {
+              confident_rows.push_back(static_cast<int64_t>(r));
+              confident_targets.push_back(img);
+            }
+          }
+        }
+        if (!confident_rows.empty()) {
+          Tensor selected_text = ops::IndexSelect(text_emb, confident_rows);
+          loss = model_->ContrastiveLoss(selected_text, image_emb,
+                                         confident_targets);
+          if (options_.use_orthogonal_constraint && soft_gen_) {
+            Tensor lo = OrthogonalPromptLoss(
+                soft_gen_->PromptFeatures(mb.vertices));
+            loss = CombinedLoss(loss, lo, options_.beta);
           }
         }
       }
-      if (!confident_rows.empty()) {
-        Tensor selected_text = ops::IndexSelect(text_emb, confident_rows);
-        loss = model_->ContrastiveLoss(selected_text, image_emb,
-                                       confident_targets);
-        if (options_.use_orthogonal_constraint && soft_gen_) {
-          Tensor lo = OrthogonalPromptLoss(
-              soft_gen_->PromptFeatures(mb.vertices));
-          loss = CombinedLoss(loss, lo, options_.beta);
-        }
-      }
+      es->score_seconds += phase_timer.ElapsedSeconds();
+      have_pairs = !confident_rows.empty();
     }
-    es->score_seconds += phase_timer.ElapsedSeconds();
-    if (confident_rows.empty()) continue;  // no trustworthy pair
+    if (!have_pairs) continue;  // no trustworthy pair
 
     optimizer->ZeroGrad();
 
@@ -603,7 +713,11 @@ Status CrossEm::RunEpochAttempt(const std::vector<graph::VertexId>& vertices,
       phase_timer.Restart();
       {
         CROSSEM_TRACE_SPAN("backward");
-        loss.Backward();
+        if (planned) {
+          planner->RunBackward();  // tape replay (or first-time record)
+        } else {
+          loss.Backward();
+        }
         batch_grad_norm = nn::ClipGradNorm(params, options_.grad_clip);
       }
       es->backward_seconds += phase_timer.ElapsedSeconds();

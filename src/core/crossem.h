@@ -38,6 +38,8 @@
 namespace crossem {
 namespace core {
 
+class FitStepPlanner;
+
 /// Prompt generation mechanism (paper Sec. III).
 enum class PromptMode {
   kBaseline,  // naive "a photo of <label>" (the zero-shot CLIP baseline)
@@ -222,13 +224,16 @@ class CrossEm {
 
   /// One full pass over the (re)generated mini-batches, with the
   /// non-finite batch guard. Fills loss/num_batches/num_pairs/bad_batches
-  /// of `es`; the caller decides whether the attempt diverged.
+  /// of `es`; the caller decides whether the attempt diverged. `planner`
+  /// (may be null) runs eligible batches as compiled trace/replay steps
+  /// (core/step_plan.h); any batch it declines falls back to the eager
+  /// path below it.
   Status RunEpochAttempt(const std::vector<graph::VertexId>& vertices,
                          const Tensor& images, const Tensor& proximity,
                          MiniBatchGenerator* generator,
                          nn::Optimizer* optimizer,
                          const std::vector<Tensor>& params, int64_t num_images,
-                         EpochStats* es);
+                         FitStepPlanner* planner, EpochStats* es);
 
   clip::ClipModel* model_;
   const graph::Graph* graph_;

@@ -45,13 +45,23 @@ KMeansResult KMeans(const Tensor& points, int64_t k, Rng* rng,
   seeds.push_back(rng->UniformInt(0, n - 1));
   std::vector<double> dist2(static_cast<size_t>(n),
                             std::numeric_limits<double>::max());
+  // ~3 scalar ops (sub, mul, add) per accumulated dimension; the grain
+  // math uses the true op count so medium-sized clusterings clear the
+  // dispatch cutoff instead of running serially.
+  const int64_t seed_work = std::max<int64_t>(3 * dim, 1);
+  const int64_t seed_grain = GrainWithCutoff(
+      std::max<int64_t>(1, (int64_t{1} << 14) / seed_work), n, seed_work);
   while (static_cast<int64_t>(seeds.size()) < k) {
     const float* last = p + seeds.back() * dim;
-    for (int64_t i = 0; i < n; ++i) {
-      dist2[static_cast<size_t>(i)] =
-          std::min(dist2[static_cast<size_t>(i)],
-                   SquaredDistance(p + i * dim, last, dim));
-    }
+    // Per-point min update: disjoint writes, bitwise-identical at any
+    // thread count.
+    ParallelFor(0, n, seed_grain, [&](int64_t i0, int64_t i1) {
+      for (int64_t i = i0; i < i1; ++i) {
+        dist2[static_cast<size_t>(i)] =
+            std::min(dist2[static_cast<size_t>(i)],
+                     SquaredDistance(p + i * dim, last, dim));
+      }
+    });
     double total = 0.0;
     for (double d : dist2) total += d;
     if (total <= 0.0) {
@@ -71,12 +81,18 @@ KMeansResult KMeans(const Tensor& points, int64_t k, Rng* rng,
     result.iterations = iter + 1;
     // Assignment step: each point's nearest centroid is independent.
     std::atomic<bool> changed{false};
-    const int64_t work_per_point = std::max<int64_t>(k * dim, 1);
+    // ~3 scalar ops per accumulated dimension across all k centroids.
+    // The old accounting (k * dim) undercounted by 3x, which kept the
+    // bench-sized clusterings under the dispatch cutoff — the flat 1.0x
+    // kmeans scaling in BENCH_parallel.json — while chunks of ~2^14 ops
+    // keep enough of them in flight to balance an 8-thread sweep.
+    const int64_t work_per_point = std::max<int64_t>(3 * k * dim, 1);
     // Stay serial unless the whole assignment pass carries enough work to
     // pay for a pool dispatch (small clusterings were slower at 8 threads
     // than at 1 with the old unconditional split).
     const int64_t grain = GrainWithCutoff(
-        std::max<int64_t>(1, 4096 / work_per_point), n, work_per_point);
+        std::max<int64_t>(1, (int64_t{1} << 14) / work_per_point), n,
+        work_per_point);
     ParallelFor(0, n, grain, [&](int64_t i0, int64_t i1) {
       for (int64_t i = i0; i < i1; ++i) {
         int64_t best = 0;

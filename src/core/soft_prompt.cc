@@ -1,5 +1,7 @@
 #include "core/soft_prompt.h"
 
+#include <algorithm>
+
 #include "core/hard_prompt.h"
 #include "tensor/ops.h"
 #include "util/logging.h"
@@ -81,6 +83,26 @@ Tensor SoftPromptGenerator::PromptFeatures(
   return ops::IndexSelect(all, vertices);
 }
 
+Tensor SoftPromptGenerator::PromptFeaturesSlot(
+    const plan::IndexSlot& vertices) const {
+  Tensor all;
+  if (options_.backbone == SoftBackbone::kGraphSage) {
+    all = sage_->Forward(vertex_features_, neighbor_mean_);
+  } else {
+    all = nn::MeanAggregate(vertex_features_, neighbor_mean_, options_.alpha);
+  }
+  return ops::IndexSelectSlot(all, vertices);
+}
+
+std::vector<int64_t> SoftPromptGenerator::LabelTokenIds(
+    graph::VertexId v) const {
+  auto words = text::SplitWords(graph_->VertexLabel(v));
+  std::vector<int64_t> ids;
+  for (const auto& w : words) ids.push_back(tokenizer_->vocab().Id(w));
+  if (ids.empty()) ids.push_back(text::Vocabulary::kUnk);
+  return ids;
+}
+
 Tensor SoftPromptGenerator::LabelSummary(
     const std::vector<graph::VertexId>& vertices) const {
   const int64_t d = text_encoder_->model_dim();
@@ -88,30 +110,40 @@ Tensor SoftPromptGenerator::LabelSummary(
   std::vector<Tensor> rows;
   rows.reserve(vertices.size());
   for (graph::VertexId v : vertices) {
-    auto words = text::SplitWords(graph_->VertexLabel(v));
-    std::vector<int64_t> ids;
-    for (const auto& w : words) ids.push_back(tokenizer_->vocab().Id(w));
-    if (ids.empty()) ids.push_back(text::Vocabulary::kUnk);
-    Tensor emb = ops::IndexSelect(table, ids);      // [L, D]
-    rows.push_back(ops::Mean(emb, 0, /*keepdim=*/false));  // [D]
+    Tensor emb = ops::IndexSelect(table, LabelTokenIds(v));  // [L, D]
+    rows.push_back(ops::Mean(emb, 0, /*keepdim=*/false));    // [D]
   }
   Tensor out = ops::Stack(rows);  // [B, D]
   CROSSEM_CHECK_EQ(out.size(1), d);
   return out;
 }
 
-SoftPromptGenerator::PromptBatch SoftPromptGenerator::Generate(
-    const std::vector<graph::VertexId>& vertices) const {
-  CROSSEM_CHECK(!vertices.empty());
-  const int64_t b = static_cast<int64_t>(vertices.size());
+Tensor SoftPromptGenerator::BuildLabelSummaryTable() const {
+  NoGradGuard guard;
+  const int64_t n = graph_->NumVertices();
   const int64_t d = text_encoder_->model_dim();
-  const int64_t context = text_encoder_->context_length();
+  const Tensor& table = text_encoder_->token_embedding().table();
+  Tensor out = Tensor::Zeros({n, d});
+  for (graph::VertexId v = 0; v < n; ++v) {
+    // The same IndexSelect+Mean graph LabelSummary() runs per batch; the
+    // stored row is the identical float vector, so gathering from this
+    // table is bitwise-equal to recomputing (while the token table is
+    // frozen).
+    Tensor row = ops::Mean(ops::IndexSelect(table, LabelTokenIds(v)), 0,
+                           /*keepdim=*/false);
+    std::copy_n(row.data(), d, out.data() + v * d);
+  }
+  return out;
+}
 
+std::vector<std::vector<int64_t>> SoftPromptGenerator::TokenizeLabels(
+    const std::vector<graph::VertexId>& vertices) const {
   // Textual part: the structure-aware caption serialization (same text
   // the hard prompt produces), padded to the batch's longest row; one
   // slot of the context is reserved for the injected prompt vector. The
   // untuned soft model therefore starts from the hard prompt's operating
   // point, and tuning refines the continuous part on top.
+  const int64_t context = text_encoder_->context_length();
   text::Tokenizer label_tokenizer(&tokenizer_->vocab(), context - 1);
   HardPromptOptions hard_options;
   hard_options.hops = 1;
@@ -121,8 +153,17 @@ SoftPromptGenerator::PromptBatch SoftPromptGenerator::Generate(
   for (graph::VertexId v : vertices) {
     labels.push_back(hard.Generate(v));
   }
-  std::vector<std::vector<int64_t>> token_batch =
-      label_tokenizer.EncodeBatch(labels);
+  return label_tokenizer.EncodeBatch(labels);
+}
+
+SoftPromptGenerator::PromptBatch SoftPromptGenerator::Generate(
+    const std::vector<graph::VertexId>& vertices) const {
+  CROSSEM_CHECK(!vertices.empty());
+  const int64_t b = static_cast<int64_t>(vertices.size());
+  const int64_t d = text_encoder_->model_dim();
+  const int64_t context = text_encoder_->context_length();
+
+  std::vector<std::vector<int64_t>> token_batch = TokenizeLabels(vertices);
 
   const int64_t len = static_cast<int64_t>(token_batch[0].size());
   const int64_t total = len + 1;  // plus the injected prompt slot
@@ -161,6 +202,36 @@ SoftPromptGenerator::PromptBatch SoftPromptGenerator::Generate(
     }
     m[i * total + len] = 1.0f;  // injected prompt
   }
+  return batch;
+}
+
+SoftPromptGenerator::PromptBatch SoftPromptGenerator::GenerateSlot(
+    const plan::IndexSlot& vertices, const plan::IndexSlot& flat_tokens,
+    int64_t padded_len, const Tensor& label_summary,
+    const Tensor& mask) const {
+  CROSSEM_CHECK(vertices != nullptr && !vertices->empty());
+  CROSSEM_CHECK(flat_tokens != nullptr);
+  const int64_t b = static_cast<int64_t>(vertices->size());
+  const int64_t d = text_encoder_->model_dim();
+  CROSSEM_CHECK_EQ(static_cast<int64_t>(flat_tokens->size()), b * padded_len);
+  CROSSEM_CHECK_LE(padded_len + 1, text_encoder_->context_length());
+  CROSSEM_CHECK_EQ(mask.size(0), b);
+  CROSSEM_CHECK_EQ(mask.size(1), padded_len + 1);
+
+  // Same graph as Generate(), op for op, with the token ids / vertex ids
+  // flowing through slots and the mask a caller-refreshed write-in buffer.
+  Tensor tok = text_encoder_->token_embedding().ForwardSlot(flat_tokens);
+  tok = ops::Reshape(tok, {b, padded_len, d});
+
+  Tensor summary = ops::IndexSelectSlot(label_summary, vertices);  // [B, D]
+  Tensor prompt = PromptFeaturesSlot(vertices);                    // [B, D]
+  Tensor injected = ops::Relu(injector_->Forward(
+      ops::Concat({summary, prompt}, /*dim=*/1)));                 // [B, D]
+  injected = ops::Reshape(injected, {b, 1, d});
+
+  PromptBatch batch;
+  batch.embeddings = ops::Concat({tok, injected}, 1);  // [B, T, D]
+  batch.mask = mask;
   return batch;
 }
 

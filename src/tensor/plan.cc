@@ -1,0 +1,230 @@
+#include "tensor/plan.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "tensor/ops.h"
+#include "util/logging.h"
+
+namespace crossem {
+namespace plan {
+
+namespace {
+
+using internal::Storage;
+using internal::TensorImpl;
+
+thread_local ExecutionPlan* t_capture = nullptr;
+
+bool EnvEnabled() {
+  const char* v = std::getenv("CROSSEM_EXEC_PLAN");
+  if (v == nullptr) return true;
+  return !(std::strcmp(v, "0") == 0 || std::strcmp(v, "false") == 0 ||
+           std::strcmp(v, "off") == 0);
+}
+
+std::atomic<bool>& EnabledFlag() {
+  static std::atomic<bool> flag{EnvEnabled()};
+  return flag;
+}
+
+struct PlanMetrics {
+  obs::Counter* traces;
+  obs::Counter* replays;
+  obs::Counter* backward_replays;
+  obs::Counter* invalid_kernel;
+  obs::Counter* invalid_stale;
+  obs::Counter* invalid_incomplete;
+};
+
+PlanMetrics& Metrics() {
+  static PlanMetrics m = [] {
+    auto& reg = obs::MetricsRegistry::Default();
+    PlanMetrics pm;
+    pm.traces = reg.GetCounter("plan_traces_total");
+    pm.replays = reg.GetCounter("plan_replays_total");
+    pm.backward_replays = reg.GetCounter("plan_backward_replays_total");
+    pm.invalid_kernel = reg.GetCounter("plan_invalidations_kernel_table_total");
+    pm.invalid_stale = reg.GetCounter("plan_invalidations_stale_params_total");
+    pm.invalid_incomplete =
+        reg.GetCounter("plan_invalidations_incomplete_capture_total");
+    return pm;
+  }();
+  return m;
+}
+
+/// The process-wide kernel-table signature a plan is traced against.
+uint32_t KernelSignature() {
+  return (static_cast<uint32_t>(ops::GetGemmKernel()) << 1) |
+         static_cast<uint32_t>(ops::GetFusedKernels());
+}
+
+}  // namespace
+
+IndexSlot MakeIndexSlot(std::vector<int64_t> indices) {
+  return std::make_shared<std::vector<int64_t>>(std::move(indices));
+}
+
+bool Enabled() { return EnabledFlag().load(std::memory_order_relaxed); }
+
+void SetEnabled(bool enabled) {
+  EnabledFlag().store(enabled, std::memory_order_relaxed);
+}
+
+bool CaptureActive() { return t_capture != nullptr; }
+
+// -- ExecutionPlan -----------------------------------------------------------
+
+void ExecutionPlan::Retain(const std::shared_ptr<TensorImpl>& impl) {
+  if (!impl) return;
+  if (retained_set_.insert(impl.get()).second) retained_.push_back(impl);
+}
+
+void ExecutionPlan::RecordOpInternal(std::function<void()> fn,
+                                     const std::vector<Tensor>& keep) {
+  ops_.push_back(std::move(fn));
+  ++ops_recorded_;
+  for (const Tensor& t : keep) Retain(t.impl());
+}
+
+void ExecutionPlan::RecordBackwardInternal(
+    const std::shared_ptr<TensorImpl>& root,
+    const std::vector<TensorImpl*>& order) {
+  CROSSEM_CHECK(root_ == nullptr)
+      << "a plan can trace at most one backward pass";
+  root_ = root;
+  backward_order_ = order;
+  // Every gradient buffer the eager backward touched: the graph nodes
+  // themselves plus each node's inputs (leaves included). Eager hands the
+  // closures freshly zeroed lazily-created buffers; replay re-zeroes these
+  // same buffers so the accumulation starts from the identical state.
+  std::unordered_set<TensorImpl*> seen;
+  auto note = [&](TensorImpl* n) {
+    if (n != nullptr && seen.insert(n).second) grad_nodes_.push_back(n);
+  };
+  note(root.get());
+  for (TensorImpl* n : order) {
+    note(n);
+    if (n->grad_fn) {
+      for (const auto& in : n->grad_fn->inputs) note(in.get());
+    }
+  }
+}
+
+void ExecutionPlan::BeginCapture() { kernel_sig_ = KernelSignature(); }
+
+void ExecutionPlan::EndCapture() {
+  complete_ = (ops_seen_ == ops_recorded_);
+  // A plan may be captured into more than once (the fit-step planner
+  // re-opens a scope on the same plan to record the backward tape); that
+  // is still ONE trace of one plan.
+  if (!trace_counted_) {
+    trace_counted_ = true;
+    Metrics().traces->Increment();
+  }
+  if (!complete_) {
+    CROSSEM_LOG(Warning) << "plan capture incomplete: saw " << ops_seen_
+                         << " tensor ops but recorded " << ops_recorded_
+                         << "; falling back to eager execution";
+  }
+}
+
+void ExecutionPlan::ZeroRetainedGrads() {
+  for (const auto& impl : retained_) {
+    if (impl->grad) std::fill_n(impl->grad->data(), impl->grad->numel(), 0.0f);
+  }
+}
+
+void ExecutionPlan::Replay() {
+  CROSSEM_TRACE_SPAN("plan_replay");
+  Metrics().replays->Increment();
+  for (const auto& fn : ops_) fn();
+}
+
+void ExecutionPlan::ReplayBackward() {
+  CROSSEM_TRACE_SPAN("plan_replay_backward");
+  CROSSEM_CHECK(root_ != nullptr) << "plan has no traced backward";
+  Metrics().backward_replays->Increment();
+  for (TensorImpl* n : grad_nodes_) {
+    if (n->grad) std::fill_n(n->grad->data(), n->grad->numel(), 0.0f);
+  }
+  root_->MutableGrad().data()[0] += 1.0f;
+  for (auto it = backward_order_.rbegin(); it != backward_order_.rend();
+       ++it) {
+    TensorImpl* node = *it;
+    if (node->grad_fn && node->grad_fn->backward) {
+      node->grad_fn->backward(*node);
+    }
+  }
+}
+
+void ExecutionPlan::BindParams(const std::vector<Tensor>& params) {
+  param_bindings_.clear();
+  param_bindings_.reserve(params.size());
+  for (const Tensor& p : params) {
+    CROSSEM_CHECK(p.defined());
+    param_bindings_.emplace_back(p.impl(), p.impl()->storage.get());
+  }
+}
+
+bool ExecutionPlan::Validate(std::string* reason) const {
+  if (!complete_) {
+    Metrics().invalid_incomplete->Increment();
+    if (reason) *reason = "incomplete capture (uninstrumented op)";
+    return false;
+  }
+  if (kernel_sig_ != KernelSignature()) {
+    Metrics().invalid_kernel->Increment();
+    if (reason) *reason = "kernel table changed since trace";
+    return false;
+  }
+  for (const auto& [impl, storage] : param_bindings_) {
+    if (impl->storage.get() != storage) {
+      Metrics().invalid_stale->Increment();
+      if (reason) *reason = "stale plan: parameter storage reallocated";
+      return false;
+    }
+  }
+  return true;
+}
+
+// -- CaptureScope ------------------------------------------------------------
+
+CaptureScope::CaptureScope(ExecutionPlan* plan) {
+  CROSSEM_CHECK(plan != nullptr);
+  CROSSEM_CHECK(t_capture == nullptr)
+      << "plan capture scopes do not nest";
+  plan->BeginCapture();
+  t_capture = plan;
+}
+
+CaptureScope::~CaptureScope() {
+  ExecutionPlan* p = t_capture;
+  t_capture = nullptr;
+  p->EndCapture();
+}
+
+namespace detail {
+
+void RecordOp(std::function<void()> fn, const std::vector<Tensor>& keep) {
+  CROSSEM_CHECK(t_capture != nullptr);
+  t_capture->RecordOpInternal(std::move(fn), keep);
+}
+
+void RecordBackward(const std::shared_ptr<TensorImpl>& root,
+                    const std::vector<TensorImpl*>& order) {
+  if (t_capture != nullptr) t_capture->RecordBackwardInternal(root, order);
+}
+
+void NoteTensorOp() {
+  if (t_capture != nullptr) t_capture->NoteTensorOpInternal();
+}
+
+}  // namespace detail
+
+}  // namespace plan
+}  // namespace crossem

@@ -1,0 +1,287 @@
+// ExecutionPlan lifecycle (tensor/plan.h): trace-once/replay-many must be
+// bitwise-identical to eager for forward and backward schedules, slots
+// must be re-read on every replay, and a plan must refuse to replay when
+// the capture was incomplete, the kernel table changed, or its bound
+// parameters were reallocated. Concurrent trace+replay from independent
+// threads is exercised for the race detector (plan state is thread-local
+// by design).
+#include "tensor/plan.h"
+
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "obs/metrics.h"
+#include "tensor/ops.h"
+#include "tensor/tensor.h"
+#include "util/parallel.h"
+
+namespace crossem {
+namespace {
+
+int64_t CounterValue(const char* name) {
+  return obs::MetricsRegistry::Default().GetCounter(name)->Value();
+}
+
+class PlanTest : public ::testing::Test {
+ protected:
+  void SetUp() override { plan::SetEnabled(true); }
+  void TearDown() override {
+    SetNumThreads(0);
+    ops::SetGemmKernel(ops::GemmKernel::kBlocked);
+    ops::SetFusedKernels(ops::FusedKernels::kFused);
+  }
+};
+
+/// y = softmax(x W) — every op on the path records a closure.
+Tensor SmallForward(const Tensor& x, const Tensor& w) {
+  return ops::Softmax(ops::MatMul(x, w));
+}
+
+TEST_F(PlanTest, ReplayMatchesEagerBitwise) {
+  Rng rng(7);
+  Tensor w = Tensor::Randn({8, 6}, &rng);
+  Tensor x = Tensor::Zeros({4, 8});  // write-in input
+  Rng fill(11);
+  Tensor step0 = Tensor::Randn({4, 8}, &fill);
+  Tensor step1 = Tensor::Randn({4, 8}, &fill);
+
+  std::memcpy(x.data(), step0.data(), sizeof(float) * 32);
+  plan::ExecutionPlan p;
+  Tensor out;
+  {
+    NoGradGuard guard;
+    plan::CaptureScope scope(&p);
+    out = SmallForward(x, w);
+  }
+  ASSERT_TRUE(p.complete());
+  EXPECT_GT(p.num_ops(), 0);
+  {
+    NoGradGuard guard;
+    EXPECT_EQ(out.ToVector(), SmallForward(step0, w).ToVector());
+  }
+
+  // New step data flows through the write-in buffer; replay must equal a
+  // fresh eager forward over the same values, bit for bit, at 1 and 8
+  // threads (the parallel runtime's determinism contract).
+  for (int threads : {1, 8}) {
+    SetNumThreads(threads);
+    std::memcpy(x.data(), step1.data(), sizeof(float) * 32);
+    p.Replay();
+    NoGradGuard guard;
+    EXPECT_EQ(out.ToVector(), SmallForward(step1, w).ToVector())
+        << threads << " threads";
+  }
+}
+
+TEST_F(PlanTest, BackwardReplayMatchesEagerBitwise) {
+  Rng rng(3);
+  Tensor init_w = Tensor::Randn({8, 6}, &rng);
+  Rng fill(5);
+  Tensor step0 = Tensor::Randn({4, 8}, &fill);
+  Tensor step1 = Tensor::Randn({4, 8}, &fill);
+
+  // Planned: trace the forward, record the backward tape from the first
+  // eager Backward(), then replay both for the second step.
+  Tensor w = init_w.Clone().set_requires_grad(true);
+  Tensor x = Tensor::Zeros({4, 8});
+  plan::ExecutionPlan p;
+  Tensor loss;
+  std::memcpy(x.data(), step0.data(), sizeof(float) * 32);
+  {
+    plan::CaptureScope scope(&p);
+    loss = ops::Mean(ops::Mul(SmallForward(x, w), SmallForward(x, w)));
+  }
+  ASSERT_TRUE(p.complete());
+  ASSERT_FALSE(p.has_backward());
+  {
+    plan::CaptureScope scope(&p);
+    loss.Backward();
+  }
+  ASSERT_TRUE(p.has_backward());
+
+  std::vector<float> grad_step0 = w.grad().ToVector();
+  w.ZeroGrad();
+  std::memcpy(x.data(), step1.data(), sizeof(float) * 32);
+  p.Replay();
+  p.ReplayBackward();
+  std::vector<float> grad_step1 = w.grad().ToVector();
+
+  // Eager reference: fresh graphs over the same values.
+  for (int step = 0; step < 2; ++step) {
+    Tensor w2 = init_w.Clone().set_requires_grad(true);
+    Tensor x2 = (step == 0 ? step0 : step1).Clone();
+    Tensor l2 = ops::Mean(ops::Mul(SmallForward(x2, w2), SmallForward(x2, w2)));
+    l2.Backward();
+    EXPECT_EQ(w2.grad().ToVector(), step == 0 ? grad_step0 : grad_step1)
+        << "step " << step;
+  }
+}
+
+TEST_F(PlanTest, IndexSlotRereadOnEveryReplay) {
+  Tensor a = Tensor::FromVector(
+      {4, 2}, {0, 1, 10, 11, 20, 21, 30, 31});
+  plan::IndexSlot slot = plan::MakeIndexSlot({0, 2});
+  plan::ExecutionPlan p;
+  Tensor out;
+  {
+    NoGradGuard guard;
+    plan::CaptureScope scope(&p);
+    out = ops::IndexSelectSlot(a, slot);
+  }
+  ASSERT_TRUE(p.complete());
+  EXPECT_EQ(out.ToVector(), (std::vector<float>{0, 1, 20, 21}));
+
+  *slot = {3, 1};  // host rewrites the slot between replays
+  p.Replay();
+  EXPECT_EQ(out.ToVector(), (std::vector<float>{30, 31, 10, 11}));
+}
+
+TEST_F(PlanTest, UninstrumentedOpMarksCaptureIncomplete) {
+  Tensor a = Tensor::FromVector({2, 2}, {1, 2, 3, 4});
+  Rng rng(23);
+  plan::ExecutionPlan p;
+  {
+    NoGradGuard guard;
+    plan::CaptureScope scope(&p);
+    // Dropout draws a fresh mask per step, so it (correctly) records no
+    // closure; the capture must flag itself incomplete rather than
+    // silently replay a frozen mask.
+    ops::Dropout(a, 0.5f, /*training=*/true, &rng);
+  }
+  EXPECT_FALSE(p.complete());
+  const int64_t before =
+      CounterValue("plan_invalidations_incomplete_capture_total");
+  std::string reason;
+  EXPECT_FALSE(p.Validate(&reason));
+  EXPECT_NE(reason.find("incomplete"), std::string::npos) << reason;
+  EXPECT_EQ(CounterValue("plan_invalidations_incomplete_capture_total"),
+            before + 1);
+}
+
+TEST_F(PlanTest, KernelTableChangeInvalidates) {
+  Rng rng(9);
+  Tensor w = Tensor::Randn({4, 4}, &rng);
+  Tensor x = Tensor::Randn({2, 4}, &rng);
+  plan::ExecutionPlan p;
+  {
+    NoGradGuard guard;
+    plan::CaptureScope scope(&p);
+    ops::MatMul(x, w);
+  }
+  std::string reason;
+  ASSERT_TRUE(p.Validate(&reason)) << reason;
+
+  const int64_t before = CounterValue("plan_invalidations_kernel_table_total");
+  ops::SetGemmKernel(ops::GemmKernel::kReference);
+  EXPECT_FALSE(p.Validate(&reason));
+  EXPECT_NE(reason.find("kernel table"), std::string::npos) << reason;
+  EXPECT_EQ(CounterValue("plan_invalidations_kernel_table_total"), before + 1);
+
+  // Restoring the traced table makes the plan valid again.
+  ops::SetGemmKernel(ops::GemmKernel::kBlocked);
+  EXPECT_TRUE(p.Validate(&reason)) << reason;
+}
+
+TEST_F(PlanTest, StaleParamBindingInvalidates) {
+  Rng rng(13);
+  Tensor w = Tensor::Randn({4, 4}, &rng, 1.0f, /*requires_grad=*/true);
+  Tensor x = Tensor::Randn({2, 4}, &rng);
+  plan::ExecutionPlan p;
+  {
+    NoGradGuard guard;
+    plan::CaptureScope scope(&p);
+    ops::MatMul(x, w);
+  }
+  p.BindParams({w});
+  std::string reason;
+  ASSERT_TRUE(p.Validate(&reason)) << reason;
+
+  // Reallocate the parameter's storage out from under the traced
+  // closures (what an in-place checkpoint restore must never do, and
+  // what Validate() exists to catch if anything does).
+  const int64_t before = CounterValue("plan_invalidations_stale_params_total");
+  auto fresh = std::make_shared<internal::Storage>(w.numel());
+  std::memcpy(fresh->data(), w.data(), sizeof(float) * 16);
+  w.impl()->storage = fresh;
+  EXPECT_FALSE(p.Validate(&reason));
+  EXPECT_NE(reason.find("stale"), std::string::npos) << reason;
+  EXPECT_EQ(CounterValue("plan_invalidations_stale_params_total"), before + 1);
+}
+
+TEST_F(PlanTest, TraceCountedOncePerPlanAndReplaysCounted) {
+  Rng rng(17);
+  Tensor w = Tensor::Randn({4, 4}, &rng);
+  Tensor x = Tensor::Zeros({2, 4});
+  const int64_t traces = CounterValue("plan_traces_total");
+  const int64_t replays = CounterValue("plan_replays_total");
+
+  plan::ExecutionPlan p;
+  {
+    NoGradGuard guard;
+    plan::CaptureScope scope(&p);
+    SmallForward(x, w);
+  }
+  {
+    // Re-opening a scope on the same plan (the fit-step planner does this
+    // to record the backward) is still ONE trace of one plan.
+    NoGradGuard guard;
+    plan::CaptureScope scope(&p);
+  }
+  EXPECT_EQ(CounterValue("plan_traces_total"), traces + 1);
+
+  p.Replay();
+  p.Replay();
+  EXPECT_EQ(CounterValue("plan_replays_total"), replays + 2);
+}
+
+TEST_F(PlanTest, ConcurrentTraceAndReplayPerThread) {
+  // Capture state is thread-local: four threads trace and replay their
+  // own plans concurrently over private buffers. Run under TSan via the
+  // plan_tsan ctest entry; bitwise checks keep it meaningful elsewhere.
+  constexpr int kThreads = 4;
+  constexpr int kReplays = 25;
+  std::vector<std::thread> workers;
+  std::vector<std::string> errors(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([t, &errors] {
+      Rng rng(100 + static_cast<uint64_t>(t));
+      Tensor w = Tensor::Randn({8, 6}, &rng);
+      Tensor x = Tensor::Zeros({4, 8});
+      Rng fill(200 + static_cast<uint64_t>(t));
+      plan::ExecutionPlan p;
+      Tensor out;
+      Tensor step = Tensor::Randn({4, 8}, &fill);
+      std::memcpy(x.data(), step.data(), sizeof(float) * 32);
+      {
+        NoGradGuard guard;
+        plan::CaptureScope scope(&p);
+        out = SmallForward(x, w);
+      }
+      if (!p.complete()) {
+        errors[static_cast<size_t>(t)] = "incomplete capture";
+        return;
+      }
+      for (int r = 0; r < kReplays; ++r) {
+        Tensor next = Tensor::Randn({4, 8}, &fill);
+        std::memcpy(x.data(), next.data(), sizeof(float) * 32);
+        p.Replay();
+        NoGradGuard guard;
+        if (out.ToVector() != SmallForward(next, w).ToVector()) {
+          errors[static_cast<size_t>(t)] = "replay diverged from eager";
+          return;
+        }
+      }
+    });
+  }
+  for (std::thread& th : workers) th.join();
+  for (int t = 0; t < kThreads; ++t) {
+    EXPECT_TRUE(errors[static_cast<size_t>(t)].empty())
+        << "thread " << t << ": " << errors[static_cast<size_t>(t)];
+  }
+}
+
+}  // namespace
+}  // namespace crossem

@@ -1,10 +1,9 @@
 #!/usr/bin/env python3
-"""Bench regression gate for the fused-kernel / tensor-pool report.
+"""Bench regression gate for the fused-kernel / tensor-pool / plan reports.
 
-Compares a freshly generated BENCH_fused.json against the committed
-baseline. Because CI machines differ from the machine that produced the
-baseline, the gate compares the *relative* columns, which are stable
-across hosts:
+Compares freshly generated bench reports against committed baselines.
+Because CI machines differ from the machine that produced the baseline,
+the gate compares the *relative* columns, which are stable across hosts:
 
   - fused-vs-reference speedups may not fall more than --threshold below
     the committed value (a fused kernel quietly losing its win is the
@@ -12,7 +11,13 @@ across hosts:
   - fit_pool_hit_rate may not fall below --hit-rate-floor;
   - optionally (--parallel), every multi-thread record in the parallel
     report must keep speedup >= (1 - threshold), i.e. parallelism must
-    never make an op meaningfully slower than its baseline.
+    never make an op meaningfully slower than its baseline;
+  - optionally (--plan-baseline/--plan-current), the execution-plan report
+    (BENCH_plan.json) rides the same relative gate: the fit_step plan
+    speedups may not regress more than --threshold below the committed
+    ratios, and fit_step_replay_rate may not fall below
+    --replay-rate-floor (re-traces after warmup mean the invalidation
+    logic is thrashing).
 
 Absolute ns_per_iter values are printed for context but never gated.
 Exit code 0 = pass, 1 = regression, 2 = usage/data error.
@@ -41,24 +46,10 @@ def load_records(path):
     return by_key
 
 
-def main():
-    ap = argparse.ArgumentParser(description=__doc__)
-    ap.add_argument("--baseline", required=True,
-                    help="committed BENCH_fused.json")
-    ap.add_argument("--current", required=True,
-                    help="freshly generated fused report")
-    ap.add_argument("--parallel",
-                    help="freshly generated BENCH_parallel.json (optional)")
-    ap.add_argument("--threshold", type=float, default=0.15,
-                    help="allowed relative drop (default 0.15)")
-    ap.add_argument("--hit-rate-floor", type=float, default=0.99,
-                    help="minimum steady-state pool hit rate")
-    args = ap.parse_args()
-
-    baseline = load_records(args.baseline)
-    current = load_records(args.current)
-    failures = []
-
+def compare_reports(baseline, current, args, failures):
+    """Generic relative gate: every baseline record must exist in the
+    current run and keep its speedup within --threshold; *_rate records
+    are floor-gated instead."""
     for key, base in sorted(baseline.items()):
         op, size, threads = key
         cur = current.get(key)
@@ -77,6 +68,14 @@ def main():
             else:
                 print(f"ok   {note}")
             continue
+        if op == "fit_step_replay_rate":
+            if cur_ratio < args.replay_rate_floor:
+                failures.append(
+                    f"{note} -- plan replay rate below "
+                    f"{args.replay_rate_floor} (re-traces after warmup)")
+            else:
+                print(f"ok   {note}")
+            continue
         if op.endswith("_ref") or base_ratio <= 0.0:
             # Reference-side records anchor the ratios; nothing to gate.
             print(f"info {note}")
@@ -86,6 +85,40 @@ def main():
                 f"{note} -- regressed more than {args.threshold:.0%}")
         else:
             print(f"ok   {note}")
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--baseline", required=True,
+                    help="committed BENCH_fused.json")
+    ap.add_argument("--current", required=True,
+                    help="freshly generated fused report")
+    ap.add_argument("--parallel",
+                    help="freshly generated BENCH_parallel.json (optional)")
+    ap.add_argument("--plan-baseline",
+                    help="committed BENCH_plan.json (optional)")
+    ap.add_argument("--plan-current",
+                    help="freshly generated plan report (required with "
+                         "--plan-baseline)")
+    ap.add_argument("--threshold", type=float, default=0.15,
+                    help="allowed relative drop (default 0.15)")
+    ap.add_argument("--hit-rate-floor", type=float, default=0.99,
+                    help="minimum steady-state pool hit rate")
+    ap.add_argument("--replay-rate-floor", type=float, default=0.99,
+                    help="minimum steady-state plan replay rate")
+    args = ap.parse_args()
+
+    failures = []
+    compare_reports(load_records(args.baseline), load_records(args.current),
+                    args, failures)
+
+    if args.plan_baseline:
+        if not args.plan_current:
+            print("error: --plan-baseline requires --plan-current",
+                  file=sys.stderr)
+            return 2
+        compare_reports(load_records(args.plan_baseline),
+                        load_records(args.plan_current), args, failures)
 
     if args.parallel:
         for key, cur in sorted(load_records(args.parallel).items()):
