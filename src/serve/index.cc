@@ -129,14 +129,9 @@ float EmbeddingIndex::Similarity(int64_t id, const float* query) const {
   return dot;
 }
 
-Status EmbeddingIndex::AppendNormalized(const Tensor& embeddings,
-                                        const std::vector<std::string>& ids,
-                                        int64_t* first) {
-  if (!embeddings.defined() || embeddings.dim() != 2) {
-    return Status::InvalidArgument("embeddings must be a [n, dim] tensor");
-  }
-  const int64_t n = embeddings.size(0);
-  const int64_t dim = embeddings.size(1);
+Status EmbeddingIndex::AppendRows(const float* src, int64_t n, int64_t dim,
+                                  const std::vector<std::string>& ids,
+                                  bool verbatim, int64_t* first) {
   if (static_cast<int64_t>(ids.size()) != n) {
     return Status::InvalidArgument(
         "got " + std::to_string(ids.size()) + " ids for " + std::to_string(n) +
@@ -159,21 +154,45 @@ Status EmbeddingIndex::AppendNormalized(const Tensor& embeddings,
   *first = size();
   data_.resize(data_.size() + static_cast<size_t>(n * dim_));
   float* dst = data_.data() + *first * dim_;
-  const float* src = embeddings.data();
-  ParallelFor(0, n, /*grain=*/256, [&](int64_t b, int64_t e) {
-    for (int64_t r = b; r < e; ++r) {
-      float norm = 0.0f;
-      for (int64_t d = 0; d < dim_; ++d) {
-        norm += src[r * dim_ + d] * src[r * dim_ + d];
+  if (verbatim) {
+    std::memcpy(dst, src, static_cast<size_t>(n * dim_) * sizeof(float));
+  } else {
+    ParallelFor(0, n, /*grain=*/256, [&](int64_t b, int64_t e) {
+      for (int64_t r = b; r < e; ++r) {
+        float norm = 0.0f;
+        for (int64_t d = 0; d < dim_; ++d) {
+          norm += src[r * dim_ + d] * src[r * dim_ + d];
+        }
+        const float inv = 1.0f / std::max(std::sqrt(norm), 1e-12f);
+        for (int64_t d = 0; d < dim_; ++d) {
+          dst[r * dim_ + d] = src[r * dim_ + d] * inv;
+        }
       }
-      const float inv = 1.0f / std::max(std::sqrt(norm), 1e-12f);
-      for (int64_t d = 0; d < dim_; ++d) {
-        dst[r * dim_ + d] = src[r * dim_ + d] * inv;
-      }
-    }
-  });
+    });
+  }
   ids_.insert(ids_.end(), ids.begin(), ids.end());
   return Status::OK();
+}
+
+Status EmbeddingIndex::Add(const Tensor& embeddings,
+                           const std::vector<std::string>& ids) {
+  if (!embeddings.defined() || embeddings.dim() != 2) {
+    return Status::InvalidArgument("embeddings must be a [n, dim] tensor");
+  }
+  int64_t first = 0;
+  CROSSEM_RETURN_NOT_OK(AppendRows(embeddings.data(), embeddings.size(0),
+                                   embeddings.size(1), ids,
+                                   /*verbatim=*/false, &first));
+  return OnAppended(first);
+}
+
+Status EmbeddingIndex::AddPreNormalized(const float* rows, int64_t n,
+                                        int64_t dim,
+                                        const std::vector<std::string>& ids) {
+  int64_t first = 0;
+  CROSSEM_RETURN_NOT_OK(
+      AppendRows(rows, n, dim, ids, /*verbatim=*/true, &first));
+  return OnAppended(first);
 }
 
 Status EmbeddingIndex::Save(const std::string& path) const {
@@ -267,23 +286,26 @@ Result<std::unique_ptr<EmbeddingIndex>> EmbeddingIndex::Load(
 // FlatIndex
 // ---------------------------------------------------------------------------
 
-Status FlatIndex::Add(const Tensor& embeddings,
-                      const std::vector<std::string>& ids) {
-  int64_t first = 0;
-  return AppendNormalized(embeddings, ids, &first);
-}
+Status FlatIndex::OnAppended(int64_t) { return Status::OK(); }
 
-std::vector<eval::ScoredId> FlatIndex::Search(const float* query,
-                                              int64_t k) const {
+std::vector<eval::ScoredId> FlatIndex::Search(const float* query, int64_t k,
+                                              SearchDeadline deadline) const {
   const int64_t n = size();
   if (n == 0 || k <= 0) return {};
   // Chunked exact scan: per-chunk top-k via the shared kernel, merged in
-  // ascending chunk order — deterministic at any thread count.
+  // ascending chunk order — deterministic at any thread count. An armed
+  // deadline is checked once per chunk: chunks starting after expiry
+  // contribute nothing, so a nearly-expired query returns the best of
+  // whatever prefix it could afford instead of burning a full scan.
   constexpr int64_t kGrain = 2048;
   const int64_t chunks = NumChunks(0, n, kGrain);
   std::vector<std::vector<eval::ScoredId>> parts(
       static_cast<size_t>(chunks));
   ParallelForChunks(0, n, kGrain, [&](int64_t c, int64_t b, int64_t e) {
+    if (deadline != kNoSearchDeadline &&
+        std::chrono::steady_clock::now() > deadline) {
+      return;
+    }
     std::vector<float> sims(static_cast<size_t>(e - b));
     for (int64_t i = b; i < e; ++i) {
       sims[static_cast<size_t>(i - b)] = Similarity(i, query);
@@ -361,9 +383,9 @@ int64_t HnswIndex::GreedyDescend(const float* query, int64_t entry,
   return cur;
 }
 
-std::vector<eval::ScoredId> HnswIndex::SearchLayer(const float* query,
-                                                   int64_t entry, int64_t ef,
-                                                   int64_t level) const {
+std::vector<eval::ScoredId> HnswIndex::SearchLayer(
+    const float* query, int64_t entry, int64_t ef, int64_t level,
+    SearchDeadline deadline) const {
   VisitedSet& visited = t_visited;
   visited.Reset(nodes_.size());
   visited.Visit(entry);
@@ -376,7 +398,16 @@ std::vector<eval::ScoredId> HnswIndex::SearchLayer(const float* query,
   frontier.push(seed);
   results.push(seed);
 
+  // An armed deadline is polled every kDeadlineStride expansions — cheap
+  // relative to the neighbor-similarity work an expansion does.
+  constexpr int64_t kDeadlineStride = 64;
+  int64_t expansions = 0;
   while (!frontier.empty()) {
+    if (deadline != kNoSearchDeadline &&
+        ++expansions % kDeadlineStride == 0 &&
+        std::chrono::steady_clock::now() > deadline) {
+      break;  // keep the results gathered so far
+    }
     const eval::ScoredId cand = frontier.top();
     frontier.pop();
     if (static_cast<int64_t>(results.size()) >= ef &&
@@ -471,10 +502,7 @@ void HnswIndex::Link(int64_t id,
   }
 }
 
-Status HnswIndex::Add(const Tensor& embeddings,
-                      const std::vector<std::string>& ids) {
-  int64_t first = 0;
-  CROSSEM_RETURN_NOT_OK(AppendNormalized(embeddings, ids, &first));
+Status HnswIndex::OnAppended(int64_t first) {
   const int64_t total = size();
   CROSSEM_TRACE_SPAN_V(span, "hnsw_build");
   span.Arg("added", total - first).Arg("total", total);
@@ -560,12 +588,16 @@ Status HnswIndex::Add(const Tensor& embeddings,
   return Status::OK();
 }
 
-std::vector<eval::ScoredId> HnswIndex::Search(const float* query,
-                                              int64_t k) const {
+std::vector<eval::ScoredId> HnswIndex::Search(const float* query, int64_t k,
+                                              SearchDeadline deadline) const {
   if (entry_point_ < 0 || k <= 0) return {};
+  if (deadline != kNoSearchDeadline &&
+      std::chrono::steady_clock::now() > deadline) {
+    return {};  // expired before the descent even started
+  }
   const int64_t entry = GreedyDescend(query, entry_point_, max_level_, 0);
-  std::vector<eval::ScoredId> beam =
-      SearchLayer(query, entry, std::max(options_.ef_search, k), 0);
+  std::vector<eval::ScoredId> beam = SearchLayer(
+      query, entry, std::max(options_.ef_search, k), 0, deadline);
   if (static_cast<int64_t>(beam.size()) > k) {
     beam.resize(static_cast<size_t>(k));
   }

@@ -20,6 +20,7 @@
 #ifndef CROSSEM_SERVE_INDEX_H_
 #define CROSSEM_SERVE_INDEX_H_
 
+#include <chrono>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -34,6 +35,12 @@
 namespace crossem {
 namespace serve {
 
+/// Search deadline: queries early-exit (returning what they have found
+/// so far) once this steady-clock instant passes. kNoSearchDeadline
+/// disables the checks entirely — that path never reads the clock.
+using SearchDeadline = std::chrono::steady_clock::time_point;
+inline constexpr SearchDeadline kNoSearchDeadline = SearchDeadline::max();
+
 /// Abstract top-k retrieval over a repository of embeddings.
 class EmbeddingIndex {
  public:
@@ -41,13 +48,25 @@ class EmbeddingIndex {
 
   /// Appends `embeddings` ([n, dim], any L2 norm; normalized copies are
   /// stored) with their external string ids. The first Add fixes dim.
-  virtual Status Add(const Tensor& embeddings,
-                     const std::vector<std::string>& ids) = 0;
+  Status Add(const Tensor& embeddings, const std::vector<std::string>& ids);
+
+  /// Appends `n` rows of width `dim` that are ALREADY L2-normalized,
+  /// copied verbatim. Sharding uses this to split a built index:
+  /// re-normalizing an already-normalized row can perturb its low-order
+  /// bits, which would break the sharded-vs-single bitwise-identity
+  /// contract.
+  Status AddPreNormalized(const float* rows, int64_t n, int64_t dim,
+                          const std::vector<std::string>& ids);
 
   /// The k nearest stored vectors to `query` (length dim()) by cosine
-  /// similarity, best first. Deterministic at any thread count.
-  virtual std::vector<eval::ScoredId> Search(const float* query,
-                                             int64_t k) const = 0;
+  /// similarity, best first. Deterministic at any thread count for a
+  /// non-expiring deadline; once `deadline` passes the scan stops early
+  /// and returns the (possibly partial, possibly empty) best-so-far.
+  virtual std::vector<eval::ScoredId> Search(const float* query, int64_t k,
+                                             SearchDeadline deadline) const = 0;
+  std::vector<eval::ScoredId> Search(const float* query, int64_t k) const {
+    return Search(query, k, kNoSearchDeadline);
+  }
 
   /// "flat" or "hnsw" (the token --backend accepts and files record).
   virtual std::string backend() const = 0;
@@ -73,10 +92,16 @@ class EmbeddingIndex {
   static Result<std::unique_ptr<EmbeddingIndex>> Load(const std::string& path);
 
  protected:
-  /// Validates/normalizes `embeddings` into data_ and appends ids;
-  /// returns the id of the first appended row via `first`.
-  Status AppendNormalized(const Tensor& embeddings,
-                          const std::vector<std::string>& ids, int64_t* first);
+  /// Validates `n` rows of width `dim` and appends them to data_/ids_,
+  /// L2-normalizing unless `verbatim`; returns the id of the first
+  /// appended row via `first`.
+  Status AppendRows(const float* src, int64_t n, int64_t dim,
+                    const std::vector<std::string>& ids, bool verbatim,
+                    int64_t* first);
+
+  /// Backend hook run after rows [first, size()) land in data_/ids_
+  /// (e.g. HNSW graph construction). Called by Add/AddPreNormalized.
+  virtual Status OnAppended(int64_t first) = 0;
 
   /// Cosine similarity (dot of normalized rows) of stored row `id` and
   /// an external query of length dim_.
@@ -101,13 +126,13 @@ class EmbeddingIndex {
 /// Exact brute-force backend.
 class FlatIndex : public EmbeddingIndex {
  public:
-  Status Add(const Tensor& embeddings,
-             const std::vector<std::string>& ids) override;
-  std::vector<eval::ScoredId> Search(const float* query,
-                                     int64_t k) const override;
+  using EmbeddingIndex::Search;
+  std::vector<eval::ScoredId> Search(const float* query, int64_t k,
+                                     SearchDeadline deadline) const override;
   std::string backend() const override { return "flat"; }
 
  protected:
+  Status OnAppended(int64_t first) override;
   void AppendExtraRecords(
       std::vector<nn::CheckpointRecord>* out) const override;
   Status RestoreExtra(
@@ -136,10 +161,9 @@ class HnswIndex : public EmbeddingIndex {
  public:
   explicit HnswIndex(HnswOptions options = {});
 
-  Status Add(const Tensor& embeddings,
-             const std::vector<std::string>& ids) override;
-  std::vector<eval::ScoredId> Search(const float* query,
-                                     int64_t k) const override;
+  using EmbeddingIndex::Search;
+  std::vector<eval::ScoredId> Search(const float* query, int64_t k,
+                                     SearchDeadline deadline) const override;
   std::string backend() const override { return "hnsw"; }
 
   const HnswOptions& options() const { return options_; }
@@ -148,6 +172,7 @@ class HnswIndex : public EmbeddingIndex {
   int64_t max_level() const { return max_level_; }
 
  protected:
+  Status OnAppended(int64_t first) override;
   void AppendExtraRecords(
       std::vector<nn::CheckpointRecord>* out) const override;
   Status RestoreExtra(
@@ -170,8 +195,11 @@ class HnswIndex : public EmbeddingIndex {
                         int64_t to) const;
 
   /// Beam search at one level; returns up to `ef` candidates best first.
-  std::vector<eval::ScoredId> SearchLayer(const float* query, int64_t entry,
-                                          int64_t ef, int64_t level) const;
+  /// Stops expanding (keeping results found so far) once `deadline`
+  /// passes; construction-time callers leave it unset.
+  std::vector<eval::ScoredId> SearchLayer(
+      const float* query, int64_t entry, int64_t ef, int64_t level,
+      SearchDeadline deadline = kNoSearchDeadline) const;
 
   /// Links `id` into the graph given its per-level candidate lists.
   void Link(int64_t id, const std::vector<std::vector<eval::ScoredId>>& cands);

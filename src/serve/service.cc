@@ -30,6 +30,39 @@ int64_t MicrosBetween(std::chrono::steady_clock::time_point from,
 
 }  // namespace
 
+namespace internal {
+
+void AppendRankedMatches(const std::vector<eval::ScoredId>& found,
+                         const std::vector<std::string>& ids, int64_t k,
+                         float min_probability, float temperature,
+                         std::vector<RankedMatch>* out) {
+  if (found.empty()) return;
+  // Eq. 4 softmax at temperature tau over the retrieved candidate set
+  // (max-subtracted for stability; found is score-descending, so the
+  // max is the first element).
+  const float inv_tau = 1.0f / temperature;
+  const float top = found.front().score;
+  double denom = 0.0;
+  for (const eval::ScoredId& c : found) {
+    denom += std::exp(static_cast<double>((c.score - top) * inv_tau));
+  }
+  const int64_t take = std::min<int64_t>(k, static_cast<int64_t>(found.size()));
+  for (int64_t j = 0; j < take; ++j) {
+    const float prob = static_cast<float>(
+        std::exp(static_cast<double>((found[j].score - top) * inv_tau)) /
+        denom);
+    if (prob < min_probability) break;  // scores descend
+    RankedMatch match;
+    match.image = found[j].id;
+    match.image_id = ids[found[j].id];
+    match.similarity = found[j].score;
+    match.probability = prob;
+    out->push_back(std::move(match));
+  }
+}
+
+}  // namespace internal
+
 MatchService::MatchService(const core::CrossEm* matcher,
                            const EmbeddingIndex* index,
                            MatchServiceOptions options)
@@ -77,9 +110,17 @@ std::future<Result<MatchResponse>> MatchService::Submit(
     }
     if (static_cast<int64_t>(queue_.size()) >= options_.max_queue) {
       stats_.RecordRejectedQueueFull();
+      // The rejection carries the observed depth and a drain-time hint
+      // (p50 completion latency, floored at the batching wait) so
+      // callers — including the sharded layer — can back off for a
+      // meaningful interval instead of guessing.
+      const int64_t retry_after_us = std::max<int64_t>(
+          stats_.LatencyP50Us(), options_.max_wait_micros);
       pending.promise.set_value(Status::Unavailable(
-          "MatchService queue full (" + std::to_string(options_.max_queue) +
-          " pending); retry with backoff"));
+          "MatchService queue full (" + std::to_string(queue_.size()) +
+          " of " + std::to_string(options_.max_queue) +
+          " pending); retry after " + std::to_string(retry_after_us) +
+          "us"));
       return future;
     }
     stats_.RecordReceived();
@@ -227,36 +268,19 @@ void MatchService::ProcessBatch(std::vector<Pending> batch) {
 
     const int64_t candidates =
         std::max(p.request.k, options_.probability_candidates);
+    // The remaining budget rides into the scan so a nearly-expired
+    // query early-exits instead of burning the full repository.
+    const SearchDeadline search_deadline =
+        p.deadline == Clock::time_point::max() ? kNoSearchDeadline
+                                               : p.deadline;
     std::vector<eval::ScoredId> found =
-        index_->Search(embeddings[i].data(), candidates);
+        index_->Search(embeddings[i].data(), candidates, search_deadline);
 
     MatchResponse response;
     response.cache_hit = cached[i];
-    if (!found.empty()) {
-      // Eq. 4 softmax at temperature tau over the retrieved candidate
-      // set (max-subtracted for stability; found is score-descending,
-      // so the max is the first element).
-      const float inv_tau = 1.0f / temperature_;
-      const float top = found.front().score;
-      double denom = 0.0;
-      for (const eval::ScoredId& c : found) {
-        denom += std::exp(static_cast<double>((c.score - top) * inv_tau));
-      }
-      const int64_t take =
-          std::min<int64_t>(p.request.k, static_cast<int64_t>(found.size()));
-      for (int64_t j = 0; j < take; ++j) {
-        const float prob = static_cast<float>(
-            std::exp(static_cast<double>((found[j].score - top) * inv_tau)) /
-            denom);
-        if (prob < p.request.min_probability) break;  // scores descend
-        RankedMatch match;
-        match.image = found[j].id;
-        match.image_id = index_->ids()[found[j].id];
-        match.similarity = found[j].score;
-        match.probability = prob;
-        response.matches.push_back(std::move(match));
-      }
-    }
+    internal::AppendRankedMatches(found, index_->ids(), p.request.k,
+                                  p.request.min_probability, temperature_,
+                                  &response.matches);
     stats_.RecordCompleted(MicrosBetween(p.submitted, Clock::now()));
     p.promise.set_value(std::move(response));
   }

@@ -88,7 +88,28 @@ struct MatchResponse {
   std::vector<RankedMatch> matches;
   /// True when the vertex embedding came from the cache.
   bool cache_hit = false;
+  /// Row-weighted fraction of the repository actually searched. Always
+  /// 1.0 from MatchService; ShardedMatchService lowers it when shards
+  /// are skipped, down, or out of time — the query still succeeds.
+  double coverage = 1.0;
+  /// True iff coverage < 1.0 (the explicit partial-result flag).
+  bool degraded = false;
 };
+
+namespace internal {
+
+/// The shared scoring tail of both services: Eq. 4 softmax at
+/// `temperature` over the retrieved candidate list `found` (best first,
+/// global row ids), keeping the top `k` above `min_probability`.
+/// Identical arithmetic order whichever service runs it, so a sharded
+/// merge that reproduces `found` bitwise also reproduces the
+/// probabilities bitwise.
+void AppendRankedMatches(const std::vector<eval::ScoredId>& found,
+                         const std::vector<std::string>& ids, int64_t k,
+                         float min_probability, float temperature,
+                         std::vector<RankedMatch>* out);
+
+}  // namespace internal
 
 class MatchService {
  public:

@@ -1,0 +1,865 @@
+#include "serve/sharded.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <unordered_map>
+#include <utility>
+
+#include "obs/trace.h"
+#include "tensor/tensor.h"
+#include "util/fault_injection.h"
+#include "util/logging.h"
+
+namespace crossem {
+namespace serve {
+
+namespace {
+
+/// Immediately-resolved future for admission-time rejections.
+std::future<Result<MatchResponse>> RejectedFuture(Status status) {
+  std::promise<Result<MatchResponse>> promise;
+  std::future<Result<MatchResponse>> future = promise.get_future();
+  promise.set_value(std::move(status));
+  return future;
+}
+
+int64_t MicrosBetween(std::chrono::steady_clock::time_point from,
+                      std::chrono::steady_clock::time_point to) {
+  return std::chrono::duration_cast<std::chrono::microseconds>(to - from)
+      .count();
+}
+
+/// splitmix64 — row -> shard assignment and retry jitter share it, so a
+/// sharding layout and a chaos drill's backoff schedule are both pure
+/// functions of their seeds.
+uint64_t SplitMix64(uint64_t x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// ShardedIndex
+// ---------------------------------------------------------------------------
+
+Result<std::unique_ptr<ShardedIndex>> ShardedIndex::Partition(
+    const EmbeddingIndex& source, const ShardedIndexOptions& options) {
+  if (options.num_shards < 1) {
+    return Status::InvalidArgument("num_shards must be >= 1, got " +
+                                   std::to_string(options.num_shards));
+  }
+  if (options.backend != "flat" && options.backend != "hnsw") {
+    return Status::InvalidArgument("unknown shard backend '" +
+                                   options.backend + "'");
+  }
+  std::unique_ptr<ShardedIndex> out(new ShardedIndex());
+  out->dim_ = source.dim();
+  out->model_fingerprint_ = source.model_fingerprint();
+  out->ids_ = source.ids();
+  const int64_t n_shards = options.num_shards;
+  out->global_rows_.resize(static_cast<size_t>(n_shards));
+  for (int64_t r = 0; r < source.size(); ++r) {
+    const int64_t s = static_cast<int64_t>(
+        SplitMix64(options.hash_seed ^ static_cast<uint64_t>(r)) %
+        static_cast<uint64_t>(n_shards));
+    out->global_rows_[static_cast<size_t>(s)].push_back(r);
+  }
+  for (int64_t s = 0; s < n_shards; ++s) {
+    std::unique_ptr<EmbeddingIndex> shard;
+    if (options.backend == "flat") {
+      shard = std::make_unique<FlatIndex>();
+    } else {
+      shard = std::make_unique<HnswIndex>(options.hnsw);
+    }
+    const std::vector<int64_t>& rows = out->global_rows_[s];
+    if (!rows.empty()) {
+      // Gather the shard's rows verbatim — already normalized by the
+      // source index, and re-normalizing could flip low-order bits.
+      std::vector<float> buf(rows.size() * static_cast<size_t>(out->dim_));
+      std::vector<std::string> shard_ids;
+      shard_ids.reserve(rows.size());
+      for (size_t i = 0; i < rows.size(); ++i) {
+        std::memcpy(buf.data() + i * static_cast<size_t>(out->dim_),
+                    source.vector(rows[i]),
+                    static_cast<size_t>(out->dim_) * sizeof(float));
+        shard_ids.push_back(source.ids()[static_cast<size_t>(rows[i])]);
+      }
+      CROSSEM_RETURN_NOT_OK(shard->AddPreNormalized(
+          buf.data(), static_cast<int64_t>(rows.size()), out->dim_,
+          shard_ids));
+    }
+    shard->set_model_fingerprint(source.model_fingerprint());
+    out->shards_.push_back(std::move(shard));
+  }
+  return out;
+}
+
+std::vector<eval::ScoredId> ShardedIndex::SearchShard(
+    int64_t s, const float* query, int64_t k, SearchDeadline deadline) const {
+  std::vector<eval::ScoredId> local = shards_[s]->Search(query, k, deadline);
+  // Local row -> global row. The mapping is ascending, so equal-score
+  // runs keep the global id order RanksBefore expects and MergeTopK
+  // over per-shard lists reproduces the unsharded ranking exactly.
+  const std::vector<int64_t>& rows = global_rows_[s];
+  for (eval::ScoredId& r : local) r.id = rows[static_cast<size_t>(r.id)];
+  return local;
+}
+
+bool ValidateShardResults(const std::vector<eval::ScoredId>& results,
+                          int64_t num_rows) {
+  const eval::ScoredId* prev = nullptr;
+  for (const eval::ScoredId& r : results) {
+    if (!std::isfinite(r.score) || std::fabs(r.score) > 1.0001f) return false;
+    if (r.id < 0 || r.id >= num_rows) return false;
+    if (prev != nullptr && eval::RanksBefore(r, *prev)) return false;
+    prev = &r;
+  }
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// CircuitBreaker
+// ---------------------------------------------------------------------------
+
+bool CircuitBreaker::AllowRequest(std::chrono::steady_clock::time_point now) {
+  switch (state()) {
+    case State::kClosed:
+      return true;
+    case State::kOpen:
+      if (now - opened_at_ >= cooldown_) {
+        SetState(State::kHalfOpen);
+        probe_in_flight_ = true;
+        return true;  // the single half-open probe
+      }
+      return false;
+    case State::kHalfOpen:
+      if (!probe_in_flight_) {
+        probe_in_flight_ = true;
+        return true;
+      }
+      return false;
+  }
+  return false;
+}
+
+void CircuitBreaker::RecordSuccess() {
+  probe_in_flight_ = false;
+  consecutive_failures_ = 0;
+  SetState(State::kClosed);
+}
+
+void CircuitBreaker::RecordFailure(std::chrono::steady_clock::time_point now) {
+  probe_in_flight_ = false;
+  if (state() == State::kHalfOpen) {
+    // Failed probe: straight back to open for another cooldown.
+    SetState(State::kOpen);
+    opened_at_ = now;
+    opens_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  if (state() != State::kClosed) return;  // already open
+  if (++consecutive_failures_ >= failure_threshold_) {
+    SetState(State::kOpen);
+    opened_at_ = now;
+    consecutive_failures_ = 0;
+    opens_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// ShardedMatchService
+// ---------------------------------------------------------------------------
+
+/// Per-service resilience instruments (exact snapshot semantics),
+/// double-written into the process-wide `crossem_shard_*` /
+/// `crossem_serve_*` registry aggregates.
+struct ShardedMatchService::ResilienceInstruments {
+  obs::Counter shard_calls;
+  obs::Counter shard_failures;
+  obs::Counter retries;
+  obs::Counter hedges;
+  obs::Counter hedge_wins;
+  obs::Counter breaker_opens;
+  obs::Counter breaker_skips;
+  obs::Counter corrupt_rejected;
+  obs::Counter degraded_responses;
+
+  obs::Counter* g_shard_calls;
+  obs::Counter* g_shard_failures;
+  obs::Counter* g_retries;
+  obs::Counter* g_hedges;
+  obs::Counter* g_hedge_wins;
+  obs::Counter* g_breaker_opens;
+  obs::Counter* g_breaker_skips;
+  obs::Counter* g_corrupt_rejected;
+  obs::Counter* g_degraded;
+  obs::Histogram* g_coverage_percent;
+  obs::Histogram* g_shard_latency_us;
+
+  ResilienceInstruments() {
+    obs::MetricsRegistry& reg = obs::MetricsRegistry::Default();
+    g_shard_calls = reg.GetCounter("crossem_shard_calls_total");
+    g_shard_failures = reg.GetCounter("crossem_shard_failures_total");
+    g_retries = reg.GetCounter("crossem_shard_retries_total");
+    g_hedges = reg.GetCounter("crossem_shard_hedges_total");
+    g_hedge_wins = reg.GetCounter("crossem_shard_hedge_wins_total");
+    g_breaker_opens = reg.GetCounter("crossem_shard_breaker_opens_total");
+    g_breaker_skips = reg.GetCounter("crossem_shard_breaker_skips_total");
+    g_corrupt_rejected =
+        reg.GetCounter("crossem_shard_corrupt_rejected_total");
+    g_degraded = reg.GetCounter("crossem_serve_degraded_total");
+    g_coverage_percent = reg.GetHistogram("crossem_serve_coverage_percent");
+    g_shard_latency_us = reg.GetHistogram("crossem_shard_latency_us");
+  }
+};
+
+ShardedMatchService::ShardedMatchService(const core::CrossEm* matcher,
+                                         const ShardedIndex* index,
+                                         ShardedServiceOptions options)
+    : matcher_(matcher),
+      index_(index),
+      options_(std::move(options)),
+      fingerprint_(matcher->EncoderFingerprint()),
+      temperature_(matcher->Temperature()),
+      cache_(options_.base.cache_capacity),
+      res_(std::make_unique<ResilienceInstruments>()) {
+  CROSSEM_CHECK_GE(options_.resilience.max_attempts, 1);
+  CROSSEM_CHECK_GE(options_.resilience.workers_per_shard, 1);
+  const int64_t n = index_->num_shards();
+  for (int64_t s = 0; s < n; ++s) {
+    breakers_.push_back(std::make_unique<CircuitBreaker>(
+        options_.resilience.breaker_failure_threshold,
+        options_.resilience.breaker_cooldown_micros));
+    shards_.push_back(std::make_unique<ShardRuntime>());
+  }
+  for (int64_t s = 0; s < n; ++s) {
+    for (int64_t w = 0; w < options_.resilience.workers_per_shard; ++w) {
+      shards_[s]->workers.emplace_back([this, s] { ShardWorkerLoop(s); });
+    }
+  }
+  coordinator_ = std::thread([this] { CoordinatorLoop(); });
+}
+
+ShardedMatchService::~ShardedMatchService() { Shutdown(); }
+
+std::future<Result<MatchResponse>> ShardedMatchService::Submit(
+    const MatchRequest& request) {
+  if (request.k < 1) {
+    return RejectedFuture(
+        Status::InvalidArgument("MatchRequest.k must be >= 1"));
+  }
+  if (request.vertex < 0 ||
+      request.vertex >= matcher_->graph().NumVertices()) {
+    return RejectedFuture(Status::InvalidArgument(
+        "MatchRequest.vertex " + std::to_string(request.vertex) +
+        " out of range [0, " +
+        std::to_string(matcher_->graph().NumVertices()) + ")"));
+  }
+
+  Pending pending;
+  pending.request = request;
+  pending.submitted = Clock::now();
+  pending.deadline =
+      request.deadline_micros > 0
+          ? pending.submitted +
+                std::chrono::microseconds(request.deadline_micros)
+          : Clock::time_point::max();
+  std::future<Result<MatchResponse>> future = pending.promise.get_future();
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (shutdown_) {
+      stats_.RecordRejectedShutdown();
+      pending.promise.set_value(
+          Status::Unavailable("ShardedMatchService is shut down"));
+      return future;
+    }
+    if (static_cast<int64_t>(queue_.size()) >= options_.base.max_queue) {
+      stats_.RecordRejectedQueueFull();
+      const int64_t retry_after_us = std::max<int64_t>(
+          stats_.LatencyP50Us(), options_.base.max_wait_micros);
+      pending.promise.set_value(Status::Unavailable(
+          "ShardedMatchService queue full (" +
+          std::to_string(queue_.size()) + " of " +
+          std::to_string(options_.base.max_queue) +
+          " pending); retry after " + std::to_string(retry_after_us) +
+          "us"));
+      return future;
+    }
+    stats_.RecordReceived();
+    queue_.push_back(std::move(pending));
+  }
+  cv_.notify_one();
+  return future;
+}
+
+Result<MatchResponse> ShardedMatchService::Match(const MatchRequest& request) {
+  return Submit(request).get();
+}
+
+void ShardedMatchService::Shutdown() {
+  bool join_here = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+    if (!joined_) {
+      joined_ = true;
+      join_here = true;
+    }
+  }
+  cv_.notify_all();
+  if (!join_here) return;
+  coordinator_.join();
+  // With the coordinator gone every call still queued is abandoned;
+  // workers drain and discard them, then exit.
+  shard_shutdown_.store(true, std::memory_order_relaxed);
+  for (std::unique_ptr<ShardRuntime>& rt : shards_) {
+    {
+      std::lock_guard<std::mutex> lock(rt->mu);
+    }
+    rt->cv.notify_all();
+  }
+  for (std::unique_ptr<ShardRuntime>& rt : shards_) {
+    for (std::thread& w : rt->workers) w.join();
+    rt->workers.clear();
+  }
+}
+
+void ShardedMatchService::CoordinatorLoop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    cv_.wait(lock, [&] { return shutdown_ || !queue_.empty(); });
+    if (queue_.empty()) {
+      if (shutdown_) return;  // drained
+      continue;
+    }
+
+    // Adaptive batch fill, exactly MatchService's policy: hold the
+    // oldest request up to max_wait_micros, never past the earliest
+    // queued deadline, not at all once shutdown starts.
+    if (!shutdown_ &&
+        static_cast<int64_t>(queue_.size()) < options_.base.max_batch &&
+        options_.base.max_wait_micros > 0) {
+      Clock::time_point fill_deadline =
+          queue_.front().submitted +
+          std::chrono::microseconds(options_.base.max_wait_micros);
+      for (const Pending& p : queue_) {
+        fill_deadline = std::min(fill_deadline, p.deadline);
+      }
+      cv_.wait_until(lock, fill_deadline, [&] {
+        return shutdown_ || static_cast<int64_t>(queue_.size()) >=
+                                options_.base.max_batch;
+      });
+    }
+
+    std::vector<Pending> batch;
+    const int64_t take = std::min<int64_t>(
+        static_cast<int64_t>(queue_.size()), options_.base.max_batch);
+    batch.reserve(take);
+    for (int64_t i = 0; i < take; ++i) {
+      batch.push_back(std::move(queue_.front()));
+      queue_.pop_front();
+    }
+
+    lock.unlock();
+    ProcessBatch(std::move(batch));
+    lock.lock();
+  }
+}
+
+void ShardedMatchService::ProcessBatch(std::vector<Pending> batch) {
+  CROSSEM_TRACE_SPAN_V(span, "sharded_serve_batch");
+  span.Arg("requests", static_cast<int64_t>(batch.size()));
+  // Expire requests that aged out while queued.
+  const Clock::time_point dequeued = Clock::now();
+  std::vector<Pending> live;
+  live.reserve(batch.size());
+  for (Pending& p : batch) {
+    if (p.deadline <= dequeued) {
+      stats_.RecordExpired();
+      p.promise.set_value(Status::DeadlineExceeded(
+          "request expired after " +
+          std::to_string(MicrosBetween(p.submitted, dequeued)) +
+          "us in queue"));
+    } else {
+      live.push_back(std::move(p));
+    }
+  }
+  if (live.empty()) return;
+
+  // Resolve embeddings: cache first, then one EncodeVertices forward
+  // over the distinct uncached vertices of the batch.
+  std::vector<std::vector<float>> embeddings(live.size());
+  std::vector<bool> cached(live.size(), false);
+  std::vector<graph::VertexId> to_encode;
+  std::unordered_map<graph::VertexId, int64_t> encode_row;
+  int64_t hits = 0;
+  int64_t misses = 0;
+  for (size_t i = 0; i < live.size(); ++i) {
+    const graph::VertexId v = live[i].request.vertex;
+    if (cache_.Lookup(v, fingerprint_, &embeddings[i])) {
+      cached[i] = true;
+      ++hits;
+    } else {
+      ++misses;
+      if (encode_row.find(v) == encode_row.end()) {
+        encode_row.emplace(v, static_cast<int64_t>(to_encode.size()));
+        to_encode.push_back(v);
+      }
+    }
+  }
+  stats_.RecordBatch(static_cast<int64_t>(live.size()), hits, misses);
+
+  if (!to_encode.empty()) {
+    NoGradGuard guard;
+    Tensor encoded = matcher_->EncodeVertices(to_encode);  // [n, dim]
+    const int64_t dim = encoded.size(1);
+    if (index_->size() > 0 && dim != index_->dim()) {
+      Status mismatch = Status::Internal(
+          "encoder dim " + std::to_string(dim) + " != index dim " +
+          std::to_string(index_->dim()) +
+          " (index built from a different model?)");
+      for (Pending& p : live) p.promise.set_value(mismatch);
+      return;
+    }
+    const float* data = encoded.data();
+    for (size_t i = 0; i < live.size(); ++i) {
+      if (cached[i]) continue;
+      const int64_t row = encode_row.at(live[i].request.vertex);
+      embeddings[i].assign(data + row * dim, data + (row + 1) * dim);
+      cache_.Insert(live[i].request.vertex, fingerprint_, embeddings[i]);
+    }
+  }
+
+  // Scatter-gather each live request across the shards.
+  for (size_t i = 0; i < live.size(); ++i) {
+    Pending& p = live[i];
+    if (p.deadline <= Clock::now()) {
+      stats_.RecordExpired();
+      p.promise.set_value(Status::DeadlineExceeded(
+          "request expired during batch processing"));
+      continue;
+    }
+    const int64_t candidates =
+        std::max(p.request.k, options_.base.probability_candidates);
+    auto query = std::make_shared<const std::vector<float>>(
+        std::move(embeddings[i]));
+    MatchResponse response;
+    response.cache_hit = cached[i];
+    Gather(query, candidates,
+           query_seq_.fetch_add(1, std::memory_order_relaxed), p.deadline,
+           p.request.k, p.request.min_probability, &response);
+    stats_.RecordCompleted(MicrosBetween(p.submitted, Clock::now()));
+    p.promise.set_value(std::move(response));
+  }
+}
+
+bool ShardedMatchService::Dispatch(const std::shared_ptr<ShardCall>& call) {
+  ShardRuntime& rt = *shards_[call->shard];
+  {
+    std::lock_guard<std::mutex> lock(rt.mu);
+    if (static_cast<int64_t>(rt.queue.size()) >=
+        options_.resilience.shard_queue) {
+      return false;  // full queue fails the attempt fast (breaker food)
+    }
+    rt.queue.push_back(call);
+  }
+  rt.cv.notify_one();
+  return true;
+}
+
+int64_t ShardedMatchService::HedgeDelayMicros(int64_t shard) const {
+  const obs::Histogram& h = shards_[shard]->latency_us;
+  if (h.count() >= options_.resilience.hedge_min_samples) {
+    return std::max<int64_t>(1, h.Percentile(0.95));
+  }
+  return options_.resilience.hedge_delay_micros;
+}
+
+int64_t ShardedMatchService::BackoffMicros(int64_t query_seq, int64_t shard,
+                                           int64_t attempt) const {
+  const ResilienceOptions& r = options_.resilience;
+  const int64_t shift = std::min<int64_t>(attempt - 1, 20);
+  const int64_t base =
+      std::min(r.backoff_max_micros, r.backoff_base_micros << shift);
+  const uint64_t h = SplitMix64(
+      r.jitter_seed ^ (static_cast<uint64_t>(query_seq) << 20) ^
+      (static_cast<uint64_t>(shard) << 8) ^ static_cast<uint64_t>(attempt));
+  const int64_t jitter = static_cast<int64_t>(
+      h % static_cast<uint64_t>(std::max<int64_t>(1, r.backoff_base_micros)));
+  return base + jitter;
+}
+
+void ShardedMatchService::Gather(
+    const std::shared_ptr<const std::vector<float>>& query,
+    int64_t candidates, int64_t query_seq, Clock::time_point request_deadline,
+    int64_t k, float min_probability, MatchResponse* response) {
+  CROSSEM_TRACE_SPAN_V(span, "sharded_gather");
+  const ResilienceOptions& res = options_.resilience;
+  const int64_t n_shards = index_->num_shards();
+  auto gather = std::make_shared<GatherState>();
+
+  struct PerShard {
+    std::vector<std::shared_ptr<ShardCall>> inflight;
+    int64_t attempts = 0;
+    bool hedged = false;
+    Clock::time_point next_attempt_at = Clock::time_point::min();
+    Clock::time_point hedge_at = Clock::time_point::max();
+    bool resolved = false;
+    bool success = false;
+    std::vector<eval::ScoredId> results;
+  };
+  std::vector<PerShard> ps(static_cast<size_t>(n_shards));
+  int64_t unresolved = n_shards;
+
+  /// A shard is done (either way): abandon whatever is still in flight.
+  auto resolve = [&](int64_t s, bool success,
+                     std::vector<eval::ScoredId> results) {
+    PerShard& st = ps[static_cast<size_t>(s)];
+    if (st.resolved) return;
+    st.resolved = true;
+    st.success = success;
+    st.results = std::move(results);
+    --unresolved;
+    if (!st.inflight.empty()) {
+      std::lock_guard<std::mutex> lock(gather->mu);
+      for (const std::shared_ptr<ShardCall>& c : st.inflight) {
+        c->abandoned = true;
+      }
+    }
+    st.inflight.clear();
+  };
+
+  auto record_failure = [&](int64_t s, Clock::time_point now, bool corrupt) {
+    const CircuitBreaker::State before = breakers_[s]->state();
+    breakers_[s]->RecordFailure(now);
+    res_->shard_failures.Increment();
+    res_->g_shard_failures->Increment();
+    if (corrupt) {
+      res_->corrupt_rejected.Increment();
+      res_->g_corrupt_rejected->Increment();
+    }
+    if (before != CircuitBreaker::State::kOpen &&
+        breakers_[s]->state() == CircuitBreaker::State::kOpen) {
+      res_->breaker_opens.Increment();
+      res_->g_breaker_opens->Increment();
+    }
+  };
+
+  auto launch = [&](int64_t s, Clock::time_point now, bool is_hedge) {
+    PerShard& st = ps[static_cast<size_t>(s)];
+    auto call = std::make_shared<ShardCall>();
+    call->gather = gather;
+    call->query = query;
+    call->shard = s;
+    call->k = candidates;
+    call->deadline = std::min(
+        now + std::chrono::microseconds(res.attempt_timeout_micros),
+        request_deadline);
+    call->is_hedge = is_hedge;
+    res_->shard_calls.Increment();
+    res_->g_shard_calls->Increment();
+    if (is_hedge) {
+      res_->hedges.Increment();
+      res_->g_hedges->Increment();
+    } else {
+      ++st.attempts;
+      if (st.attempts > 1) {
+        res_->retries.Increment();
+        res_->g_retries->Increment();
+      }
+    }
+    if (Dispatch(call)) {
+      st.inflight.push_back(std::move(call));
+      if (!is_hedge) {
+        st.hedge_at =
+            now + std::chrono::microseconds(HedgeDelayMicros(s));
+      }
+      return true;
+    }
+    record_failure(s, now, /*corrupt=*/false);
+    return false;
+  };
+
+  while (unresolved > 0) {
+    const Clock::time_point now = Clock::now();
+
+    // 1) Launch primaries, retries, and hedges that are due.
+    for (int64_t s = 0; s < n_shards; ++s) {
+      PerShard& st = ps[static_cast<size_t>(s)];
+      if (st.resolved) continue;
+      if (st.inflight.empty()) {
+        if (st.attempts >= res.max_attempts || now >= request_deadline) {
+          resolve(s, false, {});
+          continue;
+        }
+        if (now < st.next_attempt_at) continue;
+        if (!breakers_[s]->AllowRequest(now)) {
+          res_->breaker_skips.Increment();
+          res_->g_breaker_skips->Increment();
+          resolve(s, false, {});
+          continue;
+        }
+        if (!launch(s, now, /*is_hedge=*/false)) {
+          // Full shard queue: back off and retry (attempts counted, so
+          // this terminates).
+          st.next_attempt_at =
+              now + std::chrono::microseconds(
+                        BackoffMicros(query_seq, s, st.attempts));
+        }
+      } else if (res.hedging && !st.hedged && st.inflight.size() == 1 &&
+                 !st.inflight.front()->is_hedge && now >= st.hedge_at) {
+        st.hedged = true;  // one hedge per shard per query, admitted or not
+        if (breakers_[s]->AllowRequest(now)) {
+          launch(s, now, /*is_hedge=*/true);
+        }
+      }
+    }
+    if (unresolved == 0) break;
+
+    // 2) Next instant anything can change without a completion.
+    Clock::time_point wake = request_deadline;
+    for (int64_t s = 0; s < n_shards; ++s) {
+      const PerShard& st = ps[static_cast<size_t>(s)];
+      if (st.resolved) continue;
+      if (st.inflight.empty()) {
+        wake = std::min(wake, st.next_attempt_at);
+      } else {
+        for (const std::shared_ptr<ShardCall>& c : st.inflight) {
+          wake = std::min(wake, c->deadline);
+        }
+        if (res.hedging && !st.hedged && st.inflight.size() == 1) {
+          wake = std::min(wake, st.hedge_at);
+        }
+      }
+    }
+    // Clock granularity guard: never spin on an already-passed instant.
+    wake = std::max(wake, now + std::chrono::microseconds(100));
+
+    // 3) Wait for a completion (or the wake time), then collect
+    //    completions and expire timed-out attempts under the gather
+    //    lock.
+    struct Outcome {
+      int64_t shard;
+      bool ok;
+      bool is_hedge;
+      bool timed_out;
+      int64_t latency_us;
+      std::vector<eval::ScoredId> results;
+    };
+    std::vector<Outcome> outcomes;
+    {
+      std::unique_lock<std::mutex> lock(gather->mu);
+      gather->cv.wait_until(lock, wake, [&] {
+        for (int64_t s = 0; s < n_shards; ++s) {
+          for (const std::shared_ptr<ShardCall>& c :
+               ps[static_cast<size_t>(s)].inflight) {
+            if (c->done) return true;
+          }
+        }
+        return false;
+      });
+      const Clock::time_point now2 = Clock::now();
+      for (int64_t s = 0; s < n_shards; ++s) {
+        std::vector<std::shared_ptr<ShardCall>>& fl =
+            ps[static_cast<size_t>(s)].inflight;
+        for (size_t i = 0; i < fl.size();) {
+          ShardCall& c = *fl[i];
+          if (c.done) {
+            outcomes.push_back(Outcome{s, c.ok, c.is_hedge, false,
+                                       c.latency_us, std::move(c.results)});
+            fl.erase(fl.begin() + static_cast<int64_t>(i));
+          } else if (c.deadline <= now2) {
+            c.abandoned = true;  // a late worker reply is discarded
+            outcomes.push_back(Outcome{s, false, c.is_hedge, true, 0, {}});
+            fl.erase(fl.begin() + static_cast<int64_t>(i));
+          } else {
+            ++i;
+          }
+        }
+      }
+    }
+
+    // 4) Apply the outcomes.
+    for (Outcome& o : outcomes) {
+      PerShard& st = ps[static_cast<size_t>(o.shard)];
+      if (st.resolved) continue;  // late sibling of a resolved shard
+      const Clock::time_point onow = Clock::now();
+      const bool valid =
+          o.ok && ValidateShardResults(o.results, index_->size());
+      if (valid) {
+        breakers_[o.shard]->RecordSuccess();
+        shards_[o.shard]->latency_us.Record(std::max<int64_t>(
+            1, o.latency_us));
+        res_->g_shard_latency_us->Record(std::max<int64_t>(1, o.latency_us));
+        if (o.is_hedge) {
+          res_->hedge_wins.Increment();
+          res_->g_hedge_wins->Increment();
+        }
+        resolve(o.shard, true, std::move(o.results));
+        continue;
+      }
+      record_failure(o.shard, onow, /*corrupt=*/o.ok && !o.timed_out);
+      if (st.inflight.empty()) {
+        if (st.attempts >= res.max_attempts || onow >= request_deadline) {
+          resolve(o.shard, false, {});
+        } else {
+          st.next_attempt_at =
+              onow + std::chrono::microseconds(
+                         BackoffMicros(query_seq, o.shard, st.attempts));
+        }
+      }
+      // A sibling still in flight keeps the shard's hopes alive.
+    }
+  }
+
+  // Merge whatever the healthy shards produced. Parts arrive in shard
+  // order; MergeTopK's (score desc, id asc) order makes the result
+  // independent of that ordering anyway.
+  std::vector<std::vector<eval::ScoredId>> parts;
+  int64_t covered_rows = 0;
+  for (int64_t s = 0; s < n_shards; ++s) {
+    PerShard& st = ps[static_cast<size_t>(s)];
+    if (!st.success) continue;
+    covered_rows += index_->shard_size(s);
+    parts.push_back(std::move(st.results));
+  }
+  const int64_t total_rows = index_->size();
+  response->coverage =
+      total_rows == 0
+          ? 1.0
+          : static_cast<double>(covered_rows) / static_cast<double>(total_rows);
+  response->degraded = covered_rows < total_rows;
+  if (response->degraded) {
+    res_->degraded_responses.Increment();
+    res_->g_degraded->Increment();
+  }
+  res_->g_coverage_percent->Record(
+      static_cast<int64_t>(response->coverage * 100.0 + 0.5));
+  span.Arg("coverage_pct",
+           static_cast<int64_t>(response->coverage * 100.0 + 0.5));
+
+  std::vector<eval::ScoredId> found = eval::MergeTopK(parts, candidates);
+  internal::AppendRankedMatches(found, index_->ids(), k, min_probability,
+                                temperature_, &response->matches);
+}
+
+void ShardedMatchService::ShardWorkerLoop(int64_t shard) {
+  ShardRuntime& rt = *shards_[shard];
+  for (;;) {
+    std::shared_ptr<ShardCall> call;
+    {
+      std::unique_lock<std::mutex> lock(rt.mu);
+      rt.cv.wait(lock, [&] {
+        return shard_shutdown_.load(std::memory_order_relaxed) ||
+               !rt.queue.empty();
+      });
+      if (rt.queue.empty()) return;  // shutdown, drained
+      call = std::move(rt.queue.front());
+      rt.queue.pop_front();
+    }
+    {
+      std::lock_guard<std::mutex> lock(call->gather->mu);
+      if (call->abandoned) continue;  // nobody is waiting anymore
+    }
+
+    const fault::ShardFaultAction action = fault::OnShardCall(shard);
+    if (action.mode == fault::ShardFaultMode::kStuck) {
+      // Hold this worker hostage until the caller gives up (or the
+      // service shuts down) — the stuck-shard drill.
+      for (;;) {
+        if (shard_shutdown_.load(std::memory_order_relaxed)) break;
+        {
+          std::lock_guard<std::mutex> lock(call->gather->mu);
+          if (call->abandoned) break;
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+      continue;
+    }
+    if (action.mode == fault::ShardFaultMode::kDrop) {
+      continue;  // discarded without a reply; the caller times out
+    }
+    if (action.mode == fault::ShardFaultMode::kDelay) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(action.delay_ms));
+    }
+
+    const Clock::time_point start = Clock::now();
+    std::vector<eval::ScoredId> results = index_->SearchShard(
+        shard, call->query->data(), call->k, call->deadline);
+    const Clock::time_point end = Clock::now();
+    // A search that ran past its deadline may have early-exited with an
+    // incomplete scan; delivering it as a success would silently shrink
+    // coverage. Late == failed.
+    bool ok = end <= call->deadline;
+    if (action.mode == fault::ShardFaultMode::kCorrupt) {
+      // Deterministic garbage: monotone map keeps the order plausible
+      // while the magnitude breaks the |score| <= 1 invariant the
+      // coordinator validates.
+      for (eval::ScoredId& r : results) r.score = r.score * 3.0f + 4.0f;
+      ok = true;
+    }
+
+    {
+      std::lock_guard<std::mutex> lock(call->gather->mu);
+      if (!call->abandoned) {
+        call->done = true;
+        call->ok = ok;
+        call->results = std::move(results);
+        call->latency_us = MicrosBetween(start, end);
+      }
+    }
+    call->gather->cv.notify_all();
+  }
+}
+
+ResilienceStats ShardedMatchService::ResilienceSnapshot() const {
+  ResilienceStats s;
+  s.shard_calls = res_->shard_calls.Value();
+  s.shard_failures = res_->shard_failures.Value();
+  s.retries = res_->retries.Value();
+  s.hedges = res_->hedges.Value();
+  s.hedge_wins = res_->hedge_wins.Value();
+  s.breaker_opens = res_->breaker_opens.Value();
+  s.breaker_skips = res_->breaker_skips.Value();
+  s.corrupt_rejected = res_->corrupt_rejected.Value();
+  s.degraded_responses = res_->degraded_responses.Value();
+  s.breaker_states.reserve(breakers_.size());
+  for (const std::unique_ptr<CircuitBreaker>& b : breakers_) {
+    s.breaker_states.push_back(b->state());
+  }
+  return s;
+}
+
+std::string ResilienceStats::ToString() const {
+  std::string states;
+  for (CircuitBreaker::State st : breaker_states) {
+    if (!states.empty()) states += ',';
+    states += st == CircuitBreaker::State::kClosed     ? "closed"
+              : st == CircuitBreaker::State::kOpen     ? "open"
+                                                       : "half-open";
+  }
+  char buf[512];
+  std::snprintf(
+      buf, sizeof(buf),
+      "shard_calls=%lld failures=%lld retries=%lld hedges=%lld "
+      "hedge_wins=%lld breaker(opens=%lld, skips=%lld, states=[%s]) "
+      "corrupt_rejected=%lld degraded=%lld",
+      static_cast<long long>(shard_calls),
+      static_cast<long long>(shard_failures),
+      static_cast<long long>(retries), static_cast<long long>(hedges),
+      static_cast<long long>(hedge_wins),
+      static_cast<long long>(breaker_opens),
+      static_cast<long long>(breaker_skips), states.c_str(),
+      static_cast<long long>(corrupt_rejected),
+      static_cast<long long>(degraded_responses));
+  return buf;
+}
+
+}  // namespace serve
+}  // namespace crossem

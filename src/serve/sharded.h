@@ -1,0 +1,339 @@
+// Resilient sharded serving: scatter-gather over hash-partitioned index
+// shards with a per-shard resilience envelope.
+//
+// A ShardedIndex splits one embedding repository into N independent
+// backends (FlatIndex or HnswIndex each): global row r lands on shard
+// SplitMix64(hash_seed ^ r) % N, and every shard remembers its rows'
+// global ids in ascending order. Because rows are copied verbatim
+// (AddPreNormalized — no re-normalization) and per-shard results map
+// back to ascending global ids, merging per-shard flat top-k lists with
+// eval::MergeTopK reproduces the unsharded flat scan bit for bit: the
+// tie order (score desc, id asc) is the global one.
+//
+// ShardedMatchService is the scatter-gather engine on top. Its front
+// half is MatchService's: bounded queue, micro-batched encoding, the
+// fingerprint-keyed embedding cache. The back half fans each query out
+// to every shard worker and wraps each shard call in:
+//
+//   * deadline propagation — every attempt carries
+//     min(now + attempt_timeout, request deadline); shard searches
+//     early-exit once it passes and late results are never delivered;
+//   * bounded retries — up to max_attempts per shard, exponential
+//     backoff capped at backoff_max plus deterministic SplitMix64
+//     jitter keyed (jitter_seed, query seq, shard, attempt);
+//   * hedging — a duplicate request to the same shard once the primary
+//     outlives the shard's observed p95 latency (a fixed delay until
+//     hedge_min_samples observations exist); first response wins;
+//   * a circuit breaker per shard — closed -> open after
+//     breaker_failure_threshold consecutive failures, half-open after
+//     breaker_cooldown with a single probe; open shards are skipped
+//     without burning the request's time budget.
+//
+// Shard responses are validated before they count (scores finite,
+// |score| bounded, order sorted, ids in range) so a corrupt-scores
+// fault is a shard failure, not a wrong answer. Failed or skipped
+// shards degrade the response instead of failing it: MatchResponse
+// carries coverage (row-weighted fraction of the repository actually
+// searched) and a degraded flag, and the query succeeds with whatever
+// the healthy shards returned. Every retry / hedge / breaker /
+// coverage event lands in obs::MetricsRegistry::Default() under
+// crossem_shard_* / crossem_serve_coverage_percent.
+#ifndef CROSSEM_SERVE_SHARDED_H_
+#define CROSSEM_SERVE_SHARDED_H_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/crossem.h"
+#include "serve/cache.h"
+#include "serve/index.h"
+#include "serve/service.h"
+#include "serve/stats.h"
+#include "util/status.h"
+
+namespace crossem {
+namespace serve {
+
+// -- ShardedIndex ------------------------------------------------------------
+
+struct ShardedIndexOptions {
+  int64_t num_shards = 4;
+  /// Backend of every shard: "flat" or "hnsw".
+  std::string backend = "flat";
+  /// Row -> shard hash seed (part of the sharding identity).
+  uint64_t hash_seed = 0x5eed0;
+  /// Per-shard construction parameters for the hnsw backend.
+  HnswOptions hnsw;
+};
+
+/// One embedding repository hash-partitioned into independent shards.
+class ShardedIndex {
+ public:
+  /// Splits `source` by row hash; rows are copied verbatim so shard
+  /// vectors stay bitwise-identical to the source's.
+  static Result<std::unique_ptr<ShardedIndex>> Partition(
+      const EmbeddingIndex& source, const ShardedIndexOptions& options);
+
+  int64_t num_shards() const {
+    return static_cast<int64_t>(shards_.size());
+  }
+  int64_t size() const { return static_cast<int64_t>(ids_.size()); }
+  int64_t dim() const { return dim_; }
+  uint32_t model_fingerprint() const { return model_fingerprint_; }
+  /// External image ids in GLOBAL row order (same as the source's).
+  const std::vector<std::string>& ids() const { return ids_; }
+
+  const EmbeddingIndex& shard(int64_t s) const { return *shards_[s]; }
+  int64_t shard_size(int64_t s) const {
+    return static_cast<int64_t>(global_rows_[s].size());
+  }
+
+  /// Top-k of one shard with ids mapped to GLOBAL rows, best first.
+  /// The mapping is ascending, so the list stays RanksBefore-sorted.
+  std::vector<eval::ScoredId> SearchShard(int64_t s, const float* query,
+                                          int64_t k,
+                                          SearchDeadline deadline) const;
+
+ private:
+  ShardedIndex() = default;
+
+  int64_t dim_ = 0;
+  uint32_t model_fingerprint_ = 0;
+  std::vector<std::string> ids_;  // global row order
+  std::vector<std::unique_ptr<EmbeddingIndex>> shards_;
+  std::vector<std::vector<int64_t>> global_rows_;  // per shard, ascending
+};
+
+/// True when a shard response is structurally sound: every score finite
+/// with |score| <= 1.0001 (cosine of unit vectors), ids in
+/// [0, num_rows), and the list RanksBefore-sorted. The scatter-gather
+/// layer treats a failed validation as a shard failure.
+bool ValidateShardResults(const std::vector<eval::ScoredId>& results,
+                          int64_t num_rows);
+
+// -- Circuit breaker ---------------------------------------------------------
+
+/// Per-shard closed/open/half-open breaker. All mutation happens on the
+/// coordinator thread; state() is an atomic snapshot for monitors.
+class CircuitBreaker {
+ public:
+  enum class State : int { kClosed = 0, kOpen = 1, kHalfOpen = 2 };
+
+  CircuitBreaker(int64_t failure_threshold, int64_t cooldown_micros)
+      : failure_threshold_(failure_threshold),
+        cooldown_(std::chrono::microseconds(cooldown_micros)) {}
+
+  /// True when a request (or probe) may be sent now. An open breaker
+  /// past its cooldown flips to half-open and admits exactly one probe;
+  /// further calls are denied until that probe resolves.
+  bool AllowRequest(std::chrono::steady_clock::time_point now);
+
+  /// The admitted request succeeded: close (and reset the failure run).
+  void RecordSuccess();
+
+  /// The admitted request failed: extend the failure run; at the
+  /// threshold (or on a failed half-open probe) the breaker opens.
+  void RecordFailure(std::chrono::steady_clock::time_point now);
+
+  State state() const {
+    return static_cast<State>(state_.load(std::memory_order_relaxed));
+  }
+  int64_t opens() const { return opens_.load(std::memory_order_relaxed); }
+
+ private:
+  void SetState(State s) {
+    state_.store(static_cast<int>(s), std::memory_order_relaxed);
+  }
+
+  const int64_t failure_threshold_;
+  const std::chrono::microseconds cooldown_;
+  std::atomic<int> state_{static_cast<int>(State::kClosed)};
+  int64_t consecutive_failures_ = 0;
+  std::atomic<int64_t> opens_{0};
+  bool probe_in_flight_ = false;
+  std::chrono::steady_clock::time_point opened_at_{};
+};
+
+// -- ShardedMatchService -----------------------------------------------------
+
+struct ResilienceOptions {
+  /// Bounded per-shard task queue; a full queue fails the attempt
+  /// immediately (breaker food) instead of blocking the coordinator.
+  int64_t shard_queue = 128;
+  /// Search threads per shard. >= 2 lets a hedge overtake a slow or
+  /// stuck primary on the same shard.
+  int64_t workers_per_shard = 2;
+  /// Per-attempt time budget; the effective attempt deadline is
+  /// min(now + this, request deadline).
+  int64_t attempt_timeout_micros = 50000;
+  /// Attempts per shard per query (1 = no retries). Hedges don't count.
+  int64_t max_attempts = 3;
+  /// Exponential backoff between attempts: min(max, base << (n-1)) plus
+  /// deterministic jitter in [0, base).
+  int64_t backoff_base_micros = 2000;
+  int64_t backoff_max_micros = 20000;
+  /// Jitter hash seed (reproducible chaos drills).
+  uint64_t jitter_seed = 0x7edbeef;
+  /// Hedged second requests: enabled, the coordinator duplicates an
+  /// attempt that outlives the shard's observed p95 latency. Until
+  /// hedge_min_samples latencies are recorded the fixed
+  /// hedge_delay_micros applies.
+  bool hedging = true;
+  int64_t hedge_delay_micros = 20000;
+  int64_t hedge_min_samples = 32;
+  /// Circuit breaker: consecutive failures to open, cooldown before the
+  /// half-open probe.
+  int64_t breaker_failure_threshold = 3;
+  int64_t breaker_cooldown_micros = 250000;
+};
+
+struct ShardedServiceOptions {
+  /// Front-end knobs (queue, batching, cache, probability candidates) —
+  /// the same contract as MatchService.
+  MatchServiceOptions base;
+  ResilienceOptions resilience;
+};
+
+/// Counters of the resilience envelope since service start, plus the
+/// instantaneous per-shard breaker states.
+struct ResilienceStats {
+  int64_t shard_calls = 0;     // attempts dispatched (incl. hedges)
+  int64_t shard_failures = 0;  // failed / timed-out / invalid attempts
+  int64_t retries = 0;
+  int64_t hedges = 0;
+  int64_t hedge_wins = 0;      // hedge resolved its shard first
+  int64_t breaker_opens = 0;
+  int64_t breaker_skips = 0;   // shard skipped while breaker open
+  int64_t corrupt_rejected = 0;
+  int64_t degraded_responses = 0;
+  std::vector<CircuitBreaker::State> breaker_states;  // per shard
+
+  std::string ToString() const;
+};
+
+/// Scatter-gather MatchService over a ShardedIndex. Same request and
+/// admission contract as MatchService; responses additionally carry
+/// coverage/degraded. Queries never fail because shards do.
+class ShardedMatchService {
+ public:
+  /// `matcher` and `index` are borrowed and must outlive the service.
+  ShardedMatchService(const core::CrossEm* matcher, const ShardedIndex* index,
+                      ShardedServiceOptions options);
+  ~ShardedMatchService();  // implies Shutdown()
+
+  ShardedMatchService(const ShardedMatchService&) = delete;
+  ShardedMatchService& operator=(const ShardedMatchService&) = delete;
+
+  std::future<Result<MatchResponse>> Submit(const MatchRequest& request);
+  Result<MatchResponse> Match(const MatchRequest& request);
+
+  /// Stop admitting, drain queued requests, join coordinator and shard
+  /// workers. Idempotent.
+  void Shutdown();
+
+  ServiceStats Snapshot() const { return stats_.Snapshot(); }
+  ResilienceStats ResilienceSnapshot() const;
+  const EmbeddingCache& cache() const { return cache_; }
+  CircuitBreaker::State breaker_state(int64_t shard) const {
+    return breakers_[shard]->state();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  struct Pending {
+    MatchRequest request;
+    std::promise<Result<MatchResponse>> promise;
+    Clock::time_point submitted;
+    Clock::time_point deadline;  // time_point::max() when none
+  };
+
+  /// Per-request gather rendezvous, shared (via shared_ptr) with every
+  /// attempt so an abandoned attempt outliving the request stays safe.
+  struct GatherState {
+    std::mutex mu;
+    std::condition_variable cv;
+  };
+
+  /// One dispatched shard attempt. Outcome fields are guarded by
+  /// gather->mu; the worker sets them exactly once.
+  struct ShardCall {
+    std::shared_ptr<GatherState> gather;
+    std::shared_ptr<const std::vector<float>> query;
+    int64_t shard = 0;
+    int64_t k = 0;
+    Clock::time_point deadline;  // per-attempt
+    bool is_hedge = false;
+
+    bool done = false;
+    bool ok = false;
+    std::vector<eval::ScoredId> results;  // GLOBAL ids
+    int64_t latency_us = 0;
+    bool abandoned = false;  // coordinator stopped caring
+  };
+
+  struct ShardRuntime {
+    std::mutex mu;
+    std::condition_variable cv;
+    std::deque<std::shared_ptr<ShardCall>> queue;
+    std::vector<std::thread> workers;
+    /// Observed attempt latencies; drives the adaptive hedge delay.
+    obs::Histogram latency_us;
+  };
+
+  void CoordinatorLoop();
+  void ProcessBatch(std::vector<Pending> batch);
+  /// Scatter one query across the shards, gather with the resilience
+  /// envelope, and fill matches/coverage/degraded of `response`.
+  void Gather(const std::shared_ptr<const std::vector<float>>& query,
+              int64_t candidates, int64_t query_seq,
+              Clock::time_point request_deadline, int64_t k,
+              float min_probability, MatchResponse* response);
+  /// False when the shard queue is full (the attempt fails fast).
+  bool Dispatch(const std::shared_ptr<ShardCall>& call);
+  void ShardWorkerLoop(int64_t shard);
+  int64_t HedgeDelayMicros(int64_t shard) const;
+  int64_t BackoffMicros(int64_t query_seq, int64_t shard,
+                        int64_t attempt) const;
+
+  const core::CrossEm* matcher_;
+  const ShardedIndex* index_;
+  const ShardedServiceOptions options_;
+  const uint32_t fingerprint_;
+  const float temperature_;
+
+  EmbeddingCache cache_;
+  StatsCollector stats_;
+
+  // Resilience accounting: per-service instruments backing the exact
+  // ResilienceStats snapshot, double-written into the process-wide
+  // registry (resolved once at construction).
+  struct ResilienceInstruments;
+  std::unique_ptr<ResilienceInstruments> res_;
+
+  std::vector<std::unique_ptr<CircuitBreaker>> breakers_;
+  std::vector<std::unique_ptr<ShardRuntime>> shards_;
+  std::atomic<bool> shard_shutdown_{false};
+  std::atomic<int64_t> query_seq_{0};
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<Pending> queue_;
+  bool shutdown_ = false;
+  bool joined_ = false;
+  std::thread coordinator_;
+};
+
+}  // namespace serve
+}  // namespace crossem
+
+#endif  // CROSSEM_SERVE_SHARDED_H_

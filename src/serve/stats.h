@@ -72,6 +72,10 @@ class StatsCollector {
                    int64_t cache_misses);
   void RecordCompleted(int64_t latency_us);
 
+  /// Median end-to-end latency so far (0 before any completion) —
+  /// backs the queue-full retry-after hint without a full Snapshot.
+  int64_t LatencyP50Us() const { return latency_us_.Percentile(0.50); }
+
   ServiceStats Snapshot() const;
 
  private:

@@ -29,10 +29,19 @@ struct FaultState {
   // Any op armed? Checked lock-free on the hot path.
   std::atomic<bool> armed{false};
 
+  // Serve-shard plan: armed specs in arm order, per-shard call counters
+  // (grown on demand), total injected count. serve_armed is the
+  // lock-free hot-path gate mirroring `armed`.
+  std::vector<ShardFaultSpec> shard_specs;
+  std::vector<int64_t> shard_calls;
+  int64_t shard_injected = 0;
+  std::atomic<bool> serve_armed{false};
+
   void RecomputeArmed() {
     bool any = false;
     for (const OpPlan& p : plans) any = any || p.fail_at > 0;
     armed.store(any, std::memory_order_relaxed);
+    serve_armed.store(!shard_specs.empty(), std::memory_order_relaxed);
   }
 };
 
@@ -68,6 +77,105 @@ Result<FileOp> ParseOpName(const std::string& name) {
   return Status::InvalidArgument("unknown file op '" + name + "'");
 }
 
+// SplitMix64 finalizer; drives the deterministic p= form so the same
+// (shard, call index) pair always resolves the same way.
+uint64_t MixBits(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+Result<int64_t> ParseIntAtLeast(const std::string& text, int64_t floor,
+                                const std::string& entry) {
+  if (text.empty() ||
+      text.find_first_not_of("0123456789") != std::string::npos) {
+    return Status::InvalidArgument("fault spec entry '" + entry +
+                                   "' has a bad number '" + text + "'");
+  }
+  const int64_t value = std::atoll(text.c_str());
+  if (value < floor) {
+    return Status::InvalidArgument("fault spec entry '" + entry +
+                                   "' needs a number >= " +
+                                   std::to_string(floor) + ", got '" + text +
+                                   "'");
+  }
+  return value;
+}
+
+// Parses "serve_shard:MODE[:MODIFIER]..." (the op name is already
+// stripped by the caller; `body` starts at MODE).
+Result<ShardFaultSpec> ParseShardEntry(const std::string& body,
+                                       const std::string& entry) {
+  ShardFaultSpec spec;
+  int occurrence_modifiers = 0;
+  size_t pos = 0;
+  bool first = true;
+  while (pos <= body.size()) {
+    size_t colon = body.find(':', pos);
+    if (colon == std::string::npos) colon = body.size();
+    const std::string seg = body.substr(pos, colon - pos);
+    pos = colon + 1;
+    if (seg.empty()) {
+      return Status::InvalidArgument("fault spec entry '" + entry +
+                                     "' has an empty segment");
+    }
+    const size_t eq = seg.find('=');
+    const std::string key = seg.substr(0, eq);
+    const std::string val =
+        eq == std::string::npos ? std::string() : seg.substr(eq + 1);
+    if (first) {
+      first = false;
+      if (key == "delay_ms") {
+        spec.mode = ShardFaultMode::kDelay;
+        CROSSEM_ASSIGN_OR_RETURN(spec.delay_ms,
+                                 ParseIntAtLeast(val, 1, entry));
+      } else if (seg == "drop") {
+        spec.mode = ShardFaultMode::kDrop;
+      } else if (seg == "corrupt") {
+        spec.mode = ShardFaultMode::kCorrupt;
+      } else if (seg == "stuck") {
+        spec.mode = ShardFaultMode::kStuck;
+      } else {
+        return Status::InvalidArgument("fault spec entry '" + entry +
+                                       "' has unknown mode '" + seg + "'");
+      }
+    } else if (key == "shard") {
+      CROSSEM_ASSIGN_OR_RETURN(spec.shard, ParseIntAtLeast(val, 0, entry));
+    } else if (key == "every") {
+      ++occurrence_modifiers;
+      CROSSEM_ASSIGN_OR_RETURN(spec.every, ParseIntAtLeast(val, 1, entry));
+    } else if (key == "nth") {
+      ++occurrence_modifiers;
+      std::string count = val;
+      if (!count.empty() && count.back() == '+') {
+        spec.sticky = true;
+        count.pop_back();
+      }
+      CROSSEM_ASSIGN_OR_RETURN(spec.nth, ParseIntAtLeast(count, 1, entry));
+    } else if (key == "p") {
+      ++occurrence_modifiers;
+      char* end = nullptr;
+      spec.probability = std::strtod(val.c_str(), &end);
+      if (val.empty() || end == nullptr || *end != '\0' ||
+          spec.probability < 0.0 || spec.probability > 1.0) {
+        return Status::InvalidArgument("fault spec entry '" + entry +
+                                       "' needs p in [0,1], got '" + val +
+                                       "'");
+      }
+    } else {
+      return Status::InvalidArgument("fault spec entry '" + entry +
+                                     "' has unknown modifier '" + seg + "'");
+    }
+    if (pos > body.size()) break;
+  }
+  if (occurrence_modifiers > 1) {
+    return Status::InvalidArgument("fault spec entry '" + entry +
+                                   "' sets more than one of every/nth/p");
+  }
+  return spec;
+}
+
 }  // namespace
 
 const char* FileOpName(FileOp op) {
@@ -97,6 +205,9 @@ void Clear() {
   FaultState& s = State();
   std::lock_guard<std::mutex> lock(s.mu);
   for (OpPlan& p : s.plans) p = OpPlan{};
+  s.shard_specs.clear();
+  s.shard_calls.clear();
+  s.shard_injected = 0;
   s.RecomputeArmed();
 }
 
@@ -120,6 +231,7 @@ Status ArmFromSpec(const std::string& spec) {
     bool sticky;
   };
   std::vector<Parsed> parsed;
+  std::vector<ShardFaultSpec> shard_parsed;
   size_t pos = 0;
   while (pos < spec.size()) {
     size_t comma = spec.find(',', pos);
@@ -131,6 +243,12 @@ Status ArmFromSpec(const std::string& spec) {
     if (colon == std::string::npos) {
       return Status::InvalidArgument("fault spec entry '" + entry +
                                      "' lacks ':'");
+    }
+    if (entry.compare(0, colon, "serve_shard") == 0) {
+      auto shard_spec = ParseShardEntry(entry.substr(colon + 1), entry);
+      if (!shard_spec.ok()) return shard_spec.status();
+      shard_parsed.push_back(shard_spec.value());
+      continue;
     }
     auto op = ParseOpName(entry.substr(0, colon));
     if (!op.ok()) return op.status();
@@ -153,6 +271,7 @@ Status ArmFromSpec(const std::string& spec) {
     parsed.push_back(Parsed{op.value(), nth, sticky});
   }
   for (const Parsed& p : parsed) FailOn(p.op, p.nth, p.sticky);
+  for (const ShardFaultSpec& s : shard_parsed) ArmShardFault(s);
   return Status::OK();
 }
 
@@ -168,6 +287,71 @@ bool ShouldFail(FileOp op) {
       p.sticky ? p.calls >= p.fail_at : p.calls == p.fail_at;
   if (fail) ++p.injected;
   return fail;
+}
+
+const char* ShardFaultModeName(ShardFaultMode mode) {
+  switch (mode) {
+    case ShardFaultMode::kNone: return "none";
+    case ShardFaultMode::kDelay: return "delay";
+    case ShardFaultMode::kDrop: return "drop";
+    case ShardFaultMode::kCorrupt: return "corrupt";
+    case ShardFaultMode::kStuck: return "stuck";
+  }
+  return "?";
+}
+
+void ArmShardFault(const ShardFaultSpec& spec) {
+  CROSSEM_CHECK(spec.mode != ShardFaultMode::kNone);
+  FaultState& s = State();
+  std::lock_guard<std::mutex> lock(s.mu);
+  s.shard_specs.push_back(spec);
+  s.RecomputeArmed();
+}
+
+ShardFaultAction OnShardCall(int64_t shard) {
+  EnsureEnvLoaded();
+  CROSSEM_CHECK_GE(shard, 0);
+  FaultState& s = State();
+  if (!s.serve_armed.load(std::memory_order_relaxed)) return {};
+  std::lock_guard<std::mutex> lock(s.mu);
+  if (static_cast<size_t>(shard) >= s.shard_calls.size()) {
+    s.shard_calls.resize(static_cast<size_t>(shard) + 1, 0);
+  }
+  const int64_t call = ++s.shard_calls[static_cast<size_t>(shard)];
+  for (const ShardFaultSpec& spec : s.shard_specs) {
+    if (spec.shard >= 0 && spec.shard != shard) continue;
+    bool fire = true;
+    if (spec.every > 0) {
+      fire = call % spec.every == 0;
+    } else if (spec.nth > 0) {
+      fire = spec.sticky ? call >= spec.nth : call == spec.nth;
+    } else if (spec.probability >= 0.0) {
+      const uint64_t h =
+          MixBits((static_cast<uint64_t>(shard) << 32) ^
+                  static_cast<uint64_t>(call));
+      // Top 53 bits -> uniform double in [0, 1).
+      fire = static_cast<double>(h >> 11) * 0x1.0p-53 < spec.probability;
+    }
+    if (!fire) continue;
+    ++s.shard_injected;
+    return ShardFaultAction{spec.mode, spec.delay_ms};
+  }
+  return {};
+}
+
+int64_t ShardCallCount(int64_t shard) {
+  FaultState& s = State();
+  std::lock_guard<std::mutex> lock(s.mu);
+  if (shard < 0 || static_cast<size_t>(shard) >= s.shard_calls.size()) {
+    return 0;
+  }
+  return s.shard_calls[static_cast<size_t>(shard)];
+}
+
+int64_t ShardFaultInjectedCount() {
+  FaultState& s = State();
+  std::lock_guard<std::mutex> lock(s.mu);
+  return s.shard_injected;
 }
 
 }  // namespace fault

@@ -16,6 +16,25 @@
 //     (fail the nth and every later call). Parsed once, on the first
 //     wrapped call. Ops: open, read, write, flush, rename, remove.
 //
+// Serve-side faults (sharded scatter-gather chaos drills) live in the
+// same plan under the `serve_shard` pseudo-op. Each shard worker calls
+// fault::OnShardCall(shard) per search task and applies the returned
+// action: added latency, dropped reply, corrupted scores, or a stuck
+// (never-replying) worker. Spec grammar, colon-separated:
+//
+//   serve_shard:MODE[:MODIFIER]...
+//     MODE      = delay_ms=N | drop | corrupt | stuck
+//     MODIFIER  = shard=S    (only shard S; default every shard)
+//               | every=K    (every Kth call of an applicable shard)
+//               | nth=K[+]   (the Kth call, '+' = and every later one)
+//               | p=F        (deterministic pseudo-random fraction F)
+//
+// e.g. "serve_shard:delay_ms=50:every=3,serve_shard:stuck:shard=2".
+// Occurrence modifiers count per shard, so schedules are deterministic
+// for a fixed per-shard call sequence; the p= form hashes (shard, call
+// index) — also reproducible, no RNG stream involved. Programmatic
+// arming goes through fault::ArmShardFault.
+//
 // The plan is disarmed by default; production binaries pay one relaxed
 // atomic load per wrapped call. This is a test hook, not a chaos-monkey:
 // counters are process-wide, so tests that arm faults should run the
@@ -68,6 +87,51 @@ Status ArmFromSpec(const std::string& spec);
 /// Counts a call of `op` against the plan; true when this call must fail.
 /// Used by the io wrappers; tests normally don't call it directly.
 bool ShouldFail(FileOp op);
+
+// -- Serve-side shard faults -------------------------------------------------
+
+/// What a shard worker does to an afflicted search task.
+enum class ShardFaultMode : int {
+  kNone = 0,
+  kDelay,    // add delay_ms of latency before answering
+  kDrop,     // discard the task without replying (caller times out)
+  kCorrupt,  // answer with garbage scores (caller-side validation food)
+  kStuck,    // never reply; hold the worker until the call is abandoned
+};
+
+/// "delay", "drop", "corrupt", "stuck" (for specs and messages).
+const char* ShardFaultModeName(ShardFaultMode mode);
+
+/// One armed serve-shard fault. Default-constructed modifiers mean
+/// "every call of every shard"; at most one of every/nth/probability
+/// may be set.
+struct ShardFaultSpec {
+  ShardFaultMode mode = ShardFaultMode::kNone;
+  int64_t delay_ms = 0;       // kDelay only
+  int64_t shard = -1;         // restrict to one shard; -1 = all shards
+  int64_t every = 0;          // fire on every Kth applicable call (per shard)
+  int64_t nth = 0;            // fire on the Kth applicable call...
+  bool sticky = false;        // ...and every later one when sticky
+  double probability = -1.0;  // fire on a deterministic hash fraction
+};
+
+/// Appends `spec` to the serve-fault plan (specs are consulted in arm
+/// order; the first match decides the action). Resets no counters.
+void ArmShardFault(const ShardFaultSpec& spec);
+
+/// Counts a search call on `shard` against the plan and returns the
+/// action to apply (mode kNone when healthy). Thread-safe.
+struct ShardFaultAction {
+  ShardFaultMode mode = ShardFaultMode::kNone;
+  int64_t delay_ms = 0;
+};
+ShardFaultAction OnShardCall(int64_t shard);
+
+/// Calls observed on `shard` since the last Clear().
+int64_t ShardCallCount(int64_t shard);
+
+/// Serve faults injected (all shards, all modes) since the last Clear().
+int64_t ShardFaultInjectedCount();
 
 }  // namespace fault
 

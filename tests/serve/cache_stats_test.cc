@@ -1,6 +1,8 @@
 // The serving cache (LRU + fingerprint keying) and the observability
 // layer (log2 histograms, stats snapshots).
+#include <atomic>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "gtest/gtest.h"
@@ -57,6 +59,65 @@ TEST(EmbeddingCacheTest, ZeroCapacityDisables) {
   EXPECT_EQ(cache.size(), 0);
   EXPECT_EQ(cache.hits(), 0);
   EXPECT_EQ(cache.misses(), 1);
+}
+
+TEST(EmbeddingCacheTest, FingerprintChangeEvictsOldEntriesViaLru) {
+  // A retune does not need an invalidation broadcast: old-fingerprint
+  // entries stop being hit, so ordinary LRU churn under the new
+  // fingerprint washes them out of a bounded cache.
+  EmbeddingCache cache(4);
+  for (graph::VertexId v = 0; v < 4; ++v) cache.Insert(v, 100, Emb(v));
+  EXPECT_EQ(cache.size(), 4);
+  // Model retuned: same vertices, new fingerprint.
+  for (graph::VertexId v = 0; v < 4; ++v) cache.Insert(v, 200, Emb(v + 10));
+  EXPECT_EQ(cache.size(), 4);  // capacity held, old generation evicted
+  std::vector<float> out;
+  for (graph::VertexId v = 0; v < 4; ++v) {
+    EXPECT_FALSE(cache.Lookup(v, 100, &out)) << "stale hit v" << v;
+    ASSERT_TRUE(cache.Lookup(v, 200, &out));
+    EXPECT_EQ(out, Emb(v + 10));
+  }
+}
+
+TEST(EmbeddingCacheTest, LruHoldsUnderConcurrentChurn) {
+  // Many threads hammer one small cache with overlapping keys across
+  // two fingerprints. Invariants that must hold regardless of
+  // interleaving: size never exceeds capacity, every hit returns the
+  // exact value inserted for that (vertex, fingerprint), and the
+  // hit/miss tallies equal the number of lookups.
+  constexpr int64_t kCapacity = 16;
+  constexpr int kThreads = 8;
+  constexpr int kOpsPerThread = 4000;
+  EmbeddingCache cache(kCapacity);
+  std::atomic<int64_t> bad_values{0};
+  std::atomic<int64_t> lookups{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&cache, &bad_values, &lookups, t] {
+      std::vector<float> out;
+      for (int i = 0; i < kOpsPerThread; ++i) {
+        // Deterministic per-thread walk over 24 keys x 2 fingerprints.
+        const graph::VertexId v = (t * 7 + i) % 24;
+        const uint32_t fp = ((t + i) % 2 == 0) ? 100u : 200u;
+        if (i % 3 == 0) {
+          cache.Insert(v, fp, Emb(static_cast<float>(v * 1000 + fp)));
+        } else {
+          lookups.fetch_add(1, std::memory_order_relaxed);
+          if (cache.Lookup(v, fp, &out) &&
+              out != Emb(static_cast<float>(v * 1000 + fp))) {
+            bad_values.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+      }
+    });
+  }
+  for (std::thread& th : threads) th.join();
+  EXPECT_EQ(bad_values.load(), 0);
+  EXPECT_LE(cache.size(), kCapacity);
+  EXPECT_GT(cache.size(), 0);
+  EXPECT_EQ(cache.hits() + cache.misses(), lookups.load());
+  EXPECT_GT(cache.hits(), 0);   // overlapping keys guarantee reuse
+  EXPECT_GT(cache.misses(), 0); // capacity << working set guarantees churn
 }
 
 TEST(HistogramTest, PercentilesBoundTheData) {

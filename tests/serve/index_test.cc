@@ -4,6 +4,7 @@
 #include "serve/index.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -276,6 +277,92 @@ TEST(IndexIoTest, CorruptFileRejectedWholesale) {
 
 TEST(IndexIoTest, LoadMissingFileFails) {
   EXPECT_FALSE(EmbeddingIndex::Load(TempPath("nonexistent.cidx")).ok());
+}
+
+TEST(DeadlineTest, NoDeadlineIsTheDefaultAndExactAcrossBackends) {
+  const int64_t n = 200, dim = 8;
+  Tensor vecs = ClusteredVectors(n, dim, 31);
+  FlatIndex index;
+  ASSERT_TRUE(index.Add(vecs, MakeIds(n)).ok());
+  Tensor queries = ClusteredVectors(4, dim, 32);
+  for (int64_t qi = 0; qi < 4; ++qi) {
+    const float* q = queries.data() + qi * dim;
+    auto plain = index.Search(q, 5);
+    auto sentinel = index.Search(q, 5, kNoSearchDeadline);
+    auto generous = index.Search(
+        q, 5, std::chrono::steady_clock::now() + std::chrono::hours(1));
+    ASSERT_EQ(plain.size(), sentinel.size());
+    ASSERT_EQ(plain.size(), generous.size());
+    for (size_t j = 0; j < plain.size(); ++j) {
+      EXPECT_EQ(plain[j].id, sentinel[j].id);
+      EXPECT_EQ(plain[j].score, sentinel[j].score);
+      EXPECT_EQ(plain[j].id, generous[j].id);
+      EXPECT_EQ(plain[j].score, generous[j].score);
+    }
+  }
+}
+
+TEST(DeadlineTest, ExpiredDeadlineExitsEarlyBothBackends) {
+  const int64_t n = 4096, dim = 16;
+  Tensor vecs = ClusteredVectors(n, dim, 33);
+  FlatIndex flat;
+  ASSERT_TRUE(flat.Add(vecs, MakeIds(n)).ok());
+  HnswIndex hnsw;
+  ASSERT_TRUE(hnsw.Add(vecs, MakeIds(n)).ok());
+  Tensor queries = ClusteredVectors(4, dim, 34);
+  // A deadline already in the past: the scan must bail out with a
+  // partial (possibly empty) result instead of a full answer.
+  const SearchDeadline expired =
+      std::chrono::steady_clock::now() - std::chrono::seconds(1);
+  for (int64_t qi = 0; qi < 4; ++qi) {
+    const float* q = queries.data() + qi * dim;
+    auto flat_cut = flat.Search(q, 10, expired);
+    auto hnsw_cut = hnsw.Search(q, 10, expired);
+    // Flat checks per chunk before scanning it; an already-expired
+    // deadline therefore yields nothing. HNSW bails pre-descent.
+    EXPECT_TRUE(flat_cut.empty());
+    EXPECT_TRUE(hnsw_cut.empty());
+  }
+}
+
+TEST(PreNormalizedTest, AddPreNormalizedIsBitwiseVerbatim) {
+  const int64_t n = 64, dim = 8;
+  Tensor vecs = ClusteredVectors(n, dim, 41);
+  FlatIndex normalized;
+  ASSERT_TRUE(normalized.Add(vecs, MakeIds(n)).ok());
+
+  // Feed the already-normalized rows back through AddPreNormalized: the
+  // copy must be verbatim (re-normalizing normalized rows would flip
+  // low-order bits and break sharded bitwise identity).
+  std::vector<float> rows(static_cast<size_t>(n * dim));
+  for (int64_t i = 0; i < n; ++i) {
+    const float* v = normalized.vector(i);
+    std::copy(v, v + dim, rows.begin() + static_cast<size_t>(i * dim));
+  }
+  FlatIndex verbatim;
+  ASSERT_TRUE(
+      verbatim.AddPreNormalized(rows.data(), n, dim, MakeIds(n)).ok());
+  ASSERT_EQ(verbatim.size(), n);
+  ASSERT_EQ(verbatim.dim(), dim);
+  for (int64_t i = 0; i < n; ++i) {
+    const float* a = normalized.vector(i);
+    const float* b = verbatim.vector(i);
+    for (int64_t d = 0; d < dim; ++d) {
+      EXPECT_EQ(a[d], b[d]) << "row " << i << " dim " << d;
+    }
+  }
+  // And searches over the verbatim copy score bitwise-identically.
+  Tensor queries = ClusteredVectors(4, dim, 42);
+  for (int64_t qi = 0; qi < 4; ++qi) {
+    const float* q = queries.data() + qi * dim;
+    auto a = normalized.Search(q, 5);
+    auto b = verbatim.Search(q, 5);
+    ASSERT_EQ(a.size(), b.size());
+    for (size_t j = 0; j < a.size(); ++j) {
+      EXPECT_EQ(a[j].id, b[j].id);
+      EXPECT_EQ(a[j].score, b[j].score);
+    }
+  }
 }
 
 // Runs only from the serve_env_fault ctest entry (CROSSEM_FAULT_SPEC

@@ -204,6 +204,17 @@ TEST_F(MatchServiceFixture, QueueFullRejectsWithUnavailable) {
     if (!result.ok()) {
       EXPECT_EQ(result.status().code(), StatusCode::kUnavailable)
           << result.status().ToString();
+      // The rejection is actionable: it names the queue depth and a
+      // retry-after hint so clients can back off intelligently.
+      EXPECT_NE(result.status().message().find("queue full"),
+                std::string::npos)
+          << result.status().ToString();
+      EXPECT_NE(result.status().message().find("of 2 pending"),
+                std::string::npos)
+          << result.status().ToString();
+      EXPECT_NE(result.status().message().find("retry after"),
+                std::string::npos)
+          << result.status().ToString();
       ++rejected;
     }
   }

@@ -3,6 +3,7 @@
 #include <cerrno>
 #include <cstdio>
 #include <string>
+#include <vector>
 
 #include "gtest/gtest.h"
 #include "util/crc32.h"
@@ -104,6 +105,107 @@ TEST_F(FaultInjectionTest, ArmFromSpecRejectsMalformedSpecs) {
   EXPECT_NE(f, nullptr);
   if (f != nullptr) std::fclose(f);
   std::remove(path.c_str());
+}
+
+TEST_F(FaultInjectionTest, ServeShardSpecParsesAllForms) {
+  ASSERT_TRUE(fault::ArmFromSpec("serve_shard:delay_ms=25:shard=2").ok());
+  // Non-matching shard: untouched.
+  EXPECT_EQ(fault::OnShardCall(0).mode, fault::ShardFaultMode::kNone);
+  // Matching shard: every call delayed by 25ms.
+  fault::ShardFaultAction a = fault::OnShardCall(2);
+  EXPECT_EQ(a.mode, fault::ShardFaultMode::kDelay);
+  EXPECT_EQ(a.delay_ms, 25);
+  EXPECT_EQ(fault::ShardCallCount(2), 1);
+  EXPECT_EQ(fault::ShardFaultInjectedCount(), 1);
+  fault::Clear();
+
+  // File ops and shard faults share one spec string.
+  ASSERT_TRUE(fault::ArmFromSpec("write:2,serve_shard:drop:every=2").ok());
+  EXPECT_EQ(fault::OnShardCall(0).mode, fault::ShardFaultMode::kNone);
+  EXPECT_EQ(fault::OnShardCall(0).mode, fault::ShardFaultMode::kDrop);
+  EXPECT_EQ(fault::OnShardCall(0).mode, fault::ShardFaultMode::kNone);
+  EXPECT_EQ(fault::OnShardCall(0).mode, fault::ShardFaultMode::kDrop);
+  EXPECT_FALSE(fault::ShouldFail(fault::FileOp::kWrite));
+  EXPECT_TRUE(fault::ShouldFail(fault::FileOp::kWrite));
+}
+
+TEST_F(FaultInjectionTest, ServeShardNthAndStickyForms) {
+  // nth=3 fires exactly on the 3rd call to each shard; nth=2+ is sticky.
+  ASSERT_TRUE(fault::ArmFromSpec("serve_shard:stuck:nth=3").ok());
+  EXPECT_EQ(fault::OnShardCall(1).mode, fault::ShardFaultMode::kNone);
+  EXPECT_EQ(fault::OnShardCall(1).mode, fault::ShardFaultMode::kNone);
+  EXPECT_EQ(fault::OnShardCall(1).mode, fault::ShardFaultMode::kStuck);
+  EXPECT_EQ(fault::OnShardCall(1).mode, fault::ShardFaultMode::kNone);
+  // Counters are per shard: shard 5's own count starts fresh.
+  EXPECT_EQ(fault::OnShardCall(5).mode, fault::ShardFaultMode::kNone);
+  fault::Clear();
+
+  ASSERT_TRUE(fault::ArmFromSpec("serve_shard:corrupt:nth=2+").ok());
+  EXPECT_EQ(fault::OnShardCall(0).mode, fault::ShardFaultMode::kNone);
+  EXPECT_EQ(fault::OnShardCall(0).mode, fault::ShardFaultMode::kCorrupt);
+  EXPECT_EQ(fault::OnShardCall(0).mode, fault::ShardFaultMode::kCorrupt);
+}
+
+TEST_F(FaultInjectionTest, ServeShardProbabilityIsDeterministic) {
+  ASSERT_TRUE(fault::ArmFromSpec("serve_shard:drop:p=0.5").ok());
+  std::vector<fault::ShardFaultMode> first;
+  int64_t injected = 0;
+  for (int i = 0; i < 64; ++i) {
+    first.push_back(fault::OnShardCall(0).mode);
+    if (first.back() == fault::ShardFaultMode::kDrop) ++injected;
+  }
+  // A fair-ish coin: some of each over 64 draws.
+  EXPECT_GT(injected, 8);
+  EXPECT_LT(injected, 56);
+  // Deterministic: re-arming and replaying the same (shard, call)
+  // sequence reproduces the exact decision stream.
+  fault::Clear();
+  ASSERT_TRUE(fault::ArmFromSpec("serve_shard:drop:p=0.5").ok());
+  for (int i = 0; i < 64; ++i) {
+    EXPECT_EQ(fault::OnShardCall(0).mode, first[static_cast<size_t>(i)])
+        << "call " << i;
+  }
+}
+
+TEST_F(FaultInjectionTest, ServeShardFirstMatchingSpecWins) {
+  // Two arms: shard 1 gets dropped; everything else every=1 delayed.
+  ASSERT_TRUE(
+      fault::ArmFromSpec("serve_shard:drop:shard=1,serve_shard:delay_ms=5")
+          .ok());
+  EXPECT_EQ(fault::OnShardCall(1).mode, fault::ShardFaultMode::kDrop);
+  fault::ShardFaultAction a = fault::OnShardCall(0);
+  EXPECT_EQ(a.mode, fault::ShardFaultMode::kDelay);
+  EXPECT_EQ(a.delay_ms, 5);
+}
+
+TEST_F(FaultInjectionTest, ServeShardSpecRejectsMalformedForms) {
+  for (const char* bad :
+       {"serve_shard", "serve_shard:", "serve_shard:nap",
+        "serve_shard:delay_ms=", "serve_shard:delay_ms=0",
+        "serve_shard:delay_ms=x", "serve_shard:drop:shard=",
+        "serve_shard:drop:shard=-1", "serve_shard:drop:every=0",
+        "serve_shard:drop:p=1.5", "serve_shard:drop:p=-0.1",
+        "serve_shard:drop:p=zz",
+        // At most one occurrence modifier per spec.
+        "serve_shard:drop:every=2:nth=3", "serve_shard:drop:p=0.5:every=2"}) {
+    EXPECT_EQ(fault::ArmFromSpec(bad).code(), StatusCode::kInvalidArgument)
+        << bad;
+  }
+  // Nothing armed by the rejected specs.
+  EXPECT_EQ(fault::OnShardCall(0).mode, fault::ShardFaultMode::kNone);
+  EXPECT_EQ(fault::ShardFaultInjectedCount(), 0);
+}
+
+TEST_F(FaultInjectionTest, ClearDisarmsShardFaults) {
+  fault::ShardFaultSpec spec;
+  spec.mode = fault::ShardFaultMode::kDrop;
+  fault::ArmShardFault(spec);
+  EXPECT_EQ(fault::OnShardCall(3).mode, fault::ShardFaultMode::kDrop);
+  fault::Clear();
+  EXPECT_EQ(fault::OnShardCall(3).mode, fault::ShardFaultMode::kNone);
+  EXPECT_EQ(fault::ShardFaultInjectedCount(), 0);
+  // Disarmed calls take the lock-free fast path and are not counted.
+  EXPECT_EQ(fault::ShardCallCount(3), 0);
 }
 
 TEST_F(FaultInjectionTest, FileExistsIsNeverInjected) {

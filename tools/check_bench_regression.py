@@ -17,7 +17,13 @@ the gate compares the *relative* columns, which are stable across hosts:
     speedups may not regress more than --threshold below the committed
     ratios, and fit_step_replay_rate may not fall below
     --replay-rate-floor (re-traces after warmup mean the invalidation
-    logic is thrashing).
+    logic is thrashing);
+  - optionally (--resilience), the sharded-serving chaos report
+    (BENCH_resilience.json) is gated on its behavioral invariants: no
+    arm may report query errors, the blackhole arm must keep mean
+    coverage >= --coverage-floor and every faulted arm must keep class
+    recall@10 >= 0.95x the healthy arm. Latency ratios are printed for
+    context only (CI boxes are too noisy to gate tail latency).
 
 Absolute ns_per_iter values are printed for context but never gated.
 Exit code 0 = pass, 1 = regression, 2 = usage/data error.
@@ -87,6 +93,66 @@ def compare_reports(baseline, current, args, failures):
             print(f"ok   {note}")
 
 
+def load_resilience(path):
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"error: cannot read {path}: {e}", file=sys.stderr)
+        sys.exit(2)
+    arms = doc.get("resilience")
+    if not isinstance(arms, list) or not arms:
+        print(f"error: {path} has no 'resilience' array", file=sys.stderr)
+        sys.exit(2)
+    return {a.get("arm"): a for a in arms}
+
+
+def check_resilience(arms, args, failures):
+    """Behavioral gate for the chaos arms: errors, coverage, recall.
+
+    These are invariants of the resilience engine itself (retries,
+    breakers, partial merges), not host-speed artifacts, so unlike the
+    relative speedup gates they compare against fixed floors rather
+    than a committed baseline run.
+    """
+    healthy = arms.get("healthy")
+    if healthy is None:
+        failures.append("resilience: no 'healthy' arm in report")
+        return
+    healthy_p99 = healthy.get("latency_p99_us", 0)
+    for name, arm in sorted(arms.items()):
+        errors = arm.get("errors", -1)
+        coverage = arm.get("coverage_mean", 0.0)
+        recall_ratio = arm.get("recall_ratio", 0.0)
+        p99 = arm.get("latency_p99_us", 0)
+        note = (f"resilience|{name}: errors {errors}, coverage "
+                f"{coverage:.3f}, recall_ratio {recall_ratio:.3f}, "
+                f"p99 {p99}us")
+        ok = True
+        if errors != 0:
+            failures.append(f"{note} -- queries errored under faults")
+            ok = False
+        if name == "healthy" and coverage < 1.0:
+            failures.append(f"{note} -- healthy arm lost coverage")
+            ok = False
+        if name == "blackhole" and coverage < args.coverage_floor:
+            failures.append(
+                f"{note} -- coverage below {args.coverage_floor}")
+            ok = False
+        if name == "delay_hedge" and coverage < 1.0:
+            failures.append(
+                f"{note} -- hedging failed to restore full coverage")
+            ok = False
+        if recall_ratio < 0.95:
+            failures.append(f"{note} -- recall below 0.95x healthy")
+            ok = False
+        if ok:
+            print(f"ok   {note}")
+        if name != "healthy" and healthy_p99 > 0:
+            print(f"info resilience|{name}: p99 ratio vs healthy "
+                  f"{p99 / healthy_p99:.2f}x")
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("--baseline", required=True,
@@ -106,6 +172,11 @@ def main():
                     help="minimum steady-state pool hit rate")
     ap.add_argument("--replay-rate-floor", type=float, default=0.99,
                     help="minimum steady-state plan replay rate")
+    ap.add_argument("--resilience",
+                    help="freshly generated BENCH_resilience.json (optional)")
+    ap.add_argument("--coverage-floor", type=float, default=0.70,
+                    help="minimum mean coverage for the blackhole arm "
+                         "(1 of 4 shards down => 0.75 expected)")
     args = ap.parse_args()
 
     failures = []
@@ -119,6 +190,9 @@ def main():
             return 2
         compare_reports(load_records(args.plan_baseline),
                         load_records(args.plan_current), args, failures)
+
+    if args.resilience:
+        check_resilience(load_resilience(args.resilience), args, failures)
 
     if args.parallel:
         for key, cur in sorted(load_records(args.parallel).items()):

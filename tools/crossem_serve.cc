@@ -56,6 +56,7 @@
 #include "obs/trace.h"
 #include "serve/index.h"
 #include "serve/service.h"
+#include "serve/sharded.h"
 #include "text/tokenizer.h"
 
 namespace {
@@ -83,6 +84,7 @@ struct Args {
   int64_t max_wait_us = 2000;
   int64_t queue = 256;
   int64_t cache = 4096;
+  int64_t shards = 1;  // > 1 serves through ShardedMatchService
   int64_t patch_dim = 0;    // model config when --images is absent
   int64_t max_patches = 0;  // ditto (repository max, pre-padding)
   uint64_t seed = 7;
@@ -107,8 +109,11 @@ void PrintUsage() {
       "               --model FILE [--k N] [--clients N] [--deadline-us N]\n"
       "               [--max-batch N] [--max-wait-us N] [--queue N]\n"
       "               [--cache N] [--patch-dim D] [--max-patches P]\n"
-      "query/stdin-batch also take [--stats-out FILE] (Prometheus text)\n"
-      "and [--trace-out FILE] (Chrome trace_event JSON)\n");
+      "query/stdin-batch also take [--shards N] (partition the index and\n"
+      "serve through the resilient scatter-gather engine: retries, hedged\n"
+      "requests, circuit breakers, partial results with coverage),\n"
+      "[--stats-out FILE] (Prometheus text) and [--trace-out FILE]\n"
+      "(Chrome trace_event JSON)\n");
 }
 
 bool ParseArgs(int argc, char** argv, Args* args) {
@@ -193,6 +198,12 @@ bool ParseArgs(int argc, char** argv, Args* args) {
       if (!next_i64(&args->queue)) return false;
     } else if (flag == "--cache") {
       if (!next_i64(&args->cache)) return false;
+    } else if (flag == "--shards") {
+      if (!next_i64(&args->shards)) return false;
+      if (args->shards < 1) {
+        std::fprintf(stderr, "--shards must be >= 1\n");
+        return false;
+      }
     } else if (flag == "--patch-dim") {
       if (!next_i64(&args->patch_dim)) return false;
     } else if (flag == "--max-patches") {
@@ -415,19 +426,89 @@ void PrintMatches(std::FILE* out, const std::string& entity,
   }
 }
 
-int RunQuery(const Args& args, Setup* s) {
+/// The serving engine behind query/stdin-batch: the classic single-index
+/// MatchService, or (--shards N > 1) the index hash-partitioned into N
+/// shards behind the resilient scatter-gather ShardedMatchService.
+/// Fault-free, both produce bitwise-identical responses.
+struct Engine {
+  std::unique_ptr<serve::EmbeddingIndex> index;
+  std::unique_ptr<serve::ShardedIndex> sharded_index;
+  std::unique_ptr<serve::MatchService> single;
+  std::unique_ptr<serve::ShardedMatchService> sharded;
+
+  Result<serve::MatchResponse> Match(const serve::MatchRequest& request) {
+    return sharded != nullptr ? sharded->Match(request)
+                              : single->Match(request);
+  }
+  void Shutdown() {
+    if (sharded != nullptr) {
+      sharded->Shutdown();
+    } else {
+      single->Shutdown();
+    }
+  }
+  /// The final stderr stats line(s).
+  void PrintStats() {
+    if (sharded != nullptr) {
+      std::fprintf(stderr, "%s\n", sharded->Snapshot().ToString().c_str());
+      std::fprintf(stderr, "%s\n",
+                   sharded->ResilienceSnapshot().ToString().c_str());
+    } else {
+      std::fprintf(stderr, "%s\n", single->Snapshot().ToString().c_str());
+    }
+  }
+};
+
+int BuildEngine(const Args& args, Setup* s, Engine* engine) {
   auto loaded = LoadIndexFor(args, *s->matcher);
   if (!loaded.ok()) {
     std::fprintf(stderr, "%s\n", loaded.status().ToString().c_str());
     return 1;
   }
+  engine->index = loaded.MoveValue();
   serve::MatchServiceOptions so;
   so.max_batch = args.max_batch;
   so.max_wait_micros = args.max_wait_us;
   so.max_queue = args.queue;
   so.cache_capacity = args.cache;
-  std::unique_ptr<serve::EmbeddingIndex> index = loaded.MoveValue();
-  serve::MatchService service(s->matcher.get(), index.get(), so);
+  if (args.shards > 1) {
+    serve::ShardedIndexOptions io;
+    io.num_shards = args.shards;
+    io.backend = engine->index->backend();
+    auto parts = serve::ShardedIndex::Partition(*engine->index, io);
+    if (!parts.ok()) {
+      std::fprintf(stderr, "partition: %s\n",
+                   parts.status().ToString().c_str());
+      return 1;
+    }
+    engine->sharded_index = parts.MoveValue();
+    serve::ShardedServiceOptions sso;
+    sso.base = so;
+    engine->sharded = std::make_unique<serve::ShardedMatchService>(
+        s->matcher.get(), engine->sharded_index.get(), sso);
+    std::fprintf(stderr, "serving %lld rows across %lld shards\n",
+                 static_cast<long long>(engine->sharded_index->size()),
+                 static_cast<long long>(args.shards));
+  } else {
+    engine->single = std::make_unique<serve::MatchService>(
+        s->matcher.get(), engine->index.get(), so);
+  }
+  return 0;
+}
+
+/// Operators see partial answers: per-request degraded coverage goes to
+/// stderr (stdout stays a clean CSV of matches).
+void WarnIfDegraded(const std::string& label,
+                    const serve::MatchResponse& response) {
+  if (response.degraded) {
+    std::fprintf(stderr, "%s: degraded response, coverage %.2f\n",
+                 label.c_str(), response.coverage);
+  }
+}
+
+int RunQuery(const Args& args, Setup* s) {
+  Engine engine;
+  if (int rc = BuildEngine(args, s, &engine); rc != 0) return rc;
 
   std::printf("entity,image_id,similarity,probability\n");
   int failures = 0;
@@ -443,34 +524,25 @@ int RunQuery(const Args& args, Setup* s) {
     request.k = args.k;
     request.min_probability = args.min_probability;
     request.deadline_micros = args.deadline_us;
-    auto result = service.Match(request);
+    auto result = engine.Match(request);
     if (!result.ok()) {
       std::fprintf(stderr, "%s: %s\n", label.c_str(),
                    result.status().ToString().c_str());
       ++failures;
       continue;
     }
+    WarnIfDegraded(label, result.value());
     PrintMatches(stdout, label, result.value());
   }
-  service.Shutdown();
-  std::fprintf(stderr, "%s\n", service.Snapshot().ToString().c_str());
+  engine.Shutdown();
+  engine.PrintStats();
   if (!WriteObservability(args)) return 1;
   return failures == 0 ? 0 : 1;
 }
 
 int RunStdinBatch(const Args& args, Setup* s) {
-  auto loaded = LoadIndexFor(args, *s->matcher);
-  if (!loaded.ok()) {
-    std::fprintf(stderr, "%s\n", loaded.status().ToString().c_str());
-    return 1;
-  }
-  serve::MatchServiceOptions so;
-  so.max_batch = args.max_batch;
-  so.max_wait_micros = args.max_wait_us;
-  so.max_queue = args.queue;
-  so.cache_capacity = args.cache;
-  std::unique_ptr<serve::EmbeddingIndex> index = loaded.MoveValue();
-  serve::MatchService service(s->matcher.get(), index.get(), so);
+  Engine engine;
+  if (int rc = BuildEngine(args, s, &engine); rc != 0) return rc;
 
   std::vector<std::string> labels;
   for (std::string line; std::getline(std::cin, line);) {
@@ -502,21 +574,22 @@ int RunStdinBatch(const Args& args, Setup* s) {
         request.k = args.k;
         request.min_probability = args.min_probability;
         request.deadline_micros = args.deadline_us;
-        auto result = service.Match(request);
+        auto result = engine.Match(request);
         std::lock_guard<std::mutex> lock(out_mu);
         if (!result.ok()) {
           std::fprintf(stderr, "%s: %s\n", label.c_str(),
                        result.status().ToString().c_str());
           ++failed;
         } else {
+          WarnIfDegraded(label, result.value());
           PrintMatches(stdout, label, result.value());
         }
       }
     });
   }
   for (std::thread& t : workers) t.join();
-  service.Shutdown();
-  std::fprintf(stderr, "%s\n", service.Snapshot().ToString().c_str());
+  engine.Shutdown();
+  engine.PrintStats();
   if (!WriteObservability(args)) return 1;
   return failed.load() == 0 ? 0 : 1;
 }
