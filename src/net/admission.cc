@@ -1,0 +1,142 @@
+#include "net/admission.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <memory>
+
+namespace crossem {
+namespace net {
+
+TokenBucket::TokenBucket(double rate_per_sec, double burst)
+    : rate_(std::max(rate_per_sec, 0.0)),
+      burst_(std::max(burst, 1.0)),
+      tokens_(std::max(burst, 1.0)) {}
+
+bool TokenBucket::TryAcquire(std::chrono::steady_clock::time_point now,
+                             int64_t* retry_after_micros) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!primed_) {
+    primed_ = true;
+    last_refill_ = now;
+  }
+  if (now > last_refill_ && rate_ > 0.0) {
+    const double elapsed_s =
+        std::chrono::duration_cast<std::chrono::duration<double>>(
+            now - last_refill_)
+            .count();
+    tokens_ = std::min(burst_, tokens_ + elapsed_s * rate_);
+  }
+  // The clock never moves the refill anchor backwards (a caller-supplied
+  // `now` predating the last refill must not mint tokens twice).
+  last_refill_ = std::max(last_refill_, now);
+  if (tokens_ >= 1.0) {
+    tokens_ -= 1.0;
+    if (retry_after_micros != nullptr) *retry_after_micros = 0;
+    return true;
+  }
+  if (retry_after_micros != nullptr) {
+    *retry_after_micros =
+        rate_ <= 0.0
+            ? 0
+            : static_cast<int64_t>(std::ceil((1.0 - tokens_) / rate_ * 1e6));
+  }
+  return false;
+}
+
+int64_t ClampRetryToDeadline(int64_t retry_after_micros,
+                             int64_t remaining_deadline_micros) {
+  if (remaining_deadline_micros <= 0) return retry_after_micros;
+  return std::min(retry_after_micros, remaining_deadline_micros);
+}
+
+AdmissionController::AdmissionController(AdmissionOptions options)
+    : options_(std::move(options)) {}
+
+TokenBucket* AdmissionController::BucketFor(const std::string& tenant) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = buckets_.find(tenant);
+  if (it != buckets_.end()) return it->second.get();
+  if (static_cast<int64_t>(buckets_.size()) >= options_.max_tenants) {
+    // Hostile key cardinality: everyone past the cap shares one bucket,
+    // so the map stays bounded and known tenants stay isolated.
+    if (overflow_bucket_ == nullptr) {
+      overflow_bucket_ = std::make_unique<TokenBucket>(
+          options_.tenant_rate, options_.tenant_burst);
+    }
+    return overflow_bucket_.get();
+  }
+  auto bucket = std::make_unique<TokenBucket>(options_.tenant_rate,
+                                              options_.tenant_burst);
+  TokenBucket* raw = bucket.get();
+  buckets_.emplace(tenant, std::move(bucket));
+  return raw;
+}
+
+AdmissionDecision AdmissionController::Admit(
+    const std::string& tenant, std::chrono::steady_clock::time_point now,
+    int64_t remaining_deadline_micros, int64_t p50_hint_micros,
+    Ticket* ticket) {
+  AdmissionDecision decision;
+
+  // Tenant quota first: an over-quota tenant must not touch the global
+  // limit (that is the isolation property the quota exists for).
+  if (options_.tenant_rate > 0.0) {
+    int64_t retry_after = 0;
+    if (!BucketFor(tenant)->TryAcquire(now, &retry_after)) {
+      decision.admitted = false;
+      decision.http_status = 429;
+      decision.reason = "tenant_quota_exhausted";
+      decision.retry_after_micros = ClampRetryToDeadline(
+          std::max(retry_after, options_.default_retry_after_micros),
+          remaining_deadline_micros);
+      return decision;
+    }
+  }
+
+  if (options_.max_inflight > 0) {
+    int64_t cur = inflight_.load(std::memory_order_relaxed);
+    for (;;) {
+      if (cur >= options_.max_inflight) {
+        decision.admitted = false;
+        decision.http_status = 429;
+        decision.reason = "concurrency_limit";
+        decision.retry_after_micros = ClampRetryToDeadline(
+            std::max(p50_hint_micros, options_.default_retry_after_micros),
+            remaining_deadline_micros);
+        return decision;
+      }
+      if (inflight_.compare_exchange_weak(cur, cur + 1,
+                                          std::memory_order_relaxed)) {
+        break;
+      }
+    }
+    *ticket = Ticket(this);
+  }
+  return decision;
+}
+
+Result<int64_t> ParseDeadlineMillis(const std::string& value) {
+  if (value.empty()) {
+    return Status::InvalidArgument("x-deadline-ms: empty value");
+  }
+  int64_t ms = 0;
+  for (char c : value) {
+    if (!std::isdigit(static_cast<unsigned char>(c))) {
+      return Status::InvalidArgument("x-deadline-ms: '" + value +
+                                     "' is not a positive integer");
+    }
+    ms = ms * 10 + (c - '0');
+    if (ms > 24LL * 3600 * 1000) {
+      return Status::InvalidArgument("x-deadline-ms: '" + value +
+                                     "' exceeds 24h");
+    }
+  }
+  if (ms <= 0) {
+    return Status::InvalidArgument("x-deadline-ms must be >= 1");
+  }
+  return ms;
+}
+
+}  // namespace net
+}  // namespace crossem

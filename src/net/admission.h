@@ -1,0 +1,167 @@
+// Admission control for the HTTP front end: who gets to reach the
+// match engine, and what the rejected are told.
+//
+// Two gates run before a request touches the serving queue:
+//
+//   1. A global concurrency limiter — at most max_inflight /v1/match
+//      requests may hold a Ticket at once. The limit bounds the worker
+//      pool's exposure to the engine: when the engine slows down, the
+//      front end starts answering 429 immediately instead of stacking
+//      worker threads on a saturated queue. The Retry-After hint is the
+//      engine's observed p50 completion latency (the same drain signal
+//      MatchService embeds in its queue-full rejection).
+//
+//   2. Per-tenant token buckets — the tenant key comes from the
+//      x-tenant header. Each tenant refills at tenant_rate tokens/s up
+//      to tenant_burst; an empty bucket answers 429 with Retry-After =
+//      time until the next token accrues. One tenant exhausting its
+//      quota cannot consume the global limit: the bucket is checked
+//      first and never blocks.
+//
+// Both hints obey the deadline clamp: a client that sent x-deadline-ms
+// is never told to retry later than its own remaining budget — a retry
+// arriving post-deadline is wasted work on both sides.
+//
+// Clocks are passed in explicitly so tests drive refill deterministically.
+#ifndef CROSSEM_NET_ADMISSION_H_
+#define CROSSEM_NET_ADMISSION_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "util/status.h"
+
+namespace crossem {
+namespace net {
+
+/// Classic token bucket with an injectable clock. Thread-safe.
+class TokenBucket {
+ public:
+  /// `rate_per_sec` tokens accrue continuously up to `burst`. The
+  /// bucket starts full.
+  TokenBucket(double rate_per_sec, double burst);
+
+  /// Takes one token if available at `now`. On refusal returns false
+  /// and sets *retry_after_micros to the time until a full token has
+  /// accrued (0 when the rate is zero — i.e. never).
+  bool TryAcquire(std::chrono::steady_clock::time_point now,
+                  int64_t* retry_after_micros);
+
+  double rate_per_sec() const { return rate_; }
+
+ private:
+  const double rate_;
+  const double burst_;
+  std::mutex mu_;
+  double tokens_;
+  bool primed_ = false;  // first TryAcquire stamps last_refill_
+  std::chrono::steady_clock::time_point last_refill_{};
+};
+
+struct AdmissionOptions {
+  /// Concurrent /v1/match requests admitted across all tenants;
+  /// <= 0 disables the global limiter.
+  int64_t max_inflight = 128;
+  /// Per-tenant sustained rate (tokens/s) and burst capacity;
+  /// rate <= 0 disables tenant quotas.
+  double tenant_rate = 200.0;
+  double tenant_burst = 100.0;
+  /// Distinct tenant buckets kept; beyond this, unseen tenants share
+  /// one overflow bucket (bounds hostile tenant-key cardinality).
+  int64_t max_tenants = 1024;
+  /// Retry-After fallback when the engine has no latency signal yet.
+  int64_t default_retry_after_micros = 2000;
+};
+
+/// The outcome of an admission check.
+struct AdmissionDecision {
+  bool admitted = true;
+  /// For rejections: the HTTP status (429), a machine-readable reason
+  /// ("tenant_quota_exhausted" / "concurrency_limit"), and the
+  /// deadline-clamped Retry-After hint.
+  int http_status = 0;
+  std::string reason;
+  int64_t retry_after_micros = 0;
+};
+
+/// Clamps a retry hint to the request's remaining deadline budget:
+/// never advise a retry that would arrive after the request's own
+/// deadline. `remaining_deadline_micros` <= 0 means no deadline.
+int64_t ClampRetryToDeadline(int64_t retry_after_micros,
+                             int64_t remaining_deadline_micros);
+
+class AdmissionController {
+ public:
+  explicit AdmissionController(AdmissionOptions options);
+
+  /// RAII permit against the global concurrency limit. Admit() hands
+  /// one out on success; releasing is automatic.
+  class Ticket {
+   public:
+    Ticket() = default;
+    explicit Ticket(AdmissionController* owner) : owner_(owner) {}
+    Ticket(Ticket&& other) noexcept : owner_(other.owner_) {
+      other.owner_ = nullptr;
+    }
+    Ticket& operator=(Ticket&& other) noexcept {
+      Release();
+      owner_ = other.owner_;
+      other.owner_ = nullptr;
+      return *this;
+    }
+    Ticket(const Ticket&) = delete;
+    Ticket& operator=(const Ticket&) = delete;
+    ~Ticket() { Release(); }
+
+    void Release() {
+      if (owner_ != nullptr) {
+        owner_->inflight_.fetch_sub(1, std::memory_order_relaxed);
+        owner_ = nullptr;
+      }
+    }
+
+   private:
+    AdmissionController* owner_ = nullptr;
+  };
+
+  /// Checks tenant quota then the global limit. On admission, *ticket
+  /// holds the concurrency permit for the caller's scope.
+  /// `p50_hint_micros` is the engine's observed median completion
+  /// latency (0 when unknown); `remaining_deadline_micros` <= 0 means
+  /// the request carries no deadline.
+  AdmissionDecision Admit(const std::string& tenant,
+                          std::chrono::steady_clock::time_point now,
+                          int64_t remaining_deadline_micros,
+                          int64_t p50_hint_micros, Ticket* ticket);
+
+  int64_t inflight() const {
+    return inflight_.load(std::memory_order_relaxed);
+  }
+  const AdmissionOptions& options() const { return options_; }
+
+ private:
+  TokenBucket* BucketFor(const std::string& tenant);
+
+  const AdmissionOptions options_;
+  std::atomic<int64_t> inflight_{0};
+
+  std::mutex mu_;  // guards buckets_ (bucket internals self-lock)
+  std::map<std::string, std::unique_ptr<TokenBucket>> buckets_;
+  std::unique_ptr<TokenBucket> overflow_bucket_;  // beyond max_tenants
+};
+
+/// Parses the x-deadline-ms header value: a positive integer
+/// millisecond budget. Malformed or non-positive values are an
+/// InvalidArgument (the route answers 400 — a silent default would hide
+/// client bugs).
+Result<int64_t> ParseDeadlineMillis(const std::string& value);
+
+}  // namespace net
+}  // namespace crossem
+
+#endif  // CROSSEM_NET_ADMISSION_H_

@@ -1,0 +1,438 @@
+#include "net/http.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+
+namespace crossem {
+namespace net {
+
+namespace {
+
+char AsciiLower(char c) {
+  return (c >= 'A' && c <= 'Z') ? static_cast<char>(c - 'A' + 'a') : c;
+}
+
+/// Trims ASCII spaces and tabs from both ends.
+std::string TrimWs(const std::string& s) {
+  size_t b = 0;
+  size_t e = s.size();
+  while (b < e && (s[b] == ' ' || s[b] == '\t')) ++b;
+  while (e > b && (s[e - 1] == ' ' || s[e - 1] == '\t')) --e;
+  return s.substr(b, e - b);
+}
+
+const std::string* FindIn(
+    const std::vector<std::pair<std::string, std::string>>& headers,
+    const std::string& name) {
+  for (const auto& [k, v] : headers) {
+    if (HeaderNameEquals(k, name)) return &v;
+  }
+  return nullptr;
+}
+
+bool KeepAliveFor(const std::string& version, const std::string* connection) {
+  std::string token;
+  if (connection != nullptr) {
+    token = *connection;
+    for (char& c : token) c = AsciiLower(c);
+    token = TrimWs(token);
+  }
+  if (version == "HTTP/1.0") return token == "keep-alive";
+  return token != "close";  // HTTP/1.1 (and later): persistent by default
+}
+
+}  // namespace
+
+bool HeaderNameEquals(const std::string& a, const std::string& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (AsciiLower(a[i]) != AsciiLower(b[i])) return false;
+  }
+  return true;
+}
+
+const std::string* HttpRequest::FindHeader(const std::string& name) const {
+  return FindIn(headers, name);
+}
+
+bool HttpRequest::KeepAlive() const {
+  return KeepAliveFor(version, FindHeader("Connection"));
+}
+
+const std::string* HttpResponse::FindHeader(const std::string& name) const {
+  return FindIn(headers, name);
+}
+
+void HttpResponse::SetHeader(const std::string& name,
+                             const std::string& value) {
+  for (auto& [k, v] : headers) {
+    if (HeaderNameEquals(k, name)) {
+      v = value;
+      return;
+    }
+  }
+  headers.emplace_back(name, value);
+}
+
+const char* ReasonPhrase(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 206: return "Partial Content";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 409: return "Conflict";
+    case 413: return "Payload Too Large";
+    case 429: return "Too Many Requests";
+    case 431: return "Request Header Fields Too Large";
+    case 500: return "Internal Server Error";
+    case 501: return "Not Implemented";
+    case 503: return "Service Unavailable";
+    case 504: return "Gateway Timeout";
+    default: return "Unknown";
+  }
+}
+
+std::string SerializeResponse(const HttpResponse& response) {
+  std::string out = "HTTP/1.1 " + std::to_string(response.status) + " " +
+                    ReasonPhrase(response.status) + "\r\n";
+  bool have_length = false;
+  bool have_connection = false;
+  for (const auto& [k, v] : response.headers) {
+    if (HeaderNameEquals(k, "Content-Length")) have_length = true;
+    if (HeaderNameEquals(k, "Connection")) have_connection = true;
+    out += k + ": " + v + "\r\n";
+  }
+  if (!have_length) {
+    out += "Content-Length: " + std::to_string(response.body.size()) + "\r\n";
+  }
+  if (!have_connection) {
+    out += response.keep_alive ? "Connection: keep-alive\r\n"
+                               : "Connection: close\r\n";
+  }
+  out += "\r\n";
+  out += response.body;
+  return out;
+}
+
+std::string SerializeRequest(const HttpRequest& request) {
+  std::string out = request.method + " " + request.target + " " +
+                    (request.version.empty() ? "HTTP/1.1" : request.version) +
+                    "\r\n";
+  bool have_length = false;
+  for (const auto& [k, v] : request.headers) {
+    if (HeaderNameEquals(k, "Content-Length")) have_length = true;
+    out += k + ": " + v + "\r\n";
+  }
+  if (!have_length && !request.body.empty()) {
+    out += "Content-Length: " + std::to_string(request.body.size()) + "\r\n";
+  }
+  out += "\r\n";
+  out += request.body;
+  return out;
+}
+
+// -- HttpParser --------------------------------------------------------------
+
+HttpParser::HttpParser(Mode mode, HttpParserLimits limits)
+    : mode_(mode), limits_(limits) {}
+
+Status HttpParser::Fail(int http_status, const std::string& message) {
+  state_ = State::kError;
+  suggested_status_ = http_status;
+  return Status::ParseError("HTTP parse error: " + message);
+}
+
+Status HttpParser::Feed(const char* data, size_t n) {
+  if (state_ == State::kError) {
+    return Status::ParseError("HTTP parser already failed");
+  }
+  buffer_.append(data, n);
+  return Advance();
+}
+
+Status HttpParser::Advance() {
+  for (;;) {
+    switch (state_) {
+      case State::kHeaders: {
+        // Find the end of the header block: CRLFCRLF or LFLF (we accept
+        // bare LF line endings throughout for robustness).
+        size_t header_end = std::string::npos;
+        size_t body_start = 0;
+        for (size_t i = 0; i + 1 < buffer_.size(); ++i) {
+          if (buffer_[i] == '\n') {
+            if (buffer_[i + 1] == '\n') {
+              header_end = i + 1;
+              body_start = i + 2;
+              break;
+            }
+            if (i + 2 < buffer_.size() && buffer_[i + 1] == '\r' &&
+                buffer_[i + 2] == '\n') {
+              header_end = i + 1;
+              body_start = i + 3;
+              break;
+            }
+          }
+        }
+        if (header_end == std::string::npos) {
+          if (static_cast<int64_t>(buffer_.size()) >
+              limits_.max_header_bytes) {
+            return Fail(431, "header block exceeds " +
+                                 std::to_string(limits_.max_header_bytes) +
+                                 " bytes");
+          }
+          return Status::OK();  // need more bytes
+        }
+        if (static_cast<int64_t>(header_end) > limits_.max_header_bytes) {
+          return Fail(431, "header block exceeds limit");
+        }
+        std::string block = buffer_.substr(0, header_end);
+        buffer_.erase(0, body_start);
+        {
+          // Split into lines on '\n', trimming a trailing '\r'.
+          std::vector<std::string> lines;
+          size_t start = 0;
+          while (start < block.size()) {
+            size_t nl = block.find('\n', start);
+            if (nl == std::string::npos) nl = block.size();
+            std::string line = block.substr(start, nl - start);
+            if (!line.empty() && line.back() == '\r') line.pop_back();
+            lines.push_back(std::move(line));
+            start = nl + 1;
+          }
+          if (lines.empty() || lines[0].empty()) {
+            return Fail(400, "empty start line");
+          }
+          // Start line.
+          const std::string& start_line = lines[0];
+          size_t sp1 = start_line.find(' ');
+          size_t sp2 =
+              sp1 == std::string::npos ? std::string::npos
+                                       : start_line.find(' ', sp1 + 1);
+          if (sp1 == std::string::npos || sp2 == std::string::npos) {
+            return Fail(400, "malformed start line '" + start_line + "'");
+          }
+          if (mode_ == Mode::kRequest) {
+            method_ = start_line.substr(0, sp1);
+            target_ = start_line.substr(sp1 + 1, sp2 - sp1 - 1);
+            version_ = start_line.substr(sp2 + 1);
+            if (version_ != "HTTP/1.1" && version_ != "HTTP/1.0") {
+              return Fail(400, "unsupported version '" + version_ + "'");
+            }
+            if (method_.empty() || target_.empty() || target_[0] != '/') {
+              return Fail(400, "malformed request line");
+            }
+          } else {
+            version_ = start_line.substr(0, sp1);
+            const std::string code = start_line.substr(sp1 + 1, sp2 - sp1 - 1);
+            if (code.size() != 3 || !std::isdigit(code[0]) ||
+                !std::isdigit(code[1]) || !std::isdigit(code[2])) {
+              return Fail(400, "malformed status line");
+            }
+            response_status_ = std::atoi(code.c_str());
+          }
+          // Header fields.
+          headers_.clear();
+          for (size_t i = 1; i < lines.size(); ++i) {
+            if (lines[i].empty()) continue;
+            size_t colon = lines[i].find(':');
+            if (colon == std::string::npos || colon == 0) {
+              return Fail(400, "malformed header '" + lines[i] + "'");
+            }
+            headers_.emplace_back(TrimWs(lines[i].substr(0, colon)),
+                                  TrimWs(lines[i].substr(colon + 1)));
+          }
+        }
+        // Framing: chunked beats Content-Length (RFC 7230 §3.3.3).
+        const std::string* te = FindIn(headers_, "Transfer-Encoding");
+        const std::string* cl = FindIn(headers_, "Content-Length");
+        body_.clear();
+        if (te != nullptr) {
+          std::string enc = TrimWs(*te);
+          for (char& c : enc) c = AsciiLower(c);
+          if (enc != "chunked") {
+            return Fail(501, "unsupported transfer-encoding '" + *te + "'");
+          }
+          state_ = State::kChunkSize;
+        } else if (cl != nullptr) {
+          char* end = nullptr;
+          const long long v = std::strtoll(cl->c_str(), &end, 10);
+          if (end == cl->c_str() || *end != '\0' || v < 0) {
+            return Fail(400, "malformed Content-Length '" + *cl + "'");
+          }
+          if (v > limits_.max_body_bytes) {
+            return Fail(413, "body of " + std::to_string(v) +
+                                 " bytes exceeds limit");
+          }
+          content_length_ = v;
+          state_ = v == 0 ? State::kComplete : State::kBody;
+        } else {
+          // No framing header: requests have no body; responses would
+          // be read-to-close, which this server never emits.
+          state_ = State::kComplete;
+        }
+        break;
+      }
+      case State::kBody: {
+        const int64_t want = content_length_ - static_cast<int64_t>(body_.size());
+        const int64_t have = static_cast<int64_t>(buffer_.size());
+        const int64_t take = std::min(want, have);
+        body_.append(buffer_, 0, static_cast<size_t>(take));
+        buffer_.erase(0, static_cast<size_t>(take));
+        if (static_cast<int64_t>(body_.size()) < content_length_) {
+          return Status::OK();  // need more bytes
+        }
+        state_ = State::kComplete;
+        break;
+      }
+      case State::kChunkSize: {
+        size_t nl = buffer_.find('\n');
+        if (nl == std::string::npos) {
+          if (buffer_.size() > 32) return Fail(400, "oversized chunk header");
+          return Status::OK();
+        }
+        std::string line = buffer_.substr(0, nl);
+        if (!line.empty() && line.back() == '\r') line.pop_back();
+        buffer_.erase(0, nl + 1);
+        // Chunk extensions (";...") are tolerated and ignored.
+        size_t semi = line.find(';');
+        if (semi != std::string::npos) line.erase(semi);
+        line = TrimWs(line);
+        char* end = nullptr;
+        const long long size = std::strtoll(line.c_str(), &end, 16);
+        if (line.empty() || end == line.c_str() || *end != '\0' || size < 0) {
+          return Fail(400, "malformed chunk size '" + line + "'");
+        }
+        if (static_cast<int64_t>(body_.size()) + size >
+            limits_.max_body_bytes) {
+          return Fail(413, "chunked body exceeds limit");
+        }
+        chunk_remaining_ = size;
+        state_ = size == 0 ? State::kChunkTrailer : State::kChunkData;
+        break;
+      }
+      case State::kChunkData: {
+        if (chunk_remaining_ > 0) {
+          const int64_t take = std::min<int64_t>(
+              chunk_remaining_, static_cast<int64_t>(buffer_.size()));
+          body_.append(buffer_, 0, static_cast<size_t>(take));
+          buffer_.erase(0, static_cast<size_t>(take));
+          chunk_remaining_ -= take;
+          if (chunk_remaining_ > 0) return Status::OK();
+        }
+        // Consume the CRLF (or LF) after the chunk data.
+        if (buffer_.empty()) return Status::OK();
+        if (buffer_[0] == '\r') {
+          if (buffer_.size() < 2) return Status::OK();
+          if (buffer_[1] != '\n') return Fail(400, "bad chunk terminator");
+          buffer_.erase(0, 2);
+        } else if (buffer_[0] == '\n') {
+          buffer_.erase(0, 1);
+        } else {
+          return Fail(400, "bad chunk terminator");
+        }
+        state_ = State::kChunkSize;
+        break;
+      }
+      case State::kChunkTrailer: {
+        size_t nl = buffer_.find('\n');
+        if (nl == std::string::npos) {
+          if (static_cast<int64_t>(buffer_.size()) >
+              limits_.max_header_bytes) {
+            return Fail(431, "oversized chunk trailers");
+          }
+          return Status::OK();
+        }
+        std::string line = buffer_.substr(0, nl);
+        if (!line.empty() && line.back() == '\r') line.pop_back();
+        buffer_.erase(0, nl + 1);
+        if (line.empty()) state_ = State::kComplete;  // blank line ends
+        break;                                        // trailers (dropped)
+      }
+      case State::kComplete:
+        complete_ = true;
+        return Status::OK();
+      case State::kError:
+        return Status::ParseError("HTTP parser already failed");
+    }
+  }
+}
+
+void HttpParser::ResetForNext() {
+  state_ = State::kHeaders;
+  complete_ = false;
+  method_.clear();
+  target_.clear();
+  version_.clear();
+  response_status_ = 0;
+  headers_.clear();
+  body_.clear();
+  content_length_ = 0;
+  chunk_remaining_ = 0;
+}
+
+HttpRequest HttpParser::TakeRequest() {
+  HttpRequest out;
+  out.method = std::move(method_);
+  out.target = std::move(target_);
+  out.version = std::move(version_);
+  out.headers = std::move(headers_);
+  out.body = std::move(body_);
+  ResetForNext();
+  // A pipelined next request may already be fully buffered.
+  if (!buffer_.empty()) (void)Advance();
+  return out;
+}
+
+HttpResponse HttpParser::TakeResponse() {
+  HttpResponse out;
+  out.status = response_status_;
+  out.headers = std::move(headers_);
+  out.body = std::move(body_);
+  ResetForNext();
+  if (!buffer_.empty()) (void)Advance();
+  return out;
+}
+
+// -- Serving-layer status mapping -------------------------------------------
+
+int64_t ParseRetryAfterMicros(const std::string& message) {
+  static const char kMarker[] = "retry after ";
+  const size_t pos = message.find(kMarker);
+  if (pos == std::string::npos) return -1;
+  const size_t digits = pos + sizeof(kMarker) - 1;
+  size_t end = digits;
+  while (end < message.size() && std::isdigit(message[end])) ++end;
+  if (end == digits) return -1;
+  if (end + 1 >= message.size() || message[end] != 'u' ||
+      message[end + 1] != 's') {
+    return -1;
+  }
+  return std::atoll(message.substr(digits, end - digits).c_str());
+}
+
+int HttpCodeForStatus(const Status& status) {
+  switch (status.code()) {
+    case StatusCode::kOk: return 200;
+    case StatusCode::kInvalidArgument: return 400;
+    case StatusCode::kNotFound: return 404;
+    case StatusCode::kOutOfRange: return 400;
+    case StatusCode::kDeadlineExceeded: return 504;
+    case StatusCode::kUnavailable:
+      // Queue-full backpressure embeds a drain-time hint — the client
+      // should slow down and retry here (429). Shutdown and
+      // breaker-open do not — the client should go elsewhere (503).
+      return ParseRetryAfterMicros(status.message()) >= 0 ? 429 : 503;
+    default: return 500;
+  }
+}
+
+std::string RetryAfterSeconds(int64_t retry_after_micros) {
+  const int64_t seconds = (std::max<int64_t>(retry_after_micros, 0) +
+                           999999) / 1000000;
+  return std::to_string(std::max<int64_t>(seconds, 1));
+}
+
+}  // namespace net
+}  // namespace crossem

@@ -1,0 +1,301 @@
+#include "net/loadgen.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cmath>
+#include <cstring>
+#include <fstream>
+#include <mutex>
+#include <thread>
+
+#include "obs/json.h"
+#include "util/random.h"
+
+namespace crossem {
+namespace net {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+int64_t ExactPercentile(const std::vector<int64_t>& sorted, double q) {
+  if (sorted.empty()) return 0;
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const size_t idx = static_cast<size_t>(std::llround(std::ceil(pos)));
+  return sorted[std::min(idx, sorted.size() - 1)];
+}
+
+}  // namespace
+
+// -- HttpClient --------------------------------------------------------------
+
+HttpClient::HttpClient(std::string host, int port)
+    : host_(std::move(host)), port_(port) {}
+
+HttpClient::~HttpClient() { Disconnect(); }
+
+Status HttpClient::Connect() {
+  Disconnect();
+  fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd_ < 0) {
+    return Status::IOError("socket: " + std::string(std::strerror(errno)));
+  }
+  int one = 1;
+  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port_));
+  if (::inet_pton(AF_INET, host_.c_str(), &addr.sin_addr) != 1) {
+    Disconnect();
+    return Status::InvalidArgument("bad address: " + host_);
+  }
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    Status status = Status::IOError("connect " + host_ + ":" +
+                                    std::to_string(port_) + ": " +
+                                    std::strerror(errno));
+    Disconnect();
+    return status;
+  }
+  return Status::OK();
+}
+
+void HttpClient::Disconnect() {
+  if (fd_ >= 0) ::close(fd_);
+  fd_ = -1;
+}
+
+Result<HttpResponse> HttpClient::SendAndReceive(const HttpRequest& request,
+                                                int64_t timeout_micros) {
+  timeval tv{};
+  tv.tv_sec = timeout_micros / 1000000;
+  tv.tv_usec = timeout_micros % 1000000;
+  ::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  ::setsockopt(fd_, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+
+  const std::string wire = SerializeRequest(request);
+  size_t off = 0;
+  while (off < wire.size()) {
+    const ssize_t n =
+        ::send(fd_, wire.data() + off, wire.size() - off, MSG_NOSIGNAL);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return Status::IOError("send: " + std::string(std::strerror(errno)));
+    }
+    off += static_cast<size_t>(n);
+  }
+
+  HttpParser parser(HttpParser::Mode::kResponse);
+  char buf[16 * 1024];
+  while (!parser.HasMessage()) {
+    const ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+    if (n == 0) return Status::IOError("connection closed mid-response");
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError("recv: " + std::string(std::strerror(errno)));
+    }
+    CROSSEM_RETURN_NOT_OK(parser.Feed(buf, static_cast<size_t>(n)));
+  }
+  return parser.TakeResponse();
+}
+
+Result<HttpResponse> HttpClient::RoundTrip(const HttpRequest& request,
+                                           int64_t timeout_micros) {
+  if (fd_ < 0) {
+    CROSSEM_RETURN_NOT_OK(Connect());
+  }
+  auto first = SendAndReceive(request, timeout_micros);
+  if (first.ok()) {
+    if (!first.value().keep_alive) Disconnect();
+    return first;
+  }
+  // The keep-alive connection may have been reaped between requests;
+  // one reconnect distinguishes a stale socket from a down server.
+  CROSSEM_RETURN_NOT_OK(Connect());
+  auto second = SendAndReceive(request, timeout_micros);
+  if (second.ok() && !second.value().keep_alive) Disconnect();
+  if (!second.ok()) Disconnect();
+  return second;
+}
+
+// -- RunLoadGen --------------------------------------------------------------
+
+Result<LoadGenReport> RunLoadGen(const LoadGenOptions& options) {
+  if (options.entities.empty()) {
+    return Status::InvalidArgument("loadgen: no entities to query");
+  }
+  if (options.qps <= 0.0) {
+    return Status::InvalidArgument("loadgen: qps must be > 0");
+  }
+
+  // The full arrival schedule is drawn before the run starts — the
+  // open-loop property lives here.
+  std::vector<int64_t> arrivals_us;  // offsets from run start
+  {
+    Rng rng(options.seed);
+    double t_us = 0.0;
+    while (true) {
+      // Exponential inter-arrival: -ln(U) / rate.
+      const double u = std::max(rng.Uniform(0.0, 1.0), 1e-12);
+      t_us += -std::log(u) / options.qps * 1e6;
+      if (t_us >= static_cast<double>(options.duration_micros)) break;
+      arrivals_us.push_back(static_cast<int64_t>(t_us));
+    }
+  }
+
+  const int64_t connections = std::max<int64_t>(1, options.connections);
+  struct ClientState {
+    std::vector<int64_t> latencies_us;
+    int64_t sent = 0;
+    int64_t completed = 0;
+    int64_t transport_errors = 0;
+    int64_t s200 = 0, s206 = 0, s429 = 0, s4xx = 0, s5xx = 0;
+  };
+  std::vector<ClientState> states(static_cast<size_t>(connections));
+
+  const Clock::time_point start = Clock::now();
+  std::vector<std::thread> clients;
+  clients.reserve(static_cast<size_t>(connections));
+  for (int64_t c = 0; c < connections; ++c) {
+    clients.emplace_back([&, c] {
+      ClientState& state = states[static_cast<size_t>(c)];
+      HttpClient client(options.host, options.port);
+      for (size_t i = static_cast<size_t>(c); i < arrivals_us.size();
+           i += static_cast<size_t>(connections)) {
+        const Clock::time_point scheduled =
+            start + std::chrono::microseconds(arrivals_us[i]);
+        std::this_thread::sleep_until(scheduled);
+
+        HttpRequest request;
+        request.method = "POST";
+        request.target = "/v1/match";
+        request.version = "HTTP/1.1";
+        request.headers.emplace_back("Host", options.host);
+        request.headers.emplace_back("x-tenant", options.tenant);
+        if (options.deadline_ms > 0) {
+          request.headers.emplace_back("x-deadline-ms",
+                                       std::to_string(options.deadline_ms));
+        }
+        request.headers.emplace_back("Content-Type", "application/json");
+        const std::string& entity =
+            options.entities[i % options.entities.size()];
+        request.body = "{\"entity\":" + obs::JsonString(entity) +
+                       ",\"k\":" + std::to_string(options.k) + "}";
+
+        ++state.sent;
+        auto response =
+            client.RoundTrip(request, options.response_timeout_micros);
+        // Latency from the *scheduled* arrival: queueing delay the
+        // server caused is charged to the server.
+        const int64_t latency_us =
+            std::chrono::duration_cast<std::chrono::microseconds>(
+                Clock::now() - scheduled)
+                .count();
+        if (!response.ok()) {
+          ++state.transport_errors;
+          continue;
+        }
+        ++state.completed;
+        state.latencies_us.push_back(latency_us);
+        const int status = response.value().status;
+        if (status == 200) {
+          ++state.s200;
+        } else if (status == 206) {
+          ++state.s206;
+        } else if (status == 429) {
+          ++state.s429;
+        } else if (status >= 500) {
+          ++state.s5xx;
+        } else if (status >= 400) {
+          ++state.s4xx;
+        }
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  const double wall_s =
+      std::chrono::duration_cast<std::chrono::duration<double>>(Clock::now() -
+                                                                start)
+          .count();
+
+  LoadGenReport report;
+  report.name = options.name;
+  report.offered_qps = options.qps;
+  report.duration_s = wall_s;
+  std::vector<int64_t> latencies;
+  double latency_sum = 0.0;
+  for (const ClientState& state : states) {
+    report.sent += state.sent;
+    report.completed += state.completed;
+    report.transport_errors += state.transport_errors;
+    report.status_200 += state.s200;
+    report.status_206 += state.s206;
+    report.status_429 += state.s429;
+    report.status_4xx += state.s4xx;
+    report.status_5xx += state.s5xx;
+    for (int64_t l : state.latencies_us) {
+      latencies.push_back(l);
+      latency_sum += static_cast<double>(l);
+    }
+  }
+  std::sort(latencies.begin(), latencies.end());
+  report.latency_p50_us = ExactPercentile(latencies, 0.50);
+  report.latency_p90_us = ExactPercentile(latencies, 0.90);
+  report.latency_p99_us = ExactPercentile(latencies, 0.99);
+  report.latency_max_us = latencies.empty() ? 0 : latencies.back();
+  report.latency_mean_us =
+      latencies.empty() ? 0.0
+                        : latency_sum / static_cast<double>(latencies.size());
+  report.achieved_qps =
+      wall_s > 0.0 ? static_cast<double>(report.completed) / wall_s : 0.0;
+  return report;
+}
+
+// -- BENCH_net.json ----------------------------------------------------------
+
+std::string RenderBenchNetJson(const std::vector<LoadGenReport>& arms) {
+  std::string out = "{\"net\":[";
+  for (size_t i = 0; i < arms.size(); ++i) {
+    const LoadGenReport& a = arms[i];
+    if (i != 0) out += ",";
+    out += "{\"name\":" + obs::JsonString(a.name);
+    out += ",\"offered_qps\":" + obs::JsonNumber(a.offered_qps);
+    out += ",\"achieved_qps\":" + obs::JsonNumber(a.achieved_qps);
+    out += ",\"duration_s\":" + obs::JsonNumber(a.duration_s);
+    out += ",\"sent\":" + obs::JsonNumber(a.sent);
+    out += ",\"completed\":" + obs::JsonNumber(a.completed);
+    out += ",\"transport_errors\":" + obs::JsonNumber(a.transport_errors);
+    out += ",\"status_200\":" + obs::JsonNumber(a.status_200);
+    out += ",\"status_206\":" + obs::JsonNumber(a.status_206);
+    out += ",\"status_429\":" + obs::JsonNumber(a.status_429);
+    out += ",\"status_4xx\":" + obs::JsonNumber(a.status_4xx);
+    out += ",\"status_5xx\":" + obs::JsonNumber(a.status_5xx);
+    out += ",\"p50_us\":" + obs::JsonNumber(a.latency_p50_us);
+    out += ",\"p90_us\":" + obs::JsonNumber(a.latency_p90_us);
+    out += ",\"p99_us\":" + obs::JsonNumber(a.latency_p99_us);
+    out += ",\"max_us\":" + obs::JsonNumber(a.latency_max_us);
+    out += ",\"mean_us\":" + obs::JsonNumber(a.latency_mean_us);
+    out += "}";
+  }
+  out += "]}\n";
+  return out;
+}
+
+Status WriteBenchNetJson(const std::string& path,
+                         const std::vector<LoadGenReport>& arms) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return Status::IOError("cannot write '" + path + "'");
+  out << RenderBenchNetJson(arms);
+  out.flush();
+  if (!out) return Status::IOError("cannot write '" + path + "'");
+  return Status::OK();
+}
+
+}  // namespace net
+}  // namespace crossem

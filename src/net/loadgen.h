@@ -1,0 +1,116 @@
+// Open-loop Poisson load generator for the HTTP front end.
+//
+// Open-loop means arrivals are scheduled from an exponential
+// inter-arrival clock fixed *before* the run: a slow server does not
+// slow the generator down, so queueing delay shows up in the measured
+// latency instead of silently throttling the offered load (the
+// coordinated-omission trap closed-loop clients fall into). Latency is
+// measured from the scheduled arrival time, not from when the socket
+// write finally happened.
+//
+// The schedule is deterministic per seed: arrival i is assigned to
+// client connection i % connections, each connection is a keep-alive
+// HTTP/1.1 socket that reconnects on failure, and every response is
+// parsed with the same HttpParser the server uses (Mode::kResponse).
+//
+// RunLoadGen drives one arm (one offered QPS); the report carries the
+// per-status counts and exact (sorted-sample) latency percentiles.
+// RenderBenchNetJson emits the BENCH_net.json document the CI gate
+// (tools/check_bench_regression.py --net) consumes:
+//   {"net":[{"name":...,"offered_qps":...,"p50_us":...,...}, ...]}
+#ifndef CROSSEM_NET_LOADGEN_H_
+#define CROSSEM_NET_LOADGEN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "net/http.h"
+#include "util/status.h"
+
+namespace crossem {
+namespace net {
+
+struct LoadGenOptions {
+  std::string host = "127.0.0.1";
+  int port = 0;
+  /// Entities queried round-robin across arrivals.
+  std::vector<std::string> entities;
+  /// Offered load (Poisson arrival rate).
+  double qps = 20.0;
+  int64_t duration_micros = 2 * 1000 * 1000;
+  /// Client connections (and threads); arrivals are sharded i % N.
+  int64_t connections = 2;
+  std::string tenant = "bench";
+  int64_t k = 5;
+  /// Sent as x-deadline-ms when > 0.
+  int64_t deadline_ms = 0;
+  /// Socket receive timeout per response.
+  int64_t response_timeout_micros = 5 * 1000 * 1000;
+  uint64_t seed = 1;
+  /// Arm label in BENCH_net.json ("nominal", "overload", ...).
+  std::string name = "arm";
+};
+
+struct LoadGenReport {
+  std::string name;
+  double offered_qps = 0.0;
+  double achieved_qps = 0.0;  // completed / wall duration
+  double duration_s = 0.0;
+  int64_t sent = 0;
+  int64_t completed = 0;       // any HTTP response received
+  int64_t transport_errors = 0;
+  int64_t status_200 = 0;
+  int64_t status_206 = 0;
+  int64_t status_429 = 0;
+  int64_t status_4xx = 0;  // other 4xx
+  int64_t status_5xx = 0;
+  // Exact percentiles over per-request latencies measured from the
+  // scheduled arrival (microseconds).
+  int64_t latency_p50_us = 0;
+  int64_t latency_p90_us = 0;
+  int64_t latency_p99_us = 0;
+  int64_t latency_max_us = 0;
+  double latency_mean_us = 0.0;
+};
+
+/// Drives one arm against a running server. Fails only on setup errors
+/// (no entities, unresolvable address); per-request failures are
+/// counted in the report instead.
+Result<LoadGenReport> RunLoadGen(const LoadGenOptions& options);
+
+/// The BENCH_net.json document for a set of arms.
+std::string RenderBenchNetJson(const std::vector<LoadGenReport>& arms);
+Status WriteBenchNetJson(const std::string& path,
+                         const std::vector<LoadGenReport>& arms);
+
+/// One blocking keep-alive HTTP client connection (shared by the load
+/// generator and tests that need a raw client).
+class HttpClient {
+ public:
+  HttpClient(std::string host, int port);
+  ~HttpClient();
+
+  HttpClient(const HttpClient&) = delete;
+  HttpClient& operator=(const HttpClient&) = delete;
+
+  /// Sends the request and blocks for the full response, reconnecting
+  /// once if the keep-alive connection had gone stale.
+  Result<HttpResponse> RoundTrip(const HttpRequest& request,
+                                 int64_t timeout_micros);
+
+ private:
+  Status Connect();
+  void Disconnect();
+  Result<HttpResponse> SendAndReceive(const HttpRequest& request,
+                                      int64_t timeout_micros);
+
+  const std::string host_;
+  const int port_;
+  int fd_ = -1;
+};
+
+}  // namespace net
+}  // namespace crossem
+
+#endif  // CROSSEM_NET_LOADGEN_H_

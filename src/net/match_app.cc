@@ -1,0 +1,309 @@
+#include "net/match_app.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <utility>
+
+#include "graph/json.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
+
+namespace crossem {
+namespace net {
+
+namespace {
+
+struct AppInstruments {
+  obs::Counter* match_requests;
+  obs::Counter* match_ok;
+  obs::Counter* match_degraded;
+  obs::Counter* admission_rejections;
+  obs::Counter* engine_rejections;
+
+  static const AppInstruments& Get() {
+    static const AppInstruments* instruments = [] {
+      auto& registry = obs::MetricsRegistry::Default();
+      auto* i = new AppInstruments();
+      i->match_requests =
+          registry.GetCounter("crossem_net_match_requests_total");
+      i->match_ok = registry.GetCounter("crossem_net_match_ok_total");
+      i->match_degraded =
+          registry.GetCounter("crossem_net_match_degraded_total");
+      i->admission_rejections =
+          registry.GetCounter("crossem_net_admission_rejections_total");
+      i->engine_rejections =
+          registry.GetCounter("crossem_net_engine_rejections_total");
+      return i;
+    }();
+    return *instruments;
+  }
+};
+
+HttpResponse JsonResponse(int status, std::string body) {
+  HttpResponse response;
+  response.status = status;
+  response.SetHeader("Content-Type", "application/json");
+  response.body = std::move(body);
+  return response;
+}
+
+HttpResponse ErrorResponse(int status, const std::string& message,
+                           const std::string& reason) {
+  return JsonResponse(status, ErrorBody(message, reason));
+}
+
+/// Path without the query string.
+std::string PathOf(const std::string& target) {
+  const size_t q = target.find('?');
+  return q == std::string::npos ? target : target.substr(0, q);
+}
+
+/// Per-tenant request accounting, keyed into the registry namespace via
+/// SanitizeMetricName so the exposition name matches the registry key.
+void CountTenantRequest(const std::string& tenant, bool rejected) {
+  auto& registry = obs::MetricsRegistry::Default();
+  const std::string safe = obs::SanitizeMetricName(tenant);
+  registry.GetCounter("crossem_net_tenant_requests_total:" + safe)
+      ->Increment();
+  if (rejected) {
+    registry.GetCounter("crossem_net_tenant_rejections_total:" + safe)
+        ->Increment();
+  }
+}
+
+}  // namespace
+
+std::string FormatFloatExact(float v) {
+  if (std::isnan(v)) return "null";
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.9g", static_cast<double>(v));
+  return buf;
+}
+
+std::string ErrorBody(const std::string& message, const std::string& reason) {
+  std::string body = "{\"error\":" + obs::JsonString(message);
+  if (!reason.empty()) body += ",\"reason\":" + obs::JsonString(reason);
+  body += "}\n";
+  return body;
+}
+
+MatchApp::MatchApp(const graph::Graph* graph,
+                   serve::SnapshotManager* snapshots, MatchAppOptions options)
+    : graph_(graph),
+      snapshots_(snapshots),
+      options_(std::move(options)),
+      admission_(options_.admission) {}
+
+HttpResponse MatchApp::Handle(const HttpRequest& request) {
+  const std::string path = PathOf(request.target);
+  if (path == "/v1/match") {
+    if (request.method != "POST") {
+      return ErrorResponse(405, "use POST", "method_not_allowed");
+    }
+    return HandleMatch(request);
+  }
+  if (path == "/healthz") return HandleHealth();
+  if (path == "/metrics") return HandleMetrics();
+  if (path == "/admin/snapshot") return HandleSnapshot(request);
+  return ErrorResponse(404, "no route for " + path, "not_found");
+}
+
+HttpResponse MatchApp::HandleMatch(const HttpRequest& request) {
+  AppInstruments::Get().match_requests->Increment();
+
+  const std::string* tenant_header = request.FindHeader("x-tenant");
+  const std::string tenant =
+      (tenant_header != nullptr && !tenant_header->empty())
+          ? *tenant_header
+          : options_.default_tenant;
+
+  // Deadline budget from x-deadline-ms; malformed values are a client
+  // bug and answered 400 rather than silently defaulted.
+  int64_t remaining_micros = 0;  // 0 = no deadline
+  if (const std::string* dl = request.FindHeader("x-deadline-ms")) {
+    auto parsed = ParseDeadlineMillis(*dl);
+    if (!parsed.ok()) {
+      CountTenantRequest(tenant, true);
+      return ErrorResponse(400, parsed.status().message(), "bad_deadline");
+    }
+    remaining_micros = parsed.value() * 1000;
+  }
+
+  auto doc = graph::ParseJson(request.body);
+  if (!doc.ok()) {
+    CountTenantRequest(tenant, true);
+    return ErrorResponse(400, "body is not valid JSON: " +
+                                  doc.status().message(),
+                         "bad_json");
+  }
+  const graph::JsonValue* entity = doc.value().Find("entity");
+  if (entity == nullptr || !entity->is_string()) {
+    CountTenantRequest(tenant, true);
+    return ErrorResponse(400, "body must carry a string \"entity\" field",
+                         "bad_request");
+  }
+  int64_t k = options_.default_k;
+  if (const graph::JsonValue* kv = doc.value().Find("k")) {
+    if (!kv->is_number() || kv->number_value() < 1) {
+      CountTenantRequest(tenant, true);
+      return ErrorResponse(400, "\"k\" must be a positive number",
+                           "bad_request");
+    }
+    k = static_cast<int64_t>(kv->number_value());
+  }
+  k = std::min(k, options_.max_k);
+  float min_probability = 0.0f;
+  if (const graph::JsonValue* mp = doc.value().Find("min_probability")) {
+    if (!mp->is_number()) {
+      CountTenantRequest(tenant, true);
+      return ErrorResponse(400, "\"min_probability\" must be a number",
+                           "bad_request");
+    }
+    min_probability = static_cast<float>(mp->number_value());
+  }
+
+  const graph::VertexId vertex = graph_->FindVertex(entity->string_value());
+  if (vertex < 0) {
+    CountTenantRequest(tenant, true);
+    return ErrorResponse(404, "no such entity: " + entity->string_value(),
+                         "unknown_entity");
+  }
+
+  serve::SnapshotLease lease = snapshots_->Acquire();
+  if (!lease) {
+    CountTenantRequest(tenant, true);
+    return ErrorResponse(503, "no index snapshot is live", "no_snapshot");
+  }
+
+  AdmissionController::Ticket ticket;
+  const AdmissionDecision decision =
+      admission_.Admit(tenant, std::chrono::steady_clock::now(),
+                       remaining_micros, lease->LatencyP50Us(), &ticket);
+  if (!decision.admitted) {
+    AppInstruments::Get().admission_rejections->Increment();
+    CountTenantRequest(tenant, true);
+    HttpResponse response = ErrorResponse(
+        decision.http_status, "request rejected by admission control",
+        decision.reason);
+    response.SetHeader("Retry-After",
+                       RetryAfterSeconds(decision.retry_after_micros));
+    response.SetHeader("x-retry-after-us",
+                       std::to_string(decision.retry_after_micros));
+    return response;
+  }
+  CountTenantRequest(tenant, false);
+
+  serve::MatchRequest match_request;
+  match_request.vertex = vertex;
+  match_request.k = k;
+  match_request.min_probability = min_probability;
+  match_request.deadline_micros = remaining_micros;
+  auto result = lease->Match(match_request);
+  if (!result.ok()) {
+    AppInstruments::Get().engine_rejections->Increment();
+    const int code = HttpCodeForStatus(result.status());
+    HttpResponse response =
+        ErrorResponse(code, result.status().message(), "engine");
+    if (code == 429) {
+      // Queue-full backpressure: surface the engine's (already
+      // deadline-clamped) drain hint as a proper Retry-After.
+      const int64_t hint = ClampRetryToDeadline(
+          ParseRetryAfterMicros(result.status().message()), remaining_micros);
+      response.SetHeader("Retry-After", RetryAfterSeconds(hint));
+      response.SetHeader("x-retry-after-us", std::to_string(hint));
+    }
+    return response;
+  }
+
+  const serve::MatchResponse& match = result.value();
+  std::string body = "{\"entity\":" + obs::JsonString(entity->string_value());
+  body += ",\"snapshot_version\":" + obs::JsonNumber(lease->version());
+  body += ",\"cache_hit\":";
+  body += match.cache_hit ? "true" : "false";
+  body += ",\"coverage\":" + obs::JsonNumber(match.coverage);
+  body += ",\"degraded\":";
+  body += match.degraded ? "true" : "false";
+  body += ",\"matches\":[";
+  for (size_t i = 0; i < match.matches.size(); ++i) {
+    const serve::RankedMatch& m = match.matches[i];
+    if (i != 0) body += ",";
+    body += "{\"image_id\":" + obs::JsonString(m.image_id);
+    body += ",\"image\":" + obs::JsonNumber(m.image);
+    body += ",\"similarity\":" + FormatFloatExact(m.similarity);
+    body += ",\"probability\":" + FormatFloatExact(m.probability);
+    body += "}";
+  }
+  body += "]}\n";
+  if (match.degraded) {
+    AppInstruments::Get().match_degraded->Increment();
+    // 206: the engine answered from a subset of shards (coverage < 1).
+    return JsonResponse(206, std::move(body));
+  }
+  AppInstruments::Get().match_ok->Increment();
+  return JsonResponse(200, std::move(body));
+}
+
+HttpResponse MatchApp::HandleHealth() {
+  serve::SnapshotLease lease = snapshots_->Acquire();
+  if (!lease) {
+    return JsonResponse(503, "{\"status\":\"no_snapshot\"}\n");
+  }
+  return JsonResponse(
+      200, "{\"status\":\"ok\",\"snapshot_version\":" +
+               obs::JsonNumber(lease->version()) + "}\n");
+}
+
+HttpResponse MatchApp::HandleMetrics() {
+  HttpResponse response;
+  response.status = 200;
+  response.SetHeader("Content-Type", "text/plain; version=0.0.4");
+  response.body =
+      obs::ExportPrometheus(obs::MetricsRegistry::Default().Snapshot());
+  return response;
+}
+
+HttpResponse MatchApp::HandleSnapshot(const HttpRequest& request) {
+  if (request.method == "GET") {
+    serve::SnapshotLease lease = snapshots_->Acquire();
+    if (!lease) {
+      return ErrorResponse(503, "no index snapshot is live", "no_snapshot");
+    }
+    std::string body = "{\"version\":" + obs::JsonNumber(lease->version());
+    body += ",\"source\":" + obs::JsonString(lease->source());
+    body += ",\"rows\":" + obs::JsonNumber(lease->rows());
+    body += ",\"backend\":" + obs::JsonString(lease->backend());
+    body += ",\"shards\":" + obs::JsonNumber(lease->shards());
+    body += ",\"swaps\":" + obs::JsonNumber(snapshots_->swaps());
+    body += "}\n";
+    return JsonResponse(200, std::move(body));
+  }
+  if (request.method != "POST") {
+    return ErrorResponse(405, "use GET or POST", "method_not_allowed");
+  }
+  auto doc = graph::ParseJson(request.body);
+  if (!doc.ok()) {
+    return ErrorResponse(400, "body is not valid JSON: " +
+                                  doc.status().message(),
+                         "bad_json");
+  }
+  const graph::JsonValue* index = doc.value().Find("index");
+  if (index == nullptr || !index->is_string()) {
+    return ErrorResponse(400, "body must carry a string \"index\" path",
+                         "bad_request");
+  }
+  // Heavy on purpose: the load + engine build runs on this worker
+  // thread while every other worker keeps serving the old snapshot.
+  Status swapped = snapshots_->LoadAndSwap(index->string_value());
+  if (!swapped.ok()) {
+    return ErrorResponse(HttpCodeForStatus(swapped), swapped.message(),
+                         "snapshot_load_failed");
+  }
+  return JsonResponse(
+      200, "{\"version\":" + obs::JsonNumber(snapshots_->version()) +
+               ",\"swaps\":" + obs::JsonNumber(snapshots_->swaps()) + "}\n");
+}
+
+}  // namespace net
+}  // namespace crossem

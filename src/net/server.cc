@@ -1,0 +1,444 @@
+#include "net/server.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/epoll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "obs/metrics.h"
+
+namespace crossem {
+namespace net {
+
+namespace {
+
+constexpr int kEpollTickMillis = 200;
+constexpr uint32_t kConnEvents = EPOLLIN | EPOLLONESHOT | EPOLLRDHUP;
+
+/// Canned response the event loop writes itself when the worker queue
+/// is full — sheds load without involving the saturated pool.
+const char kOverloadResponse[] =
+    "HTTP/1.1 503 Service Unavailable\r\n"
+    "Content-Type: application/json\r\n"
+    "Content-Length: 30\r\n"
+    "Connection: close\r\n"
+    "\r\n"
+    "{\"error\":\"server_overloaded\"}\n";
+
+}  // namespace
+
+struct HttpServer::Instruments {
+  obs::Counter* connections;
+  obs::Counter* requests;
+  obs::Counter* responses_2xx;
+  obs::Counter* responses_4xx;
+  obs::Counter* responses_5xx;
+  obs::Counter* parse_errors;
+  obs::Counter* overload_sheds;
+  obs::Gauge* active;
+  obs::Histogram* latency_us;
+
+  static const Instruments* Get() {
+    static const Instruments* instruments = [] {
+      auto& registry = obs::MetricsRegistry::Default();
+      auto* i = new Instruments();
+      i->connections = registry.GetCounter("crossem_http_connections_total");
+      i->requests = registry.GetCounter("crossem_http_requests_total");
+      i->responses_2xx =
+          registry.GetCounter("crossem_http_responses_2xx_total");
+      i->responses_4xx =
+          registry.GetCounter("crossem_http_responses_4xx_total");
+      i->responses_5xx =
+          registry.GetCounter("crossem_http_responses_5xx_total");
+      i->parse_errors = registry.GetCounter("crossem_http_parse_errors_total");
+      i->overload_sheds =
+          registry.GetCounter("crossem_http_overload_sheds_total");
+      i->active = registry.GetGauge("crossem_http_active_connections");
+      i->latency_us =
+          registry.GetHistogram("crossem_http_request_latency_us");
+      return i;
+    }();
+    return instruments;
+  }
+};
+
+HttpServer::HttpServer(HttpServerOptions options, HttpHandler handler)
+    : options_(std::move(options)),
+      handler_(std::move(handler)),
+      instruments_(Instruments::Get()) {}
+
+HttpServer::~HttpServer() { Stop(); }
+
+Status HttpServer::Start() {
+  if (started_) return Status::InvalidArgument("server already started");
+
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC,
+                        0);
+  if (listen_fd_ < 0) {
+    return Status::IOError("socket: " + std::string(std::strerror(errno)));
+  }
+  int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(options_.port));
+  if (::inet_pton(AF_INET, options_.host.c_str(), &addr.sin_addr) != 1) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::InvalidArgument("bad bind address: " + options_.host);
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    Status status = Status::IOError("bind " + options_.host + ":" +
+                                    std::to_string(options_.port) + ": " +
+                                    std::strerror(errno));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return status;
+  }
+  if (::listen(listen_fd_, 128) != 0) {
+    Status status =
+        Status::IOError("listen: " + std::string(std::strerror(errno)));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return status;
+  }
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof(bound);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound),
+                    &bound_len) == 0) {
+    port_ = ntohs(bound.sin_port);
+  }
+
+  epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+  if (epoll_fd_ < 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::IOError("epoll_create1: " +
+                           std::string(std::strerror(errno)));
+  }
+  if (::pipe2(wake_pipe_, O_NONBLOCK | O_CLOEXEC) != 0) {
+    ::close(epoll_fd_);
+    ::close(listen_fd_);
+    epoll_fd_ = listen_fd_ = -1;
+    return Status::IOError("pipe2: " + std::string(std::strerror(errno)));
+  }
+
+  epoll_event ev{};
+  ev.events = EPOLLIN;  // level-triggered: listener and wake pipe
+  ev.data.fd = listen_fd_;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, listen_fd_, &ev);
+  ev.data.fd = wake_pipe_[0];
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_pipe_[0], &ev);
+
+  stopping_.store(false, std::memory_order_release);
+  started_ = true;
+  const int64_t workers = options_.workers > 0 ? options_.workers : 1;
+  workers_.reserve(static_cast<size_t>(workers));
+  for (int64_t i = 0; i < workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+  loop_ = std::thread([this] { EventLoop(); });
+  return Status::OK();
+}
+
+void HttpServer::Stop() {
+  if (!started_) return;
+  started_ = false;
+  stopping_.store(true, std::memory_order_release);
+  // Wake the event loop out of epoll_wait.
+  char b = 1;
+  (void)!::write(wake_pipe_[1], &b, 1);
+  if (loop_.joinable()) loop_.join();
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    queue_cv_.notify_all();
+  }
+  for (std::thread& w : workers_) {
+    if (w.joinable()) w.join();
+  }
+  workers_.clear();
+  {
+    // Workers are gone: every remaining connection is safe to close.
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    for (auto& entry : conns_) ::close(entry.second->fd);
+    conns_.clear();
+    active_connections_.store(0, std::memory_order_relaxed);
+    instruments_->active->Set(0.0);
+  }
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+  if (epoll_fd_ >= 0) ::close(epoll_fd_);
+  if (wake_pipe_[0] >= 0) ::close(wake_pipe_[0]);
+  if (wake_pipe_[1] >= 0) ::close(wake_pipe_[1]);
+  listen_fd_ = epoll_fd_ = wake_pipe_[0] = wake_pipe_[1] = -1;
+}
+
+void HttpServer::EventLoop() {
+  epoll_event events[64];
+  while (!stopping_.load(std::memory_order_acquire)) {
+    const int n = ::epoll_wait(epoll_fd_, events, 64, kEpollTickMillis);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    for (int i = 0; i < n; ++i) {
+      const int fd = events[i].data.fd;
+      if (fd == listen_fd_) {
+        AcceptNew();
+        continue;
+      }
+      if (fd == wake_pipe_[0]) {
+        char drain[64];
+        while (::read(wake_pipe_[0], drain, sizeof(drain)) > 0) {
+        }
+        continue;
+      }
+      // A connection became readable (or hung up). EPOLLONESHOT has
+      // already disarmed it; hand it to a worker.
+      {
+        std::lock_guard<std::mutex> conns_lock(conns_mu_);
+        auto it = conns_.find(fd);
+        if (it == conns_.end()) continue;  // closed by an idle sweep race
+        std::lock_guard<std::mutex> queue_lock(queue_mu_);
+        if (static_cast<int64_t>(work_queue_.size()) >=
+            options_.worker_queue) {
+          // Front-door shed: the loop answers 503 itself (best-effort,
+          // nonblocking) rather than queueing behind a saturated pool.
+          (void)::send(fd, kOverloadResponse, sizeof(kOverloadResponse) - 1,
+                       MSG_NOSIGNAL | MSG_DONTWAIT);
+          CloseConnection(it->second.get());
+          instruments_->overload_sheds->Increment();
+          instruments_->responses_5xx->Increment();
+        } else {
+          it->second->busy = true;
+          work_queue_.push_back(fd);
+          queue_cv_.notify_one();
+        }
+      }
+    }
+    SweepIdle(std::chrono::steady_clock::now());
+  }
+}
+
+void HttpServer::AcceptNew() {
+  for (;;) {
+    sockaddr_in peer{};
+    socklen_t peer_len = sizeof(peer);
+    const int fd =
+        ::accept4(listen_fd_, reinterpret_cast<sockaddr*>(&peer), &peer_len,
+                  SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (fd < 0) return;  // EAGAIN or transient accept failure
+    if (active_connections_.load(std::memory_order_relaxed) >=
+        options_.max_connections) {
+      ::close(fd);
+      instruments_->overload_sheds->Increment();
+      continue;
+    }
+    int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+
+    auto conn = std::make_unique<Connection>();
+    conn->fd = fd;
+    conn->parser = HttpParser(HttpParser::Mode::kRequest, options_.limits);
+    conn->last_active = std::chrono::steady_clock::now();
+
+    epoll_event ev{};
+    ev.events = kConnEvents;
+    ev.data.fd = fd;
+    {
+      std::lock_guard<std::mutex> lock(conns_mu_);
+      if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) != 0) {
+        ::close(fd);
+        continue;
+      }
+      conns_.emplace(fd, std::move(conn));
+      const int64_t active =
+          active_connections_.fetch_add(1, std::memory_order_relaxed) + 1;
+      instruments_->active->Set(static_cast<double>(active));
+    }
+    instruments_->connections->Increment();
+  }
+}
+
+void HttpServer::SweepIdle(std::chrono::steady_clock::time_point now) {
+  if (options_.idle_timeout_micros <= 0) return;
+  const auto cutoff =
+      now - std::chrono::microseconds(options_.idle_timeout_micros);
+  std::lock_guard<std::mutex> lock(conns_mu_);
+  for (auto it = conns_.begin(); it != conns_.end();) {
+    Connection* conn = it->second.get();
+    if (!conn->busy && conn->last_active < cutoff) {
+      ++it;  // CloseConnection erases; advance first
+      CloseConnection(conn);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void HttpServer::CloseConnection(Connection* conn) {
+  const int fd = conn->fd;
+  ::close(fd);  // also removes fd from the epoll set
+  conns_.erase(fd);
+  const int64_t active =
+      active_connections_.fetch_sub(1, std::memory_order_relaxed) - 1;
+  instruments_->active->Set(static_cast<double>(active));
+}
+
+bool HttpServer::RearmConnection(Connection* conn) {
+  epoll_event ev{};
+  ev.events = kConnEvents;
+  ev.data.fd = conn->fd;
+  return ::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, conn->fd, &ev) == 0;
+}
+
+void HttpServer::WorkerLoop() {
+  for (;;) {
+    int fd = -1;
+    {
+      std::unique_lock<std::mutex> lock(queue_mu_);
+      queue_cv_.wait(lock, [&] {
+        return !work_queue_.empty() ||
+               stopping_.load(std::memory_order_acquire);
+      });
+      if (stopping_.load(std::memory_order_acquire)) return;
+      fd = work_queue_.front();
+      work_queue_.pop_front();
+    }
+    Connection* conn = nullptr;
+    {
+      std::lock_guard<std::mutex> lock(conns_mu_);
+      auto it = conns_.find(fd);
+      if (it == conns_.end()) continue;
+      conn = it->second.get();
+    }
+    // `conn` stays valid: busy connections are only closed by the
+    // worker that checked them out (sweeps and the loop skip them).
+    ServeConnection(conn);
+  }
+}
+
+void HttpServer::ServeConnection(Connection* conn) {
+  bool close_conn = false;
+
+  // Drain the socket.
+  char buf[16 * 1024];
+  for (;;) {
+    const ssize_t n = ::recv(conn->fd, buf, sizeof(buf), 0);
+    if (n > 0) {
+      Status fed = conn->parser.Feed(buf, static_cast<size_t>(n));
+      if (!fed.ok()) {
+        instruments_->parse_errors->Increment();
+        HttpResponse response;
+        response.status = conn->parser.suggested_status() != 0
+                              ? conn->parser.suggested_status()
+                              : 400;
+        response.SetHeader("Content-Type", "application/json");
+        response.body = "{\"error\":\"malformed_request\"}\n";
+        response.keep_alive = false;
+        (void)WriteAll(conn->fd, SerializeResponse(response));
+        instruments_->responses_4xx->Increment();
+        close_conn = true;
+        break;
+      }
+      if (static_cast<size_t>(n) < sizeof(buf) && conn->parser.HasMessage()) {
+        break;  // likely drained; serve what we have
+      }
+      continue;
+    }
+    if (n == 0) {
+      conn->peer_closed = true;
+      break;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    if (errno == EINTR) continue;
+    close_conn = true;  // ECONNRESET and friends
+    break;
+  }
+
+  // Answer every complete request that is buffered (keep-alive and
+  // pipelined peers may have several).
+  while (!close_conn && conn->parser.HasMessage()) {
+    HttpRequest request = conn->parser.TakeRequest();
+    instruments_->requests->Increment();
+    const auto start = std::chrono::steady_clock::now();
+    HttpResponse response = handler_(request);
+    const auto elapsed_us =
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - start)
+            .count();
+    instruments_->latency_us->Record(elapsed_us);
+    if (!request.KeepAlive()) response.keep_alive = false;
+    if (response.status >= 500) {
+      instruments_->responses_5xx->Increment();
+    } else if (response.status >= 400) {
+      instruments_->responses_4xx->Increment();
+    } else {
+      instruments_->responses_2xx->Increment();
+    }
+    if (!WriteAll(conn->fd, SerializeResponse(response))) {
+      close_conn = true;
+      break;
+    }
+    if (!response.keep_alive) {
+      close_conn = true;
+      break;
+    }
+  }
+
+  if (conn->peer_closed && !conn->parser.HasMessage()) close_conn = true;
+
+  std::lock_guard<std::mutex> lock(conns_mu_);
+  if (close_conn) {
+    CloseConnection(conn);
+    return;
+  }
+  conn->busy = false;
+  conn->last_active = std::chrono::steady_clock::now();
+  if (!RearmConnection(conn)) CloseConnection(conn);
+}
+
+bool HttpServer::WriteAll(int fd, const std::string& data) {
+  size_t off = 0;
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::microseconds(options_.write_timeout_micros);
+  while (off < data.size()) {
+    const ssize_t n = ::send(fd, data.data() + off, data.size() - off,
+                             MSG_NOSIGNAL);
+    if (n > 0) {
+      off += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      const auto now = std::chrono::steady_clock::now();
+      if (now >= deadline) return false;
+      pollfd pfd{fd, POLLOUT, 0};
+      const auto remaining_ms =
+          std::chrono::duration_cast<std::chrono::milliseconds>(deadline -
+                                                                now)
+              .count();
+      if (::poll(&pfd, 1,
+                 static_cast<int>(std::min<int64_t>(remaining_ms, 100))) < 0 &&
+          errno != EINTR) {
+        return false;
+      }
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    return false;  // peer went away mid-response
+  }
+  return true;
+}
+
+}  // namespace net
+}  // namespace crossem

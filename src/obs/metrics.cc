@@ -169,9 +169,6 @@ MetricsSnapshot MetricsRegistry::Snapshot() const {
   return snap;  // std::map iteration is already name-sorted
 }
 
-namespace {
-
-/// Prometheus metric names allow [a-zA-Z_:][a-zA-Z0-9_:]*.
 std::string SanitizeMetricName(const std::string& name) {
   std::string out = name;
   for (size_t i = 0; i < out.size(); ++i) {
@@ -182,6 +179,8 @@ std::string SanitizeMetricName(const std::string& name) {
   }
   return out.empty() ? "_" : out;
 }
+
+namespace {
 
 std::string FormatDouble(double v) {
   if (std::isnan(v)) return "NaN";

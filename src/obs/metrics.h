@@ -166,6 +166,14 @@ class MetricsRegistry {
   std::map<std::string, std::unique_ptr<Histogram>> histograms_;
 };
 
+/// Maps an arbitrary string into the Prometheus metric-name alphabet
+/// [a-zA-Z_:][a-zA-Z0-9_:]* (offending characters become '_'; an empty
+/// input becomes "_"). The exporters apply it to every name; callers
+/// that mint names from external input — e.g. per-tenant instruments
+/// keyed by the x-tenant header — should apply it themselves so the
+/// registry key and the exposition name agree.
+std::string SanitizeMetricName(const std::string& name);
+
 /// Prometheus text exposition (format version 0.0.4) of a snapshot:
 /// counters as `# TYPE <name> counter`, gauges as gauge, histograms as
 /// cumulative `<name>_bucket{le="..."}` series (log2 upper bounds, only

@@ -113,9 +113,15 @@ std::future<Result<MatchResponse>> MatchService::Submit(
       // The rejection carries the observed depth and a drain-time hint
       // (p50 completion latency, floored at the batching wait) so
       // callers — including the sharded layer — can back off for a
-      // meaningful interval instead of guessing.
-      const int64_t retry_after_us = std::max<int64_t>(
+      // meaningful interval instead of guessing. The hint never exceeds
+      // the request's own deadline: advising a retry that would arrive
+      // post-deadline is wasted work on both sides.
+      int64_t retry_after_us = std::max<int64_t>(
           stats_.LatencyP50Us(), options_.max_wait_micros);
+      if (request.deadline_micros > 0) {
+        retry_after_us =
+            std::min(retry_after_us, request.deadline_micros);
+      }
       pending.promise.set_value(Status::Unavailable(
           "MatchService queue full (" + std::to_string(queue_.size()) +
           " of " + std::to_string(options_.max_queue) +

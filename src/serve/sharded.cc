@@ -281,8 +281,14 @@ std::future<Result<MatchResponse>> ShardedMatchService::Submit(
     }
     if (static_cast<int64_t>(queue_.size()) >= options_.base.max_queue) {
       stats_.RecordRejectedQueueFull();
-      const int64_t retry_after_us = std::max<int64_t>(
+      // Same drain hint as MatchService, clamped to the request's own
+      // deadline (a later retry could never be served in time).
+      int64_t retry_after_us = std::max<int64_t>(
           stats_.LatencyP50Us(), options_.base.max_wait_micros);
+      if (request.deadline_micros > 0) {
+        retry_after_us =
+            std::min(retry_after_us, request.deadline_micros);
+      }
       pending.promise.set_value(Status::Unavailable(
           "ShardedMatchService queue full (" +
           std::to_string(queue_.size()) + " of " +

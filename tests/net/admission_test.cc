@@ -1,0 +1,246 @@
+// Admission control: deterministic token-bucket refill via injected
+// time points, tenant isolation (an exhausted tenant never consumes the
+// global limit or another tenant's tokens), the global concurrency
+// limiter with RAII tickets, the overflow bucket beyond max_tenants,
+// the deadline clamp on every Retry-After hint, and x-deadline-ms
+// parsing.
+#include "net/admission.h"
+
+#include <chrono>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "util/status.h"
+
+namespace crossem {
+namespace net {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+Clock::time_point T0() {
+  // An arbitrary fixed epoch; only differences matter.
+  return Clock::time_point(std::chrono::seconds(1000));
+}
+
+Clock::time_point After(int64_t micros) {
+  return T0() + std::chrono::microseconds(micros);
+}
+
+TEST(TokenBucketTest, StartsFullThenRefusesWithRefillHint) {
+  TokenBucket bucket(/*rate_per_sec=*/10.0, /*burst=*/2.0);
+  int64_t retry = 0;
+  EXPECT_TRUE(bucket.TryAcquire(T0(), &retry));
+  EXPECT_TRUE(bucket.TryAcquire(T0(), &retry));
+  // Empty: at 10 tokens/s the next full token is 100ms away (the hint
+  // is ceil'd over double math, so allow one microsecond of slack).
+  EXPECT_FALSE(bucket.TryAcquire(T0(), &retry));
+  EXPECT_GE(retry, 100000);
+  EXPECT_LE(retry, 100001);
+}
+
+TEST(TokenBucketTest, RefillsDeterministicallyWithInjectedTime) {
+  TokenBucket bucket(/*rate_per_sec=*/10.0, /*burst=*/2.0);
+  int64_t retry = 0;
+  EXPECT_TRUE(bucket.TryAcquire(T0(), &retry));
+  EXPECT_TRUE(bucket.TryAcquire(T0(), &retry));
+  EXPECT_FALSE(bucket.TryAcquire(T0(), &retry));
+  // 50ms -> half a token: still refused, hint shrinks to the remainder.
+  EXPECT_FALSE(bucket.TryAcquire(After(50000), &retry));
+  EXPECT_GE(retry, 50000);
+  EXPECT_LE(retry, 50001);
+  // 100ms -> one full token accrued.
+  EXPECT_TRUE(bucket.TryAcquire(After(100000), &retry));
+  EXPECT_FALSE(bucket.TryAcquire(After(100000), &retry));
+}
+
+TEST(TokenBucketTest, BurstCapsAccrual) {
+  TokenBucket bucket(/*rate_per_sec=*/1000.0, /*burst=*/3.0);
+  int64_t retry = 0;
+  // Drain the initial burst and stamp the refill clock.
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_TRUE(bucket.TryAcquire(T0(), &retry)) << i;
+  }
+  // An hour passes; the bucket holds burst=3 tokens, not 3.6 million.
+  const auto later = T0() + std::chrono::hours(1);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_TRUE(bucket.TryAcquire(later, &retry)) << i;
+  }
+  EXPECT_FALSE(bucket.TryAcquire(later, &retry));
+}
+
+TEST(TokenBucketTest, BackwardClockDoesNotMintTokens) {
+  TokenBucket bucket(/*rate_per_sec=*/10.0, /*burst=*/1.0);
+  int64_t retry = 0;
+  EXPECT_TRUE(bucket.TryAcquire(After(1000000), &retry));
+  // Time "goes backward" (reordered callers): no refill, no crash.
+  EXPECT_FALSE(bucket.TryAcquire(T0(), &retry));
+}
+
+TEST(ClampRetryToDeadlineTest, NeverAdvisesPastTheDeadline) {
+  EXPECT_EQ(ClampRetryToDeadline(5000, 2000), 2000);
+  EXPECT_EQ(ClampRetryToDeadline(1000, 2000), 1000);
+  // No deadline: the hint passes through.
+  EXPECT_EQ(ClampRetryToDeadline(5000, 0), 5000);
+  EXPECT_EQ(ClampRetryToDeadline(5000, -1), 5000);
+}
+
+TEST(AdmissionControllerTest, AdmitsWithinLimitsAndReleasesViaTicket) {
+  AdmissionOptions options;
+  options.max_inflight = 2;
+  options.tenant_rate = 0.0;  // quotas off; this test is the limiter
+  AdmissionController admission(options);
+
+  AdmissionController::Ticket t1, t2, t3;
+  EXPECT_TRUE(admission.Admit("a", T0(), 0, 0, &t1).admitted);
+  EXPECT_TRUE(admission.Admit("a", T0(), 0, 0, &t2).admitted);
+  EXPECT_EQ(admission.inflight(), 2);
+
+  AdmissionDecision rejected = admission.Admit("a", T0(), 0, 7000, &t3);
+  EXPECT_FALSE(rejected.admitted);
+  EXPECT_EQ(rejected.http_status, 429);
+  EXPECT_EQ(rejected.reason, "concurrency_limit");
+  // Retry-After is the engine's p50 drain hint.
+  EXPECT_EQ(rejected.retry_after_micros, 7000);
+  EXPECT_EQ(admission.inflight(), 2);  // rejection holds no permit
+
+  t1.Release();
+  EXPECT_EQ(admission.inflight(), 1);
+  EXPECT_TRUE(admission.Admit("a", T0(), 0, 0, &t3).admitted);
+  EXPECT_EQ(admission.inflight(), 2);
+}
+
+TEST(AdmissionControllerTest, TicketReleasesOnScopeExit) {
+  AdmissionOptions options;
+  options.max_inflight = 1;
+  options.tenant_rate = 0.0;
+  AdmissionController admission(options);
+  {
+    AdmissionController::Ticket t;
+    EXPECT_TRUE(admission.Admit("a", T0(), 0, 0, &t).admitted);
+    EXPECT_EQ(admission.inflight(), 1);
+  }
+  EXPECT_EQ(admission.inflight(), 0);
+  AdmissionController::Ticket t;
+  EXPECT_TRUE(admission.Admit("a", T0(), 0, 0, &t).admitted);
+}
+
+TEST(AdmissionControllerTest, ConcurrencyRejectionUsesDefaultHintWhenNoP50) {
+  AdmissionOptions options;
+  options.max_inflight = 1;
+  options.tenant_rate = 0.0;
+  options.default_retry_after_micros = 12345;
+  AdmissionController admission(options);
+  AdmissionController::Ticket held, refused;
+  ASSERT_TRUE(admission.Admit("a", T0(), 0, 0, &held).admitted);
+  AdmissionDecision d = admission.Admit("a", T0(), 0, /*p50=*/0, &refused);
+  ASSERT_FALSE(d.admitted);
+  EXPECT_EQ(d.retry_after_micros, 12345);
+}
+
+TEST(AdmissionControllerTest, TenantExhaustionLeavesOthersUntouched) {
+  AdmissionOptions options;
+  options.max_inflight = 100;
+  options.tenant_rate = 10.0;
+  options.tenant_burst = 2.0;
+  AdmissionController admission(options);
+
+  // Tenant A burns its burst.
+  std::vector<AdmissionController::Ticket> held;
+  for (int i = 0; i < 2; ++i) {
+    held.emplace_back();
+    ASSERT_TRUE(admission.Admit("a", T0(), 0, 0, &held.back()).admitted) << i;
+  }
+  AdmissionController::Ticket t;
+  AdmissionDecision d = admission.Admit("a", T0(), 0, 0, &t);
+  ASSERT_FALSE(d.admitted);
+  EXPECT_EQ(d.http_status, 429);
+  EXPECT_EQ(d.reason, "tenant_quota_exhausted");
+  EXPECT_GE(d.retry_after_micros, 100000);  // next token at +100ms
+  EXPECT_LE(d.retry_after_micros, 100001);
+
+  // The quota rejection consumed no inflight slot, and tenant B's own
+  // bucket is still full: isolation both ways.
+  const int64_t inflight_after_reject = admission.inflight();
+  AdmissionController::Ticket tb1, tb2;
+  EXPECT_TRUE(admission.Admit("b", T0(), 0, 0, &tb1).admitted);
+  EXPECT_TRUE(admission.Admit("b", T0(), 0, 0, &tb2).admitted);
+  EXPECT_EQ(admission.inflight(), inflight_after_reject + 2);
+}
+
+TEST(AdmissionControllerTest, QuotaRejectionHintIsClampedToDeadline) {
+  AdmissionOptions options;
+  options.tenant_rate = 1.0;  // next token a full second away
+  options.tenant_burst = 1.0;
+  AdmissionController admission(options);
+  AdmissionController::Ticket t0;
+  ASSERT_TRUE(admission.Admit("a", T0(), 0, 0, &t0).admitted);
+
+  AdmissionController::Ticket t;
+  // 30ms of budget left: the 1s refill hint must shrink to fit.
+  AdmissionDecision d =
+      admission.Admit("a", T0(), /*remaining_deadline=*/30000, 0, &t);
+  ASSERT_FALSE(d.admitted);
+  EXPECT_EQ(d.reason, "tenant_quota_exhausted");
+  EXPECT_EQ(d.retry_after_micros, 30000);
+}
+
+TEST(AdmissionControllerTest, OverflowBucketBeyondMaxTenants) {
+  AdmissionOptions options;
+  options.max_tenants = 2;
+  options.tenant_rate = 10.0;
+  options.tenant_burst = 1.0;
+  AdmissionController admission(options);
+
+  AdmissionController::Ticket t;
+  // Two distinct tenants get their own buckets.
+  EXPECT_TRUE(admission.Admit("a", T0(), 0, 0, &t).admitted);
+  t.Release();
+  EXPECT_TRUE(admission.Admit("b", T0(), 0, 0, &t).admitted);
+  t.Release();
+  // Every tenant past the cap shares one overflow bucket: the third
+  // tenant takes its single burst token, the fourth finds it empty.
+  EXPECT_TRUE(admission.Admit("c", T0(), 0, 0, &t).admitted);
+  t.Release();
+  AdmissionDecision d = admission.Admit("d", T0(), 0, 0, &t);
+  EXPECT_FALSE(d.admitted);
+  EXPECT_EQ(d.reason, "tenant_quota_exhausted");
+  // Known tenants keep their own (refilled) buckets meanwhile.
+  EXPECT_TRUE(admission.Admit("a", After(100000), 0, 0, &t).admitted);
+}
+
+TEST(AdmissionControllerTest, DisabledGatesAdmitEverything) {
+  AdmissionOptions options;
+  options.max_inflight = 0;  // limiter off
+  options.tenant_rate = 0.0;  // quotas off
+  AdmissionController admission(options);
+  std::vector<AdmissionController::Ticket> held;
+  for (int i = 0; i < 500; ++i) {
+    held.emplace_back();
+    ASSERT_TRUE(
+        admission.Admit("anyone", T0(), 0, 0, &held.back()).admitted)
+        << i;
+  }
+}
+
+TEST(ParseDeadlineMillisTest, AcceptsPositiveIntegers) {
+  auto r = ParseDeadlineMillis("250");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 250);
+  EXPECT_EQ(ParseDeadlineMillis("1").value(), 1);
+}
+
+TEST(ParseDeadlineMillisTest, RejectsMalformedValues) {
+  EXPECT_FALSE(ParseDeadlineMillis("").ok());
+  EXPECT_FALSE(ParseDeadlineMillis("0").ok());
+  EXPECT_FALSE(ParseDeadlineMillis("-5").ok());
+  EXPECT_FALSE(ParseDeadlineMillis("12abc").ok());
+  EXPECT_FALSE(ParseDeadlineMillis("1.5").ok());
+  EXPECT_FALSE(ParseDeadlineMillis(" 250").ok());
+  // Absurd budgets (> 24h) are client bugs, not real deadlines.
+  EXPECT_FALSE(ParseDeadlineMillis("999999999999").ok());
+}
+
+}  // namespace
+}  // namespace net
+}  // namespace crossem

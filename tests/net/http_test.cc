@@ -1,0 +1,325 @@
+// The HTTP/1.1 message layer: incremental parsing (byte-at-a-time
+// feeds, chunked bodies, keep-alive pipelining, bare-LF tolerance),
+// the parser's memory limits and their suggested error statuses, the
+// serializers' round-trip property, and the serving-layer Status ->
+// HTTP status mapping (satellite: kUnavailable -> 429/503 split,
+// kDeadlineExceeded -> 504).
+#include "net/http.h"
+
+#include <string>
+
+#include "gtest/gtest.h"
+#include "util/status.h"
+
+namespace crossem {
+namespace net {
+namespace {
+
+TEST(HttpRequestTest, FindHeaderIsCaseInsensitive) {
+  HttpRequest r;
+  r.headers = {{"Content-Type", "application/json"}, {"X-Tenant", "acme"}};
+  ASSERT_NE(r.FindHeader("content-type"), nullptr);
+  EXPECT_EQ(*r.FindHeader("CONTENT-TYPE"), "application/json");
+  EXPECT_EQ(*r.FindHeader("x-tenant"), "acme");
+  EXPECT_EQ(r.FindHeader("x-deadline-ms"), nullptr);
+}
+
+TEST(HttpRequestTest, KeepAliveDefaults) {
+  HttpRequest r;
+  r.version = "HTTP/1.1";
+  EXPECT_TRUE(r.KeepAlive());  // 1.1 default: persistent
+  r.headers = {{"Connection", "close"}};
+  EXPECT_FALSE(r.KeepAlive());
+  r.headers = {{"Connection", "Close"}};  // token is case-insensitive
+  EXPECT_FALSE(r.KeepAlive());
+
+  HttpRequest r10;
+  r10.version = "HTTP/1.0";
+  EXPECT_FALSE(r10.KeepAlive());  // 1.0 default: close
+  r10.headers = {{"Connection", "keep-alive"}};
+  EXPECT_TRUE(r10.KeepAlive());
+}
+
+TEST(HttpParserTest, ParsesSimpleGet) {
+  HttpParser parser;
+  const std::string wire =
+      "GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n";
+  ASSERT_TRUE(parser.Feed(wire.data(), wire.size()).ok());
+  ASSERT_TRUE(parser.HasMessage());
+  HttpRequest r = parser.TakeRequest();
+  EXPECT_EQ(r.method, "GET");
+  EXPECT_EQ(r.target, "/healthz");
+  EXPECT_EQ(r.version, "HTTP/1.1");
+  EXPECT_EQ(r.body, "");
+  EXPECT_FALSE(parser.HasMessage());
+  EXPECT_FALSE(parser.HasPartial());
+}
+
+// The server feeds whatever recv() returned; a byte at a time is the
+// adversarial schedule every state transition must survive.
+TEST(HttpParserTest, ByteAtATimeContentLengthBody) {
+  HttpParser parser;
+  const std::string wire =
+      "POST /v1/match HTTP/1.1\r\n"
+      "Content-Type: application/json\r\n"
+      "Content-Length: 14\r\n"
+      "\r\n"
+      "{\"entity\":\"a\"}";
+  for (char c : wire) {
+    ASSERT_TRUE(parser.Feed(&c, 1).ok());
+  }
+  ASSERT_TRUE(parser.HasMessage());
+  HttpRequest r = parser.TakeRequest();
+  EXPECT_EQ(r.method, "POST");
+  EXPECT_EQ(r.body, "{\"entity\":\"a\"}");
+  ASSERT_NE(r.FindHeader("content-length"), nullptr);
+}
+
+TEST(HttpParserTest, ByteAtATimeChunkedBody) {
+  HttpParser parser;
+  const std::string wire =
+      "POST /v1/match HTTP/1.1\r\n"
+      "Transfer-Encoding: chunked\r\n"
+      "\r\n"
+      "4\r\n"
+      "{\"en\r\n"
+      "A\r\n"
+      "tity\":\"b\"}\r\n"
+      "0\r\n"
+      "\r\n";
+  for (char c : wire) {
+    ASSERT_TRUE(parser.Feed(&c, 1).ok());
+  }
+  ASSERT_TRUE(parser.HasMessage());
+  HttpRequest r = parser.TakeRequest();
+  EXPECT_EQ(r.body, "{\"entity\":\"b\"}");
+}
+
+TEST(HttpParserTest, ChunkedTrailersAreDiscarded) {
+  HttpParser parser;
+  const std::string wire =
+      "POST /x HTTP/1.1\r\n"
+      "Transfer-Encoding: chunked\r\n"
+      "\r\n"
+      "3\r\nabc\r\n"
+      "0\r\n"
+      "X-Checksum: 99\r\n"
+      "\r\n";
+  ASSERT_TRUE(parser.Feed(wire.data(), wire.size()).ok());
+  ASSERT_TRUE(parser.HasMessage());
+  HttpRequest r = parser.TakeRequest();
+  EXPECT_EQ(r.body, "abc");
+  // Trailers end the message; they do not become headers.
+  EXPECT_EQ(r.FindHeader("x-checksum"), nullptr);
+}
+
+// Two pipelined requests in one read: the parser yields them one at a
+// time, preserving order and keeping residual bytes buffered.
+TEST(HttpParserTest, PipelinedKeepAliveRequests) {
+  HttpParser parser;
+  const std::string wire =
+      "GET /healthz HTTP/1.1\r\n\r\n"
+      "POST /v1/match HTTP/1.1\r\nContent-Length: 2\r\n\r\nhi"
+      "GET /metr";  // partial third request
+  ASSERT_TRUE(parser.Feed(wire.data(), wire.size()).ok());
+  ASSERT_TRUE(parser.HasMessage());
+  HttpRequest first = parser.TakeRequest();
+  EXPECT_EQ(first.target, "/healthz");
+  ASSERT_TRUE(parser.HasMessage());
+  HttpRequest second = parser.TakeRequest();
+  EXPECT_EQ(second.target, "/v1/match");
+  EXPECT_EQ(second.body, "hi");
+  EXPECT_FALSE(parser.HasMessage());
+  EXPECT_TRUE(parser.HasPartial());  // "GET /metr" is buffered
+  const std::string rest = "ics HTTP/1.1\r\n\r\n";
+  ASSERT_TRUE(parser.Feed(rest.data(), rest.size()).ok());
+  ASSERT_TRUE(parser.HasMessage());
+  EXPECT_EQ(parser.TakeRequest().target, "/metrics");
+}
+
+TEST(HttpParserTest, AcceptsBareLfLineEndings) {
+  HttpParser parser;
+  const std::string wire =
+      "POST /v1/match HTTP/1.1\n"
+      "Content-Length: 3\n"
+      "\n"
+      "abc";
+  ASSERT_TRUE(parser.Feed(wire.data(), wire.size()).ok());
+  ASSERT_TRUE(parser.HasMessage());
+  HttpRequest r = parser.TakeRequest();
+  EXPECT_EQ(r.target, "/v1/match");
+  EXPECT_EQ(r.body, "abc");
+}
+
+TEST(HttpParserTest, HeaderLimitSuggests431) {
+  HttpParserLimits limits;
+  limits.max_header_bytes = 64;
+  HttpParser parser(HttpParser::Mode::kRequest, limits);
+  const std::string wire = "GET / HTTP/1.1\r\nX-Big: " +
+                           std::string(200, 'a') + "\r\n\r\n";
+  Status st = parser.Feed(wire.data(), wire.size());
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(parser.suggested_status(), 431);
+  // Poisoned: more bytes keep failing.
+  EXPECT_FALSE(parser.Feed("x", 1).ok());
+}
+
+TEST(HttpParserTest, BodyLimitSuggests413) {
+  HttpParserLimits limits;
+  limits.max_body_bytes = 8;
+  HttpParser parser(HttpParser::Mode::kRequest, limits);
+  const std::string wire =
+      "POST / HTTP/1.1\r\nContent-Length: 100\r\n\r\n";
+  Status st = parser.Feed(wire.data(), wire.size());
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(parser.suggested_status(), 413);
+}
+
+TEST(HttpParserTest, ChunkedBodyLimitSuggests413) {
+  HttpParserLimits limits;
+  limits.max_body_bytes = 4;
+  HttpParser parser(HttpParser::Mode::kRequest, limits);
+  const std::string wire =
+      "POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n"
+      "10\r\naaaaaaaaaaaaaaaa\r\n";
+  Status st = parser.Feed(wire.data(), wire.size());
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(parser.suggested_status(), 413);
+}
+
+TEST(HttpParserTest, UnsupportedTransferEncodingSuggests501) {
+  HttpParser parser;
+  const std::string wire =
+      "POST / HTTP/1.1\r\nTransfer-Encoding: gzip\r\n\r\n";
+  Status st = parser.Feed(wire.data(), wire.size());
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(parser.suggested_status(), 501);
+}
+
+TEST(HttpParserTest, MalformedRequestLineSuggests400) {
+  HttpParser parser;
+  const std::string wire = "NONSENSE\r\n\r\n";
+  Status st = parser.Feed(wire.data(), wire.size());
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(parser.suggested_status(), 400);
+}
+
+TEST(HttpParserTest, NegativeContentLengthSuggests400) {
+  HttpParser parser;
+  const std::string wire =
+      "POST / HTTP/1.1\r\nContent-Length: -5\r\n\r\n";
+  Status st = parser.Feed(wire.data(), wire.size());
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(parser.suggested_status(), 400);
+}
+
+TEST(SerializeTest, ResponseRoundTripsThroughResponseParser) {
+  HttpResponse out;
+  out.status = 206;
+  out.SetHeader("Content-Type", "application/json");
+  out.body = "{\"coverage\":0.5}";
+  out.keep_alive = true;
+  const std::string wire = SerializeResponse(out);
+
+  HttpParser parser(HttpParser::Mode::kResponse);
+  ASSERT_TRUE(parser.Feed(wire.data(), wire.size()).ok());
+  ASSERT_TRUE(parser.HasMessage());
+  HttpResponse in = parser.TakeResponse();
+  EXPECT_EQ(in.status, 206);
+  EXPECT_EQ(in.body, out.body);
+  ASSERT_NE(in.FindHeader("content-type"), nullptr);
+  EXPECT_EQ(*in.FindHeader("content-type"), "application/json");
+  ASSERT_NE(in.FindHeader("content-length"), nullptr);
+  EXPECT_EQ(*in.FindHeader("content-length"),
+            std::to_string(out.body.size()));
+  ASSERT_NE(in.FindHeader("connection"), nullptr);
+  EXPECT_EQ(*in.FindHeader("connection"), "keep-alive");
+}
+
+TEST(SerializeTest, CloseResponseSaysClose) {
+  HttpResponse out;
+  out.status = 503;
+  out.keep_alive = false;
+  const std::string wire = SerializeResponse(out);
+  EXPECT_NE(wire.find("Connection: close\r\n"), std::string::npos);
+  EXPECT_NE(wire.find("503"), std::string::npos);
+}
+
+TEST(SerializeTest, RequestRoundTripsThroughRequestParser) {
+  HttpRequest out;
+  out.method = "POST";
+  out.target = "/v1/match";
+  out.version = "HTTP/1.1";
+  out.headers = {{"Host", "127.0.0.1"}, {"x-tenant", "acme"}};
+  out.body = "{\"entity\":\"Bird 1\",\"k\":3}";
+  const std::string wire = SerializeRequest(out);
+
+  HttpParser parser;
+  ASSERT_TRUE(parser.Feed(wire.data(), wire.size()).ok());
+  ASSERT_TRUE(parser.HasMessage());
+  HttpRequest in = parser.TakeRequest();
+  EXPECT_EQ(in.method, "POST");
+  EXPECT_EQ(in.target, "/v1/match");
+  EXPECT_EQ(in.body, out.body);
+  ASSERT_NE(in.FindHeader("x-tenant"), nullptr);
+  EXPECT_EQ(*in.FindHeader("x-tenant"), "acme");
+}
+
+TEST(ReasonPhraseTest, KnownAndUnknownCodes) {
+  EXPECT_STREQ(ReasonPhrase(200), "OK");
+  EXPECT_STREQ(ReasonPhrase(429), "Too Many Requests");
+  EXPECT_STREQ(ReasonPhrase(503), "Service Unavailable");
+  EXPECT_STREQ(ReasonPhrase(504), "Gateway Timeout");
+  EXPECT_STREQ(ReasonPhrase(299), "Unknown");
+}
+
+// -- Status mapping (satellite: serving rejections on the wire) -------------
+
+TEST(ParseRetryAfterMicrosTest, ExtractsTheServiceDrainHint) {
+  // The exact shape MatchService emits on queue-full.
+  EXPECT_EQ(ParseRetryAfterMicros(
+                "match queue full (2 of 2 pending); retry after 1500us"),
+            1500);
+  EXPECT_EQ(ParseRetryAfterMicros("retry after 1us"), 1);
+  EXPECT_EQ(ParseRetryAfterMicros("no hint here"), -1);
+  EXPECT_EQ(ParseRetryAfterMicros("retry after soonus"), -1);
+  EXPECT_EQ(ParseRetryAfterMicros("retry after 500"), -1);  // no unit
+  EXPECT_EQ(ParseRetryAfterMicros(""), -1);
+}
+
+TEST(HttpCodeForStatusTest, UnavailableSplitsOnRetryHint) {
+  // Queue-full backpressure carries the drain hint: the client should
+  // back off and retry here -> 429.
+  EXPECT_EQ(HttpCodeForStatus(Status::Unavailable(
+                "match queue full (4 of 4 pending); retry after 2000us")),
+            429);
+  // Shutdown / breaker-open carries none: go elsewhere -> 503.
+  EXPECT_EQ(HttpCodeForStatus(Status::Unavailable("service shut down")), 503);
+  EXPECT_EQ(HttpCodeForStatus(
+                Status::Unavailable("shard 2 circuit breaker open")),
+            503);
+}
+
+TEST(HttpCodeForStatusTest, FullMapping) {
+  EXPECT_EQ(HttpCodeForStatus(Status::OK()), 200);
+  EXPECT_EQ(HttpCodeForStatus(Status::InvalidArgument("bad k")), 400);
+  EXPECT_EQ(HttpCodeForStatus(Status::OutOfRange("k too big")), 400);
+  EXPECT_EQ(HttpCodeForStatus(Status::NotFound("no such entity")), 404);
+  EXPECT_EQ(HttpCodeForStatus(Status::DeadlineExceeded("expired")), 504);
+  EXPECT_EQ(HttpCodeForStatus(Status::Internal("bug")), 500);
+  EXPECT_EQ(HttpCodeForStatus(Status::IOError("disk")), 500);
+}
+
+TEST(RetryAfterSecondsTest, WholeSecondsRoundedUpAtLeastOne) {
+  EXPECT_EQ(RetryAfterSeconds(1), "1");
+  EXPECT_EQ(RetryAfterSeconds(999999), "1");
+  EXPECT_EQ(RetryAfterSeconds(1000000), "1");
+  EXPECT_EQ(RetryAfterSeconds(1000001), "2");
+  EXPECT_EQ(RetryAfterSeconds(3500000), "4");
+  EXPECT_EQ(RetryAfterSeconds(0), "1");
+  EXPECT_EQ(RetryAfterSeconds(-5), "1");  // never a nonsense negative
+}
+
+}  // namespace
+}  // namespace net
+}  // namespace crossem

@@ -203,6 +203,38 @@ TEST(ExportPrometheusTest, GoldenExposition) {
   EXPECT_EQ(ExportPrometheus(reg.Snapshot()), expected);
 }
 
+// Prometheus metric names admit [a-zA-Z_:] plus digits after the first
+// character. The HTTP front end mints per-tenant instrument names from
+// the client-supplied x-tenant header, so the sanitizer is a security
+// boundary: anything hostile must flatten to '_'.
+TEST(SanitizeMetricNameTest, EscapesHostileNames) {
+  EXPECT_EQ(SanitizeMetricName("requests_total"), "requests_total");
+  EXPECT_EQ(SanitizeMetricName("ns:requests_total"), "ns:requests_total");
+  EXPECT_EQ(SanitizeMetricName("learning.rate"), "learning_rate");
+  EXPECT_EQ(SanitizeMetricName("tenant-a b/c"), "tenant_a_b_c");
+  // Digits are fine anywhere but the first character.
+  EXPECT_EQ(SanitizeMetricName("p99"), "p99");
+  EXPECT_EQ(SanitizeMetricName("9lives"), "_lives");
+  // Exposition-format injection: newlines, quotes, braces all die.
+  EXPECT_EQ(SanitizeMetricName("evil\ninjected 1"), "evil_injected_1");
+  EXPECT_EQ(SanitizeMetricName("a{le=\"1\"}"), "a_le__1__");
+  EXPECT_EQ(SanitizeMetricName(""), "_");
+}
+
+// The exporter sanitizes every name on the way out, so even an
+// instrument registered under a hostile key cannot corrupt the
+// exposition text.
+TEST(ExportPrometheusTest, SanitizesTenantStyleNames) {
+  MetricsRegistry reg;
+  reg.GetCounter("tenant_requests_total:acme corp\n")->Add(2);
+  const std::string text = ExportPrometheus(reg.Snapshot());
+  EXPECT_NE(text.find("tenant_requests_total:acme_corp_ 2\n"),
+            std::string::npos)
+      << text;
+  // No raw newline or space survived into a metric name.
+  EXPECT_EQ(text.find("acme corp"), std::string::npos);
+}
+
 TEST(ExportJsonTest, RoundTripsThroughParser) {
   MetricsRegistry reg;
   reg.GetCounter("n")->Add(7);

@@ -225,6 +225,37 @@ TEST_F(MatchServiceFixture, QueueFullRejectsWithUnavailable) {
   EXPECT_EQ(stats.completed + stats.rejected_queue_full, 6);
 }
 
+TEST_F(MatchServiceFixture, QueueFullRetryHintIsClampedToDeadline) {
+  MatchServiceOptions so;
+  so.max_queue = 2;
+  so.max_batch = 64;
+  so.max_wait_micros = 300000;  // natural drain hint: 300ms
+  MatchService service(matcher_, index_, so);
+
+  MatchRequest request;
+  request.vertex = Vertex(0);
+  request.deadline_micros = 5000;  // but the client only has 5ms left
+  std::vector<std::future<Result<MatchResponse>>> futures;
+  for (int i = 0; i < 6; ++i) futures.push_back(service.Submit(request));
+  int rejected = 0;
+  for (auto& f : futures) {
+    auto result = f.get();
+    if (result.ok() ||
+        result.status().code() != StatusCode::kUnavailable) {
+      continue;  // completed, or expired while queued — not this test
+    }
+    // A retry hint past the request's own deadline is wasted work on
+    // both sides: the 300ms drain estimate must shrink to the 5ms
+    // budget.
+    EXPECT_NE(result.status().message().find("retry after 5000us"),
+              std::string::npos)
+        << result.status().ToString();
+    ++rejected;
+  }
+  EXPECT_GE(rejected, 3);
+  service.Shutdown();
+}
+
 TEST_F(MatchServiceFixture, DeadlineExpiryIsReported) {
   MatchServiceOptions so;
   so.max_wait_micros = 50000;  // plenty of time for 1us deadlines to age out

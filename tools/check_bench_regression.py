@@ -23,7 +23,13 @@ the gate compares the *relative* columns, which are stable across hosts:
     arm may report query errors, the blackhole arm must keep mean
     coverage >= --coverage-floor and every faulted arm must keep class
     recall@10 >= 0.95x the healthy arm. Latency ratios are printed for
-    context only (CI boxes are too noisy to gate tail latency).
+    context only (CI boxes are too noisy to gate tail latency);
+  - optionally (--net), the HTTP front-end report (BENCH_net.json) is
+    gated on behavior: the nominal arm must complete with zero 5xx
+    responses, zero transport errors, and p99 under
+    --net-p99-ceiling-us; overload arms must stay transport-clean
+    (the server sheds with 429s instead of hanging or crashing), with
+    their latencies printed as context.
 
 Absolute ns_per_iter values are printed for context but never gated.
 Exit code 0 = pass, 1 = regression, 2 = usage/data error.
@@ -153,12 +159,76 @@ def check_resilience(arms, args, failures):
                   f"{p99 / healthy_p99:.2f}x")
 
 
+def load_net(path):
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"error: cannot read {path}: {e}", file=sys.stderr)
+        sys.exit(2)
+    arms = doc.get("net")
+    if not isinstance(arms, list) or not arms:
+        print(f"error: {path} has no 'net' array", file=sys.stderr)
+        sys.exit(2)
+    return {a.get("name"): a for a in arms}
+
+
+def check_net(arms, args, failures):
+    """Behavioral gate for the HTTP front-end arms.
+
+    Nominal load must be served cleanly: every request answered, no 5xx,
+    no transport errors, and tail latency under the ceiling. Overload
+    arms only have to prove the front door held (admission sheds with
+    429s; a hang or crash shows up as transport errors), since their
+    latency is by construction unbounded on a saturated box.
+    """
+    nominal = arms.get("nominal")
+    if nominal is None:
+        failures.append("net: no 'nominal' arm in report")
+    for name, arm in sorted(arms.items()):
+        sent = arm.get("sent", 0)
+        completed = arm.get("completed", 0)
+        transport = arm.get("transport_errors", -1)
+        s5xx = arm.get("status_5xx", -1)
+        s429 = arm.get("status_429", 0)
+        p99 = arm.get("p99_us", 0)
+        note = (f"net|{name}: sent {sent}, completed {completed}, "
+                f"transport_errors {transport}, 5xx {s5xx}, 429 {s429}, "
+                f"p99 {p99}us")
+        ok = True
+        if sent <= 0:
+            failures.append(f"{note} -- arm sent no requests")
+            ok = False
+        if transport != 0:
+            failures.append(f"{note} -- transport errors (server hung, "
+                            "crashed, or dropped connections)")
+            ok = False
+        if name == "nominal":
+            if s5xx != 0:
+                failures.append(f"{note} -- 5xx at nominal load")
+                ok = False
+            if completed != sent:
+                failures.append(f"{note} -- unanswered requests at "
+                                "nominal load")
+                ok = False
+            if p99 > args.net_p99_ceiling_us:
+                failures.append(f"{note} -- p99 above ceiling "
+                                f"{args.net_p99_ceiling_us:.0f}us")
+                ok = False
+        if ok:
+            print(f"ok   {note}")
+        if name != "nominal" and sent > 0:
+            print(f"info net|{name}: shed rate {s429 / max(sent, 1):.2f} "
+                  f"(429s under overload are the design working)")
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__)
-    ap.add_argument("--baseline", required=True,
+    ap.add_argument("--baseline",
                     help="committed BENCH_fused.json")
-    ap.add_argument("--current", required=True,
-                    help="freshly generated fused report")
+    ap.add_argument("--current",
+                    help="freshly generated fused report (required with "
+                         "--baseline)")
     ap.add_argument("--parallel",
                     help="freshly generated BENCH_parallel.json (optional)")
     ap.add_argument("--plan-baseline",
@@ -177,11 +247,26 @@ def main():
     ap.add_argument("--coverage-floor", type=float, default=0.70,
                     help="minimum mean coverage for the blackhole arm "
                          "(1 of 4 shards down => 0.75 expected)")
+    ap.add_argument("--net",
+                    help="freshly generated BENCH_net.json (optional)")
+    ap.add_argument("--net-p99-ceiling-us", type=float, default=500000,
+                    help="nominal-arm p99 ceiling in microseconds "
+                         "(default 500ms; CI boxes are slow)")
     args = ap.parse_args()
 
+    if not (args.baseline or args.resilience or args.net):
+        print("error: nothing to gate (pass --baseline/--current, "
+              "--resilience, or --net)", file=sys.stderr)
+        return 2
+    if bool(args.baseline) != bool(args.current):
+        print("error: --baseline and --current go together",
+              file=sys.stderr)
+        return 2
+
     failures = []
-    compare_reports(load_records(args.baseline), load_records(args.current),
-                    args, failures)
+    if args.baseline:
+        compare_reports(load_records(args.baseline),
+                        load_records(args.current), args, failures)
 
     if args.plan_baseline:
         if not args.plan_current:
@@ -193,6 +278,9 @@ def main():
 
     if args.resilience:
         check_resilience(load_resilience(args.resilience), args, failures)
+
+    if args.net:
+        check_net(load_net(args.net), args, failures)
 
     if args.parallel:
         for key, cur in sorted(load_records(args.parallel).items()):

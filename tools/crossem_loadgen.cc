@@ -1,0 +1,189 @@
+// crossem_loadgen — open-loop Poisson load generator for the HTTP
+// front end (crossem_serve http).
+//
+//   crossem_loadgen --host ADDR --port N --entity LABEL [--entity ...]
+//       [--qps R ...] [--duration-s S] [--connections N]
+//       [--tenant NAME] [--k N] [--deadline-ms N] [--seed N]
+//       [--out BENCH_net.json]
+//
+// Each --qps value is one arm: a fresh Poisson arrival schedule at that
+// offered load, driven open-loop (arrivals never wait for responses,
+// so server queueing shows up as latency, not as reduced load). The
+// report per arm — offered vs achieved QPS, per-status counts, exact
+// p50/p90/p99 measured from the scheduled arrival — is printed to
+// stderr and written to --out as the BENCH_net.json document consumed
+// by tools/check_bench_regression.py --net.
+//
+// Entities can also be piped in: `--entities-from -` reads one label
+// per line from stdin (or from a file path).
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "net/loadgen.h"
+
+namespace {
+
+using namespace crossem;
+
+struct Args {
+  std::string host = "127.0.0.1";
+  int64_t port = 8080;
+  std::vector<std::string> entities;
+  std::string entities_from;
+  std::vector<double> qps_arms;
+  double duration_s = 2.0;
+  int64_t connections = 2;
+  std::string tenant = "bench";
+  int64_t k = 5;
+  int64_t deadline_ms = 0;
+  uint64_t seed = 1;
+  std::string out;
+};
+
+void PrintUsage() {
+  std::fprintf(
+      stderr,
+      "usage: crossem_loadgen --port N --entity LABEL [--entity ...]\n"
+      "  [--host ADDR] [--qps R ...] [--duration-s S] [--connections N]\n"
+      "  [--tenant NAME] [--k N] [--deadline-ms N] [--seed N]\n"
+      "  [--entities-from FILE|-] [--out BENCH_net.json]\n"
+      "each --qps value is one open-loop Poisson arm\n");
+}
+
+bool ParseArgs(int argc, char** argv, Args* args) {
+  for (int i = 1; i < argc; ++i) {
+    std::string flag = argv[i];
+    auto next = [&]() -> const char* {
+      return (i + 1 < argc) ? argv[++i] : nullptr;
+    };
+    const char* v = nullptr;
+    if (flag == "--host") {
+      if ((v = next()) == nullptr) return false;
+      args->host = v;
+    } else if (flag == "--port") {
+      if ((v = next()) == nullptr) return false;
+      args->port = std::atoll(v);
+    } else if (flag == "--entity") {
+      if ((v = next()) == nullptr) return false;
+      args->entities.push_back(v);
+    } else if (flag == "--entities-from") {
+      if ((v = next()) == nullptr) return false;
+      args->entities_from = v;
+    } else if (flag == "--qps") {
+      if ((v = next()) == nullptr) return false;
+      args->qps_arms.push_back(std::atof(v));
+    } else if (flag == "--duration-s") {
+      if ((v = next()) == nullptr) return false;
+      args->duration_s = std::atof(v);
+    } else if (flag == "--connections") {
+      if ((v = next()) == nullptr) return false;
+      args->connections = std::atoll(v);
+    } else if (flag == "--tenant") {
+      if ((v = next()) == nullptr) return false;
+      args->tenant = v;
+    } else if (flag == "--k") {
+      if ((v = next()) == nullptr) return false;
+      args->k = std::atoll(v);
+    } else if (flag == "--deadline-ms") {
+      if ((v = next()) == nullptr) return false;
+      args->deadline_ms = std::atoll(v);
+    } else if (flag == "--seed") {
+      if ((v = next()) == nullptr) return false;
+      args->seed = static_cast<uint64_t>(std::atoll(v));
+    } else if (flag == "--out") {
+      if ((v = next()) == nullptr) return false;
+      args->out = v;
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", flag.c_str());
+      return false;
+    }
+  }
+  if (!args->entities_from.empty()) {
+    std::istream* in = &std::cin;
+    std::ifstream file;
+    if (args->entities_from != "-") {
+      file.open(args->entities_from);
+      if (!file) {
+        std::fprintf(stderr, "cannot read '%s'\n",
+                     args->entities_from.c_str());
+        return false;
+      }
+      in = &file;
+    }
+    for (std::string line; std::getline(*in, line);) {
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      if (!line.empty()) args->entities.push_back(line);
+    }
+  }
+  if (args->port <= 0 || args->entities.empty()) return false;
+  if (args->qps_arms.empty()) args->qps_arms.push_back(20.0);
+  return true;
+}
+
+void PrintReport(const net::LoadGenReport& r) {
+  std::fprintf(
+      stderr,
+      "arm %s: offered %.1f qps achieved %.1f qps over %.2fs | "
+      "sent %lld completed %lld transport_errors %lld | "
+      "200:%lld 206:%lld 429:%lld 4xx:%lld 5xx:%lld | "
+      "p50 %lldus p90 %lldus p99 %lldus max %lldus\n",
+      r.name.c_str(), r.offered_qps, r.achieved_qps, r.duration_s,
+      static_cast<long long>(r.sent), static_cast<long long>(r.completed),
+      static_cast<long long>(r.transport_errors),
+      static_cast<long long>(r.status_200),
+      static_cast<long long>(r.status_206),
+      static_cast<long long>(r.status_429),
+      static_cast<long long>(r.status_4xx),
+      static_cast<long long>(r.status_5xx),
+      static_cast<long long>(r.latency_p50_us),
+      static_cast<long long>(r.latency_p90_us),
+      static_cast<long long>(r.latency_p99_us),
+      static_cast<long long>(r.latency_max_us));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args;
+  if (!ParseArgs(argc, argv, &args)) {
+    PrintUsage();
+    return 2;
+  }
+  std::vector<net::LoadGenReport> arms;
+  for (size_t a = 0; a < args.qps_arms.size(); ++a) {
+    net::LoadGenOptions options;
+    options.host = args.host;
+    options.port = static_cast<int>(args.port);
+    options.entities = args.entities;
+    options.qps = args.qps_arms[a];
+    options.duration_micros =
+        static_cast<int64_t>(args.duration_s * 1e6);
+    options.connections = args.connections;
+    options.tenant = args.tenant;
+    options.k = args.k;
+    options.deadline_ms = args.deadline_ms;
+    options.seed = args.seed + a;  // independent schedule per arm
+    options.name = "qps" + std::to_string(static_cast<int64_t>(
+                               args.qps_arms[a]));
+    auto report = net::RunLoadGen(options);
+    if (!report.ok()) {
+      std::fprintf(stderr, "%s\n", report.status().ToString().c_str());
+      return 1;
+    }
+    PrintReport(report.value());
+    arms.push_back(report.value());
+  }
+  std::printf("%s", net::RenderBenchNetJson(arms).c_str());
+  if (!args.out.empty()) {
+    if (auto st = net::WriteBenchNetJson(args.out, arms); !st.ok()) {
+      std::fprintf(stderr, "%s\n", st.ToString().c_str());
+      return 1;
+    }
+  }
+  return 0;
+}

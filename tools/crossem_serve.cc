@@ -1,6 +1,6 @@
-// crossem_serve — build and query online matching indexes.
+// crossem_serve — build, query, and serve online matching indexes.
 //
-// Three modes:
+// Four modes:
 //
 //   crossem_serve build-index --table NAME=FILE.csv [--json FILE]
 //       --images patches.csv --model model.ckpt --index repo.cidx
@@ -23,7 +23,20 @@
 //     through N concurrent client threads — the micro-batching,
 //     admission-control path production traffic takes. Per-request
 //     results go to stdout; rejections and the final stats line to
-//     stderr.
+//     stderr. Malformed query lines (empty or control characters) are
+//     reported as machine-readable JSON error lines on stderr and make
+//     the exit status nonzero.
+//
+//   crossem_serve http --table NAME=FILE.csv [--json FILE]
+//       --index repo.cidx --model model.ckpt
+//       [--host H] [--port P] [--http-threads N] [--shards N]
+//       [--max-inflight N] [--tenant-rate R] [--tenant-burst B]
+//       [--k N] [--patch-dim D] [--max-patches P]
+//     Serves /v1/match, /healthz, /metrics, and /admin/snapshot over
+//     HTTP/1.1 (DESIGN.md §15): per-tenant token-bucket quotas keyed
+//     by the x-tenant header, a global concurrency limiter, deadlines
+//     from x-deadline-ms, and zero-downtime index hot-swaps via
+//     POST /admin/snapshot {"index": PATH}. Runs until SIGINT/SIGTERM.
 //
 // The model checkpoint must have been written against the same graph
 // inputs (the vocabulary is rebuilt from the mapped graph). query and
@@ -37,6 +50,8 @@
 // tracing and writes a Chrome trace_event JSON (Perfetto).
 #include <algorithm>
 #include <atomic>
+#include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -49,14 +64,18 @@
 #include <vector>
 
 #include "core/crossem.h"
+#include "net/match_app.h"
+#include "net/server.h"
 #include "data/dataset.h"
 #include "graph/data_mapping.h"
 #include "nn/serialize.h"
+#include "obs/json.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "serve/index.h"
 #include "serve/service.h"
 #include "serve/sharded.h"
+#include "serve/snapshot.h"
 #include "text/tokenizer.h"
 
 namespace {
@@ -88,6 +107,13 @@ struct Args {
   int64_t patch_dim = 0;    // model config when --images is absent
   int64_t max_patches = 0;  // ditto (repository max, pre-padding)
   uint64_t seed = 7;
+  // http mode
+  std::string host = "127.0.0.1";
+  int64_t port = 8080;
+  int64_t http_threads = 4;
+  int64_t max_inflight = 128;
+  double tenant_rate = 200.0;
+  double tenant_burst = 100.0;
   std::string stats_out;  // Prometheus text exposition of the registry
   std::string trace_out;  // Chrome trace_event JSON (Perfetto)
 };
@@ -109,6 +135,13 @@ void PrintUsage() {
       "               --model FILE [--k N] [--clients N] [--deadline-us N]\n"
       "               [--max-batch N] [--max-wait-us N] [--queue N]\n"
       "               [--cache N] [--patch-dim D] [--max-patches P]\n"
+      "  http         --table NAME=FILE.csv [--json FILE] --index FILE\n"
+      "               --model FILE [--host ADDR] [--port N]\n"
+      "               [--http-threads N] [--max-inflight N]\n"
+      "               [--tenant-rate R] [--tenant-burst B] [--k N]\n"
+      "               [--patch-dim D] [--max-patches P]\n"
+      "               serves POST /v1/match, /healthz, /metrics, and\n"
+      "               /admin/snapshot until SIGINT/SIGTERM\n"
       "query/stdin-batch also take [--shards N] (partition the index and\n"
       "serve through the resilient scatter-gather engine: retries, hedged\n"
       "requests, circuit breakers, partial results with coverage),\n"
@@ -120,7 +153,7 @@ bool ParseArgs(int argc, char** argv, Args* args) {
   if (argc < 2) return false;
   args->mode = argv[1];
   if (args->mode != "build-index" && args->mode != "query" &&
-      args->mode != "stdin-batch") {
+      args->mode != "stdin-batch" && args->mode != "http") {
     std::fprintf(stderr, "unknown mode: %s\n", args->mode.c_str());
     return false;
   }
@@ -208,6 +241,24 @@ bool ParseArgs(int argc, char** argv, Args* args) {
       if (!next_i64(&args->patch_dim)) return false;
     } else if (flag == "--max-patches") {
       if (!next_i64(&args->max_patches)) return false;
+    } else if (flag == "--host") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      args->host = v;
+    } else if (flag == "--port") {
+      if (!next_i64(&args->port)) return false;
+    } else if (flag == "--http-threads") {
+      if (!next_i64(&args->http_threads)) return false;
+    } else if (flag == "--max-inflight") {
+      if (!next_i64(&args->max_inflight)) return false;
+    } else if (flag == "--tenant-rate") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      args->tenant_rate = std::atof(v);
+    } else if (flag == "--tenant-burst") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      args->tenant_burst = std::atof(v);
     } else if (flag == "--stats-out") {
       const char* v = next();
       if (v == nullptr) return false;
@@ -402,22 +453,6 @@ int RunBuildIndex(const Args& args, Setup* s) {
   return 0;
 }
 
-/// Loads the index and refuses to serve it with a retuned/mismatched
-/// model (the fingerprint handshake).
-Result<std::unique_ptr<serve::EmbeddingIndex>> LoadIndexFor(
-    const Args& args, const core::CrossEm& matcher) {
-  auto loaded = serve::EmbeddingIndex::Load(args.index_path);
-  if (!loaded.ok()) return loaded.status();
-  std::unique_ptr<serve::EmbeddingIndex> index = loaded.MoveValue();
-  const uint32_t want = matcher.EncoderFingerprint();
-  if (index->model_fingerprint() != 0 && index->model_fingerprint() != want) {
-    return Status::InvalidArgument(
-        "index " + args.index_path + " was built by a different model "
-        "(fingerprint mismatch); rebuild with build-index");
-  }
-  return index;
-}
-
 void PrintMatches(std::FILE* out, const std::string& entity,
                   const serve::MatchResponse& response) {
   for (const serve::RankedMatch& m : response.matches) {
@@ -426,72 +461,48 @@ void PrintMatches(std::FILE* out, const std::string& entity,
   }
 }
 
-/// The serving engine behind query/stdin-batch: the classic single-index
-/// MatchService, or (--shards N > 1) the index hash-partitioned into N
-/// shards behind the resilient scatter-gather ShardedMatchService.
-/// Fault-free, both produce bitwise-identical responses.
+/// The serving engine behind every online mode, now the same
+/// SnapshotManager the HTTP front end hot-swaps through: the index is
+/// loaded (with the fingerprint handshake), optionally hash-partitioned
+/// across --shards, and served via a leased ServingSnapshot.
 struct Engine {
-  std::unique_ptr<serve::EmbeddingIndex> index;
-  std::unique_ptr<serve::ShardedIndex> sharded_index;
-  std::unique_ptr<serve::MatchService> single;
-  std::unique_ptr<serve::ShardedMatchService> sharded;
+  std::unique_ptr<serve::SnapshotManager> manager;
 
   Result<serve::MatchResponse> Match(const serve::MatchRequest& request) {
-    return sharded != nullptr ? sharded->Match(request)
-                              : single->Match(request);
+    serve::SnapshotLease lease = manager->Acquire();
+    if (!lease) return Status::Unavailable("no index snapshot is live");
+    return lease->Match(request);
   }
-  void Shutdown() {
-    if (sharded != nullptr) {
-      sharded->Shutdown();
-    } else {
-      single->Shutdown();
-    }
-  }
-  /// The final stderr stats line(s).
+  void Shutdown() { manager->Shutdown(); }
+  /// The final stderr stats line(s); call before Shutdown().
   void PrintStats() {
-    if (sharded != nullptr) {
-      std::fprintf(stderr, "%s\n", sharded->Snapshot().ToString().c_str());
-      std::fprintf(stderr, "%s\n",
-                   sharded->ResilienceSnapshot().ToString().c_str());
-    } else {
-      std::fprintf(stderr, "%s\n", single->Snapshot().ToString().c_str());
+    serve::SnapshotLease lease = manager->Acquire();
+    if (!lease) return;
+    std::fprintf(stderr, "%s\n", lease->Stats().ToString().c_str());
+    if (lease->sharded()) {
+      std::fprintf(stderr, "%s\n", lease->Resilience().ToString().c_str());
     }
   }
 };
 
 int BuildEngine(const Args& args, Setup* s, Engine* engine) {
-  auto loaded = LoadIndexFor(args, *s->matcher);
-  if (!loaded.ok()) {
-    std::fprintf(stderr, "%s\n", loaded.status().ToString().c_str());
+  serve::EngineOptions eo;
+  eo.base.max_batch = args.max_batch;
+  eo.base.max_wait_micros = args.max_wait_us;
+  eo.base.max_queue = args.queue;
+  eo.base.cache_capacity = args.cache;
+  eo.shards = args.shards;
+  engine->manager =
+      std::make_unique<serve::SnapshotManager>(s->matcher.get(), eo);
+  if (auto st = engine->manager->LoadAndSwap(args.index_path); !st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
     return 1;
   }
-  engine->index = loaded.MoveValue();
-  serve::MatchServiceOptions so;
-  so.max_batch = args.max_batch;
-  so.max_wait_micros = args.max_wait_us;
-  so.max_queue = args.queue;
-  so.cache_capacity = args.cache;
-  if (args.shards > 1) {
-    serve::ShardedIndexOptions io;
-    io.num_shards = args.shards;
-    io.backend = engine->index->backend();
-    auto parts = serve::ShardedIndex::Partition(*engine->index, io);
-    if (!parts.ok()) {
-      std::fprintf(stderr, "partition: %s\n",
-                   parts.status().ToString().c_str());
-      return 1;
-    }
-    engine->sharded_index = parts.MoveValue();
-    serve::ShardedServiceOptions sso;
-    sso.base = so;
-    engine->sharded = std::make_unique<serve::ShardedMatchService>(
-        s->matcher.get(), engine->sharded_index.get(), sso);
+  serve::SnapshotLease lease = engine->manager->Acquire();
+  if (lease && lease->sharded()) {
     std::fprintf(stderr, "serving %lld rows across %lld shards\n",
-                 static_cast<long long>(engine->sharded_index->size()),
-                 static_cast<long long>(args.shards));
-  } else {
-    engine->single = std::make_unique<serve::MatchService>(
-        s->matcher.get(), engine->index.get(), so);
+                 static_cast<long long>(lease->rows()),
+                 static_cast<long long>(lease->shards()));
   }
   return 0;
 }
@@ -534,10 +545,24 @@ int RunQuery(const Args& args, Setup* s) {
     WarnIfDegraded(label, result.value());
     PrintMatches(stdout, label, result.value());
   }
-  engine.Shutdown();
   engine.PrintStats();
+  engine.Shutdown();
   if (!WriteObservability(args)) return 1;
   return failures == 0 ? 0 : 1;
+}
+
+/// A stdin-batch query line is malformed when it is blank (empty or
+/// whitespace-only) or carries ASCII control characters — neither can
+/// be an entity label, and silently skipping them would make a
+/// truncated or corrupted query file look fully served.
+bool IsMalformedQueryLine(const std::string& line) {
+  bool has_content = false;
+  for (char c : line) {
+    const unsigned char u = static_cast<unsigned char>(c);
+    if (u < 0x20 || u == 0x7f) return true;  // control character
+    if (c != ' ') has_content = true;
+  }
+  return !has_content;
 }
 
 int RunStdinBatch(const Args& args, Setup* s) {
@@ -545,8 +570,23 @@ int RunStdinBatch(const Args& args, Setup* s) {
   if (int rc = BuildEngine(args, s, &engine); rc != 0) return rc;
 
   std::vector<std::string> labels;
+  int64_t malformed = 0;
+  int64_t line_number = 0;
   for (std::string line; std::getline(std::cin, line);) {
-    if (!line.empty()) labels.push_back(line);
+    ++line_number;
+    if (!line.empty() && line.back() == '\r') line.pop_back();  // CRLF input
+    if (IsMalformedQueryLine(line)) {
+      // Machine-readable rejection on stderr; the run exits nonzero
+      // instead of pretending the query file was fully served.
+      std::fprintf(stderr,
+                   "{\"error\":\"malformed_query\",\"line\":%lld,"
+                   "\"query\":%s}\n",
+                   static_cast<long long>(line_number),
+                   obs::JsonString(line).c_str());
+      ++malformed;
+      continue;
+    }
+    labels.push_back(line);
   }
 
   std::printf("entity,image_id,similarity,probability\n");
@@ -588,10 +628,55 @@ int RunStdinBatch(const Args& args, Setup* s) {
     });
   }
   for (std::thread& t : workers) t.join();
-  engine.Shutdown();
   engine.PrintStats();
+  engine.Shutdown();
   if (!WriteObservability(args)) return 1;
-  return failed.load() == 0 ? 0 : 1;
+  return (failed.load() == 0 && malformed == 0) ? 0 : 1;
+}
+
+std::atomic<bool> g_http_stop{false};
+void HandleStopSignal(int) { g_http_stop.store(true); }
+
+/// `crossem_serve http`: the network front end. Serves /v1/match,
+/// /healthz, /metrics, and /admin/snapshot until SIGINT/SIGTERM, then
+/// stops the listener, drains in-flight requests, and prints the final
+/// stats line.
+int RunHttp(const Args& args, Setup* s) {
+  Engine engine;
+  if (int rc = BuildEngine(args, s, &engine); rc != 0) return rc;
+
+  net::MatchAppOptions app_options;
+  app_options.admission.max_inflight = args.max_inflight;
+  app_options.admission.tenant_rate = args.tenant_rate;
+  app_options.admission.tenant_burst = args.tenant_burst;
+  app_options.default_k = args.k;
+  net::MatchApp app(&s->builder.graph(), engine.manager.get(), app_options);
+
+  net::HttpServerOptions server_options;
+  server_options.host = args.host;
+  server_options.port = static_cast<int>(args.port);
+  server_options.workers = args.http_threads;
+  net::HttpServer server(
+      server_options,
+      [&app](const net::HttpRequest& request) { return app.Handle(request); });
+  if (auto st = server.Start(); !st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    return 1;
+  }
+  std::fprintf(stderr, "listening on %s:%d\n", args.host.c_str(),
+               server.port());
+
+  std::signal(SIGINT, HandleStopSignal);
+  std::signal(SIGTERM, HandleStopSignal);
+  while (!g_http_stop.load(std::memory_order_relaxed)) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+  std::fprintf(stderr, "shutting down\n");
+  server.Stop();
+  engine.PrintStats();
+  engine.Shutdown();
+  if (!WriteObservability(args)) return 1;
+  return 0;
 }
 
 }  // namespace
@@ -607,5 +692,6 @@ int main(int argc, char** argv) {
   if (int rc = BuildSetup(args, &setup); rc != 0) return rc;
   if (args.mode == "build-index") return RunBuildIndex(args, &setup);
   if (args.mode == "query") return RunQuery(args, &setup);
+  if (args.mode == "http") return RunHttp(args, &setup);
   return RunStdinBatch(args, &setup);
 }
