@@ -18,8 +18,17 @@
 // server-induced queueing is charged to the server (no coordinated
 // omission). CI boxes are single-core and noisy — the nominal arm is
 // deliberately modest.
+//
+// A TimeSeriesRecorder samples the metrics registry throughout the run;
+// its sample/drop counts are embedded in BENCH_net.json under
+// "recorder" (nominal_dropped = ticks lost during the nominal arm — the
+// gate fails when that is nonzero), and the full ring dump plus the
+// tail-sampled request traces are written to CROSSEM_BENCH_HISTORY_JSON
+// / CROSSEM_BENCH_TRACEZ_JSON (defaults: BENCH_net.history.json,
+// BENCH_net.tracez.json) for the CI artifact upload.
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <memory>
 #include <string>
 #include <vector>
@@ -29,6 +38,9 @@
 #include "net/loadgen.h"
 #include "net/match_app.h"
 #include "net/server.h"
+#include "obs/metrics.h"
+#include "obs/timeseries.h"
+#include "obs/tracez.h"
 #include "serve/index.h"
 #include "serve/snapshot.h"
 #include "text/tokenizer.h"
@@ -83,6 +95,16 @@ std::unique_ptr<serve::EmbeddingIndex> BuildIndex(const World& w) {
   return index;
 }
 
+void WriteTextFile(const std::string& path, const std::string& body) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return;
+  }
+  out << body;
+  std::printf("wrote %s\n", path.c_str());
+}
+
 }  // namespace
 }  // namespace crossem
 
@@ -112,7 +134,21 @@ int main(int argc, char** argv) {
   // bench tenant gets effectively unlimited rate.
   app_options.admission.tenant_rate = 100000.0;
   app_options.admission.tenant_burst = 100000.0;
+  // Trace every request so the tracez dump has material; the tracez
+  // ring tail-samples what it keeps.
+  app_options.trace_all_requests = true;
   net::MatchApp app(&world->dataset.graph, &manager, app_options);
+
+  // Flight recorder alongside the arms: 100ms ticks are coarse enough
+  // that even a noisy single-core CI box keeps up — a dropped tick
+  // during the nominal arm therefore indicates a real stall and fails
+  // the gate (check_bench_regression.py --net-expect-recorder).
+  obs::TimeSeriesOptions ts_options;
+  ts_options.interval_micros = 100 * 1000;
+  obs::TimeSeriesRecorder recorder(&obs::MetricsRegistry::Default(),
+                                   ts_options);
+  app.set_recorder(&recorder);
+  recorder.Start();
 
   net::HttpServerOptions server_options;
   server_options.port = 0;  // ephemeral
@@ -140,6 +176,7 @@ int main(int argc, char** argv) {
       {"overload", quick ? 80.0 : 150.0},
   };
   std::vector<net::LoadGenReport> arms;
+  net::RecorderSummary recorder_summary;
   for (size_t a = 0; a < specs.size(); ++a) {
     net::LoadGenOptions options;
     options.port = server.port();
@@ -171,11 +208,34 @@ int main(int argc, char** argv) {
         static_cast<long long>(r.latency_p50_us),
         static_cast<long long>(r.latency_p99_us));
     arms.push_back(r);
+    if (std::string(specs[a].name) == "nominal") {
+      // Drop count right after the nominal arm: losses during overload
+      // (an intentionally saturated box) don't count against the gate.
+      recorder_summary.nominal_dropped = recorder.GetStats().dropped;
+    }
   }
   server.Stop();
+
+  const obs::TimeSeriesRecorder::Stats ts_stats = recorder.GetStats();
+  recorder_summary.samples = ts_stats.samples;
+  recorder_summary.dropped = ts_stats.dropped;
+  std::printf("recorder: %lld samples, %lld dropped (%lld during nominal)\n",
+              static_cast<long long>(recorder_summary.samples),
+              static_cast<long long>(recorder_summary.dropped),
+              static_cast<long long>(recorder_summary.nominal_dropped));
+
+  const char* history_env = std::getenv("CROSSEM_BENCH_HISTORY_JSON");
+  WriteTextFile(
+      history_env != nullptr ? history_env : "BENCH_net.history.json",
+      recorder.RenderJson());
+  const char* tracez_env = std::getenv("CROSSEM_BENCH_TRACEZ_JSON");
+  WriteTextFile(tracez_env != nullptr ? tracez_env : "BENCH_net.tracez.json",
+                obs::TracezBuffer::Default().RenderJson());
+  recorder.Stop();
   manager.Shutdown();
 
-  if (auto st = net::WriteBenchNetJson(path, arms); !st.ok()) {
+  if (auto st = net::WriteBenchNetJson(path, arms, &recorder_summary);
+      !st.ok()) {
     std::fprintf(stderr, "%s\n", st.ToString().c_str());
     return 1;
   }

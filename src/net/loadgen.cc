@@ -156,6 +156,7 @@ Result<LoadGenReport> RunLoadGen(const LoadGenOptions& options) {
     int64_t completed = 0;
     int64_t transport_errors = 0;
     int64_t s200 = 0, s206 = 0, s429 = 0, s4xx = 0, s5xx = 0;
+    int64_t s503 = 0, s504 = 0;
   };
   std::vector<ClientState> states(static_cast<size_t>(connections));
 
@@ -212,6 +213,8 @@ Result<LoadGenReport> RunLoadGen(const LoadGenOptions& options) {
           ++state.s429;
         } else if (status >= 500) {
           ++state.s5xx;
+          if (status == 503) ++state.s503;
+          if (status == 504) ++state.s504;
         } else if (status >= 400) {
           ++state.s4xx;
         }
@@ -239,6 +242,8 @@ Result<LoadGenReport> RunLoadGen(const LoadGenOptions& options) {
     report.status_429 += state.s429;
     report.status_4xx += state.s4xx;
     report.status_5xx += state.s5xx;
+    report.status_503 += state.s503;
+    report.status_504 += state.s504;
     for (int64_t l : state.latencies_us) {
       latencies.push_back(l);
       latency_sum += static_cast<double>(l);
@@ -259,7 +264,8 @@ Result<LoadGenReport> RunLoadGen(const LoadGenOptions& options) {
 
 // -- BENCH_net.json ----------------------------------------------------------
 
-std::string RenderBenchNetJson(const std::vector<LoadGenReport>& arms) {
+std::string RenderBenchNetJson(const std::vector<LoadGenReport>& arms,
+                               const RecorderSummary* recorder) {
   std::string out = "{\"net\":[";
   for (size_t i = 0; i < arms.size(); ++i) {
     const LoadGenReport& a = arms[i];
@@ -276,6 +282,8 @@ std::string RenderBenchNetJson(const std::vector<LoadGenReport>& arms) {
     out += ",\"status_429\":" + obs::JsonNumber(a.status_429);
     out += ",\"status_4xx\":" + obs::JsonNumber(a.status_4xx);
     out += ",\"status_5xx\":" + obs::JsonNumber(a.status_5xx);
+    out += ",\"status_503\":" + obs::JsonNumber(a.status_503);
+    out += ",\"status_504\":" + obs::JsonNumber(a.status_504);
     out += ",\"p50_us\":" + obs::JsonNumber(a.latency_p50_us);
     out += ",\"p90_us\":" + obs::JsonNumber(a.latency_p90_us);
     out += ",\"p99_us\":" + obs::JsonNumber(a.latency_p99_us);
@@ -283,15 +291,31 @@ std::string RenderBenchNetJson(const std::vector<LoadGenReport>& arms) {
     out += ",\"mean_us\":" + obs::JsonNumber(a.latency_mean_us);
     out += "}";
   }
-  out += "]}\n";
+  out += "]";
+  if (recorder != nullptr) {
+    out += ",\"recorder\":{";
+    bool first = true;
+    auto field = [&](const char* key, int64_t value) {
+      if (value < 0) return;
+      if (!first) out += ",";
+      first = false;
+      out += "\"" + std::string(key) + "\":" + obs::JsonNumber(value);
+    };
+    field("samples", recorder->samples);
+    field("dropped", recorder->dropped);
+    field("nominal_dropped", recorder->nominal_dropped);
+    out += "}";
+  }
+  out += "}\n";
   return out;
 }
 
 Status WriteBenchNetJson(const std::string& path,
-                         const std::vector<LoadGenReport>& arms) {
+                         const std::vector<LoadGenReport>& arms,
+                         const RecorderSummary* recorder) {
   std::ofstream out(path, std::ios::trunc);
   if (!out) return Status::IOError("cannot write '" + path + "'");
-  out << RenderBenchNetJson(arms);
+  out << RenderBenchNetJson(arms, recorder);
   out.flush();
   if (!out) return Status::IOError("cannot write '" + path + "'");
   return Status::OK();

@@ -64,7 +64,11 @@ struct LoadGenReport {
   int64_t status_206 = 0;
   int64_t status_429 = 0;
   int64_t status_4xx = 0;  // other 4xx
-  int64_t status_5xx = 0;
+  int64_t status_5xx = 0;  // all 5xx (503 + 504 + other)
+  // 5xx breakdown: shed-vs-deadline failure modes look identical in the
+  // aggregate count but call for opposite remediations.
+  int64_t status_503 = 0;
+  int64_t status_504 = 0;
   // Exact percentiles over per-request latencies measured from the
   // scheduled arrival (microseconds).
   int64_t latency_p50_us = 0;
@@ -79,10 +83,24 @@ struct LoadGenReport {
 /// counted in the report instead.
 Result<LoadGenReport> RunLoadGen(const LoadGenOptions& options);
 
-/// The BENCH_net.json document for a set of arms.
-std::string RenderBenchNetJson(const std::vector<LoadGenReport>& arms);
+/// Flight-recorder health captured by the bench harness: sample counts
+/// from the obs::TimeSeriesRecorder running alongside the arms, plus the
+/// dropped-tick count observed during the nominal arm specifically (the
+/// CI gate fails when the recorder lost samples under nominal load).
+/// Fields < 0 mean "not measured" and are omitted from the JSON.
+struct RecorderSummary {
+  int64_t samples = -1;
+  int64_t dropped = -1;
+  int64_t nominal_dropped = -1;
+};
+
+/// The BENCH_net.json document for a set of arms; `recorder` (optional)
+/// adds a top-level "recorder" object.
+std::string RenderBenchNetJson(const std::vector<LoadGenReport>& arms,
+                               const RecorderSummary* recorder = nullptr);
 Status WriteBenchNetJson(const std::string& path,
-                         const std::vector<LoadGenReport>& arms);
+                         const std::vector<LoadGenReport>& arms,
+                         const RecorderSummary* recorder = nullptr);
 
 /// One blocking keep-alive HTTP client connection (shared by the load
 /// generator and tests that need a raw client).

@@ -9,6 +9,8 @@
 #include "graph/json.h"
 #include "obs/json.h"
 #include "obs/metrics.h"
+#include "obs/request_trace.h"
+#include "obs/tracez.h"
 
 namespace crossem {
 namespace net {
@@ -60,6 +62,33 @@ std::string PathOf(const std::string& target) {
   return q == std::string::npos ? target : target.substr(0, q);
 }
 
+/// Value of `key` in the target's query string ("" when absent).
+std::string QueryParam(const std::string& target, const std::string& key) {
+  const size_t q = target.find('?');
+  if (q == std::string::npos) return "";
+  size_t pos = q + 1;
+  while (pos < target.size()) {
+    size_t amp = target.find('&', pos);
+    if (amp == std::string::npos) amp = target.size();
+    const size_t eq = target.find('=', pos);
+    if (eq != std::string::npos && eq < amp &&
+        target.compare(pos, eq - pos, key) == 0) {
+      return target.substr(eq + 1, amp - eq - 1);
+    }
+    pos = amp + 1;
+  }
+  return "";
+}
+
+/// True when the client asked for JSON (?format=json or an Accept
+/// header naming application/json).
+bool WantsJson(const HttpRequest& request) {
+  if (QueryParam(request.target, "format") == "json") return true;
+  const std::string* accept = request.FindHeader("accept");
+  return accept != nullptr &&
+         accept->find("application/json") != std::string::npos;
+}
+
 /// Per-tenant request accounting, keyed into the registry namespace via
 /// SanitizeMetricName so the exposition name matches the registry key.
 void CountTenantRequest(const std::string& tenant, bool rejected) {
@@ -105,12 +134,70 @@ HttpResponse MatchApp::Handle(const HttpRequest& request) {
     return HandleMatch(request);
   }
   if (path == "/healthz") return HandleHealth();
-  if (path == "/metrics") return HandleMetrics();
+  if (path == "/metrics") return HandleMetrics(request);
+  if (path == "/metrics/history") return HandleMetricsHistory();
+  if (path == "/debug/tracez") return HandleTracez(request);
   if (path == "/admin/snapshot") return HandleSnapshot(request);
   return ErrorResponse(404, "no route for " + path, "not_found");
 }
 
 HttpResponse MatchApp::HandleMatch(const HttpRequest& request) {
+  const auto ingress = std::chrono::steady_clock::now();
+  // Trace identity: adopt an incoming W3C traceparent, else derive from
+  // x-request-id, else mint one when the app traces every request. The
+  // no-header, trace-off path costs two header lookups and nothing else.
+  std::shared_ptr<obs::RequestTrace> trace;
+  {
+    obs::TraceId trace_id;
+    uint64_t remote_parent = 0;
+    bool have = false;
+    if (const std::string* tp = request.FindHeader("traceparent")) {
+      have = obs::ParseTraceparent(*tp, &trace_id, &remote_parent);
+    }
+    std::string request_id;
+    const std::string* rid = request.FindHeader("x-request-id");
+    if (rid != nullptr && !rid->empty()) {
+      request_id = *rid;
+      if (!have) {
+        trace_id = obs::DeriveTraceId(request_id);
+        have = true;
+      }
+    }
+    if (!have && options_.trace_all_requests) {
+      trace_id = obs::MintTraceId();
+      have = true;
+    }
+    if (have) {
+      if (request_id.empty()) request_id = obs::TraceIdHex(trace_id);
+      const std::string* th = request.FindHeader("x-tenant");
+      trace = std::make_shared<obs::RequestTrace>(
+          trace_id, std::move(request_id),
+          (th != nullptr && !th->empty()) ? *th : options_.default_tenant);
+    }
+  }
+
+  HttpResponse response = HandleMatchImpl(request, trace);
+
+  if (trace != nullptr) {
+    // Echo the identity so the client can find this request in tracez.
+    response.SetHeader("x-request-id", trace->request_id());
+    response.SetHeader("traceparent", obs::FormatTraceparent(
+                                          trace->trace_id(),
+                                          trace->root_span_id()));
+    const int64_t elapsed_us =
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - ingress)
+            .count();
+    trace->Complete(response.status, elapsed_us,
+                    /*degraded=*/response.status == 206);
+    obs::TracezBuffer::Default().Record(trace);
+  }
+  return response;
+}
+
+HttpResponse MatchApp::HandleMatchImpl(
+    const HttpRequest& request,
+    const std::shared_ptr<obs::RequestTrace>& trace) {
   AppInstruments::Get().match_requests->Increment();
 
   const std::string* tenant_header = request.FindHeader("x-tenant");
@@ -171,11 +258,19 @@ HttpResponse MatchApp::HandleMatch(const HttpRequest& request) {
                          "unknown_entity");
   }
 
+  // Covers snapshot acquisition + the admission decision; tagged with
+  // the outcome so a shed request's trace shows who said no.
+  obs::RequestSpan admission_span(
+      trace, "admission", trace != nullptr ? trace->root_span_id() : 0);
+  admission_span.Arg("tenant", tenant);
+
   serve::SnapshotLease lease = snapshots_->Acquire();
   if (!lease) {
     CountTenantRequest(tenant, true);
+    admission_span.Arg("outcome", std::string("no_snapshot"));
     return ErrorResponse(503, "no index snapshot is live", "no_snapshot");
   }
+  admission_span.Arg("snapshot_version", lease->version());
 
   AdmissionController::Ticket ticket;
   const AdmissionDecision decision =
@@ -184,6 +279,8 @@ HttpResponse MatchApp::HandleMatch(const HttpRequest& request) {
   if (!decision.admitted) {
     AppInstruments::Get().admission_rejections->Increment();
     CountTenantRequest(tenant, true);
+    admission_span.Arg("outcome", decision.reason)
+        .Arg("retry_after_us", decision.retry_after_micros);
     HttpResponse response = ErrorResponse(
         decision.http_status, "request rejected by admission control",
         decision.reason);
@@ -194,12 +291,18 @@ HttpResponse MatchApp::HandleMatch(const HttpRequest& request) {
     return response;
   }
   CountTenantRequest(tenant, false);
+  admission_span.Arg("outcome", std::string("admitted"));
+  admission_span.End();
 
   serve::MatchRequest match_request;
   match_request.vertex = vertex;
   match_request.k = k;
   match_request.min_probability = min_probability;
   match_request.deadline_micros = remaining_micros;
+  if (trace != nullptr) {
+    match_request.trace = trace;
+    match_request.parent_span_id = trace->root_span_id();
+  }
   auto result = lease->Match(match_request);
   if (!result.ok()) {
     AppInstruments::Get().engine_rejections->Increment();
@@ -255,12 +358,40 @@ HttpResponse MatchApp::HandleHealth() {
                obs::JsonNumber(lease->version()) + "}\n");
 }
 
-HttpResponse MatchApp::HandleMetrics() {
+HttpResponse MatchApp::HandleMetrics(const HttpRequest& request) {
   HttpResponse response;
   response.status = 200;
-  response.SetHeader("Content-Type", "text/plain; version=0.0.4");
-  response.body =
-      obs::ExportPrometheus(obs::MetricsRegistry::Default().Snapshot());
+  if (WantsJson(request)) {
+    response.SetHeader("Content-Type", "application/json");
+    response.body =
+        obs::ExportJson(obs::MetricsRegistry::Default().Snapshot());
+  } else {
+    response.SetHeader("Content-Type", "text/plain; version=0.0.4");
+    response.body =
+        obs::ExportPrometheus(obs::MetricsRegistry::Default().Snapshot());
+  }
+  return response;
+}
+
+HttpResponse MatchApp::HandleMetricsHistory() {
+  if (recorder_ == nullptr) {
+    return ErrorResponse(404, "no time-series recorder attached",
+                         "recorder_disabled");
+  }
+  return JsonResponse(200, recorder_->RenderJson());
+}
+
+HttpResponse MatchApp::HandleTracez(const HttpRequest& request) {
+  if (request.method != "GET") {
+    return ErrorResponse(405, "method not allowed", "method_not_allowed");
+  }
+  if (WantsJson(request)) {
+    return JsonResponse(200, obs::TracezBuffer::Default().RenderJson());
+  }
+  HttpResponse response;
+  response.status = 200;
+  response.SetHeader("Content-Type", "text/html; charset=utf-8");
+  response.body = obs::TracezBuffer::Default().RenderHtml();
   return response;
 }
 

@@ -10,8 +10,16 @@
 //                          coverage / degraded fields set, mirroring
 //                          the ShardedMatchService contract.
 //   GET  /healthz        — liveness + live snapshot version.
-//   GET  /metrics        — the process-wide obs registry, Prometheus
-//                          text exposition.
+//   GET  /metrics        — the process-wide obs registry; Prometheus
+//                          text by default, obs::ExportJson when the
+//                          client sends Accept: application/json or
+//                          ?format=json.
+//   GET  /metrics/history— the time-series flight recorder's ring
+//                          buffers as JSON (404 unless a recorder has
+//                          been attached via set_recorder()).
+//   GET  /debug/tracez   — tail-sampled completed request traces:
+//                          minimal HTML table by default, full span
+//                          trees with ?format=json.
 //   POST /admin/snapshot — hot-swap: {"index": PATH} loads a CEMCKPT2
 //                          file (fingerprint handshake), builds the
 //                          next engine off the request path, swaps it
@@ -35,11 +43,14 @@
 #define CROSSEM_NET_MATCH_APP_H_
 
 #include <cstdint>
+#include <memory>
 #include <string>
 
 #include "graph/graph.h"
 #include "net/admission.h"
 #include "net/http.h"
+#include "obs/request_trace.h"
+#include "obs/timeseries.h"
 #include "serve/snapshot.h"
 #include "util/status.h"
 
@@ -53,6 +64,12 @@ struct MatchAppOptions {
   int64_t max_k = 1000;
   /// Tenant key when the x-tenant header is absent.
   std::string default_tenant = "default";
+  /// When true, every /v1/match request gets a RequestTrace (tail
+  /// sampling in the tracez buffer decides what is kept). When false
+  /// (the default) only requests that carry a traceparent or
+  /// x-request-id header are traced — untraced requests pay two header
+  /// lookups, and the engine hooks stay on the null-pointer fast path.
+  bool trace_all_requests = false;
 };
 
 /// Stateless-per-request application handler; thread-safe (called from
@@ -68,16 +85,27 @@ class MatchApp {
 
   AdmissionController& admission() { return admission_; }
 
+  /// Attaches (borrows) the flight recorder served by /metrics/history.
+  /// Null (the default) answers that route 404.
+  void set_recorder(obs::TimeSeriesRecorder* recorder) {
+    recorder_ = recorder;
+  }
+
  private:
   HttpResponse HandleMatch(const HttpRequest& request);
+  HttpResponse HandleMatchImpl(const HttpRequest& request,
+                               const std::shared_ptr<obs::RequestTrace>& trace);
   HttpResponse HandleHealth();
-  HttpResponse HandleMetrics();
+  HttpResponse HandleMetrics(const HttpRequest& request);
+  HttpResponse HandleMetricsHistory();
+  HttpResponse HandleTracez(const HttpRequest& request);
   HttpResponse HandleSnapshot(const HttpRequest& request);
 
   const graph::Graph* graph_;
   serve::SnapshotManager* snapshots_;
   const MatchAppOptions options_;
   AdmissionController admission_;
+  obs::TimeSeriesRecorder* recorder_ = nullptr;
 };
 
 /// %.9g — the shortest printf format that round-trips every binary32

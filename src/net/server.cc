@@ -14,6 +14,7 @@
 #include <utility>
 
 #include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace crossem {
 namespace net {
@@ -183,6 +184,7 @@ void HttpServer::Stop() {
 }
 
 void HttpServer::EventLoop() {
+  obs::SetThreadName("http-loop");
   epoll_event events[64];
   while (!stopping_.load(std::memory_order_acquire)) {
     const int n = ::epoll_wait(epoll_fd_, events, 64, kEpollTickMillis);
@@ -302,6 +304,7 @@ bool HttpServer::RearmConnection(Connection* conn) {
 }
 
 void HttpServer::WorkerLoop() {
+  obs::SetThreadName("http-worker");
   for (;;) {
     int fd = -1;
     {

@@ -1,0 +1,279 @@
+#include "obs/request_trace.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <utility>
+
+namespace crossem {
+namespace obs {
+namespace {
+
+// SplitMix64: well-mixed ids from a cheap atomic counter.
+uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+uint64_t NextSeq() {
+  static std::atomic<uint64_t> seq{0};
+  return seq.fetch_add(1, std::memory_order_relaxed);
+}
+
+// Process-wide id seed: mixes the first steady_clock read so two
+// processes started at different times mint different id streams.
+uint64_t IdSeed() {
+  static const uint64_t seed = Mix64(static_cast<uint64_t>(
+      std::chrono::steady_clock::now().time_since_epoch().count()));
+  return seed;
+}
+
+char HexDigit(uint64_t nibble) {
+  return static_cast<char>(nibble < 10 ? '0' + nibble : 'a' + (nibble - 10));
+}
+
+void AppendHex64(uint64_t v, std::string* out) {
+  for (int shift = 60; shift >= 0; shift -= 4) {
+    out->push_back(HexDigit((v >> shift) & 0xf));
+  }
+}
+
+bool ParseHex(const char* s, int digits, uint64_t* out) {
+  uint64_t v = 0;
+  for (int i = 0; i < digits; ++i) {
+    char c = s[i];
+    uint64_t d;
+    if (c >= '0' && c <= '9') {
+      d = static_cast<uint64_t>(c - '0');
+    } else if (c >= 'a' && c <= 'f') {
+      d = static_cast<uint64_t>(c - 'a' + 10);
+    } else if (c >= 'A' && c <= 'F') {
+      d = static_cast<uint64_t>(c - 'A' + 10);
+    } else {
+      return false;
+    }
+    v = (v << 4) | d;
+  }
+  *out = v;
+  return true;
+}
+
+}  // namespace
+
+std::string TraceIdHex(const TraceId& id) {
+  std::string out;
+  out.reserve(32);
+  AppendHex64(id.hi, &out);
+  AppendHex64(id.lo, &out);
+  return out;
+}
+
+std::string SpanIdHex(uint64_t id) {
+  std::string out;
+  out.reserve(16);
+  AppendHex64(id, &out);
+  return out;
+}
+
+TraceId MintTraceId() {
+  TraceId id;
+  id.hi = Mix64(IdSeed() + NextSeq());
+  id.lo = Mix64(IdSeed() + NextSeq());
+  if (!id.valid()) id.lo = 1;  // all-zero is invalid per the W3C spec
+  return id;
+}
+
+uint64_t MintSpanId() {
+  uint64_t id = Mix64(IdSeed() ^ NextSeq());
+  return id != 0 ? id : 1;
+}
+
+TraceId DeriveTraceId(const std::string& request_id) {
+  // FNV-1a over the bytes, then two SplitMix64 finalizers for each half.
+  uint64_t h = 0xcbf29ce484222325ull;
+  for (char c : request_id) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ull;
+  }
+  TraceId id;
+  id.hi = Mix64(h);
+  id.lo = Mix64(h ^ 0x6a09e667f3bcc909ull);
+  if (!id.valid()) id.lo = 1;
+  return id;
+}
+
+bool ParseTraceparent(const std::string& value, TraceId* trace_id,
+                      uint64_t* parent_span_id) {
+  // "00-<32 hex trace id>-<16 hex span id>-<2 hex flags>" = 55 chars.
+  if (value.size() < 55) return false;
+  const char* s = value.c_str();
+  if (s[2] != '-' || s[35] != '-' || s[52] != '-') return false;
+  uint64_t version;
+  if (!ParseHex(s, 2, &version) || version == 0xff) return false;
+  TraceId tid;
+  uint64_t span;
+  if (!ParseHex(s + 3, 16, &tid.hi) || !ParseHex(s + 19, 16, &tid.lo) ||
+      !ParseHex(s + 36, 16, &span)) {
+    return false;
+  }
+  uint64_t flags;
+  if (!ParseHex(s + 53, 2, &flags)) return false;
+  if (!tid.valid() || span == 0) return false;
+  *trace_id = tid;
+  *parent_span_id = span;
+  return true;
+}
+
+std::string FormatTraceparent(const TraceId& trace_id, uint64_t span_id) {
+  std::string out = "00-";
+  out.reserve(55);
+  AppendHex64(trace_id.hi, &out);
+  AppendHex64(trace_id.lo, &out);
+  out.push_back('-');
+  AppendHex64(span_id, &out);
+  out += "-01";
+  return out;
+}
+
+uint64_t RequestNowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+RequestTrace::RequestTrace(TraceId trace_id, std::string request_id,
+                           std::string tenant)
+    : trace_id_(trace_id),
+      request_id_(std::move(request_id)),
+      tenant_(std::move(tenant)),
+      root_span_id_(MintSpanId()),
+      start_ns_(RequestNowNs()) {}
+
+void RequestTrace::Record(const char* name, uint64_t span_id,
+                          uint64_t parent_span_id, uint64_t start_ns,
+                          uint64_t duration_ns, std::vector<SpanArg> args) {
+  if (TraceEnabled()) {
+    SpanRecord chrome;
+    chrome.name = name;
+    chrome.start_ns = start_ns;  // AppendSpanRecord rebases onto the epoch
+    chrome.duration_ns = duration_ns;
+    chrome.trace_hi = trace_id_.hi;
+    chrome.trace_lo = trace_id_.lo;
+    chrome.span_id = span_id;
+    chrome.parent_span_id = parent_span_id;
+    chrome.args = args;
+    AppendSpanRecord(std::move(chrome));
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  if (static_cast<int64_t>(spans_.size()) >= kMaxSpans) {
+    ++dropped_spans_;
+    return;
+  }
+  RequestSpanRecord record;
+  record.name = name;
+  record.span_id = span_id;
+  record.parent_span_id = parent_span_id;
+  record.start_ns = start_ns;
+  record.duration_ns = duration_ns;
+  record.args = std::move(args);
+  spans_.push_back(std::move(record));
+}
+
+void RequestTrace::Complete(int http_status, int64_t duration_us,
+                            bool degraded) {
+  const uint64_t end_ns = RequestNowNs();
+  Record("request", root_span_id_, 0, start_ns_,
+         end_ns > start_ns_ ? end_ns - start_ns_ : 0, {});
+  std::lock_guard<std::mutex> lock(mu_);
+  completed_ = true;
+  http_status_ = http_status;
+  duration_us_ = duration_us;
+  degraded_ = degraded;
+}
+
+bool RequestTrace::completed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return completed_;
+}
+
+int RequestTrace::http_status() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return http_status_;
+}
+
+int64_t RequestTrace::duration_us() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return duration_us_;
+}
+
+bool RequestTrace::degraded() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return degraded_;
+}
+
+int64_t RequestTrace::dropped_spans() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dropped_spans_;
+}
+
+std::vector<RequestSpanRecord> RequestTrace::Spans() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return spans_;
+}
+
+RequestSpan::RequestSpan(std::shared_ptr<RequestTrace> trace, const char* name,
+                         uint64_t parent_span_id)
+    : trace_(std::move(trace)), name_(name) {
+  if (trace_ == nullptr) return;
+  span_id_ = MintSpanId();
+  parent_span_id_ = parent_span_id;
+  start_ns_ = RequestNowNs();
+}
+
+RequestSpan& RequestSpan::Arg(const char* key, int64_t value) {
+  if (trace_ != nullptr) {
+    SpanArg arg;
+    arg.key = key;
+    arg.type = SpanArg::Type::kInt;
+    arg.int_value = value;
+    args_.push_back(std::move(arg));
+  }
+  return *this;
+}
+
+RequestSpan& RequestSpan::Arg(const char* key, double value) {
+  if (trace_ != nullptr) {
+    SpanArg arg;
+    arg.key = key;
+    arg.type = SpanArg::Type::kDouble;
+    arg.double_value = value;
+    args_.push_back(std::move(arg));
+  }
+  return *this;
+}
+
+RequestSpan& RequestSpan::Arg(const char* key, const std::string& value) {
+  if (trace_ != nullptr) {
+    SpanArg arg;
+    arg.key = key;
+    arg.type = SpanArg::Type::kString;
+    arg.string_value = value;
+    args_.push_back(std::move(arg));
+  }
+  return *this;
+}
+
+void RequestSpan::End() {
+  if (trace_ == nullptr) return;
+  const uint64_t end_ns = RequestNowNs();
+  trace_->Record(name_, span_id_, parent_span_id_, start_ns_,
+                 end_ns > start_ns_ ? end_ns - start_ns_ : 0,
+                 std::move(args_));
+  trace_.reset();
+}
+
+}  // namespace obs
+}  // namespace crossem

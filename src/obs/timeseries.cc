@@ -1,0 +1,138 @@
+#include "obs/timeseries.h"
+
+#include <chrono>
+#include <utility>
+
+#include "obs/json.h"
+
+namespace crossem {
+namespace obs {
+
+using Clock = std::chrono::steady_clock;
+
+TimeSeriesRecorder::TimeSeriesRecorder(MetricsRegistry* registry,
+                                       TimeSeriesOptions options)
+    : registry_(registry), options_(options), start_(Clock::now()) {}
+
+TimeSeriesRecorder::~TimeSeriesRecorder() { Stop(); }
+
+void TimeSeriesRecorder::Start() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (running_) return;
+  stop_ = false;
+  running_ = true;
+  sampler_ = std::thread([this] { Loop(); });
+}
+
+void TimeSeriesRecorder::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!running_) return;
+    stop_ = true;
+  }
+  cv_.notify_all();
+  sampler_.join();
+  std::lock_guard<std::mutex> lock(mu_);
+  running_ = false;
+}
+
+void TimeSeriesRecorder::Loop() {
+  const auto interval = std::chrono::microseconds(options_.interval_micros);
+  auto next = Clock::now() + interval;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait_until(lock, next, [this] { return stop_; });
+      if (stop_) return;
+    }
+    if (Clock::now() < next) continue;  // spurious wake
+    SampleOnce();
+    next += interval;
+    const auto now = Clock::now();
+    if (now >= next) {
+      // Sampling overran: account every fully missed tick as dropped
+      // and resynchronize so we do not burst to catch up.
+      const int64_t missed = (now - next) / interval + 1;
+      next += missed * interval;
+      std::lock_guard<std::mutex> lock(mu_);
+      dropped_ += missed;
+    }
+  }
+}
+
+void TimeSeriesRecorder::Append(const std::string& name, int64_t t_us,
+                                double value) {
+  Ring& ring = series_[name];
+  ring.t_us.push_back(t_us);
+  ring.v.push_back(value);
+  while (static_cast<int64_t>(ring.t_us.size()) > options_.points_per_metric) {
+    ring.t_us.pop_front();
+    ring.v.pop_front();
+  }
+}
+
+void TimeSeriesRecorder::SampleOnce() {
+  const MetricsSnapshot snapshot = registry_->Snapshot();
+  const int64_t t_us = std::chrono::duration_cast<std::chrono::microseconds>(
+                           Clock::now() - start_)
+                           .count();
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& c : snapshot.counters) {
+    Append(c.name, t_us, static_cast<double>(c.value));
+  }
+  for (const auto& g : snapshot.gauges) {
+    Append(g.name, t_us, g.value);
+  }
+  for (const auto& h : snapshot.histograms) {
+    Append(h.name, t_us, static_cast<double>(h.p50));
+    Append(h.name + ":count", t_us, static_cast<double>(h.count));
+  }
+  ++samples_;
+}
+
+TimeSeriesRecorder::Stats TimeSeriesRecorder::GetStats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Stats stats;
+  stats.samples = samples_;
+  stats.dropped = dropped_;
+  return stats;
+}
+
+int64_t TimeSeriesRecorder::PointCount(const std::string& metric) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = series_.find(metric);
+  if (it == series_.end()) return 0;
+  return static_cast<int64_t>(it->second.t_us.size());
+}
+
+std::string TimeSeriesRecorder::RenderJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out = "{\"interval_us\":" + JsonNumber(options_.interval_micros) +
+                    ",\"samples\":" + JsonNumber(samples_) +
+                    ",\"dropped\":" + JsonNumber(dropped_) + ",\"series\":{";
+  bool first = true;
+  for (const auto& [name, ring] : series_) {
+    if (!first) out += ",";
+    first = false;
+    out += JsonString(name) + ":{\"t_us\":[";
+    bool first_point = true;
+    for (int64_t t : ring.t_us) {
+      if (!first_point) out += ",";
+      first_point = false;
+      out += JsonNumber(t);
+    }
+    out += "],\"v\":[";
+    first_point = true;
+    for (double v : ring.v) {
+      if (!first_point) out += ",";
+      first_point = false;
+      out += JsonNumber(v);
+    }
+    out += "]}";
+  }
+  out += "}}";
+  return out;
+}
+
+}  // namespace obs
+}  // namespace crossem

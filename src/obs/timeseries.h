@@ -1,0 +1,100 @@
+// Time-series flight recorder: a background thread samples the
+// MetricsRegistry snapshot at a fixed interval into bounded per-metric
+// rings, so coverage, degraded fraction, and per-tenant shed rates can
+// be plotted over a load drill instead of read as a single end-of-run
+// total. Served as JSON from /metrics/history and dumped by
+// crossem_loadgen / bench_net next to BENCH_net.json.
+//
+// Sampling detail: counters and gauges record their value under the
+// metric name; histograms record their p50 under the bare name plus
+// the observation count under "<name>:count" (rates are recoverable by
+// differencing). A sampler tick that overruns its interval counts the
+// missed ticks as dropped — the CI gate fails the nominal bench arm if
+// that ever happens, since it means the snapshot walk can't keep up.
+//
+// The recorder runs beside the serving hot path, never on it: one
+// snapshot per interval, all state behind the recorder's own mutex.
+#ifndef CROSSEM_OBS_TIMESERIES_H_
+#define CROSSEM_OBS_TIMESERIES_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "obs/metrics.h"
+
+namespace crossem {
+namespace obs {
+
+struct TimeSeriesOptions {
+  // Sampling period. CI uses 100ms; production defaults coarser.
+  int64_t interval_micros = 250000;
+  // Points retained per metric (ring; oldest evicted first).
+  int64_t points_per_metric = 512;
+};
+
+class TimeSeriesRecorder {
+ public:
+  struct Stats {
+    int64_t samples = 0;  // successful SampleOnce() calls
+    int64_t dropped = 0;  // ticks missed because sampling overran
+  };
+
+  TimeSeriesRecorder(MetricsRegistry* registry, TimeSeriesOptions options);
+  ~TimeSeriesRecorder();  // implies Stop()
+
+  TimeSeriesRecorder(const TimeSeriesRecorder&) = delete;
+  TimeSeriesRecorder& operator=(const TimeSeriesRecorder&) = delete;
+
+  /// Spawns the sampler thread. Idempotent.
+  void Start();
+
+  /// Stops and joins the sampler thread. Idempotent.
+  void Stop();
+
+  /// Takes one sample now (the sampler thread calls this on its tick;
+  /// tests and shutdown flushes call it directly — thread-safe).
+  void SampleOnce();
+
+  Stats GetStats() const;
+
+  /// Number of points currently held for `metric` (0 if unknown).
+  int64_t PointCount(const std::string& metric) const;
+
+  /// {"interval_us":N,"samples":N,"dropped":N,
+  ///  "series":{name:{"t_us":[...],"v":[...]}}} where t_us is
+  /// microseconds since the recorder was constructed.
+  std::string RenderJson() const;
+
+ private:
+  void Loop();
+  void Append(const std::string& name, int64_t t_us, double value);
+
+  struct Ring {
+    std::deque<int64_t> t_us;
+    std::deque<double> v;
+  };
+
+  MetricsRegistry* const registry_;
+  const TimeSeriesOptions options_;
+  const std::chrono::steady_clock::time_point start_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::map<std::string, Ring> series_;
+  int64_t samples_ = 0;
+  int64_t dropped_ = 0;
+  bool stop_ = false;
+  bool running_ = false;
+  std::thread sampler_;
+};
+
+}  // namespace obs
+}  // namespace crossem
+
+#endif  // CROSSEM_OBS_TIMESERIES_H_

@@ -8,6 +8,7 @@
 #include <fstream>
 #include <memory>
 #include <mutex>
+#include <utility>
 
 #include "obs/json.h"
 
@@ -46,6 +47,7 @@ std::atomic<bool>& EnabledFlag() {
 struct ThreadBuffer {
   std::mutex mu;
   uint64_t thread_id = 0;
+  std::string name;  // Chrome "thread_name" lane label; empty = unnamed
   std::vector<SpanRecord> spans;
 };
 
@@ -104,6 +106,20 @@ class Tracer {
       n += static_cast<int64_t>(b->spans.size());
     }
     return n;
+  }
+
+  std::vector<std::pair<uint64_t, std::string>> ThreadNames() {
+    std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      buffers = buffers_;
+    }
+    std::vector<std::pair<uint64_t, std::string>> out;
+    for (const auto& b : buffers) {
+      std::lock_guard<std::mutex> lock(b->mu);
+      if (!b->name.empty()) out.emplace_back(b->thread_id, b->name);
+    }
+    return out;
   }
 
  private:
@@ -181,19 +197,63 @@ TraceSpan& TraceSpan::Arg(const char* key, const std::string& value) {
   return *this;
 }
 
+void AppendSpanRecord(SpanRecord record) {
+  if (!TraceEnabled()) return;
+  const uint64_t epoch = TraceEpochNs();
+  record.start_ns = record.start_ns >= epoch ? record.start_ns - epoch : 0;
+  ThreadBuffer& buffer = LocalBuffer();
+  record.thread_id = buffer.thread_id;
+  std::lock_guard<std::mutex> lock(buffer.mu);
+  buffer.spans.push_back(std::move(record));
+}
+
+void SetThreadName(const std::string& name) {
+  ThreadBuffer& buffer = LocalBuffer();
+  std::lock_guard<std::mutex> lock(buffer.mu);
+  buffer.name = name;
+}
+
 std::vector<SpanRecord> CollectSpans() { return Tracer::Instance().Collect(); }
 
 int64_t SpanCount() { return Tracer::Instance().Count(); }
 
 void ClearTrace() { Tracer::Instance().Clear(); }
 
+namespace {
+
+void AppendHexArg(const char* key, uint64_t hi, uint64_t lo, bool wide,
+                  std::string* out) {
+  static const char* digits = "0123456789abcdef";
+  *out += JsonString(key);
+  *out += ":\"";
+  if (wide) {
+    for (int shift = 60; shift >= 0; shift -= 4) {
+      out->push_back(digits[(hi >> shift) & 0xf]);
+    }
+  }
+  for (int shift = 60; shift >= 0; shift -= 4) {
+    out->push_back(digits[(lo >> shift) & 0xf]);
+  }
+  out->push_back('"');
+}
+
+}  // namespace
+
 std::string ChromeTraceJson() {
   const std::vector<SpanRecord> spans = CollectSpans();
   std::string out = "{\"traceEvents\":[";
-  bool first = true;
+  // Metadata events first: the process lane name and one thread_name
+  // event per named thread, so Perfetto shows readable lanes.
+  out +=
+      "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,"
+      "\"args\":{\"name\":\"crossem\"}}";
+  for (const auto& [tid, name] : Tracer::Instance().ThreadNames()) {
+    out += ",{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":" +
+           std::to_string(tid) + ",\"args\":{\"name\":" + JsonString(name) +
+           "}}";
+  }
   for (const SpanRecord& s : spans) {
-    if (!first) out += ",";
-    first = false;
+    out += ",";
     // Chrome trace timestamps/durations are microseconds (double).
     out += "{\"name\":" + JsonString(s.name) +
            ",\"cat\":\"crossem\",\"ph\":\"X\",\"pid\":1,\"tid\":" +
@@ -201,9 +261,18 @@ std::string ChromeTraceJson() {
            ",\"ts\":" + JsonNumber(static_cast<double>(s.start_ns) / 1000.0) +
            ",\"dur\":" +
            JsonNumber(static_cast<double>(s.duration_ns) / 1000.0);
-    if (!s.args.empty()) {
+    const bool has_ids = s.span_id != 0 || (s.trace_hi | s.trace_lo) != 0;
+    if (!s.args.empty() || has_ids) {
       out += ",\"args\":{";
       bool first_arg = true;
+      if (has_ids) {
+        AppendHexArg("trace_id", s.trace_hi, s.trace_lo, true, &out);
+        out += ",";
+        AppendHexArg("span_id", 0, s.span_id, false, &out);
+        out += ",";
+        AppendHexArg("parent_span_id", 0, s.parent_span_id, false, &out);
+        first_arg = false;
+      }
       for (const SpanArg& a : s.args) {
         if (!first_arg) out += ",";
         first_arg = false;

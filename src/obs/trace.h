@@ -56,6 +56,13 @@ struct SpanRecord {
   uint64_t start_ns = 0;   // since process trace epoch
   uint64_t duration_ns = 0;
   uint64_t thread_id = 0;  // dense per-thread id (Chrome "tid")
+  // Request-trace identity (all zero for process-scoped spans). When
+  // set, the Chrome export carries the ids as hex args so Perfetto
+  // shows one connected tree per request.
+  uint64_t trace_hi = 0;
+  uint64_t trace_lo = 0;
+  uint64_t span_id = 0;
+  uint64_t parent_span_id = 0;
   std::vector<SpanArg> args;
 };
 
@@ -82,6 +89,18 @@ class TraceSpan {
   uint64_t start_ns_ = 0;
   std::vector<SpanArg> args_;
 };
+
+/// Appends an externally built span to the calling thread's buffer
+/// (no-op when tracing is disabled). `record.start_ns` must be an
+/// absolute steady-clock timestamp; it is rebased onto the process
+/// trace epoch here. Used by the request tracer to mirror its spans
+/// into the Chrome export.
+void AppendSpanRecord(SpanRecord record);
+
+/// Names the calling thread's lane in the Chrome export (emitted as a
+/// "thread_name" metadata event). Safe to call any time, even with
+/// tracing disabled; the last call wins.
+void SetThreadName(const std::string& name);
 
 /// Copies every span recorded so far (all threads).
 std::vector<SpanRecord> CollectSpans();

@@ -1,0 +1,217 @@
+#include "obs/tracez.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "obs/json.h"
+
+namespace crossem {
+namespace obs {
+namespace {
+
+void AppendArgsJson(const std::vector<SpanArg>& args, std::string* out) {
+  *out += "{";
+  bool first = true;
+  for (const SpanArg& a : args) {
+    if (!first) *out += ",";
+    first = false;
+    *out += JsonString(a.key);
+    *out += ":";
+    switch (a.type) {
+      case SpanArg::Type::kInt:
+        *out += JsonNumber(a.int_value);
+        break;
+      case SpanArg::Type::kDouble:
+        *out += JsonNumber(a.double_value);
+        break;
+      case SpanArg::Type::kString:
+        *out += JsonString(a.string_value);
+        break;
+    }
+  }
+  *out += "}";
+}
+
+void AppendTraceJson(const RequestTrace& trace, bool slow, std::string* out) {
+  *out += "{\"trace_id\":" + JsonString(TraceIdHex(trace.trace_id())) +
+          ",\"request_id\":" + JsonString(trace.request_id()) +
+          ",\"tenant\":" + JsonString(trace.tenant()) +
+          ",\"status\":" + JsonNumber(int64_t{trace.http_status()}) +
+          ",\"duration_us\":" + JsonNumber(trace.duration_us()) +
+          ",\"degraded\":" + (trace.degraded() ? "true" : "false") +
+          ",\"slow\":" + (slow ? "true" : "false") +
+          ",\"dropped_spans\":" + JsonNumber(trace.dropped_spans()) +
+          ",\"spans\":[";
+  const uint64_t base_ns = trace.start_ns();
+  bool first = true;
+  for (const RequestSpanRecord& s : trace.Spans()) {
+    if (!first) *out += ",";
+    first = false;
+    const uint64_t rel_ns = s.start_ns >= base_ns ? s.start_ns - base_ns : 0;
+    *out += "{\"name\":" + JsonString(s.name) +
+            ",\"span_id\":" + JsonString(SpanIdHex(s.span_id)) +
+            ",\"parent_span_id\":" + JsonString(SpanIdHex(s.parent_span_id)) +
+            ",\"start_us\":" +
+            JsonNumber(static_cast<int64_t>(rel_ns / 1000)) + ",\"duration_us\":" +
+            JsonNumber(static_cast<int64_t>(s.duration_ns / 1000)) +
+            ",\"args\":";
+    AppendArgsJson(s.args, out);
+    *out += "}";
+  }
+  *out += "]}";
+}
+
+}  // namespace
+
+TracezBuffer& TracezBuffer::Default() {
+  static TracezBuffer* buffer = new TracezBuffer();  // never freed
+  return *buffer;
+}
+
+TracezBuffer::TracezBuffer(TracezOptions options) : options_(options) {}
+
+bool TracezBuffer::IsSlowLocked(int64_t duration_us) const {
+  int64_t threshold = options_.slow_threshold_us;
+  if (duration_us_.count() >= options_.min_samples_for_p99) {
+    threshold = std::min(threshold, duration_us_.Percentile(0.99));
+  }
+  return duration_us > threshold;
+}
+
+void TracezBuffer::Record(std::shared_ptr<const RequestTrace> trace) {
+  if (trace == nullptr) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  ++recorded_;
+  duration_us_.Record(trace->duration_us());
+  Entry entry;
+  entry.interesting = trace->http_status() >= 400 || trace->degraded() ||
+                      IsSlowLocked(trace->duration_us());
+  entry.trace = std::move(trace);
+  entries_.push_back(std::move(entry));
+  while (static_cast<int64_t>(entries_.size()) > options_.capacity) {
+    // Evict the oldest fast-ok trace; only when every retained trace is
+    // interesting does the oldest interesting one go.
+    auto victim = std::find_if(entries_.begin(), entries_.end(),
+                               [](const Entry& e) { return !e.interesting; });
+    if (victim == entries_.end()) victim = entries_.begin();
+    entries_.erase(victim);
+    ++evicted_;
+  }
+}
+
+std::vector<std::shared_ptr<const RequestTrace>> TracezBuffer::Snapshot()
+    const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::shared_ptr<const RequestTrace>> out;
+  out.reserve(entries_.size());
+  for (const Entry& e : entries_) out.push_back(e.trace);
+  return out;
+}
+
+int64_t TracezBuffer::recorded() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return recorded_;
+}
+
+int64_t TracezBuffer::evicted() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return evicted_;
+}
+
+int64_t TracezBuffer::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<int64_t>(entries_.size());
+}
+
+int64_t TracezBuffer::slow_threshold_us() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  int64_t threshold = options_.slow_threshold_us;
+  if (duration_us_.count() >= options_.min_samples_for_p99) {
+    threshold = std::min(threshold, duration_us_.Percentile(0.99));
+  }
+  return threshold;
+}
+
+std::string TracezBuffer::RenderJson() const {
+  std::deque<Entry> entries;
+  int64_t recorded, evicted, threshold;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    entries = entries_;
+    recorded = recorded_;
+    evicted = evicted_;
+    threshold = options_.slow_threshold_us;
+    if (duration_us_.count() >= options_.min_samples_for_p99) {
+      threshold = std::min(threshold, duration_us_.Percentile(0.99));
+    }
+  }
+  std::string out = "{\"recorded\":" + JsonNumber(recorded) +
+                    ",\"evicted\":" + JsonNumber(evicted) +
+                    ",\"slow_threshold_us\":" + JsonNumber(threshold) +
+                    ",\"traces\":[";
+  bool first = true;
+  for (const Entry& e : entries) {
+    if (!first) out += ",";
+    first = false;
+    AppendTraceJson(*e.trace, e.interesting && e.trace->http_status() < 400 &&
+                                  !e.trace->degraded(),
+                    &out);
+  }
+  out += "]}";
+  return out;
+}
+
+std::string TracezBuffer::RenderHtml() const {
+  std::deque<Entry> entries;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    entries = entries_;
+  }
+  std::string out =
+      "<!doctype html><html><head><title>tracez</title></head><body>"
+      "<h1>Request traces</h1>"
+      "<p>Append <code>?format=json</code> for the span trees.</p>"
+      "<table border=\"1\" cellpadding=\"4\">"
+      "<tr><th>trace id</th><th>request id</th><th>tenant</th>"
+      "<th>status</th><th>duration (us)</th><th>degraded</th>"
+      "<th>spans</th></tr>";
+  for (auto it = entries.rbegin(); it != entries.rend(); ++it) {
+    const RequestTrace& t = *it->trace;
+    // Request ids and tenants come from client headers; escape the HTML
+    // metacharacters before interpolating them into the table.
+    auto escape = [](const std::string& s) {
+      std::string safe;
+      safe.reserve(s.size());
+      for (char c : s) {
+        if (c == '<') {
+          safe += "&lt;";
+        } else if (c == '>') {
+          safe += "&gt;";
+        } else if (c == '&') {
+          safe += "&amp;";
+        } else {
+          safe.push_back(c);
+        }
+      }
+      return safe;
+    };
+    out += "<tr><td>" + TraceIdHex(t.trace_id()) + "</td><td>" +
+           escape(t.request_id()) + "</td><td>" + escape(t.tenant()) +
+           "</td><td>" + std::to_string(t.http_status()) + "</td><td>" +
+           std::to_string(t.duration_us()) + "</td><td>" +
+           (t.degraded() ? "yes" : "no") + "</td><td>" +
+           std::to_string(t.Spans().size()) + "</td></tr>";
+  }
+  out += "</table></body></html>";
+  return out;
+}
+
+void TracezBuffer::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_.clear();
+  recorded_ = 0;
+  evicted_ = 0;
+}
+
+}  // namespace obs
+}  // namespace crossem

@@ -1,0 +1,92 @@
+// Tail-sampled buffer of completed request traces behind /debug/tracez.
+//
+// Every completed request's RequestTrace is offered to the buffer; a
+// bounded ring keeps the most recent ones, but eviction is biased so
+// the interesting traces survive: errors (HTTP >= 400), degraded
+// responses (206), and slow requests (duration above the live p99 of
+// everything recorded, with an absolute floor for the cold start) are
+// only evicted once there are no fast-ok traces left to drop. The
+// result: after a load drill the buffer still holds the requests worth
+// debugging, not just the last N.
+//
+// Thread-safe; Record() is one mutex acquisition plus a histogram
+// update, called once per completed request (never on the per-span hot
+// path).
+#ifndef CROSSEM_OBS_TRACEZ_H_
+#define CROSSEM_OBS_TRACEZ_H_
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/request_trace.h"
+
+namespace crossem {
+namespace obs {
+
+struct TracezOptions {
+  // Maximum retained traces.
+  int64_t capacity = 256;
+  // Absolute slow threshold used until enough durations have been seen
+  // to trust the live p99 (and as a floor afterwards).
+  int64_t slow_threshold_us = 100000;
+  // Durations recorded before the live p99 participates in "slow".
+  int64_t min_samples_for_p99 = 64;
+};
+
+class TracezBuffer {
+ public:
+  /// Process-wide buffer used by the HTTP front end.
+  static TracezBuffer& Default();
+
+  explicit TracezBuffer(TracezOptions options = {});
+
+  /// Offers a completed trace for retention (null traces are ignored).
+  void Record(std::shared_ptr<const RequestTrace> trace);
+
+  /// All retained traces, oldest first.
+  std::vector<std::shared_ptr<const RequestTrace>> Snapshot() const;
+
+  int64_t recorded() const;  // total offered
+  int64_t evicted() const;   // dropped to make room
+  int64_t size() const;
+
+  /// Current duration threshold above which a trace counts as slow.
+  int64_t slow_threshold_us() const;
+
+  /// {"recorded":N,"evicted":N,"slow_threshold_us":N,"traces":[...]}
+  /// with each trace's span tree inlined (start_us relative to the
+  /// trace start).
+  std::string RenderJson() const;
+
+  /// Minimal HTML table (request id, status, duration, spans) for
+  /// humans hitting /debug/tracez in a browser.
+  std::string RenderHtml() const;
+
+  /// Drops all retained traces and counters (tests).
+  void Clear();
+
+ private:
+  struct Entry {
+    std::shared_ptr<const RequestTrace> trace;
+    bool interesting = false;  // error / degraded / slow at record time
+  };
+
+  bool IsSlowLocked(int64_t duration_us) const;
+
+  const TracezOptions options_;
+  mutable std::mutex mu_;
+  std::deque<Entry> entries_;
+  Histogram duration_us_;  // live duration distribution for the p99 gate
+  int64_t recorded_ = 0;
+  int64_t evicted_ = 0;
+};
+
+}  // namespace obs
+}  // namespace crossem
+
+#endif  // CROSSEM_OBS_TRACEZ_H_

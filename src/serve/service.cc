@@ -155,6 +155,7 @@ void MatchService::Shutdown() {
 }
 
 void MatchService::WorkerLoop() {
+  obs::SetThreadName("serve-worker");
   std::unique_lock<std::mutex> lock(mu_);
   for (;;) {
     cv_.wait(lock, [&] { return shutdown_ || !queue_.empty(); });
@@ -199,6 +200,30 @@ void MatchService::WorkerLoop() {
 void MatchService::ProcessBatch(std::vector<Pending> batch) {
   CROSSEM_TRACE_SPAN_V(span, "serve_batch");
   span.Arg("requests", static_cast<int64_t>(batch.size()));
+  const int64_t batch_size = static_cast<int64_t>(batch.size());
+  // Per-request engine span: covers queue wait + batch processing, from
+  // submit to resolution, so the request tree shows where time went.
+  auto record_span = [batch_size](const Pending& p, const char* outcome,
+                                  bool cache_hit) {
+    if (p.request.trace == nullptr) return;
+    const uint64_t start_ns = static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            p.submitted.time_since_epoch())
+            .count());
+    const uint64_t end_ns = obs::RequestNowNs();
+    std::vector<obs::SpanArg> args(3);
+    args[0].key = "outcome";
+    args[0].type = obs::SpanArg::Type::kString;
+    args[0].string_value = outcome;
+    args[1].key = "batch";
+    args[1].int_value = batch_size;
+    args[2].key = "cache_hit";
+    args[2].int_value = cache_hit ? 1 : 0;
+    p.request.trace->Record("service", obs::MintSpanId(),
+                            p.request.parent_span_id, start_ns,
+                            end_ns > start_ns ? end_ns - start_ns : 0,
+                            std::move(args));
+  };
   // Expire requests that aged out while queued.
   const Clock::time_point dequeued = Clock::now();
   std::vector<Pending> live;
@@ -206,6 +231,7 @@ void MatchService::ProcessBatch(std::vector<Pending> batch) {
   for (Pending& p : batch) {
     if (p.deadline <= dequeued) {
       stats_.RecordExpired();
+      record_span(p, "expired_in_queue", false);
       p.promise.set_value(
           Status::DeadlineExceeded("request expired after " +
                                    std::to_string(MicrosBetween(
@@ -249,7 +275,10 @@ void MatchService::ProcessBatch(std::vector<Pending> batch) {
           "encoder dim " + std::to_string(dim) + " != index dim " +
           std::to_string(index_->dim()) +
           " (index built from a different model?)");
-      for (Pending& p : live) p.promise.set_value(mismatch);
+      for (Pending& p : live) {
+        record_span(p, "dim_mismatch", false);
+        p.promise.set_value(mismatch);
+      }
       return;
     }
     const float* data = encoded.data();
@@ -267,6 +296,7 @@ void MatchService::ProcessBatch(std::vector<Pending> batch) {
     const Clock::time_point now = Clock::now();
     if (p.deadline <= now) {
       stats_.RecordExpired();
+      record_span(p, "expired_in_batch", cached[i]);
       p.promise.set_value(Status::DeadlineExceeded(
           "request expired during batch processing"));
       continue;
@@ -288,6 +318,7 @@ void MatchService::ProcessBatch(std::vector<Pending> batch) {
                                   p.request.min_probability, temperature_,
                                   &response.matches);
     stats_.RecordCompleted(MicrosBetween(p.submitted, Clock::now()));
+    record_span(p, "ok", cached[i]);
     p.promise.set_value(std::move(response));
   }
 }

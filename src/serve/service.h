@@ -33,6 +33,7 @@
 #include <cstdint>
 #include <deque>
 #include <future>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
@@ -40,6 +41,7 @@
 
 #include "core/crossem.h"
 #include "graph/graph.h"
+#include "obs/request_trace.h"
 #include "serve/cache.h"
 #include "serve/index.h"
 #include "serve/stats.h"
@@ -75,6 +77,11 @@ struct MatchRequest {
   /// request still queued (or just encoded) past its deadline completes
   /// with Status::DeadlineExceeded.
   int64_t deadline_micros = 0;
+  /// Request-scoped trace to record engine spans into (null = tracing
+  /// off for this request; every engine hook is then one pointer test).
+  std::shared_ptr<obs::RequestTrace> trace;
+  /// Parent span for the engine's spans (the ingress-side span id).
+  uint64_t parent_span_id = 0;
 };
 
 struct RankedMatch {

@@ -337,6 +337,7 @@ void ShardedMatchService::Shutdown() {
 }
 
 void ShardedMatchService::CoordinatorLoop() {
+  obs::SetThreadName("serve-coordinator");
   std::unique_lock<std::mutex> lock(mu_);
   for (;;) {
     cv_.wait(lock, [&] { return shutdown_ || !queue_.empty(); });
@@ -381,6 +382,31 @@ void ShardedMatchService::CoordinatorLoop() {
 void ShardedMatchService::ProcessBatch(std::vector<Pending> batch) {
   CROSSEM_TRACE_SPAN_V(span, "sharded_serve_batch");
   span.Arg("requests", static_cast<int64_t>(batch.size()));
+  const int64_t batch_size = static_cast<int64_t>(batch.size());
+  // Per-request engine span from submit to resolution; `span_id` lets
+  // the caller pre-mint the id so gather/attempt children can parent
+  // onto it before the span itself is recorded.
+  auto record_span = [batch_size](const Pending& p, uint64_t span_id,
+                                  const char* outcome, bool cache_hit) {
+    if (p.request.trace == nullptr) return;
+    const uint64_t start_ns = static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            p.submitted.time_since_epoch())
+            .count());
+    const uint64_t end_ns = obs::RequestNowNs();
+    std::vector<obs::SpanArg> args(3);
+    args[0].key = "outcome";
+    args[0].type = obs::SpanArg::Type::kString;
+    args[0].string_value = outcome;
+    args[1].key = "batch";
+    args[1].int_value = batch_size;
+    args[2].key = "cache_hit";
+    args[2].int_value = cache_hit ? 1 : 0;
+    p.request.trace->Record("service", span_id, p.request.parent_span_id,
+                            start_ns,
+                            end_ns > start_ns ? end_ns - start_ns : 0,
+                            std::move(args));
+  };
   // Expire requests that aged out while queued.
   const Clock::time_point dequeued = Clock::now();
   std::vector<Pending> live;
@@ -388,6 +414,7 @@ void ShardedMatchService::ProcessBatch(std::vector<Pending> batch) {
   for (Pending& p : batch) {
     if (p.deadline <= dequeued) {
       stats_.RecordExpired();
+      record_span(p, obs::MintSpanId(), "expired_in_queue", false);
       p.promise.set_value(Status::DeadlineExceeded(
           "request expired after " +
           std::to_string(MicrosBetween(p.submitted, dequeued)) +
@@ -430,7 +457,10 @@ void ShardedMatchService::ProcessBatch(std::vector<Pending> batch) {
           "encoder dim " + std::to_string(dim) + " != index dim " +
           std::to_string(index_->dim()) +
           " (index built from a different model?)");
-      for (Pending& p : live) p.promise.set_value(mismatch);
+      for (Pending& p : live) {
+        record_span(p, obs::MintSpanId(), "dim_mismatch", false);
+        p.promise.set_value(mismatch);
+      }
       return;
     }
     const float* data = encoded.data();
@@ -447,6 +477,7 @@ void ShardedMatchService::ProcessBatch(std::vector<Pending> batch) {
     Pending& p = live[i];
     if (p.deadline <= Clock::now()) {
       stats_.RecordExpired();
+      record_span(p, obs::MintSpanId(), "expired_in_batch", cached[i]);
       p.promise.set_value(Status::DeadlineExceeded(
           "request expired during batch processing"));
       continue;
@@ -457,10 +488,15 @@ void ShardedMatchService::ProcessBatch(std::vector<Pending> batch) {
         std::move(embeddings[i]));
     MatchResponse response;
     response.cache_hit = cached[i];
+    const uint64_t service_span_id =
+        p.request.trace != nullptr ? obs::MintSpanId() : 0;
     Gather(query, candidates,
            query_seq_.fetch_add(1, std::memory_order_relaxed), p.deadline,
-           p.request.k, p.request.min_probability, &response);
+           p.request.k, p.request.min_probability, p.request.trace,
+           service_span_id, &response);
     stats_.RecordCompleted(MicrosBetween(p.submitted, Clock::now()));
+    record_span(p, service_span_id, response.degraded ? "degraded" : "ok",
+                cached[i]);
     p.promise.set_value(std::move(response));
   }
 }
@@ -504,11 +540,44 @@ int64_t ShardedMatchService::BackoffMicros(int64_t query_seq, int64_t shard,
 void ShardedMatchService::Gather(
     const std::shared_ptr<const std::vector<float>>& query,
     int64_t candidates, int64_t query_seq, Clock::time_point request_deadline,
-    int64_t k, float min_probability, MatchResponse* response) {
+    int64_t k, float min_probability,
+    const std::shared_ptr<obs::RequestTrace>& trace, uint64_t parent_span_id,
+    MatchResponse* response) {
   CROSSEM_TRACE_SPAN_V(span, "sharded_gather");
   const ResilienceOptions& res = options_.resilience;
   const int64_t n_shards = index_->num_shards();
   auto gather = std::make_shared<GatherState>();
+
+  // The gather span parents every shard attempt of this query; the
+  // attempt spans are recorded when their outcome is known (completion,
+  // timeout, abandonment, queue-full, or breaker skip), each tagged
+  // with shard id, attempt number, hedge flag, and outcome.
+  obs::RequestSpan gather_span(trace, "gather", parent_span_id);
+  auto record_attempt_ids = [&](int64_t shard, int64_t attempt_no,
+                                bool is_hedge, uint64_t span_id,
+                                uint64_t span_parent, uint64_t launch_ns,
+                                const char* outcome) {
+    if (trace == nullptr) return;
+    const uint64_t end_ns = obs::RequestNowNs();
+    std::vector<obs::SpanArg> args(4);
+    args[0].key = "shard";
+    args[0].int_value = shard;
+    args[1].key = "attempt";
+    args[1].int_value = attempt_no;
+    args[2].key = "hedge";
+    args[2].int_value = is_hedge ? 1 : 0;
+    args[3].key = "outcome";
+    args[3].type = obs::SpanArg::Type::kString;
+    args[3].string_value = outcome;
+    trace->Record("shard_attempt", span_id, span_parent, launch_ns,
+                  end_ns > launch_ns ? end_ns - launch_ns : 0,
+                  std::move(args));
+  };
+  auto record_attempt = [&](const ShardCall& c, const char* outcome) {
+    if (c.trace == nullptr) return;
+    record_attempt_ids(c.shard, c.attempt_no, c.is_hedge, c.span_id,
+                       c.parent_span_id, c.launch_ns, outcome);
+  };
 
   struct PerShard {
     std::vector<std::shared_ptr<ShardCall>> inflight;
@@ -533,9 +602,14 @@ void ShardedMatchService::Gather(
     st.results = std::move(results);
     --unresolved;
     if (!st.inflight.empty()) {
-      std::lock_guard<std::mutex> lock(gather->mu);
+      {
+        std::lock_guard<std::mutex> lock(gather->mu);
+        for (const std::shared_ptr<ShardCall>& c : st.inflight) {
+          c->abandoned = true;
+        }
+      }
       for (const std::shared_ptr<ShardCall>& c : st.inflight) {
-        c->abandoned = true;
+        record_attempt(*c, "abandoned");
       }
     }
     st.inflight.clear();
@@ -568,6 +642,14 @@ void ShardedMatchService::Gather(
         now + std::chrono::microseconds(res.attempt_timeout_micros),
         request_deadline);
     call->is_hedge = is_hedge;
+    if (trace != nullptr) {
+      call->trace = trace;
+      call->span_id = obs::MintSpanId();
+      call->parent_span_id = gather_span.span_id();
+      call->launch_ns = obs::RequestNowNs();
+      // Hedges carry the primary attempt number they shadow.
+      call->attempt_no = is_hedge ? st.attempts : st.attempts + 1;
+    }
     res_->shard_calls.Increment();
     res_->g_shard_calls->Increment();
     if (is_hedge) {
@@ -588,6 +670,7 @@ void ShardedMatchService::Gather(
       }
       return true;
     }
+    record_attempt(*call, "queue_full");
     record_failure(s, now, /*corrupt=*/false);
     return false;
   };
@@ -608,6 +691,17 @@ void ShardedMatchService::Gather(
         if (!breakers_[s]->AllowRequest(now)) {
           res_->breaker_skips.Increment();
           res_->g_breaker_skips->Increment();
+          if (trace != nullptr) {
+            // Zero-length span so the breaker decision shows in the tree.
+            ShardCall skipped;
+            skipped.trace = trace;
+            skipped.shard = s;
+            skipped.span_id = obs::MintSpanId();
+            skipped.parent_span_id = gather_span.span_id();
+            skipped.launch_ns = obs::RequestNowNs();
+            skipped.attempt_no = st.attempts + 1;
+            record_attempt(skipped, "breaker_open");
+          }
           resolve(s, false, {});
           continue;
         }
@@ -657,6 +751,12 @@ void ShardedMatchService::Gather(
       bool timed_out;
       int64_t latency_us;
       std::vector<eval::ScoredId> results;
+      // Attempt-span identity carried out of the ShardCall so the span
+      // can be recorded outside the gather lock.
+      uint64_t span_id = 0;
+      uint64_t parent_span_id = 0;
+      uint64_t launch_ns = 0;
+      int64_t attempt_no = 0;
     };
     std::vector<Outcome> outcomes;
     {
@@ -678,11 +778,15 @@ void ShardedMatchService::Gather(
           ShardCall& c = *fl[i];
           if (c.done) {
             outcomes.push_back(Outcome{s, c.ok, c.is_hedge, false,
-                                       c.latency_us, std::move(c.results)});
+                                       c.latency_us, std::move(c.results),
+                                       c.span_id, c.parent_span_id,
+                                       c.launch_ns, c.attempt_no});
             fl.erase(fl.begin() + static_cast<int64_t>(i));
           } else if (c.deadline <= now2) {
             c.abandoned = true;  // a late worker reply is discarded
-            outcomes.push_back(Outcome{s, false, c.is_hedge, true, 0, {}});
+            outcomes.push_back(Outcome{s, false, c.is_hedge, true, 0, {},
+                                       c.span_id, c.parent_span_id,
+                                       c.launch_ns, c.attempt_no});
             fl.erase(fl.begin() + static_cast<int64_t>(i));
           } else {
             ++i;
@@ -694,10 +798,16 @@ void ShardedMatchService::Gather(
     // 4) Apply the outcomes.
     for (Outcome& o : outcomes) {
       PerShard& st = ps[static_cast<size_t>(o.shard)];
-      if (st.resolved) continue;  // late sibling of a resolved shard
-      const Clock::time_point onow = Clock::now();
       const bool valid =
           o.ok && ValidateShardResults(o.results, index_->size());
+      record_attempt_ids(o.shard, o.attempt_no, o.is_hedge, o.span_id,
+                         o.parent_span_id, o.launch_ns,
+                         valid          ? "ok"
+                         : o.timed_out  ? "timeout"
+                         : o.ok         ? "invalid"
+                                        : "failed");
+      if (st.resolved) continue;  // late sibling of a resolved shard
+      const Clock::time_point onow = Clock::now();
       if (valid) {
         breakers_[o.shard]->RecordSuccess();
         shards_[o.shard]->latency_us.Record(std::max<int64_t>(
@@ -749,6 +859,10 @@ void ShardedMatchService::Gather(
       static_cast<int64_t>(response->coverage * 100.0 + 0.5));
   span.Arg("coverage_pct",
            static_cast<int64_t>(response->coverage * 100.0 + 0.5));
+  gather_span
+      .Arg("coverage_pct",
+           static_cast<int64_t>(response->coverage * 100.0 + 0.5))
+      .Arg("degraded", int64_t{response->degraded ? 1 : 0});
 
   std::vector<eval::ScoredId> found = eval::MergeTopK(parts, candidates);
   internal::AppendRankedMatches(found, index_->ids(), k, min_probability,
@@ -756,6 +870,7 @@ void ShardedMatchService::Gather(
 }
 
 void ShardedMatchService::ShardWorkerLoop(int64_t shard) {
+  obs::SetThreadName("shard-worker-" + std::to_string(shard));
   ShardRuntime& rt = *shards_[shard];
   for (;;) {
     std::shared_ptr<ShardCall> call;
@@ -796,9 +911,24 @@ void ShardedMatchService::ShardWorkerLoop(int64_t shard) {
     }
 
     const Clock::time_point start = Clock::now();
+    const uint64_t search_start_ns =
+        call->trace != nullptr ? obs::RequestNowNs() : 0;
     std::vector<eval::ScoredId> results = index_->SearchShard(
         shard, call->query->data(), call->k, call->deadline);
     const Clock::time_point end = Clock::now();
+    if (call->trace != nullptr) {
+      // The worker-side view of the attempt: actual search time on this
+      // shard, parented under the coordinator's attempt span.
+      const uint64_t search_end_ns = obs::RequestNowNs();
+      std::vector<obs::SpanArg> args(1);
+      args[0].key = "shard";
+      args[0].int_value = shard;
+      call->trace->Record(
+          "shard_search", obs::MintSpanId(), call->span_id, search_start_ns,
+          search_end_ns > search_start_ns ? search_end_ns - search_start_ns
+                                          : 0,
+          std::move(args));
+    }
     // A search that ran past its deadline may have early-exited with an
     // incomplete scan; delivering it as a success would silently shrink
     // coverage. Late == failed.

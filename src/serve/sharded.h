@@ -54,6 +54,7 @@
 #include <vector>
 
 #include "core/crossem.h"
+#include "obs/request_trace.h"
 #include "serve/cache.h"
 #include "serve/index.h"
 #include "serve/service.h"
@@ -274,6 +275,15 @@ class ShardedMatchService {
     Clock::time_point deadline;  // per-attempt
     bool is_hedge = false;
 
+    // Request-trace identity of this attempt (trace null = untraced).
+    // The worker records its search span under span_id; the coordinator
+    // records the attempt span itself when the outcome is known.
+    std::shared_ptr<obs::RequestTrace> trace;
+    uint64_t span_id = 0;
+    uint64_t parent_span_id = 0;
+    uint64_t launch_ns = 0;
+    int64_t attempt_no = 0;
+
     bool done = false;
     bool ok = false;
     std::vector<eval::ScoredId> results;  // GLOBAL ids
@@ -297,7 +307,9 @@ class ShardedMatchService {
   void Gather(const std::shared_ptr<const std::vector<float>>& query,
               int64_t candidates, int64_t query_seq,
               Clock::time_point request_deadline, int64_t k,
-              float min_probability, MatchResponse* response);
+              float min_probability,
+              const std::shared_ptr<obs::RequestTrace>& trace,
+              uint64_t parent_span_id, MatchResponse* response);
   /// False when the shard queue is full (the attempt fails fast).
   bool Dispatch(const std::shared_ptr<ShardCall>& call);
   void ShardWorkerLoop(int64_t shard);

@@ -9,6 +9,7 @@
 #include <chrono>
 #include <cstdio>
 #include <memory>
+#include <set>
 #include <string>
 #include <thread>
 #include <vector>
@@ -21,9 +22,13 @@
 #include "net/loadgen.h"
 #include "net/match_app.h"
 #include "net/server.h"
+#include "obs/request_trace.h"
+#include "obs/timeseries.h"
+#include "obs/tracez.h"
 #include "serve/index.h"
 #include "serve/snapshot.h"
 #include "text/tokenizer.h"
+#include "util/fault_injection.h"
 #include "util/status.h"
 
 namespace crossem {
@@ -104,9 +109,14 @@ class ServerE2eFixture : public ::testing::Test {
 
   static std::unique_ptr<Stack> BootStack(MatchAppOptions app_options,
                                           int64_t shards, bool swap_index) {
+    return BootStack(std::move(app_options), FastOptions(shards), swap_index);
+  }
+
+  static std::unique_ptr<Stack> BootStack(MatchAppOptions app_options,
+                                          const serve::EngineOptions& eo,
+                                          bool swap_index) {
     auto s = std::make_unique<Stack>();
-    s->manager =
-        std::make_unique<serve::SnapshotManager>(matcher_, FastOptions(shards));
+    s->manager = std::make_unique<serve::SnapshotManager>(matcher_, eo);
     if (swap_index) {
       EXPECT_TRUE(s->manager->SwapIndex(MakeGoodIndex(), "boot").ok());
     }
@@ -401,6 +411,189 @@ TEST_F(ServerE2eFixture, PoissonDrillSurvivesMidDrillHotSwap) {
   // The rollout really happened while the drill ran.
   EXPECT_EQ(stack->manager->version(), 2);
   EXPECT_EQ(stack->manager->swaps(), 2);
+}
+
+TEST_F(ServerE2eFixture, MetricsServeJsonOnRequest) {
+  auto stack = BootStack(OpenAdmission(), 1, /*swap_index=*/true);
+  HttpClient client("127.0.0.1", stack->server->port());
+
+  for (const std::string target :
+       {std::string("/metrics?format=json"), std::string("/metrics")}) {
+    const bool json = target.find("json") != std::string::npos;
+    auto response =
+        json ? RoundTrip(client, "GET", target, "")
+             : RoundTrip(client, "GET", target, "",
+                         {{"Accept", "application/json"}});
+    ASSERT_TRUE(response.ok()) << response.status().ToString();
+    EXPECT_EQ(response.value().status, 200);
+    const std::string* ct = response.value().FindHeader("content-type");
+    ASSERT_NE(ct, nullptr);
+    EXPECT_NE(ct->find("application/json"), std::string::npos) << target;
+    auto doc = graph::ParseJson(response.value().body);
+    ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+    EXPECT_NE(doc.value().Find("counters"), nullptr);
+  }
+}
+
+TEST_F(ServerE2eFixture, MetricsHistoryRequiresARecorder) {
+  auto stack = BootStack(OpenAdmission(), 1, /*swap_index=*/true);
+  HttpClient client("127.0.0.1", stack->server->port());
+
+  // No recorder attached: the route is 404, not a crash.
+  auto missing = RoundTrip(client, "GET", "/metrics/history", "");
+  ASSERT_TRUE(missing.ok());
+  EXPECT_EQ(missing.value().status, 404);
+  EXPECT_NE(missing.value().body.find("recorder_disabled"),
+            std::string::npos);
+
+  obs::TimeSeriesOptions ts_options;
+  ts_options.interval_micros = 1000;
+  obs::TimeSeriesRecorder recorder(&obs::MetricsRegistry::Default(),
+                                   ts_options);
+  stack->app->set_recorder(&recorder);
+  recorder.SampleOnce();
+  recorder.SampleOnce();
+
+  auto history = RoundTrip(client, "GET", "/metrics/history", "");
+  ASSERT_TRUE(history.ok());
+  EXPECT_EQ(history.value().status, 200);
+  auto doc = graph::ParseJson(history.value().body);
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+  EXPECT_EQ(doc.value().Find("samples")->number_value(), 2.0);
+  EXPECT_NE(doc.value().Find("series"), nullptr);
+  stack->app->set_recorder(nullptr);
+}
+
+// The tentpole acceptance drill: a /v1/match carrying x-request-id must
+// yield ONE connected span tree — ingress root, admission, service,
+// gather, and a shard_attempt per attempt on every shard including a
+// forced hedge — retrievable from /debug/tracez, with the identity
+// echoed on the response.
+TEST_F(ServerE2eFixture, RequestTraceConnectsEveryShardAttemptWithHedge) {
+  fault::Clear();
+  obs::TracezBuffer::Default().Clear();
+
+  serve::EngineOptions eo = FastOptions(2);
+  // Keep the fixed 2ms hedge delay: a huge min_samples stops observed
+  // latencies from adapting it away mid-test.
+  eo.resilience.hedge_delay_micros = 2000;
+  eo.resilience.hedge_min_samples = int64_t{1} << 40;
+  auto stack = BootStack(OpenAdmission(), eo, /*swap_index=*/true);
+
+  // First search on shard 1 sleeps 30ms >> the 2ms hedge delay, so the
+  // coordinator must launch a hedge attempt for that shard.
+  fault::ShardFaultSpec spec;
+  spec.mode = fault::ShardFaultMode::kDelay;
+  spec.delay_ms = 30;
+  spec.shard = 1;
+  spec.nth = 1;
+  fault::ArmShardFault(spec);
+
+  HttpClient client("127.0.0.1", stack->server->port());
+  auto response =
+      RoundTrip(client, "POST", "/v1/match",
+                "{\"entity\":\"" + EntityLabel(0) + "\",\"k\":3}",
+                {{"x-request-id", "e2e-trace-1"}});
+  fault::Clear();
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  EXPECT_EQ(response.value().status, 200) << response.value().body;
+
+  // Identity echoed: x-request-id verbatim, traceparent well-formed.
+  const std::string* rid = response.value().FindHeader("x-request-id");
+  ASSERT_NE(rid, nullptr);
+  EXPECT_EQ(*rid, "e2e-trace-1");
+  const std::string* traceparent =
+      response.value().FindHeader("traceparent");
+  ASSERT_NE(traceparent, nullptr);
+  obs::TraceId trace_id;
+  uint64_t root_span = 0;
+  ASSERT_TRUE(obs::ParseTraceparent(*traceparent, &trace_id, &root_span));
+
+  // The trace is retrievable from /debug/tracez over the wire.
+  auto tracez = RoundTrip(client, "GET", "/debug/tracez?format=json", "");
+  ASSERT_TRUE(tracez.ok());
+  ASSERT_EQ(tracez.value().status, 200);
+  auto doc = graph::ParseJson(tracez.value().body);
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+  const graph::JsonValue* traces = doc.value().Find("traces");
+  ASSERT_NE(traces, nullptr);
+  const graph::JsonValue* mine = nullptr;
+  for (const graph::JsonValue& t : traces->array_items()) {
+    if (t.Find("request_id")->string_value() == "e2e-trace-1") mine = &t;
+  }
+  ASSERT_NE(mine, nullptr) << tracez.value().body;
+  EXPECT_EQ(mine->Find("trace_id")->string_value(),
+            obs::TraceIdHex(trace_id));
+
+  // Walk the span tree: ids must form one connected tree rooted at the
+  // "request" span, and the shard attempts must cover both shards with
+  // at least one hedge.
+  const graph::JsonValue* spans = mine->Find("spans");
+  ASSERT_NE(spans, nullptr);
+  std::set<std::string> span_ids;
+  std::set<std::string> names;
+  std::string root_span_id;
+  for (const graph::JsonValue& s : spans->array_items()) {
+    span_ids.insert(s.Find("span_id")->string_value());
+    names.insert(s.Find("name")->string_value());
+    if (s.Find("name")->string_value() == "request") {
+      root_span_id = s.Find("span_id")->string_value();
+    }
+  }
+  ASSERT_FALSE(root_span_id.empty());
+  EXPECT_EQ(root_span_id, obs::SpanIdHex(root_span));
+  for (const std::string required :
+       {"request", "admission", "service", "gather", "shard_attempt",
+        "shard_search"}) {
+    EXPECT_TRUE(names.count(required)) << "missing span: " << required;
+  }
+  std::set<int64_t> attempt_shards;
+  bool saw_hedge = false;
+  for (const graph::JsonValue& s : spans->array_items()) {
+    const std::string name = s.Find("name")->string_value();
+    const std::string parent = s.Find("parent_span_id")->string_value();
+    if (name == "request") {
+      EXPECT_EQ(parent, obs::SpanIdHex(0));  // the one and only root
+    } else {
+      // Connectivity: every non-root span's parent is a recorded span.
+      EXPECT_TRUE(span_ids.count(parent))
+          << name << " parent " << parent << " not in the tree";
+    }
+    if (name == "shard_attempt") {
+      const graph::JsonValue* args = s.Find("args");
+      ASSERT_NE(args, nullptr);
+      attempt_shards.insert(
+          static_cast<int64_t>(args->Find("shard")->number_value()));
+      if (args->Find("hedge")->number_value() == 1.0) saw_hedge = true;
+    }
+  }
+  EXPECT_TRUE(attempt_shards.count(0)) << "no attempt span for shard 0";
+  EXPECT_TRUE(attempt_shards.count(1)) << "no attempt span for shard 1";
+  EXPECT_TRUE(saw_hedge) << "forced 30ms delay produced no hedge span";
+
+  // The HTML view renders without leaking markup.
+  auto html = RoundTrip(client, "GET", "/debug/tracez", "");
+  ASSERT_TRUE(html.ok());
+  EXPECT_EQ(html.value().status, 200);
+  EXPECT_NE(html.value().body.find("e2e-trace-1"), std::string::npos);
+
+  obs::TracezBuffer::Default().Clear();
+}
+
+// Untraced requests (no trace headers, trace_all_requests off) must not
+// land in tracez and must not grow response headers.
+TEST_F(ServerE2eFixture, UntracedRequestsStayOffTheTracePath) {
+  obs::TracezBuffer::Default().Clear();
+  auto stack = BootStack(OpenAdmission(), 1, /*swap_index=*/true);
+  HttpClient client("127.0.0.1", stack->server->port());
+  auto response =
+      RoundTrip(client, "POST", "/v1/match",
+                "{\"entity\":\"" + EntityLabel(0) + "\",\"k\":3}");
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(response.value().status, 200);
+  EXPECT_EQ(response.value().FindHeader("x-request-id"), nullptr);
+  EXPECT_EQ(response.value().FindHeader("traceparent"), nullptr);
+  EXPECT_EQ(obs::TracezBuffer::Default().size(), 0);
 }
 
 }  // namespace

@@ -1,0 +1,142 @@
+// The time-series flight recorder: manual sampling into per-metric
+// rings, ring bounding, the JSON dump, tick-drop accounting, and the
+// sampler thread racing live metric writers (the TSan ctest entry
+// timeseries_tsan re-runs the *Concurrent* tests under the race
+// detector).
+#include "obs/timeseries.h"
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "graph/json.h"
+#include "gtest/gtest.h"
+#include "obs/metrics.h"
+
+namespace crossem {
+namespace obs {
+namespace {
+
+TEST(TimeSeriesTest, SampleOnceRecordsCountersGaugesHistograms) {
+  MetricsRegistry registry;
+  registry.GetCounter("ts_requests")->Add(5);
+  registry.GetGauge("ts_depth")->Set(3.5);
+  Histogram* h = registry.GetHistogram("ts_latency_us");
+  h->Record(100);
+  h->Record(200);
+
+  TimeSeriesRecorder recorder(&registry, {});
+  recorder.SampleOnce();
+  registry.GetCounter("ts_requests")->Add(2);
+  recorder.SampleOnce();
+
+  EXPECT_EQ(recorder.PointCount("ts_requests"), 2);
+  EXPECT_EQ(recorder.PointCount("ts_depth"), 2);
+  EXPECT_EQ(recorder.PointCount("ts_latency_us"), 2);
+  EXPECT_EQ(recorder.PointCount("ts_latency_us:count"), 2);
+  EXPECT_EQ(recorder.PointCount("ts_unknown"), 0);
+  EXPECT_EQ(recorder.GetStats().samples, 2);
+  EXPECT_EQ(recorder.GetStats().dropped, 0);
+}
+
+TEST(TimeSeriesTest, RingIsBoundedOldestEvicted) {
+  MetricsRegistry registry;
+  registry.GetCounter("ts_ring")->Increment();
+  TimeSeriesOptions options;
+  options.points_per_metric = 4;
+  TimeSeriesRecorder recorder(&registry, options);
+  for (int i = 0; i < 10; ++i) recorder.SampleOnce();
+  EXPECT_EQ(recorder.PointCount("ts_ring"), 4);
+  EXPECT_EQ(recorder.GetStats().samples, 10);
+}
+
+TEST(TimeSeriesTest, RenderJsonParsesAndCarriesSeries) {
+  MetricsRegistry registry;
+  registry.GetCounter("ts_json_counter")->Add(7);
+  TimeSeriesRecorder recorder(&registry, {});
+  recorder.SampleOnce();
+  recorder.SampleOnce();
+
+  auto doc = graph::ParseJson(recorder.RenderJson());
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+  EXPECT_EQ(doc.value().Find("samples")->number_value(), 2.0);
+  EXPECT_EQ(doc.value().Find("dropped")->number_value(), 0.0);
+  const graph::JsonValue* series = doc.value().Find("series");
+  ASSERT_NE(series, nullptr);
+  const graph::JsonValue* counter = series->Find("ts_json_counter");
+  ASSERT_NE(counter, nullptr);
+  ASSERT_EQ(counter->Find("t_us")->array_items().size(), 2u);
+  ASSERT_EQ(counter->Find("v")->array_items().size(), 2u);
+  EXPECT_EQ(counter->Find("v")->array_items()[0].number_value(), 7.0);
+  // Sample timestamps are monotone.
+  EXPECT_LE(counter->Find("t_us")->array_items()[0].number_value(),
+            counter->Find("t_us")->array_items()[1].number_value());
+}
+
+TEST(TimeSeriesTest, StartStopIsIdempotentAndJoins) {
+  MetricsRegistry registry;
+  registry.GetCounter("ts_started")->Increment();
+  TimeSeriesOptions options;
+  options.interval_micros = 1000;  // 1ms ticks
+  TimeSeriesRecorder recorder(&registry, options);
+  recorder.Start();
+  recorder.Start();  // no second thread
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  recorder.Stop();
+  recorder.Stop();  // no-op
+  const auto stats = recorder.GetStats();
+  EXPECT_GT(stats.samples, 0);
+  // Restartable after Stop.
+  recorder.Start();
+  recorder.Stop();
+}
+
+// Sampler thread ticking fast while writer threads mutate the registry
+// and a reader renders JSON — the shape the race detector must bless.
+TEST(TimeSeriesTest, ConcurrentRecordWhileSampling) {
+  MetricsRegistry registry;
+  TimeSeriesOptions options;
+  options.interval_micros = 500;  // 0.5ms: maximize sampler overlap
+  options.points_per_metric = 64;
+  TimeSeriesRecorder recorder(&registry, options);
+  recorder.Start();
+
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> writers;
+  for (int w = 0; w < 4; ++w) {
+    writers.emplace_back([&registry, &stop, w] {
+      Counter* counter =
+          registry.GetCounter("ts_conc_" + std::to_string(w));
+      Histogram* hist = registry.GetHistogram("ts_conc_lat");
+      int64_t i = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        counter->Increment();
+        hist->Record(i++ % 1000);
+      }
+    });
+  }
+  std::thread reader([&recorder, &stop] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      (void)recorder.RenderJson();
+      (void)recorder.PointCount("ts_conc_0");
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  });
+
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  stop.store(true);
+  for (std::thread& t : writers) t.join();
+  reader.join();
+  recorder.Stop();
+
+  const auto stats = recorder.GetStats();
+  EXPECT_GT(stats.samples, 0);
+  EXPECT_GT(recorder.PointCount("ts_conc_0"), 0);
+  auto doc = graph::ParseJson(recorder.RenderJson());
+  EXPECT_TRUE(doc.ok());
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace crossem

@@ -10,6 +10,7 @@
 
 #include "graph/json.h"
 #include "gtest/gtest.h"
+#include "obs/request_trace.h"
 
 namespace crossem {
 namespace obs {
@@ -105,8 +106,13 @@ TEST_F(TraceTest, ChromeTraceJsonIsValidAndComplete) {
   const graph::JsonValue* events = doc.value().Find("traceEvents");
   ASSERT_NE(events, nullptr);
   ASSERT_TRUE(events->is_array());
-  ASSERT_EQ(events->array_items().size(), 1u);
-  const graph::JsonValue& ev = events->array_items()[0];
+  // One process_name metadata event plus the span itself.
+  ASSERT_EQ(events->array_items().size(), 2u);
+  const graph::JsonValue& meta = events->array_items()[0];
+  EXPECT_EQ(meta.Find("ph")->string_value(), "M");
+  EXPECT_EQ(meta.Find("name")->string_value(), "process_name");
+  EXPECT_EQ(meta.Find("args")->Find("name")->string_value(), "crossem");
+  const graph::JsonValue& ev = events->array_items()[1];
   EXPECT_EQ(ev.Find("ph")->string_value(), "X");
   EXPECT_EQ(ev.Find("name")->string_value(), "gemm");
   EXPECT_DOUBLE_EQ(ev.Find("pid")->number_value(), 1.0);
@@ -131,10 +137,61 @@ TEST_F(TraceTest, WriteChromeTraceProducesLoadableFile) {
   text << in.rdbuf();
   auto doc = graph::ParseJson(text.str());
   ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+  // [0] is the process_name metadata event; the span follows.
   EXPECT_EQ(
-      doc.value().Find("traceEvents")->array_items()[0].Find("name")
+      doc.value().Find("traceEvents")->array_items()[1].Find("name")
           ->string_value(),
       "epoch");
+}
+
+TEST_F(TraceTest, NamedThreadsEmitThreadNameMetadata) {
+  SetTraceEnabled(true);
+  std::thread worker([] {
+    SetThreadName("unit-worker");
+    CROSSEM_TRACE_SPAN("named_work");
+  });
+  worker.join();
+  const std::string json = ChromeTraceJson();
+  auto doc = graph::ParseJson(json);
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+  bool saw_thread_name = false;
+  for (const graph::JsonValue& ev :
+       doc.value().Find("traceEvents")->array_items()) {
+    if (ev.Find("ph")->string_value() == "M" &&
+        ev.Find("name")->string_value() == "thread_name" &&
+        ev.Find("args")->Find("name")->string_value() == "unit-worker") {
+      saw_thread_name = true;
+    }
+  }
+  EXPECT_TRUE(saw_thread_name) << json;
+}
+
+TEST_F(TraceTest, AppendSpanRecordCarriesTraceIds) {
+  SetTraceEnabled(true);
+  SpanRecord record;
+  record.name = "external";
+  record.start_ns = RequestNowNs();
+  record.duration_ns = 500;
+  record.trace_hi = 0x0123456789abcdefULL;
+  record.trace_lo = 0xfedcba9876543210ULL;
+  record.span_id = 0x1111222233334444ULL;
+  record.parent_span_id = 0x5555666677778888ULL;
+  AppendSpanRecord(record);
+  auto doc = graph::ParseJson(ChromeTraceJson());
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+  const graph::JsonValue* found = nullptr;
+  for (const graph::JsonValue& ev :
+       doc.value().Find("traceEvents")->array_items()) {
+    if (ev.Find("name")->string_value() == "external") found = &ev;
+  }
+  ASSERT_NE(found, nullptr);
+  const graph::JsonValue* args = found->Find("args");
+  ASSERT_NE(args, nullptr);
+  EXPECT_EQ(args->Find("trace_id")->string_value(),
+            "0123456789abcdeffedcba9876543210");
+  EXPECT_EQ(args->Find("span_id")->string_value(), "1111222233334444");
+  EXPECT_EQ(args->Find("parent_span_id")->string_value(),
+            "5555666677778888");
 }
 
 TEST_F(TraceTest, ClearTraceDropsEverything) {

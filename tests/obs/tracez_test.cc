@@ -1,0 +1,266 @@
+// Request traces and the tail-sampled tracez buffer: trace identity
+// (mint / derive / traceparent round-trip), span recording with drop
+// accounting, and the eviction bias that keeps error/degraded/slow
+// traces alive while fast-ok traces rotate out.
+#include "obs/tracez.h"
+
+#include <memory>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "graph/json.h"
+#include "gtest/gtest.h"
+#include "obs/request_trace.h"
+
+namespace crossem {
+namespace obs {
+namespace {
+
+std::shared_ptr<RequestTrace> MakeTrace(const std::string& request_id,
+                                        int status, int64_t duration_us,
+                                        bool degraded = false) {
+  auto trace = std::make_shared<RequestTrace>(MintTraceId(), request_id,
+                                              "test-tenant");
+  RequestSpan span(trace, "child", trace->root_span_id());
+  span.Arg("k", int64_t{7});
+  span.End();
+  trace->Complete(status, duration_us, degraded);
+  return trace;
+}
+
+TEST(RequestTraceId, MintedIdsAreValidAndDistinct) {
+  std::set<std::string> seen;
+  for (int i = 0; i < 64; ++i) {
+    TraceId id = MintTraceId();
+    EXPECT_TRUE(id.valid());
+    seen.insert(TraceIdHex(id));
+  }
+  EXPECT_EQ(seen.size(), 64u);
+  EXPECT_EQ(TraceIdHex(MintTraceId()).size(), 32u);
+  EXPECT_EQ(SpanIdHex(MintSpanId()).size(), 16u);
+}
+
+TEST(RequestTraceId, DeriveIsStable) {
+  const TraceId a = DeriveTraceId("req-abc");
+  const TraceId b = DeriveTraceId("req-abc");
+  const TraceId c = DeriveTraceId("req-abd");
+  EXPECT_TRUE(a.valid());
+  EXPECT_EQ(a.hi, b.hi);
+  EXPECT_EQ(a.lo, b.lo);
+  EXPECT_TRUE(a.hi != c.hi || a.lo != c.lo);
+}
+
+TEST(RequestTraceId, TraceparentRoundTrip) {
+  const TraceId id = MintTraceId();
+  const uint64_t span = MintSpanId();
+  const std::string header = FormatTraceparent(id, span);
+  ASSERT_EQ(header.size(), 55u);
+
+  TraceId parsed_id;
+  uint64_t parsed_span = 0;
+  ASSERT_TRUE(ParseTraceparent(header, &parsed_id, &parsed_span));
+  EXPECT_EQ(parsed_id.hi, id.hi);
+  EXPECT_EQ(parsed_id.lo, id.lo);
+  EXPECT_EQ(parsed_span, span);
+}
+
+TEST(RequestTraceId, TraceparentRejectsMalformed) {
+  TraceId id;
+  uint64_t span = 0;
+  EXPECT_FALSE(ParseTraceparent("", &id, &span));
+  EXPECT_FALSE(ParseTraceparent("00-zz", &id, &span));
+  // All-zero trace id is invalid per the W3C spec.
+  EXPECT_FALSE(ParseTraceparent(
+      "00-00000000000000000000000000000000-00f067aa0ba902b7-01", &id,
+      &span));
+  // All-zero parent span id likewise.
+  EXPECT_FALSE(ParseTraceparent(
+      "00-4bf92f3577b34da6a3ce929d0e0e4736-0000000000000000-01", &id,
+      &span));
+  // Version ff is reserved.
+  EXPECT_FALSE(ParseTraceparent(
+      "ff-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01", &id,
+      &span));
+  // Wrong separator positions.
+  EXPECT_FALSE(ParseTraceparent(
+      "00x4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01", &id,
+      &span));
+}
+
+TEST(RequestTraceTest, RecordsSpansWithParentIds) {
+  auto trace = std::make_shared<RequestTrace>(MintTraceId(), "req-1", "t");
+  {
+    RequestSpan outer(trace, "outer", trace->root_span_id());
+    RequestSpan inner(trace, "inner", outer.span_id());
+    inner.Arg("shard", int64_t{3});
+  }
+  trace->Complete(200, 1234, false);
+
+  const std::vector<RequestSpanRecord> spans = trace->Spans();
+  // inner, outer (ended in reverse declaration order), then "request".
+  ASSERT_EQ(spans.size(), 3u);
+  EXPECT_STREQ(spans[0].name, "inner");
+  EXPECT_STREQ(spans[1].name, "outer");
+  EXPECT_STREQ(spans[2].name, "request");
+  EXPECT_EQ(spans[1].parent_span_id, trace->root_span_id());
+  EXPECT_EQ(spans[0].parent_span_id, spans[1].span_id);
+  EXPECT_EQ(spans[2].span_id, trace->root_span_id());
+  EXPECT_EQ(spans[2].parent_span_id, 0u);
+  EXPECT_TRUE(trace->completed());
+  EXPECT_EQ(trace->http_status(), 200);
+  EXPECT_EQ(trace->duration_us(), 1234);
+  EXPECT_EQ(trace->dropped_spans(), 0);
+}
+
+TEST(RequestTraceTest, NullTraceSpansAreNoOps) {
+  RequestSpan span(nullptr, "ghost", 42);
+  span.Arg("k", int64_t{1}).Arg("v", 0.5);
+  span.End();
+  EXPECT_EQ(span.span_id(), 0u);
+}
+
+TEST(RequestTraceTest, DropsSpansPastTheCap) {
+  auto trace = std::make_shared<RequestTrace>(MintTraceId(), "req-big", "t");
+  for (int64_t i = 0; i < RequestTrace::kMaxSpans + 10; ++i) {
+    trace->Record("s", MintSpanId(), trace->root_span_id(), RequestNowNs(),
+                  1, {});
+  }
+  EXPECT_EQ(static_cast<int64_t>(trace->Spans().size()),
+            RequestTrace::kMaxSpans);
+  EXPECT_EQ(trace->dropped_spans(), 10);
+}
+
+TEST(TracezTest, RetainsMostRecentUpToCapacity) {
+  TracezOptions options;
+  options.capacity = 4;
+  TracezBuffer buffer(options);
+  for (int i = 0; i < 10; ++i) {
+    buffer.Record(MakeTrace("req-" + std::to_string(i), 200, 100));
+  }
+  EXPECT_EQ(buffer.size(), 4);
+  EXPECT_EQ(buffer.recorded(), 10);
+  EXPECT_EQ(buffer.evicted(), 6);
+  auto kept = buffer.Snapshot();
+  ASSERT_EQ(kept.size(), 4u);
+  EXPECT_EQ(kept.front()->request_id(), "req-6");
+  EXPECT_EQ(kept.back()->request_id(), "req-9");
+}
+
+TEST(TracezTest, EvictionSparesInterestingTraces) {
+  TracezOptions options;
+  options.capacity = 4;
+  TracezBuffer buffer(options);
+  // Two interesting traces (an error and a degraded answer) buried
+  // under a stream of fast-ok ones.
+  buffer.Record(MakeTrace("error", 503, 100));
+  buffer.Record(MakeTrace("degraded", 206, 100, /*degraded=*/true));
+  for (int i = 0; i < 20; ++i) {
+    buffer.Record(MakeTrace("ok-" + std::to_string(i), 200, 100));
+  }
+  std::set<std::string> ids;
+  for (const auto& t : buffer.Snapshot()) ids.insert(t->request_id());
+  EXPECT_EQ(buffer.size(), 4);
+  EXPECT_TRUE(ids.count("error"));
+  EXPECT_TRUE(ids.count("degraded"));
+}
+
+TEST(TracezTest, SlowTracesCountAsInteresting) {
+  TracezOptions options;
+  options.capacity = 3;
+  options.slow_threshold_us = 1000;
+  TracezBuffer buffer(options);
+  buffer.Record(MakeTrace("slow", 200, 50000));  // way above the floor
+  for (int i = 0; i < 10; ++i) {
+    buffer.Record(MakeTrace("fast-" + std::to_string(i), 200, 10));
+  }
+  std::set<std::string> ids;
+  for (const auto& t : buffer.Snapshot()) ids.insert(t->request_id());
+  EXPECT_TRUE(ids.count("slow"));
+}
+
+TEST(TracezTest, InterestingTracesEvictOldestWhenFull) {
+  TracezOptions options;
+  options.capacity = 2;
+  TracezBuffer buffer(options);
+  buffer.Record(MakeTrace("err-0", 500, 100));
+  buffer.Record(MakeTrace("err-1", 500, 100));
+  buffer.Record(MakeTrace("err-2", 500, 100));
+  auto kept = buffer.Snapshot();
+  ASSERT_EQ(kept.size(), 2u);
+  EXPECT_EQ(kept.front()->request_id(), "err-1");
+  EXPECT_EQ(kept.back()->request_id(), "err-2");
+  EXPECT_EQ(buffer.evicted(), 1);
+}
+
+TEST(TracezTest, RenderJsonParsesAndCarriesSpans) {
+  TracezBuffer buffer;
+  buffer.Record(MakeTrace("req-json", 206, 2500, /*degraded=*/true));
+  const std::string json = buffer.RenderJson();
+  auto doc = graph::ParseJson(json);
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString() << "\n" << json;
+  const graph::JsonValue* traces = doc.value().Find("traces");
+  ASSERT_NE(traces, nullptr);
+  ASSERT_EQ(traces->array_items().size(), 1u);
+  const graph::JsonValue& t = traces->array_items()[0];
+  EXPECT_EQ(t.Find("request_id")->string_value(), "req-json");
+  EXPECT_EQ(t.Find("status")->number_value(), 206.0);
+  EXPECT_TRUE(t.Find("degraded")->bool_value());
+  const graph::JsonValue* spans = t.Find("spans");
+  ASSERT_NE(spans, nullptr);
+  // "child" plus the root "request" span.
+  EXPECT_EQ(spans->array_items().size(), 2u);
+}
+
+TEST(TracezTest, RenderHtmlEscapesClientStrings) {
+  TracezBuffer buffer;
+  buffer.Record(MakeTrace("<script>alert(1)</script>", 200, 100));
+  const std::string html = buffer.RenderHtml();
+  EXPECT_EQ(html.find("<script>alert"), std::string::npos);
+  EXPECT_NE(html.find("&lt;script&gt;"), std::string::npos);
+}
+
+TEST(TracezTest, ClearResetsEverything) {
+  TracezBuffer buffer;
+  buffer.Record(MakeTrace("req", 200, 100));
+  buffer.Clear();
+  EXPECT_EQ(buffer.size(), 0);
+  EXPECT_EQ(buffer.recorded(), 0);
+  EXPECT_EQ(buffer.evicted(), 0);
+  EXPECT_TRUE(buffer.Snapshot().empty());
+}
+
+// Many threads completing requests into one buffer while a reader
+// renders: the TSan ctest entry (timeseries_tsan) re-runs this under
+// the race detector.
+TEST(TracezTest, ConcurrentRecordAndRender) {
+  TracezOptions options;
+  options.capacity = 16;
+  TracezBuffer buffer(options);
+  std::vector<std::thread> writers;
+  for (int w = 0; w < 4; ++w) {
+    writers.emplace_back([&buffer, w] {
+      for (int i = 0; i < 50; ++i) {
+        const int status = (i % 10 == 0) ? 503 : 200;
+        buffer.Record(MakeTrace("w" + std::to_string(w) + "-" +
+                                    std::to_string(i),
+                                status, 100 + i));
+      }
+    });
+  }
+  std::thread reader([&buffer] {
+    for (int i = 0; i < 20; ++i) {
+      auto doc = graph::ParseJson(buffer.RenderJson());
+      EXPECT_TRUE(doc.ok());
+    }
+  });
+  for (std::thread& t : writers) t.join();
+  reader.join();
+  EXPECT_EQ(buffer.recorded(), 200);
+  EXPECT_LE(buffer.size(), 16);
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace crossem

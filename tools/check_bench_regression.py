@@ -29,7 +29,11 @@ the gate compares the *relative* columns, which are stable across hosts:
     responses, zero transport errors, and p99 under
     --net-p99-ceiling-us; overload arms must stay transport-clean
     (the server sheds with 429s instead of hanging or crashing), with
-    their latencies printed as context.
+    their latencies printed as context. With --net-expect-recorder the
+    report must also carry the time-series flight recorder's summary:
+    at least one sample taken and zero ticks dropped during the
+    nominal arm (a drop there means the sampler stalled on an
+    unsaturated box).
 
 Absolute ns_per_iter values are printed for context but never gated.
 Exit code 0 = pass, 1 = regression, 2 = usage/data error.
@@ -170,7 +174,7 @@ def load_net(path):
     if not isinstance(arms, list) or not arms:
         print(f"error: {path} has no 'net' array", file=sys.stderr)
         sys.exit(2)
-    return {a.get("name"): a for a in arms}
+    return {a.get("name"): a for a in arms}, doc.get("recorder")
 
 
 def check_net(arms, args, failures):
@@ -222,6 +226,34 @@ def check_net(arms, args, failures):
                   f"(429s under overload are the design working)")
 
 
+def check_net_recorder(recorder, failures):
+    """Flight-recorder gate: the bench ran a TimeSeriesRecorder beside
+    the arms; it must have sampled, and must not have dropped a tick
+    during the nominal arm (overload-arm drops are informational)."""
+    if not isinstance(recorder, dict):
+        failures.append("net: no 'recorder' object in report "
+                        "(--net-expect-recorder)")
+        return
+    samples = recorder.get("samples", 0)
+    dropped = recorder.get("dropped", 0)
+    nominal_dropped = recorder.get("nominal_dropped", -1)
+    note = (f"net|recorder: samples {samples}, dropped {dropped}, "
+            f"nominal_dropped {nominal_dropped}")
+    ok = True
+    if samples <= 0:
+        failures.append(f"{note} -- recorder took no samples")
+        ok = False
+    if nominal_dropped != 0:
+        failures.append(f"{note} -- recorder dropped ticks during the "
+                        "nominal arm (or did not report)")
+        ok = False
+    if ok:
+        print(f"ok   {note}")
+        if dropped > 0:
+            print(f"info net|recorder: {dropped} total drops occurred "
+                  "outside the nominal arm (overload; informational)")
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("--baseline",
@@ -252,6 +284,9 @@ def main():
     ap.add_argument("--net-p99-ceiling-us", type=float, default=500000,
                     help="nominal-arm p99 ceiling in microseconds "
                          "(default 500ms; CI boxes are slow)")
+    ap.add_argument("--net-expect-recorder", action="store_true",
+                    help="require the BENCH_net.json 'recorder' summary: "
+                         "samples > 0 and nominal_dropped == 0")
     args = ap.parse_args()
 
     if not (args.baseline or args.resilience or args.net):
@@ -280,7 +315,10 @@ def main():
         check_resilience(load_resilience(args.resilience), args, failures)
 
     if args.net:
-        check_net(load_net(args.net), args, failures)
+        net_arms, net_recorder = load_net(args.net)
+        check_net(net_arms, args, failures)
+        if args.net_expect_recorder:
+            check_net_recorder(net_recorder, failures)
 
     if args.parallel:
         for key, cur in sorted(load_records(args.parallel).items()):

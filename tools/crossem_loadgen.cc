@@ -16,6 +16,11 @@
 //
 // Entities can also be piped in: `--entities-from -` reads one label
 // per line from stdin (or from a file path).
+//
+// After the arms finish, --history-out fetches the server's
+// /metrics/history flight-recorder dump and --tracez-out fetches the
+// tail-sampled request traces (/debug/tracez?format=json), writing each
+// JSON document next to BENCH_net.json for offline graphing.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -43,6 +48,8 @@ struct Args {
   int64_t deadline_ms = 0;
   uint64_t seed = 1;
   std::string out;
+  std::string history_out;
+  std::string tracez_out;
 };
 
 void PrintUsage() {
@@ -52,7 +59,10 @@ void PrintUsage() {
       "  [--host ADDR] [--qps R ...] [--duration-s S] [--connections N]\n"
       "  [--tenant NAME] [--k N] [--deadline-ms N] [--seed N]\n"
       "  [--entities-from FILE|-] [--out BENCH_net.json]\n"
-      "each --qps value is one open-loop Poisson arm\n");
+      "  [--history-out HISTORY.json] [--tracez-out TRACEZ.json]\n"
+      "each --qps value is one open-loop Poisson arm;\n"
+      "--history-out/--tracez-out fetch /metrics/history and\n"
+      "/debug/tracez?format=json from the server after the arms\n");
 }
 
 bool ParseArgs(int argc, char** argv, Args* args) {
@@ -98,6 +108,12 @@ bool ParseArgs(int argc, char** argv, Args* args) {
     } else if (flag == "--out") {
       if ((v = next()) == nullptr) return false;
       args->out = v;
+    } else if (flag == "--history-out") {
+      if ((v = next()) == nullptr) return false;
+      args->history_out = v;
+    } else if (flag == "--tracez-out") {
+      if ((v = next()) == nullptr) return false;
+      args->tracez_out = v;
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", flag.c_str());
       return false;
@@ -130,7 +146,8 @@ void PrintReport(const net::LoadGenReport& r) {
       stderr,
       "arm %s: offered %.1f qps achieved %.1f qps over %.2fs | "
       "sent %lld completed %lld transport_errors %lld | "
-      "200:%lld 206:%lld 429:%lld 4xx:%lld 5xx:%lld | "
+      "200:%lld 206:%lld 429:%lld 4xx:%lld 503:%lld 504:%lld "
+      "other-5xx:%lld | "
       "p50 %lldus p90 %lldus p99 %lldus max %lldus\n",
       r.name.c_str(), r.offered_qps, r.achieved_qps, r.duration_s,
       static_cast<long long>(r.sent), static_cast<long long>(r.completed),
@@ -139,11 +156,42 @@ void PrintReport(const net::LoadGenReport& r) {
       static_cast<long long>(r.status_206),
       static_cast<long long>(r.status_429),
       static_cast<long long>(r.status_4xx),
-      static_cast<long long>(r.status_5xx),
+      static_cast<long long>(r.status_503),
+      static_cast<long long>(r.status_504),
+      static_cast<long long>(r.status_5xx - r.status_503 - r.status_504),
       static_cast<long long>(r.latency_p50_us),
       static_cast<long long>(r.latency_p90_us),
       static_cast<long long>(r.latency_p99_us),
       static_cast<long long>(r.latency_max_us));
+}
+
+/// GETs `target` from the server and writes the body to `path`.
+bool FetchToFile(const Args& args, const std::string& target,
+                 const std::string& path) {
+  net::HttpClient client(args.host, static_cast<int>(args.port));
+  net::HttpRequest request;
+  request.method = "GET";
+  request.target = target;
+  request.version = "HTTP/1.1";
+  request.headers.emplace_back("Host", args.host);
+  auto response = client.RoundTrip(request, 5 * 1000 * 1000);
+  if (!response.ok()) {
+    std::fprintf(stderr, "GET %s: %s\n", target.c_str(),
+                 response.status().ToString().c_str());
+    return false;
+  }
+  if (response.value().status != 200) {
+    std::fprintf(stderr, "GET %s: HTTP %d\n", target.c_str(),
+                 response.value().status);
+    return false;
+  }
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    std::fprintf(stderr, "cannot write '%s'\n", path.c_str());
+    return false;
+  }
+  out << response.value().body;
+  return static_cast<bool>(out);
 }
 
 }  // namespace
@@ -184,6 +232,16 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "%s\n", st.ToString().c_str());
       return 1;
     }
+  }
+  // Server-side dumps are best-effort diagnostics: a server without a
+  // recorder answers 404, which fails the fetch but not the run.
+  if (!args.history_out.empty() &&
+      FetchToFile(args, "/metrics/history", args.history_out)) {
+    std::fprintf(stderr, "wrote %s\n", args.history_out.c_str());
+  }
+  if (!args.tracez_out.empty() &&
+      FetchToFile(args, "/debug/tracez?format=json", args.tracez_out)) {
+    std::fprintf(stderr, "wrote %s\n", args.tracez_out.c_str());
   }
   return 0;
 }

@@ -32,11 +32,15 @@
 //       [--host H] [--port P] [--http-threads N] [--shards N]
 //       [--max-inflight N] [--tenant-rate R] [--tenant-burst B]
 //       [--k N] [--patch-dim D] [--max-patches P]
-//     Serves /v1/match, /healthz, /metrics, and /admin/snapshot over
-//     HTTP/1.1 (DESIGN.md §15): per-tenant token-bucket quotas keyed
-//     by the x-tenant header, a global concurrency limiter, deadlines
-//     from x-deadline-ms, and zero-downtime index hot-swaps via
-//     POST /admin/snapshot {"index": PATH}. Runs until SIGINT/SIGTERM.
+//     Serves /v1/match, /healthz, /metrics, /metrics/history,
+//     /debug/tracez, and /admin/snapshot over HTTP/1.1 (DESIGN.md
+//     §15-16): per-tenant token-bucket quotas keyed by the x-tenant
+//     header, a global concurrency limiter, deadlines from
+//     x-deadline-ms, request tracing (traceparent / x-request-id
+//     adopted and echoed), a time-series flight recorder
+//     (--history-interval-ms, 0 disables), and zero-downtime index
+//     hot-swaps via POST /admin/snapshot {"index": PATH}. Runs until
+//     SIGINT/SIGTERM.
 //
 // The model checkpoint must have been written against the same graph
 // inputs (the vocabulary is rebuilt from the mapped graph). query and
@@ -71,6 +75,7 @@
 #include "nn/serialize.h"
 #include "obs/json.h"
 #include "obs/metrics.h"
+#include "obs/timeseries.h"
 #include "obs/trace.h"
 #include "serve/index.h"
 #include "serve/service.h"
@@ -114,6 +119,8 @@ struct Args {
   int64_t max_inflight = 128;
   double tenant_rate = 200.0;
   double tenant_burst = 100.0;
+  // Flight-recorder sampling period for /metrics/history (0 disables).
+  int64_t history_interval_ms = 250;
   std::string stats_out;  // Prometheus text exposition of the registry
   std::string trace_out;  // Chrome trace_event JSON (Perfetto)
 };
@@ -140,7 +147,9 @@ void PrintUsage() {
       "               [--http-threads N] [--max-inflight N]\n"
       "               [--tenant-rate R] [--tenant-burst B] [--k N]\n"
       "               [--patch-dim D] [--max-patches P]\n"
-      "               serves POST /v1/match, /healthz, /metrics, and\n"
+      "               [--history-interval-ms N]\n"
+      "               serves POST /v1/match, /healthz, /metrics (+json),\n"
+      "               /metrics/history, /debug/tracez, and\n"
       "               /admin/snapshot until SIGINT/SIGTERM\n"
       "query/stdin-batch also take [--shards N] (partition the index and\n"
       "serve through the resilient scatter-gather engine: retries, hedged\n"
@@ -259,6 +268,8 @@ bool ParseArgs(int argc, char** argv, Args* args) {
       const char* v = next();
       if (v == nullptr) return false;
       args->tenant_burst = std::atof(v);
+    } else if (flag == "--history-interval-ms") {
+      if (!next_i64(&args->history_interval_ms)) return false;
     } else if (flag == "--stats-out") {
       const char* v = next();
       if (v == nullptr) return false;
@@ -650,7 +661,22 @@ int RunHttp(const Args& args, Setup* s) {
   app_options.admission.tenant_rate = args.tenant_rate;
   app_options.admission.tenant_burst = args.tenant_burst;
   app_options.default_k = args.k;
+  // Every request gets a trace; the tracez buffer tail-samples which
+  // completed traces are retained for /debug/tracez.
+  app_options.trace_all_requests = true;
   net::MatchApp app(&s->builder.graph(), engine.manager.get(), app_options);
+
+  // Flight recorder behind /metrics/history (--history-interval-ms 0
+  // disables the sampler and the route answers 404).
+  std::unique_ptr<obs::TimeSeriesRecorder> recorder;
+  if (args.history_interval_ms > 0) {
+    obs::TimeSeriesOptions ts_options;
+    ts_options.interval_micros = args.history_interval_ms * 1000;
+    recorder = std::make_unique<obs::TimeSeriesRecorder>(
+        &obs::MetricsRegistry::Default(), ts_options);
+    app.set_recorder(recorder.get());
+    recorder->Start();
+  }
 
   net::HttpServerOptions server_options;
   server_options.host = args.host;
@@ -673,6 +699,7 @@ int RunHttp(const Args& args, Setup* s) {
   }
   std::fprintf(stderr, "shutting down\n");
   server.Stop();
+  if (recorder != nullptr) recorder->Stop();
   engine.PrintStats();
   engine.Shutdown();
   if (!WriteObservability(args)) return 1;
