@@ -21,11 +21,13 @@ constexpr char kMagicEnd[8] = {'C', 'E', 'M', '2', 'E', 'N', 'D', '\n'};
 
 constexpr uint32_t kKindTensor = kRecordTensor;
 constexpr uint32_t kKindBytes = kRecordBytes;
+constexpr uint32_t kKindPacked = kRecordPacked;
 
 // Parse limits: no legitimate checkpoint comes close, and they keep a
 // corrupt length field from driving a huge allocation.
 constexpr int64_t kMaxNameLen = 4096;
 constexpr int64_t kMaxRank = 16;
+constexpr int64_t kMaxElemSize = 64;
 
 /// RAII FILE handle.
 struct FileCloser {
@@ -72,6 +74,11 @@ bool WriteRecordsTo(std::FILE* f, const std::vector<Record>& records) {
       w.I64(static_cast<int64_t>(r.shape.size()));
       for (int64_t d : r.shape) w.I64(d);
       w.Raw(r.f32.data(), r.f32.size() * sizeof(float));
+    } else if (r.kind == kKindPacked) {
+      w.I64(static_cast<int64_t>(r.shape.size()));
+      for (int64_t d : r.shape) w.I64(d);
+      w.I64(r.elem_size);
+      w.Raw(r.bytes.data(), r.bytes.size());
     } else {
       w.I64(static_cast<int64_t>(r.bytes.size()));
       w.Raw(r.bytes.data(), r.bytes.size());
@@ -218,10 +225,11 @@ Status ParseV2(Cursor* c, const std::string& path,
       return Corrupt(path, "truncated");
     }
     if (!c->U32(&r.kind) ||
-        (r.kind != kKindTensor && r.kind != kKindBytes)) {
+        (r.kind != kKindTensor && r.kind != kKindBytes &&
+         r.kind != kKindPacked)) {
       return Corrupt(path, "bad record kind");
     }
-    if (r.kind == kKindTensor) {
+    if (r.kind == kKindTensor || r.kind == kKindPacked) {
       int64_t rank = 0;
       if (!c->I64(&rank) || rank < 0 || rank > kMaxRank) {
         return Corrupt(path, "bad record rank");
@@ -231,12 +239,29 @@ Status ParseV2(Cursor* c, const std::string& path,
         if (!c->I64(&d) || d < 0) return Corrupt(path, "bad record shape");
       }
       const int64_t numel = ShapeNumel(r.shape);
-      if (static_cast<size_t>(numel) * sizeof(float) > c->remaining()) {
+      if (r.kind == kKindPacked) {
+        if (!c->I64(&r.elem_size) || r.elem_size <= 0 ||
+            r.elem_size > kMaxElemSize) {
+          return Corrupt(path, "bad record element size");
+        }
+      }
+      const int64_t elem =
+          r.kind == kKindPacked ? r.elem_size
+                                : static_cast<int64_t>(sizeof(float));
+      if (static_cast<size_t>(numel) * static_cast<size_t>(elem) >
+          c->remaining()) {
         return Corrupt(path, "truncated");
       }
-      r.f32.resize(static_cast<size_t>(numel));
-      if (!c->Raw(r.f32.data(), r.f32.size() * sizeof(float))) {
-        return Corrupt(path, "truncated");
+      if (r.kind == kKindPacked) {
+        r.bytes.resize(static_cast<size_t>(numel * elem));
+        if (!c->Raw(r.bytes.data(), r.bytes.size())) {
+          return Corrupt(path, "truncated");
+        }
+      } else {
+        r.f32.resize(static_cast<size_t>(numel));
+        if (!c->Raw(r.f32.data(), r.f32.size() * sizeof(float))) {
+          return Corrupt(path, "truncated");
+        }
       }
     } else {
       int64_t byte_count = 0;
@@ -399,6 +424,20 @@ CheckpointRecord CheckpointRecord::BytesRecord(std::string name,
   return r;
 }
 
+CheckpointRecord CheckpointRecord::PackedRecord(std::string name, Shape shape,
+                                                int64_t elem_size,
+                                                std::string data) {
+  CROSSEM_CHECK_EQ(static_cast<int64_t>(data.size()),
+                   ShapeNumel(shape) * elem_size);
+  CheckpointRecord r;
+  r.name = std::move(name);
+  r.kind = kRecordPacked;
+  r.shape = std::move(shape);
+  r.elem_size = elem_size;
+  r.bytes = std::move(data);
+  return r;
+}
+
 uint32_t CheckpointRecord::Crc() const {
   uint32_t crc = Crc32Update(0, name.data(), name.size());
   crc = Crc32Update(crc, &kind, sizeof(kind));
@@ -407,6 +446,12 @@ uint32_t CheckpointRecord::Crc() const {
     crc = Crc32Update(crc, &rank, sizeof(rank));
     for (int64_t d : shape) crc = Crc32Update(crc, &d, sizeof(d));
     crc = Crc32Update(crc, f32.data(), f32.size() * sizeof(float));
+  } else if (kind == kRecordPacked) {
+    const int64_t rank = static_cast<int64_t>(shape.size());
+    crc = Crc32Update(crc, &rank, sizeof(rank));
+    for (int64_t d : shape) crc = Crc32Update(crc, &d, sizeof(d));
+    crc = Crc32Update(crc, &elem_size, sizeof(elem_size));
+    crc = Crc32Update(crc, bytes.data(), bytes.size());
   } else {
     const int64_t count = static_cast<int64_t>(bytes.size());
     crc = Crc32Update(crc, &count, sizeof(count));

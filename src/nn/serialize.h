@@ -9,6 +9,10 @@
 //     u32 crc32(name, kind, shape, payload)
 //       kind 0 (f32 tensor): i64 rank | i64 dims[rank] | f32 data[numel]
 //       kind 1 (raw bytes):  i64 byte_count | bytes
+//       kind 2 (packed):     i64 rank | i64 dims[rank] | i64 elem_size |
+//                            data[numel * elem_size] — a shaped array of
+//                            opaque fixed-size elements (f16 rows, int8
+//                            blocks, ... of the quantized serving path)
 //   trailer:
 //     u32 crc32 over the record CRCs, in order | magic "CEM2END\n"
 //
@@ -53,18 +57,24 @@ namespace nn {
 /// Record kinds of the v2 layout.
 inline constexpr uint32_t kRecordTensor = 0;  // f32 tensor with a shape
 inline constexpr uint32_t kRecordBytes = 1;   // raw byte string
+inline constexpr uint32_t kRecordPacked = 2;  // shaped non-f32 element array
 
 /// One named entry of a checkpoint file.
 struct CheckpointRecord {
   std::string name;
   uint32_t kind = kRecordTensor;
-  Shape shape;              // kRecordTensor
+  Shape shape;              // kRecordTensor, kRecordPacked
   std::vector<float> f32;   // kRecordTensor payload
-  std::string bytes;        // kRecordBytes payload
+  std::string bytes;        // kRecordBytes / kRecordPacked payload
+  int64_t elem_size = 0;    // kRecordPacked: bytes per element
 
   static CheckpointRecord TensorRecord(std::string name, Shape shape,
                                        std::vector<float> data);
   static CheckpointRecord BytesRecord(std::string name, std::string data);
+  /// A shaped array of opaque `elem_size`-byte elements;
+  /// `data.size() == numel(shape) * elem_size` must hold.
+  static CheckpointRecord PackedRecord(std::string name, Shape shape,
+                                       int64_t elem_size, std::string data);
 
   /// CRC over name bytes, kind, shape/size fields and payload — the
   /// value stored after the record and chained into the trailer.

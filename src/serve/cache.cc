@@ -1,7 +1,23 @@
 #include "serve/cache.h"
 
+#include "obs/metrics.h"
+
 namespace crossem {
 namespace serve {
+
+namespace {
+
+obs::Gauge* CacheBytesGauge() {
+  static obs::Gauge* gauge =
+      obs::MetricsRegistry::Default().GetGauge("crossem_cache_bytes");
+  return gauge;
+}
+
+}  // namespace
+
+void EmbeddingCache::PublishBytesDelta(int64_t delta) {
+  if (delta != 0) CacheBytesGauge()->Add(static_cast<double>(delta));
+}
 
 bool EmbeddingCache::Lookup(graph::VertexId vertex, uint32_t fingerprint,
                             std::vector<float>* out) {
@@ -12,33 +28,57 @@ bool EmbeddingCache::Lookup(graph::VertexId vertex, uint32_t fingerprint,
     return false;
   }
   lru_.splice(lru_.begin(), lru_, it->second);
-  *out = it->second->second;
+  it->second->second.Decode(out);
   ++hits_;
   return true;
 }
 
+void EmbeddingCache::EvictBack() {
+  const int64_t freed = lru_.back().second.ApproxBytes();
+  map_.erase(lru_.back().first);
+  lru_.pop_back();
+  bytes_ -= freed;
+  PublishBytesDelta(-freed);
+}
+
 void EmbeddingCache::Insert(graph::VertexId vertex, uint32_t fingerprint,
                             std::vector<float> embedding) {
-  if (capacity_ <= 0) return;
+  if (options_.capacity <= 0) return;
+  quant::QuantizedVector entry = quant::QuantizedVector::Encode(
+      options_.format, embedding.data(),
+      static_cast<int64_t>(embedding.size()));
   std::lock_guard<std::mutex> lock(mu_);
   const Key key{vertex, fingerprint};
   auto it = map_.find(key);
   if (it != map_.end()) {
-    it->second->second = std::move(embedding);
+    const int64_t delta =
+        entry.ApproxBytes() - it->second->second.ApproxBytes();
+    it->second->second = std::move(entry);
     lru_.splice(lru_.begin(), lru_, it->second);
-    return;
+    bytes_ += delta;
+    PublishBytesDelta(delta);
+  } else {
+    const int64_t added = entry.ApproxBytes();
+    lru_.emplace_front(key, std::move(entry));
+    map_.emplace(key, lru_.begin());
+    bytes_ += added;
+    PublishBytesDelta(added);
   }
-  lru_.emplace_front(key, std::move(embedding));
-  map_.emplace(key, lru_.begin());
-  while (static_cast<int64_t>(lru_.size()) > capacity_) {
-    map_.erase(lru_.back().first);
-    lru_.pop_back();
+  while (static_cast<int64_t>(lru_.size()) > options_.capacity ||
+         (options_.max_bytes > 0 && bytes_ > options_.max_bytes &&
+          lru_.size() > 1)) {
+    EvictBack();
   }
 }
 
 int64_t EmbeddingCache::size() const {
   std::lock_guard<std::mutex> lock(mu_);
   return static_cast<int64_t>(lru_.size());
+}
+
+int64_t EmbeddingCache::ApproxBytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return bytes_;
 }
 
 int64_t EmbeddingCache::hits() const {
@@ -55,6 +95,8 @@ void EmbeddingCache::Clear() {
   std::lock_guard<std::mutex> lock(mu_);
   lru_.clear();
   map_.clear();
+  PublishBytesDelta(-bytes_);
+  bytes_ = 0;
 }
 
 }  // namespace serve

@@ -8,6 +8,13 @@
 // never satisfy lookups against a retuned one, no invalidation
 // broadcast required.
 //
+// Entries can be stored block-quantized (serve/quant.h): a non-kF32
+// format compresses each embedding on Insert and dequantizes on hit,
+// trading a small reconstruction error for 2-3.5x more entries per
+// byte. Capacity is dual: an entry-count cap and an optional byte cap
+// (ApproxBytes per entry), whichever binds first; resident bytes are
+// mirrored to the process-wide crossem_cache_bytes gauge.
+//
 // Thread-safe; all operations are O(1) amortized under one mutex.
 #ifndef CROSSEM_SERVE_CACHE_H_
 #define CROSSEM_SERVE_CACHE_H_
@@ -20,27 +27,46 @@
 #include <vector>
 
 #include "graph/graph.h"
+#include "serve/quant.h"
 
 namespace crossem {
 namespace serve {
 
+struct EmbeddingCacheOptions {
+  /// Max entries; <= 0 disables caching (every lookup misses).
+  int64_t capacity = 0;
+  /// Max resident payload bytes; 0 = no byte cap.
+  int64_t max_bytes = 0;
+  /// Storage format of cached embeddings.
+  quant::QuantFormat format = quant::QuantFormat::kF32;
+};
+
 class EmbeddingCache {
  public:
-  /// `capacity` <= 0 disables caching (every lookup misses).
-  explicit EmbeddingCache(int64_t capacity) : capacity_(capacity) {}
+  explicit EmbeddingCache(EmbeddingCacheOptions options)
+      : options_(options) {}
+  /// Entry-count-only construction (the pre-quantization interface).
+  explicit EmbeddingCache(int64_t capacity)
+      : EmbeddingCache(EmbeddingCacheOptions{capacity, 0,
+                                             quant::QuantFormat::kF32}) {}
 
   /// Copies the cached embedding for (vertex, fingerprint) into `out`
-  /// and marks the entry most-recently-used; false on miss.
+  /// (dequantizing if needed) and marks the entry most-recently-used;
+  /// false on miss.
   bool Lookup(graph::VertexId vertex, uint32_t fingerprint,
               std::vector<float>* out);
 
-  /// Inserts (or refreshes) an entry, evicting the least-recently-used
-  /// entries beyond capacity.
+  /// Inserts (or refreshes) an entry — stored in options().format —
+  /// then evicts least-recently-used entries until both the entry cap
+  /// and the byte cap hold.
   void Insert(graph::VertexId vertex, uint32_t fingerprint,
               std::vector<float> embedding);
 
   int64_t size() const;
-  int64_t capacity() const { return capacity_; }
+  int64_t capacity() const { return options_.capacity; }
+  const EmbeddingCacheOptions& options() const { return options_; }
+  /// Approximate resident payload bytes across all entries.
+  int64_t ApproxBytes() const;
   int64_t hits() const;
   int64_t misses() const;
 
@@ -61,12 +87,18 @@ class EmbeddingCache {
       return static_cast<size_t>(mix ^ (mix >> 29));
     }
   };
-  using Entry = std::pair<Key, std::vector<float>>;
+  using Entry = std::pair<Key, quant::QuantizedVector>;
 
-  const int64_t capacity_;
+  /// Removes the LRU entry (caller holds mu_, lru_ non-empty).
+  void EvictBack();
+  /// Publishes a bytes_ delta to the crossem_cache_bytes gauge.
+  static void PublishBytesDelta(int64_t delta);
+
+  const EmbeddingCacheOptions options_;
   mutable std::mutex mu_;
   std::list<Entry> lru_;  // front = most recent
   std::unordered_map<Key, std::list<Entry>::iterator, KeyHash> map_;
+  int64_t bytes_ = 0;
   int64_t hits_ = 0;
   int64_t misses_ = 0;
 };

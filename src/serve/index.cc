@@ -6,6 +6,7 @@
 #include <queue>
 
 #include "obs/trace.h"
+#include "util/fault_injection.h"
 #include "util/logging.h"
 #include "util/parallel.h"
 
@@ -21,6 +22,10 @@ constexpr char kRecDim[] = "index/dim";
 constexpr char kRecFingerprint[] = "index/model_fingerprint";
 constexpr char kRecIds[] = "index/ids";
 constexpr char kRecVectors[] = "index/vectors";
+constexpr char kRecQuantFormat[] = "index/quant_format";
+constexpr char kRecQuantRerank[] = "quant/rerank_k";
+constexpr char kRecQuantBlocks[] = "quant/blocks";
+constexpr char kRecQuantScales[] = "quant/scales";
 constexpr char kRecHnswParams[] = "hnsw/params";
 constexpr char kRecHnswLevels[] = "hnsw/levels";
 constexpr char kRecHnswCounts[] = "hnsw/neighbor_counts";
@@ -123,10 +128,64 @@ thread_local VisitedSet t_visited;
 // ---------------------------------------------------------------------------
 
 float EmbeddingIndex::Similarity(int64_t id, const float* query) const {
+  if (format_ != quant::QuantFormat::kF32) return qstore_.Dot(id, query);
+  // kF32 stays the exact scalar ascending dot of earlier PRs: tests and
+  // the sharded bitwise-identity contract pin these values.
   const float* row = data_.data() + id * dim_;
   float dot = 0.0f;
   for (int64_t d = 0; d < dim_; ++d) dot += row[d] * query[d];
   return dot;
+}
+
+const float* EmbeddingIndex::RowForQuery(int64_t id) const {
+  if (format_ == quant::QuantFormat::kF32) {
+    return data_.data() + id * dim_;
+  }
+  thread_local std::vector<float> scratch;
+  scratch.resize(static_cast<size_t>(dim_));
+  qstore_.DequantizeRow(id, scratch.data());
+  return scratch.data();
+}
+
+std::vector<eval::ScoredId> EmbeddingIndex::ReRank(
+    const float* query, std::vector<eval::ScoredId> cands, int64_t k) const {
+  if (format_ != quant::QuantFormat::kF32) {
+    if (exact_ != nullptr) {
+      std::vector<float> row(static_cast<size_t>(dim_));
+      for (eval::ScoredId& c : cands) {
+        if (!exact_->Row(c.id, row.data())) continue;
+        float dot = 0.0f;
+        for (int64_t d = 0; d < dim_; ++d) dot += row[d] * query[d];
+        c.score = dot;
+      }
+      std::sort(cands.begin(), cands.end(), eval::RanksBefore);
+    } else {
+      // No side store (loaded without the .f32rank file): keep the
+      // quantized order, but clamp scores into the cosine range so
+      // downstream validation (|score| <= 1 + eps) still holds.
+      for (eval::ScoredId& c : cands) {
+        c.score = std::min(1.0f, std::max(-1.0f, c.score));
+      }
+    }
+  }
+  if (static_cast<int64_t>(cands.size()) > k) {
+    cands.resize(static_cast<size_t>(k));
+  }
+  return cands;
+}
+
+int64_t EmbeddingIndex::VectorBytes() const {
+  return format_ == quant::QuantFormat::kF32
+             ? static_cast<int64_t>(data_.size() * sizeof(float))
+             : qstore_.PayloadBytes();
+}
+
+int64_t EmbeddingIndex::MemoryBytes() const {
+  int64_t bytes = VectorBytes();
+  for (const std::string& id : ids_) {
+    bytes += static_cast<int64_t>(sizeof(std::string) + id.capacity());
+  }
+  return bytes;
 }
 
 Status EmbeddingIndex::AppendRows(const float* src, int64_t n, int64_t dim,
@@ -152,8 +211,18 @@ Status EmbeddingIndex::AppendRows(const float* src, int64_t n, int64_t dim,
     }
   }
   *first = size();
-  data_.resize(data_.size() + static_cast<size_t>(n * dim_));
-  float* dst = data_.data() + *first * dim_;
+  const bool quantized = format_ != quant::QuantFormat::kF32;
+  // A quantized index normalizes into a staging buffer, then quantizes
+  // it into qstore_ and mirrors the f32 rows into the exact store.
+  std::vector<float> staging;
+  float* dst;
+  if (quantized) {
+    staging.resize(static_cast<size_t>(n * dim_));
+    dst = staging.data();
+  } else {
+    data_.resize(data_.size() + static_cast<size_t>(n * dim_));
+    dst = data_.data() + *first * dim_;
+  }
   if (verbatim) {
     std::memcpy(dst, src, static_cast<size_t>(n * dim_) * sizeof(float));
   } else {
@@ -170,8 +239,45 @@ Status EmbeddingIndex::AppendRows(const float* src, int64_t n, int64_t dim,
       }
     });
   }
+  if (quantized) {
+    if (qstore_.dim() == 0) {
+      qstore_.Init(format_, dim_);
+      mem_exact_ = std::make_shared<quant::MemoryExactStore>(dim_);
+      exact_ = mem_exact_;
+    }
+    qstore_.AppendRows(staging.data(), n);
+    if (mem_exact_ != nullptr) mem_exact_->AppendRows(staging.data(), n);
+  }
   ids_.insert(ids_.end(), ids.begin(), ids.end());
   return Status::OK();
+}
+
+Status EmbeddingIndex::AddQuantizedFrom(const EmbeddingIndex& source,
+                                        const std::vector<int64_t>& rows,
+                                        const std::vector<std::string>& ids) {
+  if (source.format_ == quant::QuantFormat::kF32 ||
+      source.format_ != format_) {
+    return Status::InvalidArgument(
+        "AddQuantizedFrom needs matching quantized formats");
+  }
+  if (size() != 0 || dim_ != 0) {
+    return Status::InvalidArgument("AddQuantizedFrom target must be empty");
+  }
+  if (rows.size() != ids.size()) {
+    return Status::InvalidArgument(
+        "got " + std::to_string(ids.size()) + " ids for " +
+        std::to_string(rows.size()) + " rows");
+  }
+  dim_ = source.dim_;
+  rerank_k_ = source.rerank_k_;
+  qstore_.Init(format_, dim_);
+  qstore_.AppendFrom(source.qstore_, rows.data(),
+                     static_cast<int64_t>(rows.size()));
+  if (source.exact_ != nullptr) {
+    exact_ = std::make_shared<quant::MappedExactStore>(source.exact_, rows);
+  }
+  ids_ = ids;
+  return OnAppended(0);
 }
 
 Status EmbeddingIndex::Add(const Tensor& embeddings,
@@ -196,6 +302,13 @@ Status EmbeddingIndex::AddPreNormalized(const float* rows, int64_t n,
 }
 
 Status EmbeddingIndex::Save(const std::string& path) const {
+  // The exact-f32 side file goes first: if writing it fails, the main
+  // index file is untouched, and a crash between the two leaves at
+  // worst an orphaned side file next to the still-valid old index.
+  if (format_ != quant::QuantFormat::kF32 && exact_ != nullptr) {
+    CROSSEM_RETURN_NOT_OK(
+        quant::WriteExactSideFile(*exact_, quant::ExactSidePath(path)));
+  }
   std::vector<nn::CheckpointRecord> records;
   records.push_back(nn::CheckpointRecord::BytesRecord(kRecBackend, backend()));
   std::string dim_bytes;
@@ -213,8 +326,39 @@ Status EmbeddingIndex::Save(const std::string& path) const {
   }
   records.push_back(
       nn::CheckpointRecord::BytesRecord(kRecIds, std::move(joined)));
-  records.push_back(nn::CheckpointRecord::TensorRecord(
-      kRecVectors, {size(), dim_}, data_));
+  if (format_ == quant::QuantFormat::kF32) {
+    // Unchanged legacy layout: an f32 index file is byte-identical to
+    // the ones earlier PRs wrote.
+    records.push_back(nn::CheckpointRecord::TensorRecord(
+        kRecVectors, {size(), dim_}, data_));
+  } else {
+    std::string fmt_bytes;
+    PackPod(&fmt_bytes, static_cast<uint32_t>(format_));
+    records.push_back(nn::CheckpointRecord::BytesRecord(
+        kRecQuantFormat, std::move(fmt_bytes)));
+    std::string rr_bytes;
+    PackPod(&rr_bytes, rerank_k_);
+    records.push_back(nn::CheckpointRecord::BytesRecord(
+        kRecQuantRerank, std::move(rr_bytes)));
+    std::string blocks;
+    int64_t elem_size;
+    if (format_ == quant::QuantFormat::kF16) {
+      elem_size = static_cast<int64_t>(sizeof(uint16_t));
+      blocks.assign(
+          reinterpret_cast<const char*>(qstore_.f16_rows().data()),
+          qstore_.f16_rows().size() * sizeof(uint16_t));
+    } else {
+      elem_size = 1;
+      blocks.assign(
+          reinterpret_cast<const char*>(qstore_.int8_rows().data()),
+          qstore_.int8_rows().size());
+      records.push_back(nn::CheckpointRecord::TensorRecord(
+          kRecQuantScales, {size(), qstore_.blocks_per_row()},
+          qstore_.scales()));
+    }
+    records.push_back(nn::CheckpointRecord::PackedRecord(
+        kRecQuantBlocks, {size(), dim_}, elem_size, std::move(blocks)));
+  }
   AppendExtraRecords(&records);
   return nn::SaveRecordFile(records, path);
 }
@@ -251,13 +395,63 @@ Result<std::unique_ptr<EmbeddingIndex>> EmbeddingIndex::Load(
   if (!UnpackPod(r->bytes, &pos, &index->model_fingerprint_)) {
     return CorruptIndex(path, "bad fingerprint");
   }
-  CROSSEM_ASSIGN_OR_RETURN(
-      r, RequireRecord(by_name, kRecVectors, nn::kRecordTensor, path));
-  if (r->shape.size() != 2 || r->shape[1] != index->dim_) {
-    return CorruptIndex(path, "bad vector shape");
+
+  // Storage format: absent (every pre-quantization file) means kF32.
+  if (auto it = by_name.find(kRecQuantFormat);
+      it != by_name.end() && it->second->kind == nn::kRecordBytes) {
+    uint32_t fmt = 0;
+    pos = 0;
+    if (!UnpackPod(it->second->bytes, &pos, &fmt) ||
+        (fmt != static_cast<uint32_t>(quant::QuantFormat::kF16) &&
+         fmt != static_cast<uint32_t>(quant::QuantFormat::kInt8))) {
+      return CorruptIndex(path, "bad quant format");
+    }
+    index->format_ = static_cast<quant::QuantFormat>(fmt);
   }
-  const int64_t n = r->shape[0];
-  index->data_ = r->f32;
+
+  int64_t n = 0;
+  if (index->format_ == quant::QuantFormat::kF32) {
+    CROSSEM_ASSIGN_OR_RETURN(
+        r, RequireRecord(by_name, kRecVectors, nn::kRecordTensor, path));
+    if (r->shape.size() != 2 || r->shape[1] != index->dim_) {
+      return CorruptIndex(path, "bad vector shape");
+    }
+    n = r->shape[0];
+    index->data_ = r->f32;
+  } else {
+    CROSSEM_ASSIGN_OR_RETURN(
+        r, RequireRecord(by_name, kRecQuantRerank, nn::kRecordBytes, path));
+    pos = 0;
+    if (!UnpackPod(r->bytes, &pos, &index->rerank_k_) ||
+        index->rerank_k_ < 1) {
+      return CorruptIndex(path, "bad rerank_k");
+    }
+    CROSSEM_ASSIGN_OR_RETURN(
+        r, RequireRecord(by_name, kRecQuantBlocks, nn::kRecordPacked, path));
+    const int64_t want_elem =
+        index->format_ == quant::QuantFormat::kF16
+            ? static_cast<int64_t>(sizeof(uint16_t))
+            : 1;
+    if (r->shape.size() != 2 || r->shape[1] != index->dim_ ||
+        r->elem_size != want_elem) {
+      return CorruptIndex(path, "bad quant block shape");
+    }
+    n = r->shape[0];
+    std::vector<float> scales;
+    if (index->format_ == quant::QuantFormat::kInt8) {
+      const nn::CheckpointRecord* sr;
+      CROSSEM_ASSIGN_OR_RETURN(
+          sr, RequireRecord(by_name, kRecQuantScales, nn::kRecordTensor,
+                            path));
+      if (sr->shape.size() != 2 || sr->shape[0] != n ||
+          sr->shape[1] != quant::BlocksPerRow(index->dim_)) {
+        return CorruptIndex(path, "bad quant scale shape");
+      }
+      scales = sr->f32;
+    }
+    CROSSEM_RETURN_NOT_OK(index->qstore_.Restore(
+        index->format_, index->dim_, n, r->bytes, std::move(scales)));
+  }
   CROSSEM_ASSIGN_OR_RETURN(
       r, RequireRecord(by_name, kRecIds, nn::kRecordBytes, path));
   if (n > 0) {
@@ -279,6 +473,21 @@ Result<std::unique_ptr<EmbeddingIndex>> EmbeddingIndex::Load(
                   " does not match vector count " + std::to_string(n));
   }
   CROSSEM_RETURN_NOT_OK(index->RestoreExtra(by_name, path));
+
+  // Exact side file: optional (re-rank degrades without it), but if it
+  // is present it must be intact and consistent with the index.
+  if (index->format_ != quant::QuantFormat::kF32) {
+    const std::string side = quant::ExactSidePath(path);
+    if (io::FileExists(side)) {
+      std::unique_ptr<quant::FileExactStore> store;
+      CROSSEM_ASSIGN_OR_RETURN(store, quant::FileExactStore::Open(side));
+      if (store->size() != n || store->dim() != index->dim_) {
+        return CorruptIndex(path,
+                            "exact side file does not match the index");
+      }
+      index->exact_ = std::move(store);
+    }
+  }
   return index;
 }
 
@@ -292,11 +501,14 @@ std::vector<eval::ScoredId> FlatIndex::Search(const float* query, int64_t k,
                                               SearchDeadline deadline) const {
   const int64_t n = size();
   if (n == 0 || k <= 0) return {};
-  // Chunked exact scan: per-chunk top-k via the shared kernel, merged in
-  // ascending chunk order — deterministic at any thread count. An armed
-  // deadline is checked once per chunk: chunks starting after expiry
-  // contribute nothing, so a nearly-expired query returns the best of
-  // whatever prefix it could afford instead of burning a full scan.
+  // Chunked scan over the stored rows (f32 or compressed): per-chunk
+  // top-k via the shared kernel, merged in ascending chunk order —
+  // deterministic at any thread count. An armed deadline is checked
+  // once per chunk: chunks starting after expiry contribute nothing, so
+  // a nearly-expired query returns the best of whatever prefix it could
+  // afford instead of burning a full scan. A quantized index over-
+  // fetches to rerank_k and re-scores those from the exact store.
+  const int64_t fetch = FetchK(k);
   constexpr int64_t kGrain = 2048;
   const int64_t chunks = NumChunks(0, n, kGrain);
   std::vector<std::vector<eval::ScoredId>> parts(
@@ -311,11 +523,11 @@ std::vector<eval::ScoredId> FlatIndex::Search(const float* query, int64_t k,
       sims[static_cast<size_t>(i - b)] = Similarity(i, query);
     }
     std::vector<eval::ScoredId> top =
-        eval::TopK(sims.data(), e - b, std::min(k, e - b));
+        eval::TopK(sims.data(), e - b, std::min(fetch, e - b));
     for (eval::ScoredId& s : top) s.id += b;
     parts[static_cast<size_t>(c)] = std::move(top);
   });
-  return eval::MergeTopK(parts, k);
+  return ReRank(query, eval::MergeTopK(parts, fetch), k);
 }
 
 void FlatIndex::AppendExtraRecords(std::vector<nn::CheckpointRecord>*) const {}
@@ -330,7 +542,9 @@ Status FlatIndex::RestoreExtra(
 // HnswIndex
 // ---------------------------------------------------------------------------
 
-HnswIndex::HnswIndex(HnswOptions options) : options_(options) {
+HnswIndex::HnswIndex(HnswOptions options, quant::QuantFormat format)
+    : options_(options) {
+  format_ = format;
   CROSSEM_CHECK_GE(options_.M, 2);
   CROSSEM_CHECK_GE(options_.ef_construction, 1);
   CROSSEM_CHECK_GE(options_.ef_search, 1);
@@ -447,7 +661,7 @@ std::vector<int32_t> HnswIndex::SelectDiverse(
     if (static_cast<int64_t>(chosen.size()) >= max) break;
     bool diverse = true;
     for (int32_t kept : chosen) {
-      if (Similarity(cand.id, vector(kept)) > cand.score) {
+      if (Similarity(cand.id, RowForQuery(kept)) > cand.score) {
         diverse = false;
         break;
       }
@@ -487,7 +701,9 @@ void HnswIndex::Link(int64_t id,
       list.push_back(static_cast<int32_t>(id));
       const int64_t max = MaxNeighbors(level);
       if (static_cast<int64_t>(list.size()) > max) {
-        const float* base = vector(nb);
+        // `base` may live in the RowForQuery scratch; its last use is
+        // before SelectDiverse dequantizes anything else.
+        const float* base = RowForQuery(nb);
         std::vector<eval::ScoredId> scored;
         scored.reserve(list.size());
         for (int32_t x : list) scored.push_back({x, Similarity(x, base)});
@@ -516,7 +732,7 @@ Status HnswIndex::OnAppended(int64_t first) {
   // Candidate lists for one element against the CURRENT graph (read-only).
   auto search_candidates =
       [&](int64_t id) -> std::vector<std::vector<eval::ScoredId>> {
-    const float* q = vector(id);
+    const float* q = RowForQuery(id);
     const int64_t node_level = nodes_[static_cast<size_t>(id)].level;
     std::vector<std::vector<eval::ScoredId>> cands(
         static_cast<size_t>(node_level) + 1);
@@ -564,7 +780,7 @@ Status HnswIndex::OnAppended(int64_t first) {
       // so the graph stays independent of the thread count.
       std::vector<std::vector<eval::ScoredId>>& cands =
           batch_cands[static_cast<size_t>(x - id)];
-      const float* q = vector(x);
+      const float* q = RowForQuery(x);
       const int64_t x_level = nodes_[static_cast<size_t>(x)].level;
       for (int64_t level = 0; level <= x_level; ++level) {
         std::vector<eval::ScoredId>& list =
@@ -595,13 +811,22 @@ std::vector<eval::ScoredId> HnswIndex::Search(const float* query, int64_t k,
       std::chrono::steady_clock::now() > deadline) {
     return {};  // expired before the descent even started
   }
+  const int64_t fetch = FetchK(k);
   const int64_t entry = GreedyDescend(query, entry_point_, max_level_, 0);
   std::vector<eval::ScoredId> beam = SearchLayer(
-      query, entry, std::max(options_.ef_search, k), 0, deadline);
-  if (static_cast<int64_t>(beam.size()) > k) {
-    beam.resize(static_cast<size_t>(k));
+      query, entry, std::max(options_.ef_search, fetch), 0, deadline);
+  return ReRank(query, std::move(beam), k);
+}
+
+int64_t HnswIndex::MemoryBytes() const {
+  int64_t bytes = EmbeddingIndex::MemoryBytes();
+  for (const Node& node : nodes_) {
+    bytes += static_cast<int64_t>(sizeof(Node));
+    for (const std::vector<int32_t>& list : node.neighbors) {
+      bytes += static_cast<int64_t>(list.capacity() * sizeof(int32_t));
+    }
   }
-  return beam;
+  return bytes;
 }
 
 void HnswIndex::AppendExtraRecords(

@@ -17,9 +17,19 @@
 // checked, atomically written, corrupt files rejected wholesale. Index
 // files carry the fingerprint of the model that produced the embeddings
 // so a retuned model cannot silently query a stale index.
+//
+// Either backend can store its rows block-quantized (serve/quant.h,
+// DESIGN.md §17): construction with QuantFormat kF16/kInt8 keeps only
+// compressed rows plus an exact-f32 side store, scans/graph walks score
+// on the compressed rows via the quantized dot kernels, and Search
+// re-scores the top rerank_k candidates from the side store so ranking
+// quality survives quantization. Save writes the f32 rows to an
+// "<index>.f32rank" side file; Load memory-maps it when present and
+// degrades to quantized-only scores (clamped to [-1, 1]) when not.
 #ifndef CROSSEM_SERVE_INDEX_H_
 #define CROSSEM_SERVE_INDEX_H_
 
+#include <algorithm>
 #include <chrono>
 #include <cstdint>
 #include <map>
@@ -29,6 +39,7 @@
 
 #include "eval/topk.h"
 #include "nn/serialize.h"
+#include "serve/quant.h"
 #include "tensor/tensor.h"
 #include "util/status.h"
 
@@ -58,6 +69,15 @@ class EmbeddingIndex {
   Status AddPreNormalized(const float* rows, int64_t n, int64_t dim,
                           const std::vector<std::string>& ids);
 
+  /// Quantized analogue of AddPreNormalized for sharding: gathers rows
+  /// `rows[0..ids.size())` of `source` bit-identically (blocks + scales
+  /// copied verbatim, never re-quantized) and shares `source`'s exact
+  /// side store through a row mapping. This index must be freshly
+  /// constructed, empty, and of `source`'s format.
+  Status AddQuantizedFrom(const EmbeddingIndex& source,
+                          const std::vector<int64_t>& rows,
+                          const std::vector<std::string>& ids);
+
   /// The k nearest stored vectors to `query` (length dim()) by cosine
   /// similarity, best first. Deterministic at any thread count for a
   /// non-expiring deadline; once `deadline` passes the scan stops early
@@ -80,8 +100,36 @@ class EmbeddingIndex {
   uint32_t model_fingerprint() const { return model_fingerprint_; }
   void set_model_fingerprint(uint32_t fp) { model_fingerprint_ = fp; }
 
-  /// Row pointer into the normalized stored vectors.
+  /// Row pointer into the normalized stored vectors. Only valid for a
+  /// kF32 index — quantized indexes do not keep f32 rows in RAM.
   const float* vector(int64_t id) const { return data_.data() + id * dim_; }
+
+  /// Storage format of the rows (kF32 unless chosen at construction).
+  quant::QuantFormat quant_format() const { return format_; }
+
+  /// How many top candidates Search re-scores from the exact store
+  /// before truncating to k (quantized indexes only; persisted).
+  int64_t rerank_k() const { return rerank_k_; }
+  void set_rerank_k(int64_t k) { rerank_k_ = k; }
+
+  /// The compressed rows (valid iff quant_format() != kF32).
+  const quant::QuantStore& quant_store() const { return qstore_; }
+
+  /// Exact f32 rows backing re-rank; null when a quantized index was
+  /// loaded without its side file (re-rank then degrades to clamped
+  /// quantized scores).
+  const std::shared_ptr<const quant::ExactStore>& exact_store() const {
+    return exact_;
+  }
+
+  /// Bytes of stored row payload (f32 rows, or quantized blocks +
+  /// scales) — the bytes/entity numerator reported by the bench.
+  int64_t VectorBytes() const;
+
+  /// Approximate resident bytes: row payload + ids + backend extras
+  /// (e.g. the HNSW adjacency lists). Feeds the crossem_index_bytes
+  /// gauge.
+  virtual int64_t MemoryBytes() const;
 
   /// Writes the index as one atomic CEMCKPT2 file.
   Status Save(const std::string& path) const;
@@ -92,20 +140,42 @@ class EmbeddingIndex {
   static Result<std::unique_ptr<EmbeddingIndex>> Load(const std::string& path);
 
  protected:
-  /// Validates `n` rows of width `dim` and appends them to data_/ids_,
-  /// L2-normalizing unless `verbatim`; returns the id of the first
-  /// appended row via `first`.
+  /// Validates `n` rows of width `dim` and appends them to the row
+  /// store and ids_, L2-normalizing unless `verbatim` (a quantized
+  /// index quantizes the normalized rows into qstore_ and mirrors them
+  /// into the exact store); returns the id of the first appended row
+  /// via `first`.
   Status AppendRows(const float* src, int64_t n, int64_t dim,
                     const std::vector<std::string>& ids, bool verbatim,
                     int64_t* first);
 
-  /// Backend hook run after rows [first, size()) land in data_/ids_
-  /// (e.g. HNSW graph construction). Called by Add/AddPreNormalized.
+  /// Backend hook run after rows [first, size()) land in the row store
+  /// and ids_ (e.g. HNSW graph construction).
   virtual Status OnAppended(int64_t first) = 0;
 
-  /// Cosine similarity (dot of normalized rows) of stored row `id` and
-  /// an external query of length dim_.
+  /// Cosine similarity of stored row `id` and an external query of
+  /// length dim_: the scalar ascending f32 dot for kF32 (bitwise-stable
+  /// across PRs), the selected quantized kernel otherwise.
   float Similarity(int64_t id, const float* query) const;
+
+  /// Stored row `id` as an f32 query vector: a direct data_ pointer for
+  /// kF32, a dequantized copy in a thread-local scratch otherwise. The
+  /// pointer is invalidated by the next RowForQuery call on the same
+  /// thread — use it immediately, never across another RowForQuery.
+  const float* RowForQuery(int64_t id) const;
+
+  /// Re-scores the top candidates from the exact store (quantized
+  /// indexes; no-op truncation for kF32), re-sorts, truncates to k.
+  std::vector<eval::ScoredId> ReRank(const float* query,
+                                     std::vector<eval::ScoredId> cands,
+                                     int64_t k) const;
+
+  /// How many candidates Search must gather pre-re-rank for a final
+  /// top-k: max(k, rerank_k) when quantized re-rank applies, k plain.
+  int64_t FetchK(int64_t k) const {
+    return format_ == quant::QuantFormat::kF32 ? k
+                                               : std::max(k, rerank_k_);
+  }
 
   /// Backend-specific records appended to Save's common set.
   virtual void AppendExtraRecords(
@@ -118,14 +188,28 @@ class EmbeddingIndex {
       const std::string& path) = 0;
 
   int64_t dim_ = 0;
-  std::vector<float> data_;          // [size, dim], L2-normalized rows
+  std::vector<float> data_;          // kF32: [size, dim] normalized rows
   std::vector<std::string> ids_;     // external image ids, row order
   uint32_t model_fingerprint_ = 0;
+
+  quant::QuantFormat format_ = quant::QuantFormat::kF32;
+  quant::QuantStore qstore_;         // compressed rows (non-kF32)
+  int64_t rerank_k_ = 64;
+  /// Exact f32 rows for re-rank: the in-RAM mirror while building, the
+  /// mmap'd side file after a Load, a mapped view in a shard.
+  std::shared_ptr<const quant::ExactStore> exact_;
+  /// The mutable in-RAM mirror exact_ aliases during in-process builds.
+  std::shared_ptr<quant::MemoryExactStore> mem_exact_;
 };
 
-/// Exact brute-force backend.
+/// Exact brute-force backend (exact over its stored format — a
+/// quantized FlatIndex scans compressed rows, then re-ranks).
 class FlatIndex : public EmbeddingIndex {
  public:
+  explicit FlatIndex(quant::QuantFormat format = quant::QuantFormat::kF32) {
+    format_ = format;
+  }
+
   using EmbeddingIndex::Search;
   std::vector<eval::ScoredId> Search(const float* query, int64_t k,
                                      SearchDeadline deadline) const override;
@@ -159,12 +243,14 @@ struct HnswOptions {
 /// Approximate backend: HNSW graph over the stored vectors.
 class HnswIndex : public EmbeddingIndex {
  public:
-  explicit HnswIndex(HnswOptions options = {});
+  explicit HnswIndex(HnswOptions options = {},
+                     quant::QuantFormat format = quant::QuantFormat::kF32);
 
   using EmbeddingIndex::Search;
   std::vector<eval::ScoredId> Search(const float* query, int64_t k,
                                      SearchDeadline deadline) const override;
   std::string backend() const override { return "hnsw"; }
+  int64_t MemoryBytes() const override;
 
   const HnswOptions& options() const { return options_; }
   /// Level-0 neighbor list of a node (determinism tests compare these).

@@ -71,7 +71,7 @@ MatchService::MatchService(const core::CrossEm* matcher,
       options_(std::move(options)),
       fingerprint_(matcher->EncoderFingerprint()),
       temperature_(matcher->Temperature()),
-      cache_(options_.cache_capacity) {
+      cache_(CacheOptionsFor(options_)) {
   worker_ = std::thread([this] { WorkerLoop(); });
 }
 

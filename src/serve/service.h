@@ -62,10 +62,23 @@ struct MatchServiceOptions {
   int64_t max_wait_micros = 2000;
   /// LRU embedding-cache capacity; <= 0 disables caching.
   int64_t cache_capacity = 4096;
+  /// Optional embedding-cache byte cap; 0 = entries-only capacity.
+  int64_t cache_max_bytes = 0;
+  /// Storage format of cached embeddings (quantized entries pack 2-3.5x
+  /// more vertices into the same bytes; dequantized on hit).
+  quant::QuantFormat cache_format = quant::QuantFormat::kF32;
   /// Nearest images retrieved per query for the probability softmax
   /// (clamped up to the request's k and down to the index size).
   int64_t probability_candidates = 64;
 };
+
+/// The embedding-cache configuration a MatchServiceOptions implies.
+inline EmbeddingCacheOptions CacheOptionsFor(
+    const MatchServiceOptions& options) {
+  return EmbeddingCacheOptions{options.cache_capacity,
+                               options.cache_max_bytes,
+                               options.cache_format};
+}
 
 struct MatchRequest {
   graph::VertexId vertex = 0;

@@ -69,34 +69,54 @@ Result<std::unique_ptr<ShardedIndex>> ShardedIndex::Partition(
         static_cast<uint64_t>(n_shards));
     out->global_rows_[static_cast<size_t>(s)].push_back(r);
   }
+  const quant::QuantFormat format = source.quant_format();
   for (int64_t s = 0; s < n_shards; ++s) {
     std::unique_ptr<EmbeddingIndex> shard;
     if (options.backend == "flat") {
-      shard = std::make_unique<FlatIndex>();
+      shard = std::make_unique<FlatIndex>(format);
     } else {
-      shard = std::make_unique<HnswIndex>(options.hnsw);
+      shard = std::make_unique<HnswIndex>(options.hnsw, format);
     }
     const std::vector<int64_t>& rows = out->global_rows_[s];
     if (!rows.empty()) {
-      // Gather the shard's rows verbatim — already normalized by the
-      // source index, and re-normalizing could flip low-order bits.
-      std::vector<float> buf(rows.size() * static_cast<size_t>(out->dim_));
       std::vector<std::string> shard_ids;
       shard_ids.reserve(rows.size());
-      for (size_t i = 0; i < rows.size(); ++i) {
-        std::memcpy(buf.data() + i * static_cast<size_t>(out->dim_),
-                    source.vector(rows[i]),
-                    static_cast<size_t>(out->dim_) * sizeof(float));
-        shard_ids.push_back(source.ids()[static_cast<size_t>(rows[i])]);
+      for (int64_t r : rows) {
+        shard_ids.push_back(source.ids()[static_cast<size_t>(r)]);
       }
-      CROSSEM_RETURN_NOT_OK(shard->AddPreNormalized(
-          buf.data(), static_cast<int64_t>(rows.size()), out->dim_,
-          shard_ids));
+      if (format != quant::QuantFormat::kF32) {
+        // Quantized rows are gathered bit-identically (blocks + scales,
+        // never re-quantized) and the shard re-ranks through a mapped
+        // view of the source's exact store — no per-shard f32 copies.
+        CROSSEM_RETURN_NOT_OK(
+            shard->AddQuantizedFrom(source, rows, shard_ids));
+      } else {
+        // Gather the shard's rows verbatim — already normalized by the
+        // source index, and re-normalizing could flip low-order bits.
+        std::vector<float> buf(rows.size() *
+                               static_cast<size_t>(out->dim_));
+        for (size_t i = 0; i < rows.size(); ++i) {
+          std::memcpy(buf.data() + i * static_cast<size_t>(out->dim_),
+                      source.vector(rows[i]),
+                      static_cast<size_t>(out->dim_) * sizeof(float));
+        }
+        CROSSEM_RETURN_NOT_OK(shard->AddPreNormalized(
+            buf.data(), static_cast<int64_t>(rows.size()), out->dim_,
+            shard_ids));
+      }
     }
     shard->set_model_fingerprint(source.model_fingerprint());
     out->shards_.push_back(std::move(shard));
   }
   return out;
+}
+
+int64_t ShardedIndex::MemoryBytes() const {
+  int64_t bytes = 0;
+  for (const std::unique_ptr<EmbeddingIndex>& s : shards_) {
+    bytes += s->MemoryBytes();
+  }
+  return bytes;
 }
 
 std::vector<eval::ScoredId> ShardedIndex::SearchShard(
@@ -226,7 +246,7 @@ ShardedMatchService::ShardedMatchService(const core::CrossEm* matcher,
       options_(std::move(options)),
       fingerprint_(matcher->EncoderFingerprint()),
       temperature_(matcher->Temperature()),
-      cache_(options_.base.cache_capacity),
+      cache_(CacheOptionsFor(options_.base)),
       res_(std::make_unique<ResilienceInstruments>()) {
   CROSSEM_CHECK_GE(options_.resilience.max_attempts, 1);
   CROSSEM_CHECK_GE(options_.resilience.workers_per_shard, 1);

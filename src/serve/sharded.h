@@ -98,6 +98,10 @@ class ShardedIndex {
     return static_cast<int64_t>(global_rows_[s].size());
   }
 
+  /// Sum of the shards' approximate resident bytes (crossem_index_bytes
+  /// gauge input).
+  int64_t MemoryBytes() const;
+
   /// Top-k of one shard with ids mapped to GLOBAL rows, best first.
   /// The mapping is ascending, so the list stays RanksBefore-sorted.
   std::vector<eval::ScoredId> SearchShard(int64_t s, const float* query,

@@ -16,6 +16,8 @@ struct SnapshotInstruments {
   obs::Counter* load_failures;
   obs::Gauge* version;
   obs::Gauge* rows;
+  obs::Gauge* index_bytes;
+  obs::Gauge* index_entities;
 
   static const SnapshotInstruments& Get() {
     static const SnapshotInstruments* instruments = [] {
@@ -26,6 +28,8 @@ struct SnapshotInstruments {
           registry.GetCounter("crossem_snapshot_load_failures_total");
       i->version = registry.GetGauge("crossem_snapshot_version");
       i->rows = registry.GetGauge("crossem_snapshot_rows");
+      i->index_bytes = registry.GetGauge("crossem_index_bytes");
+      i->index_entities = registry.GetGauge("crossem_index_entities");
       return i;
     }();
     return *instruments;
@@ -185,6 +189,11 @@ Status SnapshotManager::Swap(std::unique_ptr<EmbeddingIndex> index,
   instruments.swaps->Increment();
   instruments.version->Set(static_cast<double>(next_version));
   instruments.rows->Set(static_cast<double>(next->rows()));
+  // Memory footprint of the live snapshot: with the rows gauge this
+  // puts bytes/entity per snapshot version on /metrics and in the
+  // /metrics/history flight recorder.
+  instruments.index_bytes->Set(static_cast<double>(next->MemoryBytes()));
+  instruments.index_entities->Set(static_cast<double>(next->rows()));
   return Status::OK();
 }
 

@@ -79,6 +79,13 @@ class ServingSnapshot {
   const std::string& source() const { return source_; }
   int64_t rows() const { return index_->size(); }
   std::string backend() const { return index_->backend(); }
+  quant::QuantFormat quant_format() const { return index_->quant_format(); }
+  /// Approximate resident index bytes (all shards when sharded) —
+  /// published as the crossem_index_bytes gauge at swap time.
+  int64_t MemoryBytes() const {
+    return sharded_index_ != nullptr ? sharded_index_->MemoryBytes()
+                                     : index_->MemoryBytes();
+  }
   uint32_t fingerprint() const { return index_->model_fingerprint(); }
   bool sharded() const { return sharded_service_ != nullptr; }
   int64_t shards() const {

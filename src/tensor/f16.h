@@ -1,0 +1,85 @@
+// IEEE 754 binary16 ("half") conversion helpers for the quantized
+// serving path (serve/quant.h stores f16 embedding rows; nothing in the
+// training stack computes in half precision).
+//
+// Pure bit manipulation — no compiler half-float extension, so the code
+// builds identically on every toolchain and the conversions are exactly
+// reproducible:
+//   - F32ToF16 rounds to nearest, ties to even (the IEEE default),
+//     handles subnormals, and saturates overflow to +-inf;
+//   - F16ToF32 is exact (every half value is representable in float).
+// Round-tripping any finite half through F16ToF32 -> F32ToF16 is
+// bit-identical (tests/serve/quant_kernels_test.cc sweeps all 2^16
+// patterns).
+#ifndef CROSSEM_TENSOR_F16_H_
+#define CROSSEM_TENSOR_F16_H_
+
+#include <cstdint>
+#include <cstring>
+
+namespace crossem {
+
+inline float F16ToF32(uint16_t h) {
+  const uint32_t sign = static_cast<uint32_t>(h & 0x8000u) << 16;
+  const uint32_t exp = (h >> 10) & 0x1fu;
+  const uint32_t mant = h & 0x3ffu;
+  uint32_t bits;
+  if (exp == 0) {
+    if (mant == 0) {
+      bits = sign;  // +-0
+    } else {
+      // Subnormal half: normalize the mantissa into a float exponent.
+      uint32_t e = 127 - 15 + 1;
+      uint32_t m = mant;
+      while ((m & 0x400u) == 0) {
+        m <<= 1;
+        --e;
+      }
+      bits = sign | (e << 23) | ((m & 0x3ffu) << 13);
+    }
+  } else if (exp == 0x1fu) {
+    bits = sign | 0x7f800000u | (mant << 13);  // inf / nan
+  } else {
+    bits = sign | ((exp - 15 + 127) << 23) | (mant << 13);
+  }
+  float out;
+  std::memcpy(&out, &bits, sizeof(out));
+  return out;
+}
+
+inline uint16_t F32ToF16(float f) {
+  uint32_t bits;
+  std::memcpy(&bits, &f, sizeof(bits));
+  const uint16_t sign = static_cast<uint16_t>((bits >> 16) & 0x8000u);
+  const uint32_t exp32 = (bits >> 23) & 0xffu;
+  uint32_t mant = bits & 0x7fffffu;
+  if (exp32 == 0xffu) {  // inf / nan (nan keeps a payload bit set)
+    return static_cast<uint16_t>(sign | 0x7c00u | (mant != 0 ? 0x200u : 0u));
+  }
+  const int32_t exp = static_cast<int32_t>(exp32) - 127 + 15;
+  if (exp >= 0x1f) return static_cast<uint16_t>(sign | 0x7c00u);  // overflow
+  if (exp <= 0) {
+    // Subnormal half (or underflow to zero): shift the full 24-bit
+    // significand into place with round-to-nearest-even.
+    if (exp < -10) return sign;  // < half the smallest subnormal
+    mant |= 0x800000u;           // implicit leading bit
+    const uint32_t shift = static_cast<uint32_t>(14 - exp);  // 14..24
+    uint16_t half = static_cast<uint16_t>(mant >> shift);
+    const uint32_t rem = mant & ((1u << shift) - 1u);
+    const uint32_t midpoint = 1u << (shift - 1);
+    if (rem > midpoint || (rem == midpoint && (half & 1u))) ++half;
+    return static_cast<uint16_t>(sign | half);
+  }
+  // Normal: drop 13 mantissa bits with round-to-nearest-even. A mantissa
+  // carry-out bumps the exponent arithmetically (all-ones rounds up to
+  // the next power of two; 65520..65504+16 saturates to inf via 0x7c00).
+  uint16_t half =
+      static_cast<uint16_t>((static_cast<uint32_t>(exp) << 10) | (mant >> 13));
+  const uint32_t rem = mant & 0x1fffu;
+  if (rem > 0x1000u || (rem == 0x1000u && (half & 1u))) ++half;
+  return static_cast<uint16_t>(sign | half);
+}
+
+}  // namespace crossem
+
+#endif  // CROSSEM_TENSOR_F16_H_

@@ -120,6 +120,85 @@ TEST(EmbeddingCacheTest, LruHoldsUnderConcurrentChurn) {
   EXPECT_GT(cache.misses(), 0); // capacity << working set guarantees churn
 }
 
+TEST(EmbeddingCacheBytesTest, ApproxBytesTracksInsertRefreshEvictClear) {
+  EmbeddingCache cache(2);
+  EXPECT_EQ(cache.ApproxBytes(), 0);
+  cache.Insert(1, 7, Emb(1));
+  const int64_t one = cache.ApproxBytes();
+  EXPECT_GT(one, 0);
+  cache.Insert(2, 7, Emb(2));
+  EXPECT_EQ(cache.ApproxBytes(), 2 * one);
+  cache.Insert(1, 7, Emb(9));  // refresh: same payload size, no growth
+  EXPECT_EQ(cache.ApproxBytes(), 2 * one);
+  cache.Insert(3, 7, Emb(3));  // evicts one entry
+  EXPECT_EQ(cache.ApproxBytes(), 2 * one);
+  cache.Clear();
+  EXPECT_EQ(cache.ApproxBytes(), 0);
+}
+
+TEST(EmbeddingCacheBytesTest, ByteCapEvictsBeforeTheEntryCap) {
+  // Entry cap 100 never binds; the byte cap must do the evicting.
+  EmbeddingCache probe(EmbeddingCacheOptions{100, 0,
+                                             quant::QuantFormat::kF32});
+  probe.Insert(0, 7, Emb(0));
+  const int64_t per_entry = probe.ApproxBytes();
+  ASSERT_GT(per_entry, 0);
+
+  EmbeddingCache cache(EmbeddingCacheOptions{100, 3 * per_entry,
+                                             quant::QuantFormat::kF32});
+  for (graph::VertexId v = 0; v < 10; ++v) cache.Insert(v, 7, Emb(v));
+  EXPECT_LE(cache.ApproxBytes(), 3 * per_entry);
+  EXPECT_EQ(cache.size(), 3);
+  // LRU order: the three most recent survive.
+  std::vector<float> out;
+  EXPECT_FALSE(cache.Lookup(6, 7, &out));
+  EXPECT_TRUE(cache.Lookup(7, 7, &out));
+  EXPECT_TRUE(cache.Lookup(8, 7, &out));
+  EXPECT_TRUE(cache.Lookup(9, 7, &out));
+}
+
+TEST(EmbeddingCacheBytesTest, OneOversizedEntryIsKeptNotThrashed) {
+  EmbeddingCache cache(EmbeddingCacheOptions{100, /*max_bytes=*/1,
+                                             quant::QuantFormat::kF32});
+  cache.Insert(1, 7, Emb(1));  // bigger than the whole byte budget
+  EXPECT_EQ(cache.size(), 1);
+  std::vector<float> out;
+  EXPECT_TRUE(cache.Lookup(1, 7, &out));
+  EXPECT_EQ(out, Emb(1));
+}
+
+TEST(EmbeddingCacheBytesTest, QuantizedEntriesRoundTripWithinTolerance) {
+  std::vector<float> emb;
+  for (int i = 0; i < 64; ++i) {
+    emb.push_back(0.1f * static_cast<float>(i) - 3.0f);
+  }
+  for (const quant::QuantFormat format :
+       {quant::QuantFormat::kF32, quant::QuantFormat::kF16,
+        quant::QuantFormat::kInt8}) {
+    EmbeddingCache cache(EmbeddingCacheOptions{8, 0, format});
+    EXPECT_EQ(cache.options().format, format);
+    cache.Insert(1, 7, emb);
+    std::vector<float> out;
+    ASSERT_TRUE(cache.Lookup(1, 7, &out));
+    ASSERT_EQ(out.size(), emb.size());
+    for (size_t d = 0; d < emb.size(); ++d) {
+      const float tol = format == quant::QuantFormat::kF32
+                            ? 0.0f
+                            : (format == quant::QuantFormat::kF16
+                                   ? 4e-3f    // |x| <= 3.3, half ulp ~2e-3
+                                   : 3e-2f);  // block max / 254
+      EXPECT_NEAR(out[d], emb[d], tol)
+          << quant::FormatName(format) << " dim " << d;
+    }
+  }
+  // Quantized caches hold the same entry in fewer bytes.
+  EmbeddingCache f32(EmbeddingCacheOptions{8, 0, quant::QuantFormat::kF32});
+  EmbeddingCache int8(EmbeddingCacheOptions{8, 0, quant::QuantFormat::kInt8});
+  f32.Insert(1, 7, emb);
+  int8.Insert(1, 7, emb);
+  EXPECT_LT(int8.ApproxBytes(), f32.ApproxBytes());
+}
+
 TEST(HistogramTest, PercentilesBoundTheData) {
   Histogram h;
   for (int64_t v = 1; v <= 1000; ++v) h.Record(v);

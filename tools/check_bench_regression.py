@@ -33,7 +33,15 @@ the gate compares the *relative* columns, which are stable across hosts:
     report must also carry the time-series flight recorder's summary:
     at least one sample taken and zero ticks dropped during the
     nominal arm (a drop there means the sampler stalled on an
-    unsaturated box).
+    unsaturated box);
+  - optionally (--serve-quant), the quantized serving report
+    (BENCH_serve_quant.json) is gated on its acceptance invariants:
+    every arm keeps recall@10 >= --quant-recall-floor after exact
+    re-rank, the compressed formats respect their bytes/entity
+    ceilings relative to f32 (f16 <= 0.55x, int8 <= 0.30x — these are
+    arithmetic properties of the block layout, host-independent), and
+    int8 must keep qps_per_gb >= --quant-qps-per-gb-floor x the f32
+    arm's (the whole point of scanning compressed rows).
 
 Absolute ns_per_iter values are printed for context but never gated.
 Exit code 0 = pass, 1 = regression, 2 = usage/data error.
@@ -254,6 +262,70 @@ def check_net_recorder(recorder, failures):
                   "outside the nominal arm (overload; informational)")
 
 
+def load_serve_quant(path):
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"error: cannot read {path}: {e}", file=sys.stderr)
+        sys.exit(2)
+    arms = doc.get("quant")
+    if not isinstance(arms, list) or not arms:
+        print(f"error: {path} has no 'quant' array", file=sys.stderr)
+        sys.exit(2)
+    return {a.get("format"): a for a in arms}
+
+
+# bytes/entity ceilings relative to the f32 arm, by format. These are
+# properties of the block layout (2 B/dim for f16; 1 B/dim + 4 B per
+# 32-element scale block for int8), so they hold on every host.
+QUANT_BYTES_CEILINGS = {"f32": 1.0, "f16": 0.55, "int8": 0.30}
+
+
+def check_serve_quant(arms, args, failures):
+    """Acceptance gate for the quantized serving arms: recall after
+    re-rank, bytes/entity ceilings, and the int8 QPS/GB win."""
+    f32 = arms.get("f32")
+    if f32 is None:
+        failures.append("serve_quant: no 'f32' arm in report")
+        return
+    for name in ("f32", "f16", "int8"):
+        arm = arms.get(name)
+        if arm is None:
+            failures.append(f"serve_quant|{name}: arm missing from report")
+            continue
+        recall = arm.get("recall_at_10", 0.0)
+        ratio = arm.get("bytes_ratio", 99.0)
+        qps_per_gb = arm.get("qps_per_gb", 0.0)
+        note = (f"serve_quant|{name}: recall@10 {recall:.4f}, "
+                f"bytes/entity {arm.get('bytes_per_entity', 0.0):.1f} "
+                f"({ratio:.3f}x), {arm.get('qps', 0.0):.0f} qps, "
+                f"{qps_per_gb:.0f} qps/GB")
+        ok = True
+        if recall < args.quant_recall_floor:
+            failures.append(
+                f"{note} -- recall below {args.quant_recall_floor} "
+                "(the exact re-rank is not holding)")
+            ok = False
+        if ratio > QUANT_BYTES_CEILINGS[name]:
+            failures.append(
+                f"{note} -- bytes/entity above the "
+                f"{QUANT_BYTES_CEILINGS[name]:.2f}x f32 ceiling")
+            ok = False
+        if name == "int8":
+            f32_qpg = f32.get("qps_per_gb", 0.0)
+            win = qps_per_gb / f32_qpg if f32_qpg > 0 else 0.0
+            if win < args.quant_qps_per_gb_floor:
+                failures.append(
+                    f"{note} -- qps/GB only {win:.2f}x f32 (floor "
+                    f"{args.quant_qps_per_gb_floor}x)")
+                ok = False
+            else:
+                print(f"info serve_quant|int8: qps/GB {win:.2f}x f32")
+        if ok:
+            print(f"ok   {note}")
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("--baseline",
@@ -287,9 +359,19 @@ def main():
     ap.add_argument("--net-expect-recorder", action="store_true",
                     help="require the BENCH_net.json 'recorder' summary: "
                          "samples > 0 and nominal_dropped == 0")
+    ap.add_argument("--serve-quant",
+                    help="freshly generated BENCH_serve_quant.json "
+                         "(optional)")
+    ap.add_argument("--quant-recall-floor", type=float, default=0.99,
+                    help="minimum recall@10 after exact re-rank, every "
+                         "format (default 0.99)")
+    ap.add_argument("--quant-qps-per-gb-floor", type=float, default=2.0,
+                    help="minimum int8 qps/GB as a multiple of the f32 "
+                         "arm's (default 2.0)")
     args = ap.parse_args()
 
-    if not (args.baseline or args.resilience or args.net):
+    if not (args.baseline or args.resilience or args.net
+            or args.serve_quant):
         print("error: nothing to gate (pass --baseline/--current, "
               "--resilience, or --net)", file=sys.stderr)
         return 2
@@ -319,6 +401,9 @@ def main():
         check_net(net_arms, args, failures)
         if args.net_expect_recorder:
             check_net_recorder(net_recorder, failures)
+
+    if args.serve_quant:
+        check_serve_quant(load_serve_quant(args.serve_quant), args, failures)
 
     if args.parallel:
         for key, cur in sorted(load_records(args.parallel).items()):

@@ -4,10 +4,14 @@
 //
 //   crossem_serve build-index --table NAME=FILE.csv [--json FILE]
 //       --images patches.csv --model model.ckpt --index repo.cidx
-//       [--backend flat|hnsw] [--hnsw-m N] [--ef-construction N]
+//       [--backend flat|hnsw] [--quant f32|f16|int8] [--rerank-k N]
+//       [--hnsw-m N] [--ef-construction N]
 //       [--prompt hard|soft|baseline] [--seed N]
 //     Encodes every image with the frozen model and writes the
-//     embedding index (CEMCKPT2, CRC-checked, atomic).
+//     embedding index (CEMCKPT2, CRC-checked, atomic). --quant stores
+//     rows block-quantized (DESIGN.md §17): scans score on compressed
+//     rows, then the top --rerank-k candidates are re-ranked against an
+//     exact f32 side file ("<index>.f32rank") before the final top-k.
 //
 //   crossem_serve query --table NAME=FILE.csv [--json FILE]
 //       --index repo.cidx --model model.ckpt --entity LABEL [...]
@@ -108,6 +112,9 @@ struct Args {
   int64_t max_wait_us = 2000;
   int64_t queue = 256;
   int64_t cache = 4096;
+  int64_t cache_bytes = 0;     // optional embedding-cache byte cap
+  std::string quant = "f32";   // row storage format (build-index + cache)
+  int64_t rerank_k = 0;        // quantized re-rank depth; 0 = default
   int64_t shards = 1;  // > 1 serves through ShardedMatchService
   int64_t patch_dim = 0;    // model config when --images is absent
   int64_t max_patches = 0;  // ditto (repository max, pre-padding)
@@ -132,6 +139,7 @@ void PrintUsage() {
       "modes:\n"
       "  build-index  --table NAME=FILE.csv [--json FILE] --images FILE.csv\n"
       "               --model FILE --index FILE [--backend flat|hnsw]\n"
+      "               [--quant f32|f16|int8] [--rerank-k N]\n"
       "               [--hnsw-m N] [--ef-construction N]\n"
       "               [--prompt hard|soft|baseline] [--seed N]\n"
       "  query        --table NAME=FILE.csv [--json FILE] --index FILE\n"
@@ -148,6 +156,7 @@ void PrintUsage() {
       "               [--tenant-rate R] [--tenant-burst B] [--k N]\n"
       "               [--patch-dim D] [--max-patches P]\n"
       "               [--history-interval-ms N]\n"
+      "               [--quant f32|f16|int8] [--cache-bytes N]\n"
       "               serves POST /v1/match, /healthz, /metrics (+json),\n"
       "               /metrics/history, /debug/tracez, and\n"
       "               /admin/snapshot until SIGINT/SIGTERM\n"
@@ -155,7 +164,9 @@ void PrintUsage() {
       "serve through the resilient scatter-gather engine: retries, hedged\n"
       "requests, circuit breakers, partial results with coverage),\n"
       "[--stats-out FILE] (Prometheus text) and [--trace-out FILE]\n"
-      "(Chrome trace_event JSON)\n");
+      "(Chrome trace_event JSON)\n"
+      "all serving modes take [--quant f32|f16|int8] (embedding-cache\n"
+      "storage format) and [--cache-bytes N] (cache byte cap)\n");
 }
 
 bool ParseArgs(int argc, char** argv, Args* args) {
@@ -240,6 +251,14 @@ bool ParseArgs(int argc, char** argv, Args* args) {
       if (!next_i64(&args->queue)) return false;
     } else if (flag == "--cache") {
       if (!next_i64(&args->cache)) return false;
+    } else if (flag == "--cache-bytes") {
+      if (!next_i64(&args->cache_bytes)) return false;
+    } else if (flag == "--quant") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      args->quant = v;
+    } else if (flag == "--rerank-k") {
+      if (!next_i64(&args->rerank_k)) return false;
     } else if (flag == "--shards") {
       if (!next_i64(&args->shards)) return false;
       if (args->shards < 1) {
@@ -430,19 +449,26 @@ int BuildSetup(const Args& args, Setup* s) {
 }
 
 int RunBuildIndex(const Args& args, Setup* s) {
+  serve::quant::QuantFormat format;
+  if (!serve::quant::ParseFormat(args.quant, &format)) {
+    std::fprintf(stderr, "unknown --quant '%s' (want f32|f16|int8)\n",
+                 args.quant.c_str());
+    return 2;
+  }
   std::unique_ptr<serve::EmbeddingIndex> index;
   if (args.backend == "flat") {
-    index = std::make_unique<serve::FlatIndex>();
+    index = std::make_unique<serve::FlatIndex>(format);
   } else if (args.backend == "hnsw") {
     serve::HnswOptions ho;
     ho.M = args.hnsw_m;
     ho.ef_construction = args.ef_construction;
     ho.ef_search = args.ef_search;
-    index = std::make_unique<serve::HnswIndex>(ho);
+    index = std::make_unique<serve::HnswIndex>(ho, format);
   } else {
     std::fprintf(stderr, "unknown --backend '%s'\n", args.backend.c_str());
     return 2;
   }
+  if (args.rerank_k > 0) index->set_rerank_k(args.rerank_k);
 
   Tensor embeddings = s->matcher->EncodeImages(s->images.patches);
   if (auto st = index->Add(embeddings, s->images.ids); !st.ok()) {
@@ -455,9 +481,10 @@ int RunBuildIndex(const Args& args, Setup* s) {
     return 1;
   }
   std::fprintf(stderr,
-               "wrote %s index: %lld vectors of dim %lld -> %s\n"
+               "wrote %s index (%s): %lld vectors of dim %lld -> %s\n"
                "query with: --patch-dim %lld --max-patches %lld\n",
-               index->backend().c_str(), static_cast<long long>(index->size()),
+               index->backend().c_str(), serve::quant::FormatName(format),
+               static_cast<long long>(index->size()),
                static_cast<long long>(index->dim()), args.index_path.c_str(),
                static_cast<long long>(s->images.patches.size(2)),
                static_cast<long long>(s->images.patches.size(1)));
@@ -497,11 +524,19 @@ struct Engine {
 };
 
 int BuildEngine(const Args& args, Setup* s, Engine* engine) {
+  serve::quant::QuantFormat cache_format;
+  if (!serve::quant::ParseFormat(args.quant, &cache_format)) {
+    std::fprintf(stderr, "unknown --quant '%s' (want f32|f16|int8)\n",
+                 args.quant.c_str());
+    return 2;
+  }
   serve::EngineOptions eo;
   eo.base.max_batch = args.max_batch;
   eo.base.max_wait_micros = args.max_wait_us;
   eo.base.max_queue = args.queue;
   eo.base.cache_capacity = args.cache;
+  eo.base.cache_max_bytes = args.cache_bytes;
+  eo.base.cache_format = cache_format;
   eo.shards = args.shards;
   engine->manager =
       std::make_unique<serve::SnapshotManager>(s->matcher.get(), eo);
